@@ -1,0 +1,217 @@
+// Package repro_test holds one benchmark per table and figure of the
+// paper's evaluation (§4). Each benchmark regenerates its experiment at a
+// reduced scale and reports the headline metric of that table/figure via
+// b.ReportMetric, so `go test -bench=.` reproduces the full results matrix.
+package repro_test
+
+import (
+	"testing"
+
+	"dynasore/internal/experiments"
+	"dynasore/internal/trace"
+)
+
+// benchCfg is the reduced scale used for benchmarks: same cluster shape as
+// the paper, fewer users so a full sweep stays in benchmark territory.
+func benchCfg() experiments.Config {
+	cfg := experiments.Default()
+	cfg.Users = 800
+	cfg.TreeM = 3
+	cfg.TreeN = 3
+	cfg.PerRack = 5
+	cfg.FlatMachines = 45
+	cfg.Extras = []float64{30, 100}
+	return cfg
+}
+
+// BenchmarkTable1Datasets regenerates the dataset inventory (Table 1).
+func BenchmarkTable1Datasets(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.LinksPerUser, "links/user:"+string(r.Dataset))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2TraceVolume regenerates the real-trace daily volumes
+// (Fig. 2) and reports the write:read ratio, which the paper's trace keeps
+// above 1.
+func BenchmarkFigure2TraceVolume(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		days, err := experiments.Figure2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var reads, writes int64
+			for _, d := range days {
+				reads += d.Reads
+				writes += d.Writes
+			}
+			b.ReportMetric(float64(writes)/float64(reads), "writes/read")
+		}
+	}
+}
+
+// benchFigure3 runs one Fig. 3 subplot and reports the normalized
+// top-switch traffic of each system at 30% extra memory.
+func benchFigure3(b *testing.B, ds experiments.Dataset, flat bool) {
+	b.Helper()
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(cfg, ds, flat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			pt := res.Points[0] // 30% extra
+			b.ReportMetric(pt.Traffic[experiments.SysSPAR], "spar@30")
+			b.ReportMetric(pt.Traffic[experiments.SysDynRandom], "dyn-random@30")
+			b.ReportMetric(pt.Traffic[experiments.SysDynMetis], "dyn-metis@30")
+			if !flat {
+				b.ReportMetric(pt.Traffic[experiments.SysDynHMetis], "dyn-hmetis@30")
+				b.ReportMetric(res.StaticHMetis, "static-hmetis")
+			}
+			b.ReportMetric(res.StaticMetis, "static-metis")
+		}
+	}
+}
+
+// BenchmarkFigure3aTwitterTree regenerates Fig. 3a.
+func BenchmarkFigure3aTwitterTree(b *testing.B) { benchFigure3(b, experiments.Twitter, false) }
+
+// BenchmarkFigure3bLiveJournalTree regenerates Fig. 3b.
+func BenchmarkFigure3bLiveJournalTree(b *testing.B) { benchFigure3(b, experiments.LiveJournal, false) }
+
+// BenchmarkFigure3cFacebookTree regenerates Fig. 3c.
+func BenchmarkFigure3cFacebookTree(b *testing.B) { benchFigure3(b, experiments.Facebook, false) }
+
+// BenchmarkFigure3dFacebookFlat regenerates Fig. 3d (flat topology, §4.5).
+func BenchmarkFigure3dFacebookFlat(b *testing.B) { benchFigure3(b, experiments.Facebook, true) }
+
+// benchSwitchTraffic runs the per-level switch-traffic table at the given
+// budget and reports DynaSoRe's and SPAR's normalized top-switch traffic
+// averaged over the three datasets.
+func benchSwitchTraffic(b *testing.B, extra float64) {
+	b.Helper()
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SwitchTraffic(cfg, extra)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var dynTop, sparTop float64
+			for _, r := range rows {
+				if r.System == experiments.SysDynHMetis {
+					dynTop += r.Top / 3
+				} else {
+					sparTop += r.Top / 3
+				}
+			}
+			b.ReportMetric(dynTop, "dynasore-top")
+			b.ReportMetric(sparTop, "spar-top")
+		}
+	}
+}
+
+// BenchmarkTable2SwitchTraffic30 regenerates Table 2 (30% extra memory).
+func BenchmarkTable2SwitchTraffic30(b *testing.B) { benchSwitchTraffic(b, 30) }
+
+// BenchmarkTable3SwitchTraffic150 regenerates Table 3 (150% extra memory).
+func BenchmarkTable3SwitchTraffic150(b *testing.B) { benchSwitchTraffic(b, 150) }
+
+// BenchmarkFigure4RealTraffic regenerates Fig. 4 and reports DynaSoRe's
+// mean normalized daily traffic over the second week (post-convergence).
+func BenchmarkFigure4RealTraffic(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		days, err := experiments.Figure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var dyn, spar float64
+			for _, d := range days[7:] {
+				dyn += d.Traffic[experiments.SysDynMetis] / 7
+				spar += d.Traffic[experiments.SysSPAR] / 7
+			}
+			b.ReportMetric(dyn, "dyn-metis-week2")
+			b.ReportMetric(spar, "spar-week2")
+		}
+	}
+}
+
+// BenchmarkFigure5FlashEvent regenerates Fig. 5 and reports the replica
+// peak-to-baseline ratio of the hot view.
+func BenchmarkFigure5FlashEvent(b *testing.B) {
+	cfg := benchCfg()
+	fc := experiments.DefaultFig5()
+	fc.Days = 5
+	fc.StartDay = 1
+	fc.EndDay = 3
+	fc.Repetitions = 2
+	fc.Followers = 80
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure5(cfg, fc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var pre, peak float64
+			var nPre int
+			for _, p := range points {
+				day := p.AtSeconds / trace.SecondsPerDay
+				if day < int64(fc.StartDay) {
+					pre += p.Replicas
+					nPre++
+				} else if day < int64(fc.EndDay) && p.Replicas > peak {
+					peak = p.Replicas
+				}
+			}
+			b.ReportMetric(pre/float64(nPre), "replicas-before")
+			b.ReportMetric(peak, "replicas-peak")
+		}
+	}
+}
+
+// benchFigure6 regenerates one convergence plot and reports the ratio of
+// final-quarter to first-quarter application traffic (should be well below
+// 1) and the final system-traffic share.
+func benchFigure6(b *testing.B, realistic bool) {
+	b.Helper()
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure6(cfg, realistic)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(points) >= 8 {
+			q := len(points) / 4
+			var early, late, lateSys float64
+			for _, p := range points[:q] {
+				early += p.App[experiments.SysDynRandom]
+			}
+			for _, p := range points[len(points)-q:] {
+				late += p.App[experiments.SysDynRandom]
+				lateSys += p.Sys[experiments.SysDynRandom]
+			}
+			b.ReportMetric(late/early, "late/early-app")
+			b.ReportMetric(lateSys/float64(q), "late-sys")
+		}
+	}
+}
+
+// BenchmarkFigure6aConvergenceSynthetic regenerates Fig. 6a.
+func BenchmarkFigure6aConvergenceSynthetic(b *testing.B) { benchFigure6(b, false) }
+
+// BenchmarkFigure6bConvergenceReal regenerates Fig. 6b.
+func BenchmarkFigure6bConvergenceReal(b *testing.B) { benchFigure6(b, true) }

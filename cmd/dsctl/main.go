@@ -1,0 +1,97 @@
+// Command dsctl is a small client for the live DynaSoRe cluster: it writes
+// events, reads feeds, and dumps broker statistics.
+//
+// Usage:
+//
+//	dsctl -broker 127.0.0.1:7000 write <user> <text...>
+//	dsctl -broker 127.0.0.1:7000 read <user> [<user>...]
+//	dsctl -broker 127.0.0.1:7000 stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dynasore/internal/cluster"
+)
+
+func main() {
+	broker := flag.String("broker", "127.0.0.1:7000", "broker address")
+	flag.Parse()
+	if err := run(*broker, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "dsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(broker string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: dsctl [flags] write|read|stats ...")
+	}
+	c, err := cluster.Dial(broker)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "write":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: dsctl write <user> <text...>")
+		}
+		user, err := parseUser(args[1])
+		if err != nil {
+			return err
+		}
+		seq, err := c.Write(user, []byte(strings.Join(args[2:], " ")))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("written seq=%d\n", seq)
+		return nil
+	case "read":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: dsctl read <user> [<user>...]")
+		}
+		var targets []uint32
+		for _, a := range args[1:] {
+			user, err := parseUser(a)
+			if err != nil {
+				return err
+			}
+			targets = append(targets, user)
+		}
+		views, err := c.Read(targets)
+		if err != nil {
+			return err
+		}
+		for i, v := range views {
+			fmt.Printf("user %d (version %d, %d events):\n", targets[i], v.Version, len(v.Events))
+			for _, e := range v.Events {
+				fmt.Printf("  %s\n", e)
+			}
+		}
+		return nil
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("reads=%d writes=%d replicated=%d evicted=%d misses=%d\n",
+			st.Reads, st.Writes, st.Replicated, st.Evicted, st.Misses)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func parseUser(s string) (uint32, error) {
+	u, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad user id %q: %w", s, err)
+	}
+	return uint32(u), nil
+}

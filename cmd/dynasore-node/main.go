@@ -1,0 +1,73 @@
+// Command dynasore-node runs one node of the live DynaSoRe cluster: either
+// a cache server holding views in memory, or a broker executing the
+// Read/Write API against a set of cache servers with a WAL-backed
+// persistent store.
+//
+// Usage:
+//
+//	dynasore-node -role server -addr 127.0.0.1:7001
+//	dynasore-node -role broker -addr 127.0.0.1:7000 \
+//	    -servers 127.0.0.1:7001,127.0.0.1:7002 -data /tmp/dynasore -preferred 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"dynasore/internal/cluster"
+)
+
+func main() {
+	var (
+		role      = flag.String("role", "server", "node role: server or broker")
+		addr      = flag.String("addr", "127.0.0.1:7001", "listen address")
+		servers   = flag.String("servers", "", "comma-separated cache server addresses (broker)")
+		dataDir   = flag.String("data", "dynasore-data", "persistent store directory (broker)")
+		preferred = flag.Int("preferred", -1, "index of the broker-local cache server (-1: none)")
+		viewCap   = flag.Int("viewcap", 64, "events kept per view")
+	)
+	flag.Parse()
+	if err := run(*role, *addr, *servers, *dataDir, *preferred, *viewCap); err != nil {
+		fmt.Fprintln(os.Stderr, "dynasore-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(role, addr, servers, dataDir string, preferred, viewCap int) error {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+
+	switch role {
+	case "server":
+		s, err := cluster.NewServer(addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cache server listening on %s\n", s.Addr())
+		<-stop
+		return s.Close()
+	case "broker":
+		if servers == "" {
+			return fmt.Errorf("broker needs -servers")
+		}
+		b, err := cluster.NewBroker(cluster.BrokerConfig{
+			Addr:        addr,
+			ServerAddrs: strings.Split(servers, ","),
+			DataDir:     dataDir,
+			Preferred:   preferred,
+			ViewCap:     viewCap,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("broker listening on %s (%d cache servers)\n", b.Addr(), len(strings.Split(servers, ",")))
+		<-stop
+		return b.Close()
+	default:
+		return fmt.Errorf("unknown role %q", role)
+	}
+}

@@ -1,0 +1,117 @@
+// Command dynasore-sim runs the paper's experiments and prints the
+// corresponding table or figure data.
+//
+// Usage:
+//
+//	dynasore-sim -exp table1|fig2|fig3a|fig3b|fig3c|fig3d|table2|table3|fig4|fig5|fig6a|fig6b|all
+//	             [-users N] [-days N] [-seed N] [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynasore/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (table1, fig2, fig3a-d, table2, table3, fig4, fig5, fig6a, fig6b, all)")
+		users = flag.Int("users", 2000, "users per dataset (paper: millions, scaled down)")
+		days  = flag.Int("days", 2, "synthetic trace days (first day is warmup)")
+		seed  = flag.Int64("seed", 42, "random seed")
+		reps  = flag.Int("reps", 5, "flash-event repetitions (fig5)")
+	)
+	flag.Parse()
+	if err := run(*exp, *users, *days, *seed, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, "dynasore-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, users, days int, seed int64, reps int) error {
+	cfg := experiments.Default()
+	cfg.Users = users
+	cfg.Days = days
+	cfg.Seed = seed
+
+	ids := strings.Split(exp, ",")
+	if exp == "all" {
+		ids = []string{"table1", "fig2", "fig3a", "fig3b", "fig3c", "fig3d",
+			"table2", "table3", "fig4", "fig5", "fig6a", "fig6b"}
+	}
+	for _, id := range ids {
+		out, err := runOne(cfg, strings.TrimSpace(id), reps)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(out)
+	}
+	return nil
+}
+
+func runOne(cfg experiments.Config, id string, reps int) (string, error) {
+	switch id {
+	case "table1":
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatTable1(rows), nil
+	case "fig2":
+		days, err := experiments.Figure2(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFigure2(days), nil
+	case "fig3a", "fig3b", "fig3c", "fig3d":
+		ds, flat := experiments.Twitter, false
+		switch id {
+		case "fig3b":
+			ds = experiments.LiveJournal
+		case "fig3c":
+			ds = experiments.Facebook
+		case "fig3d":
+			ds, flat = experiments.Facebook, true
+		}
+		res, err := experiments.Figure3(cfg, ds, flat)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFigure3(res), nil
+	case "table2", "table3":
+		extra := 30.0
+		if id == "table3" {
+			extra = 150.0
+		}
+		rows, err := experiments.SwitchTraffic(cfg, extra)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatSwitchTraffic(rows, extra), nil
+	case "fig4":
+		days, err := experiments.Figure4(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFigure4(days), nil
+	case "fig5":
+		fc := experiments.DefaultFig5()
+		fc.Repetitions = reps
+		points, err := experiments.Figure5(cfg, fc)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFigure5(points), nil
+	case "fig6a", "fig6b":
+		points, err := experiments.Figure6(cfg, id == "fig6b")
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFigure6(points, id == "fig6b"), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", id)
+	}
+}

@@ -1,0 +1,88 @@
+// Command tracegen emits a synthetic or realistic request trace for one of
+// the paper's datasets as "time user op" lines, plus the social graph as an
+// edge list, so external tools can replay the same workloads.
+//
+// Usage:
+//
+//	tracegen -dataset facebook -users 2000 -days 2 -kind synthetic -out trace.txt -graph graph.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"dynasore/internal/experiments"
+	"dynasore/internal/trace"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "facebook", "twitter, facebook, or livejournal")
+		users   = flag.Int("users", 2000, "number of users")
+		days    = flag.Int("days", 2, "trace length in days")
+		kind    = flag.String("kind", "synthetic", "synthetic or realistic")
+		seed    = flag.Int64("seed", 42, "random seed")
+		out     = flag.String("out", "", "trace output file (default stdout)")
+		graph   = flag.String("graph", "", "optional edge-list output file")
+	)
+	flag.Parse()
+	if err := run(*dataset, *users, *days, *kind, *seed, *out, *graph); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, users, days int, kind string, seed int64, out, graphOut string) error {
+	cfg := experiments.Default()
+	cfg.Users = users
+	cfg.Seed = seed
+	g, err := cfg.Graph(experiments.Dataset(dataset))
+	if err != nil {
+		return err
+	}
+	var log *trace.Log
+	switch kind {
+	case "synthetic":
+		log, err = trace.Synthetic(g, trace.DefaultSynthetic(days), seed)
+	case "realistic":
+		rc := trace.DefaultRealistic()
+		rc.Days = days
+		log, err = trace.Realistic(g, rc, seed)
+	default:
+		return fmt.Errorf("unknown trace kind %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	for _, r := range log.Requests {
+		if _, err := fmt.Fprintf(bw, "%d %d %s\n", r.At, r.User, r.Kind); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if graphOut != "" {
+		f, err := os.Create(graphOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := g.WriteEdgeList(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

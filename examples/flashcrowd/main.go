@@ -1,0 +1,59 @@
+// Flashcrowd: reproduce the paper's flash-event experiment (§4.6, Fig. 5)
+// through the public experiment API — a random user suddenly gains
+// followers, DynaSoRe replicates their view across the cluster, and evicts
+// the extra replicas once the crowd leaves.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynasore/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cfg := experiments.Default()
+	cfg.Users = 1000
+
+	fc := experiments.DefaultFig5()
+	fc.Days = 6
+	fc.StartDay = 2
+	fc.EndDay = 4
+	fc.Repetitions = 3
+	fc.Followers = 100
+
+	fmt.Printf("flash crowd: +%d followers at day %d, removed at day %d (%d repetitions)\n",
+		fc.Followers, fc.StartDay, fc.EndDay, fc.Repetitions)
+	points, err := experiments.Figure5(cfg, fc)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatFigure5(points))
+
+	// Summarize the three phases.
+	var pre, during, post float64
+	var nPre, nDuring, nPost int
+	for _, p := range points {
+		day := int(p.AtSeconds / 86400)
+		switch {
+		case day < fc.StartDay:
+			pre += p.Replicas
+			nPre++
+		case day < fc.EndDay:
+			during += p.Replicas
+			nDuring++
+		case day >= fc.EndDay+1: // give eviction a day, as in the paper
+			post += p.Replicas
+			nPost++
+		}
+	}
+	fmt.Printf("mean replicas: before %.2f -> during flash %.2f -> after cooldown %.2f\n",
+		pre/float64(nPre), during/float64(nDuring), post/float64(nPost))
+	return nil
+}

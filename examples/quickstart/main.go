@@ -1,0 +1,77 @@
+// Quickstart: simulate a small DynaSoRe cluster on a Facebook-shaped social
+// graph and compare its top-switch traffic against the static Random
+// placement — the paper's headline experiment in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynasore/internal/dynasore"
+	"dynasore/internal/placement"
+	"dynasore/internal/sim"
+	"dynasore/internal/socialgraph"
+	"dynasore/internal/topology"
+	"dynasore/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A Facebook-shaped graph of 1000 users and the paper's 250-machine
+	// tree data center (5 intermediate switches x 5 racks x 10 machines).
+	g, err := socialgraph.Facebook(1000, 42)
+	if err != nil {
+		return err
+	}
+	topo, err := topology.NewTree(5, 5, 10, 1)
+	if err != nil {
+		return err
+	}
+	// Two days of the paper's synthetic workload: one write per user per
+	// day, four reads per write, activity proportional to log degree.
+	reqLog, err := trace.Synthetic(g, trace.DefaultSynthetic(2), 42)
+	if err != nil {
+		return err
+	}
+
+	// Baseline: memcached-style random placement, one replica per view.
+	randAssign, err := placement.Random(g, topo, 42)
+	if err != nil {
+		return err
+	}
+	baseTraffic := topology.NewTraffic(topo)
+	baseline, err := placement.NewStaticStore(g, topo, baseTraffic, randAssign)
+	if err != nil {
+		return err
+	}
+	baseEngine, err := sim.NewEngine(topo, baseline, baseTraffic)
+	if err != nil {
+		return err
+	}
+	baseEngine.Run(reqLog, sim.RunOptions{WarmupSeconds: trace.SecondsPerDay})
+
+	// DynaSoRe with 30% extra memory, started from the same placement.
+	dynTraffic := topology.NewTraffic(topo)
+	store, err := dynasore.New(g, topo, dynTraffic, randAssign, dynasore.Config{ExtraMemoryPct: 30})
+	if err != nil {
+		return err
+	}
+	dynEngine, err := sim.NewEngine(topo, store, dynTraffic)
+	if err != nil {
+		return err
+	}
+	dynEngine.Run(reqLog, sim.RunOptions{WarmupSeconds: trace.SecondsPerDay})
+
+	ratio := float64(dynTraffic.TopTotal()) / float64(baseTraffic.TopTotal())
+	fmt.Printf("static random top-switch traffic: %d\n", baseTraffic.TopTotal())
+	fmt.Printf("DynaSoRe (30%% extra memory):      %d (%.1f%% of random)\n",
+		dynTraffic.TopTotal(), 100*ratio)
+	fmt.Printf("mean replicas per view: %.2f, memory %d/%d\n",
+		store.MeanReplicas(), store.MemoryUsed(), store.MemoryCapacity())
+	return nil
+}

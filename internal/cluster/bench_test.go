@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// benchClusterSetup starts 3 cache servers and a broker for throughput
+// benchmarks over real TCP on localhost.
+func benchClusterSetup(b *testing.B) *Client {
+	b.Helper()
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		s, err := NewServer("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		addrs = append(addrs, s.Addr())
+	}
+	br, err := NewBroker(BrokerConfig{
+		Addr: "127.0.0.1:0", ServerAddrs: addrs, DataDir: b.TempDir(), Preferred: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { br.Close() })
+	c, err := Dial(br.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return c
+}
+
+// BenchmarkClusterWrite measures end-to-end write latency: WAL append plus
+// cache refresh over TCP.
+func BenchmarkClusterWrite(b *testing.B) {
+	c := benchClusterSetup(b)
+	payload := make([]byte, 140)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(uint32(i%500), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterRead measures end-to-end feed-read latency for a
+// 10-producer feed.
+func BenchmarkClusterRead(b *testing.B) {
+	c := benchClusterSetup(b)
+	targets := make([]uint32, 10)
+	for i := range targets {
+		targets[i] = uint32(i)
+		if _, err := c.Write(uint32(i), []byte("seed event")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Read(targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

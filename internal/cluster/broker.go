@@ -1,0 +1,428 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynasore/internal/wal"
+)
+
+// BrokerConfig configures a broker node.
+type BrokerConfig struct {
+	// Addr is the client-facing listen address ("127.0.0.1:0" for tests).
+	Addr string
+	// ServerAddrs lists the cache servers, in a fixed cluster-wide order.
+	ServerAddrs []string
+	// DataDir holds the write-ahead log of the persistent store.
+	DataDir string
+	// ViewCap bounds events kept per view (default 64).
+	ViewCap int
+	// Preferred is the index of the broker's "rack-local" cache server: the
+	// replica-placement target for views this broker reads often, mirroring
+	// DynaSoRe's locality goal. -1 disables preference.
+	Preferred int
+	// HotReads is how many reads within a decay interval mark a view hot
+	// enough to replicate locally (default 8).
+	HotReads int
+	// MaxReplicas bounds a view's replication degree (default 3).
+	MaxReplicas int
+	// DecayEvery is the interval of the counter decay / cold-replica
+	// eviction pass (default 5s; analogous to the paper's counter
+	// rotation, shortened for a live prototype).
+	DecayEvery time.Duration
+}
+
+func (c BrokerConfig) withDefaults() BrokerConfig {
+	if c.ViewCap <= 0 {
+		c.ViewCap = 64
+	}
+	if c.HotReads <= 0 {
+		c.HotReads = 8
+	}
+	if c.MaxReplicas <= 0 {
+		c.MaxReplicas = 3
+	}
+	if c.DecayEvery <= 0 {
+		c.DecayEvery = 5 * time.Second
+	}
+	return c
+}
+
+// Broker executes the DynaSoRe API (§3.1) against the cache servers: Read
+// fetches views from the replica set, Write persists to the WAL first and
+// then refreshes every replica. A background controller replicates views
+// that this broker reads frequently onto its preferred (rack-local) server
+// and evicts replicas that went cold — the live-system analogue of §3.2.
+type Broker struct {
+	cfg     BrokerConfig
+	store   *wal.ViewStore
+	servers []*serverConn
+
+	mu        sync.Mutex
+	replicas  map[uint32][]int // user -> server indices, home first
+	readCount map[uint32]int   // reads since the last decay pass
+
+	ln     net.Listener
+	conns  sync.WaitGroup
+	connMu sync.Mutex
+	active map[net.Conn]struct{}
+	closed atomic.Bool
+	stop   chan struct{}
+	done   chan struct{}
+
+	reads      atomic.Int64
+	writes     atomic.Int64
+	replicated atomic.Int64
+	evicted    atomic.Int64
+	misses     atomic.Int64
+}
+
+// ErrNoServers reports an empty server list.
+var ErrNoServers = errors.New("cluster: broker needs at least one cache server")
+
+// NewBroker starts a broker node.
+func NewBroker(cfg BrokerConfig) (*Broker, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.ServerAddrs) == 0 {
+		return nil, ErrNoServers
+	}
+	if cfg.Preferred >= len(cfg.ServerAddrs) {
+		return nil, fmt.Errorf("cluster: preferred server %d out of range", cfg.Preferred)
+	}
+	store, err := wal.OpenViewStore(cfg.DataDir, cfg.ViewCap, wal.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("open persistent store: %w", err)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		store.Close()
+		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	b := &Broker{
+		cfg:       cfg,
+		store:     store,
+		replicas:  make(map[uint32][]int),
+		readCount: make(map[uint32]int),
+		ln:        ln,
+		active:    make(map[net.Conn]struct{}),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, addr := range cfg.ServerAddrs {
+		b.servers = append(b.servers, newServerConn(addr))
+	}
+	b.conns.Add(1)
+	go b.acceptLoop()
+	go b.decayLoop()
+	return b, nil
+}
+
+// Addr returns the broker's client-facing address.
+func (b *Broker) Addr() string { return b.ln.Addr().String() }
+
+func (b *Broker) home(user uint32) int { return int(user) % len(b.servers) }
+
+// replicaSet returns (a copy of) the servers holding user's view,
+// initializing the home replica lazily.
+func (b *Broker) replicaSet(user uint32) []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set, ok := b.replicas[user]
+	if !ok {
+		set = []int{b.home(user)}
+		b.replicas[user] = set
+	}
+	out := make([]int, len(set))
+	copy(out, set)
+	return out
+}
+
+// Write implements the paper's write path: persist the event first, then
+// update every cache replica with the fresh view.
+func (b *Broker) Write(user uint32, payload []byte) (uint64, error) {
+	seq, err := b.store.Append(user, time.Now().UnixNano(), payload)
+	if err != nil {
+		return 0, fmt.Errorf("persist write: %w", err)
+	}
+	view := b.currentView(user)
+	var firstErr error
+	for _, idx := range b.replicaSet(user) {
+		if err := b.servers[idx].putView(user, view); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	b.writes.Add(1)
+	return seq, firstErr
+}
+
+// currentView materializes the persistent store's view of user.
+func (b *Broker) currentView(user uint32) View {
+	recs, ver := b.store.View(user)
+	events := make([][]byte, len(recs))
+	for i, r := range recs {
+		events[i] = r.Payload
+	}
+	return View{Version: ver, Events: events}
+}
+
+// ReadOne fetches a single view, preferring the broker-local replica,
+// filling the cache from the persistent store on a miss, and feeding the
+// hot-view controller.
+func (b *Broker) ReadOne(user uint32) (View, error) {
+	set := b.replicaSet(user)
+	idx := set[0]
+	for _, i := range set {
+		if i == b.cfg.Preferred {
+			idx = i
+			break
+		}
+	}
+	v, ok, err := b.servers[idx].getView(user)
+	if err != nil {
+		return View{}, err
+	}
+	if !ok {
+		// Cache miss: rebuild from the persistent store (crash recovery
+		// path of §3.3) and re-install.
+		b.misses.Add(1)
+		v = b.currentView(user)
+		if err := b.servers[idx].putView(user, v); err != nil {
+			return View{}, fmt.Errorf("cache fill: %w", err)
+		}
+	}
+	b.noteRead(user, set)
+	return v, nil
+}
+
+// Read implements Read(u, L): fetch the views of every user in targets.
+func (b *Broker) Read(targets []uint32) ([]View, error) {
+	out := make([]View, len(targets))
+	for i, u := range targets {
+		v, err := b.ReadOne(u)
+		if err != nil {
+			return nil, fmt.Errorf("read view %d: %w", u, err)
+		}
+		out[i] = v
+	}
+	b.reads.Add(1)
+	return out, nil
+}
+
+// noteRead counts a read and replicates the view locally once it is hot.
+func (b *Broker) noteRead(user uint32, set []int) {
+	pref := b.cfg.Preferred
+	if pref < 0 {
+		return
+	}
+	b.mu.Lock()
+	b.readCount[user]++
+	hot := b.readCount[user] >= b.cfg.HotReads
+	holds := false
+	for _, i := range set {
+		if i == pref {
+			holds = true
+			break
+		}
+	}
+	should := hot && !holds && len(set) < b.cfg.MaxReplicas
+	if should {
+		b.replicas[user] = append(b.replicas[user], pref)
+	}
+	b.mu.Unlock()
+	if should {
+		if err := b.servers[pref].putView(user, b.currentView(user)); err == nil {
+			b.replicated.Add(1)
+		}
+	}
+}
+
+// decayLoop halves read counters periodically and drops broker-created
+// replicas whose views went cold, mirroring DynaSoRe's eviction of
+// no-longer-useful copies (§4.6).
+func (b *Broker) decayLoop() {
+	defer close(b.done)
+	ticker := time.NewTicker(b.cfg.DecayEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			b.decayOnce()
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+func (b *Broker) decayOnce() {
+	pref := b.cfg.Preferred
+	var drop []uint32
+	b.mu.Lock()
+	for u, c := range b.readCount {
+		if c <= 1 {
+			delete(b.readCount, u)
+		} else {
+			b.readCount[u] = c / 2
+		}
+	}
+	if pref >= 0 {
+		for u, set := range b.replicas {
+			if len(set) < 2 || b.readCount[u] > 0 || b.home(u) == pref {
+				continue
+			}
+			for i, idx := range set {
+				if idx == pref {
+					b.replicas[u] = append(set[:i], set[i+1:]...)
+					drop = append(drop, u)
+					break
+				}
+			}
+		}
+	}
+	b.mu.Unlock()
+	for _, u := range drop {
+		if err := b.servers[pref].deleteView(u); err == nil {
+			b.evicted.Add(1)
+		}
+	}
+}
+
+// ReplicaCount returns the current replication degree of user's view.
+func (b *Broker) ReplicaCount(user uint32) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set, ok := b.replicas[user]
+	if !ok {
+		return 1
+	}
+	return len(set)
+}
+
+// BrokerStats summarizes broker activity.
+type BrokerStats struct {
+	Reads      int64
+	Writes     int64
+	Replicated int64
+	Evicted    int64
+	Misses     int64
+}
+
+// Stats returns a snapshot of the broker's counters.
+func (b *Broker) Stats() BrokerStats {
+	return BrokerStats{
+		Reads:      b.reads.Load(),
+		Writes:     b.writes.Load(),
+		Replicated: b.replicated.Load(),
+		Evicted:    b.evicted.Load(),
+		Misses:     b.misses.Load(),
+	}
+}
+
+func (b *Broker) acceptLoop() {
+	defer b.conns.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		b.connMu.Lock()
+		b.active[conn] = struct{}{}
+		b.connMu.Unlock()
+		b.conns.Add(1)
+		go func() {
+			defer b.conns.Done()
+			defer func() {
+				b.connMu.Lock()
+				delete(b.active, conn)
+				b.connMu.Unlock()
+				conn.Close()
+			}()
+			b.serveConn(conn)
+		}()
+	}
+}
+
+func (b *Broker) serveConn(conn net.Conn) {
+	for {
+		msgType, body, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if err := b.handle(conn, msgType, body); err != nil {
+			return
+		}
+	}
+}
+
+func (b *Broker) handle(conn net.Conn, msgType uint8, body []byte) error {
+	switch msgType {
+	case opRead:
+		if len(body) < 2 {
+			return writeFrame(conn, respError, errorBody("short read request"))
+		}
+		count := int(binary.LittleEndian.Uint16(body[0:2]))
+		if len(body) < 2+4*count {
+			return writeFrame(conn, respError, errorBody("truncated read request"))
+		}
+		targets := make([]uint32, count)
+		for i := range targets {
+			targets[i] = binary.LittleEndian.Uint32(body[2+4*i:])
+		}
+		views, err := b.Read(targets)
+		if err != nil {
+			return writeFrame(conn, respError, errorBody(err.Error()))
+		}
+		out := binary.LittleEndian.AppendUint16(nil, uint16(len(views)))
+		for _, v := range views {
+			out = encodeView(out, v)
+		}
+		return writeFrame(conn, respRead, out)
+	case opWrite:
+		if len(body) < 4 {
+			return writeFrame(conn, respError, errorBody("short write request"))
+		}
+		user := binary.LittleEndian.Uint32(body[0:4])
+		seq, err := b.Write(user, body[4:])
+		if err != nil {
+			return writeFrame(conn, respError, errorBody(err.Error()))
+		}
+		return writeFrame(conn, respWrite, binary.LittleEndian.AppendUint64(nil, seq))
+	case opBrokerStats:
+		st := b.Stats()
+		var out []byte
+		for _, v := range []int64{st.Reads, st.Writes, st.Replicated, st.Evicted, st.Misses} {
+			out = binary.LittleEndian.AppendUint64(out, uint64(v))
+		}
+		return writeFrame(conn, respStats, out)
+	default:
+		return writeFrame(conn, respError, errorBody("unknown op"))
+	}
+}
+
+// Close stops the broker: listener, controller, server connections, and the
+// persistent store.
+func (b *Broker) Close() error {
+	if b.closed.Swap(true) {
+		return nil
+	}
+	close(b.stop)
+	<-b.done
+	err := b.ln.Close()
+	b.connMu.Lock()
+	for conn := range b.active {
+		conn.Close()
+	}
+	b.connMu.Unlock()
+	b.conns.Wait()
+	for _, sc := range b.servers {
+		sc.close()
+	}
+	if cerr := b.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client talks the paper's API (§3.1) to a broker: Read(u, L) fetches the
+// views of the users in L; Write(u) publishes a new event to u's view. It is
+// safe for concurrent use; requests are serialized on one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a broker.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial broker: %w", err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+func (c *Client) roundTrip(msgType uint8, body []byte) (uint8, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, msgType, body); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(c.conn)
+}
+
+// Write publishes an event produced by user and returns its sequence number.
+func (c *Client) Write(user uint32, payload []byte) (uint64, error) {
+	body := binary.LittleEndian.AppendUint32(nil, user)
+	body = append(body, payload...)
+	respType, respBody, err := c.roundTrip(opWrite, body)
+	if err != nil {
+		return 0, err
+	}
+	switch respType {
+	case respWrite:
+		if len(respBody) < 8 {
+			return 0, ErrBadFrame
+		}
+		return binary.LittleEndian.Uint64(respBody), nil
+	case respError:
+		return 0, asRemoteError(respBody)
+	default:
+		return 0, ErrBadFrame
+	}
+}
+
+// Read fetches the views of every user in targets, in order.
+func (c *Client) Read(targets []uint32) ([]View, error) {
+	body := binary.LittleEndian.AppendUint16(nil, uint16(len(targets)))
+	for _, u := range targets {
+		body = binary.LittleEndian.AppendUint32(body, u)
+	}
+	respType, respBody, err := c.roundTrip(opRead, body)
+	if err != nil {
+		return nil, err
+	}
+	switch respType {
+	case respRead:
+		if len(respBody) < 2 {
+			return nil, ErrBadFrame
+		}
+		count := int(binary.LittleEndian.Uint16(respBody[0:2]))
+		rest := respBody[2:]
+		views := make([]View, 0, count)
+		for i := 0; i < count; i++ {
+			var v View
+			v, rest, err = decodeView(rest)
+			if err != nil {
+				return nil, err
+			}
+			views = append(views, v)
+		}
+		return views, nil
+	case respError:
+		return nil, asRemoteError(respBody)
+	default:
+		return nil, ErrBadFrame
+	}
+}
+
+// Stats fetches the broker's counters.
+func (c *Client) Stats() (BrokerStats, error) {
+	respType, body, err := c.roundTrip(opBrokerStats, nil)
+	if err != nil {
+		return BrokerStats{}, err
+	}
+	if respType != respStats || len(body) < 40 {
+		return BrokerStats{}, ErrBadFrame
+	}
+	return BrokerStats{
+		Reads:      int64(binary.LittleEndian.Uint64(body[0:8])),
+		Writes:     int64(binary.LittleEndian.Uint64(body[8:16])),
+		Replicated: int64(binary.LittleEndian.Uint64(body[16:24])),
+		Evicted:    int64(binary.LittleEndian.Uint64(body[24:32])),
+		Misses:     int64(binary.LittleEndian.Uint64(body[32:40])),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

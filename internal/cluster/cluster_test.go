@@ -1,0 +1,385 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testCluster spins up n cache servers and one broker on ephemeral ports.
+func testCluster(t *testing.T, n int, tweak func(*BrokerConfig)) (*Broker, []*Server, *Client) {
+	t.Helper()
+	var servers []*Server
+	var addrs []string
+	for i := 0; i < n; i++ {
+		s, err := NewServer("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		servers = append(servers, s)
+		addrs = append(addrs, s.Addr())
+	}
+	cfg := BrokerConfig{
+		Addr:        "127.0.0.1:0",
+		ServerAddrs: addrs,
+		DataDir:     t.TempDir(),
+		Preferred:   -1,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	b, err := NewBroker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	c, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return b, servers, c
+}
+
+func TestWriteThenRead(t *testing.T) {
+	_, _, c := testCluster(t, 3, nil)
+	if _, err := c.Write(7, []byte("first post")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(7, []byte("second post")); err != nil {
+		t.Fatal(err)
+	}
+	views, err := c.Read([]uint32{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 {
+		t.Fatalf("views = %d, want 1", len(views))
+	}
+	v := views[0]
+	if len(v.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(v.Events))
+	}
+	if !bytes.Equal(v.Events[0], []byte("first post")) || !bytes.Equal(v.Events[1], []byte("second post")) {
+		t.Errorf("events out of order: %q, %q", v.Events[0], v.Events[1])
+	}
+}
+
+func TestReadManyUsers(t *testing.T) {
+	_, _, c := testCluster(t, 3, nil)
+	for u := uint32(0); u < 10; u++ {
+		if _, err := c.Write(u, []byte(fmt.Sprintf("by-%d", u))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	targets := []uint32{9, 0, 5, 3}
+	views, err := c.Read(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range views {
+		want := fmt.Sprintf("by-%d", targets[i])
+		if len(v.Events) != 1 || string(v.Events[0]) != want {
+			t.Errorf("view %d = %q, want %q", i, v.Events, want)
+		}
+	}
+}
+
+func TestReadEmptyViewOfUnknownUser(t *testing.T) {
+	_, _, c := testCluster(t, 2, nil)
+	views, err := c.Read([]uint32{12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 || len(views[0].Events) != 0 {
+		t.Errorf("unknown user view = %+v, want empty", views[0])
+	}
+}
+
+func TestSequenceNumbersIncrease(t *testing.T) {
+	_, _, c := testCluster(t, 2, nil)
+	var prev uint64
+	for i := 0; i < 5; i++ {
+		seq, err := c.Write(1, []byte("e"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && seq != prev+1 {
+			t.Errorf("seq %d after %d", seq, prev)
+		}
+		prev = seq
+	}
+}
+
+func TestViewsDistributedAcrossServers(t *testing.T) {
+	_, servers, c := testCluster(t, 3, nil)
+	for u := uint32(0); u < 30; u++ {
+		if _, err := c.Write(u, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range servers {
+		if s.NumViews() == 0 {
+			t.Errorf("server %d holds no views", i)
+		}
+	}
+}
+
+func TestCacheMissRefillsFromPersistentStore(t *testing.T) {
+	b, servers, c := testCluster(t, 2, nil)
+	if _, err := c.Write(4, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a cache-server wipe (crash without data loss thanks to WAL).
+	home := servers[b.home(4)]
+	home.mu.Lock()
+	delete(home.views, 4)
+	home.mu.Unlock()
+
+	views, err := c.Read([]uint32{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views[0].Events) != 1 || string(views[0].Events[0]) != "durable" {
+		t.Errorf("recovered view = %q, want durable event", views[0].Events)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses == 0 {
+		t.Error("expected a recorded cache miss")
+	}
+	// The view must be back in cache now.
+	if _, ok := func() (View, bool) {
+		home.mu.RLock()
+		defer home.mu.RUnlock()
+		v, ok := home.views[4]
+		return v, ok
+	}(); !ok {
+		t.Error("view not re-installed in cache after miss")
+	}
+}
+
+func TestBrokerRestartRecoversFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg := BrokerConfig{Addr: "127.0.0.1:0", ServerAddrs: []string{s.Addr()}, DataDir: dir, Preferred: -1}
+	b, err := NewBroker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write(9, []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := NewBroker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	v, err := b2.ReadOne(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Events) != 1 || string(v.Events[0]) != "survives" {
+		t.Errorf("view after broker restart = %q", v.Events)
+	}
+}
+
+func TestHotViewReplication(t *testing.T) {
+	b, servers, c := testCluster(t, 3, func(cfg *BrokerConfig) {
+		cfg.Preferred = 2
+		cfg.HotReads = 5
+		cfg.DecayEvery = time.Hour // no decay during the test
+	})
+	// User 0's home is server 0; hammer reads through the broker.
+	if _, err := c.Write(0, []byte("hot")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Read([]uint32{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.ReplicaCount(0); got < 2 {
+		t.Fatalf("hot view has %d replicas, want >= 2", got)
+	}
+	// The preferred server must now hold the view.
+	servers[2].mu.RLock()
+	_, ok := servers[2].views[0]
+	servers[2].mu.RUnlock()
+	if !ok {
+		t.Error("preferred server does not hold the hot view")
+	}
+	st := b.Stats()
+	if st.Replicated == 0 {
+		t.Error("no replication recorded")
+	}
+}
+
+func TestColdReplicaEviction(t *testing.T) {
+	b, servers, c := testCluster(t, 2, func(cfg *BrokerConfig) {
+		cfg.Preferred = 1
+		cfg.HotReads = 3
+		cfg.DecayEvery = 20 * time.Millisecond
+	})
+	if _, err := c.Write(0, []byte("flash")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := c.Read([]uint32{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.ReplicaCount(0); got != 2 {
+		t.Fatalf("replicas = %d, want 2 while hot", got)
+	}
+	// Go cold: decay passes halve the counter to zero, then evict.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if b.ReplicaCount(0) == 1 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := b.ReplicaCount(0); got != 1 {
+		t.Fatalf("replicas = %d after cooling down, want 1", got)
+	}
+	servers[1].mu.RLock()
+	_, still := servers[1].views[0]
+	servers[1].mu.RUnlock()
+	if still {
+		t.Error("cold replica not deleted from preferred server")
+	}
+}
+
+func TestWritesRefreshAllReplicas(t *testing.T) {
+	b, servers, c := testCluster(t, 3, func(cfg *BrokerConfig) {
+		cfg.Preferred = 2
+		cfg.HotReads = 2
+		cfg.DecayEvery = time.Hour
+	})
+	if _, err := c.Write(0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Read([]uint32{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.ReplicaCount(0) < 2 {
+		t.Fatal("replication did not trigger")
+	}
+	if _, err := c.Write(0, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, 2} {
+		servers[idx].mu.RLock()
+		v, ok := servers[idx].views[0]
+		servers[idx].mu.RUnlock()
+		if !ok {
+			t.Fatalf("server %d lost the view", idx)
+		}
+		if len(v.Events) != 2 || string(v.Events[1]) != "v2" {
+			t.Errorf("server %d stale after write: %q", idx, v.Events)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	b, _, _ := testCluster(t, 3, nil)
+	const workers = 8
+	const opsEach = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(b.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < opsEach; i++ {
+				u := uint32(w*opsEach + i)
+				if _, err := c.Write(u, []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Read([]uint32{u}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.Writes != workers*opsEach {
+		t.Errorf("writes = %d, want %d", st.Writes, workers*opsEach)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	_, servers, c := testCluster(t, 1, nil)
+	if _, err := c.Write(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read([]uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	sc := newServerConn(servers[0].Addr())
+	defer sc.close()
+	st, err := sc.stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Views != 1 || st.Puts == 0 || st.Hits == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBrokerValidation(t *testing.T) {
+	if _, err := NewBroker(BrokerConfig{Addr: "127.0.0.1:0", DataDir: t.TempDir()}); err == nil {
+		t.Error("broker without servers accepted")
+	}
+	if _, err := NewBroker(BrokerConfig{
+		Addr: "127.0.0.1:0", ServerAddrs: []string{"127.0.0.1:1"}, DataDir: t.TempDir(), Preferred: 5,
+	}); err == nil {
+		t.Error("out-of-range preferred server accepted")
+	}
+}
+
+func TestProtocolViewRoundTrip(t *testing.T) {
+	v := View{Version: 42, Events: [][]byte{[]byte("a"), {}, []byte("ccc")}}
+	buf := encodeView(nil, v)
+	got, rest, err := decodeView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("trailing bytes: %d", len(rest))
+	}
+	if got.Version != 42 || len(got.Events) != 3 || string(got.Events[2]) != "ccc" {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if _, _, err := decodeView([]byte{1, 2}); err == nil {
+		t.Error("short view accepted")
+	}
+}

@@ -1,0 +1,132 @@
+// Package cluster is a runnable multi-node implementation of the DynaSoRe
+// API (§3.1) on real TCP sockets: cache servers hold views in memory,
+// brokers execute Read(u, L)/Write(u) against them, a WAL-backed persistent
+// store guarantees durability (§3.3), and a broker-side controller
+// replicates hot views next to their readers in the spirit of §3.2. It is
+// the drop-in-for-memcache prototype the paper describes, sized to run on a
+// single machine with one process per node.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message types of the wire protocol. Frames are
+// uint32(length) | uint8(type) | body, little endian throughout.
+const (
+	// Broker <-> cache server.
+	opGetView uint8 = iota + 1
+	opPutView
+	opDeleteView
+	opServerStats
+	// Client <-> broker.
+	opRead
+	opWrite
+	opBrokerStats
+	// Responses.
+	respView
+	respMiss
+	respOK
+	respRead
+	respWrite
+	respStats
+	respError
+)
+
+const (
+	maxFrame    = 16 << 20 // 16 MiB
+	maxEventLen = 1 << 20
+)
+
+// Errors returned by protocol helpers and clients.
+var (
+	ErrFrameTooLarge = errors.New("cluster: frame exceeds limit")
+	ErrBadFrame      = errors.New("cluster: malformed frame")
+	ErrRemote        = errors.New("cluster: remote error")
+)
+
+// writeFrame sends one framed message.
+func writeFrame(w io.Writer, msgType uint8, body []byte) error {
+	if len(body)+1 > maxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)+1))
+	hdr[4] = msgType
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame receives one framed message.
+func readFrame(r io.Reader) (uint8, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[0:4])
+	if size == 0 || size > maxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	body := make([]byte, size-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], body, nil
+}
+
+// View is a producer-pivoted view: the user's latest events, oldest first,
+// plus a version (the WAL sequence number of the newest event).
+type View struct {
+	Version uint64
+	Events  [][]byte
+}
+
+// encodeView appends a view's wire form to buf.
+func encodeView(buf []byte, v View) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, v.Version)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(v.Events)))
+	for _, e := range v.Events {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e)))
+		buf = append(buf, e...)
+	}
+	return buf
+}
+
+// decodeView parses a view and returns the remaining bytes.
+func decodeView(b []byte) (View, []byte, error) {
+	if len(b) < 10 {
+		return View{}, nil, ErrBadFrame
+	}
+	v := View{Version: binary.LittleEndian.Uint64(b[0:8])}
+	count := int(binary.LittleEndian.Uint16(b[8:10]))
+	b = b[10:]
+	v.Events = make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 4 {
+			return View{}, nil, ErrBadFrame
+		}
+		n := binary.LittleEndian.Uint32(b[0:4])
+		if n > maxEventLen || len(b) < 4+int(n) {
+			return View{}, nil, ErrBadFrame
+		}
+		ev := make([]byte, n)
+		copy(ev, b[4:4+n])
+		v.Events = append(v.Events, ev)
+		b = b[4+n:]
+	}
+	return v, b, nil
+}
+
+// errorBody builds a respError payload.
+func errorBody(msg string) []byte { return []byte(msg) }
+
+// asRemoteError converts a respError payload into an error.
+func asRemoteError(body []byte) error {
+	return fmt.Errorf("%w: %s", ErrRemote, string(body))
+}

@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Server is one in-memory cache node: it stores view replicas keyed by user
+// and serves gets/puts from brokers. Views live only in memory — durability
+// is the persistent store's job, exactly as in the paper.
+type Server struct {
+	mu    sync.RWMutex
+	views map[uint32]View
+
+	ln     net.Listener
+	conns  sync.WaitGroup
+	connMu sync.Mutex
+	active map[net.Conn]struct{}
+	closed atomic.Bool
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+}
+
+// NewServer starts a cache server listening on addr (use "127.0.0.1:0" for
+// an ephemeral port).
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	s := &Server{views: make(map[uint32]View), ln: ln, active: make(map[net.Conn]struct{})}
+	s.conns.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.conns.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connMu.Lock()
+		s.active[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.active, conn)
+				s.connMu.Unlock()
+				conn.Close()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		msgType, body, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if err := s.handle(conn, msgType, body); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(conn net.Conn, msgType uint8, body []byte) error {
+	switch msgType {
+	case opGetView:
+		if len(body) < 4 {
+			return writeFrame(conn, respError, errorBody("short get"))
+		}
+		user := binary.LittleEndian.Uint32(body[0:4])
+		s.mu.RLock()
+		v, ok := s.views[user]
+		s.mu.RUnlock()
+		if !ok {
+			s.misses.Add(1)
+			return writeFrame(conn, respMiss, nil)
+		}
+		s.hits.Add(1)
+		return writeFrame(conn, respView, encodeView(nil, v))
+	case opPutView:
+		if len(body) < 4 {
+			return writeFrame(conn, respError, errorBody("short put"))
+		}
+		user := binary.LittleEndian.Uint32(body[0:4])
+		v, _, err := decodeView(body[4:])
+		if err != nil {
+			return writeFrame(conn, respError, errorBody(err.Error()))
+		}
+		s.mu.Lock()
+		// Never go backwards: an out-of-order put of an older version must
+		// not clobber a newer view.
+		if cur, ok := s.views[user]; !ok || v.Version >= cur.Version {
+			s.views[user] = v
+		}
+		s.mu.Unlock()
+		s.puts.Add(1)
+		return writeFrame(conn, respOK, nil)
+	case opDeleteView:
+		if len(body) < 4 {
+			return writeFrame(conn, respError, errorBody("short delete"))
+		}
+		user := binary.LittleEndian.Uint32(body[0:4])
+		s.mu.Lock()
+		delete(s.views, user)
+		s.mu.Unlock()
+		return writeFrame(conn, respOK, nil)
+	case opServerStats:
+		var buf []byte
+		s.mu.RLock()
+		n := len(s.views)
+		s.mu.RUnlock()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.hits.Load()))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.misses.Load()))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.puts.Load()))
+		return writeFrame(conn, respStats, buf)
+	default:
+		return writeFrame(conn, respError, errorBody("unknown op"))
+	}
+}
+
+// NumViews returns how many views the server currently holds.
+func (s *Server) NumViews() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.views)
+}
+
+// Close stops the listener, drops every open connection, and waits for the
+// connection handlers to exit.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.active {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.conns.Wait()
+	return err
+}
+
+// ServerStats summarizes one cache server.
+type ServerStats struct {
+	Views  int
+	Hits   int64
+	Misses int64
+	Puts   int64
+}
+
+// serverConn is a pooled request/response connection to one cache server.
+type serverConn struct {
+	mu   sync.Mutex
+	addr string
+	conn net.Conn
+}
+
+func newServerConn(addr string) *serverConn { return &serverConn{addr: addr} }
+
+// roundTrip sends one request and reads one response, redialing once on
+// connection failure.
+func (c *serverConn) roundTrip(msgType uint8, body []byte) (uint8, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.conn == nil {
+			conn, err := net.Dial("tcp", c.addr)
+			if err != nil {
+				return 0, nil, fmt.Errorf("cluster: dial %s: %w", c.addr, err)
+			}
+			c.conn = conn
+		}
+		if err := writeFrame(c.conn, msgType, body); err != nil {
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		respType, respBody, err := readFrame(c.conn)
+		if err != nil {
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		return respType, respBody, nil
+	}
+	return 0, nil, fmt.Errorf("cluster: %s unreachable after retry", c.addr)
+}
+
+func (c *serverConn) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// getView fetches a view from the server; ok is false on a cache miss.
+func (c *serverConn) getView(user uint32) (View, bool, error) {
+	body := binary.LittleEndian.AppendUint32(nil, user)
+	respType, respBody, err := c.roundTrip(opGetView, body)
+	if err != nil {
+		return View{}, false, err
+	}
+	switch respType {
+	case respView:
+		v, _, err := decodeView(respBody)
+		return v, true, err
+	case respMiss:
+		return View{}, false, nil
+	case respError:
+		return View{}, false, asRemoteError(respBody)
+	default:
+		return View{}, false, ErrBadFrame
+	}
+}
+
+// putView installs a view replica on the server.
+func (c *serverConn) putView(user uint32, v View) error {
+	body := binary.LittleEndian.AppendUint32(nil, user)
+	body = encodeView(body, v)
+	respType, respBody, err := c.roundTrip(opPutView, body)
+	if err != nil {
+		return err
+	}
+	if respType == respError {
+		return asRemoteError(respBody)
+	}
+	if respType != respOK {
+		return ErrBadFrame
+	}
+	return nil
+}
+
+// deleteView removes a replica from the server.
+func (c *serverConn) deleteView(user uint32) error {
+	body := binary.LittleEndian.AppendUint32(nil, user)
+	respType, respBody, err := c.roundTrip(opDeleteView, body)
+	if err != nil {
+		return err
+	}
+	if respType == respError {
+		return asRemoteError(respBody)
+	}
+	if respType != respOK {
+		return ErrBadFrame
+	}
+	return nil
+}
+
+// stats fetches server statistics.
+func (c *serverConn) stats() (ServerStats, error) {
+	respType, body, err := c.roundTrip(opServerStats, nil)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	if respType != respStats || len(body) < 28 {
+		return ServerStats{}, ErrBadFrame
+	}
+	return ServerStats{
+		Views:  int(binary.LittleEndian.Uint32(body[0:4])),
+		Hits:   int64(binary.LittleEndian.Uint64(body[4:12])),
+		Misses: int64(binary.LittleEndian.Uint64(body[12:20])),
+		Puts:   int64(binary.LittleEndian.Uint64(body[20:28])),
+	}, nil
+}

@@ -1,0 +1,175 @@
+package dynasore
+
+import (
+	"testing"
+
+	"dynasore/internal/placement"
+	"dynasore/internal/socialgraph"
+	"dynasore/internal/topology"
+	"dynasore/internal/trace"
+)
+
+// ablationRun replays two days of synthetic traffic and returns the
+// second-day top-switch traffic normalized to the initial-placement static
+// equivalent (lower is better).
+func ablationRun(b *testing.B, cfg Config) float64 {
+	b.Helper()
+	g, err := socialgraph.Facebook(800, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := topology.NewTree(3, 3, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	log, err := trace.Synthetic(g, trace.DefaultSynthetic(2), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := placement.Random(g, topo, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// replay runs the whole log and returns second-day top traffic only
+	// (the first day is convergence warmup).
+	replay := func(read func(int64, socialgraph.UserID), write func(int64, socialgraph.UserID),
+		tick func(int64), tr *topology.Traffic) int64 {
+		next := int64(3600)
+		reset := false
+		for _, r := range log.Requests {
+			for next <= r.At {
+				tick(next)
+				next += 3600
+			}
+			if !reset && r.At >= trace.SecondsPerDay {
+				tr.Reset()
+				reset = true
+			}
+			if r.Kind == trace.OpRead {
+				read(r.At, r.User)
+			} else {
+				write(r.At, r.User)
+			}
+		}
+		return tr.TopTotal()
+	}
+
+	trStatic := topology.NewTraffic(topo)
+	static, err := placement.NewStaticStore(g, topo, trStatic, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	staticTop := replay(static.Read, static.Write, static.Tick, trStatic)
+
+	cfg.ExtraMemoryPct = 50
+	trDyn := topology.NewTraffic(topo)
+	dyn, err := New(g, topo, trDyn, a, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dynTop := replay(dyn.Read, dyn.Write, dyn.Tick, trDyn)
+	return float64(dynTop) / float64(staticTop)
+}
+
+// BenchmarkAblationFull measures the complete system (replication +
+// migration + proxy migration) against static Random.
+func BenchmarkAblationFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := ablationRun(b, Config{})
+		if i == 0 {
+			b.ReportMetric(r, "top-vs-random")
+		}
+	}
+}
+
+// BenchmarkAblationNoProxyMigration pins proxies to their initial brokers.
+func BenchmarkAblationNoProxyMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := ablationRun(b, Config{DisableProxyMigration: true})
+		if i == 0 {
+			b.ReportMetric(r, "top-vs-random")
+		}
+	}
+}
+
+// BenchmarkAblationNoMigration disables Algorithm 3 view migration.
+func BenchmarkAblationNoMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := ablationRun(b, Config{DisableMigration: true})
+		if i == 0 {
+			b.ReportMetric(r, "top-vs-random")
+		}
+	}
+}
+
+// BenchmarkAblationNoReplication disables Algorithm 2 replica creation.
+func BenchmarkAblationNoReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := ablationRun(b, Config{DisableReplication: true})
+		if i == 0 {
+			b.ReportMetric(r, "top-vs-random")
+		}
+	}
+}
+
+// BenchmarkAblationShortWindow halves the rotating-counter window (12 × 1h)
+// to probe sensitivity to the statistics horizon.
+func BenchmarkAblationShortWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := ablationRun(b, Config{Slots: 12})
+		if i == 0 {
+			b.ReportMetric(r, "top-vs-random")
+		}
+	}
+}
+
+// BenchmarkReadPath measures the per-request cost of the full DynaSoRe read
+// path (routing, statistics, replication evaluation).
+func BenchmarkReadPath(b *testing.B) {
+	g, err := socialgraph.Facebook(800, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := topology.NewTree(3, 3, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := topology.NewTraffic(topo)
+	a, err := placement.Random(g, topo, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(g, topo, tr, a, Config{ExtraMemoryPct: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Read(int64(i), socialgraph.UserID(i%g.NumUsers()))
+	}
+}
+
+// BenchmarkWritePath measures the per-request cost of the write path.
+func BenchmarkWritePath(b *testing.B) {
+	g, err := socialgraph.Facebook(800, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := topology.NewTree(3, 3, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := topology.NewTraffic(topo)
+	a, err := placement.Random(g, topo, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(g, topo, tr, a, Config{ExtraMemoryPct: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Write(int64(i), socialgraph.UserID(i%g.NumUsers()))
+	}
+}

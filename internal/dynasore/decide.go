@@ -1,0 +1,422 @@
+package dynasore
+
+import (
+	"dynasore/internal/sim"
+	"dynasore/internal/socialgraph"
+	"dynasore/internal/stats"
+	"dynasore/internal/topology"
+)
+
+// exchangeWeight is the traffic of one request/answer pair per switch hop:
+// two application messages of weight AppWeight. Utilities, profits, and
+// admission thresholds are all expressed in these traffic-per-hour units so
+// they can be compared against one-time transfer costs directly.
+const exchangeWeight = 2 * sim.AppWeight
+
+// estimateProfit is Algorithm 1: the network benefit of serving this
+// replica's recorded reads from candidate instead of alternative, minus the
+// write-maintenance cost of a copy at candidate. alternative ==
+// topology.NoMachine means the reads have nowhere else to go, which makes
+// the profit of keeping the sole copy unbounded.
+//
+// hours is the effective observation window of the statistics; profits are
+// normalized to traffic-per-hour so that young replicas (with partially
+// filled windows) and seasoned ones are comparable against the same
+// admission thresholds.
+func (s *Store) estimateProfit(origins []stats.OriginReads, writes int64,
+	u socialgraph.UserID, candidate, alternative topology.MachineID, hours float64) float64 {
+	if alternative == topology.NoMachine {
+		return infUtility
+	}
+	var candCost, altCost int64
+	for _, or := range origins {
+		candCost += or.Reads * int64(s.topo.OriginCost(or.Origin, candidate))
+		altCost += or.Reads * int64(s.topo.OriginCost(or.Origin, alternative))
+	}
+	writeCost := writes * int64(s.topo.Distance(s.writeProxy[u], candidate))
+	return float64(exchangeWeight*(altCost-candCost-writeCost)) / hours
+}
+
+// effectiveHours returns the span of data actually inside a replica's
+// rotating window, in hours, clamped below to keep early estimates finite.
+func (s *Store) effectiveHours(rep *replica, now int64) float64 {
+	window := float64(s.cfg.Slots * int(s.cfg.SlotSeconds))
+	age := float64(now - rep.createdAt)
+	if age > window {
+		age = window
+	}
+	if age < 600 {
+		age = 600
+	}
+	return age / 3600
+}
+
+// utilityOf returns the current utility of u's replica on srv: the profit of
+// keeping it versus routing its readers to the next-closest replica.
+func (s *Store) utilityOf(now int64, u socialgraph.UserID, srv topology.MachineID, rep *replica) float64 {
+	if len(s.replicas[u]) <= s.cfg.MinReplicas {
+		// At or below the configured durability floor: never evictable.
+		return infUtility
+	}
+	nearest := s.nearestOtherReplica(u, srv)
+	if nearest == topology.NoMachine {
+		return infUtility
+	}
+	origins := rep.log.ReadsByOrigin(now)
+	writes := rep.log.Writes(now)
+	return s.estimateProfit(origins, writes, u, srv, nearest, s.effectiveHours(rep, now))
+}
+
+// nearestOtherReplica returns the replica of u closest to srv excluding srv
+// itself, or NoMachine if srv holds the only copy.
+func (s *Store) nearestOtherReplica(u socialgraph.UserID, srv topology.MachineID) topology.MachineID {
+	best := topology.NoMachine
+	bestDist := int(^uint(0) >> 1)
+	for _, r := range s.replicas[u] {
+		if r == srv {
+			continue
+		}
+		d := s.topo.Distance(srv, r)
+		if d < bestDist || (d == bestDist && (best == topology.NoMachine || r < best)) {
+			best, bestDist = r, d
+		}
+	}
+	return best
+}
+
+// evaluate runs Algorithms 2 and 3 for u's replica on srv after an access:
+// first try to create an additional replica near a hot origin; failing
+// that, consider migrating or dropping this replica.
+func (s *Store) evaluate(now int64, u socialgraph.UserID, srv topology.MachineID, rep *replica) {
+	if now-rep.createdAt < s.cfg.GraceSeconds {
+		return
+	}
+	if !s.cfg.DisableReplication && s.evaluateReplication(now, u, srv, rep) {
+		return
+	}
+	if !s.cfg.DisableMigration {
+		s.evaluateMigration(now, u, srv, rep)
+	}
+}
+
+// evaluateReplication is Algorithm 2: for every recorded read origin,
+// estimate the profit of a new replica on the least-loaded server of that
+// origin's subtree, taking this replica as the readers' alternative. The
+// best candidate above both the local best and the target's admission
+// threshold wins; the write proxy then creates the replica.
+func (s *Store) evaluateReplication(now int64, u socialgraph.UserID, srv topology.MachineID, rep *replica) bool {
+	origins := rep.log.ReadsByOrigin(now)
+	if len(origins) == 0 {
+		return false
+	}
+	writes := rep.log.Writes(now)
+	hours := s.effectiveHours(rep, now)
+	bestProfit := 0.0
+	bestTarget := topology.NoMachine
+	var bestOrigin topology.Origin
+	for _, or := range origins {
+		if s.hasReplicaNear(u, or.Origin) {
+			// A copy already serves this subtree; the window still holds
+			// reads recorded before it was created.
+			continue
+		}
+		cand, floor := s.admissionTarget(or.Origin, u)
+		if cand == topology.NoMachine || cand == srv {
+			continue
+		}
+		// The new replica captures the reads of its own origin; those reads
+		// currently pay OriginCost(origin, srv).
+		gain := or.Reads * int64(s.topo.OriginCost(or.Origin, srv)-s.topo.OriginCost(or.Origin, cand))
+		writeCost := writes * int64(s.topo.Distance(s.writeProxy[u], cand))
+		profit := float64(exchangeWeight*(gain-writeCost)) / hours
+		// The copy itself costs a data-sized transfer; reject replicas whose
+		// gain cannot amortize it within the payback horizon. This filters
+		// out the marginal replicas that would otherwise crowd out
+		// high-value placements at small per-server capacities.
+		oneTime := float64(sim.AppWeight * s.topo.Distance(s.writeProxy[u], cand))
+		if profit*s.cfg.PaybackHours < oneTime {
+			continue
+		}
+		bar := s.thresholdNear(or.Origin)
+		if floor > bar {
+			bar = floor
+		}
+		bar = bar*(1+s.cfg.AdmissionMargin) + s.cfg.AdmissionEpsilon
+		if profit > bar && profit > bestProfit {
+			bestProfit, bestTarget, bestOrigin = profit, cand, or.Origin
+		}
+	}
+	if bestTarget == topology.NoMachine {
+		return false
+	}
+	if !s.createReplica(now, u, srv, bestTarget, bestProfit) {
+		return false
+	}
+	// The new copy will absorb this origin's reads; forget them here so the
+	// stale window does not trigger duplicate replicas.
+	rep.log.ClearOrigin(bestOrigin)
+	return true
+}
+
+// hasReplicaNear reports whether u already has a replica inside the subtree
+// an origin denotes.
+func (s *Store) hasReplicaNear(u socialgraph.UserID, origin topology.Origin) bool {
+	if m, ok := topology.OriginMachine(origin); ok {
+		for _, r := range s.replicas[u] {
+			if r == m {
+				return true
+			}
+		}
+		return false
+	}
+	sw := topology.SwitchID(origin)
+	rackLevel := s.topo.SwitchLevel(sw) == topology.LevelRack
+	for _, r := range s.replicas[u] {
+		m := s.topo.Machine(r)
+		if rackLevel {
+			if m.Rack == sw {
+				return true
+			}
+		} else if m.Inter == sw {
+			return true
+		}
+	}
+	return false
+}
+
+// evaluateMigration is Algorithm 3: when no replica can be created, compare
+// the utility of keeping this replica here against placing it near each read
+// origin (readers falling back to the next-closest replica either way).
+// A negative best utility removes the replica outright.
+func (s *Store) evaluateMigration(now int64, u socialgraph.UserID, srv topology.MachineID, rep *replica) {
+	if now-rep.createdAt < s.cfg.DecisionSeconds {
+		return // not enough data to act on yet
+	}
+	origins := rep.log.ReadsByOrigin(now)
+	writes := rep.log.Writes(now)
+	hours := s.effectiveHours(rep, now)
+	nearest := s.nearestOtherReplica(u, srv)
+	sole := nearest == topology.NoMachine
+	var bestProfit float64
+	if sole {
+		// A sole replica cannot be scored against an alternative; compare
+		// total service cost here versus at each candidate.
+		bestProfit = 0
+	} else {
+		bestProfit = s.estimateProfit(origins, writes, u, srv, nearest, hours)
+	}
+	bestPos := srv
+	bestFloor := 0.0
+	for _, or := range origins {
+		if !sole && s.hasReplicaNear(u, or.Origin) {
+			continue
+		}
+		cand, floor := s.admissionTarget(or.Origin, u)
+		if cand == topology.NoMachine || cand == srv {
+			continue
+		}
+		var profit float64
+		if sole {
+			// Gain of moving the only copy: all recorded reads and writes
+			// follow it.
+			var here, there int64
+			for _, o2 := range origins {
+				here += o2.Reads * int64(s.topo.OriginCost(o2.Origin, srv))
+				there += o2.Reads * int64(s.topo.OriginCost(o2.Origin, cand))
+			}
+			here += writes * int64(s.topo.Distance(s.writeProxy[u], srv))
+			there += writes * int64(s.topo.Distance(s.writeProxy[u], cand))
+			profit = float64(exchangeWeight*(here-there)) / hours
+		} else {
+			profit = s.estimateProfit(origins, writes, u, cand, nearest, hours)
+		}
+		bar := s.thresholdNear(or.Origin)
+		if floor > bar {
+			bar = floor
+		}
+		if profit > bestProfit && profit > bar*(1+s.cfg.AdmissionMargin)+s.cfg.AdmissionEpsilon {
+			bestProfit, bestPos, bestFloor = profit, cand, floor
+		}
+	}
+	if !sole && bestProfit < 0 {
+		s.ops.RemovesAlg3++
+		s.removeReplica(now, u, srv)
+		return
+	}
+	if bestPos != srv {
+		_ = bestFloor
+		s.migrateReplica(now, u, srv, bestPos)
+	}
+}
+
+// admissionTarget picks where a new replica of u could land near origin:
+// the least-loaded server with free space, or failing that the server whose
+// weakest evictable view is cheapest to displace. floor is the utility the
+// newcomer must beat (0 for free space).
+func (s *Store) admissionTarget(origin topology.Origin, u socialgraph.UserID) (target topology.MachineID, floor float64) {
+	bestFree := topology.NoMachine
+	bestLoad := int(^uint(0) >> 1)
+	bestFull := topology.NoMachine
+	bestFloor := infUtility
+	for _, cand := range s.topo.CandidateServersNear(origin) {
+		if _, holds := s.serverViews[cand][u]; holds {
+			continue
+		}
+		if s.load[cand] < s.capacity[cand] {
+			if s.load[cand] < bestLoad || (s.load[cand] == bestLoad && cand < bestFree) {
+				bestFree, bestLoad = cand, s.load[cand]
+			}
+			continue
+		}
+		if f := s.evictFloor[cand]; f < bestFloor || (f == bestFloor && cand < bestFull) {
+			bestFull, bestFloor = cand, f
+		}
+	}
+	if bestFree != topology.NoMachine {
+		return bestFree, 0
+	}
+	return bestFull, bestFloor
+}
+
+// thresholdNear returns the disseminated admission threshold of the
+// origin's subtree (the lowest threshold among its servers, as brokers
+// piggyback it through the cluster).
+func (s *Store) thresholdNear(origin topology.Origin) float64 {
+	if m, ok := topology.OriginMachine(origin); ok {
+		return s.thresholds[m]
+	}
+	return s.minThrNear[origin]
+}
+
+// createReplica copies u's view onto target. The serving replica asks the
+// write proxy (control message), the proxy ships the view (data-sized
+// system message) and updates the routing tables of affected brokers.
+// createReplica copies u's view onto target, displacing the target's
+// weakest evictable view if it is full. It reports whether the replica was
+// actually created.
+func (s *Store) createReplica(now int64, u socialgraph.UserID, from, target topology.MachineID, estRate float64) bool {
+	if !s.ensureRoom(now, target) {
+		return false
+	}
+	wp := s.writeProxy[u]
+	s.ops.ReplicaCreates++
+	s.traffic.Record(from, wp, sim.CtlWeight, true)
+	s.traffic.Record(wp, target, sim.AppWeight, true)
+	old := s.snapshotReplicas(u)
+	s.replicas[u] = append(s.replicas[u], target)
+	rep := s.newReplica(now)
+	rep.estRate = estRate
+	s.serverViews[target][u] = rep
+	s.load[target]++
+	s.notifyRoutingChange(u, old)
+	return true
+}
+
+// ensureRoom frees one slot on target when it is full by evicting its
+// weakest multi-replica view (the swap-on-admission form of §3.2 eviction).
+func (s *Store) ensureRoom(now int64, target topology.MachineID) bool {
+	if s.load[target] < s.capacity[target] {
+		return true
+	}
+	victim, util := s.weakestEvictable(now, target)
+	if victim < 0 {
+		return false
+	}
+	s.ops.RemovesEvict++
+	s.removeReplica(now, socialgraph.UserID(victim), target)
+	s.evictFloor[target] = util
+	return true
+}
+
+// weakestEvictable returns the lowest-utility view on srv that has more
+// copies than the durability floor, or -1 if none can be evicted.
+func (s *Store) weakestEvictable(now int64, srv topology.MachineID) (int32, float64) {
+	victim := int32(-1)
+	worst := infUtility
+	for u, rep := range s.serverViews[srv] {
+		if len(s.replicas[u]) <= s.cfg.MinReplicas {
+			continue
+		}
+		var util float64
+		if now-rep.createdAt < s.cfg.GraceSeconds {
+			util = rep.estRate
+		} else {
+			util = s.utilityOf(now, u, srv, rep)
+		}
+		if util < worst || (util == worst && (victim == -1 || int32(u) < victim)) {
+			victim, worst = int32(u), util
+		}
+	}
+	return victim, worst
+}
+
+// removeReplica drops u's replica from srv, synchronizing through the write
+// proxy so at least one copy always survives.
+func (s *Store) removeReplica(now int64, u socialgraph.UserID, srv topology.MachineID) {
+	if len(s.replicas[u]) <= 1 {
+		return
+	}
+	wp := s.writeProxy[u]
+	s.ops.ReplicaRemoves++
+	s.traffic.Record(srv, wp, sim.CtlWeight, true)
+	s.traffic.Record(wp, srv, sim.CtlWeight, true)
+	old := s.snapshotReplicas(u)
+	s.dropReplicaState(u, srv)
+	s.notifyRoutingChange(u, old)
+}
+
+// migrateReplica moves u's replica from srv to target in one step.
+func (s *Store) migrateReplica(now int64, u socialgraph.UserID, srv, target topology.MachineID) {
+	if !s.ensureRoom(now, target) {
+		return
+	}
+	wp := s.writeProxy[u]
+	s.ops.ReplicaMigrations++
+	s.traffic.Record(srv, wp, sim.CtlWeight, true)
+	s.traffic.Record(wp, target, sim.AppWeight, true)
+	s.traffic.Record(wp, srv, sim.CtlWeight, true)
+	old := s.snapshotReplicas(u)
+	s.dropReplicaState(u, srv)
+	s.replicas[u] = append(s.replicas[u], target)
+	rep := s.newReplica(now)
+	rep.estRate = infUtility // a migrated sole copy must never be evicted
+	if len(s.replicas[u]) > 1 {
+		rep.estRate = 0
+	}
+	s.serverViews[target][u] = rep
+	s.load[target]++
+	s.notifyRoutingChange(u, old)
+}
+
+func (s *Store) dropReplicaState(u socialgraph.UserID, srv topology.MachineID) {
+	reps := s.replicas[u]
+	for i, r := range reps {
+		if r == srv {
+			reps[i] = reps[len(reps)-1]
+			s.replicas[u] = reps[:len(reps)-1]
+			break
+		}
+	}
+	delete(s.serverViews[srv], u)
+	s.load[srv]--
+}
+
+func (s *Store) snapshotReplicas(u socialgraph.UserID) []topology.MachineID {
+	s.scratchOld = append(s.scratchOld[:0], s.replicas[u]...)
+	return s.scratchOld
+}
+
+// notifyRoutingChange charges one control message from the write proxy to
+// every broker whose closest replica of u changed (§3.2 "Routing tables":
+// the routing policy is deterministic, so only affected brokers are
+// notified).
+func (s *Store) notifyRoutingChange(u socialgraph.UserID, old []topology.MachineID) {
+	wp := s.writeProxy[u]
+	for _, b := range s.topo.Brokers() {
+		before := s.topo.ClosestOf(b, old)
+		after := s.topo.ClosestOf(b, s.replicas[u])
+		if before != after {
+			s.traffic.Record(wp, b, sim.CtlWeight, true)
+		}
+	}
+}

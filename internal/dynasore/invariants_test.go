@@ -1,0 +1,166 @@
+package dynasore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynasore/internal/placement"
+	"dynasore/internal/socialgraph"
+	"dynasore/internal/topology"
+)
+
+// checkInvariants verifies the structural invariants that must hold after
+// any interleaving of operations:
+//  1. every user has at least one replica;
+//  2. replicas[u] and serverViews agree exactly;
+//  3. per-server load equals the stored view count and never exceeds
+//     capacity;
+//  4. replica sets contain no duplicates;
+//  5. proxies are brokers.
+func checkInvariants(t *testing.T, s *Store, g *socialgraph.Graph, topo *topology.Topology) {
+	t.Helper()
+	loadCheck := make(map[topology.MachineID]int)
+	for u := 0; u < g.NumUsers(); u++ {
+		uid := socialgraph.UserID(u)
+		if len(s.replicas[uid]) < 1 {
+			t.Fatalf("user %d has no replicas", u)
+		}
+		seen := map[topology.MachineID]bool{}
+		for _, srv := range s.replicas[uid] {
+			if seen[srv] {
+				t.Fatalf("user %d has duplicate replica on %d", u, srv)
+			}
+			seen[srv] = true
+			if s.serverViews[srv] == nil {
+				t.Fatalf("user %d stored on unmanaged machine %d", u, srv)
+			}
+			if _, ok := s.serverViews[srv][uid]; !ok {
+				t.Fatalf("user %d: replica list and server state disagree on %d", u, srv)
+			}
+			loadCheck[srv]++
+		}
+		if !topo.Machine(s.readProxy[uid]).IsBroker() || !topo.Machine(s.writeProxy[uid]).IsBroker() {
+			t.Fatalf("user %d proxy on non-broker", u)
+		}
+	}
+	for _, srv := range topo.Servers() {
+		if s.serverViews[srv] == nil {
+			continue
+		}
+		if s.load[srv] != loadCheck[srv] || s.load[srv] != len(s.serverViews[srv]) {
+			t.Fatalf("server %d load %d, views %d, recomputed %d",
+				srv, s.load[srv], len(s.serverViews[srv]), loadCheck[srv])
+		}
+		if s.load[srv] > s.capacity[srv] {
+			t.Fatalf("server %d over capacity: %d > %d", srv, s.load[srv], s.capacity[srv])
+		}
+	}
+}
+
+// TestInvariantsUnderRandomOperations drives the store with
+// property-generated operation sequences and checks the invariants after
+// every batch.
+func TestInvariantsUnderRandomOperations(t *testing.T) {
+	g, err := socialgraph.Facebook(200, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.NewTree(2, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := topology.NewTraffic(topo)
+	a, err := placement.Random(g, topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(g, topo, tr, a, Config{ExtraMemoryPct: 60, GraceSeconds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			now += int64(op%977) + 1
+			u := socialgraph.UserID(int(op) % g.NumUsers())
+			switch op % 7 {
+			case 0, 1, 2, 3: // reads dominate, as in the workload
+				s.Read(now, u)
+			case 4, 5:
+				s.Write(now, u)
+			case 6:
+				s.Tick(now)
+			}
+		}
+		checkInvariants(t, s, g, topo)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInvariantsSurviveReconfiguration interleaves traffic with server
+// drains and re-additions.
+func TestInvariantsSurviveReconfiguration(t *testing.T) {
+	g, err := socialgraph.Facebook(150, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.NewTree(2, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := topology.NewTraffic(topo)
+	a, err := placement.Random(g, topo, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(g, topo, tr, a, Config{ExtraMemoryPct: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 200; i++ {
+			now += 13
+			u := socialgraph.UserID(i % g.NumUsers())
+			if i%5 == 0 {
+				s.Write(now, u)
+			} else {
+				s.Read(now, u)
+			}
+		}
+		s.Tick(now)
+		victim := topo.Servers()[round%len(topo.Servers())]
+		if err := s.RemoveServer(now, victim); err != nil {
+			t.Fatalf("round %d: RemoveServer: %v", round, err)
+		}
+		checkInvariantsSkip(t, s, g, topo, victim)
+		if err := s.AddServer(victim, s.capacityOf(topo, g)); err != nil {
+			t.Fatalf("round %d: AddServer: %v", round, err)
+		}
+		checkInvariants(t, s, g, topo)
+	}
+}
+
+// capacityOf returns a reasonable capacity for a re-added server.
+func (s *Store) capacityOf(topo *topology.Topology, g *socialgraph.Graph) int {
+	return 2 * g.NumUsers() / len(topo.Servers())
+}
+
+// checkInvariantsSkip validates invariants while one server is drained.
+func checkInvariantsSkip(t *testing.T, s *Store, g *socialgraph.Graph, topo *topology.Topology, drained topology.MachineID) {
+	t.Helper()
+	for u := 0; u < g.NumUsers(); u++ {
+		uid := socialgraph.UserID(u)
+		if len(s.replicas[uid]) < 1 {
+			t.Fatalf("user %d lost all replicas during drain", u)
+		}
+		for _, srv := range s.replicas[uid] {
+			if srv == drained {
+				t.Fatalf("user %d still on drained server %d", u, drained)
+			}
+		}
+	}
+}

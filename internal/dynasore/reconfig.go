@@ -1,0 +1,119 @@
+package dynasore
+
+import (
+	"errors"
+	"fmt"
+
+	"dynasore/internal/topology"
+)
+
+// Errors returned by cluster reconfiguration.
+var (
+	ErrNotServer   = errors.New("dynasore: machine is not a cache server")
+	ErrUnknownHost = errors.New("dynasore: machine not managed by this store")
+	ErrNoSpace     = errors.New("dynasore: nowhere to relocate sole replicas")
+)
+
+// AddServer brings a new cache server into the managed pool with the given
+// capacity (§3.3 "Cluster modification", case 1/2: a server added to an
+// existing rack or a new rack automatically becomes the least-loaded target
+// there, so subsequent replicas flow to it without further action).
+func (s *Store) AddServer(id topology.MachineID, capacity int) error {
+	if int(id) < 0 || int(id) >= s.topo.NumMachines() || !s.topo.Machine(id).IsServer() {
+		return fmt.Errorf("%w: %d", ErrNotServer, id)
+	}
+	if s.serverViews[id] != nil {
+		return fmt.Errorf("dynasore: server %d already managed", id)
+	}
+	if capacity <= 0 {
+		return errors.New("dynasore: capacity must be positive")
+	}
+	s.serverViews[id] = make(map[socialUser]*replica)
+	s.capacity[id] = capacity
+	s.load[id] = 0
+	s.thresholds[id] = 0
+	s.evictFloor[id] = infUtility
+	return nil
+}
+
+// RemoveServer drains a cache server before decommissioning (§3.3): views
+// replicated elsewhere are simply dropped (DynaSoRe recreates them on
+// demand), while sole copies are relocated to the nearest server with free
+// space. The server keeps zero capacity afterwards so no replica returns.
+func (s *Store) RemoveServer(now int64, id topology.MachineID) error {
+	if int(id) < 0 || int(id) >= len(s.serverViews) || s.serverViews[id] == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownHost, id)
+	}
+	// Collect first: removal mutates the map.
+	users := make([]socialUser, 0, len(s.serverViews[id]))
+	for u := range s.serverViews[id] {
+		users = append(users, u)
+	}
+	s.capacity[id] = 0 // block re-admission while draining
+	for _, u := range users {
+		if len(s.replicas[u]) > 1 {
+			s.removeReplica(now, u, id)
+			continue
+		}
+		target := s.nearestFreeServer(id, u)
+		if target == topology.NoMachine {
+			// The pool is full (DynaSoRe keeps memory saturated); fall back
+			// to the nearest server where an evictable replica can make
+			// room for this sole copy.
+			target = s.nearestEvictableServer(now, id, u)
+		}
+		if target == topology.NoMachine {
+			s.capacity[id] = s.load[id] // roll back enough to stay valid
+			return fmt.Errorf("%w: view %d", ErrNoSpace, u)
+		}
+		s.migrateReplica(now, u, id, target)
+	}
+	s.serverViews[id] = nil
+	return nil
+}
+
+// nearestEvictableServer finds the closest managed server (not holding u)
+// that could evict a surplus replica to take in a relocated sole copy.
+func (s *Store) nearestEvictableServer(now int64, from topology.MachineID, u socialUser) topology.MachineID {
+	best := topology.NoMachine
+	bestDist := int(^uint(0) >> 1)
+	for _, cand := range s.topo.Servers() {
+		if cand == from || s.serverViews[cand] == nil || s.capacity[cand] == 0 {
+			continue
+		}
+		if _, holds := s.serverViews[cand][u]; holds {
+			continue
+		}
+		if victim, _ := s.weakestEvictable(now, cand); victim < 0 {
+			continue
+		}
+		d := s.topo.Distance(from, cand)
+		if d < bestDist || (d == bestDist && (best == topology.NoMachine || cand < best)) {
+			best, bestDist = cand, d
+		}
+	}
+	return best
+}
+
+// nearestFreeServer finds the closest managed server with spare capacity
+// that does not hold u.
+func (s *Store) nearestFreeServer(from topology.MachineID, u socialUser) topology.MachineID {
+	best := topology.NoMachine
+	bestDist := int(^uint(0) >> 1)
+	for _, cand := range s.topo.Servers() {
+		if cand == from || s.serverViews[cand] == nil {
+			continue
+		}
+		if s.load[cand] >= s.capacity[cand] {
+			continue
+		}
+		if _, holds := s.serverViews[cand][u]; holds {
+			continue
+		}
+		d := s.topo.Distance(from, cand)
+		if d < bestDist || (d == bestDist && (best == topology.NoMachine || cand < best)) {
+			best, bestDist = cand, d
+		}
+	}
+	return best
+}

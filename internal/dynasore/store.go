@@ -1,0 +1,451 @@
+// Package dynasore implements the paper's primary contribution (§3): an
+// in-memory view store that monitors per-replica access statistics and
+// dynamically creates, migrates, and evicts view replicas to concentrate
+// traffic low in the data-center tree. Brokers host per-user read and write
+// proxies that are themselves migrated toward the views they touch.
+package dynasore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dynasore/internal/placement"
+	"dynasore/internal/sim"
+	"dynasore/internal/socialgraph"
+	"dynasore/internal/stats"
+	"dynasore/internal/topology"
+)
+
+// Config parameterizes a DynaSoRe deployment.
+type Config struct {
+	// ExtraMemoryPct is the memory budget above one replica per view
+	// (§2.3): total capacity = (1+ExtraMemoryPct/100) × users.
+	ExtraMemoryPct float64
+	// Slots and SlotSeconds configure the rotating access counters
+	// (defaults: 24 slots of one hour, §4.3).
+	Slots       int
+	SlotSeconds int64
+	// EvictWatermark is the load fraction that triggers background
+	// eviction (default 0.95, §3.2).
+	EvictWatermark float64
+	// ThresholdOccupancy is the fraction of memory that must be occupied
+	// by views above the admission threshold (default 0.90, §3.2).
+	ThresholdOccupancy float64
+	// GraceSeconds protects a freshly created replica from eviction,
+	// negative-utility removal, and migration until its statistics are
+	// meaningful (default: one slot).
+	GraceSeconds int64
+	// DecisionSeconds is the minimum observation span before a replica may
+	// be removed or migrated, damping hourly sampling noise (default: two
+	// slots).
+	DecisionSeconds int64
+	// PaybackHours is how quickly a new replica's estimated gain must
+	// amortize its one-time transfer cost; creations that cannot pay for
+	// themselves within this horizon are rejected (default 12).
+	PaybackHours float64
+	// AdmissionMargin is the relative hysteresis a replica-creation profit
+	// must clear above the admission threshold; it prevents endless
+	// swapping between near-equal views (default 0.25).
+	AdmissionMargin float64
+	// AdmissionEpsilon is the absolute minimum profit (traffic units per
+	// hour) required to create a replica (default 5).
+	AdmissionEpsilon float64
+	// DisableProxyMigration pins proxies to their initial brokers
+	// (ablation).
+	DisableProxyMigration bool
+	// DisableMigration turns off Algorithm 3 view migration (ablation).
+	DisableMigration bool
+	// DisableReplication turns off Algorithm 2 replica creation (ablation).
+	DisableReplication bool
+	// MinReplicas configures the in-memory durability mode of §3.3: views
+	// with at most this many copies have infinite utility and are never
+	// evicted, so recovery can be served entirely from memory. The default
+	// 1 matches the paper's default (durability via the persistent store).
+	MinReplicas int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slots <= 0 {
+		c.Slots = 24
+	}
+	if c.SlotSeconds <= 0 {
+		c.SlotSeconds = 3600
+	}
+	if c.EvictWatermark <= 0 || c.EvictWatermark > 1 {
+		c.EvictWatermark = 0.95
+	}
+	if c.ThresholdOccupancy <= 0 || c.ThresholdOccupancy > 1 {
+		c.ThresholdOccupancy = 0.90
+	}
+	if c.GraceSeconds < 0 {
+		c.GraceSeconds = 0
+	} else if c.GraceSeconds == 0 {
+		c.GraceSeconds = c.SlotSeconds
+	}
+	if c.DecisionSeconds <= 0 {
+		c.DecisionSeconds = 2 * c.SlotSeconds
+	}
+	if c.PaybackHours <= 0 {
+		c.PaybackHours = 12
+	}
+	if c.AdmissionMargin <= 0 {
+		c.AdmissionMargin = 0.5
+	}
+	if c.AdmissionEpsilon <= 0 {
+		c.AdmissionEpsilon = 10
+	}
+	if c.MinReplicas <= 0 {
+		c.MinReplicas = 1
+	}
+	return c
+}
+
+// socialUser aliases the graph's user identifier for brevity in maps.
+type socialUser = socialgraph.UserID
+
+// replica is the per-server state of one view copy.
+type replica struct {
+	log       *stats.AccessLog
+	createdAt int64
+	// estRate is the profit rate estimated when the replica was created;
+	// maintenance uses it in place of observed statistics until the
+	// replica's own window has data.
+	estRate float64
+}
+
+// Store is a simulated DynaSoRe cluster implementing sim.Store.
+type Store struct {
+	topo    *topology.Topology
+	g       *socialgraph.Graph
+	traffic *topology.Traffic
+	cfg     Config
+
+	capacity []int // per machine
+	load     []int // views currently stored per machine
+
+	replicas    [][]topology.MachineID                   // replicas[u]: servers holding u's view
+	serverViews []map[socialgraph.UserID]*replica        // per machine: views it stores
+	readProxy   []topology.MachineID                     // broker hosting u's read proxy
+	writeProxy  []topology.MachineID                     // broker hosting u's write proxy
+	readsServed []int64                                  // cumulative reads of u's view (all replicas)
+	thresholds  []float64                                // per-server admission threshold
+	evictFloor  []float64                                // per-server utility of the weakest evictable view
+	minThrNear  map[topology.Origin]float64              // disseminated minimum threshold per origin subtree
+	ops         OpCounts                                 // cumulative operation counters
+	served      []topology.MachineID                     // scratch: servers used by the current request
+	scratchCnt  map[topology.SwitchID]int                // scratch: per-subtree view counts
+	scratchOld  []topology.MachineID                     // scratch: replica set before a change
+	brokersIn   map[topology.SwitchID]topology.MachineID // first broker per rack
+}
+
+var _ sim.Store = (*Store)(nil)
+
+// Errors returned by New.
+var (
+	ErrNilArgs = errors.New("dynasore: graph, topology, traffic, and assignment are required")
+	ErrBudget  = errors.New("dynasore: extra memory must be >= 0")
+)
+
+// New builds a DynaSoRe store seeded with the given initial assignment
+// (Random, METIS, or hMETIS per §4.4).
+func New(g *socialgraph.Graph, topo *topology.Topology, traffic *topology.Traffic, a *placement.Assignment, cfg Config) (*Store, error) {
+	if g == nil || topo == nil || traffic == nil || a == nil {
+		return nil, ErrNilArgs
+	}
+	if cfg.ExtraMemoryPct < 0 {
+		return nil, ErrBudget
+	}
+	if len(a.Server) != g.NumUsers() {
+		return nil, fmt.Errorf("dynasore: assignment covers %d users, graph has %d", len(a.Server), g.NumUsers())
+	}
+	cfg = cfg.withDefaults()
+	n := g.NumUsers()
+	servers := topo.Servers()
+	s := &Store{
+		topo:        topo,
+		g:           g,
+		traffic:     traffic,
+		cfg:         cfg,
+		capacity:    make([]int, topo.NumMachines()),
+		load:        make([]int, topo.NumMachines()),
+		replicas:    make([][]topology.MachineID, n),
+		serverViews: make([]map[socialgraph.UserID]*replica, topo.NumMachines()),
+		readProxy:   make([]topology.MachineID, n),
+		writeProxy:  make([]topology.MachineID, n),
+		readsServed: make([]int64, n),
+		thresholds:  make([]float64, topo.NumMachines()),
+		evictFloor:  make([]float64, topo.NumMachines()),
+		minThrNear:  make(map[topology.Origin]float64),
+		scratchCnt:  make(map[topology.SwitchID]int, 32),
+		brokersIn:   make(map[topology.SwitchID]topology.MachineID),
+	}
+	total := int(float64(n) * (1 + cfg.ExtraMemoryPct/100))
+	base := total / len(servers)
+	extra := total % len(servers)
+	for i, srv := range servers {
+		s.capacity[srv] = base
+		if i < extra {
+			s.capacity[srv]++
+		}
+		s.serverViews[srv] = make(map[socialgraph.UserID]*replica)
+	}
+	for _, sw := range topo.Switches() {
+		if sw.Level != topology.LevelRack && topo.Shape() == topology.ShapeTree {
+			continue
+		}
+		for _, id := range topo.MachinesUnderRack(sw.ID) {
+			if topo.Machine(id).IsBroker() {
+				s.brokersIn[sw.ID] = id
+				break
+			}
+		}
+	}
+	for ui := 0; ui < n; ui++ {
+		u := socialgraph.UserID(ui)
+		srv := a.Server[u]
+		if s.serverViews[srv] == nil {
+			return nil, fmt.Errorf("dynasore: user %d assigned to non-server machine %d", u, srv)
+		}
+		s.replicas[u] = []topology.MachineID{srv}
+		s.serverViews[srv][u] = s.newReplica(0)
+		s.load[srv]++
+		b := placement.BrokerForServer(topo, srv)
+		s.readProxy[u] = b
+		s.writeProxy[u] = b
+	}
+	return s, nil
+}
+
+func (s *Store) newReplica(now int64) *replica {
+	// Window parameters were validated by withDefaults, so construction
+	// cannot fail.
+	log, _ := stats.NewAccessLog(s.cfg.Slots, s.cfg.SlotSeconds)
+	return &replica{log: log, createdAt: now}
+}
+
+// Read executes u's read request (§3.2 "Routing"): the read proxy fetches
+// every followed view from its closest replica, each touched server updates
+// its access statistics and evaluates replication, and finally the proxy
+// considers migrating toward the data.
+func (s *Store) Read(now int64, u socialgraph.UserID) {
+	b := s.readProxy[u]
+	following := s.g.Following(u)
+	if len(following) == 0 {
+		return
+	}
+	s.served = s.served[:0]
+	for _, v := range following {
+		srv := s.topo.ClosestOf(b, s.replicas[v])
+		s.traffic.Record(b, srv, sim.AppWeight, false)
+		s.traffic.Record(srv, b, sim.AppWeight, false)
+		if s.topo.Distance(b, srv) == 5 {
+			s.ops.ReadsCrossTop++
+		}
+		s.served = append(s.served, srv)
+		rep := s.serverViews[srv][v]
+		if rep == nil {
+			continue // defensive: routing raced a concurrent change
+		}
+		rep.log.RecordRead(now, s.topo.OriginOf(srv, b))
+		s.readsServed[v]++
+		s.evaluate(now, v, srv, rep)
+	}
+	if !s.cfg.DisableProxyMigration {
+		s.maybeMigrateReadProxy(now, u, b)
+	}
+}
+
+// Write executes u's write request: the write proxy updates every replica of
+// u's view, then considers migrating toward them.
+func (s *Store) Write(now int64, u socialgraph.UserID) {
+	wp := s.writeProxy[u]
+	s.served = s.served[:0]
+	for _, srv := range s.replicas[u] {
+		s.traffic.Record(wp, srv, sim.AppWeight, false)
+		s.traffic.Record(srv, wp, sim.AppWeight, false)
+		if s.topo.Distance(wp, srv) == 5 {
+			s.ops.WritesCrossTop++
+		}
+		s.served = append(s.served, srv)
+		if rep := s.serverViews[srv][u]; rep != nil {
+			rep.log.RecordWrite(now)
+		}
+	}
+	if !s.cfg.DisableProxyMigration {
+		s.maybeMigrateWriteProxy(now, u, wp)
+	}
+}
+
+// maybeMigrateReadProxy implements the proxy-placement walk of §3.2: start
+// at the root and follow the branch that served the most views; migrate the
+// proxy if it lands on a different broker.
+func (s *Store) maybeMigrateReadProxy(now int64, u socialgraph.UserID, cur topology.MachineID) {
+	best := s.bestBrokerFor(s.served)
+	if best == topology.NoMachine || best == cur {
+		return
+	}
+	s.readProxy[u] = best
+	s.ops.ProxyMoves++
+	s.traffic.Record(cur, best, sim.CtlWeight, true)
+}
+
+// maybeMigrateWriteProxy does the same for the write proxy; moving it also
+// notifies every replica of the new synchronization point.
+func (s *Store) maybeMigrateWriteProxy(now int64, u socialgraph.UserID, cur topology.MachineID) {
+	best := s.bestBrokerFor(s.served)
+	if best == topology.NoMachine || best == cur {
+		return
+	}
+	s.writeProxy[u] = best
+	s.ops.ProxyMoves++
+	s.traffic.Record(cur, best, sim.CtlWeight, true)
+	for _, srv := range s.replicas[u] {
+		s.traffic.Record(best, srv, sim.CtlWeight, true)
+	}
+}
+
+// bestBrokerFor descends the tree toward the servers that supplied the most
+// views and returns the broker there.
+func (s *Store) bestBrokerFor(served []topology.MachineID) topology.MachineID {
+	if len(served) == 0 {
+		return topology.NoMachine
+	}
+	if s.topo.Shape() == topology.ShapeFlat {
+		// Every machine is a broker: co-locate with the busiest server.
+		counts := s.scratchCnt
+		clearSwitchCounts(counts)
+		bestM, bestC := topology.NoMachine, 0
+		for _, srv := range served {
+			counts[topology.SwitchID(srv)]++
+			if c := counts[topology.SwitchID(srv)]; c > bestC || (c == bestC && srv < bestM) {
+				bestM, bestC = srv, c
+			}
+		}
+		return bestM
+	}
+	// Pick the intermediate subtree serving the most views.
+	counts := s.scratchCnt
+	clearSwitchCounts(counts)
+	for _, srv := range served {
+		counts[s.topo.Machine(srv).Inter]++
+	}
+	bestInter, bestC := topology.SwitchID(-1), -1
+	for sw, c := range counts {
+		if c > bestC || (c == bestC && sw < bestInter) {
+			bestInter, bestC = sw, c
+		}
+	}
+	// Then the rack within it.
+	clearSwitchCounts(counts)
+	for _, srv := range served {
+		m := s.topo.Machine(srv)
+		if m.Inter == bestInter {
+			counts[m.Rack]++
+		}
+	}
+	bestRack, bestC := topology.SwitchID(-1), -1
+	for sw, c := range counts {
+		if c > bestC || (c == bestC && sw < bestRack) {
+			bestRack, bestC = sw, c
+		}
+	}
+	if b, ok := s.brokersIn[bestRack]; ok {
+		return b
+	}
+	return topology.NoMachine
+}
+
+func clearSwitchCounts(m map[topology.SwitchID]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Tick runs the hourly maintenance pass (§3.2 "Storage management"):
+// recompute per-server utilities and admission thresholds, remove
+// negative-utility replicas, evict above the watermark, and disseminate
+// thresholds.
+func (s *Store) Tick(now int64) {
+	s.maintain(now)
+}
+
+// SetGraph swaps the social graph, e.g. when followers are added or removed
+// during a flash event (§4.6). The new graph must cover the same user
+// population; DynaSoRe adapts to the change transparently through its access
+// statistics, exactly as §3.3 "Managing the social network" describes.
+func (s *Store) SetGraph(g *socialgraph.Graph) {
+	if g != nil && g.NumUsers() == s.g.NumUsers() {
+		s.g = g
+	}
+}
+
+// ReplicaCount returns how many servers currently hold u's view.
+func (s *Store) ReplicaCount(u socialgraph.UserID) int { return len(s.replicas[u]) }
+
+// ReplicaServers returns a copy of the servers holding u's view.
+func (s *Store) ReplicaServers(u socialgraph.UserID) []topology.MachineID {
+	out := make([]topology.MachineID, len(s.replicas[u]))
+	copy(out, s.replicas[u])
+	return out
+}
+
+// ReadsServed returns the cumulative number of reads served for u's view
+// across all replicas; the flash-event experiment samples its deltas.
+func (s *Store) ReadsServed(u socialgraph.UserID) int64 { return s.readsServed[u] }
+
+// MeanReplicas returns the average replication factor across users.
+func (s *Store) MeanReplicas() float64 {
+	var sum int
+	for _, r := range s.replicas {
+		sum += len(r)
+	}
+	return float64(sum) / float64(len(s.replicas))
+}
+
+// MemoryUsed returns the total number of stored views.
+func (s *Store) MemoryUsed() int {
+	var sum int
+	for _, l := range s.load {
+		sum += l
+	}
+	return sum
+}
+
+// MemoryCapacity returns the total configured capacity.
+func (s *Store) MemoryCapacity() int {
+	var sum int
+	for _, c := range s.capacity {
+		sum += c
+	}
+	return sum
+}
+
+// ReadProxy returns the broker hosting u's read proxy.
+func (s *Store) ReadProxy(u socialgraph.UserID) topology.MachineID { return s.readProxy[u] }
+
+// WriteProxy returns the broker hosting u's write proxy.
+func (s *Store) WriteProxy(u socialgraph.UserID) topology.MachineID { return s.writeProxy[u] }
+
+// OpCounts tallies the dynamic operations a store has performed; the
+// convergence experiments use it to verify the system quiesces.
+type OpCounts struct {
+	ReplicaCreates    int64
+	ReplicaRemoves    int64
+	ReplicaMigrations int64
+	ProxyMoves        int64
+	// Removal causes.
+	RemovesNegative int64 // negative utility at maintenance
+	RemovesEvict    int64 // watermark eviction
+	RemovesAlg3     int64 // Algorithm 3 decided to drop
+	// ReadsCrossTop / WritesCrossTop count application messages that
+	// traverse the top switch, for diagnosing read/write balance.
+	ReadsCrossTop  int64
+	WritesCrossTop int64
+}
+
+// Ops returns the cumulative operation counters.
+func (s *Store) Ops() OpCounts { return s.ops }
+
+// infUtility marks replicas that can never be evicted (sole copies).
+var infUtility = math.Inf(1)

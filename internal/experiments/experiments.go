@@ -1,0 +1,172 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4) at laptop scale: it wires the dataset generators, trace
+// generators, placements, baselines, and the DynaSoRe store into one runner
+// per experiment and reports the same rows/series the paper does, normalized
+// to the static Random placement exactly as in the paper.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"dynasore/internal/dynasore"
+	"dynasore/internal/placement"
+	"dynasore/internal/sim"
+	"dynasore/internal/socialgraph"
+	"dynasore/internal/spar"
+	"dynasore/internal/topology"
+	"dynasore/internal/trace"
+)
+
+// Dataset selects one of the paper's three social graphs (Table 1).
+type Dataset string
+
+// Datasets of §4.2.
+const (
+	Twitter     Dataset = "twitter"
+	Facebook    Dataset = "facebook"
+	LiveJournal Dataset = "livejournal"
+)
+
+// Datasets lists the paper's three graphs in presentation order.
+var Datasets = []Dataset{Twitter, Facebook, LiveJournal}
+
+// System identifies a view-management configuration under test.
+type System string
+
+// Systems compared in §4.
+const (
+	SysRandom    System = "random"
+	SysMetis     System = "metis"
+	SysHMetis    System = "hmetis"
+	SysSPAR      System = "spar"
+	SysDynRandom System = "dynasore-from-random"
+	SysDynMetis  System = "dynasore-from-metis"
+	SysDynHMetis System = "dynasore-from-hmetis"
+)
+
+// Config scales the experiments. The paper simulates millions of users on a
+// 250-machine cluster; the defaults shrink the user population while keeping
+// the cluster shape, trace shape, and all algorithm parameters.
+type Config struct {
+	Users int
+	// Days of synthetic trace; the first day is warmup (convergence), the
+	// rest is the measurement window.
+	Days int
+	Seed int64
+	// Tree topology dimensions (paper: 5 intermediates × 5 racks × 10
+	// machines, 1 broker per rack).
+	TreeM, TreeN, PerRack, BrokersPerRack int
+	// FlatMachines is the machine count for the flat topology (§4.5).
+	FlatMachines int
+	// Extras is the extra-memory sweep for Fig. 3 (percent).
+	Extras []float64
+}
+
+// Default returns the standard laptop-scale configuration with the paper's
+// cluster shape.
+func Default() Config {
+	return Config{
+		Users:          2000,
+		Days:           2,
+		Seed:           42,
+		TreeM:          5,
+		TreeN:          5,
+		PerRack:        10,
+		BrokersPerRack: 1,
+		FlatMachines:   250,
+		Extras:         []float64{0, 30, 50, 100, 150, 200},
+	}
+}
+
+// ErrUnknown reports an unrecognized dataset or system name.
+var ErrUnknown = errors.New("experiments: unknown dataset or system")
+
+// Graph builds the scaled synthetic graph for a dataset.
+func (c Config) Graph(ds Dataset) (*socialgraph.Graph, error) {
+	switch ds {
+	case Twitter:
+		return socialgraph.Twitter(c.Users, c.Seed)
+	case Facebook:
+		return socialgraph.Facebook(c.Users, c.Seed)
+	case LiveJournal:
+		return socialgraph.LiveJournal(c.Users, c.Seed)
+	default:
+		return nil, fmt.Errorf("%w: dataset %q", ErrUnknown, ds)
+	}
+}
+
+// Tree builds the tree topology of the configuration.
+func (c Config) Tree() (*topology.Topology, error) {
+	return topology.NewTree(c.TreeM, c.TreeN, c.PerRack, c.BrokersPerRack)
+}
+
+// Flat builds the flat topology of the configuration.
+func (c Config) Flat() (*topology.Topology, error) {
+	return topology.NewFlat(c.FlatMachines)
+}
+
+// assignment builds the named initial placement.
+func assignment(sys System, g *socialgraph.Graph, topo *topology.Topology, seed int64) (*placement.Assignment, error) {
+	switch sys {
+	case SysRandom, SysDynRandom:
+		return placement.Random(g, topo, seed)
+	case SysMetis, SysDynMetis:
+		return placement.Metis(g, topo, seed)
+	case SysHMetis, SysDynHMetis:
+		return placement.HMetis(g, topo, seed)
+	default:
+		return nil, fmt.Errorf("%w: system %q has no static assignment", ErrUnknown, sys)
+	}
+}
+
+// buildStore constructs the store for a system at the given memory budget.
+func buildStore(sys System, g *socialgraph.Graph, topo *topology.Topology, tr *topology.Traffic, extraPct float64, seed int64) (sim.Store, error) {
+	switch sys {
+	case SysRandom, SysMetis, SysHMetis:
+		a, err := assignment(sys, g, topo, seed)
+		if err != nil {
+			return nil, err
+		}
+		return placement.NewStaticStore(g, topo, tr, a)
+	case SysSPAR:
+		return spar.New(g, topo, tr, spar.Config{ExtraMemoryPct: extraPct, Seed: seed})
+	case SysDynRandom, SysDynMetis, SysDynHMetis:
+		a, err := assignment(sys, g, topo, seed)
+		if err != nil {
+			return nil, err
+		}
+		return dynasore.New(g, topo, tr, a, dynasore.Config{ExtraMemoryPct: extraPct})
+	default:
+		return nil, fmt.Errorf("%w: system %q", ErrUnknown, sys)
+	}
+}
+
+// runResult carries the measured outputs of one simulation run.
+type runResult struct {
+	top      int64                      // top-switch traffic in the window
+	levelAvg map[topology.Level]float64 // mean per-switch traffic by level
+	hourly   []sim.HourPoint            // full-run hourly top traffic
+	store    sim.Store
+}
+
+// run replays log through the named system and measures traffic after the
+// warmup window.
+func run(sys System, g *socialgraph.Graph, topo *topology.Topology, log *trace.Log, extraPct float64, warmupSeconds int64, seed int64) (*runResult, error) {
+	tr := topology.NewTraffic(topo)
+	store, err := buildStore(sys, g, topo, tr, extraPct, seed)
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", sys, err)
+	}
+	eng, err := sim.NewEngine(topo, store, tr)
+	if err != nil {
+		return nil, err
+	}
+	res := eng.Run(log, sim.RunOptions{WarmupSeconds: warmupSeconds})
+	return &runResult{
+		top:      tr.TopTotal(),
+		levelAvg: tr.LevelAverages(),
+		hourly:   res.Hourly,
+		store:    store,
+	}, nil
+}

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dynasore/internal/trace"
+)
+
+// smallCfg keeps unit-test runs fast: a smaller cluster and population with
+// the same structure.
+func smallCfg() Config {
+	cfg := Default()
+	cfg.Users = 600
+	cfg.TreeM = 3
+	cfg.TreeN = 3
+	cfg.PerRack = 4
+	cfg.FlatMachines = 36
+	cfg.Extras = []float64{30, 100}
+	return cfg
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.ScaledUsers != 600 {
+			t.Errorf("%s: scaled users = %d", r.Dataset, r.ScaledUsers)
+		}
+		if r.ScaledLinks <= 0 {
+			t.Errorf("%s: no links", r.Dataset)
+		}
+	}
+	// Twitter must stay much sparser than Facebook, as in Table 1.
+	if rows[0].LinksPerUser >= rows[1].LinksPerUser {
+		t.Errorf("twitter links/user %.1f >= facebook %.1f", rows[0].LinksPerUser, rows[1].LinksPerUser)
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "twitter") || !strings.Contains(out, "livejournal") {
+		t.Error("FormatTable1 missing dataset rows")
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	days, err := Figure2(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 14 {
+		t.Fatalf("days = %d, want 14 (two-week trace)", len(days))
+	}
+	var reads, writes int64
+	for _, d := range days {
+		reads += d.Reads
+		writes += d.Writes
+	}
+	if writes <= reads {
+		t.Errorf("writes=%d reads=%d: News Activity trace must be write-heavy", writes, reads)
+	}
+	if out := FormatFigure2(days); !strings.Contains(out, "Figure 2") {
+		t.Error("FormatFigure2 missing header")
+	}
+}
+
+func TestFigure3ShapeFacebook(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	cfg := smallCfg()
+	res, err := Figure3(cfg, Facebook, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(cfg.Extras) {
+		t.Fatalf("points = %d, want %d", len(res.Points), len(cfg.Extras))
+	}
+	// Paper claims, checked as shape properties:
+	// (1) hMETIS static beats METIS static beats Random.
+	if !(res.StaticHMetis < res.StaticMetis && res.StaticMetis < 1.0) {
+		t.Errorf("locality ordering violated: hMETIS %.3f, METIS %.3f", res.StaticHMetis, res.StaticMetis)
+	}
+	for _, pt := range res.Points {
+		// (2) DynaSoRe beats SPAR at every budget, from every init.
+		for _, sys := range []System{SysDynRandom, SysDynMetis, SysDynHMetis} {
+			if pt.Traffic[sys] >= pt.Traffic[SysSPAR] {
+				t.Errorf("extra=%v: %s (%.3f) not better than SPAR (%.3f)",
+					pt.ExtraPct, sys, pt.Traffic[sys], pt.Traffic[SysSPAR])
+			}
+		}
+		// (3) Everything beats the Random baseline.
+		for sys, v := range pt.Traffic {
+			if v >= 1.0 {
+				t.Errorf("extra=%v: %s = %.3f, not below Random", pt.ExtraPct, sys, v)
+			}
+		}
+	}
+	// (4) DynaSoRe from hMETIS with 30%% extra memory cuts top-switch
+	// traffic dramatically (paper: ~94%%; we accept >=75%% at laptop scale).
+	if got := res.Points[0].Traffic[SysDynHMetis]; got > 0.25 {
+		t.Errorf("DynaSoRe(hMETIS) at 30%% = %.3f, want <= 0.25", got)
+	}
+	if out := FormatFigure3(res); !strings.Contains(out, "facebook") {
+		t.Error("FormatFigure3 missing dataset")
+	}
+}
+
+func TestFigure3Flat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	cfg := smallCfg()
+	cfg.Extras = []float64{50}
+	res, err := Figure3(cfg, Facebook, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Systems) != 3 {
+		t.Fatalf("flat systems = %v, want 3 (no hMETIS series)", res.Systems)
+	}
+	pt := res.Points[0]
+	// DynaSoRe still beats SPAR on the flat topology (§4.5), if less
+	// dramatically.
+	if pt.Traffic[SysDynRandom] >= pt.Traffic[SysSPAR] {
+		t.Errorf("flat: DynaSoRe (%.3f) not better than SPAR (%.3f)",
+			pt.Traffic[SysDynRandom], pt.Traffic[SysSPAR])
+	}
+}
+
+func TestSwitchTrafficTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	cfg := smallCfg()
+	rows, err := SwitchTraffic(cfg, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 datasets × {DynaSoRe, SPAR}
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.System == SysDynHMetis {
+			// Paper Table 2: reduction concentrates at the top of the tree.
+			if !(r.Top <= r.Inter+0.15 && r.Inter <= r.Rack+0.15) {
+				t.Errorf("%s: per-level ordering violated: top %.2f inter %.2f rack %.2f",
+					r.Dataset, r.Top, r.Inter, r.Rack)
+			}
+		}
+	}
+	// DynaSoRe's top reduction must beat SPAR's for each dataset.
+	byDS := map[Dataset]map[System]SwitchTrafficRow{}
+	for _, r := range rows {
+		if byDS[r.Dataset] == nil {
+			byDS[r.Dataset] = map[System]SwitchTrafficRow{}
+		}
+		byDS[r.Dataset][r.System] = r
+	}
+	for ds, m := range byDS {
+		if m[SysDynHMetis].Top >= m[SysSPAR].Top {
+			t.Errorf("%s: DynaSoRe top %.2f not better than SPAR %.2f", ds, m[SysDynHMetis].Top, m[SysSPAR].Top)
+		}
+	}
+	if out := FormatSwitchTraffic(rows, 30); !strings.Contains(out, "30%") {
+		t.Error("FormatSwitchTraffic missing budget")
+	}
+}
+
+func TestFigure5FlashEvent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	cfg := smallCfg()
+	fc := DefaultFig5()
+	fc.Days = 4
+	fc.StartDay = 1
+	fc.EndDay = 3
+	fc.Repetitions = 2
+	fc.Followers = 60
+	points, err := Figure5(cfg, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no samples")
+	}
+	// Mean replicas during the flash window must exceed the pre-flash mean.
+	var pre, during float64
+	var nPre, nDuring int
+	for _, p := range points {
+		day := p.AtSeconds / trace.SecondsPerDay
+		switch {
+		case day < int64(fc.StartDay):
+			pre += p.Replicas
+			nPre++
+		case day >= int64(fc.StartDay) && day < int64(fc.EndDay):
+			during += p.Replicas
+			nDuring++
+		}
+	}
+	pre /= float64(nPre)
+	during /= float64(nDuring)
+	if during <= pre {
+		t.Errorf("flash replicas %.2f not above pre-flash %.2f", during, pre)
+	}
+	if out := FormatFigure5(points); !strings.Contains(out, "Figure 5") {
+		t.Error("FormatFigure5 missing header")
+	}
+}
+
+func TestFigure6Convergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	cfg := smallCfg()
+	points, err := Figure6(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 24 {
+		t.Fatalf("points = %d, want >= 24 hours", len(points))
+	}
+	// Application traffic at the end must be far below the start (the
+	// system converged) and system traffic must have decayed.
+	first, last := points[1], points[len(points)-2]
+	if last.App[SysDynRandom] >= first.App[SysDynRandom] {
+		t.Errorf("no convergence: app traffic %.3f -> %.3f", first.App[SysDynRandom], last.App[SysDynRandom])
+	}
+	var earlySys, lateSys float64
+	for _, p := range points[:len(points)/2] {
+		earlySys += p.Sys[SysDynRandom]
+	}
+	for _, p := range points[len(points)/2:] {
+		lateSys += p.Sys[SysDynRandom]
+	}
+	if lateSys >= earlySys {
+		t.Errorf("system traffic did not decay: early %.3f late %.3f", earlySys, lateSys)
+	}
+	if out := FormatFigure6(points, false); !strings.Contains(out, "Figure 6") {
+		t.Error("FormatFigure6 missing header")
+	}
+}
+
+func TestFigure4RealTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	cfg := smallCfg()
+	days, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) != 14 {
+		t.Fatalf("days = %d, want 14", len(days))
+	}
+	// After convergence (second week) DynaSoRe must clearly beat Random and
+	// SPAR on every day.
+	for _, d := range days[7:] {
+		if d.Traffic[SysDynMetis] >= 1 {
+			t.Errorf("day %d: DynaSoRe-from-metis %.3f not below Random", d.Day, d.Traffic[SysDynMetis])
+		}
+		if d.Traffic[SysDynMetis] >= d.Traffic[SysSPAR] {
+			t.Errorf("day %d: DynaSoRe %.3f not better than SPAR %.3f", d.Day, d.Traffic[SysDynMetis], d.Traffic[SysSPAR])
+		}
+	}
+	if out := FormatFigure4(days); !strings.Contains(out, "Figure 4") {
+		t.Error("FormatFigure4 missing header")
+	}
+}
+
+func TestUnknownDatasetAndSystem(t *testing.T) {
+	cfg := smallCfg()
+	if _, err := cfg.Graph("bogus"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	g, err := cfg.Graph(Facebook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := cfg.Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := trace.Synthetic(g, trace.DefaultSynthetic(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run("bogus", g, topo, log, 0, 0, 1); err == nil {
+		t.Error("unknown system accepted")
+	}
+}

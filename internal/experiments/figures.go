@@ -1,0 +1,611 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dynasore/internal/dynasore"
+	"dynasore/internal/placement"
+	"dynasore/internal/sim"
+	"dynasore/internal/socialgraph"
+	"dynasore/internal/topology"
+	"dynasore/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — datasets.
+
+// Table1Row describes one dataset: the paper's original size and the scaled
+// synthetic substitute actually used in this reproduction.
+type Table1Row struct {
+	Dataset      Dataset
+	PaperUsers   int64
+	PaperLinks   int64
+	ScaledUsers  int
+	ScaledLinks  int64
+	LinksPerUser float64
+}
+
+// Table1 reports the dataset inventory of §4.2.
+func Table1(cfg Config) ([]Table1Row, error) {
+	paper := map[Dataset][2]int64{
+		Twitter:     {1_700_000, 5_000_000},
+		Facebook:    {3_000_000, 47_000_000},
+		LiveJournal: {4_800_000, 69_000_000},
+	}
+	rows := make([]Table1Row, 0, len(Datasets))
+	for _, ds := range Datasets {
+		g, err := cfg.Graph(ds)
+		if err != nil {
+			return nil, err
+		}
+		links := g.NumUndirectedLinks()
+		rows = append(rows, Table1Row{
+			Dataset:      ds,
+			PaperUsers:   paper[ds][0],
+			PaperLinks:   paper[ds][1],
+			ScaledUsers:  g.NumUsers(),
+			ScaledLinks:  links,
+			LinksPerUser: float64(links) / float64(g.NumUsers()),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders Table 1 rows.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: datasets (paper scale -> reproduction scale)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %10s %10s %8s\n", "dataset", "paper users", "paper links", "users", "links", "links/u")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12d %12d %10d %10d %8.2f\n",
+			r.Dataset, r.PaperUsers, r.PaperLinks, r.ScaledUsers, r.ScaledLinks, r.LinksPerUser)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 — daily reads/writes of the real-trace substitute.
+
+// Figure2 generates the Yahoo! News Activity substitute over the Facebook
+// graph and returns its daily read/write volumes.
+func Figure2(cfg Config) ([]trace.DayCount, error) {
+	g, err := cfg.Graph(Facebook)
+	if err != nil {
+		return nil, err
+	}
+	log, err := trace.Realistic(g, trace.DefaultRealistic(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return log.DailyCounts(), nil
+}
+
+// FormatFigure2 renders the daily series.
+func FormatFigure2(days []trace.DayCount) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: daily request volume, real-trace substitute\n")
+	fmt.Fprintf(&b, "%4s %10s %10s\n", "day", "writes", "reads")
+	for _, d := range days {
+		fmt.Fprintf(&b, "%4d %10d %10d\n", d.Day, d.Writes, d.Reads)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 — top-switch traffic vs extra memory.
+
+// Fig3Point is one x-position of a Fig. 3 plot: per-system top-switch
+// traffic normalized to the static Random placement.
+type Fig3Point struct {
+	ExtraPct float64
+	Traffic  map[System]float64
+}
+
+// Fig3Result is one subplot of Fig. 3.
+type Fig3Result struct {
+	Dataset      Dataset
+	Flat         bool
+	RandomTop    int64   // absolute top traffic of the Random baseline
+	StaticMetis  float64 // normalized top traffic of static METIS (x=0)
+	StaticHMetis float64 // tree only
+	Points       []Fig3Point
+	Systems      []System
+}
+
+// Figure3 sweeps extra memory for one dataset on the tree (Figs. 3a–3c) or
+// flat (Fig. 3d) topology.
+func Figure3(cfg Config, ds Dataset, flat bool) (*Fig3Result, error) {
+	g, err := cfg.Graph(ds)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := pickTopo(cfg, flat)
+	if err != nil {
+		return nil, err
+	}
+	log, err := trace.Synthetic(g, trace.DefaultSynthetic(cfg.Days), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	warmup := warmupSeconds(cfg)
+	base, err := run(SysRandom, g, topo, log, 0, warmup, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if base.top == 0 {
+		return nil, fmt.Errorf("experiments: random baseline produced no top traffic")
+	}
+	res := &Fig3Result{Dataset: ds, Flat: flat, RandomTop: base.top}
+	res.Systems = []System{SysSPAR, SysDynRandom, SysDynMetis}
+	if !flat {
+		res.Systems = append(res.Systems, SysDynHMetis)
+	}
+	// Static partitioned baselines at x=0 for the locality-ordering claim.
+	mRun, err := run(SysMetis, g, topo, log, 0, warmup, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res.StaticMetis = float64(mRun.top) / float64(base.top)
+	if !flat {
+		hRun, err := run(SysHMetis, g, topo, log, 0, warmup, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.StaticHMetis = float64(hRun.top) / float64(base.top)
+	}
+	for _, extra := range cfg.Extras {
+		pt := Fig3Point{ExtraPct: extra, Traffic: make(map[System]float64, len(res.Systems))}
+		for _, sys := range res.Systems {
+			r, err := run(sys, g, topo, log, extra, warmup, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			pt.Traffic[sys] = float64(r.top) / float64(base.top)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// FormatFigure3 renders one Fig. 3 subplot as a table.
+func FormatFigure3(r *Fig3Result) string {
+	var b strings.Builder
+	shape := "tree"
+	if r.Flat {
+		shape = "flat"
+	}
+	fmt.Fprintf(&b, "Figure 3 (%s, %s): top-switch traffic normalized to Random\n", r.Dataset, shape)
+	fmt.Fprintf(&b, "static METIS = %.3f", r.StaticMetis)
+	if !r.Flat {
+		fmt.Fprintf(&b, ", static hMETIS = %.3f", r.StaticHMetis)
+	}
+	fmt.Fprintf(&b, "\n%8s", "extra%")
+	for _, sys := range r.Systems {
+		fmt.Fprintf(&b, " %22s", sys)
+	}
+	fmt.Fprintln(&b)
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%8.0f", pt.ExtraPct)
+		for _, sys := range r.Systems {
+			fmt.Fprintf(&b, " %22.3f", pt.Traffic[sys])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func pickTopo(cfg Config, flat bool) (*topology.Topology, error) {
+	if flat {
+		return cfg.Flat()
+	}
+	return cfg.Tree()
+}
+
+func warmupSeconds(cfg Config) int64 {
+	if cfg.Days <= 1 {
+		return trace.SecondsPerDay / 2
+	}
+	return trace.SecondsPerDay
+}
+
+// ---------------------------------------------------------------------------
+// Tables 2 and 3 — per-level switch traffic.
+
+// SwitchTrafficRow is one (dataset, system) row of Table 2/3: mean per-switch
+// traffic by level, normalized to Random's same-level mean.
+type SwitchTrafficRow struct {
+	Dataset Dataset
+	System  System
+	Top     float64
+	Inter   float64
+	Rack    float64
+}
+
+// SwitchTraffic reproduces Table 2 (extraPct=30) and Table 3 (extraPct=150):
+// DynaSoRe is initialized from hMETIS, as in the paper.
+func SwitchTraffic(cfg Config, extraPct float64) ([]SwitchTrafficRow, error) {
+	topo, err := cfg.Tree()
+	if err != nil {
+		return nil, err
+	}
+	var rows []SwitchTrafficRow
+	for _, ds := range Datasets {
+		g, err := cfg.Graph(ds)
+		if err != nil {
+			return nil, err
+		}
+		log, err := trace.Synthetic(g, trace.DefaultSynthetic(cfg.Days), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		warmup := warmupSeconds(cfg)
+		base, err := run(SysRandom, g, topo, log, 0, warmup, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, sys := range []System{SysDynHMetis, SysSPAR} {
+			r, err := run(sys, g, topo, log, extraPct, warmup, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SwitchTrafficRow{
+				Dataset: ds,
+				System:  sys,
+				Top:     ratio(r.levelAvg[topology.LevelTop], base.levelAvg[topology.LevelTop]),
+				Inter:   ratio(r.levelAvg[topology.LevelIntermediate], base.levelAvg[topology.LevelIntermediate]),
+				Rack:    ratio(r.levelAvg[topology.LevelRack], base.levelAvg[topology.LevelRack]),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// FormatSwitchTraffic renders a Table 2/3 reproduction.
+func FormatSwitchTraffic(rows []SwitchTrafficRow, extraPct float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Switch traffic at %.0f%% extra memory (normalized to Random, per level)\n", extraPct)
+	fmt.Fprintf(&b, "%-12s %-22s %8s %8s %8s\n", "dataset", "system", "top", "inter", "rack")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-22s %8.2f %8.2f %8.2f\n", r.Dataset, r.System, r.Top, r.Inter, r.Rack)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — real traffic over time.
+
+// Fig4Day is one day of Fig. 4: per-system top-switch traffic normalized to
+// Random's traffic on the same day.
+type Fig4Day struct {
+	Day     int
+	Traffic map[System]float64
+}
+
+// Fig4Systems are the series shown in Fig. 4 (50% extra memory).
+var Fig4Systems = []System{SysSPAR, SysDynRandom, SysDynMetis}
+
+// Figure4 replays the real-trace substitute over the Facebook graph with 50%
+// extra memory and reports daily top-switch traffic relative to Random.
+func Figure4(cfg Config) ([]Fig4Day, error) {
+	g, err := cfg.Graph(Facebook)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := cfg.Tree()
+	if err != nil {
+		return nil, err
+	}
+	rcfg := trace.DefaultRealistic()
+	log, err := trace.Realistic(g, rcfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	base, err := run(SysRandom, g, topo, log, 0, 0, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	baseDaily := dailyTop(base.hourly, rcfg.Days)
+	days := make([]Fig4Day, rcfg.Days)
+	for d := range days {
+		days[d] = Fig4Day{Day: d, Traffic: make(map[System]float64, len(Fig4Systems))}
+	}
+	for _, sys := range Fig4Systems {
+		r, err := run(sys, g, topo, log, 50, 0, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		daily := dailyTop(r.hourly, rcfg.Days)
+		for d := range days {
+			if baseDaily[d] > 0 {
+				days[d].Traffic[sys] = float64(daily[d]) / float64(baseDaily[d])
+			}
+		}
+	}
+	return days, nil
+}
+
+// dailyTop folds hourly top-switch traffic (application + system) into days.
+func dailyTop(hours []sim.HourPoint, days int) []int64 {
+	out := make([]int64, days)
+	for i, h := range hours {
+		d := i / 24
+		if d < days {
+			out[d] += h.TopApp + h.TopSys
+		}
+	}
+	return out
+}
+
+// FormatFigure4 renders the Fig. 4 series.
+func FormatFigure4(days []Fig4Day) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: daily top-switch traffic vs Random, real trace, Facebook, 50%% extra\n")
+	fmt.Fprintf(&b, "%4s", "day")
+	for _, sys := range Fig4Systems {
+		fmt.Fprintf(&b, " %22s", sys)
+	}
+	fmt.Fprintln(&b)
+	for _, d := range days {
+		fmt.Fprintf(&b, "%4d", d.Day)
+		for _, sys := range Fig4Systems {
+			fmt.Fprintf(&b, " %22.3f", d.Traffic[sys])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — flash events.
+
+// Fig5Config parameterizes the flash-event experiment (§4.6).
+type Fig5Config struct {
+	Days        int
+	StartDay    int // followers added at the start of this day
+	EndDay      int // followers removed at the start of this day
+	Followers   int
+	Repetitions int
+	ExtraPct    float64
+	SampleEvery int64 // seconds between samples (paper: 600)
+}
+
+// DefaultFig5 returns the paper's flash-event parameters.
+func DefaultFig5() Fig5Config {
+	return Fig5Config{
+		Days:        10,
+		StartDay:    2,
+		EndDay:      7,
+		Followers:   100,
+		Repetitions: 5,
+		ExtraPct:    30,
+		SampleEvery: 600,
+	}
+}
+
+// Fig5Point is one sample of Fig. 5, averaged over repetitions.
+type Fig5Point struct {
+	AtSeconds       int64
+	Replicas        float64
+	ReadsPerReplica float64 // reads per replica in the sampling interval
+}
+
+// Figure5 repeats the flash-crowd experiment: at StartDay a random user
+// gains Followers random followers, which are removed again at EndDay. The
+// series reports the average replica count of the hot view and the reads
+// each replica absorbs per sampling interval.
+func Figure5(cfg Config, fc Fig5Config) ([]Fig5Point, error) {
+	g, err := cfg.Graph(Facebook)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := cfg.Tree()
+	if err != nil {
+		return nil, err
+	}
+	log, err := trace.Synthetic(g, trace.DefaultSynthetic(fc.Days), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	samples := int(int64(fc.Days) * trace.SecondsPerDay / fc.SampleEvery)
+	sumReplicas := make([]float64, samples)
+	sumRPR := make([]float64, samples)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for rep := 0; rep < fc.Repetitions; rep++ {
+		target := socialgraph.UserID(rng.Intn(g.NumUsers()))
+		var pairs [][2]socialgraph.UserID
+		for len(pairs) < fc.Followers {
+			f := socialgraph.UserID(rng.Intn(g.NumUsers()))
+			if f != target {
+				pairs = append(pairs, [2]socialgraph.UserID{f, target})
+			}
+		}
+		hot, err := g.WithExtraEdges(pairs)
+		if err != nil {
+			return nil, err
+		}
+		if err := flashRun(cfg, fc, g, hot, topo, log, target, sumReplicas, sumRPR); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]Fig5Point, samples)
+	for i := range out {
+		out[i] = Fig5Point{
+			AtSeconds:       int64(i+1) * fc.SampleEvery,
+			Replicas:        sumReplicas[i] / float64(fc.Repetitions),
+			ReadsPerReplica: sumRPR[i] / float64(fc.Repetitions),
+		}
+	}
+	return out, nil
+}
+
+// flashRun replays one repetition, swapping the social graph at the flash
+// boundaries and sampling the hot view's replication.
+func flashRun(cfg Config, fc Fig5Config, base, hot *socialgraph.Graph, topo *topology.Topology,
+	log *trace.Log, target socialgraph.UserID, sumReplicas, sumRPR []float64) error {
+	tr := topology.NewTraffic(topo)
+	a, err := placement.Random(base, topo, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	store, err := dynasore.New(base, topo, tr, a, dynasore.Config{ExtraMemoryPct: fc.ExtraPct})
+	if err != nil {
+		return err
+	}
+	var (
+		flashStart = int64(fc.StartDay) * trace.SecondsPerDay
+		flashEnd   = int64(fc.EndDay) * trace.SecondsPerDay
+		nextSample = fc.SampleEvery
+		nextTick   = int64(3600)
+		sampleIdx  = 0
+		lastReads  = store.ReadsServed(target)
+		started    bool
+		ended      bool
+	)
+	advance := func(now int64) {
+		for nextTick <= now {
+			store.Tick(nextTick)
+			nextTick += 3600
+		}
+		if !started && now >= flashStart {
+			store.SetGraph(hot)
+			started = true
+		}
+		if !ended && now >= flashEnd {
+			store.SetGraph(base)
+			ended = true
+		}
+		for nextSample <= now && sampleIdx < len(sumReplicas) {
+			reps := store.ReplicaCount(target)
+			reads := store.ReadsServed(target)
+			sumReplicas[sampleIdx] += float64(reps)
+			if reps > 0 {
+				sumRPR[sampleIdx] += float64(reads-lastReads) / float64(reps)
+			}
+			lastReads = reads
+			sampleIdx++
+			nextSample += fc.SampleEvery
+		}
+	}
+	for _, r := range log.Requests {
+		advance(r.At)
+		switch r.Kind {
+		case trace.OpRead:
+			store.Read(r.At, r.User)
+		case trace.OpWrite:
+			store.Write(r.At, r.User)
+		}
+	}
+	advance(int64(fc.Days) * trace.SecondsPerDay)
+	return nil
+}
+
+// FormatFigure5 renders the flash-event series, downsampled to hours for
+// readability.
+func FormatFigure5(points []Fig5Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: flash event (replicas of the hot view, reads per replica per interval)\n")
+	fmt.Fprintf(&b, "%8s %10s %16s\n", "hour", "replicas", "reads/replica")
+	for i, p := range points {
+		if i%6 != 5 { // print hourly (6 × 10-minute samples)
+			continue
+		}
+		fmt.Fprintf(&b, "%8.1f %10.2f %16.2f\n", float64(p.AtSeconds)/3600, p.Replicas, p.ReadsPerReplica)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — convergence.
+
+// Fig6Point is one hour of the convergence experiment: application and
+// system top-switch traffic normalized to Random's mean hourly application
+// traffic.
+type Fig6Point struct {
+	Hour int
+	App  map[System]float64
+	Sys  map[System]float64
+}
+
+// Fig6Systems are the two initializations compared in Fig. 6.
+var Fig6Systems = []System{SysDynRandom, SysDynHMetis}
+
+// Figure6 measures convergence over time at 150% extra memory, with the
+// synthetic log (Fig. 6a) or the real-trace substitute (Fig. 6b).
+func Figure6(cfg Config, realistic bool) ([]Fig6Point, error) {
+	g, err := cfg.Graph(Facebook)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := cfg.Tree()
+	if err != nil {
+		return nil, err
+	}
+	var log *trace.Log
+	if realistic {
+		rcfg := trace.DefaultRealistic()
+		rcfg.Days = 5
+		log, err = trace.Realistic(g, rcfg, cfg.Seed)
+	} else {
+		log, err = trace.Synthetic(g, trace.DefaultSynthetic(cfg.Days), cfg.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	base, err := run(SysRandom, g, topo, log, 0, 0, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var baseMean float64
+	for _, h := range base.hourly {
+		baseMean += float64(h.TopApp)
+	}
+	if len(base.hourly) == 0 || baseMean == 0 {
+		return nil, fmt.Errorf("experiments: random baseline produced no hourly traffic")
+	}
+	baseMean /= float64(len(base.hourly))
+	var out []Fig6Point
+	for _, sys := range Fig6Systems {
+		r, err := run(sys, g, topo, log, 150, 0, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for i, h := range r.hourly {
+			if i >= len(out) {
+				out = append(out, Fig6Point{
+					Hour: i,
+					App:  make(map[System]float64, len(Fig6Systems)),
+					Sys:  make(map[System]float64, len(Fig6Systems)),
+				})
+			}
+			out[i].App[sys] = float64(h.TopApp) / baseMean
+			out[i].Sys[sys] = float64(h.TopSys) / baseMean
+		}
+	}
+	return out, nil
+}
+
+// FormatFigure6 renders the convergence series.
+func FormatFigure6(points []Fig6Point, realistic bool) string {
+	var b strings.Builder
+	kind := "synthetic"
+	if realistic {
+		kind = "real"
+	}
+	fmt.Fprintf(&b, "Figure 6 (%s requests): hourly top-switch traffic / Random mean, 150%% extra\n", kind)
+	fmt.Fprintf(&b, "%5s %14s %14s %14s %14s\n", "hour",
+		"app(random)", "app(hmetis)", "sys(random)", "sys(hmetis)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%5d %14.3f %14.3f %14.4f %14.4f\n", p.Hour,
+			p.App[SysDynRandom], p.App[SysDynHMetis], p.Sys[SysDynRandom], p.Sys[SysDynHMetis])
+	}
+	return b.String()
+}

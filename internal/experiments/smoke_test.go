@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestSmokeFig3Full(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test")
+	}
+	cfg := Default()
+	cfg.Users = 1500
+	cfg.Extras = []float64{0, 30, 100, 150}
+	for _, ds := range []Dataset{Twitter, Facebook} {
+		r, err := Figure3(cfg, ds, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Log("\n" + FormatFigure3(r))
+	}
+}

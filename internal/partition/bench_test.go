@@ -1,0 +1,36 @@
+package partition
+
+import (
+	"testing"
+
+	"dynasore/internal/socialgraph"
+)
+
+// BenchmarkKWay partitions a Facebook-shaped graph into 36 parts.
+func BenchmarkKWay(b *testing.B) {
+	g, err := socialgraph.Facebook(4000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KWay(g, 36, Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHierarchical partitions hierarchically (5 x 5 x 9), the hMETIS
+// baseline configuration.
+func BenchmarkHierarchical(b *testing.B) {
+	g, err := socialgraph.Facebook(4000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Hierarchical(g, []int{5, 5, 9}, Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,592 @@
+// Package partition implements a from-scratch multilevel k-way graph
+// partitioner in the METIS family (heavy-edge-matching coarsening, greedy
+// region-growing initial partition, boundary Kernighan–Lin refinement),
+// plus the hierarchical recursive variant the paper calls hMETIS (§4.1).
+// The paper links against the METIS library; this package is the offline
+// substitute and produces the same artifact the baselines need: balanced
+// partitions with low edge-cut over the social graph.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dynasore/internal/socialgraph"
+)
+
+// Options tunes the partitioner. Zero values select sensible defaults.
+type Options struct {
+	// Seed drives all randomized choices; runs are deterministic per seed.
+	Seed int64
+	// MaxImbalance bounds part weight at MaxImbalance × ideal (default 1.10).
+	MaxImbalance float64
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// vertices (default max(40×k, 200)).
+	CoarsenTo int
+	// RefinePasses is the number of boundary refinement sweeps per level
+	// (default 4).
+	RefinePasses int
+}
+
+func (o Options) withDefaults(k int) Options {
+	if o.MaxImbalance <= 1 {
+		o.MaxImbalance = 1.10
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 40 * k
+		if o.CoarsenTo < 200 {
+			o.CoarsenTo = 200
+		}
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 4
+	}
+	return o
+}
+
+// Result is a k-way partition of a graph's users.
+type Result struct {
+	K      int
+	Assign []int32 // Assign[u] in [0, K)
+	// EdgeCut is the total weight of edges crossing parts (each undirected
+	// edge counted once).
+	EdgeCut int64
+}
+
+// Errors returned by the partitioners.
+var (
+	ErrBadK = errors.New("partition: k must be positive")
+	ErrNil  = errors.New("partition: nil graph")
+)
+
+// KWay partitions g's users into k balanced parts minimizing edge-cut.
+func KWay(g *socialgraph.Graph, k int, opts Options) (*Result, error) {
+	if g == nil {
+		return nil, ErrNil
+	}
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	n := g.NumUsers()
+	if k == 1 {
+		return &Result{K: 1, Assign: make([]int32, n)}, nil
+	}
+	if k >= n {
+		// Degenerate: one user per part (extra parts stay empty).
+		assign := make([]int32, n)
+		for u := range assign {
+			assign[u] = int32(u % k)
+		}
+		w := fromSocial(g)
+		return &Result{K: k, Assign: assign, EdgeCut: cutOf(w, assign)}, nil
+	}
+	opts = opts.withDefaults(k)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	w := fromSocial(g)
+	assign := partitionMultilevel(w, k, opts, rng)
+	return &Result{K: k, Assign: assign, EdgeCut: cutOf(w, assign)}, nil
+}
+
+// Hierarchical recursively partitions g following fanouts: first into
+// fanouts[0] parts, then each part into fanouts[1] sub-parts, and so on.
+// The returned Result has K = product(fanouts) and leaf part indices ordered
+// so that leaf = ((top*fanouts[1])+mid)*fanouts[2]+... — exactly the layout
+// needed to map parts onto intermediate switches, racks, and servers.
+func Hierarchical(g *socialgraph.Graph, fanouts []int, opts Options) (*Result, error) {
+	if g == nil {
+		return nil, ErrNil
+	}
+	if len(fanouts) == 0 {
+		return nil, fmt.Errorf("%w: empty fanout list", ErrBadK)
+	}
+	total := 1
+	for _, f := range fanouts {
+		if f <= 0 {
+			return nil, ErrBadK
+		}
+		total *= f
+	}
+	n := g.NumUsers()
+	assign := make([]int32, n)
+	w := fromSocial(g)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	vertices := make([]int32, n)
+	for i := range vertices {
+		vertices[i] = int32(i)
+	}
+	if err := hierSplit(w, vertices, fanouts, 0, assign, opts, rng); err != nil {
+		return nil, err
+	}
+	return &Result{K: total, Assign: assign, EdgeCut: cutOf(w, assign)}, nil
+}
+
+// hierSplit partitions the induced subgraph on vertices into fanouts[0]
+// parts and recurses; base offsets accumulate into final leaf indices.
+func hierSplit(w *wgraph, vertices []int32, fanouts []int, base int32, assign []int32, opts Options, rng *rand.Rand) error {
+	k := fanouts[0]
+	sub, back := induce(w, vertices)
+	var subAssign []int32
+	if k == 1 {
+		subAssign = make([]int32, sub.n())
+	} else if k >= sub.n() {
+		subAssign = make([]int32, sub.n())
+		for i := range subAssign {
+			subAssign[i] = int32(i % k)
+		}
+	} else {
+		o := opts.withDefaults(k)
+		o.Seed = rng.Int63()
+		subAssign = partitionMultilevel(sub, k, o, rand.New(rand.NewSource(o.Seed)))
+	}
+	remaining := 1
+	for _, f := range fanouts[1:] {
+		remaining *= f
+	}
+	if len(fanouts) == 1 {
+		for i, v := range back {
+			assign[v] = base + subAssign[i]
+		}
+		return nil
+	}
+	// Group vertices per part and recurse.
+	groups := make([][]int32, k)
+	for i, v := range back {
+		p := subAssign[i]
+		groups[p] = append(groups[p], v)
+	}
+	for p := 0; p < k; p++ {
+		if len(groups[p]) == 0 {
+			continue
+		}
+		childBase := base + int32(p*remaining)
+		if err := hierSplit(w, groups[p], fanouts[1:], childBase, assign, opts, rng); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PartSizes returns the number of users per part.
+func (r *Result) PartSizes() []int {
+	sizes := make([]int, r.K)
+	for _, p := range r.Assign {
+		sizes[p]++
+	}
+	return sizes
+}
+
+// Imbalance returns max part size divided by the ideal size.
+func (r *Result) Imbalance() float64 {
+	sizes := r.PartSizes()
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	ideal := float64(len(r.Assign)) / float64(r.K)
+	if ideal == 0 {
+		return 0
+	}
+	return float64(maxSize) / ideal
+}
+
+// ---------------------------------------------------------------------------
+// Internal weighted graph (CSR), symmetrized.
+
+type wgraph struct {
+	xadj []int32
+	adj  []int32
+	ewgt []int32
+	vwgt []int32
+}
+
+func (w *wgraph) n() int { return len(w.xadj) - 1 }
+
+func (w *wgraph) neighbors(v int32) ([]int32, []int32) {
+	return w.adj[w.xadj[v]:w.xadj[v+1]], w.ewgt[w.xadj[v]:w.xadj[v+1]]
+}
+
+// fromSocial symmetrizes the social graph into a weighted undirected CSR
+// graph: an edge in either direction contributes weight 1 per direction, so
+// mutual links weigh 2. This mirrors how the paper's baselines feed
+// friendship/follower graphs to METIS.
+func fromSocial(g *socialgraph.Graph) *wgraph {
+	n := g.NumUsers()
+	deg := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for range g.Following(socialgraph.UserID(u)) {
+			deg[u]++
+		}
+		if g.Directed() {
+			for range g.Followers(socialgraph.UserID(u)) {
+				deg[u]++
+			}
+		}
+	}
+	xadj := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		xadj[u+1] = xadj[u] + deg[u]
+	}
+	adj := make([]int32, xadj[n])
+	fill := make([]int32, n)
+	addHalf := func(u int, v socialgraph.UserID) {
+		adj[xadj[u]+fill[u]] = int32(v)
+		fill[u]++
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Following(socialgraph.UserID(u)) {
+			addHalf(u, v)
+		}
+		if g.Directed() {
+			for _, v := range g.Followers(socialgraph.UserID(u)) {
+				addHalf(u, v)
+			}
+		}
+	}
+	// Merge duplicate neighbor entries into weights.
+	w := &wgraph{xadj: make([]int32, n+1), vwgt: make([]int32, n)}
+	for u := 0; u < n; u++ {
+		w.vwgt[u] = 1
+		seg := adj[xadj[u]:xadj[u+1]]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		for i := 0; i < len(seg); {
+			j := i
+			for j < len(seg) && seg[j] == seg[i] {
+				j++
+			}
+			w.adj = append(w.adj, seg[i])
+			w.ewgt = append(w.ewgt, int32(j-i))
+			i = j
+		}
+		w.xadj[u+1] = int32(len(w.adj))
+	}
+	return w
+}
+
+// induce extracts the subgraph on vertices; back maps sub-vertex -> original.
+func induce(w *wgraph, vertices []int32) (*wgraph, []int32) {
+	local := make(map[int32]int32, len(vertices))
+	for i, v := range vertices {
+		local[v] = int32(i)
+	}
+	sub := &wgraph{xadj: make([]int32, len(vertices)+1), vwgt: make([]int32, len(vertices))}
+	for i, v := range vertices {
+		sub.vwgt[i] = w.vwgt[v]
+		nbrs, wgts := w.neighbors(v)
+		for j, nb := range nbrs {
+			if lv, ok := local[nb]; ok {
+				sub.adj = append(sub.adj, lv)
+				sub.ewgt = append(sub.ewgt, wgts[j])
+			}
+		}
+		sub.xadj[i+1] = int32(len(sub.adj))
+	}
+	back := make([]int32, len(vertices))
+	copy(back, vertices)
+	return sub, back
+}
+
+func cutOf(w *wgraph, assign []int32) int64 {
+	var cut int64
+	for v := int32(0); int(v) < w.n(); v++ {
+		nbrs, wgts := w.neighbors(v)
+		for i, nb := range nbrs {
+			if nb > v && assign[v] != assign[nb] {
+				cut += int64(wgts[i])
+			}
+		}
+	}
+	return cut
+}
+
+// ---------------------------------------------------------------------------
+// Multilevel machinery.
+
+func partitionMultilevel(w *wgraph, k int, opts Options, rng *rand.Rand) []int32 {
+	// Coarsening phase.
+	levels := []*wgraph{w}
+	maps := [][]int32{} // maps[i]: vertex of levels[i] -> vertex of levels[i+1]
+	cur := w
+	for cur.n() > opts.CoarsenTo {
+		next, cmap := coarsen(cur, rng)
+		if next.n() >= cur.n()*9/10 {
+			break // matching stalled; further coarsening is useless
+		}
+		levels = append(levels, next)
+		maps = append(maps, cmap)
+		cur = next
+	}
+	// Initial partition on the coarsest graph.
+	coarsest := levels[len(levels)-1]
+	assign := initialPartition(coarsest, k, opts, rng)
+	refine(coarsest, k, assign, opts, rng)
+	// Uncoarsen and refine.
+	for i := len(levels) - 2; i >= 0; i-- {
+		fine := levels[i]
+		fineAssign := make([]int32, fine.n())
+		cmap := maps[i]
+		for v := range fineAssign {
+			fineAssign[v] = assign[cmap[v]]
+		}
+		assign = fineAssign
+		refine(fine, k, assign, opts, rng)
+	}
+	fillEmptyParts(w, k, assign)
+	return assign
+}
+
+// fillEmptyParts guarantees every part is non-empty (when n >= k) by
+// stealing the least-connected vertex of the largest part, so downstream
+// placements use every server.
+func fillEmptyParts(w *wgraph, k int, assign []int32) {
+	n := w.n()
+	if n < k {
+		return
+	}
+	sizes := make([]int, k)
+	for _, p := range assign {
+		sizes[p]++
+	}
+	for p := 0; p < k; p++ {
+		for sizes[p] == 0 {
+			// Donor: the currently largest part.
+			donor := 0
+			for q := 1; q < k; q++ {
+				if sizes[q] > sizes[donor] {
+					donor = q
+				}
+			}
+			if sizes[donor] <= 1 {
+				return // nothing sensible left to move
+			}
+			// Move the donor vertex with the weakest internal connectivity.
+			bestV, bestConn := int32(-1), int64(1<<62)
+			for v := int32(0); int(v) < n; v++ {
+				if assign[v] != int32(donor) {
+					continue
+				}
+				var conn int64
+				nbrs, wgts := w.neighbors(v)
+				for i, nb := range nbrs {
+					if assign[nb] == int32(donor) {
+						conn += int64(wgts[i])
+					}
+				}
+				if conn < bestConn {
+					bestV, bestConn = v, conn
+				}
+			}
+			if bestV == -1 {
+				return
+			}
+			assign[bestV] = int32(p)
+			sizes[donor]--
+			sizes[p]++
+		}
+	}
+}
+
+// coarsen contracts a heavy-edge matching: each unmatched vertex merges with
+// its unmatched neighbor of maximum edge weight.
+func coarsen(w *wgraph, rng *rand.Rand) (*wgraph, []int32) {
+	n := w.n()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	next := int32(0)
+	cmap := make([]int32, n)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] != -1 {
+			continue
+		}
+		bestNb := int32(-1)
+		bestW := int32(0)
+		nbrs, wgts := w.neighbors(v)
+		for i, nb := range nbrs {
+			if nb != v && match[nb] == -1 && wgts[i] > bestW {
+				bestNb, bestW = nb, wgts[i]
+			}
+		}
+		if bestNb == -1 {
+			match[v] = v
+			cmap[v] = next
+			next++
+			continue
+		}
+		match[v], match[bestNb] = bestNb, v
+		cmap[v] = next
+		cmap[bestNb] = next
+		next++
+	}
+	// Build the coarse graph.
+	cn := int(next)
+	coarse := &wgraph{xadj: make([]int32, cn+1), vwgt: make([]int32, cn)}
+	for v := int32(0); int(v) < n; v++ {
+		coarse.vwgt[cmap[v]] += w.vwgt[v]
+	}
+	// Accumulate merged edges per coarse vertex.
+	buckets := make([]map[int32]int32, cn)
+	for v := int32(0); int(v) < n; v++ {
+		cv := cmap[v]
+		if buckets[cv] == nil {
+			buckets[cv] = make(map[int32]int32, 4)
+		}
+		nbrs, wgts := w.neighbors(v)
+		for i, nb := range nbrs {
+			cnb := cmap[nb]
+			if cnb == cv {
+				continue
+			}
+			buckets[cv][cnb] += wgts[i]
+		}
+	}
+	for cv := 0; cv < cn; cv++ {
+		keys := make([]int32, 0, len(buckets[cv]))
+		for nb := range buckets[cv] {
+			keys = append(keys, nb)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, nb := range keys {
+			coarse.adj = append(coarse.adj, nb)
+			coarse.ewgt = append(coarse.ewgt, buckets[cv][nb])
+		}
+		coarse.xadj[cv+1] = int32(len(coarse.adj))
+	}
+	return coarse, cmap
+}
+
+// initialPartition grows k regions around random seeds, always absorbing the
+// unassigned frontier vertex with the strongest connection to the region.
+func initialPartition(w *wgraph, k int, opts Options, rng *rand.Rand) []int32 {
+	n := w.n()
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var totalW int64
+	for _, vw := range w.vwgt {
+		totalW += int64(vw)
+	}
+	target := float64(totalW) / float64(k)
+	limit := target * opts.MaxImbalance
+	order := rng.Perm(n)
+	oi := 0
+	nextSeed := func() int32 {
+		for oi < len(order) {
+			v := int32(order[oi])
+			oi++
+			if assign[v] == -1 {
+				return v
+			}
+		}
+		return -1
+	}
+	partW := make([]float64, k)
+	for p := 0; p < k; p++ {
+		seed := nextSeed()
+		if seed == -1 {
+			break
+		}
+		// Grow part p by BFS, preferring heavier frontier connections.
+		frontier := []int32{seed}
+		assign[seed] = int32(p)
+		partW[p] += float64(w.vwgt[seed])
+		for len(frontier) > 0 && partW[p] < target {
+			v := frontier[0]
+			frontier = frontier[1:]
+			nbrs, _ := w.neighbors(v)
+			for _, nb := range nbrs {
+				if assign[nb] != -1 || partW[p]+float64(w.vwgt[nb]) > limit {
+					continue
+				}
+				assign[nb] = int32(p)
+				partW[p] += float64(w.vwgt[nb])
+				frontier = append(frontier, nb)
+				if partW[p] >= target {
+					break
+				}
+			}
+		}
+	}
+	// Scatter leftovers onto the lightest parts.
+	for v := int32(0); int(v) < n; v++ {
+		if assign[v] != -1 {
+			continue
+		}
+		best := 0
+		for p := 1; p < k; p++ {
+			if partW[p] < partW[best] {
+				best = p
+			}
+		}
+		assign[v] = int32(best)
+		partW[best] += float64(w.vwgt[v])
+	}
+	return assign
+}
+
+// refine runs boundary Kernighan–Lin sweeps: every pass visits vertices in
+// random order and moves a vertex to the neighboring part with the highest
+// positive gain, subject to the balance bound.
+func refine(w *wgraph, k int, assign []int32, opts Options, rng *rand.Rand) {
+	n := w.n()
+	var totalW int64
+	for _, vw := range w.vwgt {
+		totalW += int64(vw)
+	}
+	target := float64(totalW) / float64(k)
+	limit := target * opts.MaxImbalance
+	partW := make([]float64, k)
+	for v := 0; v < n; v++ {
+		partW[assign[v]] += float64(w.vwgt[v])
+	}
+	conn := make([]int64, k)
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		moved := 0
+		for _, vi := range rng.Perm(n) {
+			v := int32(vi)
+			nbrs, wgts := w.neighbors(v)
+			if len(nbrs) == 0 {
+				continue
+			}
+			home := assign[v]
+			touched := make([]int32, 0, 4)
+			for i, nb := range nbrs {
+				p := assign[nb]
+				if conn[p] == 0 {
+					touched = append(touched, p)
+				}
+				conn[p] += int64(wgts[i])
+			}
+			bestPart := home
+			bestGain := int64(0)
+			for _, p := range touched {
+				if p == home {
+					continue
+				}
+				gain := conn[p] - conn[home]
+				if gain > bestGain && partW[p]+float64(w.vwgt[v]) <= limit {
+					bestGain, bestPart = gain, p
+				}
+			}
+			for _, p := range touched {
+				conn[p] = 0
+			}
+			if bestPart != home {
+				assign[v] = bestPart
+				partW[home] -= float64(w.vwgt[v])
+				partW[bestPart] += float64(w.vwgt[v])
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}

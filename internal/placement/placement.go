@@ -1,0 +1,200 @@
+// Package placement produces initial view-to-server assignments (§4.1, §4.4)
+// and implements the static baseline store used by the Random, METIS, and
+// hierarchical METIS configurations: exactly one replica per view, proxies
+// pinned to the broker in the view's rack, no adaptation.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dynasore/internal/partition"
+	"dynasore/internal/sim"
+	"dynasore/internal/socialgraph"
+	"dynasore/internal/topology"
+)
+
+// Assignment maps every user's view to the server initially hosting it.
+type Assignment struct {
+	Server []topology.MachineID
+}
+
+// Errors returned by the assignment constructors.
+var (
+	ErrNilArgs   = errors.New("placement: graph and topology are required")
+	ErrNoServers = errors.New("placement: topology has no servers")
+)
+
+// Random deals users onto servers uniformly at random but perfectly
+// balanced, emulating the hash-based assignment of memcached-style stores.
+func Random(g *socialgraph.Graph, topo *topology.Topology, seed int64) (*Assignment, error) {
+	if g == nil || topo == nil {
+		return nil, ErrNilArgs
+	}
+	servers := topo.Servers()
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumUsers()
+	assign := make([]topology.MachineID, n)
+	perm := rng.Perm(n)
+	for i, u := range perm {
+		assign[u] = servers[i%len(servers)]
+	}
+	return &Assignment{Server: assign}, nil
+}
+
+// Metis partitions the social graph into one part per server and assigns
+// parts to servers at random, ignoring the network hierarchy (§4.1).
+func Metis(g *socialgraph.Graph, topo *topology.Topology, seed int64) (*Assignment, error) {
+	if g == nil || topo == nil {
+		return nil, ErrNilArgs
+	}
+	servers := topo.Servers()
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+	res, err := partition.KWay(g, len(servers), partition.Options{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("metis placement: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	partToServer := rng.Perm(len(servers))
+	assign := make([]topology.MachineID, g.NumUsers())
+	for u, p := range res.Assign {
+		assign[u] = servers[partToServer[p]]
+	}
+	return &Assignment{Server: assign}, nil
+}
+
+// HMetis partitions hierarchically — first across intermediate switches,
+// then racks, then servers — so that cross-subtree friendships are cut as
+// high in the tree as possible (§4.1 "Hierarchical METIS"). On a flat
+// topology it degenerates to Metis.
+func HMetis(g *socialgraph.Graph, topo *topology.Topology, seed int64) (*Assignment, error) {
+	if g == nil || topo == nil {
+		return nil, ErrNilArgs
+	}
+	servers := topo.Servers()
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+	fanouts := hierFanouts(topo)
+	res, err := partition.Hierarchical(g, fanouts, partition.Options{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("hmetis placement: %w", err)
+	}
+	if res.K != len(servers) {
+		return nil, fmt.Errorf("hmetis placement: %d leaves for %d servers", res.K, len(servers))
+	}
+	assign := make([]topology.MachineID, g.NumUsers())
+	for u, p := range res.Assign {
+		// Servers are laid out rack-by-rack in exactly the leaf order the
+		// hierarchical partitioner produces.
+		assign[u] = servers[p]
+	}
+	return &Assignment{Server: assign}, nil
+}
+
+// hierFanouts derives the recursive split factors from the topology: one
+// part per intermediate switch, then per rack, then per server.
+func hierFanouts(topo *topology.Topology) []int {
+	if topo.Shape() == topology.ShapeFlat {
+		return []int{len(topo.Servers())}
+	}
+	var inters []topology.SwitchID
+	rackCount := map[topology.SwitchID]int{}
+	serversInRack := 0
+	for _, sw := range topo.Switches() {
+		switch sw.Level {
+		case topology.LevelIntermediate:
+			inters = append(inters, sw.ID)
+		case topology.LevelRack:
+			rackCount[sw.Parent]++
+			if serversInRack == 0 {
+				for _, mID := range topo.MachinesUnderRack(sw.ID) {
+					if topo.Machine(mID).IsServer() {
+						serversInRack++
+					}
+				}
+			}
+		}
+	}
+	racksPerInter := rackCount[inters[0]]
+	return []int{len(inters), racksPerInter, serversInRack}
+}
+
+// BrokerForServer returns the broker co-located with a server: the broker in
+// its rack for tree topologies (smallest ID if several), or the machine
+// itself in the flat topology where every machine is also a broker.
+func BrokerForServer(topo *topology.Topology, server topology.MachineID) topology.MachineID {
+	m := topo.Machine(server)
+	if m.IsBroker() {
+		return server
+	}
+	for _, id := range topo.MachinesUnderRack(m.Rack) {
+		if topo.Machine(id).IsBroker() {
+			return id
+		}
+	}
+	// No broker in the rack: fall back to the globally closest one.
+	return topo.ClosestBrokerTo(server)
+}
+
+// StaticStore serves requests from a fixed single-replica assignment.
+type StaticStore struct {
+	topo    *topology.Topology
+	g       *socialgraph.Graph
+	traffic *topology.Traffic
+	view    []topology.MachineID // view[u]: server holding u's only replica
+	proxy   []topology.MachineID // proxy[u]: broker executing u's requests
+}
+
+var _ sim.Store = (*StaticStore)(nil)
+
+// NewStaticStore builds the baseline store over an assignment.
+func NewStaticStore(g *socialgraph.Graph, topo *topology.Topology, traffic *topology.Traffic, a *Assignment) (*StaticStore, error) {
+	if g == nil || topo == nil || traffic == nil || a == nil {
+		return nil, ErrNilArgs
+	}
+	if len(a.Server) != g.NumUsers() {
+		return nil, fmt.Errorf("placement: assignment covers %d users, graph has %d", len(a.Server), g.NumUsers())
+	}
+	s := &StaticStore{
+		topo:    topo,
+		g:       g,
+		traffic: traffic,
+		view:    a.Server,
+		proxy:   make([]topology.MachineID, g.NumUsers()),
+	}
+	for u := range s.proxy {
+		s.proxy[u] = BrokerForServer(topo, a.Server[u])
+	}
+	return s, nil
+}
+
+// Read fetches the views of everyone u follows through u's broker.
+func (s *StaticStore) Read(now int64, u socialgraph.UserID) {
+	b := s.proxy[u]
+	for _, v := range s.g.Following(u) {
+		srv := s.view[v]
+		s.traffic.Record(b, srv, sim.AppWeight, false)
+		s.traffic.Record(srv, b, sim.AppWeight, false)
+	}
+}
+
+// Write updates u's single replica through u's broker.
+func (s *StaticStore) Write(now int64, u socialgraph.UserID) {
+	b := s.proxy[u]
+	srv := s.view[u]
+	s.traffic.Record(b, srv, sim.AppWeight, false)
+	s.traffic.Record(srv, b, sim.AppWeight, false)
+}
+
+// Tick is a no-op: static stores never adapt.
+func (s *StaticStore) Tick(now int64) {}
+
+// ViewServer returns the server hosting u's view.
+func (s *StaticStore) ViewServer(u socialgraph.UserID) topology.MachineID { return s.view[u] }

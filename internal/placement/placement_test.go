@@ -1,0 +1,205 @@
+package placement
+
+import (
+	"testing"
+
+	"dynasore/internal/socialgraph"
+	"dynasore/internal/topology"
+)
+
+func testSetup(t *testing.T) (*socialgraph.Graph, *topology.Topology) {
+	t.Helper()
+	g, err := socialgraph.Facebook(1200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.NewTree(3, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, topo
+}
+
+func TestRandomBalanced(t *testing.T) {
+	g, topo := testSetup(t)
+	a, err := Random(g, topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[topology.MachineID]int{}
+	for _, srv := range a.Server {
+		if !topo.Machine(srv).IsServer() {
+			t.Fatalf("user assigned to non-server %d", srv)
+		}
+		counts[srv]++
+	}
+	ideal := g.NumUsers() / len(topo.Servers())
+	for srv, c := range counts {
+		if c < ideal-1 || c > ideal+1 {
+			t.Errorf("server %d holds %d views, ideal %d", srv, c, ideal)
+		}
+	}
+}
+
+func TestMetisUsesAllServers(t *testing.T) {
+	g, topo := testSetup(t)
+	a, err := Metis(g, topo, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[topology.MachineID]bool{}
+	for _, srv := range a.Server {
+		used[srv] = true
+	}
+	if len(used) != len(topo.Servers()) {
+		t.Errorf("metis used %d servers, want %d", len(used), len(topo.Servers()))
+	}
+}
+
+// crossTreeFraction counts the fraction of followed views stored under a
+// different intermediate switch than the reader's view.
+func crossTreeFraction(g *socialgraph.Graph, topo *topology.Topology, a *Assignment) float64 {
+	var cross, total int64
+	for u := 0; u < g.NumUsers(); u++ {
+		su := topo.Machine(a.Server[u])
+		for _, v := range g.Following(socialgraph.UserID(u)) {
+			sv := topo.Machine(a.Server[v])
+			total++
+			if su.Inter != sv.Inter {
+				cross++
+			}
+		}
+	}
+	return float64(cross) / float64(total)
+}
+
+func TestPlacementLocalityOrdering(t *testing.T) {
+	g, topo := testSetup(t)
+	ra, err := Random(g, topo, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := Metis(g, topo, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := HMetis(g, topo, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, mf, hf := crossTreeFraction(g, topo, ra), crossTreeFraction(g, topo, ma), crossTreeFraction(g, topo, ha)
+	// The paper's ordering at x=0: hMETIS < METIS < Random for top-switch
+	// locality (Fig. 3 discussion).
+	if hf >= rf {
+		t.Errorf("hMETIS cross-tree %.3f not better than random %.3f", hf, rf)
+	}
+	if hf >= mf {
+		t.Errorf("hMETIS cross-tree %.3f not better than METIS %.3f", hf, mf)
+	}
+}
+
+func TestHMetisFlatTopology(t *testing.T) {
+	g, _ := testSetup(t)
+	flat, err := topology.NewFlat(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := HMetis(g, flat, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Server) != g.NumUsers() {
+		t.Fatalf("assignment covers %d users", len(a.Server))
+	}
+}
+
+func TestBrokerForServer(t *testing.T) {
+	_, topo := testSetup(t)
+	srv := topo.Servers()[0]
+	b := BrokerForServer(topo, srv)
+	if !topo.Machine(b).IsBroker() {
+		t.Fatalf("BrokerForServer returned non-broker %d", b)
+	}
+	if topo.Machine(b).Rack != topo.Machine(srv).Rack {
+		t.Errorf("broker %d not in server %d's rack", b, srv)
+	}
+	flat, err := topology.NewFlat(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BrokerForServer(flat, 2); got != 2 {
+		t.Errorf("flat BrokerForServer = %d, want 2 (self)", got)
+	}
+}
+
+func TestStaticStoreTraffic(t *testing.T) {
+	g, topo := testSetup(t)
+	a, err := Random(g, topo, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := topology.NewTraffic(topo)
+	st, err := NewStaticStore(g, topo, tr, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A write only touches the user's own view server from its rack broker.
+	var u socialgraph.UserID
+	st.Write(0, u)
+	if tr.AppTotal() == 0 {
+		t.Error("write produced no traffic")
+	}
+	if tr.TopTotal() != 0 {
+		t.Error("rack-local write crossed the top switch")
+	}
+	tr.Reset()
+	// Reads of remote views must generate traffic proportional to 2 app
+	// messages per view.
+	reader := socialgraph.UserID(0)
+	st.Read(0, reader)
+	if n := len(g.Following(reader)); n > 0 && tr.AppTotal() == 0 {
+		t.Error("read of remote views produced no traffic")
+	}
+	st.Tick(0) // must be a no-op
+}
+
+func TestStaticStoreValidation(t *testing.T) {
+	g, topo := testSetup(t)
+	tr := topology.NewTraffic(topo)
+	if _, err := NewStaticStore(nil, topo, tr, &Assignment{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewStaticStore(g, topo, tr, &Assignment{Server: make([]topology.MachineID, 3)}); err == nil {
+		t.Error("short assignment accepted")
+	}
+}
+
+func TestAssignmentValidation(t *testing.T) {
+	g, topo := testSetup(t)
+	if _, err := Random(nil, topo, 0); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Metis(g, nil, 0); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := HMetis(nil, nil, 0); err == nil {
+		t.Error("nil args accepted")
+	}
+}
+
+func TestAssignmentDeterminism(t *testing.T) {
+	g, topo := testSetup(t)
+	a, err := Random(g, topo, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(g, topo, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a.Server {
+		if a.Server[u] != b.Server[u] {
+			t.Fatalf("same seed, different assignment at %d", u)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package sim drives trace-based simulations of view stores over a
+// data-center topology, reproducing the paper's evaluation methodology
+// (§4.3): it replays a request log in time order, invokes the store's
+// maintenance hook on every counter-rotation boundary, and accounts
+// per-switch traffic with application messages weighing 10× protocol
+// messages.
+package sim
+
+import (
+	"errors"
+
+	"dynasore/internal/socialgraph"
+	"dynasore/internal/topology"
+	"dynasore/internal/trace"
+)
+
+// Message weights (§4.3): application messages (read/write requests and
+// their answers, view transfers) are 10× longer than protocol messages.
+const (
+	AppWeight = 10
+	CtlWeight = 1
+)
+
+// Store is a view store under simulation. Implementations route each request
+// through their broker/server model and record the induced traffic.
+type Store interface {
+	// Read executes user u's read request at time now (fetch the views of
+	// everyone u follows).
+	Read(now int64, u socialgraph.UserID)
+	// Write executes user u's write request at time now (update every
+	// replica of u's view).
+	Write(now int64, u socialgraph.UserID)
+	// Tick runs periodic maintenance (utility recomputation, threshold
+	// updates, eviction) at time now. Static stores may ignore it.
+	Tick(now int64)
+}
+
+// HourPoint is the traffic observed during one simulated hour.
+type HourPoint struct {
+	Hour   int
+	TopApp int64 // application traffic through the top switch this hour
+	TopSys int64 // protocol traffic through the top switch this hour
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// Traffic holds the cumulative per-switch traffic over the measured
+	// portion of the run (after warmup).
+	Traffic *topology.Traffic
+	// Hourly holds per-hour top-switch traffic deltas over the entire run,
+	// including warmup — used by the convergence and real-trace figures.
+	Hourly []HourPoint
+	// Requests is the number of requests replayed (measured portion only).
+	Requests int64
+}
+
+// Engine replays request logs against a store.
+type Engine struct {
+	topo    *topology.Topology
+	store   Store
+	traffic *topology.Traffic
+}
+
+// ErrBadEngine reports invalid engine construction arguments.
+var ErrBadEngine = errors.New("sim: topology, store, and traffic are required")
+
+// NewEngine creates an engine. traffic must be the same collector the store
+// records into.
+func NewEngine(topo *topology.Topology, store Store, traffic *topology.Traffic) (*Engine, error) {
+	if topo == nil || store == nil || traffic == nil {
+		return nil, ErrBadEngine
+	}
+	return &Engine{topo: topo, store: store, traffic: traffic}, nil
+}
+
+// RunOptions controls a replay.
+type RunOptions struct {
+	// WarmupSeconds of the log are replayed (and ticked) but excluded from
+	// Result.Traffic, matching the paper's "after convergence" measurements.
+	WarmupSeconds int64
+	// TickEverySeconds triggers Store.Tick; 0 defaults to one hour, the
+	// paper's counter-rotation period.
+	TickEverySeconds int64
+	// OnTick, if set, is called after every maintenance tick with the
+	// current time; experiments use it to sample store state (e.g. replica
+	// counts during a flash event).
+	OnTick func(now int64)
+}
+
+// Run replays log through the store.
+func (e *Engine) Run(log *trace.Log, opts RunOptions) *Result {
+	tick := opts.TickEverySeconds
+	if tick <= 0 {
+		tick = 3600
+	}
+	res := &Result{Traffic: e.traffic}
+	var (
+		nextTick   int64 = tick
+		hourStart  int64
+		prevTopApp int64
+		prevTopSys int64
+		hourIdx    int
+		warmupDone = opts.WarmupSeconds <= 0
+	)
+	flushHour := func() {
+		app, sys := e.traffic.TopApp(), e.traffic.TopSys()
+		res.Hourly = append(res.Hourly, HourPoint{
+			Hour:   hourIdx,
+			TopApp: app - prevTopApp,
+			TopSys: sys - prevTopSys,
+		})
+		prevTopApp, prevTopSys = app, sys
+		hourIdx++
+	}
+	advanceTo := func(now int64) {
+		for nextTick <= now {
+			e.store.Tick(nextTick)
+			if nextTick-hourStart >= 3600 {
+				flushHour()
+				hourStart = nextTick
+			}
+			if opts.OnTick != nil {
+				opts.OnTick(nextTick)
+			}
+			nextTick += tick
+		}
+		if !warmupDone && now >= opts.WarmupSeconds {
+			// Drop warmup traffic so Result.Traffic covers only the
+			// post-convergence window, then re-base the hourly series on
+			// the fresh collector.
+			e.traffic.Reset()
+			prevTopApp, prevTopSys = 0, 0
+			warmupDone = true
+		}
+	}
+	for _, r := range log.Requests {
+		advanceTo(r.At)
+		if warmupDone {
+			res.Requests++
+		}
+		switch r.Kind {
+		case trace.OpRead:
+			e.store.Read(r.At, r.User)
+		case trace.OpWrite:
+			e.store.Write(r.At, r.User)
+		}
+	}
+	// Final partial hour.
+	flushHour()
+	return res
+}

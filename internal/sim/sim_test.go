@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"testing"
+
+	"dynasore/internal/socialgraph"
+	"dynasore/internal/topology"
+	"dynasore/internal/trace"
+)
+
+// countingStore records the calls it receives and charges one cross-tree
+// app message per read to make traffic observable.
+type countingStore struct {
+	topo    *topology.Topology
+	traffic *topology.Traffic
+	reads   int
+	writes  int
+	ticks   []int64
+}
+
+func (c *countingStore) Read(now int64, u socialgraph.UserID) {
+	c.reads++
+	c.traffic.Record(0, topology.MachineID(c.topo.NumMachines()-1), AppWeight, false)
+}
+
+func (c *countingStore) Write(now int64, u socialgraph.UserID) {
+	c.writes++
+	c.traffic.Record(0, topology.MachineID(c.topo.NumMachines()-1), CtlWeight, true)
+}
+
+func (c *countingStore) Tick(now int64) { c.ticks = append(c.ticks, now) }
+
+func setup(t *testing.T) (*topology.Topology, *topology.Traffic, *countingStore, *trace.Log) {
+	t.Helper()
+	topo, err := topology.NewTree(2, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := topology.NewTraffic(topo)
+	store := &countingStore{topo: topo, traffic: tr}
+	g, err := socialgraph.Facebook(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := trace.Synthetic(g, trace.DefaultSynthetic(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, tr, store, log
+}
+
+func TestEngineValidation(t *testing.T) {
+	topo, tr, store, _ := setup(t)
+	if _, err := NewEngine(nil, store, tr); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := NewEngine(topo, nil, tr); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := NewEngine(topo, store, nil); err == nil {
+		t.Error("nil traffic accepted")
+	}
+}
+
+func TestEngineReplaysEveryRequest(t *testing.T) {
+	topo, tr, store, log := setup(t)
+	eng, err := NewEngine(topo, store, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run(log, RunOptions{})
+	reads, writes := log.Counts()
+	if int64(store.reads) != reads || int64(store.writes) != writes {
+		t.Errorf("store saw %d/%d, log has %d/%d", store.reads, store.writes, reads, writes)
+	}
+	if res.Requests != reads+writes {
+		t.Errorf("Requests = %d, want %d", res.Requests, reads+writes)
+	}
+}
+
+func TestEngineHourlyTicks(t *testing.T) {
+	topo, tr, store, log := setup(t)
+	eng, err := NewEngine(topo, store, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(log, RunOptions{})
+	// One day of traffic: ticks at hours 1..23 at least (the last requests
+	// may precede the final tick).
+	if len(store.ticks) < 22 {
+		t.Fatalf("ticks = %d, want >= 22", len(store.ticks))
+	}
+	for i, at := range store.ticks {
+		if at != int64(i+1)*3600 {
+			t.Fatalf("tick %d at %d, want %d", i, at, (i+1)*3600)
+		}
+	}
+}
+
+func TestEngineWarmupExcludesTraffic(t *testing.T) {
+	topo, tr, store, log := setup(t)
+	eng, err := NewEngine(topo, store, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := eng.Run(log, RunOptions{}).Traffic.TopTotal()
+
+	// Fresh run with half-day warmup must report less traffic.
+	tr2 := topology.NewTraffic(topo)
+	store2 := &countingStore{topo: topo, traffic: tr2}
+	eng2, err := NewEngine(topo, store2, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := eng2.Run(log, RunOptions{WarmupSeconds: trace.SecondsPerDay / 2})
+	if warm.Traffic.TopTotal() >= full {
+		t.Errorf("warmup run traffic %d >= full %d", warm.Traffic.TopTotal(), full)
+	}
+	if warm.Requests >= int64(store2.reads+store2.writes) {
+		t.Errorf("measured requests %d should exclude warmup of %d total",
+			warm.Requests, store2.reads+store2.writes)
+	}
+}
+
+func TestEngineHourlySeries(t *testing.T) {
+	topo, tr, store, log := setup(t)
+	eng, err := NewEngine(topo, store, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run(log, RunOptions{})
+	if len(res.Hourly) < 23 {
+		t.Fatalf("hourly points = %d, want >= 23", len(res.Hourly))
+	}
+	var sumApp int64
+	for _, h := range res.Hourly {
+		sumApp += h.TopApp
+	}
+	if sumApp != tr.TopApp() {
+		t.Errorf("hourly app sum %d != collector %d", sumApp, tr.TopApp())
+	}
+}
+
+func TestEngineOnTickCallback(t *testing.T) {
+	topo, tr, store, log := setup(t)
+	eng, err := NewEngine(topo, store, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var called []int64
+	eng.Run(log, RunOptions{OnTick: func(now int64) { called = append(called, now) }})
+	if len(called) != len(store.ticks) {
+		t.Errorf("OnTick calls %d != store ticks %d", len(called), len(store.ticks))
+	}
+}
+
+func TestEngineCustomTickPeriod(t *testing.T) {
+	topo, tr, store, log := setup(t)
+	eng, err := NewEngine(topo, store, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(log, RunOptions{TickEverySeconds: 6 * 3600})
+	if len(store.ticks) < 3 || len(store.ticks) > 4 {
+		t.Errorf("6-hour ticks over one day = %d, want 3-4", len(store.ticks))
+	}
+}

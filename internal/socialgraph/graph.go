@@ -1,0 +1,295 @@
+// Package socialgraph models the social networks DynaSoRe serves: directed
+// follower graphs (Twitter-like) and undirected friendship graphs
+// (Facebook/LiveJournal-like). An edge u -> v means user u reads the view
+// produced by user v. The package includes deterministic synthetic
+// generators shaped after the paper's three datasets (§4.2, Table 1) and a
+// plain edge-list loader for real crawls.
+package socialgraph
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// UserID identifies a user. Users are dense integers in [0, NumUsers).
+type UserID int32
+
+// Graph is an immutable social graph. Following(u) lists the producers whose
+// views u reads; Followers(u) lists the consumers of u's view.
+type Graph struct {
+	name     string
+	directed bool
+	out      [][]UserID // out[u]: users u follows (reads)
+	in       [][]UserID // in[u]: users following u
+	links    int64      // number of stored edges (directed count)
+}
+
+// Errors returned by graph constructors and loaders.
+var (
+	ErrNoUsers   = errors.New("socialgraph: graph needs at least one user")
+	ErrBadEdge   = errors.New("socialgraph: edge endpoint out of range")
+	ErrBadFormat = errors.New("socialgraph: malformed edge list line")
+)
+
+// Builder accumulates edges and produces an immutable Graph. For undirected
+// graphs every added edge is stored in both directions.
+type Builder struct {
+	name     string
+	directed bool
+	n        int
+	src, dst []UserID
+}
+
+// NewBuilder creates a builder for a graph over n users.
+func NewBuilder(name string, n int, directed bool) (*Builder, error) {
+	if n <= 0 {
+		return nil, ErrNoUsers
+	}
+	return &Builder{name: name, directed: directed, n: n}, nil
+}
+
+// AddEdge records that u follows v (reads v's view). Self-loops are ignored.
+// For undirected graphs the reverse edge is implied.
+func (b *Builder) AddEdge(u, v UserID) error {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		return fmt.Errorf("%w: %d -> %d (n=%d)", ErrBadEdge, u, v, b.n)
+	}
+	if u == v {
+		return nil
+	}
+	b.src = append(b.src, u)
+	b.dst = append(b.dst, v)
+	return nil
+}
+
+// Build finalizes the graph, deduplicating parallel edges.
+func (b *Builder) Build() *Graph {
+	g := &Graph{name: b.name, directed: b.directed}
+	g.out = buildAdjacency(b.n, b.src, b.dst)
+	if b.directed {
+		g.in = buildAdjacency(b.n, b.dst, b.src)
+	} else {
+		// Merge both directions, then the graph is symmetric.
+		src := append(append([]UserID{}, b.src...), b.dst...)
+		dst := append(append([]UserID{}, b.dst...), b.src...)
+		g.out = buildAdjacency(b.n, src, dst)
+		g.in = g.out
+	}
+	for _, adj := range g.out {
+		g.links += int64(len(adj))
+	}
+	return g
+}
+
+// buildAdjacency bucket-sorts edges into per-source sorted, deduplicated
+// adjacency lists.
+func buildAdjacency(n int, src, dst []UserID) [][]UserID {
+	counts := make([]int, n)
+	for _, s := range src {
+		counts[s]++
+	}
+	adj := make([][]UserID, n)
+	for u := range adj {
+		if counts[u] > 0 {
+			adj[u] = make([]UserID, 0, counts[u])
+		}
+	}
+	for i, s := range src {
+		adj[s] = append(adj[s], dst[i])
+	}
+	for u := range adj {
+		a := adj[u]
+		if len(a) < 2 {
+			continue
+		}
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		w := 1
+		for r := 1; r < len(a); r++ {
+			if a[r] != a[w-1] {
+				a[w] = a[r]
+				w++
+			}
+		}
+		adj[u] = a[:w]
+	}
+	return adj
+}
+
+// Name returns the dataset label, e.g. "twitter".
+func (g *Graph) Name() string { return g.name }
+
+// Directed reports whether following is asymmetric.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumUsers returns the number of users.
+func (g *Graph) NumUsers() int { return len(g.out) }
+
+// NumLinks returns the number of stored directed edges. For undirected
+// graphs each friendship counts twice (once per direction); see
+// NumUndirectedLinks for Table 1 style counts.
+func (g *Graph) NumLinks() int64 { return g.links }
+
+// NumUndirectedLinks returns the edge count as the paper's Table 1 reports
+// it: directed edges for directed graphs, friendships for undirected ones.
+func (g *Graph) NumUndirectedLinks() int64 {
+	if g.directed {
+		return g.links
+	}
+	return g.links / 2
+}
+
+// Following returns the users whose views u reads. Callers must not modify
+// the returned slice.
+func (g *Graph) Following(u UserID) []UserID { return g.out[u] }
+
+// Followers returns the users who read u's view. Callers must not modify the
+// returned slice.
+func (g *Graph) Followers(u UserID) []UserID { return g.in[u] }
+
+// OutDegree returns |Following(u)|.
+func (g *Graph) OutDegree(u UserID) int { return len(g.out[u]) }
+
+// InDegree returns |Followers(u)|.
+func (g *Graph) InDegree(u UserID) int { return len(g.in[u]) }
+
+// MaxDegree returns the maximum total degree across users.
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for u := range g.out {
+		d := len(g.out[u])
+		if g.directed {
+			d += len(g.in[u])
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// WithExtraEdges returns a copy of g with the given follower edges added
+// (each pair is reader -> producer). It is used by the flash-event
+// experiment (§4.6) which adds and later removes 100 random followers.
+func (g *Graph) WithExtraEdges(pairs [][2]UserID) (*Graph, error) {
+	b, err := NewBuilder(g.name, g.NumUsers(), g.directed)
+	if err != nil {
+		return nil, err
+	}
+	for u, adj := range g.out {
+		for _, v := range adj {
+			if !g.directed && UserID(u) > v {
+				continue // add each friendship once
+			}
+			if err := b.AddEdge(UserID(u), v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, p := range pairs {
+		if err := b.AddEdge(p[0], p[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// LoadEdgeList reads a whitespace-separated "src dst" edge list, one edge
+// per line. Lines starting with '#' or '%' are comments. User IDs must be
+// dense in [0, n).
+func LoadEdgeList(r io.Reader, name string, n int, directed bool) (*Graph, error) {
+	b, err := NewBuilder(name, n, directed)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadFormat, line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, line, err)
+		}
+		if err := b.AddEdge(UserID(u), UserID(v)); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read edge list: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes the graph in the format LoadEdgeList reads.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for u, adj := range g.out {
+		for _, v := range adj {
+			if !g.directed && UserID(u) > v {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DegreeStats summarizes the degree distribution.
+type DegreeStats struct {
+	MeanOut   float64
+	MaxOut    int
+	MaxIn     int
+	P50Out    int
+	P99Out    int
+	Isolated  int // users with no connections at all
+	ZeroReads int // users following nobody
+}
+
+// Stats computes summary degree statistics.
+func (g *Graph) Stats() DegreeStats {
+	n := g.NumUsers()
+	outDegs := make([]int, n)
+	var s DegreeStats
+	var sum int64
+	for u := 0; u < n; u++ {
+		od := len(g.out[u])
+		outDegs[u] = od
+		sum += int64(od)
+		if od > s.MaxOut {
+			s.MaxOut = od
+		}
+		if len(g.in[u]) > s.MaxIn {
+			s.MaxIn = len(g.in[u])
+		}
+		if od == 0 {
+			s.ZeroReads++
+			if len(g.in[u]) == 0 {
+				s.Isolated++
+			}
+		}
+	}
+	s.MeanOut = float64(sum) / float64(n)
+	sort.Ints(outDegs)
+	s.P50Out = outDegs[n/2]
+	s.P99Out = outDegs[n*99/100]
+	return s
+}

@@ -1,0 +1,335 @@
+package socialgraph
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := NewBuilder("x", 0, true); err == nil {
+		t.Error("NewBuilder(0) succeeded, want error")
+	}
+	b, err := NewBuilder("x", 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 3); err == nil {
+		t.Error("AddEdge out of range succeeded")
+	}
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Error("AddEdge negative succeeded")
+	}
+}
+
+func TestDirectedBuild(t *testing.T) {
+	b, err := NewBuilder("d", 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]UserID{{0, 1}, {0, 2}, {0, 1}, {1, 1}, {3, 0}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	if !g.Directed() {
+		t.Error("graph should be directed")
+	}
+	if got := g.NumLinks(); got != 3 { // dup 0->1 and self-loop dropped
+		t.Errorf("NumLinks = %d, want 3", got)
+	}
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", got)
+	}
+	if got := g.InDegree(1); got != 1 {
+		t.Errorf("InDegree(1) = %d, want 1", got)
+	}
+	if got := g.Followers(0); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Followers(0) = %v, want [3]", got)
+	}
+	if got := g.NumUndirectedLinks(); got != 3 {
+		t.Errorf("NumUndirectedLinks = %d, want 3 for directed graph", got)
+	}
+}
+
+func TestUndirectedBuild(t *testing.T) {
+	b, err := NewBuilder("u", 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]UserID{{0, 1}, {1, 0}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	if g.Directed() {
+		t.Error("graph should be undirected")
+	}
+	if got := g.NumLinks(); got != 4 { // 2 friendships, both directions
+		t.Errorf("NumLinks = %d, want 4", got)
+	}
+	if got := g.NumUndirectedLinks(); got != 2 {
+		t.Errorf("NumUndirectedLinks = %d, want 2", got)
+	}
+	if got := g.Following(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Following(1) = %v, want [0]", got)
+	}
+	// Symmetry: Following == Followers for undirected graphs.
+	for u := 0; u < 4; u++ {
+		f, fo := g.Following(UserID(u)), g.Followers(UserID(u))
+		if len(f) != len(fo) {
+			t.Errorf("user %d: asymmetric undirected graph", u)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	b, err := NewBuilder("rt", 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]UserID{{0, 1}, {1, 2}, {4, 0}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(&buf, "rt", 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumLinks() != g.NumLinks() {
+		t.Errorf("round trip links = %d, want %d", g2.NumLinks(), g.NumLinks())
+	}
+	for u := 0; u < 5; u++ {
+		a, b := g.Following(UserID(u)), g2.Following(UserID(u))
+		if len(a) != len(b) {
+			t.Fatalf("user %d adjacency mismatch: %v vs %v", u, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("user %d adjacency mismatch: %v vs %v", u, a, b)
+			}
+		}
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	if _, err := LoadEdgeList(strings.NewReader("0 1\nbogus\n"), "x", 2, true); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := LoadEdgeList(strings.NewReader("0 9\n"), "x", 2, true); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	g, err := LoadEdgeList(strings.NewReader("# comment\n% comment\n\n0 1\n"), "x", 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 1 {
+		t.Errorf("NumLinks = %d, want 1", g.NumLinks())
+	}
+}
+
+func TestGeneratorRatios(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(int, int64) (*Graph, error)
+		cfg  GeneratorConfig
+	}{
+		{"twitter", Twitter, TwitterConfig},
+		{"facebook", Facebook, FacebookConfig},
+		{"livejournal", LiveJournal, LiveJournalConfig},
+	}
+	const n = 4000
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, err := c.gen(n, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumUsers() != n {
+				t.Fatalf("NumUsers = %d, want %d", g.NumUsers(), n)
+			}
+			if g.Name() != c.cfg.Name {
+				t.Errorf("Name = %q, want %q", g.Name(), c.cfg.Name)
+			}
+			ratio := float64(g.NumUndirectedLinks()) / float64(n)
+			// Degree skew plus dedup makes the ratio approximate; within
+			// 40% keeps the dataset shapes distinct (2.9 vs 14–16).
+			if math.Abs(ratio-c.cfg.LinksPerUser)/c.cfg.LinksPerUser > 0.4 {
+				t.Errorf("links/user = %.2f, want ≈%.2f", ratio, c.cfg.LinksPerUser)
+			}
+			if g.Directed() != c.cfg.Directed {
+				t.Errorf("Directed = %v, want %v", g.Directed(), c.cfg.Directed)
+			}
+		})
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, err := Twitter(1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Twitter(1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatalf("same seed produced different link counts: %d vs %d", a.NumLinks(), b.NumLinks())
+	}
+	for u := 0; u < 1000; u++ {
+		x, y := a.Following(UserID(u)), b.Following(UserID(u))
+		if len(x) != len(y) {
+			t.Fatalf("user %d: different adjacency", u)
+		}
+	}
+	c, err := Twitter(1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumLinks() == a.NumLinks() {
+		t.Log("different seeds produced equal link counts (possible but unlikely)")
+	}
+}
+
+func TestGeneratorHeavyTail(t *testing.T) {
+	g, err := Twitter(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := g.Stats()
+	// A preferential-attachment graph must have hubs far above the mean.
+	if float64(stats.MaxIn) < 8*stats.MeanOut {
+		t.Errorf("max in-degree %d vs mean %.1f: tail not heavy enough", stats.MaxIn, stats.MeanOut)
+	}
+	if stats.P50Out > stats.P99Out {
+		t.Errorf("P50 %d > P99 %d", stats.P50Out, stats.P99Out)
+	}
+}
+
+func TestGeneratorCommunityClustering(t *testing.T) {
+	g, err := Facebook(3000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commSize := FacebookConfig.CommunitySize
+	superSize := commSize * 10
+	intra, intraSuper, total := 0, 0, 0
+	for u := 0; u < g.NumUsers(); u++ {
+		for _, v := range g.Following(UserID(u)) {
+			total++
+			if u/commSize == int(v)/commSize {
+				intra++
+			}
+			if u/superSize == int(v)/superSize {
+				intraSuper++
+			}
+		}
+	}
+	// Multi-scale locality: a solid core inside the community, and the
+	// bulk of all edges within the super-community.
+	if frac := float64(intra) / float64(total); frac < 0.2 {
+		t.Errorf("intra-community fraction = %.2f, want >= 0.2", frac)
+	}
+	if frac := float64(intraSuper) / float64(total); frac < 0.6 {
+		t.Errorf("intra-super-community fraction = %.2f, want >= 0.6", frac)
+	}
+}
+
+func TestWithExtraEdges(t *testing.T) {
+	g, err := Facebook(500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := UserID(42)
+	before := g.InDegree(target)
+	var pairs [][2]UserID
+	for i := 0; i < 50; i++ {
+		follower := UserID((i * 7) % 500)
+		if follower == target {
+			continue
+		}
+		pairs = append(pairs, [2]UserID{follower, target})
+	}
+	g2, err := g.WithExtraEdges(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.InDegree(target) <= before {
+		t.Errorf("InDegree(target) = %d, want > %d", g2.InDegree(target), before)
+	}
+	if g2.NumUsers() != g.NumUsers() {
+		t.Error("user count changed")
+	}
+	// Original graph unchanged.
+	if g.InDegree(target) != before {
+		t.Error("WithExtraEdges mutated the original graph")
+	}
+}
+
+func TestAdjacencySortedUniqueProperty(t *testing.T) {
+	g, err := LiveJournal(2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint16) bool {
+		u := UserID(int(raw) % g.NumUsers())
+		adj := g.Following(u)
+		for i := 1; i < len(adj); i++ {
+			if adj[i-1] >= adj[i] {
+				return false
+			}
+		}
+		for _, v := range adj {
+			if v == u {
+				return false // no self-loops
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(TwitterConfig, 0, 1); err == nil {
+		t.Error("Generate with 0 users succeeded")
+	}
+}
+
+func TestStats(t *testing.T) {
+	b, err := NewBuilder("s", 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	s := g.Stats()
+	if s.MaxOut != 2 {
+		t.Errorf("MaxOut = %d, want 2", s.MaxOut)
+	}
+	if s.ZeroReads != 3 {
+		t.Errorf("ZeroReads = %d, want 3", s.ZeroReads)
+	}
+	if s.Isolated != 1 { // user 3 has no edges at all
+		t.Errorf("Isolated = %d, want 1", s.Isolated)
+	}
+	if s.MeanOut != 0.5 {
+		t.Errorf("MeanOut = %v, want 0.5", s.MeanOut)
+	}
+}

@@ -1,0 +1,173 @@
+// Package spar implements the paper's SPAR baseline (§4.1): the social
+// partitioning and replication middleware of Pujol et al., adapted to a
+// memory budget. Every user gets a master replica on the least-loaded
+// server; as the social graph's edges are replayed, the views read by a user
+// are copied onto her master's server while that server has spare capacity.
+// Reads are then mostly rack-local, but every write must update all copies.
+package spar
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dynasore/internal/placement"
+	"dynasore/internal/sim"
+	"dynasore/internal/socialgraph"
+	"dynasore/internal/topology"
+)
+
+// Config parameterizes a SPAR build.
+type Config struct {
+	// ExtraMemoryPct is the memory budget above one replica per view
+	// (§2.3): total capacity = (1+ExtraMemoryPct/100) × users.
+	ExtraMemoryPct float64
+	// Seed drives the user and edge replay orders.
+	Seed int64
+}
+
+// Store is a static SPAR deployment implementing sim.Store.
+type Store struct {
+	topo     *topology.Topology
+	g        *socialgraph.Graph
+	traffic  *topology.Traffic
+	master   []topology.MachineID   // master[u]: server with u's primary replica
+	replicas [][]topology.MachineID // replicas[u]: all servers holding u (master first)
+	proxy    []topology.MachineID   // proxy[u]: broker in the master's rack
+	load     []int                  // per machine, indexed by MachineID
+	capacity []int
+}
+
+var _ sim.Store = (*Store)(nil)
+
+// Errors returned by New.
+var (
+	ErrNilArgs = errors.New("spar: graph, topology, and traffic are required")
+	ErrBudget  = errors.New("spar: extra memory must be >= 0")
+)
+
+// New builds the SPAR placement by assigning masters and replaying all
+// social edges, replicating read dependencies while capacity lasts.
+func New(g *socialgraph.Graph, topo *topology.Topology, traffic *topology.Traffic, cfg Config) (*Store, error) {
+	if g == nil || topo == nil || traffic == nil {
+		return nil, ErrNilArgs
+	}
+	if cfg.ExtraMemoryPct < 0 {
+		return nil, ErrBudget
+	}
+	servers := topo.Servers()
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("spar: %w", placement.ErrNoServers)
+	}
+	n := g.NumUsers()
+	s := &Store{
+		topo:     topo,
+		g:        g,
+		traffic:  traffic,
+		master:   make([]topology.MachineID, n),
+		replicas: make([][]topology.MachineID, n),
+		proxy:    make([]topology.MachineID, n),
+		load:     make([]int, topo.NumMachines()),
+		capacity: make([]int, topo.NumMachines()),
+	}
+	total := int(float64(n) * (1 + cfg.ExtraMemoryPct/100))
+	base := total / len(servers)
+	extra := total % len(servers)
+	for i, srv := range servers {
+		s.capacity[srv] = base
+		if i < extra {
+			s.capacity[srv]++
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Masters: users in random order onto the least-loaded server.
+	for _, ui := range rng.Perm(n) {
+		u := socialgraph.UserID(ui)
+		best := servers[0]
+		for _, srv := range servers[1:] {
+			if s.load[srv] < s.load[best] {
+				best = srv
+			}
+		}
+		s.master[u] = best
+		s.replicas[u] = append(s.replicas[u], best)
+		s.load[best]++
+	}
+
+	// Replay edges: reader u wants producer v's view next to u's master.
+	type edge struct{ u, v socialgraph.UserID }
+	var edges []edge
+	for ui := 0; ui < n; ui++ {
+		u := socialgraph.UserID(ui)
+		for _, v := range g.Following(u) {
+			edges = append(edges, edge{u, v})
+		}
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		s.tryReplicate(e.v, s.master[e.u])
+	}
+
+	for u := range s.proxy {
+		s.proxy[u] = placement.BrokerForServer(topo, s.master[u])
+	}
+	return s, nil
+}
+
+// tryReplicate copies view u onto srv if it is absent and capacity remains.
+func (s *Store) tryReplicate(u socialgraph.UserID, srv topology.MachineID) {
+	if s.load[srv] >= s.capacity[srv] {
+		return
+	}
+	for _, r := range s.replicas[u] {
+		if r == srv {
+			return
+		}
+	}
+	s.replicas[u] = append(s.replicas[u], srv)
+	s.load[srv]++
+}
+
+// Read fetches each followed view from its replica closest to u's broker.
+func (s *Store) Read(now int64, u socialgraph.UserID) {
+	b := s.proxy[u]
+	for _, v := range s.g.Following(u) {
+		srv := s.topo.ClosestOf(b, s.replicas[v])
+		s.traffic.Record(b, srv, sim.AppWeight, false)
+		s.traffic.Record(srv, b, sim.AppWeight, false)
+	}
+}
+
+// Write updates every replica of u's view — SPAR's Achilles heel.
+func (s *Store) Write(now int64, u socialgraph.UserID) {
+	b := s.proxy[u]
+	for _, srv := range s.replicas[u] {
+		s.traffic.Record(b, srv, sim.AppWeight, false)
+		s.traffic.Record(srv, b, sim.AppWeight, false)
+	}
+}
+
+// Tick is a no-op: SPAR only reacts to social-graph changes, not traffic.
+func (s *Store) Tick(now int64) {}
+
+// ReplicaCount returns how many servers hold u's view.
+func (s *Store) ReplicaCount(u socialgraph.UserID) int { return len(s.replicas[u]) }
+
+// MeanReplicas returns the average replication factor across users.
+func (s *Store) MeanReplicas() float64 {
+	var sum int
+	for _, r := range s.replicas {
+		sum += len(r)
+	}
+	return float64(sum) / float64(len(s.replicas))
+}
+
+// MemoryUsed returns the total views stored across servers.
+func (s *Store) MemoryUsed() int {
+	var sum int
+	for _, l := range s.load {
+		sum += l
+	}
+	return sum
+}

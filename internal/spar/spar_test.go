@@ -1,0 +1,158 @@
+package spar
+
+import (
+	"testing"
+
+	"dynasore/internal/socialgraph"
+	"dynasore/internal/topology"
+)
+
+func testSetup(t *testing.T) (*socialgraph.Graph, *topology.Topology, *topology.Traffic) {
+	t.Helper()
+	g, err := socialgraph.Facebook(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.NewTree(3, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, topo, topology.NewTraffic(topo)
+}
+
+func TestNewValidation(t *testing.T) {
+	g, topo, tr := testSetup(t)
+	if _, err := New(nil, topo, tr, Config{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := New(g, topo, nil, Config{}); err == nil {
+		t.Error("nil traffic accepted")
+	}
+	if _, err := New(g, topo, tr, Config{ExtraMemoryPct: -5}); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	g, topo, tr := testSetup(t)
+	for _, extra := range []float64{0, 30, 100} {
+		s, err := New(g, topo, tr, Config{ExtraMemoryPct: extra, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := int(float64(g.NumUsers()) * (1 + extra/100))
+		if used := s.MemoryUsed(); used > budget {
+			t.Errorf("extra=%v: memory used %d exceeds budget %d", extra, used, budget)
+		}
+		for _, srv := range topo.Servers() {
+			if s.load[srv] > s.capacity[srv] {
+				t.Errorf("extra=%v: server %d over capacity: %d > %d", extra, srv, s.load[srv], s.capacity[srv])
+			}
+		}
+	}
+}
+
+func TestEveryUserHasMaster(t *testing.T) {
+	g, topo, tr := testSetup(t)
+	s, err := New(g, topo, tr, Config{ExtraMemoryPct: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumUsers(); u++ {
+		if s.ReplicaCount(socialgraph.UserID(u)) < 1 {
+			t.Fatalf("user %d has no replica", u)
+		}
+		if !topo.Machine(s.master[u]).IsServer() {
+			t.Fatalf("user %d master on non-server", u)
+		}
+	}
+}
+
+func TestMoreMemoryMoreReplication(t *testing.T) {
+	g, topo, tr := testSetup(t)
+	lo, err := New(g, topo, tr, Config{ExtraMemoryPct: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := New(g, topo, tr, Config{ExtraMemoryPct: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.MeanReplicas() >= hi.MeanReplicas() {
+		t.Errorf("replication did not grow with memory: %.2f vs %.2f", lo.MeanReplicas(), hi.MeanReplicas())
+	}
+	// At 0% extra there is no room beyond masters.
+	if got := lo.MeanReplicas(); got != 1 {
+		t.Errorf("0%% extra mean replicas = %.3f, want 1", got)
+	}
+}
+
+func TestReadsPreferLocalReplicas(t *testing.T) {
+	g, topo, tr := testSetup(t)
+	s, err := New(g, topo, tr, Config{ExtraMemoryPct: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With ample memory most reads should be served within the broker's
+	// subtree: run all users' reads and compare top-switch vs total.
+	for u := 0; u < g.NumUsers(); u++ {
+		s.Read(0, socialgraph.UserID(u))
+	}
+	top := float64(tr.TopTotal())
+	total := float64(tr.AppTotal())
+	if total == 0 {
+		t.Fatal("no read traffic")
+	}
+	if top/total > 0.3 {
+		t.Errorf("top-switch share of read traffic %.2f too high for replicated SPAR", top/total)
+	}
+}
+
+func TestWritesTouchAllReplicas(t *testing.T) {
+	g, topo, tr := testSetup(t)
+	s, err := New(g, topo, tr, Config{ExtraMemoryPct: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a user with several replicas.
+	var u socialgraph.UserID
+	found := false
+	for ui := 0; ui < g.NumUsers(); ui++ {
+		if s.ReplicaCount(socialgraph.UserID(ui)) >= 3 {
+			u = socialgraph.UserID(ui)
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no user with 3+ replicas")
+	}
+	tr.Reset()
+	s.Write(0, u)
+	// 2 app messages of weight 10 per replica, each crossing >= 1 switch.
+	minTraffic := int64(s.ReplicaCount(u)-1) * 20 // master may be broker-local but still 1 switch
+	if tr.AppTotal() < minTraffic {
+		t.Errorf("write traffic %d below floor %d for %d replicas", tr.AppTotal(), minTraffic, s.ReplicaCount(u))
+	}
+	s.Tick(0) // no-op
+}
+
+func TestDeterminism(t *testing.T) {
+	g, topo, tr := testSetup(t)
+	a, err := New(g, topo, tr, Config{ExtraMemoryPct: 50, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(g, topo, tr, Config{ExtraMemoryPct: 50, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanReplicas() != b.MeanReplicas() {
+		t.Error("same seed produced different replication")
+	}
+	for u := 0; u < g.NumUsers(); u++ {
+		if a.master[u] != b.master[u] {
+			t.Fatalf("same seed, different master for %d", u)
+		}
+	}
+}

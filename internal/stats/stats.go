@@ -1,0 +1,172 @@
+// Package stats implements DynaSoRe's access bookkeeping (§3.2): rotating
+// counters that track view accesses over a sliding window (the paper's
+// default is 24 one-hour slots), and per-replica access logs that record
+// reads by coarsened network origin plus writes.
+package stats
+
+import (
+	"errors"
+
+	"dynasore/internal/topology"
+)
+
+// ErrBadWindow reports an invalid rotating-counter configuration.
+var ErrBadWindow = errors.New("stats: slots and period must be positive")
+
+// Rotating is a sliding-window event counter backed by a fixed ring of
+// slots. Each slot covers period seconds; advancing time past a slot
+// boundary rotates to the next slot and zeroes it, so Total always reflects
+// roughly the last slots×period seconds. The zero value is not usable; use
+// NewRotating.
+type Rotating struct {
+	slots    []uint32
+	period   int64
+	curStart int64 // start time of the current slot
+	cur      int
+}
+
+// NewRotating creates a counter with the given ring size and slot period in
+// seconds. The paper's configuration is NewRotating(24, 3600).
+func NewRotating(slots int, period int64) (*Rotating, error) {
+	if slots <= 0 || period <= 0 {
+		return nil, ErrBadWindow
+	}
+	return &Rotating{slots: make([]uint32, slots), period: period}, nil
+}
+
+// rotateTo advances the ring so the current slot covers now.
+func (r *Rotating) rotateTo(now int64) {
+	if now < r.curStart {
+		return // ignore out-of-order samples
+	}
+	steps := (now - r.curStart) / r.period
+	if steps == 0 {
+		return
+	}
+	if steps >= int64(len(r.slots)) {
+		for i := range r.slots {
+			r.slots[i] = 0
+		}
+		r.cur = 0
+		r.curStart = now - now%r.period
+		return
+	}
+	for i := int64(0); i < steps; i++ {
+		r.cur = (r.cur + 1) % len(r.slots)
+		r.slots[r.cur] = 0
+	}
+	r.curStart += steps * r.period
+}
+
+// Add records n events at time now.
+func (r *Rotating) Add(now int64, n uint32) {
+	r.rotateTo(now)
+	r.slots[r.cur] += n
+}
+
+// Total returns the number of events in the window ending at now.
+func (r *Rotating) Total(now int64) int64 {
+	r.rotateTo(now)
+	var sum int64
+	for _, s := range r.slots {
+		sum += int64(s)
+	}
+	return sum
+}
+
+// WindowSeconds returns the length of the full sliding window.
+func (r *Rotating) WindowSeconds() int64 { return int64(len(r.slots)) * r.period }
+
+// Reset zeroes the counter.
+func (r *Rotating) Reset() {
+	for i := range r.slots {
+		r.slots[i] = 0
+	}
+	r.cur = 0
+}
+
+// OriginReads pairs a coarsened origin with its read count over the window.
+type OriginReads struct {
+	Origin topology.Origin
+	Reads  int64
+}
+
+// AccessLog tracks the reads (by origin) and writes a replica receives, as
+// each DynaSoRe server keeps alongside every view it stores.
+type AccessLog struct {
+	slots  int
+	period int64
+	reads  map[topology.Origin]*Rotating
+	writes *Rotating
+}
+
+// NewAccessLog creates an access log whose counters share the given window
+// configuration.
+func NewAccessLog(slots int, period int64) (*AccessLog, error) {
+	w, err := NewRotating(slots, period)
+	if err != nil {
+		return nil, err
+	}
+	return &AccessLog{
+		slots:  slots,
+		period: period,
+		reads:  make(map[topology.Origin]*Rotating, 8),
+		writes: w,
+	}, nil
+}
+
+// RecordRead notes a read from the given origin at time now.
+func (l *AccessLog) RecordRead(now int64, origin topology.Origin) {
+	r, ok := l.reads[origin]
+	if !ok {
+		// Construction cannot fail: slots/period were validated by
+		// NewAccessLog.
+		r, _ = NewRotating(l.slots, l.period)
+		l.reads[origin] = r
+	}
+	r.Add(now, 1)
+}
+
+// RecordWrite notes a write at time now.
+func (l *AccessLog) RecordWrite(now int64) { l.writes.Add(now, 1) }
+
+// Writes returns the write count over the window ending at now.
+func (l *AccessLog) Writes(now int64) int64 { return l.writes.Total(now) }
+
+// ReadsByOrigin returns the nonzero per-origin read counts over the window
+// ending at now. Origins whose counters have fully decayed are pruned.
+func (l *AccessLog) ReadsByOrigin(now int64) []OriginReads {
+	out := make([]OriginReads, 0, len(l.reads))
+	for o, r := range l.reads {
+		total := r.Total(now)
+		if total == 0 {
+			delete(l.reads, o)
+			continue
+		}
+		out = append(out, OriginReads{Origin: o, Reads: total})
+	}
+	return out
+}
+
+// TotalReads sums reads over all origins in the window ending at now.
+func (l *AccessLog) TotalReads(now int64) int64 {
+	var sum int64
+	for _, or := range l.ReadsByOrigin(now) {
+		sum += or.Reads
+	}
+	return sum
+}
+
+// NumOrigins returns how many distinct origins currently hold state; the
+// paper bounds this by m−1+n per replica.
+func (l *AccessLog) NumOrigins() int { return len(l.reads) }
+
+// ClearOrigin drops the read history of one origin, e.g. after a replica
+// has been created there and those reads will no longer arrive here.
+func (l *AccessLog) ClearOrigin(o topology.Origin) { delete(l.reads, o) }
+
+// Reset clears all counters.
+func (l *AccessLog) Reset() {
+	l.reads = make(map[topology.Origin]*Rotating, 8)
+	l.writes.Reset()
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynasore/internal/topology"
+)
+
+func TestNewRotatingValidation(t *testing.T) {
+	if _, err := NewRotating(0, 10); err == nil {
+		t.Error("0 slots accepted")
+	}
+	if _, err := NewRotating(4, 0); err == nil {
+		t.Error("0 period accepted")
+	}
+}
+
+func TestRotatingBasicCounting(t *testing.T) {
+	r, err := NewRotating(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(0, 3)
+	r.Add(5, 2)
+	if got := r.Total(9); got != 5 {
+		t.Errorf("Total = %d, want 5", got)
+	}
+}
+
+func TestRotatingExpiry(t *testing.T) {
+	r, err := NewRotating(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(0, 10)
+	// Window is 40s; at t=35 the event is still inside.
+	if got := r.Total(35); got != 10 {
+		t.Errorf("Total(35) = %d, want 10", got)
+	}
+	// At t=45 the slot holding the event has been recycled.
+	if got := r.Total(45); got != 0 {
+		t.Errorf("Total(45) = %d, want 0", got)
+	}
+}
+
+func TestRotatingLongGapClears(t *testing.T) {
+	r, err := NewRotating(24, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(0, 100)
+	if got := r.Total(100 * 24 * 3600); got != 0 {
+		t.Errorf("Total after long gap = %d, want 0", got)
+	}
+	r.Add(100*24*3600+5, 7)
+	if got := r.Total(100*24*3600 + 6); got != 7 {
+		t.Errorf("Total = %d, want 7", got)
+	}
+}
+
+func TestRotatingOutOfOrderIgnoresRewind(t *testing.T) {
+	r, err := NewRotating(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(35, 1)
+	r.Add(2, 1) // out of order: counted in the current slot, no rewind
+	if got := r.Total(36); got != 2 {
+		t.Errorf("Total = %d, want 2", got)
+	}
+}
+
+func TestRotatingGradualDecayProperty(t *testing.T) {
+	// Totals never increase as time advances without new events.
+	f := func(addAt uint16, n uint8) bool {
+		r, err := NewRotating(6, 5)
+		if err != nil {
+			return false
+		}
+		at := int64(addAt % 100)
+		r.Add(at, uint32(n))
+		prev := r.Total(at)
+		for now := at; now < at+100; now += 3 {
+			cur := r.Total(now)
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return prev == 0 // fully decayed after window passes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotatingReset(t *testing.T) {
+	r, err := NewRotating(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(0, 5)
+	r.Reset()
+	if got := r.Total(0); got != 0 {
+		t.Errorf("Total after reset = %d, want 0", got)
+	}
+	if got := r.WindowSeconds(); got != 30 {
+		t.Errorf("WindowSeconds = %d, want 30", got)
+	}
+}
+
+func TestAccessLogReadsByOrigin(t *testing.T) {
+	l, err := NewAccessLog(24, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, o2 := topology.Origin(3), topology.Origin(7)
+	l.RecordRead(10, o1)
+	l.RecordRead(20, o1)
+	l.RecordRead(30, o2)
+	l.RecordWrite(40)
+
+	byOrigin := l.ReadsByOrigin(50)
+	if len(byOrigin) != 2 {
+		t.Fatalf("origins = %d, want 2", len(byOrigin))
+	}
+	counts := map[topology.Origin]int64{}
+	for _, or := range byOrigin {
+		counts[or.Origin] = or.Reads
+	}
+	if counts[o1] != 2 || counts[o2] != 1 {
+		t.Errorf("counts = %v, want {3:2, 7:1}", counts)
+	}
+	if got := l.TotalReads(50); got != 3 {
+		t.Errorf("TotalReads = %d, want 3", got)
+	}
+	if got := l.Writes(50); got != 1 {
+		t.Errorf("Writes = %d, want 1", got)
+	}
+	if got := l.NumOrigins(); got != 2 {
+		t.Errorf("NumOrigins = %d, want 2", got)
+	}
+}
+
+func TestAccessLogPrunesDecayedOrigins(t *testing.T) {
+	l, err := NewAccessLog(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.RecordRead(0, topology.Origin(1))
+	if got := l.NumOrigins(); got != 1 {
+		t.Fatalf("NumOrigins = %d, want 1", got)
+	}
+	// Past the 20s window the origin's counter decays and gets pruned.
+	if got := l.ReadsByOrigin(100); len(got) != 0 {
+		t.Errorf("ReadsByOrigin after decay = %v, want empty", got)
+	}
+	if got := l.NumOrigins(); got != 0 {
+		t.Errorf("NumOrigins after prune = %d, want 0", got)
+	}
+}
+
+func TestAccessLogReset(t *testing.T) {
+	l, err := NewAccessLog(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.RecordRead(0, topology.Origin(2))
+	l.RecordWrite(0)
+	l.Reset()
+	if l.TotalReads(1) != 0 || l.Writes(1) != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestAccessLogValidation(t *testing.T) {
+	if _, err := NewAccessLog(0, 10); err == nil {
+		t.Error("invalid window accepted")
+	}
+}

@@ -1,0 +1,429 @@
+// Package topology models the data-center network DynaSoRe runs on: a
+// three-level tree of switches (top, intermediate, rack) with machines at the
+// leaves, or a flat single-switch network used for the fairness experiment
+// (paper §4.5). It provides network distances, path enumeration for traffic
+// accounting, and the coarsened access-origin scheme of §3.2.
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind describes what role a machine plays in the cluster.
+type Kind uint8
+
+// Machine kinds. In the flat topology every machine is both a cache server
+// and a broker (KindBoth).
+const (
+	KindServer Kind = iota + 1
+	KindBroker
+	KindBoth
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindServer:
+		return "server"
+	case KindBroker:
+		return "broker"
+	case KindBoth:
+		return "server+broker"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Level identifies the tier of a switch in the tree.
+type Level uint8
+
+// Switch levels, bottom-up.
+const (
+	LevelRack Level = iota + 1
+	LevelIntermediate
+	LevelTop
+)
+
+// String returns a human-readable level name.
+func (l Level) String() string {
+	switch l {
+	case LevelRack:
+		return "rack"
+	case LevelIntermediate:
+		return "intermediate"
+	case LevelTop:
+		return "top"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// MachineID identifies a machine (server or broker) in a topology.
+type MachineID int32
+
+// SwitchID identifies a switch in a topology.
+type SwitchID int32
+
+// NoMachine is the zero-ish sentinel for "no machine".
+const NoMachine MachineID = -1
+
+// Machine is one physical host attached to a rack switch.
+type Machine struct {
+	ID    MachineID
+	Kind  Kind
+	Rack  SwitchID // rack switch the machine hangs off
+	Inter SwitchID // intermediate switch above the rack (== Rack in flat)
+}
+
+// IsServer reports whether the machine stores views.
+func (m Machine) IsServer() bool { return m.Kind == KindServer || m.Kind == KindBoth }
+
+// IsBroker reports whether the machine executes proxies.
+func (m Machine) IsBroker() bool { return m.Kind == KindBroker || m.Kind == KindBoth }
+
+// Switch is one network device.
+type Switch struct {
+	ID     SwitchID
+	Level  Level
+	Parent SwitchID // parent switch; the top switch is its own parent
+}
+
+// Shape selects between the tree data-center layout and the flat layout.
+type Shape uint8
+
+// Topology shapes.
+const (
+	ShapeTree Shape = iota + 1
+	ShapeFlat
+)
+
+// Topology is an immutable description of the cluster network.
+type Topology struct {
+	shape Shape
+
+	// Tree parameters: m intermediate switches, n racks per intermediate,
+	// perRack machines per rack of which brokersPerRack are brokers.
+	m, n, perRack, brokersPerRack int
+
+	machines []Machine
+	switches []Switch
+	servers  []MachineID
+	brokers  []MachineID
+
+	// rackMembers[rackSwitch] lists machines under that rack switch; for the
+	// tree shape interMembers[intermediateSwitch] lists machines in its
+	// subtree.
+	rackMembers  map[SwitchID][]MachineID
+	interMembers map[SwitchID][]MachineID
+
+	top SwitchID
+}
+
+// Errors returned by topology constructors.
+var (
+	ErrBadDimension = errors.New("topology: dimensions must be positive")
+	ErrNoBrokers    = errors.New("topology: each rack needs at least one broker and one server")
+)
+
+// NewTree builds the paper's three-level tree: one top switch, m intermediate
+// switches, n rack switches per intermediate, perRack machines per rack of
+// which brokersPerRack act as brokers and the rest as cache servers. The
+// paper's default cluster is NewTree(5, 5, 10, 1).
+func NewTree(m, n, perRack, brokersPerRack int) (*Topology, error) {
+	if m <= 0 || n <= 0 || perRack <= 0 || brokersPerRack < 0 {
+		return nil, ErrBadDimension
+	}
+	if brokersPerRack == 0 || brokersPerRack >= perRack {
+		return nil, ErrNoBrokers
+	}
+	t := &Topology{
+		shape:          ShapeTree,
+		m:              m,
+		n:              n,
+		perRack:        perRack,
+		brokersPerRack: brokersPerRack,
+		rackMembers:    make(map[SwitchID][]MachineID, m*n),
+		interMembers:   make(map[SwitchID][]MachineID, m),
+	}
+	// Switch IDs double as indices into t.switches: 0 = top,
+	// 1..m = intermediates, m+1.. = racks.
+	t.top = 0
+	t.switches = make([]Switch, 1+m+m*n)
+	t.switches[0] = Switch{ID: 0, Level: LevelTop, Parent: 0}
+	for i := 0; i < m; i++ {
+		inter := SwitchID(1 + i)
+		t.switches[inter] = Switch{ID: inter, Level: LevelIntermediate, Parent: t.top}
+		for j := 0; j < n; j++ {
+			rack := SwitchID(1 + m + i*n + j)
+			t.switches[rack] = Switch{ID: rack, Level: LevelRack, Parent: inter}
+			for p := 0; p < perRack; p++ {
+				id := MachineID(len(t.machines))
+				kind := KindServer
+				if p < brokersPerRack {
+					kind = KindBroker
+				}
+				mach := Machine{ID: id, Kind: kind, Rack: rack, Inter: inter}
+				t.machines = append(t.machines, mach)
+				t.rackMembers[rack] = append(t.rackMembers[rack], id)
+				t.interMembers[inter] = append(t.interMembers[inter], id)
+				if kind == KindServer {
+					t.servers = append(t.servers, id)
+				} else {
+					t.brokers = append(t.brokers, id)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// NewFlat builds the flat evaluation topology of §4.5: all machines attach to
+// a single switch and each acts as both cache server and broker.
+func NewFlat(machines int) (*Topology, error) {
+	if machines <= 0 {
+		return nil, ErrBadDimension
+	}
+	t := &Topology{
+		shape:        ShapeFlat,
+		m:            1,
+		n:            1,
+		perRack:      machines,
+		rackMembers:  make(map[SwitchID][]MachineID, 1),
+		interMembers: make(map[SwitchID][]MachineID, 1),
+	}
+	t.top = 0
+	t.switches = []Switch{{ID: 0, Level: LevelTop, Parent: 0}}
+	for p := 0; p < machines; p++ {
+		id := MachineID(p)
+		t.machines = append(t.machines, Machine{ID: id, Kind: KindBoth, Rack: 0, Inter: 0})
+		t.rackMembers[0] = append(t.rackMembers[0], id)
+		t.interMembers[0] = append(t.interMembers[0], id)
+		t.servers = append(t.servers, id)
+		t.brokers = append(t.brokers, id)
+	}
+	return t, nil
+}
+
+// Shape reports whether the topology is tree- or flat-shaped.
+func (t *Topology) Shape() Shape { return t.shape }
+
+// NumMachines returns the number of machines.
+func (t *Topology) NumMachines() int { return len(t.machines) }
+
+// NumSwitches returns the number of network devices.
+func (t *Topology) NumSwitches() int { return len(t.switches) }
+
+// Machine returns the descriptor for id.
+func (t *Topology) Machine(id MachineID) Machine { return t.machines[id] }
+
+// Switches returns all switches. The returned slice must not be modified.
+func (t *Topology) Switches() []Switch { return t.switches }
+
+// Servers returns the IDs of all cache servers. Callers must not modify the
+// returned slice.
+func (t *Topology) Servers() []MachineID { return t.servers }
+
+// Brokers returns the IDs of all brokers. Callers must not modify the
+// returned slice.
+func (t *Topology) Brokers() []MachineID { return t.brokers }
+
+// TopSwitch returns the root switch.
+func (t *Topology) TopSwitch() SwitchID { return t.top }
+
+// SwitchLevel returns the level of sw.
+func (t *Topology) SwitchLevel(sw SwitchID) Level { return t.switches[sw].Level }
+
+// MachinesUnderRack lists the machines attached to a rack switch. Callers
+// must not modify the returned slice.
+func (t *Topology) MachinesUnderRack(rack SwitchID) []MachineID { return t.rackMembers[rack] }
+
+// MachinesUnderIntermediate lists the machines in the subtree of an
+// intermediate switch. Callers must not modify the returned slice.
+func (t *Topology) MachinesUnderIntermediate(inter SwitchID) []MachineID {
+	return t.interMembers[inter]
+}
+
+// MachinesUnderSwitch lists the machines in the subtree rooted at sw,
+// whatever its level.
+func (t *Topology) MachinesUnderSwitch(sw SwitchID) []MachineID {
+	switch t.switches[sw].Level {
+	case LevelRack:
+		return t.rackMembers[sw]
+	case LevelIntermediate:
+		return t.interMembers[sw]
+	default:
+		all := make([]MachineID, len(t.machines))
+		for i := range t.machines {
+			all[i] = MachineID(i)
+		}
+		return all
+	}
+}
+
+// Distance returns the number of network devices on the path between two
+// machines: 0 on the same host, 1 within a rack, 3 across racks under one
+// intermediate switch, 5 across the top switch. In the flat topology every
+// remote pair is at distance 1.
+func (t *Topology) Distance(a, b MachineID) int {
+	if a == b {
+		return 0
+	}
+	ma, mb := t.machines[a], t.machines[b]
+	if t.shape == ShapeFlat {
+		return 1
+	}
+	switch {
+	case ma.Rack == mb.Rack:
+		return 1
+	case ma.Inter == mb.Inter:
+		return 3
+	default:
+		return 5
+	}
+}
+
+// AppendPathSwitches appends the switches traversed by a message from a to b
+// onto dst and returns the extended slice. A message between machines in
+// different subtrees traverses two rack switches, two intermediate switches
+// and the top switch.
+func (t *Topology) AppendPathSwitches(dst []SwitchID, a, b MachineID) []SwitchID {
+	if a == b {
+		return dst
+	}
+	ma, mb := t.machines[a], t.machines[b]
+	if t.shape == ShapeFlat {
+		return append(dst, t.top)
+	}
+	switch {
+	case ma.Rack == mb.Rack:
+		return append(dst, ma.Rack)
+	case ma.Inter == mb.Inter:
+		return append(dst, ma.Rack, ma.Inter, mb.Rack)
+	default:
+		return append(dst, ma.Rack, ma.Inter, t.top, mb.Inter, mb.Rack)
+	}
+}
+
+// Origin identifies the coarsened source of an access as observed by a given
+// server (paper §3.2): accesses from the server's own intermediate subtree
+// are recorded per rack switch, accesses from other subtrees are aggregated
+// per remote intermediate switch. In the flat topology the origin is the
+// requesting machine itself (encoded as a negative value distinct from
+// switch IDs).
+type Origin int32
+
+// OriginOf returns the coarsened origin of an access issued by machine from
+// and observed by server at.
+func (t *Topology) OriginOf(at, from MachineID) Origin {
+	if t.shape == ShapeFlat {
+		return Origin(-1 - int32(from))
+	}
+	ms, mf := t.machines[at], t.machines[from]
+	if ms.Inter == mf.Inter {
+		return Origin(mf.Rack)
+	}
+	return Origin(mf.Inter)
+}
+
+// OriginMachine reports the machine encoded in a flat-topology origin, or
+// (NoMachine, false) for switch-grained origins.
+func OriginMachine(o Origin) (MachineID, bool) {
+	if o < 0 {
+		return MachineID(-1 - int32(o)), true
+	}
+	return NoMachine, false
+}
+
+// OriginSwitch reports the switch encoded in a tree-topology origin, or
+// (0, false) for machine-grained origins.
+func OriginSwitch(o Origin) (SwitchID, bool) {
+	if o >= 0 {
+		return SwitchID(o), true
+	}
+	return 0, false
+}
+
+// OriginCost estimates the number of switches a request from origin o
+// traverses to reach machine target. Rack-grained origins are exact; for
+// aggregated intermediate-grained origins the cost to a machine inside that
+// subtree is approximated by the cross-rack distance 3, because the
+// aggregated log no longer knows the rack.
+func (t *Topology) OriginCost(o Origin, target MachineID) int {
+	if m, ok := OriginMachine(o); ok {
+		if m == target {
+			return 0
+		}
+		return 1
+	}
+	sw := SwitchID(o)
+	mt := t.machines[target]
+	if t.switches[sw].Level == LevelRack {
+		switch {
+		case mt.Rack == sw:
+			return 1
+		case mt.Inter == t.switches[sw].Parent:
+			return 3
+		default:
+			return 5
+		}
+	}
+	// Intermediate-grained origin.
+	if mt.Inter == sw {
+		return 3
+	}
+	return 5
+}
+
+// SubtreeOfOrigin returns the switch subtree an origin denotes, for placing a
+// replica close to that origin. Machine-grained (flat) origins return ok ==
+// false; callers should use OriginMachine instead.
+func (t *Topology) SubtreeOfOrigin(o Origin) (SwitchID, bool) {
+	return OriginSwitch(o)
+}
+
+// CandidateServersNear returns the cache servers a replica could be placed on
+// to serve an origin: the servers in the origin's rack or intermediate
+// subtree, or the single machine for flat-topology origins.
+func (t *Topology) CandidateServersNear(o Origin) []MachineID {
+	if m, ok := OriginMachine(o); ok {
+		return []MachineID{m}
+	}
+	members := t.MachinesUnderSwitch(SwitchID(o))
+	out := make([]MachineID, 0, len(members))
+	for _, id := range members {
+		if t.machines[id].IsServer() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ClosestBrokerTo returns the broker nearest to machine id (lowest network
+// distance, ties broken by smallest broker ID).
+func (t *Topology) ClosestBrokerTo(id MachineID) MachineID {
+	best := NoMachine
+	bestDist := int(^uint(0) >> 1)
+	for _, b := range t.brokers {
+		d := t.Distance(b, id)
+		if d < bestDist || (d == bestDist && (best == NoMachine || b < best)) {
+			best, bestDist = b, d
+		}
+	}
+	return best
+}
+
+// ClosestOf returns the machine among candidates closest to from, breaking
+// ties by smallest machine ID. It returns NoMachine for an empty candidate
+// list.
+func (t *Topology) ClosestOf(from MachineID, candidates []MachineID) MachineID {
+	best := NoMachine
+	bestDist := int(^uint(0) >> 1)
+	for _, c := range candidates {
+		d := t.Distance(from, c)
+		if d < bestDist || (d == bestDist && (best == NoMachine || c < best)) {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}

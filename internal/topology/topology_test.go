@@ -1,0 +1,342 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustTree(t *testing.T, m, n, perRack, brokers int) *Topology {
+	t.Helper()
+	topo, err := NewTree(m, n, perRack, brokers)
+	if err != nil {
+		t.Fatalf("NewTree(%d,%d,%d,%d): %v", m, n, perRack, brokers, err)
+	}
+	return topo
+}
+
+func TestNewTreePaperDefaults(t *testing.T) {
+	topo := mustTree(t, 5, 5, 10, 1)
+	if got, want := topo.NumMachines(), 250; got != want {
+		t.Errorf("NumMachines = %d, want %d", got, want)
+	}
+	if got, want := len(topo.Servers()), 225; got != want {
+		t.Errorf("servers = %d, want %d", got, want)
+	}
+	if got, want := len(topo.Brokers()), 25; got != want {
+		t.Errorf("brokers = %d, want %d", got, want)
+	}
+	// 1 top + 5 intermediate + 25 rack switches.
+	if got, want := topo.NumSwitches(), 31; got != want {
+		t.Errorf("NumSwitches = %d, want %d", got, want)
+	}
+}
+
+func TestNewTreeValidation(t *testing.T) {
+	cases := []struct {
+		m, n, perRack, brokers int
+	}{
+		{0, 5, 10, 1},
+		{5, 0, 10, 1},
+		{5, 5, 0, 1},
+		{5, 5, 10, 0},
+		{5, 5, 10, 10},
+		{-1, 5, 10, 1},
+	}
+	for _, c := range cases {
+		if _, err := NewTree(c.m, c.n, c.perRack, c.brokers); err == nil {
+			t.Errorf("NewTree(%d,%d,%d,%d) succeeded, want error", c.m, c.n, c.perRack, c.brokers)
+		}
+	}
+	if _, err := NewFlat(0); err == nil {
+		t.Error("NewFlat(0) succeeded, want error")
+	}
+}
+
+func TestDistanceTree(t *testing.T) {
+	topo := mustTree(t, 2, 2, 3, 1)
+	// Machines laid out rack by rack: rack0 = {0,1,2}, rack1 = {3,4,5},
+	// rack2 = {6,7,8} (second intermediate), rack3 = {9,10,11}.
+	cases := []struct {
+		a, b MachineID
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},  // same rack
+		{1, 2, 1},  // same rack, two servers
+		{0, 3, 3},  // same intermediate, different rack
+		{2, 5, 3},  // same intermediate
+		{0, 6, 5},  // across the top switch
+		{5, 11, 5}, // across the top switch
+	}
+	for _, c := range cases {
+		if got := topo.Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := topo.Distance(c.b, c.a); got != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestDistanceFlat(t *testing.T) {
+	topo, err := NewFlat(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Distance(3, 3); got != 0 {
+		t.Errorf("Distance(self) = %d, want 0", got)
+	}
+	if got := topo.Distance(0, 9); got != 1 {
+		t.Errorf("Distance(0,9) = %d, want 1", got)
+	}
+	m := topo.Machine(4)
+	if !m.IsServer() || !m.IsBroker() {
+		t.Errorf("flat machine should be both server and broker, got %v", m.Kind)
+	}
+}
+
+func TestPathSwitches(t *testing.T) {
+	topo := mustTree(t, 2, 2, 3, 1)
+	cases := []struct {
+		a, b    MachineID
+		wantLen int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 6, 5},
+	}
+	for _, c := range cases {
+		got := topo.AppendPathSwitches(nil, c.a, c.b)
+		if len(got) != c.wantLen {
+			t.Errorf("path(%d,%d) has %d switches, want %d", c.a, c.b, len(got), c.wantLen)
+		}
+		if len(got) != topo.Distance(c.a, c.b) {
+			t.Errorf("path length %d != distance %d for (%d,%d)", len(got), topo.Distance(c.a, c.b), c.a, c.b)
+		}
+	}
+	// Cross-tree path must contain the top switch exactly once.
+	p := topo.AppendPathSwitches(nil, 0, 6)
+	tops := 0
+	for _, sw := range p {
+		if sw == topo.TopSwitch() {
+			tops++
+		}
+	}
+	if tops != 1 {
+		t.Errorf("cross-tree path contains top switch %d times, want 1", tops)
+	}
+}
+
+func TestPathLengthEqualsDistanceProperty(t *testing.T) {
+	topo := mustTree(t, 3, 4, 5, 2)
+	n := MachineID(topo.NumMachines())
+	f := func(a, b uint16) bool {
+		x := MachineID(a) % n
+		y := MachineID(b) % n
+		p := topo.AppendPathSwitches(nil, x, y)
+		return len(p) == topo.Distance(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOriginCoarsening(t *testing.T) {
+	topo := mustTree(t, 3, 2, 3, 1)
+	// Server 1 lives in rack of intermediate 0. An access from a broker in a
+	// sibling rack (same intermediate) must be recorded per rack switch.
+	server := MachineID(1)
+	sameInterBroker := MachineID(3) // rack 1, intermediate 0
+	o := topo.OriginOf(server, sameInterBroker)
+	sw, ok := OriginSwitch(o)
+	if !ok {
+		t.Fatal("tree origin should be a switch")
+	}
+	if topo.SwitchLevel(sw) != LevelRack {
+		t.Errorf("same-subtree origin level = %v, want rack", topo.SwitchLevel(sw))
+	}
+	// An access from another intermediate's subtree is aggregated per
+	// intermediate switch.
+	remoteBroker := MachineID(6) // first machine of intermediate 1
+	o = topo.OriginOf(server, remoteBroker)
+	sw, ok = OriginSwitch(o)
+	if !ok {
+		t.Fatal("tree origin should be a switch")
+	}
+	if topo.SwitchLevel(sw) != LevelIntermediate {
+		t.Errorf("remote origin level = %v, want intermediate", topo.SwitchLevel(sw))
+	}
+}
+
+func TestOriginCountBound(t *testing.T) {
+	// Paper: at most m-1+n distinct origins per server.
+	m, n := 4, 3
+	topo := mustTree(t, m, n, 4, 1)
+	server := topo.Servers()[0]
+	origins := make(map[Origin]struct{})
+	for _, b := range topo.Brokers() {
+		origins[topo.OriginOf(server, b)] = struct{}{}
+	}
+	if got, want := len(origins), m-1+n; got > want {
+		t.Errorf("distinct origins = %d, want <= %d", got, want)
+	}
+}
+
+func TestOriginCost(t *testing.T) {
+	topo := mustTree(t, 2, 2, 3, 1)
+	server := MachineID(1) // rack 0, intermediate 0
+	// Rack-grained origin in the same rack.
+	o := topo.OriginOf(server, MachineID(0))
+	if got := topo.OriginCost(o, server); got != 1 {
+		t.Errorf("same-rack origin cost = %d, want 1", got)
+	}
+	// Rack-grained origin in a sibling rack.
+	o = topo.OriginOf(server, MachineID(3))
+	if got := topo.OriginCost(o, server); got != 3 {
+		t.Errorf("sibling-rack origin cost = %d, want 3", got)
+	}
+	// Aggregated origin from the other intermediate.
+	o = topo.OriginOf(server, MachineID(6))
+	if got := topo.OriginCost(o, server); got != 5 {
+		t.Errorf("remote origin cost to here = %d, want 5", got)
+	}
+	// Cost from that aggregated origin to a server inside its own subtree is
+	// approximated by 3.
+	if got := topo.OriginCost(o, MachineID(7)); got != 3 {
+		t.Errorf("remote origin cost inside subtree = %d, want 3", got)
+	}
+}
+
+func TestOriginFlat(t *testing.T) {
+	topo, err := NewFlat(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := topo.OriginOf(0, 2)
+	m, ok := OriginMachine(o)
+	if !ok || m != 2 {
+		t.Fatalf("flat origin machine = (%d,%v), want (2,true)", m, ok)
+	}
+	if got := topo.OriginCost(o, 2); got != 0 {
+		t.Errorf("flat origin cost to self = %d, want 0", got)
+	}
+	if got := topo.OriginCost(o, 1); got != 1 {
+		t.Errorf("flat origin cost to other = %d, want 1", got)
+	}
+	if _, ok := OriginSwitch(o); ok {
+		t.Error("flat origin should not decode as a switch")
+	}
+}
+
+func TestCandidateServersNear(t *testing.T) {
+	topo := mustTree(t, 2, 2, 3, 1)
+	server := MachineID(1)
+	o := topo.OriginOf(server, MachineID(3)) // sibling rack origin
+	cands := topo.CandidateServersNear(o)
+	if len(cands) != 2 { // 3 machines per rack, 1 broker
+		t.Fatalf("candidates = %v, want 2 servers", cands)
+	}
+	for _, c := range cands {
+		if !topo.Machine(c).IsServer() {
+			t.Errorf("candidate %d is not a server", c)
+		}
+		if topo.Machine(c).Rack != topo.Machine(3).Rack {
+			t.Errorf("candidate %d not in origin rack", c)
+		}
+	}
+}
+
+func TestClosestHelpers(t *testing.T) {
+	topo := mustTree(t, 2, 2, 3, 1)
+	// Broker in the same rack should win.
+	if got := topo.ClosestBrokerTo(1); got != 0 {
+		t.Errorf("ClosestBrokerTo(1) = %d, want 0", got)
+	}
+	if got := topo.ClosestOf(1, []MachineID{6, 3, 2}); got != 2 {
+		t.Errorf("ClosestOf = %d, want 2 (same rack)", got)
+	}
+	// Tie between two same-distance candidates resolves to the lower ID.
+	if got := topo.ClosestOf(0, []MachineID{2, 1}); got != 1 {
+		t.Errorf("ClosestOf tie = %d, want 1", got)
+	}
+	if got := topo.ClosestOf(0, nil); got != NoMachine {
+		t.Errorf("ClosestOf(empty) = %d, want NoMachine", got)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	topo := mustTree(t, 2, 2, 3, 1)
+	tr := NewTraffic(topo)
+	// Cross-tree message of weight 10 charges five switches.
+	tr.Record(0, 6, 10, false)
+	if got := tr.TopTotal(); got != 10 {
+		t.Errorf("TopTotal = %d, want 10", got)
+	}
+	lv := tr.LevelTotals()
+	if lv[LevelTop] != 10 || lv[LevelIntermediate] != 20 || lv[LevelRack] != 20 {
+		t.Errorf("LevelTotals = %v, want top 10, inter 20, rack 20", lv)
+	}
+	// Same-rack protocol message touches only the rack switch.
+	tr.Record(0, 1, 1, true)
+	if got := tr.SysTotal(); got != 1 {
+		t.Errorf("SysTotal = %d, want 1", got)
+	}
+	if got := tr.TopSys(); got != 0 {
+		t.Errorf("TopSys = %d, want 0", got)
+	}
+	// Local message is free.
+	before := tr.AppTotal()
+	tr.Record(2, 2, 10, false)
+	if got := tr.AppTotal(); got != before {
+		t.Errorf("self-message changed AppTotal: %d -> %d", before, got)
+	}
+	tr.Reset()
+	if tr.TopTotal() != 0 || tr.AppTotal() != 0 || tr.SysTotal() != 0 {
+		t.Error("Reset did not zero the ledgers")
+	}
+}
+
+func TestLevelAverages(t *testing.T) {
+	topo := mustTree(t, 2, 2, 3, 1)
+	tr := NewTraffic(topo)
+	tr.Record(0, 6, 10, false) // 1 top, 2 inter, 2 of 4 racks
+	avg := tr.LevelAverages()
+	if avg[LevelTop] != 10 {
+		t.Errorf("top avg = %v, want 10", avg[LevelTop])
+	}
+	if avg[LevelIntermediate] != 10 { // 20 across 2 switches
+		t.Errorf("inter avg = %v, want 10", avg[LevelIntermediate])
+	}
+	if avg[LevelRack] != 5 { // 20 across 4 switches
+		t.Errorf("rack avg = %v, want 5", avg[LevelRack])
+	}
+}
+
+func TestKindAndLevelStrings(t *testing.T) {
+	if KindServer.String() != "server" || KindBroker.String() != "broker" || KindBoth.String() != "server+broker" {
+		t.Error("Kind.String mismatch")
+	}
+	if LevelRack.String() != "rack" || LevelIntermediate.String() != "intermediate" || LevelTop.String() != "top" {
+		t.Error("Level.String mismatch")
+	}
+	if Kind(9).String() == "" || Level(9).String() == "" {
+		t.Error("unknown enum String should not be empty")
+	}
+}
+
+func TestMachinesUnderSwitch(t *testing.T) {
+	topo := mustTree(t, 2, 2, 3, 1)
+	all := topo.MachinesUnderSwitch(topo.TopSwitch())
+	if len(all) != topo.NumMachines() {
+		t.Errorf("top subtree has %d machines, want %d", len(all), topo.NumMachines())
+	}
+	inter := topo.Machine(0).Inter
+	if got := len(topo.MachinesUnderSwitch(inter)); got != 6 {
+		t.Errorf("intermediate subtree has %d machines, want 6", got)
+	}
+	rack := topo.Machine(0).Rack
+	if got := len(topo.MachinesUnderSwitch(rack)); got != 3 {
+		t.Errorf("rack subtree has %d machines, want 3", got)
+	}
+}

@@ -1,0 +1,111 @@
+package topology
+
+// Traffic accumulates per-switch message weight, split between application
+// traffic (read/write requests and their answers) and system traffic
+// (protocol messages: replica management, proxy migration, threshold
+// dissemination). The paper weighs application messages 10× protocol
+// messages (§4.3); the weighting is applied by the caller.
+type Traffic struct {
+	topo    *Topology
+	app     []int64
+	sys     []int64
+	scratch []SwitchID
+}
+
+// NewTraffic creates a collector for topo.
+func NewTraffic(topo *Topology) *Traffic {
+	return &Traffic{
+		topo:    topo,
+		app:     make([]int64, topo.NumSwitches()),
+		sys:     make([]int64, topo.NumSwitches()),
+		scratch: make([]SwitchID, 0, 5),
+	}
+}
+
+// Record charges weight units of traffic to every switch on the path between
+// from and to. system selects the protocol-traffic ledger.
+func (tr *Traffic) Record(from, to MachineID, weight int64, system bool) {
+	tr.scratch = tr.topo.AppendPathSwitches(tr.scratch[:0], from, to)
+	ledger := tr.app
+	if system {
+		ledger = tr.sys
+	}
+	for _, sw := range tr.scratch {
+		ledger[sw] += weight
+	}
+}
+
+// Reset zeroes both ledgers.
+func (tr *Traffic) Reset() {
+	for i := range tr.app {
+		tr.app[i] = 0
+		tr.sys[i] = 0
+	}
+}
+
+// LevelTotals sums application+system traffic per switch level.
+func (tr *Traffic) LevelTotals() map[Level]int64 {
+	out := make(map[Level]int64, 3)
+	for _, sw := range tr.topo.Switches() {
+		out[sw.Level] += tr.app[sw.ID] + tr.sys[sw.ID]
+	}
+	return out
+}
+
+// LevelAverages returns the mean per-switch traffic (application+system) for
+// each level, as used by Tables 2 and 3.
+func (tr *Traffic) LevelAverages() map[Level]float64 {
+	totals := make(map[Level]int64, 3)
+	counts := make(map[Level]int, 3)
+	for _, sw := range tr.topo.Switches() {
+		totals[sw.Level] += tr.app[sw.ID] + tr.sys[sw.ID]
+		counts[sw.Level]++
+	}
+	out := make(map[Level]float64, 3)
+	for lvl, tot := range totals {
+		out[lvl] = float64(tot) / float64(counts[lvl])
+	}
+	return out
+}
+
+// TopTotal returns the application+system traffic through the top switch.
+func (tr *Traffic) TopTotal() int64 {
+	top := tr.topo.TopSwitch()
+	return tr.app[top] + tr.sys[top]
+}
+
+// TopApp returns the application traffic through the top switch.
+func (tr *Traffic) TopApp() int64 { return tr.app[tr.topo.TopSwitch()] }
+
+// TopSys returns the protocol traffic through the top switch.
+func (tr *Traffic) TopSys() int64 { return tr.sys[tr.topo.TopSwitch()] }
+
+// AppTotal returns the application traffic summed over all switches.
+func (tr *Traffic) AppTotal() int64 {
+	var sum int64
+	for _, v := range tr.app {
+		sum += v
+	}
+	return sum
+}
+
+// SysTotal returns the protocol traffic summed over all switches.
+func (tr *Traffic) SysTotal() int64 {
+	var sum int64
+	for _, v := range tr.sys {
+		sum += v
+	}
+	return sum
+}
+
+// SwitchTotal returns application+system traffic through one switch.
+func (tr *Traffic) SwitchTotal(sw SwitchID) int64 { return tr.app[sw] + tr.sys[sw] }
+
+// Snapshot copies the current per-switch totals (application+system).
+func (tr *Traffic) Snapshot() []int64 {
+	out := make([]int64, len(tr.app))
+	for i := range tr.app {
+		out[i] = tr.app[i] + tr.sys[i]
+	}
+	return out
+}

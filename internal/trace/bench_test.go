@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"testing"
+
+	"dynasore/internal/socialgraph"
+)
+
+// BenchmarkSynthetic generates one day of the paper's synthetic workload.
+func BenchmarkSynthetic(b *testing.B) {
+	g, err := socialgraph.Facebook(4000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthetic(g, DefaultSynthetic(1), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRealistic generates the two-week News Activity substitute.
+func BenchmarkRealistic(b *testing.B) {
+	g, err := socialgraph.Facebook(4000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Realistic(g, DefaultRealistic(), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

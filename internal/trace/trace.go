@@ -1,0 +1,299 @@
+// Package trace generates the request logs DynaSoRe is evaluated on: the
+// synthetic log of §4.2 (per-user activity proportional to the logarithm of
+// the social degree, four reads per write, one write per user per day,
+// evenly spread over time) and a substitute for the proprietary Yahoo! News
+// Activity trace (write-heavy, diurnal, high day-to-day variance, activity
+// rank-correlated with degree). Both are deterministic per seed.
+package trace
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dynasore/internal/socialgraph"
+)
+
+// SecondsPerDay is the length of a simulated day.
+const SecondsPerDay = 86400
+
+// OpKind distinguishes reads from writes.
+type OpKind uint8
+
+// Request kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (k OpKind) String() string {
+	if k == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Request is one user operation. A write from user u updates view(u); a read
+// from user u fetches the views of every user u follows.
+type Request struct {
+	At   int64 // seconds since simulation start
+	User socialgraph.UserID
+	Kind OpKind
+}
+
+// Log is a time-ordered request trace.
+type Log struct {
+	Requests []Request
+	Days     int
+}
+
+// ErrBadConfig reports an invalid generator configuration.
+var ErrBadConfig = errors.New("trace: invalid configuration")
+
+// SyntheticConfig parameterizes the synthetic log of §4.2.
+type SyntheticConfig struct {
+	// Days of traffic to generate.
+	Days int
+	// WritesPerUserPerDay is the mean write rate (paper: 1).
+	WritesPerUserPerDay float64
+	// ReadsPerWrite is the global read:write ratio (paper: 4, after
+	// Silberstein et al.).
+	ReadsPerWrite float64
+}
+
+// DefaultSynthetic returns the paper's synthetic-log parameters over the
+// given number of days.
+func DefaultSynthetic(days int) SyntheticConfig {
+	return SyntheticConfig{Days: days, WritesPerUserPerDay: 1, ReadsPerWrite: 4}
+}
+
+// RealisticConfig parameterizes the Yahoo! News Activity substitute. The
+// defaults reproduce the published aggregate shape: 2.5M users issuing 17M
+// writes and 9.8M reads over two weeks, with strong diurnal cycles and
+// day-to-day variance (Fig. 2).
+type RealisticConfig struct {
+	Days                int
+	WritesPerUserPerDay float64
+	ReadsPerUserPerDay  float64
+	// DiurnalAmplitude in [0,1): fraction by which hourly rates swing
+	// around the daily mean.
+	DiurnalAmplitude float64
+	// DayJitter in [0,1): per-day multiplicative variance.
+	DayJitter float64
+}
+
+// DefaultRealistic returns the two-week Yahoo! News Activity shape.
+func DefaultRealistic() RealisticConfig {
+	return RealisticConfig{
+		Days:                14,
+		WritesPerUserPerDay: 17.0 / 2.5 / 14,
+		ReadsPerUserPerDay:  9.8 / 2.5 / 14,
+		DiurnalAmplitude:    0.6,
+		DayJitter:           0.35,
+	}
+}
+
+// Synthetic generates the paper's synthetic request log for g.
+func Synthetic(g *socialgraph.Graph, cfg SyntheticConfig, seed int64) (*Log, error) {
+	if g == nil || cfg.Days <= 0 || cfg.WritesPerUserPerDay <= 0 || cfg.ReadsPerWrite < 0 {
+		return nil, ErrBadConfig
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumUsers()
+	// Huberman et al.: activity proportional to the log of the social
+	// degree. Writers with many followers write more; readers following
+	// many users read more.
+	writeW := make([]float64, n)
+	readW := make([]float64, n)
+	for u := 0; u < n; u++ {
+		writeW[u] = math.Log1p(float64(g.InDegree(socialgraph.UserID(u)))) + 0.1
+		readW[u] = math.Log1p(float64(g.OutDegree(socialgraph.UserID(u)))) + 0.1
+	}
+	writeSampler := newSampler(writeW)
+	readSampler := newSampler(readW)
+
+	totalWrites := int(math.Round(cfg.WritesPerUserPerDay * float64(n) * float64(cfg.Days)))
+	totalReads := int(math.Round(float64(totalWrites) * cfg.ReadsPerWrite))
+	horizon := int64(cfg.Days) * SecondsPerDay
+	reqs := make([]Request, 0, totalWrites+totalReads)
+	for i := 0; i < totalWrites; i++ {
+		reqs = append(reqs, Request{
+			At:   rng.Int63n(horizon),
+			User: socialgraph.UserID(writeSampler.sample(rng)),
+			Kind: OpWrite,
+		})
+	}
+	for i := 0; i < totalReads; i++ {
+		reqs = append(reqs, Request{
+			At:   rng.Int63n(horizon),
+			User: socialgraph.UserID(readSampler.sample(rng)),
+			Kind: OpRead,
+		})
+	}
+	sortRequests(reqs)
+	return &Log{Requests: reqs, Days: cfg.Days}, nil
+}
+
+// Realistic generates the Yahoo! News Activity substitute for g. Users with
+// more friends are more active, which reproduces the paper's rank-based
+// mapping of trace users onto graph users.
+func Realistic(g *socialgraph.Graph, cfg RealisticConfig, seed int64) (*Log, error) {
+	if g == nil || cfg.Days <= 0 || cfg.WritesPerUserPerDay < 0 || cfg.ReadsPerUserPerDay < 0 {
+		return nil, ErrBadConfig
+	}
+	if cfg.WritesPerUserPerDay+cfg.ReadsPerUserPerDay == 0 {
+		return nil, ErrBadConfig
+	}
+	if cfg.DiurnalAmplitude < 0 || cfg.DiurnalAmplitude >= 1 || cfg.DayJitter < 0 || cfg.DayJitter >= 1 {
+		return nil, ErrBadConfig
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumUsers()
+	weights := make([]float64, n)
+	for u := 0; u < n; u++ {
+		deg := g.OutDegree(socialgraph.UserID(u)) + g.InDegree(socialgraph.UserID(u))
+		weights[u] = math.Log1p(float64(deg)) + 0.1
+	}
+	sampler := newSampler(weights)
+	timeSampler := newDiurnalSampler(cfg, rng)
+
+	totalWrites := int(math.Round(cfg.WritesPerUserPerDay * float64(n) * float64(cfg.Days)))
+	totalReads := int(math.Round(cfg.ReadsPerUserPerDay * float64(n) * float64(cfg.Days)))
+	reqs := make([]Request, 0, totalWrites+totalReads)
+	for i := 0; i < totalWrites; i++ {
+		reqs = append(reqs, Request{
+			At:   timeSampler.sample(rng),
+			User: socialgraph.UserID(sampler.sample(rng)),
+			Kind: OpWrite,
+		})
+	}
+	for i := 0; i < totalReads; i++ {
+		reqs = append(reqs, Request{
+			At:   timeSampler.sample(rng),
+			User: socialgraph.UserID(sampler.sample(rng)),
+			Kind: OpRead,
+		})
+	}
+	sortRequests(reqs)
+	return &Log{Requests: reqs, Days: cfg.Days}, nil
+}
+
+func sortRequests(reqs []Request) {
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].At != reqs[j].At {
+			return reqs[i].At < reqs[j].At
+		}
+		if reqs[i].User != reqs[j].User {
+			return reqs[i].User < reqs[j].User
+		}
+		return reqs[i].Kind < reqs[j].Kind
+	})
+}
+
+// DayCount aggregates one simulated day of traffic.
+type DayCount struct {
+	Day    int
+	Reads  int64
+	Writes int64
+}
+
+// DailyCounts tallies reads and writes per day, reproducing Fig. 2.
+func (l *Log) DailyCounts() []DayCount {
+	out := make([]DayCount, l.Days)
+	for d := range out {
+		out[d].Day = d
+	}
+	for _, r := range l.Requests {
+		d := int(r.At / SecondsPerDay)
+		if d < 0 || d >= l.Days {
+			continue
+		}
+		if r.Kind == OpRead {
+			out[d].Reads++
+		} else {
+			out[d].Writes++
+		}
+	}
+	return out
+}
+
+// Counts returns the total number of reads and writes.
+func (l *Log) Counts() (reads, writes int64) {
+	for _, r := range l.Requests {
+		if r.Kind == OpRead {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	return reads, writes
+}
+
+// Slice returns the requests with At in [from, to).
+func (l *Log) Slice(from, to int64) []Request {
+	lo := sort.Search(len(l.Requests), func(i int) bool { return l.Requests[i].At >= from })
+	hi := sort.Search(len(l.Requests), func(i int) bool { return l.Requests[i].At >= to })
+	return l.Requests[lo:hi]
+}
+
+// ---------------------------------------------------------------------------
+// Weighted sampling.
+
+// sampler draws indices proportionally to fixed weights using binary search
+// over the cumulative distribution.
+type sampler struct {
+	cum []float64
+}
+
+func newSampler(weights []float64) *sampler {
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		total += w
+		cum[i] = total
+	}
+	return &sampler{cum: cum}
+}
+
+func (s *sampler) sample(rng *rand.Rand) int {
+	total := s.cum[len(s.cum)-1]
+	x := rng.Float64() * total
+	return sort.SearchFloat64s(s.cum, x)
+}
+
+// diurnalSampler draws timestamps with a sinusoidal hour-of-day profile and
+// per-day jitter, matching the bursty shape of the real trace.
+type diurnalSampler struct {
+	cumHours []float64 // cumulative weight per hour bin over the full trace
+}
+
+func newDiurnalSampler(cfg RealisticConfig, rng *rand.Rand) *diurnalSampler {
+	bins := cfg.Days * 24
+	cum := make([]float64, bins)
+	total := 0.0
+	for d := 0; d < cfg.Days; d++ {
+		dayFactor := 1 + cfg.DayJitter*(2*rng.Float64()-1)
+		for h := 0; h < 24; h++ {
+			// Peak activity around 20:00, trough around 08:00.
+			w := dayFactor * (1 + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*float64(h-14)/24))
+			if w < 0.01 {
+				w = 0.01
+			}
+			total += w
+			cum[d*24+h] = total
+		}
+	}
+	return &diurnalSampler{cumHours: cum}
+}
+
+func (d *diurnalSampler) sample(rng *rand.Rand) int64 {
+	total := d.cumHours[len(d.cumHours)-1]
+	x := rng.Float64() * total
+	bin := sort.SearchFloat64s(d.cumHours, x)
+	return int64(bin)*3600 + rng.Int63n(3600)
+}

@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dynasore/internal/socialgraph"
+)
+
+func testGraph(t *testing.T) *socialgraph.Graph {
+	t.Helper()
+	g, err := socialgraph.Facebook(2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSyntheticVolumeAndRatio(t *testing.T) {
+	g := testGraph(t)
+	log, err := Synthetic(g, DefaultSynthetic(2), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, writes := log.Counts()
+	wantWrites := int64(2 * g.NumUsers()) // 1 write/user/day × 2 days
+	if math.Abs(float64(writes-wantWrites)) > 1 {
+		t.Errorf("writes = %d, want ≈%d", writes, wantWrites)
+	}
+	ratio := float64(reads) / float64(writes)
+	if math.Abs(ratio-4) > 0.05 {
+		t.Errorf("read:write = %.2f, want 4", ratio)
+	}
+}
+
+func TestSyntheticEvenOverTime(t *testing.T) {
+	g := testGraph(t)
+	log, err := Synthetic(g, DefaultSynthetic(4), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := log.DailyCounts()
+	if len(days) != 4 {
+		t.Fatalf("days = %d, want 4", len(days))
+	}
+	var totals []float64
+	for _, d := range days {
+		totals = append(totals, float64(d.Reads+d.Writes))
+	}
+	mean := 0.0
+	for _, v := range totals {
+		mean += v
+	}
+	mean /= float64(len(totals))
+	for d, v := range totals {
+		if math.Abs(v-mean)/mean > 0.1 {
+			t.Errorf("day %d volume %.0f deviates >10%% from mean %.0f: synthetic log should be even", d, v, mean)
+		}
+	}
+}
+
+func TestSyntheticSortedByTime(t *testing.T) {
+	g := testGraph(t)
+	log, err := Synthetic(g, DefaultSynthetic(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(log.Requests); i++ {
+		if log.Requests[i-1].At > log.Requests[i].At {
+			t.Fatalf("requests out of order at %d", i)
+		}
+	}
+	horizon := int64(SecondsPerDay)
+	for _, r := range log.Requests {
+		if r.At < 0 || r.At >= horizon {
+			t.Fatalf("request at %d outside horizon %d", r.At, horizon)
+		}
+	}
+}
+
+func TestSyntheticActivityFollowsDegree(t *testing.T) {
+	g, err := socialgraph.Twitter(3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := Synthetic(g, DefaultSynthetic(3), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writesBy := make([]int, g.NumUsers())
+	for _, r := range log.Requests {
+		if r.Kind == OpWrite {
+			writesBy[r.User]++
+		}
+	}
+	// Users in the top in-degree decile should write more on average than
+	// users in the bottom decile.
+	type du struct{ deg, writes int }
+	var all []du
+	for u := 0; u < g.NumUsers(); u++ {
+		all = append(all, du{g.InDegree(socialgraph.UserID(u)), writesBy[u]})
+	}
+	var hiDeg, hiW, loDeg, loW float64
+	for _, x := range all {
+		if x.deg >= 10 {
+			hiDeg++
+			hiW += float64(x.writes)
+		} else if x.deg == 0 {
+			loDeg++
+			loW += float64(x.writes)
+		}
+	}
+	if hiDeg == 0 || loDeg == 0 {
+		t.Skip("degenerate degree distribution")
+	}
+	if hiW/hiDeg <= loW/loDeg {
+		t.Errorf("high-degree users write %.2f/user, low-degree %.2f/user: want increasing",
+			hiW/hiDeg, loW/loDeg)
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	g := testGraph(t)
+	a, err := Synthetic(g, DefaultSynthetic(1), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(g, DefaultSynthetic(1), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("same seed, different request at %d", i)
+		}
+	}
+}
+
+func TestRealisticShape(t *testing.T) {
+	g := testGraph(t)
+	cfg := DefaultRealistic()
+	log, err := Realistic(g, cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, writes := log.Counts()
+	if writes <= reads {
+		t.Errorf("reads=%d writes=%d: the News Activity trace is write-heavy", reads, writes)
+	}
+	wantWrites := cfg.WritesPerUserPerDay * float64(g.NumUsers()) * float64(cfg.Days)
+	if math.Abs(float64(writes)-wantWrites)/wantWrites > 0.02 {
+		t.Errorf("writes = %d, want ≈%.0f", writes, wantWrites)
+	}
+	days := log.DailyCounts()
+	if len(days) != 14 {
+		t.Fatalf("days = %d, want 14", len(days))
+	}
+	// Day-to-day variance must exist (unlike the synthetic log).
+	var vols []float64
+	mean := 0.0
+	for _, d := range days {
+		v := float64(d.Reads + d.Writes)
+		vols = append(vols, v)
+		mean += v
+	}
+	mean /= float64(len(vols))
+	maxDev := 0.0
+	for _, v := range vols {
+		dev := math.Abs(v-mean) / mean
+		if dev > maxDev {
+			maxDev = dev
+		}
+	}
+	if maxDev < 0.05 {
+		t.Errorf("max daily deviation %.3f: real trace should vary day to day", maxDev)
+	}
+}
+
+func TestRealisticDiurnal(t *testing.T) {
+	g := testGraph(t)
+	log, err := Realistic(g, DefaultRealistic(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hourly := make([]int64, 24)
+	for _, r := range log.Requests {
+		hourly[(r.At%SecondsPerDay)/3600]++
+	}
+	var minH, maxH int64 = 1 << 62, 0
+	for _, v := range hourly {
+		if v < minH {
+			minH = v
+		}
+		if v > maxH {
+			maxH = v
+		}
+	}
+	if float64(maxH) < 1.5*float64(minH) {
+		t.Errorf("peak hour %d vs trough %d: diurnal cycle too flat", maxH, minH)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, err := Synthetic(nil, DefaultSynthetic(1), 0); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Synthetic(g, SyntheticConfig{Days: 0, WritesPerUserPerDay: 1}, 0); err == nil {
+		t.Error("0 days accepted")
+	}
+	if _, err := Synthetic(g, SyntheticConfig{Days: 1, WritesPerUserPerDay: 0}, 0); err == nil {
+		t.Error("0 write rate accepted")
+	}
+	if _, err := Realistic(g, RealisticConfig{Days: 1, DiurnalAmplitude: 1.5}, 0); err == nil {
+		t.Error("amplitude >= 1 accepted")
+	}
+	if _, err := Realistic(g, RealisticConfig{Days: 1}, 0); err == nil {
+		t.Error("all-zero rates accepted")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	g := testGraph(t)
+	log, err := Synthetic(g, DefaultSynthetic(2), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day1 := log.Slice(0, SecondsPerDay)
+	day2 := log.Slice(SecondsPerDay, 2*SecondsPerDay)
+	if len(day1)+len(day2) != len(log.Requests) {
+		t.Errorf("slices cover %d requests, total %d", len(day1)+len(day2), len(log.Requests))
+	}
+	for _, r := range day1 {
+		if r.At >= SecondsPerDay {
+			t.Fatal("day1 slice contains day2 request")
+		}
+	}
+	empty := log.Slice(100*SecondsPerDay, 200*SecondsPerDay)
+	if len(empty) != 0 {
+		t.Errorf("out-of-range slice has %d requests", len(empty))
+	}
+}
+
+func TestSamplerProperty(t *testing.T) {
+	// The weighted sampler must only return indices with positive weight.
+	weights := []float64{0, 5, 0, 1, 0}
+	s := newSampler(weights)
+	f := func(seed int64) bool {
+		rng := randNew(seed)
+		idx := s.sample(rng)
+		return idx == 1 || idx == 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Error("OpKind.String mismatch")
+	}
+}
+
+// randNew builds a deterministic rng for property tests.
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

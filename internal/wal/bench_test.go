@@ -1,0 +1,37 @@
+package wal
+
+import "testing"
+
+// BenchmarkAppend measures WAL append throughput with 140-byte events
+// (tweet-sized, as the paper assumes).
+func BenchmarkAppend(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 140)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(uint32(i%1000), int64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViewStoreAppend measures the full persistent-store write path.
+func BenchmarkViewStoreAppend(b *testing.B) {
+	vs, err := OpenViewStore(b.TempDir(), 64, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer vs.Close()
+	payload := make([]byte, 140)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vs.Append(uint32(i%1000), int64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ViewStore is the persistent producer-pivoted view store: it keeps the
+// latest events per user in memory, backed by the write-ahead log for
+// durability. DynaSoRe's write path appends here first; cache servers then
+// fetch the fresh view (§3.3 "Durability").
+type ViewStore struct {
+	mu      sync.RWMutex
+	log     *Log
+	viewCap int
+	views   map[uint32][]Record
+	version map[uint32]uint64 // latest seq per user
+}
+
+// OpenViewStore opens the store in dir, keeping up to viewCap events per
+// user view, and rebuilds all views from the log.
+func OpenViewStore(dir string, viewCap int, opts Options) (*ViewStore, error) {
+	if viewCap <= 0 {
+		viewCap = 64
+	}
+	log, err := Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	vs := &ViewStore{
+		log:     log,
+		viewCap: viewCap,
+		views:   make(map[uint32][]Record),
+		version: make(map[uint32]uint64),
+	}
+	if err := log.Replay(func(r Record) error {
+		vs.apply(r)
+		return nil
+	}); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("rebuild views: %w", err)
+	}
+	return vs, nil
+}
+
+// apply folds a record into the in-memory view (newest last, capped).
+func (vs *ViewStore) apply(r Record) {
+	view := append(vs.views[r.User], r)
+	if len(view) > vs.viewCap {
+		view = view[len(view)-vs.viewCap:]
+	}
+	vs.views[r.User] = view
+	vs.version[r.User] = r.Seq
+}
+
+// Append durably writes an event and updates the user's view. It returns
+// the event's sequence number, which doubles as the view's new version.
+func (vs *ViewStore) Append(user uint32, at int64, payload []byte) (uint64, error) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	seq, err := vs.log.Append(user, at, payload)
+	if err != nil {
+		return 0, err
+	}
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	vs.apply(Record{Seq: seq, User: user, At: at, Payload: p})
+	return seq, nil
+}
+
+// View returns a copy of the user's current view (oldest first) and its
+// version. Missing users return an empty view at version 0.
+func (vs *ViewStore) View(user uint32) ([]Record, uint64) {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	src := vs.views[user]
+	out := make([]Record, len(src))
+	copy(out, src)
+	return out, vs.version[user]
+}
+
+// Version returns the latest sequence number applied to the user's view.
+func (vs *ViewStore) Version(user uint32) uint64 {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	return vs.version[user]
+}
+
+// Users returns the number of users with at least one event.
+func (vs *ViewStore) Users() int {
+	vs.mu.RLock()
+	defer vs.mu.RUnlock()
+	return len(vs.views)
+}
+
+// Close closes the underlying log.
+func (vs *ViewStore) Close() error { return vs.log.Close() }

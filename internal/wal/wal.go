@@ -1,0 +1,280 @@
+// Package wal implements the durable backing store DynaSoRe assumes (§2.2,
+// §3.3): every write is persisted to a segmented, checksummed write-ahead
+// log before the in-memory store is updated, so views can always be rebuilt
+// after a cache-server crash. It plays the role Facebook's persistent store
+// plays behind memcache in the paper's architecture.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Record is one durable event: a user appended an opaque payload at a
+// logical sequence number.
+type Record struct {
+	Seq     uint64
+	User    uint32
+	At      int64
+	Payload []byte
+}
+
+// Errors returned by the log.
+var (
+	ErrCorrupt = errors.New("wal: corrupt record")
+	ErrClosed  = errors.New("wal: log is closed")
+)
+
+const (
+	// headerSize is crc(4) + length(4) + seq(8) + user(4) + at(8).
+	headerSize     = 4 + 4 + 8 + 4 + 8
+	segmentPrefix  = "seg-"
+	segmentSuffix  = ".wal"
+	defaultMaxSeg  = 8 << 20 // 8 MiB
+	maxPayloadSize = 1 << 20 // 1 MiB per event
+)
+
+// Options configures a Log.
+type Options struct {
+	// MaxSegmentBytes rotates to a new segment file beyond this size
+	// (default 8 MiB).
+	MaxSegmentBytes int64
+	// Sync forces an fsync after every append. Slower but loses nothing on
+	// power failure; the default trusts the OS page cache, which matches
+	// the paper's "persistent store" assumption for a prototype.
+	Sync bool
+}
+
+// Log is a segmented append-only log with per-record CRCs.
+type Log struct {
+	mu      sync.Mutex
+	dir     string
+	opts    Options
+	cur     *os.File
+	curSize int64
+	curIdx  int
+	nextSeq uint64
+	closed  bool
+}
+
+// Open opens (or creates) a log in dir and scans existing segments to find
+// the next sequence number. Torn trailing records are truncated.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = defaultMaxSeg
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, curIdx: -1}
+	segs, err := l.segments()
+	if err != nil {
+		return nil, err
+	}
+	// Find the next sequence number by replaying all records.
+	for _, seg := range segs {
+		if err := l.replaySegment(seg, func(r Record) error {
+			if r.Seq >= l.nextSeq {
+				l.nextSeq = r.Seq + 1
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		idx := segmentIndex(seg)
+		if idx > l.curIdx {
+			l.curIdx = idx
+		}
+	}
+	if err := l.openCurrent(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func segmentName(idx int) string {
+	return fmt.Sprintf("%s%08d%s", segmentPrefix, idx, segmentSuffix)
+}
+
+func segmentIndex(path string) int {
+	base := filepath.Base(path)
+	num := strings.TrimSuffix(strings.TrimPrefix(base, segmentPrefix), segmentSuffix)
+	idx, err := strconv.Atoi(num)
+	if err != nil {
+		return -1
+	}
+	return idx
+}
+
+// segments lists segment files in index order.
+func (l *Log) segments() ([]string, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var segs []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, segmentPrefix) && strings.HasSuffix(name, segmentSuffix) {
+			segs = append(segs, filepath.Join(l.dir, name))
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segmentIndex(segs[i]) < segmentIndex(segs[j]) })
+	return segs, nil
+}
+
+func (l *Log) openCurrent() error {
+	if l.curIdx < 0 {
+		l.curIdx = 0
+	}
+	path := filepath.Join(l.dir, segmentName(l.curIdx))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: stat segment: %w", err)
+	}
+	l.cur = f
+	l.curSize = st.Size()
+	return nil
+}
+
+// Append durably records a payload for user and returns its sequence number.
+func (l *Log) Append(user uint32, at int64, payload []byte) (uint64, error) {
+	if len(payload) > maxPayloadSize {
+		return 0, fmt.Errorf("wal: payload of %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	seq := l.nextSeq
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[8:16], seq)
+	binary.LittleEndian.PutUint32(buf[16:20], user)
+	binary.LittleEndian.PutUint64(buf[20:28], uint64(at))
+	copy(buf[headerSize:], payload)
+	crc := crc32.ChecksumIEEE(buf[4:])
+	binary.LittleEndian.PutUint32(buf[0:4], crc)
+	if _, err := l.cur.Write(buf); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if l.opts.Sync {
+		if err := l.cur.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	l.curSize += int64(len(buf))
+	l.nextSeq++
+	if l.curSize >= l.opts.MaxSegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.cur.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	l.curIdx++
+	return l.openCurrent()
+}
+
+// Replay invokes fn for every record in sequence order.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	segs, err := l.segments()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if err := l.replaySegment(seg, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment reads records until EOF; a torn or corrupt trailing record
+// stops the replay of that segment without error (it is truncated on the
+// next rotation), matching standard WAL recovery semantics.
+func (l *Log) replaySegment(path string, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: open for replay: %w", err)
+	}
+	defer f.Close()
+	header := make([]byte, headerSize)
+	for {
+		if _, err := io.ReadFull(f, header); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return fmt.Errorf("wal: read header: %w", err)
+		}
+		wantCRC := binary.LittleEndian.Uint32(header[0:4])
+		size := binary.LittleEndian.Uint32(header[4:8])
+		if size > maxPayloadSize {
+			return nil // corrupt length: treat as torn tail
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return fmt.Errorf("wal: read payload: %w", err)
+		}
+		crc := crc32.ChecksumIEEE(append(append([]byte{}, header[4:]...), payload...))
+		if crc != wantCRC {
+			return nil // torn tail
+		}
+		rec := Record{
+			Seq:     binary.LittleEndian.Uint64(header[8:16]),
+			User:    binary.LittleEndian.Uint32(header[16:20]),
+			At:      int64(binary.LittleEndian.Uint64(header[20:28])),
+			Payload: payload,
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// NextSeq returns the sequence number the next append will get.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Close flushes and closes the current segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.cur.Sync(); err != nil {
+		l.cur.Close()
+		return fmt.Errorf("wal: final sync: %w", err)
+	}
+	return l.cur.Close()
+}
