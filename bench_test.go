@@ -5,10 +5,17 @@
 package repro_test
 
 import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"dynasore/internal/cluster"
 	"dynasore/internal/experiments"
 	"dynasore/internal/trace"
+	"dynasore/pkg/dynasore"
 )
 
 // benchCfg is the reduced scale used for benchmarks: same cluster shape as
@@ -215,3 +222,175 @@ func BenchmarkFigure6aConvergenceSynthetic(b *testing.B) { benchFigure6(b, false
 
 // BenchmarkFigure6bConvergenceReal regenerates Fig. 6b.
 func BenchmarkFigure6bConvergenceReal(b *testing.B) { benchFigure6(b, true) }
+
+// clientConcurrency is the worker count of the wire-client benchmarks: 16
+// concurrent callers against a single broker.
+const clientConcurrency = 16
+
+// clientRTTDelay is the one-way propagation delay the latency proxy adds
+// between client and broker, emulating an intra-datacenter network path.
+// On loopback the whole cluster shares the local CPU, so without it both
+// clients measure encode/decode cost rather than the effect of request
+// pipelining — the thing these benchmarks exist to compare.
+const clientRTTDelay = 500 * time.Microsecond
+
+// latencyProxy forwards TCP bytes to backendAddr, delivering each chunk
+// clientRTTDelay after it arrived (order-preserving, unbounded bandwidth).
+// It returns the proxy's listen address.
+func latencyProxy(b *testing.B, backendAddr string) string {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			backend, err := net.Dial("tcp", backendAddr)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			go delayPipe(conn, backend)
+			go delayPipe(backend, conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// delayPipe copies src to dst, holding each chunk for clientRTTDelay while
+// later chunks may already be in flight behind it.
+func delayPipe(src, dst net.Conn) {
+	type chunk struct {
+		data []byte
+		due  time.Time
+	}
+	ch := make(chan chunk, 4096)
+	done := make(chan struct{})
+	go func() {
+		defer dst.Close()
+		defer close(done)
+		for c := range ch {
+			time.Sleep(time.Until(c.due))
+			if _, err := dst.Write(c.data); err != nil {
+				return
+			}
+		}
+	}()
+	defer close(ch)
+	defer src.Close()
+	for {
+		buf := make([]byte, 64<<10)
+		n, err := src.Read(buf)
+		if n > 0 {
+			select {
+			case ch <- chunk{data: buf[:n], due: time.Now().Add(clientRTTDelay)}:
+			case <-done:
+				return // writer died; don't block on a full channel
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// benchClientCluster starts an in-process cluster (3 cache servers, one
+// broker) and seeds 100 single-event views.
+func benchClientCluster(b *testing.B) *dynasore.Engine {
+	b.Helper()
+	e, err := dynasore.Open(dynasore.EngineConfig{
+		CacheServers: 3,
+		DataDir:      b.TempDir(),
+		Preferred:    -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e.Close() })
+	ctx := context.Background()
+	for u := uint32(0); u < 100; u++ {
+		if _, err := e.Write(ctx, u, []byte("seed event")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm every cache entry so both benchmarks measure the hit path.
+	targets := make([]uint32, 100)
+	for i := range targets {
+		targets[i] = uint32(i)
+	}
+	if _, err := e.Read(ctx, targets); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// benchConcurrentReads drives b.N single-user reads through readOne from
+// clientConcurrency workers sharing one client.
+func benchConcurrentReads(b *testing.B, readOne func(user uint32) error) {
+	b.Helper()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, clientConcurrency)
+	b.ResetTimer()
+	for w := 0; w < clientConcurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				if err := readOne(uint32(i % 100)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkClientSerializedV1 is the baseline: 16 workers sharing the
+// legacy protocol-v1 client, whose mutex serializes one request per
+// connection at a time — every operation pays the full network round trip
+// alone.
+func BenchmarkClientSerializedV1(b *testing.B) {
+	e := benchClientCluster(b)
+	c, err := cluster.Dial(latencyProxy(b, e.Addr()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	benchConcurrentReads(b, func(user uint32) error {
+		_, err := c.Read([]uint32{user})
+		return err
+	})
+}
+
+// BenchmarkClientPipelined is the same workload through the public
+// pkg/dynasore client: protocol v2 multiplexes the 16 workers' requests
+// concurrently over a small connection pool, overlapping their round
+// trips, so throughput should be well over 2x the serialized baseline.
+func BenchmarkClientPipelined(b *testing.B) {
+	e := benchClientCluster(b)
+	ctx := context.Background()
+	c, err := dynasore.Dial(ctx, latencyProxy(b, e.Addr()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	benchConcurrentReads(b, func(user uint32) error {
+		_, err := c.Read(ctx, []uint32{user})
+		return err
+	})
+}

@@ -1,5 +1,6 @@
 // Command dsctl is a small client for the live DynaSoRe cluster: it writes
-// events, reads feeds, and dumps broker statistics.
+// events, reads feeds, and dumps broker statistics, speaking the
+// multiplexed wire protocol v2 via pkg/dynasore.
 //
 // Usage:
 //
@@ -9,29 +10,34 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
-	"dynasore/internal/cluster"
+	"dynasore/pkg/dynasore"
 )
 
 func main() {
 	broker := flag.String("broker", "127.0.0.1:7000", "broker address")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-command timeout")
 	flag.Parse()
-	if err := run(*broker, flag.Args()); err != nil {
+	if err := run(*broker, *timeout, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "dsctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(broker string, args []string) error {
+func run(broker string, timeout time.Duration, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: dsctl [flags] write|read|stats ...")
 	}
-	c, err := cluster.Dial(broker)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c, err := dynasore.Dial(ctx, broker)
 	if err != nil {
 		return err
 	}
@@ -46,7 +52,7 @@ func run(broker string, args []string) error {
 		if err != nil {
 			return err
 		}
-		seq, err := c.Write(user, []byte(strings.Join(args[2:], " ")))
+		seq, err := c.Write(ctx, user, []byte(strings.Join(args[2:], " ")))
 		if err != nil {
 			return err
 		}
@@ -64,7 +70,7 @@ func run(broker string, args []string) error {
 			}
 			targets = append(targets, user)
 		}
-		views, err := c.Read(targets)
+		views, err := c.Read(ctx, targets)
 		if err != nil {
 			return err
 		}
@@ -76,7 +82,7 @@ func run(broker string, args []string) error {
 		}
 		return nil
 	case "stats":
-		st, err := c.Stats()
+		st, err := c.Stats(ctx)
 		if err != nil {
 			return err
 		}

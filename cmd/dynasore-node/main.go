@@ -1,7 +1,8 @@
 // Command dynasore-node runs one node of the live DynaSoRe cluster: either
 // a cache server holding views in memory, or a broker executing the
 // Read/Write API against a set of cache servers with a WAL-backed
-// persistent store.
+// persistent store. Both roles serve wire protocol v1 and the multiplexed
+// v2 of pkg/dynasore.
 //
 // Usage:
 //
@@ -18,7 +19,7 @@ import (
 	"strings"
 	"syscall"
 
-	"dynasore/internal/cluster"
+	"dynasore/pkg/dynasore"
 )
 
 func main() {
@@ -43,7 +44,7 @@ func run(role, addr, servers, dataDir string, preferred, viewCap int) error {
 
 	switch role {
 	case "server":
-		s, err := cluster.NewServer(addr)
+		s, err := dynasore.ListenCacheServer(addr)
 		if err != nil {
 			return err
 		}
@@ -54,12 +55,12 @@ func run(role, addr, servers, dataDir string, preferred, viewCap int) error {
 		if servers == "" {
 			return fmt.Errorf("broker needs -servers")
 		}
-		b, err := cluster.NewBroker(cluster.BrokerConfig{
-			Addr:        addr,
-			ServerAddrs: strings.Split(servers, ","),
-			DataDir:     dataDir,
-			Preferred:   preferred,
-			ViewCap:     viewCap,
+		b, err := dynasore.ListenBroker(dynasore.BrokerConfig{
+			Addr:             addr,
+			CacheServerAddrs: strings.Split(servers, ","),
+			DataDir:          dataDir,
+			Preferred:        preferred,
+			ViewCap:          viewCap,
 		})
 		if err != nil {
 			return err

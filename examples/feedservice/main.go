@@ -1,17 +1,19 @@
-// Feedservice: run a live DynaSoRe cluster on localhost — three cache
-// servers, one broker with a WAL-backed persistent store — and serve social
-// feeds over real TCP, demonstrating the drop-in-for-memcache API (§3.1),
-// durability across cache wipes (§3.3), and hot-view replication (§3.2).
+// Feedservice: run a live DynaSoRe cluster on localhost — three standalone
+// cache servers, one broker with a WAL-backed persistent store — and serve
+// social feeds over real TCP through pkg/dynasore, demonstrating the
+// drop-in-for-memcache API (§3.1), durability across cache wipes (§3.3),
+// and hot-view replication (§3.2).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
-	"dynasore/internal/cluster"
 	"dynasore/internal/socialgraph"
+	"dynasore/pkg/dynasore"
 )
 
 func main() {
@@ -21,6 +23,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	dataDir, err := os.MkdirTemp("", "dynasore-feed")
 	if err != nil {
 		return err
@@ -28,10 +31,10 @@ func run() error {
 	defer os.RemoveAll(dataDir)
 
 	// Three cache servers and one broker whose "rack-local" server is #2.
-	var servers []*cluster.Server
+	var servers []*dynasore.CacheServer
 	var addrs []string
 	for i := 0; i < 3; i++ {
-		s, err := cluster.NewServer("127.0.0.1:0")
+		s, err := dynasore.ListenCacheServer("127.0.0.1:0")
 		if err != nil {
 			return err
 		}
@@ -39,13 +42,13 @@ func run() error {
 		servers = append(servers, s)
 		addrs = append(addrs, s.Addr())
 	}
-	broker, err := cluster.NewBroker(cluster.BrokerConfig{
-		Addr:        "127.0.0.1:0",
-		ServerAddrs: addrs,
-		DataDir:     dataDir,
-		Preferred:   2,
-		HotReads:    5,
-		DecayEvery:  200 * time.Millisecond,
+	broker, err := dynasore.ListenBroker(dynasore.BrokerConfig{
+		Addr:             "127.0.0.1:0",
+		CacheServerAddrs: addrs,
+		DataDir:          dataDir,
+		Preferred:        2,
+		HotReads:         5,
+		DecayEvery:       200 * time.Millisecond,
 	})
 	if err != nil {
 		return err
@@ -53,7 +56,8 @@ func run() error {
 	defer broker.Close()
 	fmt.Printf("cluster up: broker %s, cache servers %v\n", broker.Addr(), addrs)
 
-	client, err := cluster.Dial(broker.Addr())
+	// The v2 network client multiplexes concurrent requests.
+	client, err := dynasore.Dial(ctx, broker.Addr())
 	if err != nil {
 		return err
 	}
@@ -67,7 +71,7 @@ func run() error {
 	// Producers publish a few events each.
 	for u := uint32(0); u < 10; u++ {
 		for i := 0; i < 3; i++ {
-			if _, err := client.Write(u, []byte(fmt.Sprintf("user %d, post %d", u, i))); err != nil {
+			if _, err := client.Write(ctx, u, []byte(fmt.Sprintf("user %d, post %d", u, i))); err != nil {
 				return err
 			}
 		}
@@ -83,7 +87,7 @@ func run() error {
 	if len(feedOf) == 0 {
 		feedOf = []uint32{1, 2, 3}
 	}
-	views, err := client.Read(feedOf)
+	views, err := client.Read(ctx, feedOf)
 	if err != nil {
 		return err
 	}
@@ -96,7 +100,7 @@ func run() error {
 
 	// Hammer one hot view; the broker replicates it onto its local server.
 	for i := 0; i < 12; i++ {
-		if _, err := client.Read([]uint32{1}); err != nil {
+		if _, err := client.Read(ctx, []uint32{1}); err != nil {
 			return err
 		}
 	}
@@ -105,12 +109,12 @@ func run() error {
 	// Wipe a cache server (crash) — reads still succeed from the WAL.
 	fmt.Println("simulating cache server crash (wipe server 1)...")
 	servers[1].Close()
-	if _, err := client.Read([]uint32{1, 4, 7}); err != nil {
+	if _, err := client.Read(ctx, []uint32{1, 4, 7}); err != nil {
 		fmt.Printf("reads after crash degraded: %v\n", err)
 	} else {
 		fmt.Println("reads after crash still served (replicas + persistent store)")
 	}
-	st, err := client.Stats()
+	st, err := client.Stats(ctx)
 	if err != nil {
 		return err
 	}

@@ -1,18 +1,26 @@
 // Flashcrowd: reproduce the paper's flash-event experiment (§4.6, Fig. 5)
-// through the public experiment API — a random user suddenly gains
-// followers, DynaSoRe replicates their view across the cluster, and evicts
-// the extra replicas once the crowd leaves.
+// twice over. First in simulation through the experiment API — a random
+// user suddenly gains followers, DynaSoRe replicates their view across the
+// cluster, and evicts the extra replicas once the crowd leaves. Then live:
+// an embedded pkg/dynasore cluster replicates a hammered view onto the
+// broker-local cache server and evicts the replica when the crowd cools.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"dynasore/internal/experiments"
+	"dynasore/pkg/dynasore"
 )
 
 func main() {
 	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	if err := runLive(); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -55,5 +63,50 @@ func run() error {
 	}
 	fmt.Printf("mean replicas: before %.2f -> during flash %.2f -> after cooldown %.2f\n",
 		pre/float64(nPre), during/float64(nDuring), post/float64(nPost))
+	return nil
+}
+
+// runLive replays the flash crowd against a real in-process cluster via the
+// public API: hammering one view makes the broker replicate it locally;
+// once reads stop, decay passes evict the cold replica.
+func runLive() error {
+	ctx := context.Background()
+	engine, err := dynasore.Open(dynasore.EngineConfig{
+		CacheServers: 3,
+		Preferred:    2,
+		HotReads:     5,
+		DecayEvery:   100 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+
+	const celeb = uint32(1) // home server 1, so replication is visible
+	if _, err := engine.Write(ctx, celeb, []byte("going viral")); err != nil {
+		return err
+	}
+	fmt.Printf("\nlive flash crowd against broker %s:\n", engine.Addr())
+	fmt.Printf("replicas of view %d before the crowd: %d\n", celeb, engine.ReplicaCount(celeb))
+
+	// The crowd arrives: a burst of reads through the v2 network client.
+	client, err := dynasore.Dial(ctx, engine.Addr())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := client.Read(ctx, []uint32{celeb}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("replicas during the flash: %d\n", engine.ReplicaCount(celeb))
+
+	// The crowd leaves; decay passes evict the now-cold replica.
+	deadline := time.Now().Add(5 * time.Second)
+	for engine.ReplicaCount(celeb) > 1 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("replicas after cooldown: %d\n", engine.ReplicaCount(celeb))
 	return nil
 }

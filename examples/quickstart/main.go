@@ -1,18 +1,19 @@
-// Quickstart: simulate a small DynaSoRe cluster on a Facebook-shaped social
-// graph and compare its top-switch traffic against the static Random
-// placement — the paper's headline experiment in ~60 lines.
+// Quickstart: the public pkg/dynasore API in ~60 lines. Open an in-process
+// DynaSoRe cluster (the Engine backend), publish and read feeds through the
+// paper's Read(u, L)/Write(u) interface (§3.1), then connect a network
+// Client speaking the multiplexed wire protocol v2 to the same broker —
+// both backends behind the one Store interface.
+//
+// For the paper's simulation experiments (traffic vs. static placements),
+// see cmd/dynasore-sim and examples/flashcrowd.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"dynasore/internal/dynasore"
-	"dynasore/internal/placement"
-	"dynasore/internal/sim"
-	"dynasore/internal/socialgraph"
-	"dynasore/internal/topology"
-	"dynasore/internal/trace"
+	"dynasore/pkg/dynasore"
 )
 
 func main() {
@@ -22,56 +23,61 @@ func main() {
 }
 
 func run() error {
-	// A Facebook-shaped graph of 1000 users and the paper's 250-machine
-	// tree data center (5 intermediate switches x 5 racks x 10 machines).
-	g, err := socialgraph.Facebook(1000, 42)
+	ctx := context.Background()
+
+	// An in-process cluster: three cache servers, one broker, WAL-backed
+	// persistent store in a temp dir.
+	engine, err := dynasore.Open(dynasore.EngineConfig{CacheServers: 3})
 	if err != nil {
 		return err
 	}
-	topo, err := topology.NewTree(5, 5, 10, 1)
-	if err != nil {
-		return err
-	}
-	// Two days of the paper's synthetic workload: one write per user per
-	// day, four reads per write, activity proportional to log degree.
-	reqLog, err := trace.Synthetic(g, trace.DefaultSynthetic(2), 42)
-	if err != nil {
-		return err
+	defer engine.Close()
+
+	// Producers publish through the Store interface.
+	var store dynasore.Store = engine
+	for user := uint32(1); user <= 3; user++ {
+		for post := 0; post < 2; post++ {
+			msg := fmt.Sprintf("user %d, post %d", user, post)
+			if _, err := store.Write(ctx, user, []byte(msg)); err != nil {
+				return err
+			}
+		}
 	}
 
-	// Baseline: memcached-style random placement, one replica per view.
-	randAssign, err := placement.Random(g, topo, 42)
+	// Read(u, L): one call fetches the whole feed.
+	views, err := store.Read(ctx, []uint32{1, 2, 3})
 	if err != nil {
 		return err
 	}
-	baseTraffic := topology.NewTraffic(topo)
-	baseline, err := placement.NewStaticStore(g, topo, baseTraffic, randAssign)
-	if err != nil {
-		return err
-	}
-	baseEngine, err := sim.NewEngine(topo, baseline, baseTraffic)
-	if err != nil {
-		return err
-	}
-	baseEngine.Run(reqLog, sim.RunOptions{WarmupSeconds: trace.SecondsPerDay})
+	fmt.Println("feed read through the in-process Engine:")
+	printFeed([]uint32{1, 2, 3}, views)
 
-	// DynaSoRe with 30% extra memory, started from the same placement.
-	dynTraffic := topology.NewTraffic(topo)
-	store, err := dynasore.New(g, topo, dynTraffic, randAssign, dynasore.Config{ExtraMemoryPct: 30})
+	// The same cluster over TCP: Dial negotiates protocol v2, so many
+	// requests multiplex concurrently over each pooled connection.
+	client, err := dynasore.Dial(ctx, engine.Addr())
 	if err != nil {
 		return err
 	}
-	dynEngine, err := sim.NewEngine(topo, store, dynTraffic)
+	defer client.Close()
+	views, err = client.Read(ctx, []uint32{1, 2, 3})
 	if err != nil {
 		return err
 	}
-	dynEngine.Run(reqLog, sim.RunOptions{WarmupSeconds: trace.SecondsPerDay})
+	fmt.Printf("feed read through the v2 network Client (broker %s):\n", engine.Addr())
+	printFeed([]uint32{1, 2, 3}, views)
 
-	ratio := float64(dynTraffic.TopTotal()) / float64(baseTraffic.TopTotal())
-	fmt.Printf("static random top-switch traffic: %d\n", baseTraffic.TopTotal())
-	fmt.Printf("DynaSoRe (30%% extra memory):      %d (%.1f%% of random)\n",
-		dynTraffic.TopTotal(), 100*ratio)
-	fmt.Printf("mean replicas per view: %.2f, memory %d/%d\n",
-		store.MeanReplicas(), store.MemoryUsed(), store.MemoryCapacity())
+	st, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("broker stats: reads=%d writes=%d misses=%d\n", st.Reads, st.Writes, st.Misses)
 	return nil
+}
+
+func printFeed(targets []uint32, views []dynasore.View) {
+	for i, v := range views {
+		for _, e := range v.Events {
+			fmt.Printf("  [%d] %s\n", targets[i], e)
+		}
+	}
 }

@@ -1,0 +1,3 @@
+module dynasore
+
+go 1.22

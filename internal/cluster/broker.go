@@ -195,26 +195,66 @@ func (b *Broker) ReadOne(user uint32) (View, error) {
 			return View{}, fmt.Errorf("cache fill: %w", err)
 		}
 	}
-	b.noteRead(user, set)
+	b.noteRead(user)
 	return v, nil
 }
 
+// readFanout caps how many views of one Read(u, L) are fetched in parallel.
+const readFanout = 8
+
 // Read implements Read(u, L): fetch the views of every user in targets.
+// Targets are fetched concurrently (bounded by readFanout) since each view
+// may live on a different cache server.
 func (b *Broker) Read(targets []uint32) ([]View, error) {
 	out := make([]View, len(targets))
-	for i, u := range targets {
-		v, err := b.ReadOne(u)
-		if err != nil {
-			return nil, fmt.Errorf("read view %d: %w", u, err)
+	if len(targets) <= 1 {
+		for i, u := range targets {
+			v, err := b.ReadOne(u)
+			if err != nil {
+				return nil, fmt.Errorf("read view %d: %w", u, err)
+			}
+			out[i] = v
 		}
-		out[i] = v
+		b.reads.Add(1)
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, readFanout)
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for i, u := range targets {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, u uint32) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			v, err := b.ReadOne(u)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("read view %d: %w", u, err)
+				}
+				errMu.Unlock()
+				return
+			}
+			out[i] = v
+		}(i, u)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	b.reads.Add(1)
 	return out, nil
 }
 
 // noteRead counts a read and replicates the view locally once it is hot.
-func (b *Broker) noteRead(user uint32, set []int) {
+// The replica set is re-read under the lock: concurrent reads of the same
+// user (the parallel Read fan-out, or multiplexed v2 requests) must not
+// each append the preferred server from their own stale snapshot.
+func (b *Broker) noteRead(user uint32) {
 	pref := b.cfg.Preferred
 	if pref < 0 {
 		return
@@ -222,6 +262,11 @@ func (b *Broker) noteRead(user uint32, set []int) {
 	b.mu.Lock()
 	b.readCount[user]++
 	hot := b.readCount[user] >= b.cfg.HotReads
+	set, ok := b.replicas[user]
+	if !ok {
+		set = []int{b.home(user)}
+		b.replicas[user] = set
+	}
 	holds := false
 	for _, i := range set {
 		if i == pref {
@@ -231,7 +276,7 @@ func (b *Broker) noteRead(user uint32, set []int) {
 	}
 	should := hot && !holds && len(set) < b.cfg.MaxReplicas
 	if should {
-		b.replicas[user] = append(b.replicas[user], pref)
+		b.replicas[user] = append(set, pref)
 	}
 	b.mu.Unlock()
 	if should {
@@ -341,65 +386,42 @@ func (b *Broker) acceptLoop() {
 				b.connMu.Unlock()
 				conn.Close()
 			}()
-			b.serveConn(conn)
+			serveFrames(conn, b.handle)
 		}()
 	}
 }
 
-func (b *Broker) serveConn(conn net.Conn) {
-	for {
-		msgType, body, err := readFrame(conn)
-		if err != nil {
-			return
-		}
-		if err := b.handle(conn, msgType, body); err != nil {
-			return
-		}
-	}
-}
-
-func (b *Broker) handle(conn net.Conn, msgType uint8, body []byte) error {
+func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte) {
 	switch msgType {
 	case opRead:
-		if len(body) < 2 {
-			return writeFrame(conn, respError, errorBody("short read request"))
-		}
-		count := int(binary.LittleEndian.Uint16(body[0:2]))
-		if len(body) < 2+4*count {
-			return writeFrame(conn, respError, errorBody("truncated read request"))
-		}
-		targets := make([]uint32, count)
-		for i := range targets {
-			targets[i] = binary.LittleEndian.Uint32(body[2+4*i:])
+		targets, err := decodeReadRequest(version, body)
+		if err != nil {
+			return respError, errorBody("bad read request: " + err.Error())
 		}
 		views, err := b.Read(targets)
 		if err != nil {
-			return writeFrame(conn, respError, errorBody(err.Error()))
+			return respError, errorBody(err.Error())
 		}
-		out := binary.LittleEndian.AppendUint16(nil, uint16(len(views)))
-		for _, v := range views {
-			out = encodeView(out, v)
-		}
-		return writeFrame(conn, respRead, out)
+		return respRead, encodeReadResponse(version, views)
 	case opWrite:
 		if len(body) < 4 {
-			return writeFrame(conn, respError, errorBody("short write request"))
+			return respError, errorBody("short write request")
 		}
 		user := binary.LittleEndian.Uint32(body[0:4])
 		seq, err := b.Write(user, body[4:])
 		if err != nil {
-			return writeFrame(conn, respError, errorBody(err.Error()))
+			return respError, errorBody(err.Error())
 		}
-		return writeFrame(conn, respWrite, binary.LittleEndian.AppendUint64(nil, seq))
+		return respWrite, binary.LittleEndian.AppendUint64(nil, seq)
 	case opBrokerStats:
 		st := b.Stats()
 		var out []byte
 		for _, v := range []int64{st.Reads, st.Writes, st.Replicated, st.Evicted, st.Misses} {
 			out = binary.LittleEndian.AppendUint64(out, uint64(v))
 		}
-		return writeFrame(conn, respStats, out)
+		return respStats, out
 	default:
-		return writeFrame(conn, respError, errorBody("unknown op"))
+		return respError, errorBody("unknown op")
 	}
 }
 

@@ -7,9 +7,13 @@ import (
 	"sync"
 )
 
-// Client talks the paper's API (§3.1) to a broker: Read(u, L) fetches the
-// views of the users in L; Write(u) publishes a new event to u's view. It is
-// safe for concurrent use; requests are serialized on one connection.
+// Client talks the paper's API (§3.1) to a broker over wire protocol v1:
+// Read(u, L) fetches the views of the users in L; Write(u) publishes a new
+// event to u's view. It is safe for concurrent use, but requests are
+// serialized one at a time on a single connection — it exists for
+// compatibility with v1-only peers and as the baseline in pipelining
+// benchmarks. New code should use pkg/dynasore, whose network client
+// multiplexes concurrent requests over protocol v2.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
@@ -54,11 +58,13 @@ func (c *Client) Write(user uint32, payload []byte) (uint64, error) {
 	}
 }
 
-// Read fetches the views of every user in targets, in order.
+// Read fetches the views of every user in targets, in order. Protocol v1
+// encodes the target count as a uint16, so more than 65535 targets returns
+// ErrTooManyTargets instead of silently truncating the request.
 func (c *Client) Read(targets []uint32) ([]View, error) {
-	body := binary.LittleEndian.AppendUint16(nil, uint16(len(targets)))
-	for _, u := range targets {
-		body = binary.LittleEndian.AppendUint32(body, u)
+	body, err := encodeReadRequest(protoV1, targets)
+	if err != nil {
+		return nil, err
 	}
 	respType, respBody, err := c.roundTrip(opRead, body)
 	if err != nil {
@@ -66,19 +72,12 @@ func (c *Client) Read(targets []uint32) ([]View, error) {
 	}
 	switch respType {
 	case respRead:
-		if len(respBody) < 2 {
-			return nil, ErrBadFrame
+		views, err := decodeReadResponse(protoV1, respBody)
+		if err != nil {
+			return nil, err
 		}
-		count := int(binary.LittleEndian.Uint16(respBody[0:2]))
-		rest := respBody[2:]
-		views := make([]View, 0, count)
-		for i := 0; i < count; i++ {
-			var v View
-			v, rest, err = decodeView(rest)
-			if err != nil {
-				return nil, err
-			}
-			views = append(views, v)
+		if len(views) != len(targets) {
+			return nil, fmt.Errorf("%w: %d views for %d targets", ErrBadFrame, len(views), len(targets))
 		}
 		return views, nil
 	case respError:

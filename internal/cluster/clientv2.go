@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ClientV2 talks the paper's API to a broker over wire protocol v2. Unlike
+// the serialized v1 Client, every request carries an ID, so many requests
+// are in flight concurrently on each connection: a writer tags the frame, a
+// per-connection reader goroutine demuxes responses to the waiting callers.
+// A small pool of such connections spreads load further. All methods are
+// safe for concurrent use and honor context cancellation.
+type ClientV2 struct {
+	addr        string
+	dialTimeout time.Duration
+	conns       []*muxConn
+	next        atomic.Uint64
+	closed      atomic.Bool
+}
+
+// DefaultPoolSize is the connection pool size used when DialV2 gets
+// poolSize <= 0.
+const DefaultPoolSize = 2
+
+// DialV2 connects to a broker and negotiates protocol v2 on poolSize
+// multiplexed connections (DefaultPoolSize if <= 0). The first connection
+// is established eagerly so handshake failures surface immediately; the
+// rest are dialed lazily on first use.
+func DialV2(ctx context.Context, addr string, poolSize int) (*ClientV2, error) {
+	if poolSize <= 0 {
+		poolSize = DefaultPoolSize
+	}
+	c := &ClientV2{addr: addr, dialTimeout: 10 * time.Second}
+	for i := 0; i < poolSize; i++ {
+		c.conns = append(c.conns, &muxConn{client: c})
+	}
+	if err := c.conns[0].connect(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// wireResp is one demuxed response frame.
+type wireResp struct {
+	msgType uint8
+	body    []byte
+	err     error
+}
+
+// muxConn is one multiplexed connection: a write mutex serializes outgoing
+// frames, a reader goroutine routes incoming frames to pending callers by
+// request ID. A broken connection fails all pending calls and is redialed
+// transparently on the next request.
+type muxConn struct {
+	client *ClientV2
+
+	mu      sync.Mutex // guards conn, gen, pending
+	conn    net.Conn
+	gen     uint64 // bumped on every (re)dial, detects stale failures
+	pending map[uint64]chan wireResp
+
+	wmu    sync.Mutex // serializes frame writes
+	nextID atomic.Uint64
+}
+
+// connect establishes the connection and performs the v2 handshake. It is
+// a no-op when the connection is already live.
+func (m *muxConn) connect(ctx context.Context) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.conn != nil {
+		return nil
+	}
+	if m.client.closed.Load() {
+		return net.ErrClosed
+	}
+	d := net.Dialer{Timeout: m.client.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", m.client.addr)
+	if err != nil {
+		return fmt.Errorf("cluster: dial broker: %w", err)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	}
+	if err := clientHello(conn); err != nil {
+		conn.Close()
+		return err
+	}
+	conn.SetDeadline(time.Time{})
+	m.conn = conn
+	m.gen++
+	m.pending = make(map[uint64]chan wireResp)
+	go m.readLoop(conn, m.gen)
+	return nil
+}
+
+// readLoop demuxes response frames to their callers until the connection
+// breaks.
+func (m *muxConn) readLoop(conn net.Conn, gen uint64) {
+	for {
+		msgType, id, body, err := readFrameV2(conn)
+		if err != nil {
+			m.fail(gen, err)
+			return
+		}
+		m.mu.Lock()
+		var ch chan wireResp
+		if m.gen == gen {
+			ch = m.pending[id]
+			delete(m.pending, id)
+		}
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- wireResp{msgType: msgType, body: body}
+		}
+	}
+}
+
+// fail tears down generation gen of the connection, propagating err to
+// every pending caller. Failures of an already-replaced generation are
+// ignored.
+func (m *muxConn) fail(gen uint64, err error) {
+	m.mu.Lock()
+	if m.gen != gen {
+		m.mu.Unlock()
+		return
+	}
+	if m.conn != nil {
+		m.conn.Close()
+		m.conn = nil
+	}
+	pending := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	for _, ch := range pending {
+		ch <- wireResp{err: err}
+	}
+}
+
+// do performs one multiplexed round trip.
+func (m *muxConn) do(ctx context.Context, msgType uint8, body []byte) (uint8, []byte, error) {
+	if err := m.connect(ctx); err != nil {
+		return 0, nil, err
+	}
+	id := m.nextID.Add(1)
+	ch := make(chan wireResp, 1)
+
+	m.mu.Lock()
+	if m.conn == nil || m.pending == nil {
+		m.mu.Unlock()
+		return 0, nil, fmt.Errorf("cluster: connection lost before send")
+	}
+	conn, gen := m.conn, m.gen
+	m.pending[id] = ch
+	m.mu.Unlock()
+
+	m.wmu.Lock()
+	err := writeFrameV2(conn, msgType, id, body)
+	m.wmu.Unlock()
+	if err != nil {
+		m.fail(gen, err)
+		m.forget(gen, id)
+		return 0, nil, err
+	}
+
+	select {
+	case r := <-ch:
+		return r.msgType, r.body, r.err
+	case <-ctx.Done():
+		m.forget(gen, id)
+		return 0, nil, ctx.Err()
+	}
+}
+
+// forget abandons a pending request (the reader drops unmatched IDs).
+func (m *muxConn) forget(gen, id uint64) {
+	m.mu.Lock()
+	if m.gen == gen && m.pending != nil {
+		delete(m.pending, id)
+	}
+	m.mu.Unlock()
+}
+
+func (m *muxConn) close() {
+	m.fail(m.generation(), net.ErrClosed)
+}
+
+func (m *muxConn) generation() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gen
+}
+
+// pick returns the next pool connection, round robin.
+func (c *ClientV2) pick() *muxConn {
+	return c.conns[c.next.Add(1)%uint64(len(c.conns))]
+}
+
+func (c *ClientV2) do(ctx context.Context, msgType uint8, body []byte) (uint8, []byte, error) {
+	if c.closed.Load() {
+		return 0, nil, net.ErrClosed
+	}
+	return c.pick().do(ctx, msgType, body)
+}
+
+// Read fetches the views of every user in targets, in order. Protocol v2
+// carries a uint32 target count; requests that would not fit one frame
+// return ErrTooManyTargets.
+func (c *ClientV2) Read(ctx context.Context, targets []uint32) ([]View, error) {
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	body, err := encodeReadRequest(protoV2, targets)
+	if err != nil {
+		return nil, err
+	}
+	respType, respBody, err := c.do(ctx, opRead, body)
+	if err != nil {
+		return nil, err
+	}
+	switch respType {
+	case respRead:
+		views, err := decodeReadResponse(protoV2, respBody)
+		if err != nil {
+			return nil, err
+		}
+		if len(views) != len(targets) {
+			return nil, fmt.Errorf("%w: %d views for %d targets", ErrBadFrame, len(views), len(targets))
+		}
+		return views, nil
+	case respError:
+		return nil, asRemoteError(respBody)
+	default:
+		return nil, ErrBadFrame
+	}
+}
+
+// Write publishes an event produced by user and returns its sequence number.
+func (c *ClientV2) Write(ctx context.Context, user uint32, payload []byte) (uint64, error) {
+	body := binary.LittleEndian.AppendUint32(nil, user)
+	body = append(body, payload...)
+	respType, respBody, err := c.do(ctx, opWrite, body)
+	if err != nil {
+		return 0, err
+	}
+	switch respType {
+	case respWrite:
+		if len(respBody) < 8 {
+			return 0, ErrBadFrame
+		}
+		return binary.LittleEndian.Uint64(respBody), nil
+	case respError:
+		return 0, asRemoteError(respBody)
+	default:
+		return 0, ErrBadFrame
+	}
+}
+
+// Stats fetches the broker's counters.
+func (c *ClientV2) Stats(ctx context.Context) (BrokerStats, error) {
+	respType, body, err := c.do(ctx, opBrokerStats, nil)
+	if err != nil {
+		return BrokerStats{}, err
+	}
+	if respType != respStats || len(body) < 40 {
+		return BrokerStats{}, ErrBadFrame
+	}
+	return BrokerStats{
+		Reads:      int64(binary.LittleEndian.Uint64(body[0:8])),
+		Writes:     int64(binary.LittleEndian.Uint64(body[8:16])),
+		Replicated: int64(binary.LittleEndian.Uint64(body[16:24])),
+		Evicted:    int64(binary.LittleEndian.Uint64(body[24:32])),
+		Misses:     int64(binary.LittleEndian.Uint64(body[32:40])),
+	}, nil
+}
+
+// Close closes every pooled connection; pending requests fail.
+func (c *ClientV2) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for _, m := range c.conns {
+		m.close()
+	}
+	return nil
+}

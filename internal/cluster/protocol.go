@@ -5,6 +5,15 @@
 // replicates hot views next to their readers in the spirit of §3.2. It is
 // the drop-in-for-memcache prototype the paper describes, sized to run on a
 // single machine with one process per node.
+//
+// Two wire protocol versions coexist on every listener. Version 1 frames
+// are uint32(length) | uint8(type) | body and carry one request per
+// connection at a time. Version 2 is negotiated by an opHello handshake and
+// adds a uint64 request ID to every frame, so many requests multiplex
+// concurrently over one connection; it also widens the read target count
+// from uint16 to uint32. New code should use the public pkg/dynasore
+// package, whose network client speaks version 2; the in-package Client
+// remains the serialized version-1 client for compatibility.
 package cluster
 
 import (
@@ -12,10 +21,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"sync"
 )
 
-// Message types of the wire protocol. Frames are
-// uint32(length) | uint8(type) | body, little endian throughout.
+// Message types of the wire protocol, shared by both versions. Values are
+// part of the wire format: append, never reorder.
 const (
 	// Broker <-> cache server.
 	opGetView uint8 = iota + 1
@@ -34,21 +45,38 @@ const (
 	respWrite
 	respStats
 	respError
+	// Protocol negotiation (v2+).
+	opHello
+	respHello
+)
+
+// Protocol versions.
+const (
+	protoV1 = 1
+	protoV2 = 2
 )
 
 const (
 	maxFrame    = 16 << 20 // 16 MiB
 	maxEventLen = 1 << 20
+	// maxInflight caps concurrently executing requests per v2 connection.
+	maxInflight = 64
 )
+
+// helloMagic opens every opHello body, so a v2 handshake is never confused
+// with a stray v1 request.
+var helloMagic = [4]byte{'D', 'S', 'R', 'E'}
 
 // Errors returned by protocol helpers and clients.
 var (
-	ErrFrameTooLarge = errors.New("cluster: frame exceeds limit")
-	ErrBadFrame      = errors.New("cluster: malformed frame")
-	ErrRemote        = errors.New("cluster: remote error")
+	ErrFrameTooLarge  = errors.New("cluster: frame exceeds limit")
+	ErrBadFrame       = errors.New("cluster: malformed frame")
+	ErrRemote         = errors.New("cluster: remote error")
+	ErrTooManyTargets = errors.New("cluster: too many read targets")
+	ErrBadVersion     = errors.New("cluster: unsupported protocol version")
 )
 
-// writeFrame sends one framed message.
+// writeFrame sends one v1 framed message.
 func writeFrame(w io.Writer, msgType uint8, body []byte) error {
 	if len(body)+1 > maxFrame {
 		return ErrFrameTooLarge
@@ -63,7 +91,7 @@ func writeFrame(w io.Writer, msgType uint8, body []byte) error {
 	return err
 }
 
-// readFrame receives one framed message.
+// readFrame receives one v1 framed message.
 func readFrame(r io.Reader) (uint8, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -78,6 +106,251 @@ func readFrame(r io.Reader) (uint8, []byte, error) {
 		return 0, nil, err
 	}
 	return hdr[4], body, nil
+}
+
+// writeFrameV2 sends one v2 framed message:
+// uint32(length) | uint8(type) | uint64(requestID) | body.
+func writeFrameV2(w io.Writer, msgType uint8, id uint64, body []byte) error {
+	if len(body)+9 > maxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [13]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)+9))
+	hdr[4] = msgType
+	binary.LittleEndian.PutUint64(hdr[5:13], id)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrameV2 receives one v2 framed message.
+func readFrameV2(r io.Reader) (uint8, uint64, []byte, error) {
+	var hdr [13]byte
+	if _, err := io.ReadFull(r, hdr[:5]); err != nil {
+		return 0, 0, nil, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[0:4])
+	if size < 9 || size > maxFrame {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	if _, err := io.ReadFull(r, hdr[5:13]); err != nil {
+		return 0, 0, nil, err
+	}
+	id := binary.LittleEndian.Uint64(hdr[5:13])
+	body := make([]byte, size-9)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, err
+	}
+	return hdr[4], id, body, nil
+}
+
+// helloBody builds the opHello payload offering up to maxVersion.
+func helloBody(maxVersion uint8) []byte {
+	return append(helloMagic[:], maxVersion)
+}
+
+// parseHello validates an opHello body and picks the version to speak.
+func parseHello(body []byte) (uint8, error) {
+	if len(body) < 5 || [4]byte(body[0:4]) != helloMagic {
+		return 0, ErrBadFrame
+	}
+	offered := body[4]
+	if offered < protoV2 {
+		return 0, ErrBadVersion
+	}
+	return protoV2, nil
+}
+
+// clientHello negotiates protocol v2 on a fresh connection. The handshake
+// itself uses v1 framing; every later frame on the connection is v2.
+func clientHello(conn net.Conn) error {
+	if err := writeFrame(conn, opHello, helloBody(protoV2)); err != nil {
+		return fmt.Errorf("cluster: send hello: %w", err)
+	}
+	msgType, body, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("cluster: read hello reply: %w", err)
+	}
+	switch msgType {
+	case respHello:
+		if len(body) < 1 || body[0] != protoV2 {
+			return ErrBadVersion
+		}
+		return nil
+	case respError:
+		return asRemoteError(body)
+	default:
+		return ErrBadVersion
+	}
+}
+
+// handlerFunc executes one request and returns the response frame. It must
+// be safe for concurrent use: v2 connections dispatch requests in parallel.
+type handlerFunc func(version int, msgType uint8, body []byte) (uint8, []byte)
+
+// serveFrames drives one accepted connection in either protocol version.
+// A first frame of opHello upgrades the connection to v2, where each
+// request is handled in its own goroutine and responses are matched to
+// callers by request ID; any other first frame selects the serialized v1
+// loop, byte-for-byte compatible with older clients.
+func serveFrames(conn net.Conn, handle handlerFunc) {
+	msgType, body, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	if msgType == opHello {
+		version, err := parseHello(body)
+		if err != nil {
+			writeFrame(conn, respError, errorBody(err.Error()))
+			return
+		}
+		if err := writeFrame(conn, respHello, []byte{version}); err != nil {
+			return
+		}
+		serveV2(conn, handle)
+		return
+	}
+	for {
+		respType, respBody := handle(protoV1, msgType, body)
+		if err := writeFrame(conn, respType, respBody); err != nil {
+			return
+		}
+		msgType, body, err = readFrame(conn)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// serveV2 runs the multiplexed loop: requests are dispatched concurrently
+// (bounded by maxInflight) and responses serialized by a write mutex, each
+// tagged with the ID of the request it answers.
+func serveV2(conn net.Conn, handle handlerFunc) {
+	var (
+		wmu sync.Mutex
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, maxInflight)
+	)
+	for {
+		msgType, id, body, err := readFrameV2(conn)
+		if err != nil {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			respType, respBody := handle(protoV2, msgType, body)
+			wmu.Lock()
+			err := writeFrameV2(conn, respType, id, respBody)
+			wmu.Unlock()
+			if err != nil {
+				conn.Close() // unblocks the read loop
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// encodeReadRequest builds an opRead body. v1 carries a uint16 target
+// count; v2 widens it to uint32.
+func encodeReadRequest(version int, targets []uint32) ([]byte, error) {
+	if version == protoV1 && len(targets) > 0xFFFF {
+		return nil, fmt.Errorf("%w: %d > 65535 (protocol v1)", ErrTooManyTargets, len(targets))
+	}
+	var body []byte
+	if version == protoV1 {
+		body = binary.LittleEndian.AppendUint16(nil, uint16(len(targets)))
+	} else {
+		body = binary.LittleEndian.AppendUint32(nil, uint32(len(targets)))
+	}
+	if len(body)+4*len(targets)+9 > maxFrame {
+		return nil, fmt.Errorf("%w: %d targets exceed frame limit", ErrTooManyTargets, len(targets))
+	}
+	for _, u := range targets {
+		body = binary.LittleEndian.AppendUint32(body, u)
+	}
+	return body, nil
+}
+
+// decodeReadRequest parses an opRead body. The count is validated against
+// what the body can actually hold before any allocation, in 64-bit
+// arithmetic, so a hostile count can neither overallocate nor overflow
+// int on 32-bit platforms.
+func decodeReadRequest(version int, body []byte) ([]uint32, error) {
+	var count64 int64
+	var off int
+	if version == protoV1 {
+		if len(body) < 2 {
+			return nil, ErrBadFrame
+		}
+		count64, off = int64(binary.LittleEndian.Uint16(body[0:2])), 2
+	} else {
+		if len(body) < 4 {
+			return nil, ErrBadFrame
+		}
+		count64, off = int64(binary.LittleEndian.Uint32(body[0:4])), 4
+	}
+	if count64 > int64((len(body)-off)/4) {
+		return nil, ErrBadFrame
+	}
+	count := int(count64)
+	targets := make([]uint32, count)
+	for i := range targets {
+		targets[i] = binary.LittleEndian.Uint32(body[off+4*i:])
+	}
+	return targets, nil
+}
+
+// encodeReadResponse builds a respRead body with the version's count width.
+func encodeReadResponse(version int, views []View) []byte {
+	var out []byte
+	if version == protoV1 {
+		out = binary.LittleEndian.AppendUint16(nil, uint16(len(views)))
+	} else {
+		out = binary.LittleEndian.AppendUint32(nil, uint32(len(views)))
+	}
+	for _, v := range views {
+		out = encodeView(out, v)
+	}
+	return out
+}
+
+// decodeReadResponse parses a respRead body.
+func decodeReadResponse(version int, body []byte) ([]View, error) {
+	var count int
+	var rest []byte
+	if version == protoV1 {
+		if len(body) < 2 {
+			return nil, ErrBadFrame
+		}
+		count, rest = int(binary.LittleEndian.Uint16(body[0:2])), body[2:]
+	} else {
+		if len(body) < 4 {
+			return nil, ErrBadFrame
+		}
+		count64 := int64(binary.LittleEndian.Uint32(body[0:4]))
+		// An encoded view is at least 10 bytes, so a count the body cannot
+		// hold is malformed — reject before trusting it for allocation.
+		if count64 > int64(len(body)-4)/10 {
+			return nil, ErrBadFrame
+		}
+		count, rest = int(count64), body[4:]
+	}
+	views := make([]View, 0, count)
+	for i := 0; i < count; i++ {
+		var v View
+		var err error
+		v, rest, err = decodeView(rest)
+		if err != nil {
+			return nil, err
+		}
+		views = append(views, v)
+	}
+	return views, nil
 }
 
 // View is a producer-pivoted view: the user's latest events, oldest first,

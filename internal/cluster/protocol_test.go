@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- frame-level edge cases ---
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, opRead, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := readFrame(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Errorf("truncated frame of %d/%d bytes accepted", cut, len(full))
+		}
+	}
+}
+
+func TestReadFrameZeroAndOversize(t *testing.T) {
+	for _, size := range []uint32{0, maxFrame + 1, 0xFFFFFFFF} {
+		hdr := binary.LittleEndian.AppendUint32(nil, size)
+		hdr = append(hdr, opRead)
+		_, _, err := readFrame(bytes.NewReader(hdr))
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Errorf("size %d: err = %v, want ErrFrameTooLarge", size, err)
+		}
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	if err := writeFrame(io.Discard, opWrite, make([]byte, maxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if err := writeFrameV2(io.Discard, opWrite, 1, make([]byte, maxFrame-8)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("v2 err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameV2RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrameV2(&buf, respRead, 0xDEADBEEFCAFE, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	msgType, id, body, err := readFrameV2(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != respRead || id != 0xDEADBEEFCAFE || string(body) != "payload" {
+		t.Errorf("round trip = (%d, %x, %q)", msgType, id, body)
+	}
+}
+
+func TestReadFrameV2Undersized(t *testing.T) {
+	// A v2 frame must hold at least type + request ID (9 bytes).
+	hdr := binary.LittleEndian.AppendUint32(nil, 5)
+	hdr = append(hdr, opRead, 0, 0, 0, 0)
+	if _, _, _, err := readFrameV2(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestParseHello(t *testing.T) {
+	if v, err := parseHello(helloBody(protoV2)); err != nil || v != protoV2 {
+		t.Errorf("parseHello(valid) = %d, %v", v, err)
+	}
+	if v, err := parseHello(helloBody(9)); err != nil || v != protoV2 {
+		t.Errorf("future client version: = %d, %v, want downgrade to v2", v, err)
+	}
+	if _, err := parseHello([]byte("XXXX\x02")); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("bad magic: err = %v, want ErrBadFrame", err)
+	}
+	if _, err := parseHello(helloBody(protoV1)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("v1 hello: err = %v, want ErrBadVersion", err)
+	}
+	if _, err := parseHello([]byte{'D', 'S'}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short hello: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestReadRequestCounts(t *testing.T) {
+	// v1 must reject >65535 targets instead of silently truncating.
+	big := make([]uint32, 70000)
+	if _, err := encodeReadRequest(protoV1, big); !errors.Is(err, ErrTooManyTargets) {
+		t.Errorf("v1 70000 targets: err = %v, want ErrTooManyTargets", err)
+	}
+	// v2 widens the count field.
+	body, err := encodeReadRequest(protoV2, big)
+	if err != nil {
+		t.Fatalf("v2 70000 targets: %v", err)
+	}
+	targets, err := decodeReadRequest(protoV2, body)
+	if err != nil || len(targets) != 70000 {
+		t.Fatalf("v2 decode = %d targets, %v", len(targets), err)
+	}
+	// Truncated request bodies are rejected in both versions.
+	small, err := encodeReadRequest(protoV2, []uint32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeReadRequest(protoV2, small[:len(small)-2]); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("truncated v2 request: err = %v, want ErrBadFrame", err)
+	}
+	if _, err := decodeReadRequest(protoV1, []byte{9}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short v1 request: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// --- live-connection protocol behavior ---
+
+func TestUnknownMessageTypeGetsError(t *testing.T) {
+	_, _, c := testCluster(t, 1, nil)
+	respType, body, err := c.roundTrip(250, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respType != respError {
+		t.Errorf("respType = %d (%q), want respError", respType, body)
+	}
+}
+
+func TestHelloBadMagicRejected(t *testing.T) {
+	b, _, _ := testCluster(t, 1, nil)
+	c, err := Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	respType, _, err := c.roundTrip(opHello, []byte("NOPE\x02"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respType != respError {
+		t.Errorf("respType = %d, want respError", respType)
+	}
+}
+
+func dialV2(t *testing.T, addr string) *ClientV2 {
+	t.Helper()
+	c, err := DialV2(context.Background(), addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestV2WriteThenRead(t *testing.T) {
+	b, _, _ := testCluster(t, 3, nil)
+	ctx := context.Background()
+	c := dialV2(t, b.Addr())
+	if _, err := c.Write(ctx, 7, []byte("hello v2")); err != nil {
+		t.Fatal(err)
+	}
+	views, err := c.Read(ctx, []uint32{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 || len(views[0].Events) != 1 || string(views[0].Events[0]) != "hello v2" {
+		t.Fatalf("views = %+v", views)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestV2MultiplexedConcurrentRequests(t *testing.T) {
+	b, _, _ := testCluster(t, 3, nil)
+	ctx := context.Background()
+	c := dialV2(t, b.Addr()) // pool size 1: all requests share one connection
+	const workers = 16
+	const opsEach = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				u := uint32(w*opsEach + i)
+				want := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := c.Write(ctx, u, []byte(want)); err != nil {
+					errs <- err
+					return
+				}
+				views, err := c.Read(ctx, []uint32{u})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(views) != 1 || len(views[0].Events) != 1 || string(views[0].Events[0]) != want {
+					errs <- fmt.Errorf("user %d: got %q, want %q", u, views[0].Events, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Writes != workers*opsEach {
+		t.Errorf("writes = %d, want %d", st.Writes, workers*opsEach)
+	}
+}
+
+func TestV2ContextCancellation(t *testing.T) {
+	b, _, _ := testCluster(t, 1, nil)
+	c := dialV2(t, b.Addr())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Read(ctx, []uint32{1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// The connection stays usable for later requests.
+	if _, err := c.Read(context.Background(), []uint32{1}); err != nil {
+		t.Errorf("read after cancelled request: %v", err)
+	}
+}
+
+func TestV1AndV2ClientsInterop(t *testing.T) {
+	b, _, c1 := testCluster(t, 2, nil)
+	ctx := context.Background()
+	c2 := dialV2(t, b.Addr())
+	if _, err := c1.Write(3, []byte("from v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Write(ctx, 3, []byte("from v2")); err != nil {
+		t.Fatal(err)
+	}
+	v1Views, err := c1.Read([]uint32{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Views, err := c2.Read(ctx, []uint32{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, views := range map[string][]View{"v1": v1Views, "v2": v2Views} {
+		if len(views) != 1 || len(views[0].Events) != 2 {
+			t.Fatalf("%s views = %+v", name, views)
+		}
+		if string(views[0].Events[0]) != "from v1" || string(views[0].Events[1]) != "from v2" {
+			t.Errorf("%s events = %q", name, views[0].Events)
+		}
+	}
+}
+
+func TestV2ReadBeyond64KTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large read in -short mode")
+	}
+	b, _, _ := testCluster(t, 3, nil)
+	ctx := context.Background()
+	c := dialV2(t, b.Addr())
+	for u := uint32(0); u < 10; u++ {
+		if _, err := c.Write(ctx, u, []byte{byte(u)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// More targets than a v1 uint16 count can express, cycling 10 users.
+	targets := make([]uint32, 0x10000+16)
+	for i := range targets {
+		targets[i] = uint32(i % 10)
+	}
+	views, err := c.Read(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != len(targets) {
+		t.Fatalf("views = %d, want %d", len(views), len(targets))
+	}
+	for i, v := range views {
+		if len(v.Events) != 1 || v.Events[0][0] != byte(targets[i]) {
+			t.Fatalf("view %d = %+v, want event %d", i, v, targets[i])
+		}
+	}
+}
+
+func TestConcurrentReadsDoNotDuplicateReplicas(t *testing.T) {
+	b, _, _ := testCluster(t, 3, func(cfg *BrokerConfig) {
+		cfg.Preferred = 2
+		cfg.HotReads = 2
+		cfg.MaxReplicas = 3
+		cfg.DecayEvery = time.Hour
+	})
+	if _, err := b.Write(0, []byte("hot")); err != nil {
+		t.Fatal(err)
+	}
+	// 32 concurrent reads of the same user race through noteRead; the
+	// preferred server must be appended at most once.
+	targets := make([]uint32, 32)
+	for round := 0; round < 4; round++ {
+		if _, err := b.Read(targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.ReplicaCount(0); got != 2 {
+		t.Errorf("replicas = %d, want exactly 2 (home + preferred)", got)
+	}
+}
+
+func TestDecodeReadResponseHostileCount(t *testing.T) {
+	// A malformed v2 respRead claiming 2^32-1 views in a 4-byte body must
+	// be rejected without attempting a giant allocation.
+	body := binary.LittleEndian.AppendUint32(nil, 0xFFFFFFFF)
+	if _, err := decodeReadResponse(protoV2, body); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("err = %v, want ErrBadFrame", err)
+	}
+	// Same for a v2 read request header.
+	if _, err := decodeReadRequest(protoV2, body); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("request err = %v, want ErrBadFrame", err)
+	}
+}
+
+// --- fuzzing ---
+
+func FuzzReadFrame(f *testing.F) {
+	// Seed corpus: valid frames of both versions, truncations, oversizes.
+	var valid bytes.Buffer
+	writeFrame(&valid, opRead, []byte{1, 0, 42, 0, 0, 0})
+	f.Add(valid.Bytes())
+	var validV2 bytes.Buffer
+	writeFrameV2(&validV2, opRead, 7, []byte{1, 0, 0, 0, 42, 0, 0, 0})
+	f.Add(validV2.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{5, 0, 0, 0})
+	f.Add(binary.LittleEndian.AppendUint32(nil, 0xFFFFFFFF))
+	f.Add(append(binary.LittleEndian.AppendUint32(nil, 9), opHello))
+	f.Add(helloBody(protoV2))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgType, body, err := readFrame(bytes.NewReader(data))
+		if err == nil {
+			// Whatever parsed must re-encode to the identical bytes.
+			var buf bytes.Buffer
+			if werr := writeFrame(&buf, msgType, body); werr != nil {
+				t.Fatalf("re-encode failed: %v", werr)
+			}
+			if !bytes.Equal(buf.Bytes(), data[:buf.Len()]) {
+				t.Fatalf("round trip mismatch: %x != %x", buf.Bytes(), data[:buf.Len()])
+			}
+		}
+		if t2, id, body2, err2 := readFrameV2(bytes.NewReader(data)); err2 == nil {
+			var buf bytes.Buffer
+			if werr := writeFrameV2(&buf, t2, id, body2); werr != nil {
+				t.Fatalf("v2 re-encode failed: %v", werr)
+			}
+			if !bytes.Equal(buf.Bytes(), data[:buf.Len()]) {
+				t.Fatalf("v2 round trip mismatch")
+			}
+		}
+	})
+}
+
+func FuzzDecodeView(f *testing.F) {
+	f.Add(encodeView(nil, View{Version: 3, Events: [][]byte{[]byte("a"), []byte("bb")}}))
+	f.Add([]byte{})
+	f.Add(make([]byte, 10))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, rest, err := decodeView(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("rest grew: %d > %d", len(rest), len(data))
+		}
+		reencoded := encodeView(nil, v)
+		if !bytes.Equal(reencoded, data[:len(data)-len(rest)]) {
+			t.Fatalf("view round trip mismatch")
+		}
+	})
+}

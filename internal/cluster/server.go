@@ -10,7 +10,9 @@ import (
 
 // Server is one in-memory cache node: it stores view replicas keyed by user
 // and serves gets/puts from brokers. Views live only in memory — durability
-// is the persistent store's job, exactly as in the paper.
+// is the persistent store's job, exactly as in the paper. It speaks both
+// protocol versions: v1 clients are served one request at a time, v2
+// clients multiplex concurrent requests over one connection.
 type Server struct {
 	mu    sync.RWMutex
 	views map[uint32]View
@@ -61,28 +63,16 @@ func (s *Server) acceptLoop() {
 				s.connMu.Unlock()
 				conn.Close()
 			}()
-			s.serveConn(conn)
+			serveFrames(conn, s.handle)
 		}()
 	}
 }
 
-func (s *Server) serveConn(conn net.Conn) {
-	for {
-		msgType, body, err := readFrame(conn)
-		if err != nil {
-			return
-		}
-		if err := s.handle(conn, msgType, body); err != nil {
-			return
-		}
-	}
-}
-
-func (s *Server) handle(conn net.Conn, msgType uint8, body []byte) error {
+func (s *Server) handle(version int, msgType uint8, body []byte) (uint8, []byte) {
 	switch msgType {
 	case opGetView:
 		if len(body) < 4 {
-			return writeFrame(conn, respError, errorBody("short get"))
+			return respError, errorBody("short get")
 		}
 		user := binary.LittleEndian.Uint32(body[0:4])
 		s.mu.RLock()
@@ -90,18 +80,18 @@ func (s *Server) handle(conn net.Conn, msgType uint8, body []byte) error {
 		s.mu.RUnlock()
 		if !ok {
 			s.misses.Add(1)
-			return writeFrame(conn, respMiss, nil)
+			return respMiss, nil
 		}
 		s.hits.Add(1)
-		return writeFrame(conn, respView, encodeView(nil, v))
+		return respView, encodeView(nil, v)
 	case opPutView:
 		if len(body) < 4 {
-			return writeFrame(conn, respError, errorBody("short put"))
+			return respError, errorBody("short put")
 		}
 		user := binary.LittleEndian.Uint32(body[0:4])
 		v, _, err := decodeView(body[4:])
 		if err != nil {
-			return writeFrame(conn, respError, errorBody(err.Error()))
+			return respError, errorBody(err.Error())
 		}
 		s.mu.Lock()
 		// Never go backwards: an out-of-order put of an older version must
@@ -111,16 +101,16 @@ func (s *Server) handle(conn net.Conn, msgType uint8, body []byte) error {
 		}
 		s.mu.Unlock()
 		s.puts.Add(1)
-		return writeFrame(conn, respOK, nil)
+		return respOK, nil
 	case opDeleteView:
 		if len(body) < 4 {
-			return writeFrame(conn, respError, errorBody("short delete"))
+			return respError, errorBody("short delete")
 		}
 		user := binary.LittleEndian.Uint32(body[0:4])
 		s.mu.Lock()
 		delete(s.views, user)
 		s.mu.Unlock()
-		return writeFrame(conn, respOK, nil)
+		return respOK, nil
 	case opServerStats:
 		var buf []byte
 		s.mu.RLock()
@@ -130,9 +120,9 @@ func (s *Server) handle(conn net.Conn, msgType uint8, body []byte) error {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.hits.Load()))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.misses.Load()))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.puts.Load()))
-		return writeFrame(conn, respStats, buf)
+		return respStats, buf
 	default:
-		return writeFrame(conn, respError, errorBody("unknown op"))
+		return respError, errorBody("unknown op")
 	}
 }
 
@@ -167,39 +157,103 @@ type ServerStats struct {
 	Puts   int64
 }
 
-// serverConn is a pooled request/response connection to one cache server.
+// serverPoolSize is how many connections a broker keeps per cache server,
+// so concurrent v2 requests fan out to the backend in parallel.
+const serverPoolSize = 4
+
+// serverConn is a pooled set of request/response connections to one cache
+// server: up to serverPoolSize requests proceed in parallel, each holding
+// one connection for its round trip.
 type serverConn struct {
-	mu   sync.Mutex
 	addr string
-	conn net.Conn
+	sem  chan struct{}
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
 }
 
-func newServerConn(addr string) *serverConn { return &serverConn{addr: addr} }
+func newServerConn(addr string) *serverConn {
+	return &serverConn{addr: addr, sem: make(chan struct{}, serverPoolSize)}
+}
 
-// roundTrip sends one request and reads one response, redialing once on
-// connection failure.
-func (c *serverConn) roundTrip(msgType uint8, body []byte) (uint8, []byte, error) {
+// get pops an idle connection or dials a fresh one.
+func (c *serverConn) get() (net.Conn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return c.dial()
+}
+
+func (c *serverConn) dial() (net.Conn, error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", c.addr, err)
+	}
+	return conn, nil
+}
+
+// drainIdle closes every pooled connection: one broken connection to a
+// server usually means the rest (dialed around the same time) are stale
+// too, e.g. after the server restarted.
+func (c *serverConn) drainIdle() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+}
+
+// put returns a healthy connection to the pool.
+func (c *serverConn) put(conn net.Conn) {
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= serverPoolSize {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+	c.mu.Unlock()
+}
+
+// roundTrip sends one request and reads one response, retrying once on a
+// broken connection. A pooled connection may have gone stale, so a failure
+// drains the pool and the retry always dials fresh — a reachable server is
+// never reported unreachable just because the pool was full of dead
+// connections.
+func (c *serverConn) roundTrip(msgType uint8, body []byte) (uint8, []byte, error) {
+	c.sem <- struct{}{}
+	defer func() { <-c.sem }()
 	for attempt := 0; attempt < 2; attempt++ {
-		if c.conn == nil {
-			conn, err := net.Dial("tcp", c.addr)
-			if err != nil {
-				return 0, nil, fmt.Errorf("cluster: dial %s: %w", c.addr, err)
-			}
-			c.conn = conn
+		var conn net.Conn
+		var err error
+		if attempt == 0 {
+			conn, err = c.get()
+		} else {
+			conn, err = c.dial()
 		}
-		if err := writeFrame(c.conn, msgType, body); err != nil {
-			c.conn.Close()
-			c.conn = nil
-			continue
-		}
-		respType, respBody, err := readFrame(c.conn)
 		if err != nil {
-			c.conn.Close()
-			c.conn = nil
+			return 0, nil, err
+		}
+		if err := writeFrame(conn, msgType, body); err != nil {
+			conn.Close()
+			c.drainIdle()
 			continue
 		}
+		respType, respBody, err := readFrame(conn)
+		if err != nil {
+			conn.Close()
+			c.drainIdle()
+			continue
+		}
+		c.put(conn)
 		return respType, respBody, nil
 	}
 	return 0, nil, fmt.Errorf("cluster: %s unreachable after retry", c.addr)
@@ -208,10 +262,11 @@ func (c *serverConn) roundTrip(msgType uint8, body []byte) (uint8, []byte, error
 func (c *serverConn) close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
 	}
+	c.idle = nil
 }
 
 // getView fetches a view from the server; ok is false on a cache miss.

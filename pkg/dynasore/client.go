@@ -1,0 +1,119 @@
+package dynasore
+
+import (
+	"context"
+	"sync"
+
+	"dynasore/internal/cluster"
+)
+
+// DialOption customizes Dial.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	poolSize  int
+	batchSize int
+}
+
+// WithPoolSize sets how many multiplexed connections the client keeps to
+// the broker (default cluster.DefaultPoolSize).
+func WithPoolSize(n int) DialOption {
+	return func(c *dialConfig) { c.poolSize = n }
+}
+
+// WithReadBatchSize sets the chunk size above which a multi-user Read is
+// split into concurrent batches across the pool (default 256). Zero or
+// negative disables splitting.
+func WithReadBatchSize(n int) DialOption {
+	return func(c *dialConfig) { c.batchSize = n }
+}
+
+// Client is the network backend of Store: it speaks wire protocol v2 to a
+// remote broker, multiplexing concurrent requests over a small connection
+// pool, and splits large multi-user reads into concurrent batches.
+type Client struct {
+	c         *cluster.ClientV2
+	batchSize int
+}
+
+var _ Store = (*Client)(nil)
+
+// Dial connects to a broker (as started by ListenBroker, Open, or the
+// dynasore-node command) and negotiates protocol v2.
+func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{batchSize: 256}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	c, err := cluster.DialV2(ctx, addr, cfg.poolSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, batchSize: cfg.batchSize}, nil
+}
+
+// Read fetches the views of every user in targets, in order. Target lists
+// larger than the read batch size are fetched as concurrent chunks and
+// reassembled, so one huge feed read does not serialize behind a single
+// round trip.
+func (c *Client) Read(ctx context.Context, targets []uint32) ([]View, error) {
+	if len(targets) == 0 {
+		return []View{}, nil
+	}
+	if c.batchSize <= 0 || len(targets) <= c.batchSize {
+		views, err := c.c.Read(ctx, targets)
+		if err != nil {
+			return nil, err
+		}
+		return fromClusterViews(views), nil
+	}
+	out := make([]View, len(targets))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for start := 0; start < len(targets); start += c.batchSize {
+		end := min(start+c.batchSize, len(targets))
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			// ClientV2.Read guarantees len(views) == end-start on success,
+			// so the reassembly below cannot write out of range.
+			views, err := c.c.Read(ctx, targets[start:end])
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for i, v := range views {
+				out[start+i] = fromClusterView(v)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Write appends payload to user's view and returns its sequence number.
+func (c *Client) Write(ctx context.Context, user uint32, payload []byte) (uint64, error) {
+	return c.c.Write(ctx, user, payload)
+}
+
+// Stats returns a snapshot of the broker's counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	st, err := c.c.Stats(ctx)
+	if err != nil {
+		return Stats{}, err
+	}
+	return fromClusterStats(st), nil
+}
+
+// Close closes the pooled connections; in-flight requests fail.
+func (c *Client) Close() error { return c.c.Close() }

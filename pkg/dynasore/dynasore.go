@@ -1,0 +1,79 @@
+// Package dynasore is the public client API of the DynaSoRe middleware: the
+// paper's tiny Read(u, L) / Write(u) interface (§3.1) behind one Store
+// facade with pluggable backends.
+//
+// Two backends implement Store:
+//
+//   - Engine (see Open) runs a whole cluster — cache servers, a broker, and
+//     its WAL-backed persistent store — inside the calling process, for
+//     embedding and tests.
+//   - Client (see Dial) talks to a remote broker over wire protocol v2: a
+//     versioned handshake plus per-request IDs let many requests multiplex
+//     concurrently over each pooled connection, instead of the one
+//     serialized request per connection of the legacy v1 client.
+//
+// Server-side nodes for standalone deployments are started with
+// ListenCacheServer and ListenBroker; both serve v1 and v2 clients.
+package dynasore
+
+import (
+	"context"
+
+	"dynasore/internal/cluster"
+)
+
+// View is a producer-pivoted view: one user's latest events, oldest first,
+// plus a version (the WAL sequence number of the newest event).
+type View struct {
+	Version uint64
+	Events  [][]byte
+}
+
+// Stats summarizes broker activity.
+type Stats struct {
+	// Reads and Writes count completed API calls.
+	Reads  int64
+	Writes int64
+	// Replicated and Evicted count hot-view replica creations and
+	// cold-replica evictions by the broker's controller (§3.2).
+	Replicated int64
+	Evicted    int64
+	// Misses counts cache misses refilled from the persistent store (§3.3).
+	Misses int64
+}
+
+// Store is the DynaSoRe API. Both backends are safe for concurrent use.
+type Store interface {
+	// Read fetches the views of every user in targets, in order: the
+	// paper's Read(u, L).
+	Read(ctx context.Context, targets []uint32) ([]View, error)
+	// Write appends payload to user's view and returns its sequence
+	// number: the paper's Write(u).
+	Write(ctx context.Context, user uint32, payload []byte) (uint64, error)
+	// Stats returns a snapshot of the serving broker's counters.
+	Stats(ctx context.Context) (Stats, error)
+	// Close releases the backend's resources.
+	Close() error
+}
+
+func fromClusterView(v cluster.View) View {
+	return View{Version: v.Version, Events: v.Events}
+}
+
+func fromClusterViews(vs []cluster.View) []View {
+	out := make([]View, len(vs))
+	for i, v := range vs {
+		out[i] = fromClusterView(v)
+	}
+	return out
+}
+
+func fromClusterStats(st cluster.BrokerStats) Stats {
+	return Stats{
+		Reads:      st.Reads,
+		Writes:     st.Writes,
+		Replicated: st.Replicated,
+		Evicted:    st.Evicted,
+		Misses:     st.Misses,
+	}
+}

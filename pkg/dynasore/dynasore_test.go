@@ -1,0 +1,249 @@
+package dynasore_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dynasore/pkg/dynasore"
+)
+
+func openEngine(t *testing.T, cfg dynasore.EngineConfig) *dynasore.Engine {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	e, err := dynasore.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// storeSmoke exercises the Store contract against any backend.
+func storeSmoke(t *testing.T, s dynasore.Store) {
+	t.Helper()
+	ctx := context.Background()
+	seq1, err := s.Write(ctx, 7, []byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := s.Write(ctx, 7, []byte("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq2 <= seq1 {
+		t.Errorf("sequence numbers not increasing: %d then %d", seq1, seq2)
+	}
+	views, err := s.Read(ctx, []uint32{7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 {
+		t.Fatalf("views = %d, want 2", len(views))
+	}
+	if len(views[0].Events) != 2 || string(views[0].Events[1]) != "second" {
+		t.Errorf("view of 7 = %q", views[0].Events)
+	}
+	if len(views[1].Events) != 0 {
+		t.Errorf("view of unknown user = %q, want empty", views[1].Events)
+	}
+	st, err := s.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Writes < 2 || st.Reads < 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEngineImplementsStore(t *testing.T) {
+	storeSmoke(t, openEngine(t, dynasore.EngineConfig{}))
+}
+
+func TestClientImplementsStore(t *testing.T) {
+	e := openEngine(t, dynasore.EngineConfig{})
+	c, err := dynasore.Dial(context.Background(), e.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	storeSmoke(t, c)
+}
+
+func TestEngineAndClientShareTheCluster(t *testing.T) {
+	ctx := context.Background()
+	e := openEngine(t, dynasore.EngineConfig{})
+	c, err := dynasore.Dial(ctx, e.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := e.Write(ctx, 1, []byte("via engine")); err != nil {
+		t.Fatal(err)
+	}
+	views, err := c.Read(ctx, []uint32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 || len(views[0].Events) != 1 || string(views[0].Events[0]) != "via engine" {
+		t.Fatalf("views = %+v", views)
+	}
+}
+
+func TestClientBatchedRead(t *testing.T) {
+	ctx := context.Background()
+	e := openEngine(t, dynasore.EngineConfig{})
+	// Batch size 4 forces a 30-target read into 8 concurrent chunks.
+	c, err := dynasore.Dial(ctx, e.Addr(), dynasore.WithPoolSize(3), dynasore.WithReadBatchSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	targets := make([]uint32, 30)
+	for i := range targets {
+		targets[i] = uint32(i)
+		if _, err := c.Write(ctx, uint32(i), []byte(fmt.Sprintf("u%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	views, err := c.Read(ctx, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != len(targets) {
+		t.Fatalf("views = %d, want %d", len(views), len(targets))
+	}
+	for i, v := range views {
+		want := fmt.Sprintf("u%d", i)
+		if len(v.Events) != 1 || string(v.Events[0]) != want {
+			t.Errorf("view %d = %q, want %q", i, v.Events, want)
+		}
+	}
+}
+
+func TestClientEmptyRead(t *testing.T) {
+	e := openEngine(t, dynasore.EngineConfig{})
+	c, err := dynasore.Dial(context.Background(), e.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	views, err := c.Read(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 0 {
+		t.Errorf("views = %d, want 0", len(views))
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	e := openEngine(t, dynasore.EngineConfig{})
+	c, err := dynasore.Dial(context.Background(), e.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, s := range map[string]dynasore.Store{"engine": e, "client": c} {
+		if _, err := s.Read(ctx, []uint32{1}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s Read err = %v, want context.Canceled", name, err)
+		}
+		if _, err := s.Write(ctx, 1, []byte("x")); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s Write err = %v, want context.Canceled", name, err)
+		}
+		if _, err := s.Stats(ctx); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s Stats err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+func TestClientConcurrentUse(t *testing.T) {
+	ctx := context.Background()
+	e := openEngine(t, dynasore.EngineConfig{})
+	c, err := dynasore.Dial(ctx, e.Addr(), dynasore.WithPoolSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const workers = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				u := uint32(w*100 + i)
+				if _, err := c.Write(ctx, u, []byte("x")); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Read(ctx, []uint32{u}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestHotViewReplicationThroughPublicAPI(t *testing.T) {
+	ctx := context.Background()
+	e := openEngine(t, dynasore.EngineConfig{
+		CacheServers: 3,
+		Preferred:    2,
+		HotReads:     4,
+		DecayEvery:   time.Hour,
+	})
+	if _, err := e.Write(ctx, 0, []byte("hot")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := e.Read(ctx, []uint32{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.ReplicaCount(0); got < 2 {
+		t.Errorf("replicas = %d, want >= 2", got)
+	}
+}
+
+func TestCrashedCacheServerFallsBackToWAL(t *testing.T) {
+	ctx := context.Background()
+	e := openEngine(t, dynasore.EngineConfig{CacheServers: 2, Preferred: -1})
+	if _, err := e.Write(ctx, 5, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CrashCacheServer(0); err != nil {
+		t.Fatal(err)
+	}
+	// User 5 lives on server 1 (5 % 2), which is still up.
+	views, err := e.Read(ctx, []uint32{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 || string(views[0].Events[0]) != "durable" {
+		t.Fatalf("views = %+v", views)
+	}
+	if err := e.CrashCacheServer(5); err == nil {
+		t.Error("out-of-range crash accepted")
+	}
+}
+
+func TestOpenValidatesPreferred(t *testing.T) {
+	if _, err := dynasore.Open(dynasore.EngineConfig{CacheServers: 2, Preferred: 7}); err == nil {
+		t.Error("out-of-range preferred server accepted")
+	}
+}

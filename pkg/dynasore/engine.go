@@ -1,0 +1,165 @@
+package dynasore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"dynasore/internal/cluster"
+)
+
+// EngineConfig configures an in-process cluster.
+type EngineConfig struct {
+	// CacheServers is how many cache nodes to start (default 3).
+	CacheServers int
+	// DataDir holds the broker's write-ahead log. Empty means a temporary
+	// directory that is removed on Close (views then survive cache wipes,
+	// but not Engine restarts).
+	DataDir string
+	// ViewCap bounds events kept per view (default 64).
+	ViewCap int
+	// Preferred is the index of the broker's "rack-local" cache server —
+	// the replication target for hot views (§3.2). Negative disables
+	// preference; the default 0 prefers the first server.
+	Preferred int
+	// HotReads is how many reads within a decay interval mark a view hot
+	// enough to replicate locally (default 8).
+	HotReads int
+	// MaxReplicas bounds a view's replication degree (default 3).
+	MaxReplicas int
+	// DecayEvery is the interval of the counter decay / cold-replica
+	// eviction pass (default 5s).
+	DecayEvery time.Duration
+}
+
+// Engine is the in-process backend of Store: it runs cache servers and a
+// broker with a WAL-backed persistent store inside the calling process and
+// executes the API against the broker directly, with no client-side network
+// hop. Use it for embedding DynaSoRe in another program and for tests; its
+// broker also listens on Addr, so network Clients can connect to it.
+type Engine struct {
+	servers []*cluster.Server
+	broker  *cluster.Broker
+	tempDir string // owned temp WAL dir, removed on Close; empty otherwise
+}
+
+var _ Store = (*Engine)(nil)
+
+// Open starts an in-process cluster.
+func Open(cfg EngineConfig) (*Engine, error) {
+	n := cfg.CacheServers
+	if n <= 0 {
+		n = 3
+	}
+	if cfg.Preferred >= n {
+		return nil, fmt.Errorf("dynasore: preferred server %d out of range (have %d)", cfg.Preferred, n)
+	}
+	e := &Engine{}
+	dataDir := cfg.DataDir
+	if dataDir == "" {
+		dir, err := os.MkdirTemp("", "dynasore-engine")
+		if err != nil {
+			return nil, fmt.Errorf("dynasore: temp data dir: %w", err)
+		}
+		e.tempDir = dir
+		dataDir = dir
+	}
+	var addrs []string
+	for i := 0; i < n; i++ {
+		s, err := cluster.NewServer("127.0.0.1:0")
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.servers = append(e.servers, s)
+		addrs = append(addrs, s.Addr())
+	}
+	broker, err := cluster.NewBroker(cluster.BrokerConfig{
+		Addr:        "127.0.0.1:0",
+		ServerAddrs: addrs,
+		DataDir:     dataDir,
+		ViewCap:     cfg.ViewCap,
+		Preferred:   cfg.Preferred,
+		HotReads:    cfg.HotReads,
+		MaxReplicas: cfg.MaxReplicas,
+		DecayEvery:  cfg.DecayEvery,
+	})
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	e.broker = broker
+	return e, nil
+}
+
+// Addr returns the embedded broker's address, so network Clients (local or
+// remote) can Dial the same cluster.
+func (e *Engine) Addr() string { return e.broker.Addr() }
+
+// Read fetches the views of every user in targets, in order.
+func (e *Engine) Read(ctx context.Context, targets []uint32) ([]View, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	views, err := e.broker.Read(targets)
+	if err != nil {
+		return nil, err
+	}
+	return fromClusterViews(views), nil
+}
+
+// Write appends payload to user's view and returns its sequence number.
+func (e *Engine) Write(ctx context.Context, user uint32, payload []byte) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return e.broker.Write(user, payload)
+}
+
+// Stats returns a snapshot of the embedded broker's counters.
+func (e *Engine) Stats(ctx context.Context) (Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	return fromClusterStats(e.broker.Stats()), nil
+}
+
+// ReplicaCount returns the current replication degree of user's view.
+func (e *Engine) ReplicaCount(user uint32) int { return e.broker.ReplicaCount(user) }
+
+// NumCacheServers returns how many cache nodes the engine runs.
+func (e *Engine) NumCacheServers() int { return len(e.servers) }
+
+// CrashCacheServer stops cache server i without shutting down the cluster,
+// simulating a node failure: reads fall back to replicas and the persistent
+// store (§3.3).
+func (e *Engine) CrashCacheServer(i int) error {
+	if i < 0 || i >= len(e.servers) {
+		return fmt.Errorf("dynasore: cache server %d out of range", i)
+	}
+	return e.servers[i].Close()
+}
+
+// Close stops the broker, the cache servers, and the persistent store.
+func (e *Engine) Close() error {
+	var err error
+	if e.broker != nil {
+		err = e.broker.Close()
+		e.broker = nil
+	}
+	for _, s := range e.servers {
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
+	}
+	e.servers = nil
+	if e.tempDir != "" {
+		if cerr := os.RemoveAll(e.tempDir); err == nil && !errors.Is(cerr, os.ErrNotExist) {
+			err = cerr
+		}
+		e.tempDir = ""
+	}
+	return err
+}

@@ -1,0 +1,91 @@
+package dynasore
+
+import (
+	"time"
+
+	"dynasore/internal/cluster"
+)
+
+// CacheServer is one standalone in-memory cache node, holding view replicas
+// for brokers. Views live only in memory — durability is the broker's
+// persistent store's job.
+type CacheServer struct {
+	s *cluster.Server
+}
+
+// ListenCacheServer starts a cache server on addr ("127.0.0.1:0" picks an
+// ephemeral port).
+func ListenCacheServer(addr string) (*CacheServer, error) {
+	s, err := cluster.NewServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &CacheServer{s: s}, nil
+}
+
+// Addr returns the server's listen address.
+func (s *CacheServer) Addr() string { return s.s.Addr() }
+
+// NumViews returns how many views the server currently holds.
+func (s *CacheServer) NumViews() int { return s.s.NumViews() }
+
+// Close stops the server and drops every open connection.
+func (s *CacheServer) Close() error { return s.s.Close() }
+
+// BrokerConfig configures a standalone broker node.
+type BrokerConfig struct {
+	// Addr is the client-facing listen address ("127.0.0.1:0" for tests).
+	Addr string
+	// CacheServerAddrs lists the cache servers, in a fixed cluster-wide
+	// order.
+	CacheServerAddrs []string
+	// DataDir holds the write-ahead log of the persistent store.
+	DataDir string
+	// ViewCap bounds events kept per view (default 64).
+	ViewCap int
+	// Preferred is the index of the broker's "rack-local" cache server,
+	// the replication target for hot views (§3.2). -1 disables preference.
+	Preferred int
+	// HotReads is how many reads within a decay interval mark a view hot
+	// enough to replicate locally (default 8).
+	HotReads int
+	// MaxReplicas bounds a view's replication degree (default 3).
+	MaxReplicas int
+	// DecayEvery is the interval of the counter decay / cold-replica
+	// eviction pass (default 5s).
+	DecayEvery time.Duration
+}
+
+// Broker is one standalone broker node: it serves the Read/Write API to v1
+// and v2 clients, persists writes to its WAL, and replicates hot views onto
+// its preferred cache server.
+type Broker struct {
+	b *cluster.Broker
+}
+
+// ListenBroker starts a broker node.
+func ListenBroker(cfg BrokerConfig) (*Broker, error) {
+	b, err := cluster.NewBroker(cluster.BrokerConfig{
+		Addr:        cfg.Addr,
+		ServerAddrs: cfg.CacheServerAddrs,
+		DataDir:     cfg.DataDir,
+		ViewCap:     cfg.ViewCap,
+		Preferred:   cfg.Preferred,
+		HotReads:    cfg.HotReads,
+		MaxReplicas: cfg.MaxReplicas,
+		DecayEvery:  cfg.DecayEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Broker{b: b}, nil
+}
+
+// Addr returns the broker's client-facing address.
+func (b *Broker) Addr() string { return b.b.Addr() }
+
+// ReplicaCount returns the current replication degree of user's view.
+func (b *Broker) ReplicaCount(user uint32) int { return b.b.ReplicaCount(user) }
+
+// Close stops the broker, its server connections, and the persistent store.
+func (b *Broker) Close() error { return b.b.Close() }
