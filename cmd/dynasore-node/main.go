@@ -2,13 +2,20 @@
 // a cache server holding views in memory, or a broker executing the
 // Read/Write API against a set of cache servers with a WAL-backed
 // persistent store. Both roles serve wire protocol v1 and the multiplexed
-// v2 of pkg/dynasore.
+// v2 of pkg/dynasore. Brokers drive replica placement with the shared
+// DynaSoRe policy engine over the configured cluster topology.
 //
 // Usage:
 //
 //	dynasore-node -role server -addr 127.0.0.1:7001
 //	dynasore-node -role broker -addr 127.0.0.1:7000 \
 //	    -servers 127.0.0.1:7001,127.0.0.1:7002 -data /tmp/dynasore -preferred 0
+//
+// Explicit topology (zone:rack per node) instead of -preferred:
+//
+//	dynasore-node -role broker -addr 127.0.0.1:7000 \
+//	    -servers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+//	    -broker-pos 0:0 -server-pos 0:0,1:0,1:1 -data /tmp/dynasore
 package main
 
 import (
@@ -18,33 +25,88 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"dynasore/pkg/dynasore"
 )
 
 func main() {
 	var (
-		role      = flag.String("role", "server", "node role: server or broker")
-		addr      = flag.String("addr", "127.0.0.1:7001", "listen address")
-		servers   = flag.String("servers", "", "comma-separated cache server addresses (broker)")
-		dataDir   = flag.String("data", "dynasore-data", "persistent store directory (broker)")
-		preferred = flag.Int("preferred", -1, "index of the broker-local cache server (-1: none)")
-		viewCap   = flag.Int("viewcap", 64, "events kept per view")
+		role        = flag.String("role", "server", "node role: server or broker")
+		addr        = flag.String("addr", "127.0.0.1:7001", "listen address")
+		servers     = flag.String("servers", "", "comma-separated cache server addresses (broker)")
+		dataDir     = flag.String("data", "dynasore-data", "persistent store directory (broker)")
+		preferred   = flag.Int("preferred", -1, "index of the broker-local cache server (-1: none; ignored when -server-pos is set)")
+		brokerPos   = flag.String("broker-pos", "", "broker position as zone:rack (with -server-pos)")
+		serverPos   = flag.String("server-pos", "", "comma-separated zone:rack position per cache server")
+		viewCap     = flag.Int("viewcap", 64, "events kept per view")
+		policyEvery = flag.Duration("policy-every", 0, "placement maintenance interval (0: default 5s)")
+		capacity    = flag.Int("capacity", 0, "max views the policy places per cache server (0: unbounded)")
 	)
 	flag.Parse()
-	if err := run(*role, *addr, *servers, *dataDir, *preferred, *viewCap); err != nil {
+	if err := run(config{
+		role: *role, addr: *addr, servers: *servers, dataDir: *dataDir,
+		preferred: *preferred, brokerPos: *brokerPos, serverPos: *serverPos,
+		viewCap: *viewCap, policyEvery: *policyEvery, capacity: *capacity,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dynasore-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(role, addr, servers, dataDir string, preferred, viewCap int) error {
+type config struct {
+	role, addr, servers, dataDir string
+	preferred                    int
+	brokerPos, serverPos         string
+	viewCap                      int
+	policyEvery                  time.Duration
+	capacity                     int
+}
+
+// parsePosition parses "zone:rack".
+func parsePosition(s string) (dynasore.Position, error) {
+	var p dynasore.Position
+	if _, err := fmt.Sscanf(s, "%d:%d", &p.Zone, &p.Rack); err != nil {
+		return p, fmt.Errorf("bad position %q (want zone:rack): %w", s, err)
+	}
+	return p, nil
+}
+
+// parsePlacement builds the broker's cluster topology from the position
+// flags, or returns nil when none were given (the Preferred default
+// applies).
+func parsePlacement(brokerPos, serverPos string) (*dynasore.Placement, error) {
+	if serverPos == "" {
+		if brokerPos != "" {
+			return nil, fmt.Errorf("-broker-pos requires -server-pos")
+		}
+		return nil, nil
+	}
+	p := &dynasore.Placement{}
+	if brokerPos != "" {
+		pos, err := parsePosition(brokerPos)
+		if err != nil {
+			return nil, err
+		}
+		p.Broker = pos
+	}
+	for _, s := range strings.Split(serverPos, ",") {
+		pos, err := parsePosition(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		p.Servers = append(p.Servers, pos)
+	}
+	return p, nil
+}
+
+func run(c config) error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 
-	switch role {
+	switch c.role {
 	case "server":
-		s, err := dynasore.ListenCacheServer(addr)
+		s, err := dynasore.ListenCacheServer(c.addr)
 		if err != nil {
 			return err
 		}
@@ -52,23 +114,31 @@ func run(role, addr, servers, dataDir string, preferred, viewCap int) error {
 		<-stop
 		return s.Close()
 	case "broker":
-		if servers == "" {
+		if c.servers == "" {
 			return fmt.Errorf("broker needs -servers")
 		}
+		placement, err := parsePlacement(c.brokerPos, c.serverPos)
+		if err != nil {
+			return err
+		}
+		addrs := strings.Split(c.servers, ",")
 		b, err := dynasore.ListenBroker(dynasore.BrokerConfig{
-			Addr:             addr,
-			CacheServerAddrs: strings.Split(servers, ","),
-			DataDir:          dataDir,
-			Preferred:        preferred,
-			ViewCap:          viewCap,
+			Addr:             c.addr,
+			CacheServerAddrs: addrs,
+			DataDir:          c.dataDir,
+			Placement:        placement,
+			Preferred:        c.preferred,
+			ViewCap:          c.viewCap,
+			PolicyEvery:      c.policyEvery,
+			ServerCapacity:   c.capacity,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("broker listening on %s (%d cache servers)\n", b.Addr(), len(strings.Split(servers, ",")))
+		fmt.Printf("broker listening on %s (%d cache servers)\n", b.Addr(), len(addrs))
 		<-stop
 		return b.Close()
 	default:
-		return fmt.Errorf("unknown role %q", role)
+		return fmt.Errorf("unknown role %q", c.role)
 	}
 }

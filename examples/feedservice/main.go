@@ -46,9 +46,18 @@ func run() error {
 		Addr:             "127.0.0.1:0",
 		CacheServerAddrs: addrs,
 		DataDir:          dataDir,
-		Preferred:        2,
-		HotReads:         5,
-		DecayEvery:       200 * time.Millisecond,
+		// Server 2 shares the broker's rack; servers 0 and 1 are remote.
+		// The shared placement policy (§3, Algorithms 2–3) replicates hot
+		// views onto the rack-local server and evicts abandoned copies.
+		Placement: &dynasore.Placement{
+			Broker: dynasore.Position{Zone: 0, Rack: 0},
+			Servers: []dynasore.Position{
+				{Zone: 1, Rack: 0}, {Zone: 1, Rack: 1}, {Zone: 0, Rack: 0},
+			},
+		},
+		PolicyEvery: 200 * time.Millisecond,
+		// A few reads inside the window are enough to replicate in a demo.
+		Policy: dynasore.PolicyConfig{AdmissionEpsilon: 500},
 	})
 	if err != nil {
 		return err
@@ -118,7 +127,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("broker stats: reads=%d writes=%d replicated=%d misses=%d\n",
-		st.Reads, st.Writes, st.Replicated, st.Misses)
+	fmt.Printf("broker stats: reads=%d writes=%d replicated=%d evicted=%d migrated=%d misses=%d\n",
+		st.Reads, st.Writes, st.Replicated, st.Evicted, st.Migrated, st.Misses)
 	return nil
 }

@@ -67,15 +67,17 @@ func run() error {
 }
 
 // runLive replays the flash crowd against a real in-process cluster via the
-// public API: hammering one view makes the broker replicate it locally;
-// once reads stop, decay passes evict the cold replica.
+// public API: hammering one view makes the placement policy replicate it
+// onto the broker's rack-local server; once reads stop, the maintenance
+// pass drops the abandoned remote copy (negative utility, §3.2).
 func runLive() error {
 	ctx := context.Background()
 	engine, err := dynasore.Open(dynasore.EngineConfig{
 		CacheServers: 3,
 		Preferred:    2,
-		HotReads:     5,
-		DecayEvery:   100 * time.Millisecond,
+		PolicyEvery:  300 * time.Millisecond,
+		// A few reads inside the window are enough to replicate in a demo.
+		Policy: dynasore.PolicyConfig{AdmissionEpsilon: 500},
 	})
 	if err != nil {
 		return err
@@ -102,7 +104,7 @@ func runLive() error {
 	}
 	fmt.Printf("replicas during the flash: %d\n", engine.ReplicaCount(celeb))
 
-	// The crowd leaves; decay passes evict the now-cold replica.
+	// The crowd leaves; the maintenance pass evicts the abandoned replica.
 	deadline := time.Now().Add(5 * time.Second)
 	for engine.ReplicaCount(celeb) > 1 && time.Now().Before(deadline) {
 		time.Sleep(50 * time.Millisecond)

@@ -4,13 +4,34 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dynasore/internal/stats"
+	"dynasore/internal/topology"
+	"dynasore/internal/viewpolicy"
 	"dynasore/internal/wal"
 )
+
+// Position places a node in the datacenter tree: a zone (intermediate
+// switch) and a rack within that zone. Nodes sharing the same position hang
+// off the same rack switch.
+type Position struct {
+	Zone int
+	Rack int
+}
+
+// Placement describes where the broker and each cache server sit in the
+// datacenter tree; the shared placement policy uses it to score replica
+// locations by network distance.
+type Placement struct {
+	Broker Position
+	// Servers[i] is the position of ServerAddrs[i].
+	Servers []Position
+}
 
 // BrokerConfig configures a broker node.
 type BrokerConfig struct {
@@ -22,50 +43,128 @@ type BrokerConfig struct {
 	DataDir string
 	// ViewCap bounds events kept per view (default 64).
 	ViewCap int
-	// Preferred is the index of the broker's "rack-local" cache server: the
-	// replica-placement target for views this broker reads often, mirroring
-	// DynaSoRe's locality goal. -1 disables preference.
+	// Placement positions the broker and every cache server in the
+	// datacenter tree. Nil derives a default layout from Preferred.
+	Placement *Placement
+	// Preferred is the index of the broker's "rack-local" cache server.
+	// When Placement is nil it seeds the default layout: that server
+	// shares the broker's rack and every other server sits in a remote
+	// zone, so the policy concentrates hot views locally. -1 means no
+	// local server (no replication targets); values below -1 are invalid.
 	Preferred int
-	// HotReads is how many reads within a decay interval mark a view hot
-	// enough to replicate locally (default 8).
-	HotReads int
 	// MaxReplicas bounds a view's replication degree (default 3).
 	MaxReplicas int
-	// DecayEvery is the interval of the counter decay / cold-replica
-	// eviction pass (default 5s; analogous to the paper's counter
-	// rotation, shortened for a live prototype).
-	DecayEvery time.Duration
+	// PolicyEvery is the interval of the maintenance pass — utility
+	// recomputation, negative-utility eviction, admission-threshold
+	// refresh (default 5s; the live-system analogue of the paper's hourly
+	// pass, shortened for a prototype).
+	PolicyEvery time.Duration
+	// Policy tunes the shared placement engine. Unset fields assume
+	// live-cluster defaults: 8 rotating slots of 1s, no grace period, and
+	// an admission profit floor tuned so a handful of reads inside the
+	// window replicates a view.
+	Policy viewpolicy.Config
+	// ServerCapacity bounds how many views the policy will place on one
+	// cache server (0 = unbounded).
+	ServerCapacity int
 }
 
 func (c BrokerConfig) withDefaults() BrokerConfig {
 	if c.ViewCap <= 0 {
 		c.ViewCap = 64
 	}
-	if c.HotReads <= 0 {
-		c.HotReads = 8
-	}
 	if c.MaxReplicas <= 0 {
 		c.MaxReplicas = 3
 	}
-	if c.DecayEvery <= 0 {
-		c.DecayEvery = 5 * time.Second
+	if c.PolicyEvery <= 0 {
+		c.PolicyEvery = 5 * time.Second
+	}
+	if c.Policy.Slots <= 0 {
+		c.Policy.Slots = 8
+	}
+	if c.Policy.SlotSeconds <= 0 {
+		c.Policy.SlotSeconds = 1
+	}
+	if c.Policy.GraceSeconds == 0 {
+		// Live clusters react immediately; a fresh replica's worth is
+		// carried by its creation-time estimate, not a grace period.
+		c.Policy.GraceSeconds = -1
+	}
+	if c.Policy.AdmissionEpsilon <= 0 {
+		// ≈5 window-local reads of a remote view clear this bar, the
+		// policy-world analogue of the retired HotReads counter.
+		c.Policy.AdmissionEpsilon = 1000
 	}
 	return c
 }
 
+// defaultPlacement derives a layout from the legacy Preferred knob: the
+// preferred server shares the broker's rack, every other server gets its own
+// rack in a remote zone. With no preferred server the broker's zone holds no
+// cache servers at all, so the policy never finds a replication target —
+// the topology-era spelling of "no preference".
+func defaultPlacement(preferred, servers int) *Placement {
+	p := &Placement{Broker: Position{Zone: 0, Rack: 0}}
+	for i := 0; i < servers; i++ {
+		if i == preferred {
+			p.Servers = append(p.Servers, Position{Zone: 0, Rack: 0})
+		} else {
+			p.Servers = append(p.Servers, Position{Zone: 1, Rack: i + 1})
+		}
+	}
+	return p
+}
+
+// brokerShardCount is the number of independently locked metadata shards;
+// concurrent requests for different users evaluate policy in parallel.
+const brokerShardCount = 16
+
+// replicaMeta is the broker's bookkeeping for one replica of one view: the
+// access window the policy consumes and the creation-time profit estimate
+// that stands in for statistics during a configured grace period.
+type replicaMeta struct {
+	log       *stats.AccessLog
+	createdAt int64
+	estRate   float64
+}
+
+// viewMeta tracks one view's replica set: which servers hold it (home
+// first, then policy-created copies) and each replica's access window.
+type viewMeta struct {
+	order []int // server indices
+	reps  map[int]*replicaMeta
+}
+
+type brokerShard struct {
+	mu    sync.Mutex
+	views map[uint32]*viewMeta
+}
+
 // Broker executes the DynaSoRe API (§3.1) against the cache servers: Read
 // fetches views from the replica set, Write persists to the WAL first and
-// then refreshes every replica. A background controller replicates views
-// that this broker reads frequently onto its preferred (rack-local) server
-// and evicts replicas that went cold — the live-system analogue of §3.2.
+// then refreshes every replica. Placement is driven by the shared
+// viewpolicy engine — the same Algorithms 2–3 the simulator runs: per-view
+// access logs feed replica creation, migration, and utility-based eviction
+// over the configured cluster topology, applied through putView/deleteView.
+// All policy state is sharded; network I/O never happens under a lock.
 type Broker struct {
 	cfg     BrokerConfig
 	store   *wal.ViewStore
 	servers []*serverConn
 
-	mu        sync.Mutex
-	replicas  map[uint32][]int // user -> server indices, home first
-	readCount map[uint32]int   // reads since the last decay pass
+	topo *topology.Topology
+	pol  *viewpolicy.Engine
+
+	shards [brokerShardCount]brokerShard
+	load   []atomic.Int64 // views per server (broker's accounting)
+
+	// polMu guards the controller outputs consulted on the read path.
+	// Lock order: shard.mu may be held while taking polMu (read); never
+	// the other way around.
+	polMu      sync.RWMutex
+	thresholds []float64 // per machine: admission threshold
+	evictFloor []float64 // per machine: weakest evictable utility
+	minThr     map[topology.Origin]float64
 
 	ln     net.Listener
 	conns  sync.WaitGroup
@@ -79,11 +178,20 @@ type Broker struct {
 	writes     atomic.Int64
 	replicated atomic.Int64
 	evicted    atomic.Int64
+	migrated   atomic.Int64
 	misses     atomic.Int64
 }
 
-// ErrNoServers reports an empty server list.
-var ErrNoServers = errors.New("cluster: broker needs at least one cache server")
+// brokerMachine is the broker's machine ID in its own topology; cache
+// server i is machine i+1.
+const brokerMachine topology.MachineID = 0
+
+// Errors returned by NewBroker.
+var (
+	ErrNoServers    = errors.New("cluster: broker needs at least one cache server")
+	ErrBadPreferred = errors.New("cluster: preferred server out of range")
+	ErrBadPlacement = errors.New("cluster: placement must cover every cache server")
+)
 
 // NewBroker starts a broker node.
 func NewBroker(cfg BrokerConfig) (*Broker, error) {
@@ -91,8 +199,24 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	if len(cfg.ServerAddrs) == 0 {
 		return nil, ErrNoServers
 	}
-	if cfg.Preferred >= len(cfg.ServerAddrs) {
-		return nil, fmt.Errorf("cluster: preferred server %d out of range", cfg.Preferred)
+	if cfg.Preferred < -1 || cfg.Preferred >= len(cfg.ServerAddrs) {
+		return nil, fmt.Errorf("%w: %d (have %d servers)", ErrBadPreferred, cfg.Preferred, len(cfg.ServerAddrs))
+	}
+	placement := cfg.Placement
+	if placement == nil {
+		placement = defaultPlacement(cfg.Preferred, len(cfg.ServerAddrs))
+	}
+	if len(placement.Servers) != len(cfg.ServerAddrs) {
+		return nil, fmt.Errorf("%w: %d positions for %d servers", ErrBadPlacement, len(placement.Servers), len(cfg.ServerAddrs))
+	}
+	machines := make([]topology.Placed, 0, 1+len(placement.Servers))
+	machines = append(machines, topology.Placed{Kind: topology.KindBroker, Zone: placement.Broker.Zone, Rack: placement.Broker.Rack})
+	for _, pos := range placement.Servers {
+		machines = append(machines, topology.Placed{Kind: topology.KindServer, Zone: pos.Zone, Rack: pos.Rack})
+	}
+	topo, err := topology.NewCustom(machines)
+	if err != nil {
+		return nil, err
 	}
 	store, err := wal.OpenViewStore(cfg.DataDir, cfg.ViewCap, wal.Options{})
 	if err != nil {
@@ -104,21 +228,31 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		return nil, fmt.Errorf("cluster: listen: %w", err)
 	}
 	b := &Broker{
-		cfg:       cfg,
-		store:     store,
-		replicas:  make(map[uint32][]int),
-		readCount: make(map[uint32]int),
-		ln:        ln,
-		active:    make(map[net.Conn]struct{}),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		cfg:        cfg,
+		store:      store,
+		topo:       topo,
+		pol:        viewpolicy.New(topo, cfg.Policy),
+		load:       make([]atomic.Int64, len(cfg.ServerAddrs)),
+		thresholds: make([]float64, topo.NumMachines()),
+		evictFloor: make([]float64, topo.NumMachines()),
+		minThr:     make(map[topology.Origin]float64),
+		ln:         ln,
+		active:     make(map[net.Conn]struct{}),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	for i := range b.shards {
+		b.shards[i].views = make(map[uint32]*viewMeta)
+	}
+	for i := range b.evictFloor {
+		b.evictFloor[i] = viewpolicy.Inf
 	}
 	for _, addr := range cfg.ServerAddrs {
 		b.servers = append(b.servers, newServerConn(addr))
 	}
 	b.conns.Add(1)
 	go b.acceptLoop()
-	go b.decayLoop()
+	go b.maintainLoop()
 	return b, nil
 }
 
@@ -127,37 +261,119 @@ func (b *Broker) Addr() string { return b.ln.Addr().String() }
 
 func (b *Broker) home(user uint32) int { return int(user) % len(b.servers) }
 
-// replicaSet returns (a copy of) the servers holding user's view,
-// initializing the home replica lazily.
-func (b *Broker) replicaSet(user uint32) []int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	set, ok := b.replicas[user]
-	if !ok {
-		set = []int{b.home(user)}
-		b.replicas[user] = set
+func (b *Broker) shard(user uint32) *brokerShard {
+	return &b.shards[(user*2654435761)>>28&(brokerShardCount-1)]
+}
+
+func (b *Broker) machineOf(idx int) topology.MachineID { return topology.MachineID(idx + 1) }
+
+func (b *Broker) capacityOf() int {
+	if b.cfg.ServerCapacity > 0 {
+		return b.cfg.ServerCapacity
 	}
-	out := make([]int, len(set))
-	copy(out, set)
-	return out
+	return math.MaxInt
+}
+
+// metaLocked returns user's replica bookkeeping, lazily placing the home
+// replica. Caller holds sh.mu.
+func (b *Broker) metaLocked(sh *brokerShard, user uint32, now int64) *viewMeta {
+	meta, ok := sh.views[user]
+	if !ok {
+		home := b.home(user)
+		meta = &viewMeta{order: []int{home}, reps: map[int]*replicaMeta{home: b.newReplicaMeta(now, 0)}}
+		sh.views[user] = meta
+		b.load[home].Add(1)
+	}
+	return meta
+}
+
+func (b *Broker) newReplicaMeta(now int64, estRate float64) *replicaMeta {
+	cfg := b.pol.Config()
+	log, _ := stats.NewAccessLog(cfg.Slots, cfg.SlotSeconds)
+	return &replicaMeta{log: log, createdAt: now, estRate: estRate}
+}
+
+// viewStateLocked snapshots the replica set for the policy engine. Caller
+// holds the shard lock.
+func (b *Broker) viewStateLocked(meta *viewMeta) viewpolicy.ViewState {
+	replicas := make([]topology.MachineID, len(meta.order))
+	for i, idx := range meta.order {
+		replicas[i] = b.machineOf(idx)
+	}
+	// The broker is every view's read and write proxy in its own topology.
+	return viewpolicy.ViewState{Replicas: replicas, WriteProxy: brokerMachine}
+}
+
+// brokerEnv adapts broker state to the policy engine's read-only cluster
+// view while evaluating one view. It may be used under a shard lock; it
+// only takes polMu read locks (see Broker.polMu ordering).
+type brokerEnv struct {
+	b    *Broker
+	meta *viewMeta
+}
+
+func (e brokerEnv) Load(m topology.MachineID) int     { return int(e.b.load[int(m)-1].Load()) }
+func (e brokerEnv) Capacity(m topology.MachineID) int { return e.b.capacityOf() }
+func (e brokerEnv) EvictFloor(m topology.MachineID) float64 {
+	e.b.polMu.RLock()
+	defer e.b.polMu.RUnlock()
+	return e.b.evictFloor[m]
+}
+func (e brokerEnv) Threshold(m topology.MachineID) float64 {
+	e.b.polMu.RLock()
+	defer e.b.polMu.RUnlock()
+	return e.b.thresholds[m]
+}
+func (e brokerEnv) SubtreeThreshold(o topology.Origin) float64 {
+	e.b.polMu.RLock()
+	defer e.b.polMu.RUnlock()
+	return e.b.minThr[o]
+}
+func (e brokerEnv) Holds(m topology.MachineID) bool {
+	for _, idx := range e.meta.order {
+		if e.b.machineOf(idx) == m {
+			return true
+		}
+	}
+	return false
 }
 
 // Write implements the paper's write path: persist the event first, then
-// update every cache replica with the fresh view.
+// update every cache replica with the fresh view. Every failed replica
+// update is reported (joined into one error) and the dead replicas are
+// dropped from the set — a partially updated replica set is never silent.
 func (b *Broker) Write(user uint32, payload []byte) (uint64, error) {
 	seq, err := b.store.Append(user, time.Now().UnixNano(), payload)
 	if err != nil {
 		return 0, fmt.Errorf("persist write: %w", err)
 	}
+	now := time.Now().Unix()
 	view := b.currentView(user)
-	var firstErr error
-	for _, idx := range b.replicaSet(user) {
-		if err := b.servers[idx].putView(user, view); err != nil && firstErr == nil {
-			firstErr = err
+	sh := b.shard(user)
+	sh.mu.Lock()
+	meta := b.metaLocked(sh, user, now)
+	for _, rep := range meta.reps {
+		rep.log.RecordWrite(now)
+	}
+	set := append([]int(nil), meta.order...)
+	sh.mu.Unlock()
+
+	var errs []error
+	var failed []int
+	for _, idx := range set {
+		if err := b.servers[idx].putView(user, view); err != nil {
+			errs = append(errs, fmt.Errorf("update replica on %s: %w", b.cfg.ServerAddrs[idx], err))
+			failed = append(failed, idx)
 		}
 	}
+	if len(failed) > 0 && len(failed) < len(set) {
+		// Reachable replicas stay current; unreachable ones would serve
+		// stale views if they came back, so drop them (reads re-create
+		// replicas on demand and the WAL refills caches).
+		b.dropReplicas(user, failed)
+	}
 	b.writes.Add(1)
-	return seq, firstErr
+	return seq, errors.Join(errs...)
 }
 
 // currentView materializes the persistent store's view of user.
@@ -170,33 +386,257 @@ func (b *Broker) currentView(user uint32) View {
 	return View{Version: ver, Events: events}
 }
 
-// ReadOne fetches a single view, preferring the broker-local replica,
-// filling the cache from the persistent store on a miss, and feeding the
-// hot-view controller.
+// ReadOne fetches a single view from the closest replica, filling the cache
+// from the persistent store on a miss, recording the access in the view's
+// window, and applying whatever placement change the policy decides.
 func (b *Broker) ReadOne(user uint32) (View, error) {
-	set := b.replicaSet(user)
-	idx := set[0]
-	for _, i := range set {
-		if i == b.cfg.Preferred {
-			idx = i
-			break
+	now := time.Now().Unix()
+	sh := b.shard(user)
+	sh.mu.Lock()
+	meta := b.metaLocked(sh, user, now)
+	view := b.viewStateLocked(meta)
+	serving := b.topo.ClosestOf(brokerMachine, view.Replicas)
+	idx := int(serving) - 1
+	rep := meta.reps[idx]
+	rep.log.RecordRead(now, b.topo.OriginOf(serving, brokerMachine))
+	decision := b.evaluateLocked(now, meta, view, serving, rep)
+	fallbacks := append([]int(nil), meta.order...)
+	sh.mu.Unlock()
+
+	v, err := b.readReplica(user, idx)
+	if err != nil {
+		// The serving replica is unreachable: drop it, try the remaining
+		// replicas, and as a last resort serve straight from the WAL
+		// (crash recovery, §3.3) — a dead cache server never fails reads.
+		b.dropReplicas(user, []int{idx})
+		recovered := false
+		for _, alt := range fallbacks {
+			if alt == idx {
+				continue
+			}
+			if av, aerr := b.readReplica(user, alt); aerr == nil {
+				v, recovered = av, true
+				break
+			}
+			b.dropReplicas(user, []int{alt})
+		}
+		if !recovered {
+			b.misses.Add(1)
+			v = b.currentView(user)
 		}
 	}
+	b.applyDecision(now, user, decision)
+	return v, nil
+}
+
+// readReplica fetches user's view from server idx, refilling the cache from
+// the persistent store on a miss.
+func (b *Broker) readReplica(user uint32, idx int) (View, error) {
 	v, ok, err := b.servers[idx].getView(user)
 	if err != nil {
 		return View{}, err
 	}
 	if !ok {
-		// Cache miss: rebuild from the persistent store (crash recovery
-		// path of §3.3) and re-install.
 		b.misses.Add(1)
 		v = b.currentView(user)
 		if err := b.servers[idx].putView(user, v); err != nil {
 			return View{}, fmt.Errorf("cache fill: %w", err)
 		}
 	}
-	b.noteRead(user)
 	return v, nil
+}
+
+// evaluateLocked runs the shared policy for a view just read from serving.
+// Caller holds the shard lock; the returned decision is applied outside it.
+func (b *Broker) evaluateLocked(now int64, meta *viewMeta, view viewpolicy.ViewState, serving topology.MachineID, rep *replicaMeta) viewpolicy.Decision {
+	if b.pol.InGrace(rep.createdAt, now) {
+		return viewpolicy.Decision{}
+	}
+	env := brokerEnv{b: b, meta: meta}
+	w := b.pol.WindowOf(rep.log, rep.createdAt, now)
+	if d, ok := b.pol.EvaluateReplication(env, view, serving, w); ok {
+		return d
+	}
+	if !b.pol.MatureForMigration(rep.createdAt, now) {
+		return viewpolicy.Decision{}
+	}
+	return b.pol.EvaluateMigration(env, view, serving, w)
+}
+
+// applyDecision carries out a placement change: replica-set membership is
+// committed under the shard lock first, then the view data moves over the
+// network — so a committed replica always fetches fresh data from the WAL
+// on a miss and a concurrent write can never leave it stale.
+func (b *Broker) applyDecision(now int64, user uint32, d viewpolicy.Decision) {
+	switch d.Op {
+	case viewpolicy.OpCreate:
+		b.applyCreate(now, user, d)
+	case viewpolicy.OpMigrate:
+		b.applyMigrate(now, user, d)
+	case viewpolicy.OpRemove:
+		if b.removeReplica(user, int(d.Target)-1) {
+			b.evicted.Add(1)
+		}
+	}
+}
+
+func (b *Broker) applyCreate(now int64, user uint32, d viewpolicy.Decision) {
+	target := int(d.Target) - 1
+	if int(b.load[target].Load()) >= b.capacityOf() {
+		// Full target: the policy admitted the newcomer over the server's
+		// eviction floor, so displace its weakest evictable view (the
+		// swap-on-admission form of §3.2 eviction, as the simulator's
+		// ensureRoom does). Give up if nothing can move.
+		if !b.evictWeakestOn(now, target, d.Profit) {
+			return
+		}
+	}
+	sh := b.shard(user)
+	sh.mu.Lock()
+	meta, ok := sh.views[user]
+	if !ok || len(meta.order) >= b.cfg.MaxReplicas || meta.reps[target] != nil ||
+		int(b.load[target].Load()) >= b.capacityOf() {
+		sh.mu.Unlock()
+		return
+	}
+	meta.order = append(meta.order, target)
+	meta.reps[target] = b.newReplicaMeta(now, d.Profit)
+	// The new copy absorbs this origin's reads; forget them on the serving
+	// replica so the stale window does not trigger duplicate replicas.
+	for _, rep := range meta.reps {
+		rep.log.ClearOrigin(d.Origin)
+	}
+	b.load[target].Add(1)
+	sh.mu.Unlock()
+
+	if err := b.servers[target].putView(user, b.currentView(user)); err != nil {
+		b.removeReplica(user, target)
+		return
+	}
+	b.replicated.Add(1)
+}
+
+func (b *Broker) applyMigrate(now int64, user uint32, d viewpolicy.Decision) {
+	target := int(d.Target) - 1
+	sh := b.shard(user)
+	sh.mu.Lock()
+	meta, ok := sh.views[user]
+	if !ok || meta.reps[target] != nil {
+		sh.mu.Unlock()
+		return
+	}
+	// The migration source is whichever current replica the policy decided
+	// to abandon: the one closest to the broker (it was the serving
+	// replica when the decision was made).
+	view := b.viewStateLocked(meta)
+	source := int(b.topo.ClosestOf(brokerMachine, view.Replicas)) - 1
+	if source < 0 || meta.reps[source] == nil {
+		sh.mu.Unlock()
+		return
+	}
+	meta.order = append(meta.order, target)
+	meta.reps[target] = b.newReplicaMeta(now, d.Profit)
+	b.load[target].Add(1)
+	removeLocked(meta, source)
+	b.load[source].Add(-1)
+	sh.mu.Unlock()
+
+	_ = b.servers[source].deleteView(user)
+	if err := b.servers[target].putView(user, b.currentView(user)); err != nil {
+		// The replica set still names target; reads will refill it from
+		// the WAL once the server is reachable, or drop it as dead.
+		return
+	}
+	b.migrated.Add(1)
+}
+
+// evictWeakestOn drops the lowest-utility evictable replica on server idx,
+// provided its utility is below bar (the admitted newcomer's profit). It
+// refreshes the server's eviction floor and reports whether a slot was
+// freed. Shard locks are taken one at a time; the deleteView runs outside.
+func (b *Broker) evictWeakestOn(now int64, idx int, bar float64) bool {
+	at := b.machineOf(idx)
+	minReplicas := b.pol.Config().MinReplicas
+	var victim uint32
+	worst := viewpolicy.Inf
+	found := false
+	for si := range b.shards {
+		sh := &b.shards[si]
+		sh.mu.Lock()
+		for user, meta := range sh.views {
+			rep := meta.reps[idx]
+			if rep == nil || len(meta.order) <= minReplicas {
+				continue
+			}
+			var util float64
+			if b.pol.InGrace(rep.createdAt, now) {
+				util = rep.estRate
+			} else {
+				util = b.pol.Utility(b.viewStateLocked(meta), at, b.pol.WindowOf(rep.log, rep.createdAt, now))
+			}
+			if util < worst || (util == worst && (!found || user < victim)) {
+				victim, worst, found = user, util, true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if !found || worst >= bar || !b.removeReplica(victim, idx) {
+		return false
+	}
+	b.evicted.Add(1)
+	b.polMu.Lock()
+	b.evictFloor[at] = worst
+	b.polMu.Unlock()
+	return true
+}
+
+// removeReplica drops server idx from user's replica set (never the last
+// copy) and deletes the cached view. It reports whether a replica was
+// removed.
+func (b *Broker) removeReplica(user uint32, idx int) bool {
+	sh := b.shard(user)
+	sh.mu.Lock()
+	meta, ok := sh.views[user]
+	if !ok || len(meta.order) <= 1 || meta.reps[idx] == nil {
+		sh.mu.Unlock()
+		return false
+	}
+	removeLocked(meta, idx)
+	b.load[idx].Add(-1)
+	sh.mu.Unlock()
+	_ = b.servers[idx].deleteView(user)
+	return true
+}
+
+// dropReplicas removes dead replicas from user's set without contacting
+// their servers (they are unreachable); the last copy is always kept.
+func (b *Broker) dropReplicas(user uint32, idxs []int) {
+	sh := b.shard(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	meta, ok := sh.views[user]
+	if !ok {
+		return
+	}
+	for _, idx := range idxs {
+		if len(meta.order) <= 1 || meta.reps[idx] == nil {
+			continue
+		}
+		removeLocked(meta, idx)
+		b.load[idx].Add(-1)
+	}
+}
+
+// removeLocked unlinks server idx from meta. Caller holds the shard lock
+// and has verified the replica exists.
+func removeLocked(meta *viewMeta, idx int) {
+	for i, r := range meta.order {
+		if r == idx {
+			meta.order = append(meta.order[:i], meta.order[i+1:]...)
+			break
+		}
+	}
+	delete(meta.reps, idx)
 }
 
 // readFanout caps how many views of one Read(u, L) are fetched in parallel.
@@ -250,101 +690,89 @@ func (b *Broker) Read(targets []uint32) ([]View, error) {
 	return out, nil
 }
 
-// noteRead counts a read and replicates the view locally once it is hot.
-// The replica set is re-read under the lock: concurrent reads of the same
-// user (the parallel Read fan-out, or multiplexed v2 requests) must not
-// each append the preferred server from their own stale snapshot.
-func (b *Broker) noteRead(user uint32) {
-	pref := b.cfg.Preferred
-	if pref < 0 {
-		return
-	}
-	b.mu.Lock()
-	b.readCount[user]++
-	hot := b.readCount[user] >= b.cfg.HotReads
-	set, ok := b.replicas[user]
-	if !ok {
-		set = []int{b.home(user)}
-		b.replicas[user] = set
-	}
-	holds := false
-	for _, i := range set {
-		if i == pref {
-			holds = true
-			break
-		}
-	}
-	should := hot && !holds && len(set) < b.cfg.MaxReplicas
-	if should {
-		b.replicas[user] = append(set, pref)
-	}
-	b.mu.Unlock()
-	if should {
-		if err := b.servers[pref].putView(user, b.currentView(user)); err == nil {
-			b.replicated.Add(1)
-		}
-	}
-}
-
-// decayLoop halves read counters periodically and drops broker-created
-// replicas whose views went cold, mirroring DynaSoRe's eviction of
-// no-longer-useful copies (§4.6).
-func (b *Broker) decayLoop() {
+// maintainLoop periodically runs the shared policy's maintenance pass, the
+// live-system analogue of the paper's hourly storage management (§3.2).
+func (b *Broker) maintainLoop() {
 	defer close(b.done)
-	ticker := time.NewTicker(b.cfg.DecayEvery)
+	ticker := time.NewTicker(b.cfg.PolicyEvery)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
-			b.decayOnce()
+			b.maintainOnce(time.Now().Unix())
 		case <-b.stop:
 			return
 		}
 	}
 }
 
-func (b *Broker) decayOnce() {
-	pref := b.cfg.Preferred
-	var drop []uint32
-	b.mu.Lock()
-	for u, c := range b.readCount {
-		if c <= 1 {
-			delete(b.readCount, u)
-		} else {
-			b.readCount[u] = c / 2
-		}
-	}
-	if pref >= 0 {
-		for u, set := range b.replicas {
-			if len(set) < 2 || b.readCount[u] > 0 || b.home(u) == pref {
-				continue
-			}
-			for i, idx := range set {
-				if idx == pref {
-					b.replicas[u] = append(set[:i], set[i+1:]...)
-					drop = append(drop, u)
-					break
+// maintainOnce recomputes per-replica utilities, applies the policy's
+// per-server plans (dropping negative-utility replicas), and refreshes the
+// admission thresholds the read path consults. All decisions are collected
+// under shard locks; the deleteView I/O runs outside them.
+func (b *Broker) maintainOnce(now int64) {
+	minReplicas := b.pol.Config().MinReplicas
+	entries := make([][]viewpolicy.ViewUtil, len(b.servers))
+	for si := range b.shards {
+		sh := &b.shards[si]
+		sh.mu.Lock()
+		for user, meta := range sh.views {
+			view := b.viewStateLocked(meta)
+			evictable := len(meta.order) > minReplicas
+			for idx, rep := range meta.reps {
+				var util float64
+				if b.pol.InGrace(rep.createdAt, now) {
+					util = rep.estRate
+				} else {
+					util = b.pol.Utility(view, b.machineOf(idx), b.pol.WindowOf(rep.log, rep.createdAt, now))
 				}
+				entries[idx] = append(entries[idx], viewpolicy.ViewUtil{ID: int64(user), Util: util, Evictable: evictable})
 			}
 		}
+		sh.mu.Unlock()
 	}
-	b.mu.Unlock()
-	for _, u := range drop {
-		if err := b.servers[pref].deleteView(u); err == nil {
+
+	type removal struct {
+		user uint32
+		idx  int
+	}
+	var drops []removal
+	thresholds := make([]float64, b.topo.NumMachines())
+	floors := make([]float64, b.topo.NumMachines())
+	for i := range floors {
+		floors[i] = viewpolicy.Inf
+	}
+	for idx := range b.servers {
+		plan := b.pol.PlanServerMaintenance(entries[idx], int(b.load[idx].Load()), b.capacityOf())
+		for _, id := range plan.Remove {
+			drops = append(drops, removal{user: uint32(id), idx: idx})
+		}
+		m := b.machineOf(idx)
+		thresholds[m] = plan.Threshold
+		floors[m] = plan.EvictFloor
+	}
+	for _, r := range drops {
+		if b.removeReplica(r.user, r.idx) {
 			b.evicted.Add(1)
 		}
 	}
+	b.polMu.Lock()
+	copy(b.thresholds, thresholds)
+	copy(b.evictFloor, floors)
+	b.pol.DisseminateThresholds(b.thresholds, b.minThr)
+	b.polMu.Unlock()
 }
 
 // ReplicaCount returns the current replication degree of user's view.
 func (b *Broker) ReplicaCount(user uint32) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	set, ok := b.replicas[user]
+	sh := b.shard(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	meta, ok := sh.views[user]
 	if !ok {
 		return 1
 	}
-	return len(set)
+	return len(meta.order)
 }
 
 // BrokerStats summarizes broker activity.
@@ -353,6 +781,7 @@ type BrokerStats struct {
 	Writes     int64
 	Replicated int64
 	Evicted    int64
+	Migrated   int64
 	Misses     int64
 }
 
@@ -363,6 +792,7 @@ func (b *Broker) Stats() BrokerStats {
 		Writes:     b.writes.Load(),
 		Replicated: b.replicated.Load(),
 		Evicted:    b.evicted.Load(),
+		Migrated:   b.migrated.Load(),
 		Misses:     b.misses.Load(),
 	}
 }
@@ -416,7 +846,7 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 	case opBrokerStats:
 		st := b.Stats()
 		var out []byte
-		for _, v := range []int64{st.Reads, st.Writes, st.Replicated, st.Evicted, st.Misses} {
+		for _, v := range []int64{st.Reads, st.Writes, st.Replicated, st.Evicted, st.Misses, st.Migrated} {
 			out = binary.LittleEndian.AppendUint64(out, uint64(v))
 		}
 		return respStats, out

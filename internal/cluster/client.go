@@ -93,16 +93,26 @@ func (c *Client) Stats() (BrokerStats, error) {
 	if err != nil {
 		return BrokerStats{}, err
 	}
+	return decodeBrokerStats(respType, body)
+}
+
+// decodeBrokerStats parses a respStats body shared by both protocol
+// versions. Brokers predating the migration counter send 40-byte stats.
+func decodeBrokerStats(respType uint8, body []byte) (BrokerStats, error) {
 	if respType != respStats || len(body) < 40 {
 		return BrokerStats{}, ErrBadFrame
 	}
-	return BrokerStats{
+	st := BrokerStats{
 		Reads:      int64(binary.LittleEndian.Uint64(body[0:8])),
 		Writes:     int64(binary.LittleEndian.Uint64(body[8:16])),
 		Replicated: int64(binary.LittleEndian.Uint64(body[16:24])),
 		Evicted:    int64(binary.LittleEndian.Uint64(body[24:32])),
 		Misses:     int64(binary.LittleEndian.Uint64(body[32:40])),
-	}, nil
+	}
+	if len(body) >= 48 {
+		st.Migrated = int64(binary.LittleEndian.Uint64(body[40:48]))
+	}
+	return st, nil
 }
 
 // Close closes the connection.

@@ -268,16 +268,7 @@ func (c *ClientV2) Stats(ctx context.Context) (BrokerStats, error) {
 	if err != nil {
 		return BrokerStats{}, err
 	}
-	if respType != respStats || len(body) < 40 {
-		return BrokerStats{}, ErrBadFrame
-	}
-	return BrokerStats{
-		Reads:      int64(binary.LittleEndian.Uint64(body[0:8])),
-		Writes:     int64(binary.LittleEndian.Uint64(body[8:16])),
-		Replicated: int64(binary.LittleEndian.Uint64(body[16:24])),
-		Evicted:    int64(binary.LittleEndian.Uint64(body[24:32])),
-		Misses:     int64(binary.LittleEndian.Uint64(body[32:40])),
-	}, nil
+	return decodeBrokerStats(respType, body)
 }
 
 // Close closes every pooled connection; pending requests fail.

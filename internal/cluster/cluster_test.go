@@ -135,9 +135,7 @@ func TestCacheMissRefillsFromPersistentStore(t *testing.T) {
 	}
 	// Simulate a cache-server wipe (crash without data loss thanks to WAL).
 	home := servers[b.home(4)]
-	home.mu.Lock()
-	delete(home.views, 4)
-	home.mu.Unlock()
+	home.drop(4)
 
 	views, err := c.Read([]uint32{4})
 	if err != nil {
@@ -154,12 +152,7 @@ func TestCacheMissRefillsFromPersistentStore(t *testing.T) {
 		t.Error("expected a recorded cache miss")
 	}
 	// The view must be back in cache now.
-	if _, ok := func() (View, bool) {
-		home.mu.RLock()
-		defer home.mu.RUnlock()
-		v, ok := home.views[4]
-		return v, ok
-	}(); !ok {
+	if _, ok := home.lookup(4); !ok {
 		t.Error("view not re-installed in cache after miss")
 	}
 }
@@ -199,10 +192,11 @@ func TestBrokerRestartRecoversFromWAL(t *testing.T) {
 func TestHotViewReplication(t *testing.T) {
 	b, servers, c := testCluster(t, 3, func(cfg *BrokerConfig) {
 		cfg.Preferred = 2
-		cfg.HotReads = 5
-		cfg.DecayEvery = time.Hour // no decay during the test
+		cfg.PolicyEvery = time.Hour // no maintenance pass during the test
 	})
-	// User 0's home is server 0; hammer reads through the broker.
+	// User 0's home is server 0; hammer reads through the broker. The
+	// shared policy sees reads from the broker's zone and replicates onto
+	// the rack-local server once the profit clears the admission bar.
 	if _, err := c.Write(0, []byte("hot")); err != nil {
 		t.Fatal(err)
 	}
@@ -215,10 +209,7 @@ func TestHotViewReplication(t *testing.T) {
 		t.Fatalf("hot view has %d replicas, want >= 2", got)
 	}
 	// The preferred server must now hold the view.
-	servers[2].mu.RLock()
-	_, ok := servers[2].views[0]
-	servers[2].mu.RUnlock()
-	if !ok {
+	if _, ok := servers[2].lookup(0); !ok {
 		t.Error("preferred server does not hold the hot view")
 	}
 	st := b.Stats()
@@ -227,16 +218,18 @@ func TestHotViewReplication(t *testing.T) {
 	}
 }
 
-func TestColdReplicaEviction(t *testing.T) {
+func TestAbandonedReplicaEviction(t *testing.T) {
+	// Once a hot view is replicated next to the broker, the remote home
+	// copy serves no reads; as soon as writes charge it maintenance cost,
+	// the policy's maintenance pass removes it (negative utility, §3.2).
 	b, servers, c := testCluster(t, 2, func(cfg *BrokerConfig) {
 		cfg.Preferred = 1
-		cfg.HotReads = 3
-		cfg.DecayEvery = 20 * time.Millisecond
+		cfg.PolicyEvery = 300 * time.Millisecond
 	})
 	if _, err := c.Write(0, []byte("flash")); err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 6; i++ {
+	for i := 0; i < 8; i++ {
 		if _, err := c.Read([]uint32{0}); err != nil {
 			t.Fatal(err)
 		}
@@ -244,8 +237,13 @@ func TestColdReplicaEviction(t *testing.T) {
 	if got := b.ReplicaCount(0); got != 2 {
 		t.Fatalf("replicas = %d, want 2 while hot", got)
 	}
-	// Go cold: decay passes halve the counter to zero, then evict.
-	deadline := time.Now().Add(2 * time.Second)
+	// The crowd leaves; only writes remain.
+	for i := 0; i < 10; i++ {
+		if _, err := c.Write(0, []byte("update")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
 	for time.Now().Before(deadline) {
 		if b.ReplicaCount(0) == 1 {
 			break
@@ -253,21 +251,26 @@ func TestColdReplicaEviction(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	if got := b.ReplicaCount(0); got != 1 {
-		t.Fatalf("replicas = %d after cooling down, want 1", got)
+		t.Fatalf("replicas = %d after the crowd left, want 1", got)
 	}
-	servers[1].mu.RLock()
-	_, still := servers[1].views[0]
-	servers[1].mu.RUnlock()
-	if still {
-		t.Error("cold replica not deleted from preferred server")
+	// The surviving copy is the one near the broker; the abandoned home
+	// replica was deleted from its server.
+	if _, ok := servers[1].lookup(0); !ok {
+		t.Error("broker-local server lost the surviving replica")
+	}
+	if _, still := servers[0].lookup(0); still {
+		t.Error("abandoned replica not deleted from the home server")
+	}
+	if st := b.Stats(); st.Evicted == 0 {
+		t.Error("no eviction recorded")
 	}
 }
 
 func TestWritesRefreshAllReplicas(t *testing.T) {
 	b, servers, c := testCluster(t, 3, func(cfg *BrokerConfig) {
 		cfg.Preferred = 2
-		cfg.HotReads = 2
-		cfg.DecayEvery = time.Hour
+		cfg.PolicyEvery = time.Hour
+		cfg.Policy.AdmissionEpsilon = 100 // replicate after the first read
 	})
 	if _, err := c.Write(0, []byte("v1")); err != nil {
 		t.Fatal(err)
@@ -284,9 +287,7 @@ func TestWritesRefreshAllReplicas(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, idx := range []int{0, 2} {
-		servers[idx].mu.RLock()
-		v, ok := servers[idx].views[0]
-		servers[idx].mu.RUnlock()
+		v, ok := servers[idx].lookup(0)
 		if !ok {
 			t.Fatalf("server %d lost the view", idx)
 		}
@@ -355,6 +356,49 @@ func TestServerStats(t *testing.T) {
 	}
 }
 
+func TestAdmissionSwapEvictsWeakestOnFullServer(t *testing.T) {
+	// ServerCapacity 1: the broker-local server can hold one policy-placed
+	// view. A lukewarm view takes the slot first; a hotter view must then
+	// displace it (swap-on-admission eviction over the eviction floor).
+	b, servers, c := testCluster(t, 3, func(cfg *BrokerConfig) {
+		cfg.Preferred = 2
+		cfg.PolicyEvery = time.Hour // maintenance run by hand below
+		cfg.ServerCapacity = 1
+		cfg.Policy.AdmissionEpsilon = 100
+	})
+	// Users 0 and 1 home on servers 0 and 1; both remote from the broker.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Read([]uint32{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.ReplicaCount(1); got != 2 {
+		t.Fatalf("lukewarm view replicas = %d, want 2", got)
+	}
+	// Refresh eviction floors so admission can price the full server.
+	b.maintainOnce(time.Now().Unix())
+	for i := 0; i < 12; i++ {
+		if _, err := c.Read([]uint32{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.ReplicaCount(0); got != 2 {
+		t.Fatalf("hot view replicas = %d, want 2 (should displace the weak one)", got)
+	}
+	if got := b.ReplicaCount(1); got != 1 {
+		t.Errorf("displaced view replicas = %d, want 1", got)
+	}
+	if _, ok := servers[2].lookup(0); !ok {
+		t.Error("full server does not hold the hot view after the swap")
+	}
+	if _, still := servers[2].lookup(1); still {
+		t.Error("displaced view still cached on the full server")
+	}
+	if st := b.Stats(); st.Evicted == 0 {
+		t.Error("swap eviction not recorded")
+	}
+}
+
 func TestBrokerValidation(t *testing.T) {
 	if _, err := NewBroker(BrokerConfig{Addr: "127.0.0.1:0", DataDir: t.TempDir()}); err == nil {
 		t.Error("broker without servers accepted")
@@ -363,6 +407,92 @@ func TestBrokerValidation(t *testing.T) {
 		Addr: "127.0.0.1:0", ServerAddrs: []string{"127.0.0.1:1"}, DataDir: t.TempDir(), Preferred: 5,
 	}); err == nil {
 		t.Error("out-of-range preferred server accepted")
+	}
+	// -1 means "no preference"; anything below it is a config mistake.
+	if _, err := NewBroker(BrokerConfig{
+		Addr: "127.0.0.1:0", ServerAddrs: []string{"127.0.0.1:1"}, DataDir: t.TempDir(), Preferred: -2,
+	}); err == nil {
+		t.Error("preferred server below -1 accepted")
+	}
+	// An explicit placement must position every cache server.
+	if _, err := NewBroker(BrokerConfig{
+		Addr: "127.0.0.1:0", ServerAddrs: []string{"127.0.0.1:1", "127.0.0.1:2"},
+		DataDir: t.TempDir(), Preferred: -1,
+		Placement: &Placement{Servers: []Position{{Zone: 0, Rack: 0}}},
+	}); err == nil {
+		t.Error("placement covering 1 of 2 servers accepted")
+	}
+}
+
+// TestCrashRecoveryReplicationInterplay restarts a cache server mid-run and
+// verifies the pieces cooperate: a write to a dead replica surfaces the
+// failure and drops it from the set, reads keep being served with fresh
+// versions, and once the server is back the shared policy re-creates the
+// replica, refilled from the WAL — never a stale version.
+func TestCrashRecoveryReplicationInterplay(t *testing.T) {
+	b, servers, c := testCluster(t, 2, func(cfg *BrokerConfig) {
+		cfg.Preferred = 1
+		cfg.PolicyEvery = time.Hour       // placement changes only via the read path
+		cfg.Policy.AdmissionEpsilon = 100 // replicate after the first read
+	})
+	if _, err := c.Write(0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Read([]uint32{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.ReplicaCount(0); got != 2 {
+		t.Fatalf("replicas before crash = %d, want 2", got)
+	}
+
+	// Crash the broker-local replica holder.
+	replicaAddr := servers[1].Addr()
+	if err := servers[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A write now updates only the surviving replica; the failure must be
+	// visible to the caller and the dead replica leaves the set.
+	if _, err := b.Write(0, []byte("v2")); err == nil {
+		t.Fatal("write with a dead replica reported no error")
+	}
+	if got := b.ReplicaCount(0); got != 1 {
+		t.Fatalf("replicas after failed update = %d, want 1 (dead replica dropped)", got)
+	}
+	// Reads keep working and serve the latest version.
+	views, err := c.Read([]uint32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views[0].Events) != 2 || string(views[0].Events[1]) != "v2" {
+		t.Fatalf("post-crash read = %q, want [v1 v2]", views[0].Events)
+	}
+
+	// The server comes back empty (its cache died with it).
+	restarted, err := NewServer(replicaAddr)
+	if err != nil {
+		t.Fatalf("restart cache server: %v", err)
+	}
+	t.Cleanup(func() { restarted.Close() })
+
+	// Continued reads make the policy re-create the replica; the cache
+	// fill comes from the WAL, so the restarted server holds the newest
+	// version, not the one it crashed with.
+	for i := 0; i < 6; i++ {
+		if _, err := c.Read([]uint32{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.ReplicaCount(0); got != 2 {
+		t.Fatalf("replicas after recovery = %d, want 2 (policy re-created)", got)
+	}
+	v, ok := restarted.lookup(0)
+	if !ok {
+		t.Fatal("restarted server holds no replica")
+	}
+	if len(v.Events) != 2 || string(v.Events[1]) != "v2" {
+		t.Errorf("restarted replica stale: %q, want [v1 v2]", v.Events)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"sync"
 )
 
@@ -362,6 +363,14 @@ type View struct {
 
 // encodeView appends a view's wire form to buf.
 func encodeView(buf []byte, v View) []byte {
+	// Grow once per view (amortized): the hot read path encodes a view per
+	// response, and incremental appends would reallocate several times per
+	// call.
+	need := 10
+	for _, e := range v.Events {
+		need += 4 + len(e)
+	}
+	buf = slices.Grow(buf, need)
 	buf = binary.LittleEndian.AppendUint64(buf, v.Version)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(v.Events)))
 	for _, e := range v.Events {

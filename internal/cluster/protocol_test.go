@@ -300,15 +300,16 @@ func TestV2ReadBeyond64KTargets(t *testing.T) {
 func TestConcurrentReadsDoNotDuplicateReplicas(t *testing.T) {
 	b, _, _ := testCluster(t, 3, func(cfg *BrokerConfig) {
 		cfg.Preferred = 2
-		cfg.HotReads = 2
 		cfg.MaxReplicas = 3
-		cfg.DecayEvery = time.Hour
+		cfg.PolicyEvery = time.Hour
+		cfg.Policy.AdmissionEpsilon = 100
 	})
 	if _, err := b.Write(0, []byte("hot")); err != nil {
 		t.Fatal(err)
 	}
-	// 32 concurrent reads of the same user race through noteRead; the
-	// preferred server must be appended at most once.
+	// 32 concurrent reads of the same user race through policy evaluation
+	// and decision application; the preferred server must be appended at
+	// most once.
 	targets := make([]uint32, 32)
 	for round := 0; round < 4; round++ {
 		if _, err := b.Read(targets); err != nil {

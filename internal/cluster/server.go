@@ -8,14 +8,29 @@ import (
 	"sync/atomic"
 )
 
+// serverShardCount is the number of independently locked view-map shards a
+// cache server keeps. Concurrent v2 requests for different users proceed in
+// parallel instead of serializing on one mutex; a power of two keeps the
+// shard selection a mask.
+const serverShardCount = 32
+
+// serverShard is one lock-striped slice of the view store. The padding keeps
+// neighbouring shards' locks off the same cache line, which otherwise
+// reintroduces the very contention sharding is meant to remove.
+type serverShard struct {
+	mu    sync.RWMutex    // 24 bytes
+	views map[uint32]View // 8 bytes
+	_     [32]byte        // pad the struct to one full 64-byte cache line
+}
+
 // Server is one in-memory cache node: it stores view replicas keyed by user
 // and serves gets/puts from brokers. Views live only in memory — durability
 // is the persistent store's job, exactly as in the paper. It speaks both
 // protocol versions: v1 clients are served one request at a time, v2
-// clients multiplex concurrent requests over one connection.
+// clients multiplex concurrent requests over one connection. The view map
+// is hash-sharded so concurrent requests do not serialize on a single lock.
 type Server struct {
-	mu    sync.RWMutex
-	views map[uint32]View
+	shards [serverShardCount]serverShard
 
 	ln     net.Listener
 	conns  sync.WaitGroup
@@ -28,6 +43,13 @@ type Server struct {
 	puts   atomic.Int64
 }
 
+// shardOf selects the lock stripe holding user's view. The multiplicative
+// hash spreads sequential user IDs (the common allocation pattern) across
+// shards.
+func (s *Server) shardOf(user uint32) *serverShard {
+	return &s.shards[(user*2654435761)>>27&(serverShardCount-1)]
+}
+
 // NewServer starts a cache server listening on addr (use "127.0.0.1:0" for
 // an ephemeral port).
 func NewServer(addr string) (*Server, error) {
@@ -35,10 +57,41 @@ func NewServer(addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen: %w", err)
 	}
-	s := &Server{views: make(map[uint32]View), ln: ln, active: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, active: make(map[net.Conn]struct{})}
+	for i := range s.shards {
+		s.shards[i].views = make(map[uint32]View)
+	}
 	s.conns.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// lookup returns user's cached view, if present.
+func (s *Server) lookup(user uint32) (View, bool) {
+	sh := s.shardOf(user)
+	sh.mu.RLock()
+	v, ok := sh.views[user]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// install stores a view unless a newer version is already cached: an
+// out-of-order put of an older version must not clobber a newer view.
+func (s *Server) install(user uint32, v View) {
+	sh := s.shardOf(user)
+	sh.mu.Lock()
+	if cur, ok := sh.views[user]; !ok || v.Version >= cur.Version {
+		sh.views[user] = v
+	}
+	sh.mu.Unlock()
+}
+
+// drop removes user's view from the cache.
+func (s *Server) drop(user uint32) {
+	sh := s.shardOf(user)
+	sh.mu.Lock()
+	delete(sh.views, user)
+	sh.mu.Unlock()
 }
 
 // Addr returns the server's listen address.
@@ -75,9 +128,7 @@ func (s *Server) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 			return respError, errorBody("short get")
 		}
 		user := binary.LittleEndian.Uint32(body[0:4])
-		s.mu.RLock()
-		v, ok := s.views[user]
-		s.mu.RUnlock()
+		v, ok := s.lookup(user)
 		if !ok {
 			s.misses.Add(1)
 			return respMiss, nil
@@ -93,13 +144,7 @@ func (s *Server) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		if err != nil {
 			return respError, errorBody(err.Error())
 		}
-		s.mu.Lock()
-		// Never go backwards: an out-of-order put of an older version must
-		// not clobber a newer view.
-		if cur, ok := s.views[user]; !ok || v.Version >= cur.Version {
-			s.views[user] = v
-		}
-		s.mu.Unlock()
+		s.install(user, v)
 		s.puts.Add(1)
 		return respOK, nil
 	case opDeleteView:
@@ -107,16 +152,11 @@ func (s *Server) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 			return respError, errorBody("short delete")
 		}
 		user := binary.LittleEndian.Uint32(body[0:4])
-		s.mu.Lock()
-		delete(s.views, user)
-		s.mu.Unlock()
+		s.drop(user)
 		return respOK, nil
 	case opServerStats:
 		var buf []byte
-		s.mu.RLock()
-		n := len(s.views)
-		s.mu.RUnlock()
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.NumViews()))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.hits.Load()))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.misses.Load()))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.puts.Load()))
@@ -128,9 +168,14 @@ func (s *Server) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 
 // NumViews returns how many views the server currently holds.
 func (s *Server) NumViews() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.views)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.views)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Close stops the listener, drops every open connection, and waits for the

@@ -5,294 +5,89 @@ import (
 	"dynasore/internal/socialgraph"
 	"dynasore/internal/stats"
 	"dynasore/internal/topology"
+	"dynasore/internal/viewpolicy"
 )
 
-// exchangeWeight is the traffic of one request/answer pair per switch hop:
-// two application messages of weight AppWeight. Utilities, profits, and
-// admission thresholds are all expressed in these traffic-per-hour units so
-// they can be compared against one-time transfer costs directly.
-const exchangeWeight = 2 * sim.AppWeight
+// The decision logic itself — Algorithms 1–3, admission targeting, and the
+// utility function — lives in the shared internal/viewpolicy engine; this
+// file is the simulator's mechanism: it feeds the engine per-replica access
+// windows, applies its decisions to the simulated cluster state, and charges
+// the induced traffic.
 
-// estimateProfit is Algorithm 1: the network benefit of serving this
-// replica's recorded reads from candidate instead of alternative, minus the
-// write-maintenance cost of a copy at candidate. alternative ==
-// topology.NoMachine means the reads have nowhere else to go, which makes
-// the profit of keeping the sole copy unbounded.
-//
-// hours is the effective observation window of the statistics; profits are
-// normalized to traffic-per-hour so that young replicas (with partially
-// filled windows) and seasoned ones are comparable against the same
-// admission thresholds.
-func (s *Store) estimateProfit(origins []stats.OriginReads, writes int64,
-	u socialgraph.UserID, candidate, alternative topology.MachineID, hours float64) float64 {
-	if alternative == topology.NoMachine {
-		return infUtility
-	}
-	var candCost, altCost int64
-	for _, or := range origins {
-		candCost += or.Reads * int64(s.topo.OriginCost(or.Origin, candidate))
-		altCost += or.Reads * int64(s.topo.OriginCost(or.Origin, alternative))
-	}
-	writeCost := writes * int64(s.topo.Distance(s.writeProxy[u], candidate))
-	return float64(exchangeWeight*(altCost-candCost-writeCost)) / hours
+// storeEnv adapts the Store's state to the policy engine's read-only view of
+// the cluster while evaluating user u's view.
+type storeEnv struct {
+	s *Store
+	u socialgraph.UserID
 }
 
-// effectiveHours returns the span of data actually inside a replica's
-// rotating window, in hours, clamped below to keep early estimates finite.
-func (s *Store) effectiveHours(rep *replica, now int64) float64 {
-	window := float64(s.cfg.Slots * int(s.cfg.SlotSeconds))
-	age := float64(now - rep.createdAt)
-	if age > window {
-		age = window
-	}
-	if age < 600 {
-		age = 600
-	}
-	return age / 3600
+func (e storeEnv) Load(m topology.MachineID) int           { return e.s.load[m] }
+func (e storeEnv) Capacity(m topology.MachineID) int       { return e.s.capacity[m] }
+func (e storeEnv) EvictFloor(m topology.MachineID) float64 { return e.s.evictFloor[m] }
+func (e storeEnv) Threshold(m topology.MachineID) float64  { return e.s.thresholds[m] }
+func (e storeEnv) SubtreeThreshold(o topology.Origin) float64 {
+	return e.s.minThrNear[o]
+}
+func (e storeEnv) Holds(m topology.MachineID) bool {
+	_, ok := e.s.serverViews[m][e.u]
+	return ok
+}
+
+// viewState snapshots u's placement for the policy engine.
+func (s *Store) viewState(u socialgraph.UserID) viewpolicy.ViewState {
+	return viewpolicy.ViewState{Replicas: s.replicas[u], WriteProxy: s.writeProxy[u]}
+}
+
+// estimateProfit delegates Algorithm 1 to the shared engine.
+func (s *Store) estimateProfit(origins []stats.OriginReads, writes int64,
+	u socialgraph.UserID, candidate, alternative topology.MachineID, hours float64) float64 {
+	w := viewpolicy.Window{Origins: origins, Writes: writes, Hours: hours}
+	return s.pol.EstimateProfit(w, s.writeProxy[u], candidate, alternative)
 }
 
 // utilityOf returns the current utility of u's replica on srv: the profit of
 // keeping it versus routing its readers to the next-closest replica.
 func (s *Store) utilityOf(now int64, u socialgraph.UserID, srv topology.MachineID, rep *replica) float64 {
-	if len(s.replicas[u]) <= s.cfg.MinReplicas {
-		// At or below the configured durability floor: never evictable.
-		return infUtility
-	}
-	nearest := s.nearestOtherReplica(u, srv)
-	if nearest == topology.NoMachine {
-		return infUtility
-	}
-	origins := rep.log.ReadsByOrigin(now)
-	writes := rep.log.Writes(now)
-	return s.estimateProfit(origins, writes, u, srv, nearest, s.effectiveHours(rep, now))
-}
-
-// nearestOtherReplica returns the replica of u closest to srv excluding srv
-// itself, or NoMachine if srv holds the only copy.
-func (s *Store) nearestOtherReplica(u socialgraph.UserID, srv topology.MachineID) topology.MachineID {
-	best := topology.NoMachine
-	bestDist := int(^uint(0) >> 1)
-	for _, r := range s.replicas[u] {
-		if r == srv {
-			continue
-		}
-		d := s.topo.Distance(srv, r)
-		if d < bestDist || (d == bestDist && (best == topology.NoMachine || r < best)) {
-			best, bestDist = r, d
-		}
-	}
-	return best
+	return s.pol.Utility(s.viewState(u), srv, s.pol.WindowOf(rep.log, rep.createdAt, now))
 }
 
 // evaluate runs Algorithms 2 and 3 for u's replica on srv after an access:
 // first try to create an additional replica near a hot origin; failing
-// that, consider migrating or dropping this replica.
+// that, consider migrating or dropping this replica. The engine proposes;
+// the store applies, falling through to migration when a proposed creation
+// cannot be realized (no evictable victim on the chosen target).
 func (s *Store) evaluate(now int64, u socialgraph.UserID, srv topology.MachineID, rep *replica) {
-	if now-rep.createdAt < s.cfg.GraceSeconds {
+	if s.pol.InGrace(rep.createdAt, now) {
 		return
 	}
-	if !s.cfg.DisableReplication && s.evaluateReplication(now, u, srv, rep) {
-		return
-	}
-	if !s.cfg.DisableMigration {
-		s.evaluateMigration(now, u, srv, rep)
-	}
-}
-
-// evaluateReplication is Algorithm 2: for every recorded read origin,
-// estimate the profit of a new replica on the least-loaded server of that
-// origin's subtree, taking this replica as the readers' alternative. The
-// best candidate above both the local best and the target's admission
-// threshold wins; the write proxy then creates the replica.
-func (s *Store) evaluateReplication(now int64, u socialgraph.UserID, srv topology.MachineID, rep *replica) bool {
-	origins := rep.log.ReadsByOrigin(now)
-	if len(origins) == 0 {
-		return false
-	}
-	writes := rep.log.Writes(now)
-	hours := s.effectiveHours(rep, now)
-	bestProfit := 0.0
-	bestTarget := topology.NoMachine
-	var bestOrigin topology.Origin
-	for _, or := range origins {
-		if s.hasReplicaNear(u, or.Origin) {
-			// A copy already serves this subtree; the window still holds
-			// reads recorded before it was created.
-			continue
-		}
-		cand, floor := s.admissionTarget(or.Origin, u)
-		if cand == topology.NoMachine || cand == srv {
-			continue
-		}
-		// The new replica captures the reads of its own origin; those reads
-		// currently pay OriginCost(origin, srv).
-		gain := or.Reads * int64(s.topo.OriginCost(or.Origin, srv)-s.topo.OriginCost(or.Origin, cand))
-		writeCost := writes * int64(s.topo.Distance(s.writeProxy[u], cand))
-		profit := float64(exchangeWeight*(gain-writeCost)) / hours
-		// The copy itself costs a data-sized transfer; reject replicas whose
-		// gain cannot amortize it within the payback horizon. This filters
-		// out the marginal replicas that would otherwise crowd out
-		// high-value placements at small per-server capacities.
-		oneTime := float64(sim.AppWeight * s.topo.Distance(s.writeProxy[u], cand))
-		if profit*s.cfg.PaybackHours < oneTime {
-			continue
-		}
-		bar := s.thresholdNear(or.Origin)
-		if floor > bar {
-			bar = floor
-		}
-		bar = bar*(1+s.cfg.AdmissionMargin) + s.cfg.AdmissionEpsilon
-		if profit > bar && profit > bestProfit {
-			bestProfit, bestTarget, bestOrigin = profit, cand, or.Origin
+	env := storeEnv{s: s, u: u}
+	view := s.viewState(u)
+	w := s.pol.WindowOf(rep.log, rep.createdAt, now)
+	if d, ok := s.pol.EvaluateReplication(env, view, srv, w); ok {
+		if s.createReplica(now, u, srv, d.Target, d.Profit) {
+			// The new copy will absorb this origin's reads; forget them here
+			// so the stale window does not trigger duplicate replicas.
+			rep.log.ClearOrigin(d.Origin)
+			return
 		}
 	}
-	if bestTarget == topology.NoMachine {
-		return false
-	}
-	if !s.createReplica(now, u, srv, bestTarget, bestProfit) {
-		return false
-	}
-	// The new copy will absorb this origin's reads; forget them here so the
-	// stale window does not trigger duplicate replicas.
-	rep.log.ClearOrigin(bestOrigin)
-	return true
-}
-
-// hasReplicaNear reports whether u already has a replica inside the subtree
-// an origin denotes.
-func (s *Store) hasReplicaNear(u socialgraph.UserID, origin topology.Origin) bool {
-	if m, ok := topology.OriginMachine(origin); ok {
-		for _, r := range s.replicas[u] {
-			if r == m {
-				return true
-			}
-		}
-		return false
-	}
-	sw := topology.SwitchID(origin)
-	rackLevel := s.topo.SwitchLevel(sw) == topology.LevelRack
-	for _, r := range s.replicas[u] {
-		m := s.topo.Machine(r)
-		if rackLevel {
-			if m.Rack == sw {
-				return true
-			}
-		} else if m.Inter == sw {
-			return true
-		}
-	}
-	return false
-}
-
-// evaluateMigration is Algorithm 3: when no replica can be created, compare
-// the utility of keeping this replica here against placing it near each read
-// origin (readers falling back to the next-closest replica either way).
-// A negative best utility removes the replica outright.
-func (s *Store) evaluateMigration(now int64, u socialgraph.UserID, srv topology.MachineID, rep *replica) {
-	if now-rep.createdAt < s.cfg.DecisionSeconds {
+	if !s.pol.MatureForMigration(rep.createdAt, now) {
 		return // not enough data to act on yet
 	}
-	origins := rep.log.ReadsByOrigin(now)
-	writes := rep.log.Writes(now)
-	hours := s.effectiveHours(rep, now)
-	nearest := s.nearestOtherReplica(u, srv)
-	sole := nearest == topology.NoMachine
-	var bestProfit float64
-	if sole {
-		// A sole replica cannot be scored against an alternative; compare
-		// total service cost here versus at each candidate.
-		bestProfit = 0
-	} else {
-		bestProfit = s.estimateProfit(origins, writes, u, srv, nearest, hours)
-	}
-	bestPos := srv
-	bestFloor := 0.0
-	for _, or := range origins {
-		if !sole && s.hasReplicaNear(u, or.Origin) {
-			continue
-		}
-		cand, floor := s.admissionTarget(or.Origin, u)
-		if cand == topology.NoMachine || cand == srv {
-			continue
-		}
-		var profit float64
-		if sole {
-			// Gain of moving the only copy: all recorded reads and writes
-			// follow it.
-			var here, there int64
-			for _, o2 := range origins {
-				here += o2.Reads * int64(s.topo.OriginCost(o2.Origin, srv))
-				there += o2.Reads * int64(s.topo.OriginCost(o2.Origin, cand))
-			}
-			here += writes * int64(s.topo.Distance(s.writeProxy[u], srv))
-			there += writes * int64(s.topo.Distance(s.writeProxy[u], cand))
-			profit = float64(exchangeWeight*(here-there)) / hours
-		} else {
-			profit = s.estimateProfit(origins, writes, u, cand, nearest, hours)
-		}
-		bar := s.thresholdNear(or.Origin)
-		if floor > bar {
-			bar = floor
-		}
-		if profit > bestProfit && profit > bar*(1+s.cfg.AdmissionMargin)+s.cfg.AdmissionEpsilon {
-			bestProfit, bestPos, bestFloor = profit, cand, floor
-		}
-	}
-	if !sole && bestProfit < 0 {
+	switch d := s.pol.EvaluateMigration(env, view, srv, w); d.Op {
+	case viewpolicy.OpRemove:
 		s.ops.RemovesAlg3++
 		s.removeReplica(now, u, srv)
-		return
-	}
-	if bestPos != srv {
-		_ = bestFloor
-		s.migrateReplica(now, u, srv, bestPos)
+	case viewpolicy.OpMigrate:
+		s.migrateReplica(now, u, srv, d.Target)
 	}
 }
 
-// admissionTarget picks where a new replica of u could land near origin:
-// the least-loaded server with free space, or failing that the server whose
-// weakest evictable view is cheapest to displace. floor is the utility the
-// newcomer must beat (0 for free space).
-func (s *Store) admissionTarget(origin topology.Origin, u socialgraph.UserID) (target topology.MachineID, floor float64) {
-	bestFree := topology.NoMachine
-	bestLoad := int(^uint(0) >> 1)
-	bestFull := topology.NoMachine
-	bestFloor := infUtility
-	for _, cand := range s.topo.CandidateServersNear(origin) {
-		if _, holds := s.serverViews[cand][u]; holds {
-			continue
-		}
-		if s.load[cand] < s.capacity[cand] {
-			if s.load[cand] < bestLoad || (s.load[cand] == bestLoad && cand < bestFree) {
-				bestFree, bestLoad = cand, s.load[cand]
-			}
-			continue
-		}
-		if f := s.evictFloor[cand]; f < bestFloor || (f == bestFloor && cand < bestFull) {
-			bestFull, bestFloor = cand, f
-		}
-	}
-	if bestFree != topology.NoMachine {
-		return bestFree, 0
-	}
-	return bestFull, bestFloor
-}
-
-// thresholdNear returns the disseminated admission threshold of the
-// origin's subtree (the lowest threshold among its servers, as brokers
-// piggyback it through the cluster).
-func (s *Store) thresholdNear(origin topology.Origin) float64 {
-	if m, ok := topology.OriginMachine(origin); ok {
-		return s.thresholds[m]
-	}
-	return s.minThrNear[origin]
-}
-
-// createReplica copies u's view onto target. The serving replica asks the
-// write proxy (control message), the proxy ships the view (data-sized
-// system message) and updates the routing tables of affected brokers.
 // createReplica copies u's view onto target, displacing the target's
-// weakest evictable view if it is full. It reports whether the replica was
+// weakest evictable view if it is full (the swap-on-admission form of §3.2
+// eviction). The serving replica asks the write proxy (control message),
+// the proxy ships the view (data-sized system message) and updates the
+// routing tables of affected brokers. It reports whether the replica was
 // actually created.
 func (s *Store) createReplica(now int64, u socialgraph.UserID, from, target topology.MachineID, estRate float64) bool {
 	if !s.ensureRoom(now, target) {
@@ -313,41 +108,42 @@ func (s *Store) createReplica(now int64, u socialgraph.UserID, from, target topo
 }
 
 // ensureRoom frees one slot on target when it is full by evicting its
-// weakest multi-replica view (the swap-on-admission form of §3.2 eviction).
+// weakest multi-replica view.
 func (s *Store) ensureRoom(now int64, target topology.MachineID) bool {
 	if s.load[target] < s.capacity[target] {
 		return true
 	}
-	victim, util := s.weakestEvictable(now, target)
+	entries := s.viewUtils(now, target)
+	victim := viewpolicy.WeakestEvictable(entries)
 	if victim < 0 {
 		return false
 	}
 	s.ops.RemovesEvict++
-	s.removeReplica(now, socialgraph.UserID(victim), target)
-	s.evictFloor[target] = util
+	s.removeReplica(now, socialgraph.UserID(entries[victim].ID), target)
+	s.evictFloor[target] = entries[victim].Util
 	return true
 }
 
-// weakestEvictable returns the lowest-utility view on srv that has more
-// copies than the durability floor, or -1 if none can be evicted.
-func (s *Store) weakestEvictable(now int64, srv topology.MachineID) (int32, float64) {
-	victim := int32(-1)
-	worst := infUtility
-	for u, rep := range s.serverViews[srv] {
-		if len(s.replicas[u]) <= s.cfg.MinReplicas {
-			continue
-		}
+// viewUtils computes the utility of every view srv holds, standing in the
+// creation-time profit estimate for replicas whose own window has no
+// meaningful data yet.
+func (s *Store) viewUtils(now int64, srv topology.MachineID) []viewpolicy.ViewUtil {
+	views := s.serverViews[srv]
+	entries := make([]viewpolicy.ViewUtil, 0, len(views))
+	for u, rep := range views {
 		var util float64
-		if now-rep.createdAt < s.cfg.GraceSeconds {
+		if s.pol.InGrace(rep.createdAt, now) {
 			util = rep.estRate
 		} else {
 			util = s.utilityOf(now, u, srv, rep)
 		}
-		if util < worst || (util == worst && (victim == -1 || int32(u) < victim)) {
-			victim, worst = int32(u), util
-		}
+		entries = append(entries, viewpolicy.ViewUtil{
+			ID:        int64(u),
+			Util:      util,
+			Evictable: len(s.replicas[u]) > s.cfg.MinReplicas,
+		})
 	}
-	return victim, worst
+	return entries
 }
 
 // removeReplica drops u's replica from srv, synchronizing through the write

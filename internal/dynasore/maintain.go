@@ -1,145 +1,27 @@
 package dynasore
 
 import (
-	"math"
-	"sort"
-
 	"dynasore/internal/socialgraph"
 	"dynasore/internal/topology"
 )
 
-// viewUtil pairs a stored view with its current utility on a server.
-type viewUtil struct {
-	u    socialgraph.UserID
-	util float64
-}
-
 // maintain is the hourly maintenance pass of §3.2: per server it recomputes
-// replica utilities, removes negative-utility replicas, evicts the
-// least-useful replicas above the watermark, refreshes the admission
-// threshold, and finally disseminates per-subtree minimum thresholds.
+// replica utilities, asks the shared policy engine for a plan (removals,
+// eviction floor, admission threshold), applies it, and finally disseminates
+// per-subtree minimum thresholds.
 func (s *Store) maintain(now int64) {
 	for _, srv := range s.topo.Servers() {
 		s.maintainServer(now, srv)
 	}
-	s.disseminateThresholds()
+	s.pol.DisseminateThresholds(s.thresholds, s.minThrNear)
 }
 
 func (s *Store) maintainServer(now int64, srv topology.MachineID) {
-	views := s.serverViews[srv]
-	entries := make([]viewUtil, 0, len(views))
-	for u, rep := range views {
-		if now-rep.createdAt < s.cfg.GraceSeconds {
-			// Fresh replicas have no meaningful statistics yet; stand in
-			// with the profit estimated at creation time.
-			entries = append(entries, viewUtil{u: u, util: rep.estRate})
-			continue
-		}
-		entries = append(entries, viewUtil{u: u, util: s.utilityOf(now, u, srv, rep)})
+	plan := s.pol.PlanServerMaintenance(s.viewUtils(now, srv), s.load[srv], s.capacity[srv])
+	for _, id := range plan.Remove {
+		s.ops.RemovesNegative++
+		s.removeReplica(now, socialgraph.UserID(id), srv)
 	}
-	// Deterministic order: by utility ascending, ties by user ID.
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].util != entries[j].util {
-			return entries[i].util < entries[j].util
-		}
-		return entries[i].u < entries[j].u
-	})
-
-	// Views whose maintenance cost exceeds their benefit are removed
-	// outright (the utility of a sole copy is +Inf, so it never qualifies).
-	kept := entries[:0]
-	for _, e := range entries {
-		if e.util < 0 && len(s.replicas[e.u]) > s.cfg.MinReplicas {
-			s.ops.RemovesNegative++
-			s.removeReplica(now, e.u, srv)
-			continue
-		}
-		kept = append(kept, e)
-	}
-	entries = kept
-
-	// Refresh the eviction floor: the utility bar a newcomer must beat to
-	// displace a view on a full server. The paper's proactive eviction
-	// frees 5% of memory each pass; at laptop-scale capacities (a handful
-	// of views per server) that caused an evict/readmit cycle, so eviction
-	// is performed on admission instead (see ensureRoom), which keeps every
-	// swap a strict utility improvement.
-	s.evictFloor[srv] = infUtility
-	for _, e := range entries {
-		if len(s.replicas[e.u]) > s.cfg.MinReplicas && e.util < s.evictFloor[srv] {
-			s.evictFloor[srv] = e.util
-		}
-	}
-
-	// Admission threshold: low enough that ThresholdOccupancy of the
-	// memory is filled with views above it, zero when the server has room.
-	boundary := min2(int(s.cfg.ThresholdOccupancy*float64(s.capacity[srv])), s.capacity[srv]-1)
-	if s.load[srv] <= boundary {
-		s.thresholds[srv] = 0
-		return
-	}
-	// entries is sorted ascending; the view at the occupancy boundary from
-	// the top defines the bar a newcomer must clear.
-	idx := len(entries) - boundary
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(entries) {
-		s.thresholds[srv] = 0
-		return
-	}
-	thr := entries[idx].util
-	if math.IsNaN(thr) || thr < 0 {
-		thr = 0
-	}
-	s.thresholds[srv] = thr
-}
-
-// disseminateThresholds refreshes the per-subtree minimum admission
-// thresholds that Algorithm 2 consults for remote origins. In the real
-// system these ride piggybacked on application messages (§3.2); the
-// simulator refreshes them at each maintenance tick, which models the same
-// propagation delay without extra traffic.
-func (s *Store) disseminateThresholds() {
-	if s.topo.Shape() == topology.ShapeFlat {
-		return // flat origins read s.thresholds directly
-	}
-	for k := range s.minThrNear {
-		delete(s.minThrNear, k)
-	}
-	interMin := make(map[topology.SwitchID]float64)
-	for _, sw := range s.topo.Switches() {
-		if sw.Level != topology.LevelRack {
-			continue
-		}
-		rackMin := infUtility
-		hasServer := false
-		for _, id := range s.topo.MachinesUnderRack(sw.ID) {
-			if !s.topo.Machine(id).IsServer() {
-				continue
-			}
-			hasServer = true
-			if s.thresholds[id] < rackMin {
-				rackMin = s.thresholds[id]
-			}
-		}
-		if !hasServer {
-			continue
-		}
-		s.minThrNear[topology.Origin(sw.ID)] = rackMin
-		parent := sw.Parent
-		if cur, ok := interMin[parent]; !ok || rackMin < cur {
-			interMin[parent] = rackMin
-		}
-	}
-	for inter, v := range interMin {
-		s.minThrNear[topology.Origin(inter)] = v
-	}
-}
-
-func min2(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	s.evictFloor[srv] = plan.EvictFloor
+	s.thresholds[srv] = plan.Threshold
 }

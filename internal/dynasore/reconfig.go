@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dynasore/internal/topology"
+	"dynasore/internal/viewpolicy"
 )
 
 // Errors returned by cluster reconfiguration.
@@ -84,7 +85,7 @@ func (s *Store) nearestEvictableServer(now int64, from topology.MachineID, u soc
 		if _, holds := s.serverViews[cand][u]; holds {
 			continue
 		}
-		if victim, _ := s.weakestEvictable(now, cand); victim < 0 {
+		if viewpolicy.WeakestEvictable(s.viewUtils(now, cand)) < 0 {
 			continue
 		}
 		d := s.topo.Distance(from, cand)

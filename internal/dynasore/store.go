@@ -8,13 +8,13 @@ package dynasore
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"dynasore/internal/placement"
 	"dynasore/internal/sim"
 	"dynasore/internal/socialgraph"
 	"dynasore/internal/stats"
 	"dynasore/internal/topology"
+	"dynasore/internal/viewpolicy"
 )
 
 // Config parameterizes a DynaSoRe deployment.
@@ -63,6 +63,30 @@ type Config struct {
 	// evicted, so recovery can be served entirely from memory. The default
 	// 1 matches the paper's default (durability via the persistent store).
 	MinReplicas int
+}
+
+// policyConfig translates the simulator configuration into the shared
+// placement engine's knobs. It must be called on an already-defaulted
+// Config: a post-default GraceSeconds of 0 means "no grace" and is mapped to
+// the engine's explicit-disable sentinel so it is not re-defaulted.
+func (c Config) policyConfig() viewpolicy.Config {
+	grace := c.GraceSeconds
+	if grace == 0 {
+		grace = -1
+	}
+	return viewpolicy.Config{
+		Slots:              c.Slots,
+		SlotSeconds:        c.SlotSeconds,
+		ThresholdOccupancy: c.ThresholdOccupancy,
+		GraceSeconds:       grace,
+		DecisionSeconds:    c.DecisionSeconds,
+		PaybackHours:       c.PaybackHours,
+		AdmissionMargin:    c.AdmissionMargin,
+		AdmissionEpsilon:   c.AdmissionEpsilon,
+		MinReplicas:        c.MinReplicas,
+		DisableReplication: c.DisableReplication,
+		DisableMigration:   c.DisableMigration,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -114,29 +138,31 @@ type replica struct {
 	estRate float64
 }
 
-// Store is a simulated DynaSoRe cluster implementing sim.Store.
+// Store is a simulated DynaSoRe cluster implementing sim.Store. Placement
+// decisions are delegated to the shared internal/viewpolicy engine; the
+// Store owns the mechanism (replica state, traffic accounting, routing).
 type Store struct {
 	topo    *topology.Topology
 	g       *socialgraph.Graph
 	traffic *topology.Traffic
 	cfg     Config
+	pol     *viewpolicy.Engine
 
 	capacity []int // per machine
 	load     []int // views currently stored per machine
 
-	replicas    [][]topology.MachineID                   // replicas[u]: servers holding u's view
-	serverViews []map[socialgraph.UserID]*replica        // per machine: views it stores
-	readProxy   []topology.MachineID                     // broker hosting u's read proxy
-	writeProxy  []topology.MachineID                     // broker hosting u's write proxy
-	readsServed []int64                                  // cumulative reads of u's view (all replicas)
-	thresholds  []float64                                // per-server admission threshold
-	evictFloor  []float64                                // per-server utility of the weakest evictable view
-	minThrNear  map[topology.Origin]float64              // disseminated minimum threshold per origin subtree
-	ops         OpCounts                                 // cumulative operation counters
-	served      []topology.MachineID                     // scratch: servers used by the current request
-	scratchCnt  map[topology.SwitchID]int                // scratch: per-subtree view counts
-	scratchOld  []topology.MachineID                     // scratch: replica set before a change
-	brokersIn   map[topology.SwitchID]topology.MachineID // first broker per rack
+	replicas    [][]topology.MachineID            // replicas[u]: servers holding u's view
+	serverViews []map[socialgraph.UserID]*replica // per machine: views it stores
+	readProxy   []topology.MachineID              // broker hosting u's read proxy
+	writeProxy  []topology.MachineID              // broker hosting u's write proxy
+	readsServed []int64                           // cumulative reads of u's view (all replicas)
+	thresholds  []float64                         // per-server admission threshold
+	evictFloor  []float64                         // per-server utility of the weakest evictable view
+	minThrNear  map[topology.Origin]float64       // disseminated minimum threshold per origin subtree
+	ops         OpCounts                          // cumulative operation counters
+	served      []topology.MachineID              // scratch: servers used by the current request
+	scratchCnt  map[topology.SwitchID]int         // scratch: per-subtree view counts
+	scratchOld  []topology.MachineID              // scratch: replica set before a change
 }
 
 var _ sim.Store = (*Store)(nil)
@@ -178,8 +204,8 @@ func New(g *socialgraph.Graph, topo *topology.Topology, traffic *topology.Traffi
 		evictFloor:  make([]float64, topo.NumMachines()),
 		minThrNear:  make(map[topology.Origin]float64),
 		scratchCnt:  make(map[topology.SwitchID]int, 32),
-		brokersIn:   make(map[topology.SwitchID]topology.MachineID),
 	}
+	s.pol = viewpolicy.New(topo, cfg.policyConfig())
 	total := int(float64(n) * (1 + cfg.ExtraMemoryPct/100))
 	base := total / len(servers)
 	extra := total % len(servers)
@@ -189,17 +215,6 @@ func New(g *socialgraph.Graph, topo *topology.Topology, traffic *topology.Traffi
 			s.capacity[srv]++
 		}
 		s.serverViews[srv] = make(map[socialgraph.UserID]*replica)
-	}
-	for _, sw := range topo.Switches() {
-		if sw.Level != topology.LevelRack && topo.Shape() == topology.ShapeTree {
-			continue
-		}
-		for _, id := range topo.MachinesUnderRack(sw.ID) {
-			if topo.Machine(id).IsBroker() {
-				s.brokersIn[sw.ID] = id
-				break
-			}
-		}
 	}
 	for ui := 0; ui < n; ui++ {
 		u := socialgraph.UserID(ui)
@@ -281,7 +296,7 @@ func (s *Store) Write(now int64, u socialgraph.UserID) {
 // at the root and follow the branch that served the most views; migrate the
 // proxy if it lands on a different broker.
 func (s *Store) maybeMigrateReadProxy(now int64, u socialgraph.UserID, cur topology.MachineID) {
-	best := s.bestBrokerFor(s.served)
+	best := s.pol.BestBrokerFor(s.served, s.scratchCnt)
 	if best == topology.NoMachine || best == cur {
 		return
 	}
@@ -293,7 +308,7 @@ func (s *Store) maybeMigrateReadProxy(now int64, u socialgraph.UserID, cur topol
 // maybeMigrateWriteProxy does the same for the write proxy; moving it also
 // notifies every replica of the new synchronization point.
 func (s *Store) maybeMigrateWriteProxy(now int64, u socialgraph.UserID, cur topology.MachineID) {
-	best := s.bestBrokerFor(s.served)
+	best := s.pol.BestBrokerFor(s.served, s.scratchCnt)
 	if best == topology.NoMachine || best == cur {
 		return
 	}
@@ -302,63 +317,6 @@ func (s *Store) maybeMigrateWriteProxy(now int64, u socialgraph.UserID, cur topo
 	s.traffic.Record(cur, best, sim.CtlWeight, true)
 	for _, srv := range s.replicas[u] {
 		s.traffic.Record(best, srv, sim.CtlWeight, true)
-	}
-}
-
-// bestBrokerFor descends the tree toward the servers that supplied the most
-// views and returns the broker there.
-func (s *Store) bestBrokerFor(served []topology.MachineID) topology.MachineID {
-	if len(served) == 0 {
-		return topology.NoMachine
-	}
-	if s.topo.Shape() == topology.ShapeFlat {
-		// Every machine is a broker: co-locate with the busiest server.
-		counts := s.scratchCnt
-		clearSwitchCounts(counts)
-		bestM, bestC := topology.NoMachine, 0
-		for _, srv := range served {
-			counts[topology.SwitchID(srv)]++
-			if c := counts[topology.SwitchID(srv)]; c > bestC || (c == bestC && srv < bestM) {
-				bestM, bestC = srv, c
-			}
-		}
-		return bestM
-	}
-	// Pick the intermediate subtree serving the most views.
-	counts := s.scratchCnt
-	clearSwitchCounts(counts)
-	for _, srv := range served {
-		counts[s.topo.Machine(srv).Inter]++
-	}
-	bestInter, bestC := topology.SwitchID(-1), -1
-	for sw, c := range counts {
-		if c > bestC || (c == bestC && sw < bestInter) {
-			bestInter, bestC = sw, c
-		}
-	}
-	// Then the rack within it.
-	clearSwitchCounts(counts)
-	for _, srv := range served {
-		m := s.topo.Machine(srv)
-		if m.Inter == bestInter {
-			counts[m.Rack]++
-		}
-	}
-	bestRack, bestC := topology.SwitchID(-1), -1
-	for sw, c := range counts {
-		if c > bestC || (c == bestC && sw < bestRack) {
-			bestRack, bestC = sw, c
-		}
-	}
-	if b, ok := s.brokersIn[bestRack]; ok {
-		return b
-	}
-	return topology.NoMachine
-}
-
-func clearSwitchCounts(m map[topology.SwitchID]int) {
-	for k := range m {
-		delete(m, k)
 	}
 }
 
@@ -448,4 +406,4 @@ type OpCounts struct {
 func (s *Store) Ops() OpCounts { return s.ops }
 
 // infUtility marks replicas that can never be evicted (sole copies).
-var infUtility = math.Inf(1)
+var infUtility = viewpolicy.Inf

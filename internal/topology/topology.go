@@ -178,6 +178,87 @@ func NewTree(m, n, perRack, brokersPerRack int) (*Topology, error) {
 	return t, nil
 }
 
+// Placed describes one machine of a custom topology by its logical position
+// in the tree: a zone (intermediate switch) and a rack within that zone.
+// Zone and rack numbers are arbitrary non-negative labels; machines sharing
+// the same (Zone, Rack) pair hang off the same rack switch.
+type Placed struct {
+	Kind Kind
+	Zone int
+	Rack int
+}
+
+// ErrBadPlacement reports an invalid custom-topology specification.
+var ErrBadPlacement = errors.New("topology: custom placement needs >= 1 machine with non-negative zone/rack labels")
+
+// NewCustom builds a tree topology from explicit per-machine placements, for
+// clusters whose layout is configured rather than generated — the live
+// cluster's brokers describe their cache servers this way. Machine IDs
+// follow the order of machines; switches are created for every distinct
+// zone and (zone, rack) pair.
+func NewCustom(machines []Placed) (*Topology, error) {
+	if len(machines) == 0 {
+		return nil, ErrBadPlacement
+	}
+	zones := make(map[int]SwitchID)
+	racks := make(map[[2]int]SwitchID)
+	var zoneOrder []int
+	var rackOrder [][2]int
+	for _, pm := range machines {
+		if pm.Zone < 0 || pm.Rack < 0 {
+			return nil, ErrBadPlacement
+		}
+		if pm.Kind != KindServer && pm.Kind != KindBroker && pm.Kind != KindBoth {
+			return nil, fmt.Errorf("topology: invalid machine kind %v", pm.Kind)
+		}
+		if _, ok := zones[pm.Zone]; !ok {
+			zones[pm.Zone] = 0 // assigned below
+			zoneOrder = append(zoneOrder, pm.Zone)
+		}
+		key := [2]int{pm.Zone, pm.Rack}
+		if _, ok := racks[key]; !ok {
+			racks[key] = 0
+			rackOrder = append(rackOrder, key)
+		}
+	}
+	t := &Topology{
+		shape:        ShapeTree,
+		m:            len(zoneOrder),
+		n:            len(rackOrder),
+		perRack:      0,
+		rackMembers:  make(map[SwitchID][]MachineID, len(rackOrder)),
+		interMembers: make(map[SwitchID][]MachineID, len(zoneOrder)),
+	}
+	t.top = 0
+	t.switches = make([]Switch, 1+len(zoneOrder)+len(rackOrder))
+	t.switches[0] = Switch{ID: 0, Level: LevelTop, Parent: 0}
+	for i, z := range zoneOrder {
+		id := SwitchID(1 + i)
+		zones[z] = id
+		t.switches[id] = Switch{ID: id, Level: LevelIntermediate, Parent: t.top}
+	}
+	for i, key := range rackOrder {
+		id := SwitchID(1 + len(zoneOrder) + i)
+		racks[key] = id
+		t.switches[id] = Switch{ID: id, Level: LevelRack, Parent: zones[key[0]]}
+	}
+	for _, pm := range machines {
+		id := MachineID(len(t.machines))
+		rack := racks[[2]int{pm.Zone, pm.Rack}]
+		inter := zones[pm.Zone]
+		t.machines = append(t.machines, Machine{ID: id, Kind: pm.Kind, Rack: rack, Inter: inter})
+		t.rackMembers[rack] = append(t.rackMembers[rack], id)
+		t.interMembers[inter] = append(t.interMembers[inter], id)
+		if pm.Kind == KindServer || pm.Kind == KindBoth {
+			t.servers = append(t.servers, id)
+		}
+		if pm.Kind == KindBroker || pm.Kind == KindBoth {
+			t.brokers = append(t.brokers, id)
+		}
+	}
+	return t, nil
+}
+
 // NewFlat builds the flat evaluation topology of §4.5: all machines attach to
 // a single switch and each acts as both cache server and broker.
 func NewFlat(machines int) (*Topology, error) {

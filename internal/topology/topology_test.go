@@ -340,3 +340,50 @@ func TestMachinesUnderSwitch(t *testing.T) {
 		t.Errorf("rack subtree has %d machines, want 3", got)
 	}
 }
+
+func TestNewCustomPlacement(t *testing.T) {
+	// A broker co-racked with server 0; server 1 in another rack of the
+	// same zone; server 2 across the tree.
+	topo, err := NewCustom([]Placed{
+		{Kind: KindBroker, Zone: 0, Rack: 0},
+		{Kind: KindServer, Zone: 0, Rack: 0},
+		{Kind: KindServer, Zone: 0, Rack: 1},
+		{Kind: KindServer, Zone: 1, Rack: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Brokers()) != 1 || len(topo.Servers()) != 3 {
+		t.Fatalf("brokers=%d servers=%d", len(topo.Brokers()), len(topo.Servers()))
+	}
+	broker := MachineID(0)
+	for want, d := range map[MachineID]int{1: 1, 2: 3, 3: 5} {
+		if got := topo.Distance(broker, want); got != d {
+			t.Errorf("Distance(broker, %d) = %d, want %d", want, got, d)
+		}
+	}
+	// Origins: same zone is rack-grained, remote zone is zone-grained.
+	if o := topo.OriginOf(2, broker); SwitchID(o) != topo.Machine(broker).Rack {
+		t.Errorf("same-zone origin = %v, want broker rack %v", o, topo.Machine(broker).Rack)
+	}
+	if o := topo.OriginOf(3, broker); SwitchID(o) != topo.Machine(broker).Inter {
+		t.Errorf("cross-zone origin = %v, want broker zone %v", o, topo.Machine(broker).Inter)
+	}
+	// Replica candidates near the broker's zone exclude remote servers.
+	cands := topo.CandidateServersNear(Origin(topo.Machine(broker).Inter))
+	if len(cands) != 2 || cands[0] != 1 || cands[1] != 2 {
+		t.Errorf("candidates near broker zone = %v, want [1 2]", cands)
+	}
+}
+
+func TestNewCustomValidation(t *testing.T) {
+	if _, err := NewCustom(nil); err == nil {
+		t.Error("empty placement accepted")
+	}
+	if _, err := NewCustom([]Placed{{Kind: KindServer, Zone: -1}}); err == nil {
+		t.Error("negative zone accepted")
+	}
+	if _, err := NewCustom([]Placed{{Kind: Kind(0), Zone: 0, Rack: 0}}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}

@@ -1,0 +1,230 @@
+package viewpolicy
+
+import (
+	"dynasore/internal/topology"
+)
+
+// EstimateProfit is Algorithm 1: the network benefit of serving a replica's
+// recorded reads from candidate instead of alternative, minus the
+// write-maintenance cost of a copy at candidate. alternative ==
+// topology.NoMachine means the reads have nowhere else to go, which makes
+// the profit of keeping the sole copy unbounded.
+func (e *Engine) EstimateProfit(w Window, writeProxy, candidate, alternative topology.MachineID) float64 {
+	if alternative == topology.NoMachine {
+		return Inf
+	}
+	var candCost, altCost int64
+	for _, or := range w.Origins {
+		candCost += or.Reads * int64(e.topo.OriginCost(or.Origin, candidate))
+		altCost += or.Reads * int64(e.topo.OriginCost(or.Origin, alternative))
+	}
+	writeCost := w.Writes * int64(e.topo.Distance(writeProxy, candidate))
+	return float64(exchangeWeight*(altCost-candCost-writeCost)) / w.Hours
+}
+
+// Utility returns the current utility of the view's replica on at: the
+// profit of keeping it versus routing its readers to the next-closest
+// replica. Views at or below the durability floor are never evictable.
+func (e *Engine) Utility(view ViewState, at topology.MachineID, w Window) float64 {
+	if len(view.Replicas) <= e.cfg.MinReplicas {
+		return Inf
+	}
+	nearest := e.NearestOtherReplica(view, at)
+	if nearest == topology.NoMachine {
+		return Inf
+	}
+	return e.EstimateProfit(w, view.WriteProxy, at, nearest)
+}
+
+// NearestOtherReplica returns the view's replica closest to at excluding at
+// itself, or NoMachine if at holds the only copy.
+func (e *Engine) NearestOtherReplica(view ViewState, at topology.MachineID) topology.MachineID {
+	best := topology.NoMachine
+	bestDist := int(^uint(0) >> 1)
+	for _, r := range view.Replicas {
+		if r == at {
+			continue
+		}
+		d := e.topo.Distance(at, r)
+		if d < bestDist || (d == bestDist && (best == topology.NoMachine || r < best)) {
+			best, bestDist = r, d
+		}
+	}
+	return best
+}
+
+// EvaluateReplication is Algorithm 2: for every recorded read origin,
+// estimate the profit of a new replica on the least-loaded server of that
+// origin's subtree, taking this replica as the readers' alternative. The
+// best candidate above both the local best and the target's admission
+// threshold wins. ok reports whether any candidate cleared the bar; the
+// consumer performs the copy and, on success, clears Decision.Origin from
+// the serving replica's window.
+func (e *Engine) EvaluateReplication(env Env, view ViewState, at topology.MachineID, w Window) (Decision, bool) {
+	if e.cfg.DisableReplication || len(w.Origins) == 0 {
+		return Decision{}, false
+	}
+	bestProfit := 0.0
+	bestTarget := topology.NoMachine
+	var bestOrigin topology.Origin
+	for _, or := range w.Origins {
+		if e.HasReplicaNear(view, or.Origin) {
+			// A copy already serves this subtree; the window still holds
+			// reads recorded before it was created.
+			continue
+		}
+		cand, floor := e.AdmissionTarget(env, or.Origin)
+		if cand == topology.NoMachine || cand == at {
+			continue
+		}
+		// The new replica captures the reads of its own origin; those reads
+		// currently pay OriginCost(origin, at).
+		gain := or.Reads * int64(e.topo.OriginCost(or.Origin, at)-e.topo.OriginCost(or.Origin, cand))
+		writeCost := w.Writes * int64(e.topo.Distance(view.WriteProxy, cand))
+		profit := float64(exchangeWeight*(gain-writeCost)) / w.Hours
+		// The copy itself costs a data-sized transfer; reject replicas whose
+		// gain cannot amortize it within the payback horizon. This filters
+		// out the marginal replicas that would otherwise crowd out
+		// high-value placements at small per-server capacities.
+		oneTime := float64(AppWeight * e.topo.Distance(view.WriteProxy, cand))
+		if profit*e.cfg.PaybackHours < oneTime {
+			continue
+		}
+		bar := e.thresholdNear(env, or.Origin)
+		if floor > bar {
+			bar = floor
+		}
+		bar = bar*(1+e.cfg.AdmissionMargin) + e.cfg.AdmissionEpsilon
+		if profit > bar && profit > bestProfit {
+			bestProfit, bestTarget, bestOrigin = profit, cand, or.Origin
+		}
+	}
+	if bestTarget == topology.NoMachine {
+		return Decision{}, false
+	}
+	return Decision{Op: OpCreate, Target: bestTarget, Origin: bestOrigin, Profit: bestProfit}, true
+}
+
+// EvaluateMigration is Algorithm 3: when no replica can be created, compare
+// the utility of keeping this replica here against placing it near each read
+// origin (readers falling back to the next-closest replica either way).
+// A negative best utility removes the replica outright.
+func (e *Engine) EvaluateMigration(env Env, view ViewState, at topology.MachineID, w Window) Decision {
+	if e.cfg.DisableMigration {
+		return Decision{}
+	}
+	nearest := e.NearestOtherReplica(view, at)
+	sole := nearest == topology.NoMachine
+	var bestProfit float64
+	if sole {
+		// A sole replica cannot be scored against an alternative; compare
+		// total service cost here versus at each candidate.
+		bestProfit = 0
+	} else {
+		bestProfit = e.EstimateProfit(w, view.WriteProxy, at, nearest)
+	}
+	bestPos := at
+	for _, or := range w.Origins {
+		if !sole && e.HasReplicaNear(view, or.Origin) {
+			continue
+		}
+		cand, floor := e.AdmissionTarget(env, or.Origin)
+		if cand == topology.NoMachine || cand == at {
+			continue
+		}
+		var profit float64
+		if sole {
+			// Gain of moving the only copy: all recorded reads and writes
+			// follow it.
+			var here, there int64
+			for _, o2 := range w.Origins {
+				here += o2.Reads * int64(e.topo.OriginCost(o2.Origin, at))
+				there += o2.Reads * int64(e.topo.OriginCost(o2.Origin, cand))
+			}
+			here += w.Writes * int64(e.topo.Distance(view.WriteProxy, at))
+			there += w.Writes * int64(e.topo.Distance(view.WriteProxy, cand))
+			profit = float64(exchangeWeight*(here-there)) / w.Hours
+		} else {
+			profit = e.EstimateProfit(w, view.WriteProxy, cand, nearest)
+		}
+		bar := e.thresholdNear(env, or.Origin)
+		if floor > bar {
+			bar = floor
+		}
+		if profit > bestProfit && profit > bar*(1+e.cfg.AdmissionMargin)+e.cfg.AdmissionEpsilon {
+			bestProfit, bestPos = profit, cand
+		}
+	}
+	if !sole && bestProfit < 0 {
+		return Decision{Op: OpRemove, Target: at, Profit: bestProfit}
+	}
+	if bestPos != at {
+		return Decision{Op: OpMigrate, Target: bestPos, Profit: bestProfit}
+	}
+	return Decision{}
+}
+
+// HasReplicaNear reports whether the view already has a replica inside the
+// subtree an origin denotes.
+func (e *Engine) HasReplicaNear(view ViewState, origin topology.Origin) bool {
+	if m, ok := topology.OriginMachine(origin); ok {
+		for _, r := range view.Replicas {
+			if r == m {
+				return true
+			}
+		}
+		return false
+	}
+	sw := topology.SwitchID(origin)
+	rackLevel := e.topo.SwitchLevel(sw) == topology.LevelRack
+	for _, r := range view.Replicas {
+		m := e.topo.Machine(r)
+		if rackLevel {
+			if m.Rack == sw {
+				return true
+			}
+		} else if m.Inter == sw {
+			return true
+		}
+	}
+	return false
+}
+
+// AdmissionTarget picks where a new replica could land near origin: the
+// least-loaded server with free space, or failing that the server whose
+// weakest evictable view is cheapest to displace. floor is the utility the
+// newcomer must beat (0 for free space).
+func (e *Engine) AdmissionTarget(env Env, origin topology.Origin) (target topology.MachineID, floor float64) {
+	bestFree := topology.NoMachine
+	bestLoad := int(^uint(0) >> 1)
+	bestFull := topology.NoMachine
+	bestFloor := Inf
+	for _, cand := range e.topo.CandidateServersNear(origin) {
+		if env.Holds(cand) {
+			continue
+		}
+		if env.Load(cand) < env.Capacity(cand) {
+			if l := env.Load(cand); l < bestLoad || (l == bestLoad && cand < bestFree) {
+				bestFree, bestLoad = cand, l
+			}
+			continue
+		}
+		if f := env.EvictFloor(cand); f < bestFloor || (f == bestFloor && cand < bestFull) {
+			bestFull, bestFloor = cand, f
+		}
+	}
+	if bestFree != topology.NoMachine {
+		return bestFree, 0
+	}
+	return bestFull, bestFloor
+}
+
+// thresholdNear returns the disseminated admission threshold of the
+// origin's subtree (the lowest threshold among its servers, as brokers
+// piggyback it through the cluster).
+func (e *Engine) thresholdNear(env Env, origin topology.Origin) float64 {
+	if m, ok := topology.OriginMachine(origin); ok {
+		return env.Threshold(m)
+	}
+	return env.SubtreeThreshold(origin)
+}

@@ -1,0 +1,224 @@
+package viewpolicy
+
+import (
+	"math"
+	"sort"
+
+	"dynasore/internal/topology"
+)
+
+// ViewUtil pairs a stored view with its current utility on a server, as
+// supplied by the consumer (which knows whether to use the observed window
+// or the creation-time estimate for replicas still in grace).
+type ViewUtil struct {
+	// ID is the consumer's identifier for the view (user ID).
+	ID int64
+	// Util is the replica's utility on this server.
+	Util float64
+	// Evictable reports whether the view has more copies than the
+	// durability floor, so this replica may be dropped.
+	Evictable bool
+}
+
+// ServerPlan is the outcome of one server's maintenance pass of §3.2.
+type ServerPlan struct {
+	// Remove lists views whose replica on this server should be dropped:
+	// their maintenance cost exceeds their benefit.
+	Remove []int64
+	// EvictFloor is the utility bar a newcomer must beat to displace a view
+	// on this server when it is full (Inf when nothing is evictable).
+	EvictFloor float64
+	// Threshold is the refreshed admission threshold: low enough that
+	// ThresholdOccupancy of the memory is filled with views above it, zero
+	// when the server has room.
+	Threshold float64
+}
+
+// PlanServerMaintenance runs the per-server maintenance pass of §3.2 over
+// the utilities of every view the server holds: pick negative-utility
+// replicas for removal, refresh the eviction floor, and recompute the
+// admission threshold. load and capacity describe the server before any of
+// the planned removals. entries is reordered in place.
+func (e *Engine) PlanServerMaintenance(entries []ViewUtil, load, capacity int) ServerPlan {
+	// Deterministic order: by utility ascending, ties by user ID.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Util != entries[j].Util {
+			return entries[i].Util < entries[j].Util
+		}
+		return entries[i].ID < entries[j].ID
+	})
+
+	plan := ServerPlan{EvictFloor: Inf}
+
+	// Views whose maintenance cost exceeds their benefit are removed
+	// outright (the utility of a sole copy is +Inf, so it never qualifies).
+	kept := entries[:0]
+	for _, en := range entries {
+		if en.Util < 0 && en.Evictable {
+			plan.Remove = append(plan.Remove, en.ID)
+			continue
+		}
+		kept = append(kept, en)
+	}
+	entries = kept
+	load -= len(plan.Remove)
+
+	// Refresh the eviction floor: the utility bar a newcomer must beat to
+	// displace a view on a full server. The paper's proactive eviction
+	// frees 5% of memory each pass; at small per-server capacities (a
+	// handful of views per server) that caused an evict/readmit cycle, so
+	// eviction is performed on admission instead (see WeakestEvictable),
+	// which keeps every swap a strict utility improvement.
+	for _, en := range entries {
+		if en.Evictable && en.Util < plan.EvictFloor {
+			plan.EvictFloor = en.Util
+		}
+	}
+
+	// Admission threshold: low enough that ThresholdOccupancy of the
+	// memory is filled with views above it, zero when the server has room.
+	boundary := min2(int(e.cfg.ThresholdOccupancy*float64(capacity)), capacity-1)
+	if load <= boundary {
+		return plan
+	}
+	// entries is sorted ascending; the view at the occupancy boundary from
+	// the top defines the bar a newcomer must clear.
+	idx := len(entries) - boundary
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(entries) {
+		return plan
+	}
+	thr := entries[idx].Util
+	if math.IsNaN(thr) || thr < 0 {
+		thr = 0
+	}
+	plan.Threshold = thr
+	return plan
+}
+
+// WeakestEvictable returns the index of the lowest-utility evictable entry
+// (ties broken by smallest ID), or -1 if none can be evicted. It is the
+// swap-on-admission form of §3.2 eviction: the consumer displaces this view
+// to make room for an admitted newcomer.
+func WeakestEvictable(entries []ViewUtil) int {
+	victim := -1
+	worst := Inf
+	for i, en := range entries {
+		if !en.Evictable {
+			continue
+		}
+		if en.Util < worst || (en.Util == worst && (victim == -1 || en.ID < entries[victim].ID)) {
+			victim, worst = i, en.Util
+		}
+	}
+	return victim
+}
+
+// DisseminateThresholds refreshes the per-subtree minimum admission
+// thresholds that Algorithm 2 consults for remote origins. In the real
+// system these ride piggybacked on application messages (§3.2); consumers
+// refresh them at each maintenance tick, which models the same propagation
+// delay without extra traffic. thresholds is indexed by machine ID; out is
+// cleared and refilled.
+func (e *Engine) DisseminateThresholds(thresholds []float64, out map[topology.Origin]float64) {
+	if e.topo.Shape() == topology.ShapeFlat {
+		return // flat origins read per-machine thresholds directly
+	}
+	for k := range out {
+		delete(out, k)
+	}
+	interMin := make(map[topology.SwitchID]float64)
+	for _, sw := range e.topo.Switches() {
+		if sw.Level != topology.LevelRack {
+			continue
+		}
+		rackMin := Inf
+		hasServer := false
+		for _, id := range e.topo.MachinesUnderRack(sw.ID) {
+			if !e.topo.Machine(id).IsServer() {
+				continue
+			}
+			hasServer = true
+			if thresholds[id] < rackMin {
+				rackMin = thresholds[id]
+			}
+		}
+		if !hasServer {
+			continue
+		}
+		out[topology.Origin(sw.ID)] = rackMin
+		parent := sw.Parent
+		if cur, ok := interMin[parent]; !ok || rackMin < cur {
+			interMin[parent] = rackMin
+		}
+	}
+	for inter, v := range interMin {
+		out[topology.Origin(inter)] = v
+	}
+}
+
+// BestBrokerFor implements the proxy-placement walk of §3.2: descend the
+// tree toward the servers that supplied the most views of one request and
+// return the broker there. scratch is a caller-owned reusable map (cleared
+// here); passing the same map from concurrent goroutines is not safe.
+func (e *Engine) BestBrokerFor(served []topology.MachineID, scratch map[topology.SwitchID]int) topology.MachineID {
+	if len(served) == 0 {
+		return topology.NoMachine
+	}
+	if e.topo.Shape() == topology.ShapeFlat {
+		// Every machine is a broker: co-locate with the busiest server.
+		clearSwitchCounts(scratch)
+		bestM, bestC := topology.NoMachine, 0
+		for _, srv := range served {
+			scratch[topology.SwitchID(srv)]++
+			if c := scratch[topology.SwitchID(srv)]; c > bestC || (c == bestC && srv < bestM) {
+				bestM, bestC = srv, c
+			}
+		}
+		return bestM
+	}
+	// Pick the intermediate subtree serving the most views.
+	clearSwitchCounts(scratch)
+	for _, srv := range served {
+		scratch[e.topo.Machine(srv).Inter]++
+	}
+	bestInter, bestC := topology.SwitchID(-1), -1
+	for sw, c := range scratch {
+		if c > bestC || (c == bestC && sw < bestInter) {
+			bestInter, bestC = sw, c
+		}
+	}
+	// Then the rack within it.
+	clearSwitchCounts(scratch)
+	for _, srv := range served {
+		m := e.topo.Machine(srv)
+		if m.Inter == bestInter {
+			scratch[m.Rack]++
+		}
+	}
+	bestRack, bestC := topology.SwitchID(-1), -1
+	for sw, c := range scratch {
+		if c > bestC || (c == bestC && sw < bestRack) {
+			bestRack, bestC = sw, c
+		}
+	}
+	if b, ok := e.brokersIn[bestRack]; ok {
+		return b
+	}
+	return topology.NoMachine
+}
+
+func clearSwitchCounts(m map[topology.SwitchID]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

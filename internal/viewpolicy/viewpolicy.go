@@ -1,0 +1,241 @@
+// Package viewpolicy is DynaSoRe's placement brain (§3, Algorithms 1–3),
+// extracted from the simulator so that every consumer — the trace-driven
+// simulation in internal/dynasore and the live cluster in internal/cluster —
+// routes replica creation, migration, and utility-based eviction through one
+// shared, mechanism-free engine.
+//
+// The engine is pure policy: it consumes per-replica access windows
+// (stats.AccessLog), the datacenter tree (topology.Topology), and a
+// read-only Env describing current loads and thresholds, and it emits
+// Decisions. Consumers own the mechanism — copying views, recording traffic,
+// updating routing tables — and report state back through Env. An Engine is
+// immutable after New and safe for concurrent use.
+package viewpolicy
+
+import (
+	"math"
+
+	"dynasore/internal/stats"
+	"dynasore/internal/topology"
+)
+
+// Message weights (§4.3): application messages (requests, answers, view
+// transfers) are 10× longer than protocol messages. Profits, utilities, and
+// admission thresholds are expressed in these units per hour.
+const (
+	AppWeight = 10
+	CtlWeight = 1
+)
+
+// exchangeWeight is the traffic of one request/answer pair per switch hop:
+// two application messages of weight AppWeight.
+const exchangeWeight = 2 * AppWeight
+
+// Inf marks replicas that can never be evicted (sole copies, durability
+// floor).
+var Inf = math.Inf(1)
+
+// Config parameterizes the placement policy.
+type Config struct {
+	// Slots and SlotSeconds configure the rotating access counters
+	// (defaults: 24 slots of one hour, §4.3).
+	Slots       int
+	SlotSeconds int64
+	// ThresholdOccupancy is the fraction of memory that must be occupied
+	// by views above the admission threshold (default 0.90, §3.2).
+	ThresholdOccupancy float64
+	// GraceSeconds protects a freshly created replica from eviction,
+	// negative-utility removal, and migration until its statistics are
+	// meaningful (default: one slot; negative: no grace).
+	GraceSeconds int64
+	// DecisionSeconds is the minimum observation span before a replica may
+	// be removed or migrated, damping sampling noise (default: two slots).
+	DecisionSeconds int64
+	// PaybackHours is how quickly a new replica's estimated gain must
+	// amortize its one-time transfer cost (default 12).
+	PaybackHours float64
+	// AdmissionMargin is the relative hysteresis a replica-creation profit
+	// must clear above the admission threshold (default 0.5).
+	AdmissionMargin float64
+	// AdmissionEpsilon is the absolute minimum profit (traffic units per
+	// hour) required to create a replica (default 10).
+	AdmissionEpsilon float64
+	// MinReplicas is the durability floor of §3.3: views with at most this
+	// many copies have infinite utility and are never evicted (default 1).
+	MinReplicas int
+	// DisableReplication turns off Algorithm 2 replica creation (ablation).
+	DisableReplication bool
+	// DisableMigration turns off Algorithm 3 view migration (ablation).
+	DisableMigration bool
+}
+
+// withDefaults fills unset knobs, mirroring the paper's configuration.
+func (c Config) withDefaults() Config {
+	if c.Slots <= 0 {
+		c.Slots = 24
+	}
+	if c.SlotSeconds <= 0 {
+		c.SlotSeconds = 3600
+	}
+	if c.ThresholdOccupancy <= 0 || c.ThresholdOccupancy > 1 {
+		c.ThresholdOccupancy = 0.90
+	}
+	if c.GraceSeconds < 0 {
+		c.GraceSeconds = 0
+	} else if c.GraceSeconds == 0 {
+		c.GraceSeconds = c.SlotSeconds
+	}
+	if c.DecisionSeconds <= 0 {
+		c.DecisionSeconds = 2 * c.SlotSeconds
+	}
+	if c.PaybackHours <= 0 {
+		c.PaybackHours = 12
+	}
+	if c.AdmissionMargin <= 0 {
+		c.AdmissionMargin = 0.5
+	}
+	if c.AdmissionEpsilon <= 0 {
+		c.AdmissionEpsilon = 10
+	}
+	if c.MinReplicas <= 0 {
+		c.MinReplicas = 1
+	}
+	return c
+}
+
+// Env is the read-only cluster state the policy consults while evaluating
+// one view. Implementations are supplied by the consumer (simulated store or
+// live broker); the policy never mutates through Env.
+type Env interface {
+	// Load is how many views machine m currently stores.
+	Load(m topology.MachineID) int
+	// Capacity is how many views machine m may store.
+	Capacity(m topology.MachineID) int
+	// EvictFloor is the utility of the weakest evictable view on m — the
+	// bar a newcomer must beat to displace a view on a full server.
+	EvictFloor(m topology.MachineID) float64
+	// Threshold is m's admission threshold (§3.2).
+	Threshold(m topology.MachineID) float64
+	// SubtreeThreshold is the disseminated minimum admission threshold of
+	// an origin's subtree (0 when unknown).
+	SubtreeThreshold(o topology.Origin) float64
+	// Holds reports whether m already stores the view under evaluation.
+	Holds(m topology.MachineID) bool
+}
+
+// ViewState is the placement of one view: the servers holding its replicas
+// and the broker hosting its write proxy.
+type ViewState struct {
+	Replicas   []topology.MachineID
+	WriteProxy topology.MachineID
+}
+
+// Window is one replica's observed access statistics, normalized for
+// comparison against per-hour thresholds.
+type Window struct {
+	Origins []stats.OriginReads
+	Writes  int64
+	// Hours is the effective observation span: the window length, clamped
+	// below so young replicas produce finite estimates.
+	Hours float64
+}
+
+// Op is the kind of placement change a Decision requests.
+type Op uint8
+
+// Placement operations.
+const (
+	OpNone    Op = iota // keep everything as is
+	OpCreate            // copy the view onto Target
+	OpMigrate           // move this replica to Target
+	OpRemove            // drop this replica
+)
+
+// Decision is the policy's verdict for one replica after an access or a
+// maintenance pass.
+type Decision struct {
+	Op     Op
+	Target topology.MachineID
+	// Origin is, for OpCreate, the read origin the new replica will absorb;
+	// the consumer should clear it from the serving replica's window so the
+	// stale reads do not trigger duplicate replicas.
+	Origin topology.Origin
+	// Profit is the estimated traffic-per-hour gain of the operation; for
+	// OpCreate it doubles as the new replica's stand-in utility during its
+	// grace period.
+	Profit float64
+}
+
+// Engine evaluates the placement policy over one topology. It is immutable
+// and safe for concurrent use, except where a method documents a
+// caller-supplied scratch area.
+type Engine struct {
+	topo *topology.Topology
+	cfg  Config
+	// brokersIn maps each rack switch to its first broker, for the proxy
+	// placement walk of §3.2.
+	brokersIn map[topology.SwitchID]topology.MachineID
+}
+
+// New builds an engine for the given topology. Zero Config fields assume the
+// paper's defaults.
+func New(topo *topology.Topology, cfg Config) *Engine {
+	e := &Engine{
+		topo:      topo,
+		cfg:       cfg.withDefaults(),
+		brokersIn: make(map[topology.SwitchID]topology.MachineID),
+	}
+	for _, sw := range topo.Switches() {
+		if sw.Level != topology.LevelRack && topo.Shape() == topology.ShapeTree {
+			continue
+		}
+		for _, id := range topo.MachinesUnderRack(sw.ID) {
+			if topo.Machine(id).IsBroker() {
+				e.brokersIn[sw.ID] = id
+				break
+			}
+		}
+	}
+	return e
+}
+
+// Config returns the engine's normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Topology returns the tree the engine plans over.
+func (e *Engine) Topology() *topology.Topology { return e.topo }
+
+// EffectiveHours returns the span of data actually inside a replica's
+// rotating window, in hours, clamped below to keep early estimates finite.
+func (e *Engine) EffectiveHours(createdAt, now int64) float64 {
+	window := float64(e.cfg.Slots * int(e.cfg.SlotSeconds))
+	age := float64(now - createdAt)
+	if age > window {
+		age = window
+	}
+	if age < 600 {
+		age = 600
+	}
+	return age / 3600
+}
+
+// WindowOf snapshots a replica's access log into a Window.
+func (e *Engine) WindowOf(log *stats.AccessLog, createdAt, now int64) Window {
+	return Window{
+		Origins: log.ReadsByOrigin(now),
+		Writes:  log.Writes(now),
+		Hours:   e.EffectiveHours(createdAt, now),
+	}
+}
+
+// InGrace reports whether a replica created at createdAt is still protected
+// from eviction, removal, and migration.
+func (e *Engine) InGrace(createdAt, now int64) bool {
+	return now-createdAt < e.cfg.GraceSeconds
+}
+
+// MatureForMigration reports whether a replica has been observed long enough
+// for Algorithm 3 to act on it.
+func (e *Engine) MatureForMigration(createdAt, now int64) bool {
+	return now-createdAt >= e.cfg.DecisionSeconds
+}

@@ -1,0 +1,254 @@
+package viewpolicy
+
+import (
+	"math"
+	"testing"
+
+	"dynasore/internal/stats"
+	"dynasore/internal/topology"
+)
+
+// fakeEnv is a map-backed Env for exercising the engine in isolation.
+type fakeEnv struct {
+	load     map[topology.MachineID]int
+	capacity int
+	floor    map[topology.MachineID]float64
+	thr      map[topology.MachineID]float64
+	subThr   map[topology.Origin]float64
+	holds    map[topology.MachineID]bool
+}
+
+func (e *fakeEnv) Load(m topology.MachineID) int     { return e.load[m] }
+func (e *fakeEnv) Capacity(m topology.MachineID) int { return e.capacity }
+func (e *fakeEnv) EvictFloor(m topology.MachineID) float64 {
+	if f, ok := e.floor[m]; ok {
+		return f
+	}
+	return Inf
+}
+func (e *fakeEnv) Threshold(m topology.MachineID) float64     { return e.thr[m] }
+func (e *fakeEnv) SubtreeThreshold(o topology.Origin) float64 { return e.subThr[o] }
+func (e *fakeEnv) Holds(m topology.MachineID) bool            { return e.holds[m] }
+
+func testEngine(t *testing.T) (*Engine, *topology.Topology) {
+	t.Helper()
+	topo, err := topology.NewTree(2, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(topo, Config{}), topo
+}
+
+func remoteServer(t *testing.T, topo *topology.Topology, from topology.MachineID) topology.MachineID {
+	t.Helper()
+	for _, s := range topo.Servers() {
+		if topo.Distance(from, s) == 5 {
+			return s
+		}
+	}
+	t.Fatal("no cross-tree server")
+	return topology.NoMachine
+}
+
+func TestEstimateProfitSignAndSoleCopy(t *testing.T) {
+	e, topo := testEngine(t)
+	srv := topo.Servers()[0]
+	far := remoteServer(t, topo, srv)
+	broker := topo.ClosestBrokerTo(srv)
+	w := Window{
+		Origins: []stats.OriginReads{{Origin: topo.OriginOf(srv, broker), Reads: 100}},
+		Hours:   1,
+	}
+	if got := e.EstimateProfit(w, broker, srv, far); got <= 0 {
+		t.Errorf("profit of serving local readers locally = %v, want > 0", got)
+	}
+	if got := e.EstimateProfit(w, broker, far, srv); got >= 0 {
+		t.Errorf("profit of the far candidate = %v, want < 0", got)
+	}
+	if got := e.EstimateProfit(w, broker, srv, topology.NoMachine); !math.IsInf(got, 1) {
+		t.Errorf("sole-copy profit = %v, want +Inf", got)
+	}
+}
+
+func TestUtilityRespectsDurabilityFloor(t *testing.T) {
+	topo, err := topology.NewTree(2, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(topo, Config{MinReplicas: 2})
+	srv := topo.Servers()[0]
+	other := topo.Servers()[1]
+	view := ViewState{Replicas: []topology.MachineID{srv, other}, WriteProxy: topo.Brokers()[0]}
+	if got := e.Utility(view, srv, Window{Hours: 1}); !math.IsInf(got, 1) {
+		t.Errorf("utility at the durability floor = %v, want +Inf", got)
+	}
+}
+
+func TestEvaluateReplicationPicksOriginSubtree(t *testing.T) {
+	e, topo := testEngine(t)
+	srv := topo.Servers()[0]
+	farBroker := topo.ClosestBrokerTo(remoteServer(t, topo, srv))
+	origin := topo.OriginOf(srv, farBroker) // remote zone reads
+	view := ViewState{Replicas: []topology.MachineID{srv}, WriteProxy: topo.ClosestBrokerTo(srv)}
+	env := &fakeEnv{capacity: 10, load: map[topology.MachineID]int{}}
+	w := Window{Origins: []stats.OriginReads{{Origin: origin, Reads: 1000}}, Hours: 1}
+	d, ok := e.EvaluateReplication(env, view, srv, w)
+	if !ok {
+		t.Fatal("no replication proposed for heavy remote reads")
+	}
+	if d.Op != OpCreate || d.Origin != origin || d.Profit <= 0 {
+		t.Fatalf("decision = %+v", d)
+	}
+	// The target must sit inside the origin's subtree.
+	found := false
+	for _, cand := range topo.CandidateServersNear(origin) {
+		if cand == d.Target {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("target %d not in origin subtree", d.Target)
+	}
+	// A replica already covering the subtree suppresses the proposal.
+	view.Replicas = append(view.Replicas, d.Target)
+	env.holds = map[topology.MachineID]bool{d.Target: true}
+	if _, ok := e.EvaluateReplication(env, view, srv, w); ok {
+		t.Error("replication proposed although the subtree is covered")
+	}
+}
+
+func TestEvaluateMigrationRemovesNegativeUtility(t *testing.T) {
+	e, topo := testEngine(t)
+	srv := topo.Servers()[0]
+	near := topo.Servers()[1] // same rack
+	broker := topo.ClosestBrokerTo(srv)
+	view := ViewState{Replicas: []topology.MachineID{srv, near}, WriteProxy: broker}
+	env := &fakeEnv{capacity: 10, load: map[topology.MachineID]int{}}
+	// Writes but no reads: keeping the second copy only costs traffic.
+	w := Window{Writes: 500, Hours: 1}
+	d := e.EvaluateMigration(env, view, srv, w)
+	if d.Op != OpRemove {
+		t.Fatalf("decision = %+v, want OpRemove", d)
+	}
+	if d.Profit >= 0 {
+		t.Errorf("removal profit = %v, want < 0", d.Profit)
+	}
+}
+
+func TestPlanServerMaintenance(t *testing.T) {
+	e, _ := testEngine(t)
+	entries := []ViewUtil{
+		{ID: 1, Util: -50, Evictable: true},  // removed
+		{ID: 2, Util: -50, Evictable: false}, // sole copy: kept
+		{ID: 3, Util: 10, Evictable: true},
+		{ID: 4, Util: 30, Evictable: false},
+	}
+	plan := e.PlanServerMaintenance(entries, 4, 4)
+	if len(plan.Remove) != 1 || plan.Remove[0] != 1 {
+		t.Fatalf("remove = %v, want [1]", plan.Remove)
+	}
+	if plan.EvictFloor != 10 {
+		t.Errorf("evict floor = %v, want 10 (weakest evictable survivor)", plan.EvictFloor)
+	}
+	if plan.Threshold != 0 {
+		t.Errorf("threshold = %v, want 0 (removal freed space below the occupancy bound)", plan.Threshold)
+	}
+	// A server that stays above the occupancy boundary raises its bar to
+	// the utility at the boundary.
+	full := e.PlanServerMaintenance([]ViewUtil{
+		{ID: 1, Util: 2, Evictable: true},
+		{ID: 2, Util: 5, Evictable: true},
+		{ID: 3, Util: 8, Evictable: true},
+		{ID: 4, Util: 9, Evictable: false},
+	}, 4, 4)
+	if full.Threshold != 5 {
+		t.Errorf("full-server threshold = %v, want 5 (utility at the occupancy boundary)", full.Threshold)
+	}
+	// A server with room keeps its threshold at zero.
+	roomy := e.PlanServerMaintenance([]ViewUtil{{ID: 9, Util: 5, Evictable: true}}, 1, 100)
+	if roomy.Threshold != 0 {
+		t.Errorf("threshold with free space = %v, want 0", roomy.Threshold)
+	}
+}
+
+func TestWeakestEvictable(t *testing.T) {
+	entries := []ViewUtil{
+		{ID: 5, Util: 7, Evictable: true},
+		{ID: 2, Util: 3, Evictable: false},
+		{ID: 9, Util: 4, Evictable: true},
+		{ID: 1, Util: 4, Evictable: true},
+	}
+	idx := WeakestEvictable(entries)
+	if idx < 0 || entries[idx].ID != 1 {
+		t.Fatalf("victim = %v, want ID 1 (lowest evictable utility, smallest ID)", idx)
+	}
+	if WeakestEvictable([]ViewUtil{{ID: 1, Util: 0, Evictable: false}}) != -1 {
+		t.Error("non-evictable entry selected")
+	}
+}
+
+func TestDisseminateThresholds(t *testing.T) {
+	e, topo := testEngine(t)
+	thr := make([]float64, topo.NumMachines())
+	for i, srv := range topo.Servers() {
+		thr[srv] = float64(10 + i)
+	}
+	out := make(map[topology.Origin]float64)
+	e.DisseminateThresholds(thr, out)
+	for _, sw := range topo.Switches() {
+		if sw.Level != topology.LevelRack {
+			continue
+		}
+		want := Inf
+		for _, id := range topo.MachinesUnderRack(sw.ID) {
+			if topo.Machine(id).IsServer() && thr[id] < want {
+				want = thr[id]
+			}
+		}
+		if got := out[topology.Origin(sw.ID)]; got != want {
+			t.Errorf("rack %d min threshold = %v, want %v", sw.ID, got, want)
+		}
+	}
+}
+
+func TestBestBrokerForDescendsTree(t *testing.T) {
+	e, topo := testEngine(t)
+	scratch := make(map[topology.SwitchID]int)
+	servers := topo.Servers()
+	served := []topology.MachineID{servers[0], servers[0], remoteServer(t, topo, servers[0])}
+	best := e.BestBrokerFor(served, scratch)
+	if best == topology.NoMachine {
+		t.Fatal("no broker found")
+	}
+	// The majority subtree holds servers[0]; its rack broker must win.
+	if topo.Machine(best).Rack != topo.Machine(servers[0]).Rack {
+		t.Errorf("broker %d not in the majority rack", best)
+	}
+	if e.BestBrokerFor(nil, scratch) != topology.NoMachine {
+		t.Error("empty served list should yield NoMachine")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	e := New(mustFlat(t, 4), Config{})
+	cfg := e.Config()
+	if cfg.Slots != 24 || cfg.SlotSeconds != 3600 || cfg.MinReplicas != 1 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if cfg.GraceSeconds != cfg.SlotSeconds {
+		t.Errorf("grace default = %d, want one slot", cfg.GraceSeconds)
+	}
+	// Negative grace means none, and survives normalization.
+	if got := New(mustFlat(t, 2), Config{GraceSeconds: -1}).Config().GraceSeconds; got != 0 {
+		t.Errorf("explicit no-grace = %d, want 0", got)
+	}
+}
+
+func mustFlat(t *testing.T, n int) *topology.Topology {
+	t.Helper()
+	topo, err := topology.NewFlat(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}

@@ -20,6 +20,7 @@ import (
 	"context"
 
 	"dynasore/internal/cluster"
+	"dynasore/internal/viewpolicy"
 )
 
 // View is a producer-pivoted view: one user's latest events, oldest first,
@@ -34,10 +35,11 @@ type Stats struct {
 	// Reads and Writes count completed API calls.
 	Reads  int64
 	Writes int64
-	// Replicated and Evicted count hot-view replica creations and
-	// cold-replica evictions by the broker's controller (§3.2).
+	// Replicated, Evicted, and Migrated count the placement policy's
+	// replica creations, removals, and migrations (§3.2, Algorithms 2–3).
 	Replicated int64
 	Evicted    int64
+	Migrated   int64
 	// Misses counts cache misses refilled from the persistent store (§3.3).
 	Misses int64
 }
@@ -74,6 +76,75 @@ func fromClusterStats(st cluster.BrokerStats) Stats {
 		Writes:     st.Writes,
 		Replicated: st.Replicated,
 		Evicted:    st.Evicted,
+		Migrated:   st.Migrated,
 		Misses:     st.Misses,
+	}
+}
+
+// Position places a node in the datacenter tree: a zone (intermediate
+// switch) and a rack within that zone. Nodes sharing a position hang off
+// the same rack switch.
+type Position struct {
+	Zone int
+	Rack int
+}
+
+// Placement positions a broker and its cache servers in the datacenter
+// tree; the placement policy scores replica locations by the resulting
+// network distances.
+type Placement struct {
+	Broker Position
+	// Servers[i] is the position of the i-th cache server.
+	Servers []Position
+}
+
+// PolicyConfig tunes the shared placement policy (§3, Algorithms 2–3) that
+// drives replica creation, migration, and eviction on the broker. Zero
+// fields assume live-cluster defaults: an 8×1s statistics window, no grace
+// period, and an admission profit floor of 1000 traffic-units/hour (a
+// handful of reads inside the window replicates a view).
+type PolicyConfig struct {
+	// Slots and SlotSeconds configure the rotating access counters.
+	Slots       int
+	SlotSeconds int64
+	// GraceSeconds protects fresh replicas from eviction and migration
+	// (negative: none — the live default).
+	GraceSeconds int64
+	// DecisionSeconds is the minimum observation span before a replica may
+	// be removed or migrated.
+	DecisionSeconds int64
+	// PaybackHours is how quickly a new replica's gain must amortize its
+	// transfer cost.
+	PaybackHours float64
+	// AdmissionMargin and AdmissionEpsilon are the relative and absolute
+	// profit bars for creating a replica.
+	AdmissionMargin  float64
+	AdmissionEpsilon float64
+	// MinReplicas is the durability floor: views with at most this many
+	// copies are never evicted.
+	MinReplicas int
+}
+
+func (p *Placement) toCluster() *cluster.Placement {
+	if p == nil {
+		return nil
+	}
+	out := &cluster.Placement{Broker: cluster.Position(p.Broker)}
+	for _, pos := range p.Servers {
+		out.Servers = append(out.Servers, cluster.Position(pos))
+	}
+	return out
+}
+
+func (p PolicyConfig) toCluster() viewpolicy.Config {
+	return viewpolicy.Config{
+		Slots:            p.Slots,
+		SlotSeconds:      p.SlotSeconds,
+		GraceSeconds:     p.GraceSeconds,
+		DecisionSeconds:  p.DecisionSeconds,
+		PaybackHours:     p.PaybackHours,
+		AdmissionMargin:  p.AdmissionMargin,
+		AdmissionEpsilon: p.AdmissionEpsilon,
+		MinReplicas:      p.MinReplicas,
 	}
 }

@@ -204,8 +204,8 @@ func TestHotViewReplicationThroughPublicAPI(t *testing.T) {
 	e := openEngine(t, dynasore.EngineConfig{
 		CacheServers: 3,
 		Preferred:    2,
-		HotReads:     4,
-		DecayEvery:   time.Hour,
+		PolicyEvery:  time.Hour,
+		Policy:       dynasore.PolicyConfig{AdmissionEpsilon: 100},
 	})
 	if _, err := e.Write(ctx, 0, []byte("hot")); err != nil {
 		t.Fatal(err)
@@ -245,5 +245,42 @@ func TestCrashedCacheServerFallsBackToWAL(t *testing.T) {
 func TestOpenValidatesPreferred(t *testing.T) {
 	if _, err := dynasore.Open(dynasore.EngineConfig{CacheServers: 2, Preferred: 7}); err == nil {
 		t.Error("out-of-range preferred server accepted")
+	}
+	if _, err := dynasore.Open(dynasore.EngineConfig{CacheServers: 2, Preferred: -3}); err == nil {
+		t.Error("preferred server below -1 accepted")
+	}
+}
+
+func TestExplicitPlacementThroughPublicAPI(t *testing.T) {
+	ctx := context.Background()
+	// Server 1 shares the broker's rack; the policy must pick it (not the
+	// Preferred default) as the replication target.
+	e := openEngine(t, dynasore.EngineConfig{
+		CacheServers: 2,
+		Preferred:    -1,
+		Placement: &dynasore.Placement{
+			Broker:  dynasore.Position{Zone: 0, Rack: 0},
+			Servers: []dynasore.Position{{Zone: 1, Rack: 0}, {Zone: 0, Rack: 0}},
+		},
+		PolicyEvery: time.Hour,
+		Policy:      dynasore.PolicyConfig{AdmissionEpsilon: 100},
+	})
+	if _, err := e.Write(ctx, 0, []byte("hot")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := e.Read(ctx, []uint32{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.ReplicaCount(0); got < 2 {
+		t.Errorf("replicas = %d, want >= 2 (policy should use the placed rack-local server)", got)
+	}
+	st, err := e.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replicated == 0 {
+		t.Error("no replication recorded in stats")
 	}
 }

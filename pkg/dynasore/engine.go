@@ -20,18 +20,26 @@ type EngineConfig struct {
 	DataDir string
 	// ViewCap bounds events kept per view (default 64).
 	ViewCap int
-	// Preferred is the index of the broker's "rack-local" cache server —
-	// the replication target for hot views (§3.2). Negative disables
-	// preference; the default 0 prefers the first server.
+	// Placement positions the broker and every cache server in the
+	// datacenter tree the placement policy plans over. Nil derives a
+	// default layout from Preferred.
+	Placement *Placement
+	// Preferred is the index of the broker's "rack-local" cache server.
+	// When Placement is nil it seeds the default layout: that server
+	// shares the broker's rack (so hot views replicate onto it) and every
+	// other server sits in a remote zone. -1 means no local server; the
+	// default 0 prefers the first server. Values below -1 are invalid.
 	Preferred int
-	// HotReads is how many reads within a decay interval mark a view hot
-	// enough to replicate locally (default 8).
-	HotReads int
 	// MaxReplicas bounds a view's replication degree (default 3).
 	MaxReplicas int
-	// DecayEvery is the interval of the counter decay / cold-replica
-	// eviction pass (default 5s).
-	DecayEvery time.Duration
+	// PolicyEvery is the interval of the placement policy's maintenance
+	// pass (default 5s).
+	PolicyEvery time.Duration
+	// Policy tunes the shared placement policy.
+	Policy PolicyConfig
+	// ServerCapacity bounds how many views the policy places on one cache
+	// server (0 = unbounded).
+	ServerCapacity int
 }
 
 // Engine is the in-process backend of Store: it runs cache servers and a
@@ -53,7 +61,7 @@ func Open(cfg EngineConfig) (*Engine, error) {
 	if n <= 0 {
 		n = 3
 	}
-	if cfg.Preferred >= n {
+	if cfg.Preferred < -1 || cfg.Preferred >= n {
 		return nil, fmt.Errorf("dynasore: preferred server %d out of range (have %d)", cfg.Preferred, n)
 	}
 	e := &Engine{}
@@ -77,14 +85,16 @@ func Open(cfg EngineConfig) (*Engine, error) {
 		addrs = append(addrs, s.Addr())
 	}
 	broker, err := cluster.NewBroker(cluster.BrokerConfig{
-		Addr:        "127.0.0.1:0",
-		ServerAddrs: addrs,
-		DataDir:     dataDir,
-		ViewCap:     cfg.ViewCap,
-		Preferred:   cfg.Preferred,
-		HotReads:    cfg.HotReads,
-		MaxReplicas: cfg.MaxReplicas,
-		DecayEvery:  cfg.DecayEvery,
+		Addr:           "127.0.0.1:0",
+		ServerAddrs:    addrs,
+		DataDir:        dataDir,
+		ViewCap:        cfg.ViewCap,
+		Placement:      cfg.Placement.toCluster(),
+		Preferred:      cfg.Preferred,
+		MaxReplicas:    cfg.MaxReplicas,
+		PolicyEvery:    cfg.PolicyEvery,
+		Policy:         cfg.Policy.toCluster(),
+		ServerCapacity: cfg.ServerCapacity,
 	})
 	if err != nil {
 		e.Close()

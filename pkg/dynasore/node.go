@@ -43,22 +43,30 @@ type BrokerConfig struct {
 	DataDir string
 	// ViewCap bounds events kept per view (default 64).
 	ViewCap int
-	// Preferred is the index of the broker's "rack-local" cache server,
-	// the replication target for hot views (§3.2). -1 disables preference.
+	// Placement positions the broker and every cache server in the
+	// datacenter tree the placement policy plans over. Nil derives a
+	// default layout from Preferred.
+	Placement *Placement
+	// Preferred is the index of the broker's "rack-local" cache server.
+	// When Placement is nil it seeds the default layout: that server
+	// shares the broker's rack and every other server sits in a remote
+	// zone. -1 disables preference; values below -1 are invalid.
 	Preferred int
-	// HotReads is how many reads within a decay interval mark a view hot
-	// enough to replicate locally (default 8).
-	HotReads int
 	// MaxReplicas bounds a view's replication degree (default 3).
 	MaxReplicas int
-	// DecayEvery is the interval of the counter decay / cold-replica
-	// eviction pass (default 5s).
-	DecayEvery time.Duration
+	// PolicyEvery is the interval of the placement policy's maintenance
+	// pass (default 5s).
+	PolicyEvery time.Duration
+	// Policy tunes the shared placement policy.
+	Policy PolicyConfig
+	// ServerCapacity bounds how many views the policy places on one cache
+	// server (0 = unbounded).
+	ServerCapacity int
 }
 
 // Broker is one standalone broker node: it serves the Read/Write API to v1
-// and v2 clients, persists writes to its WAL, and replicates hot views onto
-// its preferred cache server.
+// and v2 clients, persists writes to its WAL, and drives replica placement
+// across its cache servers with the shared DynaSoRe policy (§3).
 type Broker struct {
 	b *cluster.Broker
 }
@@ -66,14 +74,16 @@ type Broker struct {
 // ListenBroker starts a broker node.
 func ListenBroker(cfg BrokerConfig) (*Broker, error) {
 	b, err := cluster.NewBroker(cluster.BrokerConfig{
-		Addr:        cfg.Addr,
-		ServerAddrs: cfg.CacheServerAddrs,
-		DataDir:     cfg.DataDir,
-		ViewCap:     cfg.ViewCap,
-		Preferred:   cfg.Preferred,
-		HotReads:    cfg.HotReads,
-		MaxReplicas: cfg.MaxReplicas,
-		DecayEvery:  cfg.DecayEvery,
+		Addr:           cfg.Addr,
+		ServerAddrs:    cfg.CacheServerAddrs,
+		DataDir:        cfg.DataDir,
+		ViewCap:        cfg.ViewCap,
+		Placement:      cfg.Placement.toCluster(),
+		Preferred:      cfg.Preferred,
+		MaxReplicas:    cfg.MaxReplicas,
+		PolicyEvery:    cfg.PolicyEvery,
+		Policy:         cfg.Policy.toCluster(),
+		ServerCapacity: cfg.ServerCapacity,
 	})
 	if err != nil {
 		return nil, err
