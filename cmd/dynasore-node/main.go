@@ -16,6 +16,17 @@
 //	dynasore-node -role broker -addr 127.0.0.1:7000 \
 //	    -servers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
 //	    -broker-pos 0:0 -server-pos 0:0,1:0,1:1 -data /tmp/dynasore
+//
+// Multi-broker cluster (the paper's broker-per-front-end-cluster): every
+// broker gets the same -peers list (all broker addresses, including its
+// own), the same -peers-pos (one zone:rack per peer), and its own -self
+// index. Each broker needs its own -data directory; writes are replicated
+// between the brokers' logs:
+//
+//	dynasore-node -role broker -addr 127.0.0.1:7000 \
+//	    -servers 127.0.0.1:7101,127.0.0.1:7102 -server-pos 0:1,1:1 \
+//	    -peers 127.0.0.1:7000,127.0.0.1:7001 -peers-pos 0:0,1:0 -self 0 \
+//	    -data /tmp/dynasore-b0
 package main
 
 import (
@@ -42,12 +53,17 @@ func main() {
 		viewCap     = flag.Int("viewcap", 64, "events kept per view")
 		policyEvery = flag.Duration("policy-every", 0, "placement maintenance interval (0: default 5s)")
 		capacity    = flag.Int("capacity", 0, "max views the policy places per cache server (0: unbounded)")
+		peersFlag   = flag.String("peers", "", "comma-separated addresses of every broker of the cluster, including this one (multi-broker)")
+		peersPos    = flag.String("peers-pos", "", "comma-separated zone:rack position per peer broker (required with -peers; identical on every broker)")
+		self        = flag.Int("self", 0, "this broker's index in -peers")
+		syncEvery   = flag.Duration("sync-every", 0, "peer-sync interval: pings, election, placement sync (0: default 1s)")
 	)
 	flag.Parse()
 	if err := run(config{
 		role: *role, addr: *addr, servers: *servers, dataDir: *dataDir,
 		preferred: *preferred, brokerPos: *brokerPos, serverPos: *serverPos,
 		viewCap: *viewCap, policyEvery: *policyEvery, capacity: *capacity,
+		peers: *peersFlag, peersPos: *peersPos, self: *self, syncEvery: *syncEvery,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dynasore-node:", err)
 		os.Exit(1)
@@ -61,6 +77,44 @@ type config struct {
 	viewCap                      int
 	policyEvery                  time.Duration
 	capacity                     int
+	peers, peersPos              string
+	self                         int
+	syncEvery                    time.Duration
+}
+
+// parsePeers builds the multi-broker peer list from -peers/-peers-pos, or
+// returns nil when -peers was not given (single-broker cluster). The
+// position table must be given in full: leader election assumes every
+// broker evaluates the same (position, index) order, so a partial table —
+// e.g. each broker knowing only its own position — would make elections
+// disagree and could leave the cluster with no leader at all.
+func parsePeers(peers, peersPos string, self int) ([]dynasore.BrokerPeer, error) {
+	if peers == "" {
+		if peersPos != "" {
+			return nil, fmt.Errorf("-peers-pos requires -peers")
+		}
+		return nil, nil
+	}
+	if peersPos == "" {
+		return nil, fmt.Errorf("-peers requires -peers-pos (the full zone:rack table, identical on every broker)")
+	}
+	addrs := strings.Split(peers, ",")
+	if self < 0 || self >= len(addrs) {
+		return nil, fmt.Errorf("-self %d out of range for %d peers", self, len(addrs))
+	}
+	parts := strings.Split(peersPos, ",")
+	if len(parts) != len(addrs) {
+		return nil, fmt.Errorf("-peers-pos has %d positions for %d peers", len(parts), len(addrs))
+	}
+	out := make([]dynasore.BrokerPeer, len(addrs))
+	for i, a := range addrs {
+		pos, err := parsePosition(strings.TrimSpace(parts[i]))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = dynasore.BrokerPeer{Addr: strings.TrimSpace(a), Pos: pos}
+	}
+	return out, nil
 }
 
 // parsePosition parses "zone:rack".
@@ -121,6 +175,10 @@ func run(c config) error {
 		if err != nil {
 			return err
 		}
+		peers, err := parsePeers(c.peers, c.peersPos, c.self)
+		if err != nil {
+			return err
+		}
 		addrs := strings.Split(c.servers, ",")
 		b, err := dynasore.ListenBroker(dynasore.BrokerConfig{
 			Addr:             c.addr,
@@ -131,11 +189,19 @@ func run(c config) error {
 			ViewCap:          c.viewCap,
 			PolicyEvery:      c.policyEvery,
 			ServerCapacity:   c.capacity,
+			Peers:            peers,
+			Self:             c.self,
+			SyncEvery:        c.syncEvery,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("broker listening on %s (%d cache servers)\n", b.Addr(), len(addrs))
+		if len(peers) > 1 {
+			fmt.Printf("broker %d/%d listening on %s (%d cache servers, leader: broker %d)\n",
+				c.self, len(peers), b.Addr(), len(addrs), b.Leader())
+		} else {
+			fmt.Printf("broker listening on %s (%d cache servers)\n", b.Addr(), len(addrs))
+		}
 		<-stop
 		return b.Close()
 	default:

@@ -1,0 +1,150 @@
+// Multibroker: the paper's broker-per-front-end-cluster deployment in one
+// process. Three brokers anchored in three zones share four cache servers
+// and one persistent store; a ClusterClient spreads reads across the
+// broker tier and pins each user's writes to a stable broker. The elected
+// leader (smallest position) runs the placement policy over every broker's
+// traffic, so a view hammered through the zone-2 broker grows a replica in
+// zone 2 — visible in every broker's placement table. Finally one broker
+// is killed: the client fails over and the survivors re-elect.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"dynasore/pkg/dynasore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// Four cache servers: one per zone 0..2, a fourth in zone 0.
+	var serverAddrs []string
+	var serverPos []dynasore.Position
+	for i := 0; i < 4; i++ {
+		s, err := dynasore.ListenCacheServer("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		serverAddrs = append(serverAddrs, s.Addr())
+		serverPos = append(serverPos, dynasore.Position{Zone: i % 3, Rack: 1})
+	}
+
+	// Reserve the brokers' listeners first so every broker can be given
+	// the full peer list, then share one persistent store between them.
+	dir, err := os.MkdirTemp("", "dynasore-multibroker")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := dynasore.OpenStore(dir, 64)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	var lns []net.Listener
+	var peers []dynasore.BrokerPeer
+	for i := 0; i < 3; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		lns = append(lns, ln)
+		peers = append(peers, dynasore.BrokerPeer{
+			Addr: ln.Addr().String(),
+			Pos:  dynasore.Position{Zone: i, Rack: 0},
+		})
+	}
+	var brokers []*dynasore.Broker
+	var addrs []string
+	for i := range peers {
+		b, err := dynasore.ListenBroker(dynasore.BrokerConfig{
+			Listener:         lns[i],
+			CacheServerAddrs: serverAddrs,
+			Store:            store,
+			Placement:        &dynasore.Placement{Broker: peers[i].Pos, Servers: serverPos},
+			Peers:            peers,
+			Self:             i,
+			SyncEvery:        100 * time.Millisecond,
+			Policy:           dynasore.PolicyConfig{AdmissionEpsilon: 100},
+		})
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		brokers = append(brokers, b)
+		addrs = append(addrs, b.Addr())
+	}
+	fmt.Printf("3 brokers up, leader is broker %d (smallest position)\n", brokers[0].Leader())
+
+	// One client for the whole broker tier.
+	client, err := dynasore.DialCluster(ctx, addrs)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	for u := uint32(0); u < 9; u++ {
+		if _, err := client.Write(ctx, u, []byte(fmt.Sprintf("hello from user %d", u))); err != nil {
+			return err
+		}
+	}
+	views, err := client.Read(ctx, []uint32{0, 4, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read %d views through the cluster client\n", len(views))
+
+	// Hammer user 1 through the zone-2 broker only: its access reports
+	// make the leader replicate the view into zone 2, and the delta
+	// broadcast converges every broker's placement table.
+	zone2, err := dynasore.Dial(ctx, brokers[2].Addr())
+	if err != nil {
+		return err
+	}
+	defer zone2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) &&
+		(len(brokers[0].ReplicaSet(1)) < 2 || len(brokers[2].ReplicaSet(1)) < 2) {
+		if _, err := zone2.Read(ctx, []uint32{1}); err != nil {
+			return err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("replica set of user 1: leader sees %v, zone-2 broker sees %v\n",
+		brokers[0].ReplicaSet(1), brokers[2].ReplicaSet(1))
+
+	// Kill the zone-1 broker. The cluster client fails over; the
+	// survivors re-elect (the leader is still broker 0 here) and serve.
+	if err := brokers[1].Close(); err != nil {
+		return err
+	}
+	if _, err := client.Write(ctx, 1, []byte("still writable")); err != nil {
+		return err
+	}
+	views, err = client.Read(ctx, []uint32{1})
+	if err != nil {
+		return err
+	}
+	last := views[0].Events[len(views[0].Events)-1]
+	fmt.Printf("after killing a broker: user 1 reads %q through the surviving tier\n", last)
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster-wide: %d reads, %d writes, %d replicas created\n",
+		stats.Reads, stats.Writes, stats.Replicated)
+	return nil
+}

@@ -33,12 +33,46 @@ type Placement struct {
 	Servers []Position
 }
 
+// PeerInfo identifies one broker of a multi-broker cluster: the address its
+// peers dial it on and its position in the datacenter tree. The paper
+// places one broker in every front-end cluster; Pos is that anchoring.
+type PeerInfo struct {
+	Addr string
+	Pos  Position
+}
+
 // BrokerConfig configures a broker node.
 type BrokerConfig struct {
 	// Addr is the client-facing listen address ("127.0.0.1:0" for tests).
 	Addr string
-	// ServerAddrs lists the cache servers, in a fixed cluster-wide order.
+	// Listener, when non-nil, is used instead of listening on Addr — so a
+	// test or embedding process can reserve the ports of a whole broker
+	// cluster before starting any of its brokers.
+	Listener net.Listener
+	// ServerAddrs lists the cache servers, in a fixed cluster-wide order
+	// shared by every broker of the cluster.
 	ServerAddrs []string
+	// Peers lists every broker of the cluster — including this one — in a
+	// fixed cluster-wide order shared by all brokers; Peers[Self] describes
+	// this broker and its Pos overrides Placement.Broker. Empty means a
+	// single-broker cluster. Brokers ping each other, elect the
+	// smallest-position peer as the placement-policy leader, and keep their
+	// replica-set tables converged through delta broadcasts and periodic
+	// anti-entropy pulls.
+	Peers []PeerInfo
+	// Self is this broker's index in Peers.
+	Self int
+	// SyncEvery is the interval of the peer-sync pass: liveness pings,
+	// leader election, access-report push, and anti-entropy pull
+	// (default 1s).
+	SyncEvery time.Duration
+	// Store, when non-nil, is the cluster's shared persistent store: the
+	// broker appends to it instead of opening DataDir and does not close
+	// it. Brokers running in one process share the WAL this way. When nil
+	// and Peers is set, each broker opens its own DataDir and every write
+	// is replicated to the peers' logs, so all stores converge on the same
+	// per-user history.
+	Store *wal.ViewStore
 	// DataDir holds the write-ahead log of the persistent store.
 	DataDir string
 	// ViewCap bounds events kept per view (default 64).
@@ -78,6 +112,9 @@ func (c BrokerConfig) withDefaults() BrokerConfig {
 	}
 	if c.PolicyEvery <= 0 {
 		c.PolicyEvery = 5 * time.Second
+	}
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = time.Second
 	}
 	if c.Policy.Slots <= 0 {
 		c.Policy.Slots = 8
@@ -147,13 +184,37 @@ type brokerShard struct {
 // access logs feed replica creation, migration, and utility-based eviction
 // over the configured cluster topology, applied through putView/deleteView.
 // All policy state is sharded; network I/O never happens under a lock.
+//
+// In a multi-broker cluster (BrokerConfig.Peers), every broker serves the
+// full Read/Write API from its own topology position — the paper's
+// broker-per-front-end-cluster — while one elected leader (the alive peer
+// with the smallest position) runs the placement policy over the whole
+// cluster's traffic: followers push access reports to it, it pushes
+// replica-set deltas back, and periodic anti-entropy pulls repair anything
+// a lost delta left behind.
 type Broker struct {
 	cfg     BrokerConfig
 	store   *wal.ViewStore
+	ownWAL  bool // store opened (and closed) by this broker
 	servers []*serverConn
 
 	topo *topology.Topology
 	pol  *viewpolicy.Engine
+
+	// Multi-broker state: this broker's index and machine ID, peer
+	// connections (peers[selfIdx] == nil), and the current leader.
+	nBrokers  int
+	selfIdx   int
+	self      topology.MachineID
+	peers     []*peerState
+	leaderIdx atomic.Int32
+	syncRound atomic.Int64
+
+	// Access aggregates pending in the next report to the leader
+	// (followers only; see noteRead/noteWrite).
+	reportMu  sync.Mutex
+	repReads  map[repKey]uint32
+	repWrites map[uint32]uint32
 
 	shards [brokerShardCount]brokerShard
 	load   []atomic.Int64 // views per server (broker's accounting)
@@ -172,7 +233,10 @@ type Broker struct {
 	active map[net.Conn]struct{}
 	closed atomic.Bool
 	stop   chan struct{}
-	done   chan struct{}
+	loops  sync.WaitGroup
+	bgMu   sync.Mutex
+	bgDone bool
+	bg     sync.WaitGroup
 
 	reads      atomic.Int64
 	writes     atomic.Int64
@@ -182,15 +246,19 @@ type Broker struct {
 	misses     atomic.Int64
 }
 
-// brokerMachine is the broker's machine ID in its own topology; cache
-// server i is machine i+1.
-const brokerMachine topology.MachineID = 0
+// repKey identifies one (user, serving server) aggregate in a pending
+// access report.
+type repKey struct {
+	user   uint32
+	server uint16
+}
 
 // Errors returned by NewBroker.
 var (
 	ErrNoServers    = errors.New("cluster: broker needs at least one cache server")
 	ErrBadPreferred = errors.New("cluster: preferred server out of range")
 	ErrBadPlacement = errors.New("cluster: placement must cover every cache server")
+	ErrBadPeers     = errors.New("cluster: invalid peer configuration")
 )
 
 // NewBroker starts a broker node.
@@ -209,8 +277,25 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	if len(placement.Servers) != len(cfg.ServerAddrs) {
 		return nil, fmt.Errorf("%w: %d positions for %d servers", ErrBadPlacement, len(placement.Servers), len(cfg.ServerAddrs))
 	}
-	machines := make([]topology.Placed, 0, 1+len(placement.Servers))
-	machines = append(machines, topology.Placed{Kind: topology.KindBroker, Zone: placement.Broker.Zone, Rack: placement.Broker.Rack})
+	peers := cfg.Peers
+	selfIdx := cfg.Self
+	if len(peers) == 0 {
+		peers = []PeerInfo{{Pos: placement.Broker}}
+		selfIdx = 0
+	} else {
+		if selfIdx < 0 || selfIdx >= len(peers) {
+			return nil, fmt.Errorf("%w: self index %d of %d brokers", ErrBadPeers, selfIdx, len(peers))
+		}
+		for i, p := range peers {
+			if i != selfIdx && p.Addr == "" {
+				return nil, fmt.Errorf("%w: peer %d has no address", ErrBadPeers, i)
+			}
+		}
+	}
+	machines := make([]topology.Placed, 0, len(peers)+len(placement.Servers))
+	for _, p := range peers {
+		machines = append(machines, topology.Placed{Kind: topology.KindBroker, Zone: p.Pos.Zone, Rack: p.Pos.Rack})
+	}
 	for _, pos := range placement.Servers {
 		machines = append(machines, topology.Placed{Kind: topology.KindServer, Zone: pos.Zone, Rack: pos.Rack})
 	}
@@ -218,20 +303,40 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	if err != nil {
 		return nil, err
 	}
-	store, err := wal.OpenViewStore(cfg.DataDir, cfg.ViewCap, wal.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("open persistent store: %w", err)
+	store, ownWAL := cfg.Store, false
+	if store == nil {
+		// With per-broker WALs the sequence space is partitioned by broker
+		// index, so no two brokers of the cluster ever mint the same
+		// sequence number for different events.
+		walOpts := wal.Options{SeqStride: uint64(len(peers)), SeqOffset: uint64(selfIdx)}
+		store, err = wal.OpenViewStore(cfg.DataDir, cfg.ViewCap, walOpts)
+		if err != nil {
+			return nil, fmt.Errorf("open persistent store: %w", err)
+		}
+		ownWAL = true
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		store.Close()
-		return nil, fmt.Errorf("cluster: listen: %w", err)
+	ln := cfg.Listener
+	if ln == nil {
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			if ownWAL {
+				store.Close()
+			}
+			return nil, fmt.Errorf("cluster: listen: %w", err)
+		}
 	}
 	b := &Broker{
 		cfg:        cfg,
 		store:      store,
+		ownWAL:     ownWAL,
 		topo:       topo,
 		pol:        viewpolicy.New(topo, cfg.Policy),
+		nBrokers:   len(peers),
+		selfIdx:    selfIdx,
+		self:       topology.MachineID(selfIdx),
+		peers:      make([]*peerState, len(peers)),
+		repReads:   make(map[repKey]uint32),
+		repWrites:  make(map[uint32]uint32),
 		load:       make([]atomic.Int64, len(cfg.ServerAddrs)),
 		thresholds: make([]float64, topo.NumMachines()),
 		evictFloor: make([]float64, topo.NumMachines()),
@@ -239,8 +344,16 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		ln:         ln,
 		active:     make(map[net.Conn]struct{}),
 		stop:       make(chan struct{}),
-		done:       make(chan struct{}),
 	}
+	for i, p := range peers {
+		if i == selfIdx {
+			continue
+		}
+		ps := &peerState{idx: i, info: p, conn: newServerConnTimeout(p.Addr, peerTimeout(cfg.SyncEvery))}
+		ps.alive.Store(true) // optimistic until the first ping round
+		b.peers[i] = ps
+	}
+	b.elect()
 	for i := range b.shards {
 		b.shards[i].views = make(map[uint32]*viewMeta)
 	}
@@ -252,7 +365,12 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	}
 	b.conns.Add(1)
 	go b.acceptLoop()
+	b.loops.Add(1)
 	go b.maintainLoop()
+	if b.nBrokers > 1 {
+		b.loops.Add(1)
+		go b.syncLoop()
+	}
 	return b, nil
 }
 
@@ -265,7 +383,14 @@ func (b *Broker) shard(user uint32) *brokerShard {
 	return &b.shards[(user*2654435761)>>28&(brokerShardCount-1)]
 }
 
-func (b *Broker) machineOf(idx int) topology.MachineID { return topology.MachineID(idx + 1) }
+// machineOf maps a cache-server index to its topology machine ID; brokers
+// occupy machines 0..nBrokers-1, servers follow.
+func (b *Broker) machineOf(idx int) topology.MachineID {
+	return topology.MachineID(idx + b.nBrokers)
+}
+
+// serverIdxOf is the inverse of machineOf.
+func (b *Broker) serverIdxOf(m topology.MachineID) int { return int(m) - b.nBrokers }
 
 func (b *Broker) capacityOf() int {
 	if b.cfg.ServerCapacity > 0 {
@@ -300,8 +425,9 @@ func (b *Broker) viewStateLocked(meta *viewMeta) viewpolicy.ViewState {
 	for i, idx := range meta.order {
 		replicas[i] = b.machineOf(idx)
 	}
-	// The broker is every view's read and write proxy in its own topology.
-	return viewpolicy.ViewState{Replicas: replicas, WriteProxy: brokerMachine}
+	// This broker is the view's read and write proxy as far as its own
+	// policy evaluation is concerned.
+	return viewpolicy.ViewState{Replicas: replicas, WriteProxy: b.self}
 }
 
 // brokerEnv adapts broker state to the policy engine's read-only cluster
@@ -312,7 +438,7 @@ type brokerEnv struct {
 	meta *viewMeta
 }
 
-func (e brokerEnv) Load(m topology.MachineID) int     { return int(e.b.load[int(m)-1].Load()) }
+func (e brokerEnv) Load(m topology.MachineID) int     { return int(e.b.load[e.b.serverIdxOf(m)].Load()) }
 func (e brokerEnv) Capacity(m topology.MachineID) int { return e.b.capacityOf() }
 func (e brokerEnv) EvictFloor(m topology.MachineID) float64 {
 	e.b.polMu.RLock()
@@ -342,10 +468,16 @@ func (e brokerEnv) Holds(m topology.MachineID) bool {
 // update every cache replica with the fresh view. Every failed replica
 // update is reported (joined into one error) and the dead replicas are
 // dropped from the set — a partially updated replica set is never silent.
+// In a multi-broker cluster with per-broker WALs the durable event is also
+// replicated to every peer's log, so any broker can later rebuild the view.
 func (b *Broker) Write(user uint32, payload []byte) (uint64, error) {
-	seq, err := b.store.Append(user, time.Now().UnixNano(), payload)
+	at := time.Now().UnixNano()
+	seq, err := b.store.Append(user, at, payload)
 	if err != nil {
 		return 0, fmt.Errorf("persist write: %w", err)
+	}
+	if b.nBrokers > 1 && b.ownWAL {
+		b.broadcastSyncWrite(user, seq, at, payload)
 	}
 	now := time.Now().Unix()
 	view := b.currentView(user)
@@ -357,6 +489,9 @@ func (b *Broker) Write(user uint32, payload []byte) (uint64, error) {
 	}
 	set := append([]int(nil), meta.order...)
 	sh.mu.Unlock()
+	if !b.IsLeader() {
+		b.noteWrite(user)
+	}
 
 	var errs []error
 	var failed []int
@@ -386,22 +521,31 @@ func (b *Broker) currentView(user uint32) View {
 	return View{Version: ver, Events: events}
 }
 
-// ReadOne fetches a single view from the closest replica, filling the cache
-// from the persistent store on a miss, recording the access in the view's
-// window, and applying whatever placement change the policy decides.
+// ReadOne fetches a single view from the replica closest to this broker,
+// filling the cache from the persistent store on a miss and recording the
+// access in the view's window. The placement-policy leader evaluates and
+// applies a placement change inline; followers aggregate the access into
+// their next report to the leader instead.
 func (b *Broker) ReadOne(user uint32) (View, error) {
 	now := time.Now().Unix()
+	leader := b.IsLeader()
 	sh := b.shard(user)
 	sh.mu.Lock()
 	meta := b.metaLocked(sh, user, now)
 	view := b.viewStateLocked(meta)
-	serving := b.topo.ClosestOf(brokerMachine, view.Replicas)
-	idx := int(serving) - 1
+	serving := b.topo.ClosestOf(b.self, view.Replicas)
+	idx := b.serverIdxOf(serving)
 	rep := meta.reps[idx]
-	rep.log.RecordRead(now, b.topo.OriginOf(serving, brokerMachine))
-	decision := b.evaluateLocked(now, meta, view, serving, rep)
+	rep.log.RecordRead(now, b.topo.OriginOf(serving, b.self))
+	var decision viewpolicy.Decision
+	if leader {
+		decision = b.evaluateLocked(now, meta, view, serving, rep)
+	}
 	fallbacks := append([]int(nil), meta.order...)
 	sh.mu.Unlock()
+	if !leader {
+		b.noteRead(user, idx)
+	}
 
 	v, err := b.readReplica(user, idx)
 	if err != nil {
@@ -425,7 +569,7 @@ func (b *Broker) ReadOne(user uint32) (View, error) {
 			v = b.currentView(user)
 		}
 	}
-	b.applyDecision(now, user, decision)
+	b.applyDecision(now, user, idx, decision)
 	return v, nil
 }
 
@@ -448,14 +592,19 @@ func (b *Broker) readReplica(user uint32, idx int) (View, error) {
 
 // evaluateLocked runs the shared policy for a view just read from serving.
 // Caller holds the shard lock; the returned decision is applied outside it.
+// Views already at their replication cap skip Algorithm 2 (a create could
+// never be applied) and go straight to Algorithm 3, so capped views still
+// migrate toward their dominant readers.
 func (b *Broker) evaluateLocked(now int64, meta *viewMeta, view viewpolicy.ViewState, serving topology.MachineID, rep *replicaMeta) viewpolicy.Decision {
 	if b.pol.InGrace(rep.createdAt, now) {
 		return viewpolicy.Decision{}
 	}
 	env := brokerEnv{b: b, meta: meta}
 	w := b.pol.WindowOf(rep.log, rep.createdAt, now)
-	if d, ok := b.pol.EvaluateReplication(env, view, serving, w); ok {
-		return d
+	if len(meta.order) < b.cfg.MaxReplicas {
+		if d, ok := b.pol.EvaluateReplication(env, view, serving, w); ok {
+			return d
+		}
 	}
 	if !b.pol.MatureForMigration(rep.createdAt, now) {
 		return viewpolicy.Decision{}
@@ -466,22 +615,24 @@ func (b *Broker) evaluateLocked(now int64, meta *viewMeta, view viewpolicy.ViewS
 // applyDecision carries out a placement change: replica-set membership is
 // committed under the shard lock first, then the view data moves over the
 // network — so a committed replica always fetches fresh data from the WAL
-// on a miss and a concurrent write can never leave it stale.
-func (b *Broker) applyDecision(now int64, user uint32, d viewpolicy.Decision) {
+// on a miss and a concurrent write can never leave it stale. serving is the
+// index of the replica the decision was evaluated against (the migration
+// source). Every applied change is broadcast to peer brokers.
+func (b *Broker) applyDecision(now int64, user uint32, serving int, d viewpolicy.Decision) {
 	switch d.Op {
 	case viewpolicy.OpCreate:
 		b.applyCreate(now, user, d)
 	case viewpolicy.OpMigrate:
-		b.applyMigrate(now, user, d)
+		b.applyMigrate(now, user, serving, d)
 	case viewpolicy.OpRemove:
-		if b.removeReplica(user, int(d.Target)-1) {
+		if b.removeReplica(user, b.serverIdxOf(d.Target)) {
 			b.evicted.Add(1)
 		}
 	}
 }
 
 func (b *Broker) applyCreate(now int64, user uint32, d viewpolicy.Decision) {
-	target := int(d.Target) - 1
+	target := b.serverIdxOf(d.Target)
 	if int(b.load[target].Load()) >= b.capacityOf() {
 		// Full target: the policy admitted the newcomer over the server's
 		// eviction floor, so displace its weakest evictable view (the
@@ -514,23 +665,17 @@ func (b *Broker) applyCreate(now int64, user uint32, d viewpolicy.Decision) {
 		return
 	}
 	b.replicated.Add(1)
+	b.broadcastPlacement(user)
 }
 
-func (b *Broker) applyMigrate(now int64, user uint32, d viewpolicy.Decision) {
-	target := int(d.Target) - 1
+func (b *Broker) applyMigrate(now int64, user uint32, source int, d viewpolicy.Decision) {
+	target := b.serverIdxOf(d.Target)
 	sh := b.shard(user)
 	sh.mu.Lock()
 	meta, ok := sh.views[user]
-	if !ok || meta.reps[target] != nil {
-		sh.mu.Unlock()
-		return
-	}
-	// The migration source is whichever current replica the policy decided
-	// to abandon: the one closest to the broker (it was the serving
-	// replica when the decision was made).
-	view := b.viewStateLocked(meta)
-	source := int(b.topo.ClosestOf(brokerMachine, view.Replicas)) - 1
-	if source < 0 || meta.reps[source] == nil {
+	// The migration source is the replica the policy evaluated — the one
+	// that served the read (local or reported) behind this decision.
+	if !ok || meta.reps[target] != nil || meta.reps[source] == nil {
 		sh.mu.Unlock()
 		return
 	}
@@ -542,12 +687,16 @@ func (b *Broker) applyMigrate(now int64, user uint32, d viewpolicy.Decision) {
 	sh.mu.Unlock()
 
 	_ = b.servers[source].deleteView(user)
+	migrated := true
 	if err := b.servers[target].putView(user, b.currentView(user)); err != nil {
 		// The replica set still names target; reads will refill it from
 		// the WAL once the server is reachable, or drop it as dead.
-		return
+		migrated = false
 	}
-	b.migrated.Add(1)
+	if migrated {
+		b.migrated.Add(1)
+	}
+	b.broadcastPlacement(user)
 }
 
 // evictWeakestOn drops the lowest-utility evictable replica on server idx,
@@ -605,25 +754,32 @@ func (b *Broker) removeReplica(user uint32, idx int) bool {
 	b.load[idx].Add(-1)
 	sh.mu.Unlock()
 	_ = b.servers[idx].deleteView(user)
+	b.broadcastPlacement(user)
 	return true
 }
 
 // dropReplicas removes dead replicas from user's set without contacting
-// their servers (they are unreachable); the last copy is always kept.
+// their servers (they are unreachable); the last copy is always kept. Any
+// broker may do this — the drop is broadcast so peers stop routing reads
+// to the dead replica too.
 func (b *Broker) dropReplicas(user uint32, idxs []int) {
 	sh := b.shard(user)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	changed := false
 	meta, ok := sh.views[user]
-	if !ok {
-		return
-	}
-	for _, idx := range idxs {
-		if len(meta.order) <= 1 || meta.reps[idx] == nil {
-			continue
+	if ok {
+		for _, idx := range idxs {
+			if len(meta.order) <= 1 || meta.reps[idx] == nil {
+				continue
+			}
+			removeLocked(meta, idx)
+			b.load[idx].Add(-1)
+			changed = true
 		}
-		removeLocked(meta, idx)
-		b.load[idx].Add(-1)
+	}
+	sh.mu.Unlock()
+	if changed {
+		b.broadcastPlacement(user)
 	}
 }
 
@@ -692,14 +848,18 @@ func (b *Broker) Read(targets []uint32) ([]View, error) {
 
 // maintainLoop periodically runs the shared policy's maintenance pass, the
 // live-system analogue of the paper's hourly storage management (§3.2).
+// Only the elected leader maintains — followers' thresholds and floors are
+// never consulted because they do not evaluate the policy.
 func (b *Broker) maintainLoop() {
-	defer close(b.done)
+	defer b.loops.Done()
 	ticker := time.NewTicker(b.cfg.PolicyEvery)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
-			b.maintainOnce(time.Now().Unix())
+			if b.IsLeader() {
+				b.maintainOnce(time.Now().Unix())
+			}
 		case <-b.stop:
 			return
 		}
@@ -773,6 +933,21 @@ func (b *Broker) ReplicaCount(user uint32) int {
 		return 1
 	}
 	return len(meta.order)
+}
+
+// ReplicaSet returns the cache-server indices currently holding user's
+// view, in replica-set order (home first), or nil if this broker has no
+// entry for the user yet. In a converged multi-broker cluster every broker
+// returns the same set.
+func (b *Broker) ReplicaSet(user uint32) []int {
+	sh := b.shard(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	meta, ok := sh.views[user]
+	if !ok {
+		return nil
+	}
+	return append([]int(nil), meta.order...)
 }
 
 // BrokerStats summarizes broker activity.
@@ -850,19 +1025,57 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 			out = binary.LittleEndian.AppendUint64(out, uint64(v))
 		}
 		return respStats, out
+	case opPeerHello:
+		sender, err := decodePeerHello(body)
+		if err != nil || int(sender) >= b.nBrokers {
+			return respError, errorBody("bad peer hello")
+		}
+		return respOK, nil
+	case opPlacementDelta:
+		e, _, err := decodePlacementEntry(body)
+		if err != nil {
+			return respError, errorBody("bad placement delta: " + err.Error())
+		}
+		b.applyPlacementEntry(e.user, e.order)
+		return respOK, nil
+	case opPlacementPull:
+		return respPlacement, encodePlacementTable(b.placementEntries())
+	case opAccessReport:
+		sender, reads, writes, err := decodeAccessReport(body)
+		if err != nil || int(sender) >= b.nBrokers || int(sender) == b.selfIdx {
+			return respError, errorBody("bad access report")
+		}
+		b.applyAccessReport(int(sender), reads, writes)
+		return respOK, nil
+	case opSyncWrite:
+		user, seq, at, payload, err := decodeSyncWrite(body)
+		if err != nil {
+			return respError, errorBody("bad sync write")
+		}
+		p := make([]byte, len(payload))
+		copy(p, payload)
+		if err := b.store.ApplyReplicated(wal.Record{Seq: seq, User: user, At: at, Payload: p}); err != nil {
+			return respError, errorBody("replicate write: " + err.Error())
+		}
+		return respOK, nil
 	default:
 		return respError, errorBody("unknown op")
 	}
 }
 
-// Close stops the broker: listener, controller, server connections, and the
-// persistent store.
+// Close stops the broker: listener, controller and sync loops, in-flight
+// peer broadcasts, server and peer connections, and — unless it was handed
+// a shared Store — the persistent store.
 func (b *Broker) Close() error {
 	if b.closed.Swap(true) {
 		return nil
 	}
 	close(b.stop)
-	<-b.done
+	b.loops.Wait()
+	b.bgMu.Lock()
+	b.bgDone = true
+	b.bgMu.Unlock()
+	b.bg.Wait()
 	err := b.ln.Close()
 	b.connMu.Lock()
 	for conn := range b.active {
@@ -873,8 +1086,15 @@ func (b *Broker) Close() error {
 	for _, sc := range b.servers {
 		sc.close()
 	}
-	if cerr := b.store.Close(); err == nil {
-		err = cerr
+	for _, p := range b.peers {
+		if p != nil {
+			p.conn.close()
+		}
+	}
+	if b.ownWAL {
+		if cerr := b.store.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

@@ -49,6 +49,17 @@ const (
 	// Protocol negotiation (v2+).
 	opHello
 	respHello
+	// Broker <-> broker placement sync (multi-broker clusters): liveness
+	// pings doubling as election beacons, replica-set deltas pushed after
+	// every placement change, full-table anti-entropy pulls, access-
+	// statistics reports from follower brokers to the policy leader, and
+	// write replication between per-broker WALs.
+	opPeerHello
+	opPlacementDelta
+	opPlacementPull
+	opAccessReport
+	opSyncWrite
+	respPlacement
 )
 
 // Protocol versions.
@@ -403,6 +414,188 @@ func decodeView(b []byte) (View, []byte, error) {
 		b = b[4+n:]
 	}
 	return v, b, nil
+}
+
+// encodePeerHello builds an opPeerHello body: the sender's index in the
+// cluster-wide broker list, so the receiver can sanity-check membership.
+func encodePeerHello(sender uint32) []byte {
+	return binary.LittleEndian.AppendUint32(nil, sender)
+}
+
+// decodePeerHello parses an opPeerHello body.
+func decodePeerHello(body []byte) (uint32, error) {
+	if len(body) < 4 {
+		return 0, ErrBadFrame
+	}
+	return binary.LittleEndian.Uint32(body[0:4]), nil
+}
+
+// placementEntry is one user's replica set on the wire: the cache-server
+// indices holding its view, in replica-set order (home first). Server
+// indices refer to the cluster-wide ServerAddrs order every broker shares.
+type placementEntry struct {
+	user  uint32
+	order []int
+}
+
+// appendPlacementEntry appends one entry's wire form to buf:
+// uint32(user) | uint16(n) | n × uint16(server index).
+func appendPlacementEntry(buf []byte, user uint32, order []int) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, user)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(order)))
+	for _, idx := range order {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(idx))
+	}
+	return buf
+}
+
+// decodePlacementEntry parses one entry and returns the remaining bytes.
+func decodePlacementEntry(b []byte) (placementEntry, []byte, error) {
+	if len(b) < 6 {
+		return placementEntry{}, nil, ErrBadFrame
+	}
+	e := placementEntry{user: binary.LittleEndian.Uint32(b[0:4])}
+	n := int(binary.LittleEndian.Uint16(b[4:6]))
+	b = b[6:]
+	if len(b) < 2*n {
+		return placementEntry{}, nil, ErrBadFrame
+	}
+	e.order = make([]int, n)
+	for i := range e.order {
+		e.order[i] = int(binary.LittleEndian.Uint16(b[2*i:]))
+	}
+	return e, b[2*n:], nil
+}
+
+// encodePlacementTable builds a respPlacement body: uint32(count) followed
+// by that many placement entries — the anti-entropy snapshot of a broker's
+// whole view table.
+func encodePlacementTable(entries []placementEntry) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(entries)))
+	for _, e := range entries {
+		buf = appendPlacementEntry(buf, e.user, e.order)
+	}
+	return buf
+}
+
+// decodePlacementTable parses a respPlacement body. The count is validated
+// against the smallest possible entry size before any allocation.
+func decodePlacementTable(body []byte) ([]placementEntry, error) {
+	if len(body) < 4 {
+		return nil, ErrBadFrame
+	}
+	count64 := int64(binary.LittleEndian.Uint32(body[0:4]))
+	if count64 > int64(len(body)-4)/6 {
+		return nil, ErrBadFrame
+	}
+	entries := make([]placementEntry, 0, count64)
+	rest := body[4:]
+	for i := int64(0); i < count64; i++ {
+		var e placementEntry
+		var err error
+		e, rest, err = decodePlacementEntry(rest)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// reportRead is one follower-observed read aggregate: count reads of user's
+// view served from the given cache server since the last report.
+type reportRead struct {
+	user   uint32
+	server uint16
+	count  uint32
+}
+
+// reportWrite is one follower-observed write aggregate.
+type reportWrite struct {
+	user  uint32
+	count uint32
+}
+
+// encodeAccessReport builds an opAccessReport body:
+// uint32(sender) | uint32(nReads) | nReads × {user, server, count} |
+// uint32(nWrites) | nWrites × {user, count}.
+func encodeAccessReport(sender uint32, reads []reportRead, writes []reportWrite) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, sender)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(reads)))
+	for _, r := range reads {
+		buf = binary.LittleEndian.AppendUint32(buf, r.user)
+		buf = binary.LittleEndian.AppendUint16(buf, r.server)
+		buf = binary.LittleEndian.AppendUint32(buf, r.count)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(writes)))
+	for _, w := range writes {
+		buf = binary.LittleEndian.AppendUint32(buf, w.user)
+		buf = binary.LittleEndian.AppendUint32(buf, w.count)
+	}
+	return buf
+}
+
+// decodeAccessReport parses an opAccessReport body, validating both counts
+// against the bytes actually present before allocating.
+func decodeAccessReport(body []byte) (sender uint32, reads []reportRead, writes []reportWrite, err error) {
+	if len(body) < 12 {
+		return 0, nil, nil, ErrBadFrame
+	}
+	sender = binary.LittleEndian.Uint32(body[0:4])
+	nReads := int64(binary.LittleEndian.Uint32(body[4:8]))
+	rest := body[8:]
+	if nReads > int64(len(rest))/10 {
+		return 0, nil, nil, ErrBadFrame
+	}
+	reads = make([]reportRead, nReads)
+	for i := range reads {
+		reads[i] = reportRead{
+			user:   binary.LittleEndian.Uint32(rest[0:4]),
+			server: binary.LittleEndian.Uint16(rest[4:6]),
+			count:  binary.LittleEndian.Uint32(rest[6:10]),
+		}
+		rest = rest[10:]
+	}
+	if len(rest) < 4 {
+		return 0, nil, nil, ErrBadFrame
+	}
+	nWrites := int64(binary.LittleEndian.Uint32(rest[0:4]))
+	rest = rest[4:]
+	if nWrites > int64(len(rest))/8 {
+		return 0, nil, nil, ErrBadFrame
+	}
+	writes = make([]reportWrite, nWrites)
+	for i := range writes {
+		writes[i] = reportWrite{
+			user:  binary.LittleEndian.Uint32(rest[0:4]),
+			count: binary.LittleEndian.Uint32(rest[4:8]),
+		}
+		rest = rest[8:]
+	}
+	return sender, reads, writes, nil
+}
+
+// encodeSyncWrite builds an opSyncWrite body: one durably sequenced event
+// being replicated to a peer broker's write-ahead log:
+// uint32(user) | uint64(seq) | uint64(at) | payload.
+func encodeSyncWrite(user uint32, seq uint64, at int64, payload []byte) []byte {
+	buf := make([]byte, 0, 20+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, user)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(at))
+	return append(buf, payload...)
+}
+
+// decodeSyncWrite parses an opSyncWrite body. The payload aliases the frame
+// buffer; callers that retain it must copy.
+func decodeSyncWrite(body []byte) (user uint32, seq uint64, at int64, payload []byte, err error) {
+	if len(body) < 20 {
+		return 0, 0, 0, nil, ErrBadFrame
+	}
+	user = binary.LittleEndian.Uint32(body[0:4])
+	seq = binary.LittleEndian.Uint64(body[4:12])
+	at = int64(binary.LittleEndian.Uint64(body[12:20]))
+	return user, seq, at, body[20:], nil
 }
 
 // errorBody builds a respError payload.

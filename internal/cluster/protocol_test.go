@@ -392,3 +392,93 @@ func FuzzDecodeView(f *testing.F) {
 		}
 	})
 }
+
+func TestPlacementEntryRoundTrip(t *testing.T) {
+	buf := appendPlacementEntry(nil, 42, []int{3, 0, 7})
+	e, rest, err := decodePlacementEntry(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("trailing bytes: %d", len(rest))
+	}
+	if e.user != 42 || len(e.order) != 3 || e.order[0] != 3 || e.order[2] != 7 {
+		t.Errorf("round trip mismatch: %+v", e)
+	}
+	if _, _, err := decodePlacementEntry([]byte{1, 2, 3}); err == nil {
+		t.Error("short entry accepted")
+	}
+	// A count pointing past the body must be rejected, not allocated.
+	bad := appendPlacementEntry(nil, 1, []int{1, 2})[:7]
+	if _, _, err := decodePlacementEntry(bad); err == nil {
+		t.Error("truncated order accepted")
+	}
+}
+
+func TestPlacementTableRoundTrip(t *testing.T) {
+	in := []placementEntry{
+		{user: 1, order: []int{0}},
+		{user: 9, order: []int{2, 1, 3}},
+	}
+	out, err := decodePlacementTable(encodePlacementTable(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1].user != 9 || len(out[1].order) != 3 || out[1].order[1] != 1 {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+	// Hostile count larger than the body can hold.
+	hostile := binary.LittleEndian.AppendUint32(nil, 1<<30)
+	if _, err := decodePlacementTable(hostile); err == nil {
+		t.Error("hostile table count accepted")
+	}
+}
+
+func TestAccessReportRoundTrip(t *testing.T) {
+	reads := []reportRead{{user: 5, server: 2, count: 17}, {user: 6, server: 0, count: 1}}
+	writes := []reportWrite{{user: 5, count: 3}}
+	sender, gotReads, gotWrites, err := decodeAccessReport(encodeAccessReport(2, reads, writes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sender != 2 || len(gotReads) != 2 || len(gotWrites) != 1 {
+		t.Fatalf("round trip mismatch: sender=%d reads=%v writes=%v", sender, gotReads, gotWrites)
+	}
+	if gotReads[0] != reads[0] || gotWrites[0] != writes[0] {
+		t.Errorf("entries mismatch: %+v / %+v", gotReads, gotWrites)
+	}
+	// Empty report round-trips too.
+	if _, r, w, err := decodeAccessReport(encodeAccessReport(0, nil, nil)); err != nil || len(r) != 0 || len(w) != 0 {
+		t.Errorf("empty report: %v %v %v", r, w, err)
+	}
+	// Hostile read count must be rejected before allocation.
+	hostile := binary.LittleEndian.AppendUint32(nil, 0)
+	hostile = binary.LittleEndian.AppendUint32(hostile, 1<<31)
+	hostile = append(hostile, 0, 0, 0, 0)
+	if _, _, _, err := decodeAccessReport(hostile); err == nil {
+		t.Error("hostile report count accepted")
+	}
+}
+
+func TestSyncWriteRoundTrip(t *testing.T) {
+	user, seq, at, payload, err := decodeSyncWrite(encodeSyncWrite(7, 99, -5, []byte("event")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if user != 7 || seq != 99 || at != -5 || string(payload) != "event" {
+		t.Errorf("round trip mismatch: %d %d %d %q", user, seq, at, payload)
+	}
+	if _, _, _, _, err := decodeSyncWrite([]byte("short")); err == nil {
+		t.Error("short sync write accepted")
+	}
+}
+
+func TestPeerHelloRoundTrip(t *testing.T) {
+	sender, err := decodePeerHello(encodePeerHello(3))
+	if err != nil || sender != 3 {
+		t.Errorf("round trip: %d, %v", sender, err)
+	}
+	if _, err := decodePeerHello(nil); err == nil {
+		t.Error("empty hello accepted")
+	}
+}

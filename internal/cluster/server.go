@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // serverShardCount is the number of independently locked view-map shards a
@@ -208,10 +209,13 @@ const serverPoolSize = 4
 
 // serverConn is a pooled set of request/response connections to one cache
 // server: up to serverPoolSize requests proceed in parallel, each holding
-// one connection for its round trip.
+// one connection for its round trip. A non-zero timeout bounds dialing and
+// every round trip — peer-broker connections use one so a hung peer can
+// never stall the liveness/election loop that exists to detect it.
 type serverConn struct {
-	addr string
-	sem  chan struct{}
+	addr    string
+	timeout time.Duration
+	sem     chan struct{}
 
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -220,6 +224,10 @@ type serverConn struct {
 
 func newServerConn(addr string) *serverConn {
 	return &serverConn{addr: addr, sem: make(chan struct{}, serverPoolSize)}
+}
+
+func newServerConnTimeout(addr string, timeout time.Duration) *serverConn {
+	return &serverConn{addr: addr, timeout: timeout, sem: make(chan struct{}, serverPoolSize)}
 }
 
 // get pops an idle connection or dials a fresh one.
@@ -236,7 +244,13 @@ func (c *serverConn) get() (net.Conn, error) {
 }
 
 func (c *serverConn) dial() (net.Conn, error) {
-	conn, err := net.Dial("tcp", c.addr)
+	var conn net.Conn
+	var err error
+	if c.timeout > 0 {
+		conn, err = net.DialTimeout("tcp", c.addr, c.timeout)
+	} else {
+		conn, err = net.Dial("tcp", c.addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", c.addr, err)
 	}
@@ -287,6 +301,9 @@ func (c *serverConn) roundTrip(msgType uint8, body []byte) (uint8, []byte, error
 		if err != nil {
 			return 0, nil, err
 		}
+		if c.timeout > 0 {
+			conn.SetDeadline(time.Now().Add(c.timeout))
+		}
 		if err := writeFrame(conn, msgType, body); err != nil {
 			conn.Close()
 			c.drainIdle()
@@ -297,6 +314,9 @@ func (c *serverConn) roundTrip(msgType uint8, body []byte) (uint8, []byte, error
 			conn.Close()
 			c.drainIdle()
 			continue
+		}
+		if c.timeout > 0 {
+			conn.SetDeadline(time.Time{})
 		}
 		c.put(conn)
 		return respType, respBody, nil

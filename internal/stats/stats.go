@@ -117,6 +117,13 @@ func NewAccessLog(slots int, period int64) (*AccessLog, error) {
 
 // RecordRead notes a read from the given origin at time now.
 func (l *AccessLog) RecordRead(now int64, origin topology.Origin) {
+	l.RecordReads(now, origin, 1)
+}
+
+// RecordReads notes n reads from the given origin at time now — the batch
+// form used when a peer broker's access report folds a sync interval's
+// worth of remote reads into the leader's statistics at once.
+func (l *AccessLog) RecordReads(now int64, origin topology.Origin, n uint32) {
 	r, ok := l.reads[origin]
 	if !ok {
 		// Construction cannot fail: slots/period were validated by
@@ -124,11 +131,15 @@ func (l *AccessLog) RecordRead(now int64, origin topology.Origin) {
 		r, _ = NewRotating(l.slots, l.period)
 		l.reads[origin] = r
 	}
-	r.Add(now, 1)
+	r.Add(now, n)
 }
 
 // RecordWrite notes a write at time now.
 func (l *AccessLog) RecordWrite(now int64) { l.writes.Add(now, 1) }
+
+// RecordWrites notes n writes at time now (the batch form for peer access
+// reports).
+func (l *AccessLog) RecordWrites(now int64, n uint32) { l.writes.Add(now, n) }
 
 // Writes returns the write count over the window ending at now.
 func (l *AccessLog) Writes(now int64) int64 { return l.writes.Total(now) }

@@ -342,22 +342,43 @@ func (t *Topology) MachinesUnderSwitch(sw SwitchID) []MachineID {
 	}
 }
 
+// CommonAncestor returns the closest common ancestor of two machines — the
+// switch where traffic between them converges — and its level. It is the
+// paper's access-point costing primitive (§3.2, Algorithm 2): with a broker
+// in every front-end cluster, the placement policy weighs each broker's
+// reads by how high in the tree they must climb to reach a replica, so the
+// dominant front-end cluster pulls the replica into its own subtree. In the
+// flat topology the only switch is every pair's common ancestor.
+func (t *Topology) CommonAncestor(a, b MachineID) (SwitchID, Level) {
+	if t.shape == ShapeFlat {
+		return t.top, LevelTop
+	}
+	ma, mb := t.machines[a], t.machines[b]
+	switch {
+	case ma.Rack == mb.Rack:
+		return ma.Rack, LevelRack
+	case ma.Inter == mb.Inter:
+		return ma.Inter, LevelIntermediate
+	default:
+		return t.top, LevelTop
+	}
+}
+
 // Distance returns the number of network devices on the path between two
-// machines: 0 on the same host, 1 within a rack, 3 across racks under one
-// intermediate switch, 5 across the top switch. In the flat topology every
+// machines: 0 on the same host, then 1 / 3 / 5 as their common ancestor
+// sits at the rack, intermediate, or top level. In the flat topology every
 // remote pair is at distance 1.
 func (t *Topology) Distance(a, b MachineID) int {
 	if a == b {
 		return 0
 	}
-	ma, mb := t.machines[a], t.machines[b]
 	if t.shape == ShapeFlat {
 		return 1
 	}
-	switch {
-	case ma.Rack == mb.Rack:
+	switch _, level := t.CommonAncestor(a, b); level {
+	case LevelRack:
 		return 1
-	case ma.Inter == mb.Inter:
+	case LevelIntermediate:
 		return 3
 	default:
 		return 5
@@ -395,16 +416,17 @@ func (t *Topology) AppendPathSwitches(dst []SwitchID, a, b MachineID) []SwitchID
 type Origin int32
 
 // OriginOf returns the coarsened origin of an access issued by machine from
-// and observed by server at.
+// and observed by server at: rack-grained when the common ancestor is
+// inside at's intermediate subtree, aggregated per intermediate switch
+// otherwise.
 func (t *Topology) OriginOf(at, from MachineID) Origin {
 	if t.shape == ShapeFlat {
 		return Origin(-1 - int32(from))
 	}
-	ms, mf := t.machines[at], t.machines[from]
-	if ms.Inter == mf.Inter {
-		return Origin(mf.Rack)
+	if _, level := t.CommonAncestor(at, from); level <= LevelIntermediate {
+		return Origin(t.machines[from].Rack)
 	}
-	return Origin(mf.Inter)
+	return Origin(t.machines[from].Inter)
 }
 
 // OriginMachine reports the machine encoded in a flat-topology origin, or

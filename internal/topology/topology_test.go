@@ -387,3 +387,41 @@ func TestNewCustomValidation(t *testing.T) {
 		t.Error("invalid kind accepted")
 	}
 }
+
+func TestCommonAncestor(t *testing.T) {
+	topo, err := NewTree(2, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Machines 0..2 share rack 0 of intermediate 0; machine 3 is in the next
+	// rack of the same intermediate; machine 6 is under the other
+	// intermediate switch.
+	sameRack := []MachineID{1, 2}
+	sw, level := topo.CommonAncestor(sameRack[0], sameRack[1])
+	if level != LevelRack || sw != topo.Machine(1).Rack {
+		t.Errorf("same-rack ancestor = %d at %v, want rack switch", sw, level)
+	}
+	sw, level = topo.CommonAncestor(1, 4)
+	if level != LevelIntermediate || sw != topo.Machine(1).Inter {
+		t.Errorf("same-subtree ancestor = %d at %v, want intermediate", sw, level)
+	}
+	if _, level = topo.CommonAncestor(1, 8); level != LevelTop {
+		t.Errorf("cross-subtree ancestor level = %v, want top", level)
+	}
+	// Distance must agree with the ancestor level: 1 / 3 / 5.
+	for _, tc := range []struct {
+		a, b MachineID
+		want int
+	}{{1, 2, 1}, {1, 4, 3}, {1, 8, 5}, {1, 1, 0}} {
+		if got := topo.Distance(tc.a, tc.b); got != tc.want {
+			t.Errorf("Distance(%d, %d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	flat, err := NewFlat(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw, level := flat.CommonAncestor(0, 3); level != LevelTop || sw != flat.TopSwitch() {
+		t.Errorf("flat ancestor = %d at %v, want the single top switch", sw, level)
+	}
+}

@@ -1,0 +1,73 @@
+package viewpolicy
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExportedSymbolsDocumented is the documentation gate for the two
+// packages whose exported API is the paper's vocabulary: every exported
+// symbol of internal/viewpolicy and internal/topology must carry a doc
+// comment, so the mapping from paper concept (algorithms, origins, the
+// network tree) to code never silently erodes. It runs as part of the
+// ordinary test suite, which makes it a CI gate.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	for _, dir := range []string{".", filepath.Join("..", "topology")} {
+		undocumented := scanUndocumented(t, dir)
+		for _, sym := range undocumented {
+			t.Errorf("%s: exported symbol without doc comment", sym)
+		}
+	}
+}
+
+// scanUndocumented parses the non-test Go files of dir and returns the
+// exported declarations that have no doc comment, as "file:symbol".
+func scanUndocumented(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	var out []string
+	report := func(pos token.Pos, name string) {
+		p := fset.Position(pos)
+		out = append(out, p.Filename+":"+name)
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						report(d.Pos(), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					docless := d.Doc == nil
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && docless && s.Doc == nil && s.Comment == nil {
+								report(s.Pos(), s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							for _, n := range s.Names {
+								if n.IsExported() && docless && s.Doc == nil && s.Comment == nil {
+									report(n.Pos(), n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

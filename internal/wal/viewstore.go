@@ -2,6 +2,7 @@ package wal
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -43,14 +44,32 @@ func OpenViewStore(dir string, viewCap int, opts Options) (*ViewStore, error) {
 	return vs, nil
 }
 
-// apply folds a record into the in-memory view (newest last, capped).
+// apply folds a record into the in-memory view, kept sorted by sequence
+// number and capped. Local appends always arrive in order (fast path);
+// records replicated from peer brokers may arrive out of order and are
+// inserted at their sequence position, so every broker's view of a user
+// converges on the same event list no matter the delivery order. The
+// version only moves forward.
 func (vs *ViewStore) apply(r Record) {
-	view := append(vs.views[r.User], r)
+	view := vs.views[r.User]
+	if n := len(view); n == 0 || view[n-1].Seq < r.Seq {
+		view = append(view, r)
+	} else {
+		i := sort.Search(len(view), func(i int) bool { return view[i].Seq >= r.Seq })
+		if view[i].Seq == r.Seq {
+			return // duplicate delivery
+		}
+		view = append(view, Record{})
+		copy(view[i+1:], view[i:])
+		view[i] = r
+	}
 	if len(view) > vs.viewCap {
 		view = view[len(view)-vs.viewCap:]
 	}
 	vs.views[r.User] = view
-	vs.version[r.User] = r.Seq
+	if r.Seq > vs.version[r.User] {
+		vs.version[r.User] = r.Seq
+	}
 }
 
 // Append durably writes an event and updates the user's view. It returns
@@ -66,6 +85,33 @@ func (vs *ViewStore) Append(user uint32, at int64, payload []byte) (uint64, erro
 	copy(p, payload)
 	vs.apply(Record{Seq: seq, User: user, At: at, Payload: p})
 	return seq, nil
+}
+
+// ApplyReplicated folds in an event that another broker of the cluster
+// already sequenced and persisted, keeping the originator's sequence
+// number so every broker's store converges on the same per-user history.
+// Delivery order does not matter: an event older than the user's current
+// version fills its gap in the view, a duplicate is ignored, and an event
+// older than everything a full capped view retains is dropped (it would be
+// evicted immediately anyway). The record's payload is retained; callers
+// must not reuse it.
+func (vs *ViewStore) ApplyReplicated(r Record) error {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	view := vs.views[r.User]
+	for i := len(view) - 1; i >= 0; i-- {
+		if view[i].Seq == r.Seq {
+			return nil // duplicate delivery (e.g. a retried frame)
+		}
+	}
+	if len(view) >= vs.viewCap && len(view) > 0 && r.Seq < view[0].Seq {
+		return nil
+	}
+	if err := vs.log.AppendRecord(r); err != nil {
+		return err
+	}
+	vs.apply(r)
+	return nil
 }
 
 // View returns a copy of the user's current view (oldest first) and its

@@ -52,6 +52,14 @@ type Options struct {
 	// power failure; the default trusts the OS page cache, which matches
 	// the paper's "persistent store" assumption for a prototype.
 	Sync bool
+	// SeqStride and SeqOffset partition the sequence space between the
+	// writers of a replicated log set: this log mints only sequence
+	// numbers congruent to SeqOffset modulo SeqStride, so the brokers of
+	// a multi-broker cluster never assign the same number to different
+	// events. Zero values mean the dense single-writer space (stride 1,
+	// offset 0).
+	SeqStride uint64
+	SeqOffset uint64
 }
 
 // Log is a segmented append-only log with per-record CRCs.
@@ -72,6 +80,12 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.MaxSegmentBytes <= 0 {
 		opts.MaxSegmentBytes = defaultMaxSeg
 	}
+	if opts.SeqStride == 0 {
+		opts.SeqStride = 1
+	}
+	if opts.SeqOffset >= opts.SeqStride {
+		return nil, fmt.Errorf("wal: sequence offset %d not below stride %d", opts.SeqOffset, opts.SeqStride)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: create dir: %w", err)
 	}
@@ -81,24 +95,46 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	// Find the next sequence number by replaying all records.
-	for _, seg := range segs {
-		if err := l.replaySegment(seg, func(r Record) error {
+	for i, seg := range segs {
+		valid, err := l.replaySegment(seg, func(r Record) error {
 			if r.Seq >= l.nextSeq {
 				l.nextSeq = r.Seq + 1
 			}
 			return nil
-		}); err != nil {
+		})
+		if err != nil {
 			return nil, err
+		}
+		if i == len(segs)-1 {
+			// A crash mid-Append leaves a torn record at the tail of the
+			// newest segment. New appends go to that segment, so the torn
+			// bytes must be cut off first: replay stops at the first bad
+			// record, and anything appended after it would be unreachable.
+			if err := truncateTo(seg, valid); err != nil {
+				return nil, err
+			}
 		}
 		idx := segmentIndex(seg)
 		if idx > l.curIdx {
 			l.curIdx = idx
 		}
 	}
+	l.nextSeq = l.alignSeq(l.nextSeq)
 	if err := l.openCurrent(); err != nil {
 		return nil, err
 	}
 	return l, nil
+}
+
+// alignSeq returns the smallest sequence number >= min that this log may
+// mint (congruent to SeqOffset modulo SeqStride).
+func (l *Log) alignSeq(min uint64) uint64 {
+	stride, offset := l.opts.SeqStride, l.opts.SeqOffset
+	v := min - min%stride + offset
+	if v < min {
+		v += stride
+	}
+	return v
 }
 
 func segmentName(idx int) string {
@@ -153,15 +189,35 @@ func (l *Log) openCurrent() error {
 
 // Append durably records a payload for user and returns its sequence number.
 func (l *Log) Append(user uint32, at int64, payload []byte) (uint64, error) {
-	if len(payload) > maxPayloadSize {
-		return 0, fmt.Errorf("wal: payload of %d bytes exceeds limit", len(payload))
-	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
-		return 0, ErrClosed
-	}
 	seq := l.nextSeq
+	if err := l.appendLocked(Record{Seq: seq, User: user, At: at, Payload: payload}); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// AppendRecord durably records an event that was sequenced elsewhere,
+// keeping its original sequence number — the replication path between the
+// write-ahead logs of a multi-broker cluster. The local sequence counter is
+// advanced past the record's, so local appends never reuse a replicated
+// sequence number.
+func (l *Log) AppendRecord(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(r)
+}
+
+// appendLocked writes one record. Caller holds l.mu.
+func (l *Log) appendLocked(r Record) error {
+	if len(r.Payload) > maxPayloadSize {
+		return fmt.Errorf("wal: payload of %d bytes exceeds limit", len(r.Payload))
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	seq, user, at, payload := r.Seq, r.User, r.At, r.Payload
 	buf := make([]byte, headerSize+len(payload))
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(buf[8:16], seq)
@@ -171,21 +227,23 @@ func (l *Log) Append(user uint32, at int64, payload []byte) (uint64, error) {
 	crc := crc32.ChecksumIEEE(buf[4:])
 	binary.LittleEndian.PutUint32(buf[0:4], crc)
 	if _, err := l.cur.Write(buf); err != nil {
-		return 0, fmt.Errorf("wal: append: %w", err)
+		return fmt.Errorf("wal: append: %w", err)
 	}
 	if l.opts.Sync {
 		if err := l.cur.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: sync: %w", err)
+			return fmt.Errorf("wal: sync: %w", err)
 		}
 	}
 	l.curSize += int64(len(buf))
-	l.nextSeq++
+	if next := l.alignSeq(seq + 1); next > l.nextSeq {
+		l.nextSeq = next
+	}
 	if l.curSize >= l.opts.MaxSegmentBytes {
 		if err := l.rotateLocked(); err != nil {
-			return 0, err
+			return err
 		}
 	}
-	return seq, nil
+	return nil
 }
 
 func (l *Log) rotateLocked() error {
@@ -205,7 +263,7 @@ func (l *Log) Replay(fn func(Record) error) error {
 		return err
 	}
 	for _, seg := range segs {
-		if err := l.replaySegment(seg, fn); err != nil {
+		if _, err := l.replaySegment(seg, fn); err != nil {
 			return err
 		}
 	}
@@ -213,37 +271,39 @@ func (l *Log) Replay(fn func(Record) error) error {
 }
 
 // replaySegment reads records until EOF; a torn or corrupt trailing record
-// stops the replay of that segment without error (it is truncated on the
-// next rotation), matching standard WAL recovery semantics.
-func (l *Log) replaySegment(path string, fn func(Record) error) error {
+// stops the replay of that segment without error, matching standard WAL
+// recovery semantics. It returns the byte length of the valid record prefix,
+// so Open can truncate a torn tail off the newest segment before appending.
+func (l *Log) replaySegment(path string, fn func(Record) error) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("wal: open for replay: %w", err)
+		return 0, fmt.Errorf("wal: open for replay: %w", err)
 	}
 	defer f.Close()
+	var valid int64
 	header := make([]byte, headerSize)
 	for {
 		if _, err := io.ReadFull(f, header); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil
+				return valid, nil
 			}
-			return fmt.Errorf("wal: read header: %w", err)
+			return valid, fmt.Errorf("wal: read header: %w", err)
 		}
 		wantCRC := binary.LittleEndian.Uint32(header[0:4])
 		size := binary.LittleEndian.Uint32(header[4:8])
 		if size > maxPayloadSize {
-			return nil // corrupt length: treat as torn tail
+			return valid, nil // corrupt length: treat as torn tail
 		}
 		payload := make([]byte, size)
 		if _, err := io.ReadFull(f, payload); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil
+				return valid, nil
 			}
-			return fmt.Errorf("wal: read payload: %w", err)
+			return valid, fmt.Errorf("wal: read payload: %w", err)
 		}
 		crc := crc32.ChecksumIEEE(append(append([]byte{}, header[4:]...), payload...))
 		if crc != wantCRC {
-			return nil // torn tail
+			return valid, nil // torn tail
 		}
 		rec := Record{
 			Seq:     binary.LittleEndian.Uint64(header[8:16]),
@@ -252,9 +312,26 @@ func (l *Log) replaySegment(path string, fn func(Record) error) error {
 			Payload: payload,
 		}
 		if err := fn(rec); err != nil {
-			return err
+			return valid, err
 		}
+		valid += int64(headerSize) + int64(size)
 	}
+}
+
+// truncateTo cuts a segment file down to its valid record prefix. A no-op
+// when the file already ends at a record boundary.
+func truncateTo(path string, valid int64) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("wal: stat for truncation: %w", err)
+	}
+	if st.Size() <= valid {
+		return nil
+	}
+	if err := os.Truncate(path, valid); err != nil {
+		return fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	return nil
 }
 
 // NextSeq returns the sequence number the next append will get.

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -151,6 +152,202 @@ func TestTornTailIgnored(t *testing.T) {
 	}
 	if count != 5 {
 		t.Errorf("replayed %d, want 5 (torn tail dropped)", count)
+	}
+}
+
+// TestTornFinalRecordThenAppend is the crash-mid-Append scenario: the
+// newest segment ends in a torn record. Open must truncate the torn tail so
+// records appended after the restart are replayable — without truncation
+// they would sit behind the torn bytes, where replay never reaches them.
+func TestTornFinalRecordThenAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(1, 0, []byte("pre-crash")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: a half-written record at the tail (a valid-looking
+	// header promising more payload than was flushed).
+	path := filepath.Join(dir, segmentName(0))
+	torn := make([]byte, headerSize+2)
+	binary.LittleEndian.PutUint32(torn[4:8], 100) // claims 100 payload bytes
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Recovery: the torn tail is dropped, sequencing continues, and a
+	// post-crash append is visible to replay.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.NextSeq(); got != 3 {
+		t.Errorf("NextSeq after torn-tail recovery = %d, want 3", got)
+	}
+	if _, err := l2.Append(1, 0, []byte("post-crash")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	var got []string
+	if err := l3.Replay(func(r Record) error {
+		got = append(got, string(r.Payload))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3] != "post-crash" {
+		t.Fatalf("replayed %q, want 3 pre-crash records then post-crash", got)
+	}
+}
+
+func TestAppendRecordPreservesSequence(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.AppendRecord(Record{Seq: 7, User: 1, At: 2, Payload: []byte("replicated")}); err != nil {
+		t.Fatal(err)
+	}
+	// Local sequencing must jump past the replicated record.
+	seq, err := l.Append(2, 0, []byte("local"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 8 {
+		t.Errorf("local seq after replicated 7 = %d, want 8", seq)
+	}
+	var seqs []uint64
+	if err := l.Replay(func(r Record) error {
+		seqs = append(seqs, r.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 7 || seqs[1] != 8 {
+		t.Errorf("replayed seqs = %v, want [7 8]", seqs)
+	}
+}
+
+func TestViewStoreApplyReplicatedOutOfOrder(t *testing.T) {
+	dir := t.TempDir()
+	vs, err := OpenViewStore(dir, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Seq: 5, User: 9, At: 1, Payload: []byte("second")}
+	if err := vs.ApplyReplicated(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.ApplyReplicated(rec); err != nil { // duplicate delivery
+		t.Fatal(err)
+	}
+	view, ver := vs.View(9)
+	if len(view) != 1 || ver != 5 {
+		t.Fatalf("after duplicate apply: %d events at version %d, want 1 at 5", len(view), ver)
+	}
+	// An event delivered late fills its gap in sequence order instead of
+	// being dropped; the version never regresses.
+	if err := vs.ApplyReplicated(Record{Seq: 3, User: 9, At: 0, Payload: []byte("first")}); err != nil {
+		t.Fatal(err)
+	}
+	view, ver = vs.View(9)
+	if len(view) != 2 || ver != 5 {
+		t.Fatalf("after late apply: %d events at version %d, want 2 at 5", len(view), ver)
+	}
+	if string(view[0].Payload) != "first" || string(view[1].Payload) != "second" {
+		t.Errorf("events out of sequence order: %q, %q", view[0].Payload, view[1].Payload)
+	}
+	if err := vs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The replicated events survive restart with their original sequences
+	// and order, even though the log holds them in arrival order.
+	vs2, err := OpenViewStore(dir, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vs2.Close()
+	view, ver = vs2.View(9)
+	if len(view) != 2 || ver != 5 || string(view[0].Payload) != "first" {
+		t.Errorf("recovered replicated view = %d events at %d (%q...)", len(view), ver, view[0].Payload)
+	}
+}
+
+func TestSequenceStridePartitionsSeqSpace(t *testing.T) {
+	// Two logs of a two-broker cluster: broker 0 mints even sequence
+	// numbers, broker 1 odd ones — they can never collide.
+	l0, err := Open(t.TempDir(), Options{SeqStride: 2, SeqOffset: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l0.Close()
+	dir1 := t.TempDir()
+	l1, err := Open(dir1, Options{SeqStride: 2, SeqOffset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for i := 0; i < 3; i++ {
+		s0, err := l0.Append(1, 0, []byte("a"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, err := l1.Append(1, 0, []byte("b"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, s0, s1)
+	}
+	want := []uint64{0, 1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleaved seqs = %v, want %v", got, want)
+		}
+	}
+	// Replicating a foreign (even) record advances broker 1 past it but
+	// stays on its own residue class.
+	if err := l1.AppendRecord(Record{Seq: 10, User: 2, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := l1.Append(1, 0, []byte("c")); err != nil || seq != 11 {
+		t.Fatalf("seq after foreign 10 = %d (%v), want 11", seq, err)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The residue class survives reopen.
+	l1b, err := Open(dir1, Options{SeqStride: 2, SeqOffset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l1b.Close()
+	if seq, err := l1b.Append(1, 0, []byte("d")); err != nil || seq != 13 {
+		t.Fatalf("seq after reopen = %d (%v), want 13", seq, err)
+	}
+	// An offset at or above the stride is a config mistake.
+	if _, err := Open(t.TempDir(), Options{SeqStride: 2, SeqOffset: 2}); err == nil {
+		t.Error("offset >= stride accepted")
 	}
 }
 

@@ -1,0 +1,304 @@
+package dynasore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynasore/internal/cluster"
+)
+
+// endpointCooldown is how long a broker endpoint sits out after a
+// connection-level failure before the cluster client retries it.
+const endpointCooldown = time.Second
+
+// ClusterClient is the multi-endpoint network backend of Store: it talks
+// wire protocol v2 to every broker of a multi-broker cluster, spreading
+// reads round-robin across them, pinning each user's writes to a stable
+// broker (the cluster-side write proxy of §3.1, which also keeps one
+// broker sequencing each user's events), and failing over to the next
+// broker when one dies. Use DialCluster to create one.
+type ClusterClient struct {
+	endpoints []*endpoint
+	next      atomic.Uint64
+	batchSize int
+	poolSize  int
+	closed    atomic.Bool
+}
+
+var _ Store = (*ClusterClient)(nil)
+
+// endpoint is one broker address with its lazily dialed v2 client and a
+// cooldown after connection failures. The mutex is never held across a
+// dial: a slow or blackholed broker must not block the requests that
+// round-robin onto this endpoint — they see "dial in progress" and fail
+// over to the next broker immediately.
+type endpoint struct {
+	addr string
+
+	mu        sync.Mutex
+	c         *cluster.ClientV2
+	dialing   bool
+	closed    bool
+	downUntil time.Time
+}
+
+// DialCluster connects to a multi-broker cluster (brokers started with
+// matching BrokerConfig.Peers, or any set of brokers sharing cache servers
+// and placement state). At least one broker must be reachable; the rest
+// are dialed lazily and retried after failures, so brokers may come and go
+// while the client lives. DialOptions apply as in Dial.
+func DialCluster(ctx context.Context, addrs []string, opts ...DialOption) (*ClusterClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("dynasore: DialCluster needs at least one broker address")
+	}
+	cfg := dialConfig{batchSize: 256}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	c := &ClusterClient{batchSize: cfg.batchSize, poolSize: cfg.poolSize}
+	for _, addr := range addrs {
+		c.endpoints = append(c.endpoints, &endpoint{addr: addr})
+	}
+	// Eager dials run concurrently: one blackholed broker must not delay
+	// connecting to the reachable ones.
+	errs := make([]error, len(c.endpoints))
+	var wg sync.WaitGroup
+	for i, ep := range c.endpoints {
+		wg.Add(1)
+		go func(i int, ep *endpoint) {
+			defer wg.Done()
+			_, errs[i] = ep.client(ctx, cfg.poolSize)
+		}(i, ep)
+	}
+	wg.Wait()
+	var firstErr error
+	ok := false
+	for _, err := range errs {
+		if err == nil {
+			ok = true
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("dynasore: no broker reachable: %w", firstErr)
+	}
+	return c, nil
+}
+
+// client returns the endpoint's connection, dialing it if needed. A broker
+// in cooldown after a recent failure, or with a dial already in flight, is
+// reported unreachable without blocking — callers fail over instead of
+// queueing behind a slow dial.
+func (e *endpoint) client(ctx context.Context, poolSize int) (*cluster.ClientV2, error) {
+	e.mu.Lock()
+	if e.c != nil {
+		c := e.c
+		e.mu.Unlock()
+		return c, nil
+	}
+	if e.dialing {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("dynasore: broker %s dial in progress", e.addr)
+	}
+	if time.Now().Before(e.downUntil) {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("dynasore: broker %s cooling down after failure", e.addr)
+	}
+	e.dialing = true
+	e.mu.Unlock()
+
+	c, err := cluster.DialV2(ctx, e.addr, poolSize)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.dialing = false
+	if err != nil {
+		e.downUntil = time.Now().Add(endpointCooldown)
+		return nil, err
+	}
+	if e.closed {
+		// The cluster client was closed while this dial was in flight.
+		c.Close()
+		return nil, errors.New("dynasore: cluster client is closed")
+	}
+	e.c = c
+	return c, nil
+}
+
+// fail drops the endpoint's connection after a transport error and starts
+// its cooldown.
+func (e *endpoint) fail() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.c != nil {
+		e.c.Close()
+		e.c = nil
+	}
+	e.downUntil = time.Now().Add(endpointCooldown)
+}
+
+// failover reports whether an error means "try the next broker": transport
+// and connection errors do, application-level errors relayed by a live
+// broker (cluster.ErrRemote) do not.
+func failover(err error) bool {
+	return err != nil && !errors.Is(err, cluster.ErrRemote)
+}
+
+// try runs op against up to len(endpoints) brokers, starting at start and
+// failing over on transport errors.
+func (c *ClusterClient) try(ctx context.Context, start int, op func(*cluster.ClientV2) error) error {
+	if c.closed.Load() {
+		return errors.New("dynasore: cluster client is closed")
+	}
+	var lastErr error
+	n := len(c.endpoints)
+	for i := 0; i < n; i++ {
+		ep := c.endpoints[(start+i)%n]
+		cl, err := ep.client(ctx, c.poolSize)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = op(cl)
+		if err == nil {
+			return nil
+		}
+		if !failover(err) || ctx.Err() != nil {
+			return err
+		}
+		ep.fail()
+		lastErr = err
+	}
+	return fmt.Errorf("dynasore: all %d brokers failed: %w", n, lastErr)
+}
+
+// readChunk fetches one batch of views through any available broker.
+func (c *ClusterClient) readChunk(ctx context.Context, targets []uint32) ([]View, error) {
+	var out []View
+	start := int(c.next.Add(1)) % len(c.endpoints)
+	err := c.try(ctx, start, func(cl *cluster.ClientV2) error {
+		views, err := cl.Read(ctx, targets)
+		if err != nil {
+			return err
+		}
+		out = fromClusterViews(views)
+		return nil
+	})
+	return out, err
+}
+
+// Read fetches the views of every user in targets, in order. Each call is
+// served by the next broker round-robin; target lists larger than the read
+// batch size are split into concurrent chunks, so one big feed read spreads
+// across the whole broker tier.
+func (c *ClusterClient) Read(ctx context.Context, targets []uint32) ([]View, error) {
+	if len(targets) == 0 {
+		return []View{}, nil
+	}
+	if c.batchSize <= 0 || len(targets) <= c.batchSize {
+		return c.readChunk(ctx, targets)
+	}
+	out := make([]View, len(targets))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for start := 0; start < len(targets); start += c.batchSize {
+		end := min(start+c.batchSize, len(targets))
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			views, err := c.readChunk(ctx, targets[start:end])
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			copy(out[start:end], views)
+		}(start, end)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Write appends payload to user's view and returns its sequence number.
+// Writes for one user prefer one stable broker (hash affinity), so that
+// broker sequences the user's events in its WAL; on its death the write
+// fails over to the next broker.
+func (c *ClusterClient) Write(ctx context.Context, user uint32, payload []byte) (uint64, error) {
+	var seq uint64
+	start := int(user*2654435761>>16) % len(c.endpoints)
+	err := c.try(ctx, start, func(cl *cluster.ClientV2) error {
+		var err error
+		seq, err = cl.Write(ctx, user, payload)
+		return err
+	})
+	return seq, err
+}
+
+// Stats sums the counters of every reachable broker — cluster-wide
+// activity rather than one broker's. It fails only when no broker
+// responds.
+func (c *ClusterClient) Stats(ctx context.Context) (Stats, error) {
+	if c.closed.Load() {
+		return Stats{}, errors.New("dynasore: cluster client is closed")
+	}
+	var sum Stats
+	var lastErr error
+	ok := false
+	for _, ep := range c.endpoints {
+		cl, err := ep.client(ctx, c.poolSize)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		st, err := cl.Stats(ctx)
+		if err != nil {
+			if failover(err) {
+				ep.fail()
+			}
+			lastErr = err
+			continue
+		}
+		ok = true
+		sum.Reads += st.Reads
+		sum.Writes += st.Writes
+		sum.Replicated += st.Replicated
+		sum.Evicted += st.Evicted
+		sum.Migrated += st.Migrated
+		sum.Misses += st.Misses
+	}
+	if !ok {
+		return Stats{}, fmt.Errorf("dynasore: no broker answered stats: %w", lastErr)
+	}
+	return sum, nil
+}
+
+// Close closes every broker connection; in-flight requests fail.
+func (c *ClusterClient) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for _, ep := range c.endpoints {
+		ep.mu.Lock()
+		ep.closed = true
+		if ep.c != nil {
+			ep.c.Close()
+			ep.c = nil
+		}
+		ep.mu.Unlock()
+	}
+	return nil
+}

@@ -1,10 +1,45 @@
 package dynasore
 
 import (
+	"net"
 	"time"
 
 	"dynasore/internal/cluster"
+	"dynasore/internal/wal"
 )
+
+// PersistentStore is the WAL-backed durable view store brokers write
+// through (§3.3). Open one explicitly only to share it between several
+// in-process brokers of a multi-broker cluster; a standalone broker opens
+// its own from BrokerConfig.DataDir.
+type PersistentStore struct {
+	vs *wal.ViewStore
+}
+
+// OpenStore opens (or recovers) a persistent store in dir, keeping up to
+// viewCap events per user view (default 64).
+func OpenStore(dir string, viewCap int) (*PersistentStore, error) {
+	vs, err := wal.OpenViewStore(dir, viewCap, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &PersistentStore{vs: vs}, nil
+}
+
+// Users returns the number of users with at least one durable event.
+func (s *PersistentStore) Users() int { return s.vs.Users() }
+
+// Close closes the underlying write-ahead log. Close the brokers sharing
+// the store first.
+func (s *PersistentStore) Close() error { return s.vs.Close() }
+
+// BrokerPeer identifies one broker of a multi-broker cluster: the address
+// its peers dial it on and its position in the datacenter tree — the
+// paper's broker-per-front-end-cluster anchoring.
+type BrokerPeer struct {
+	Addr string
+	Pos  Position
+}
 
 // CacheServer is one standalone in-memory cache node, holding view replicas
 // for brokers. Views live only in memory — durability is the broker's
@@ -36,6 +71,10 @@ func (s *CacheServer) Close() error { return s.s.Close() }
 type BrokerConfig struct {
 	// Addr is the client-facing listen address ("127.0.0.1:0" for tests).
 	Addr string
+	// Listener, when non-nil, is used instead of listening on Addr — so an
+	// embedding process can reserve the ports of a whole broker cluster
+	// (and build its Peers list) before starting any of its brokers.
+	Listener net.Listener
 	// CacheServerAddrs lists the cache servers, in a fixed cluster-wide
 	// order.
 	CacheServerAddrs []string
@@ -62,19 +101,46 @@ type BrokerConfig struct {
 	// ServerCapacity bounds how many views the policy places on one cache
 	// server (0 = unbounded).
 	ServerCapacity int
+	// Peers lists every broker of a multi-broker cluster — including this
+	// one — in a fixed cluster-wide order shared by all brokers; Peers[Self]
+	// describes this broker. Empty means a single-broker cluster. The
+	// brokers keep their placement tables converged over a peer-sync
+	// protocol and elect the smallest-position peer to run the placement
+	// policy over the whole cluster's traffic.
+	Peers []BrokerPeer
+	// Self is this broker's index in Peers.
+	Self int
+	// SyncEvery is the interval of the peer-sync pass (default 1s).
+	SyncEvery time.Duration
+	// Store, when non-nil, is a shared in-process persistent store used
+	// instead of DataDir; the broker does not close it. Without it, each
+	// broker of a multi-broker cluster keeps its own WAL and writes are
+	// replicated between the logs.
+	Store *PersistentStore
 }
 
 // Broker is one standalone broker node: it serves the Read/Write API to v1
 // and v2 clients, persists writes to its WAL, and drives replica placement
-// across its cache servers with the shared DynaSoRe policy (§3).
+// across its cache servers with the shared DynaSoRe policy (§3). In a
+// multi-broker cluster (Peers) it additionally pings its peers, takes part
+// in leader election, and keeps its placement table synced.
 type Broker struct {
 	b *cluster.Broker
 }
 
 // ListenBroker starts a broker node.
 func ListenBroker(cfg BrokerConfig) (*Broker, error) {
+	var store *wal.ViewStore
+	if cfg.Store != nil {
+		store = cfg.Store.vs
+	}
+	peers := make([]cluster.PeerInfo, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		peers[i] = cluster.PeerInfo{Addr: p.Addr, Pos: cluster.Position(p.Pos)}
+	}
 	b, err := cluster.NewBroker(cluster.BrokerConfig{
 		Addr:           cfg.Addr,
+		Listener:       cfg.Listener,
 		ServerAddrs:    cfg.CacheServerAddrs,
 		DataDir:        cfg.DataDir,
 		ViewCap:        cfg.ViewCap,
@@ -84,6 +150,10 @@ func ListenBroker(cfg BrokerConfig) (*Broker, error) {
 		PolicyEvery:    cfg.PolicyEvery,
 		Policy:         cfg.Policy.toCluster(),
 		ServerCapacity: cfg.ServerCapacity,
+		Peers:          peers,
+		Self:           cfg.Self,
+		SyncEvery:      cfg.SyncEvery,
+		Store:          store,
 	})
 	if err != nil {
 		return nil, err
@@ -97,5 +167,19 @@ func (b *Broker) Addr() string { return b.b.Addr() }
 // ReplicaCount returns the current replication degree of user's view.
 func (b *Broker) ReplicaCount(user uint32) int { return b.b.ReplicaCount(user) }
 
-// Close stops the broker, its server connections, and the persistent store.
+// ReplicaSet returns the cache-server indices currently holding user's
+// view (home first), as observed by this broker. In a converged
+// multi-broker cluster every broker returns the same set.
+func (b *Broker) ReplicaSet(user uint32) []int { return b.b.ReplicaSet(user) }
+
+// IsLeader reports whether this broker currently runs the placement policy
+// for its cluster. A single-broker cluster is always its own leader.
+func (b *Broker) IsLeader() bool { return b.b.IsLeader() }
+
+// Leader returns the index (in BrokerConfig.Peers) of the broker this node
+// currently considers the placement-policy leader.
+func (b *Broker) Leader() int { return b.b.Leader() }
+
+// Close stops the broker, its server and peer connections, and — unless it
+// was handed a shared Store — the persistent store.
 func (b *Broker) Close() error { return b.b.Close() }
