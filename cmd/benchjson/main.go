@@ -1,0 +1,150 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON array, so CI can archive benchmark numbers as an
+// artifact and a perf trajectory can be assembled across commits.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH.json
+//	benchjson -o BENCH.json bench-output.txt
+//
+// Every line of the form
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   3 allocs/op   31.52 MB/s
+//
+// becomes one JSON object; unrecognized lines are ignored. Values carry
+// whatever precision the tool printed (ns/op can be fractional).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Package is the Go package the benchmark belongs to, when the input
+	// contains `pkg:` headers (as `go test ./...` output does).
+	Package string `json:"package,omitempty"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline latency in nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// MBPerS is present for benchmarks that call b.SetBytes.
+	MBPerS *float64 `json:"mb_per_s,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans benchmark output, keeping track of `pkg:` headers to
+// attribute each benchmark to its package.
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if res, ok := parseLine(line, pkg); ok {
+			results = append(results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// An empty run should still produce a valid JSON array, not "null".
+	if results == nil {
+		results = []Result{}
+	}
+	return results, nil
+}
+
+// parseLine parses one benchmark result line; ok is false for anything
+// that is not one.
+func parseLine(line, pkg string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Package: pkg, Iterations: iters, NsPerOp: -1}
+	// The rest of the line is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			b := v
+			res.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			res.AllocsPerOp = &a
+		case "MB/s":
+			m := v
+			res.MBPerS = &m
+		}
+	}
+	if res.NsPerOp < 0 {
+		return Result{}, false
+	}
+	return res, true
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `
+goos: linux
+goarch: amd64
+pkg: dynasore/internal/wal
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAppend              	  270684	      4420 ns/op	  31.67 MB/s
+BenchmarkAppendGroupCommit64 	     200	      6902.5 ns/op	  20.28 MB/s
+BenchmarkViewStoreAppend-8   	  215844	      5169 ns/op	     561 B/op	       5 allocs/op
+PASS
+ok  	dynasore/internal/wal	3.337s
+pkg: dynasore/internal/cluster
+BenchmarkServerParallelGet-8 	 3798940	       315.2 ns/op	      24 B/op	       1 allocs/op
+--- FAIL: BenchmarkBroken
+`
+	results, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(results), results)
+	}
+	first := results[0]
+	if first.Name != "BenchmarkAppend" || first.Package != "dynasore/internal/wal" ||
+		first.Iterations != 270684 || first.NsPerOp != 4420 {
+		t.Errorf("first result = %+v", first)
+	}
+	if first.MBPerS == nil || *first.MBPerS != 31.67 {
+		t.Errorf("MB/s not captured: %+v", first)
+	}
+	if results[1].NsPerOp != 6902.5 {
+		t.Errorf("fractional ns/op lost: %+v", results[1])
+	}
+	third := results[2]
+	if third.Name != "BenchmarkViewStoreAppend" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", third.Name)
+	}
+	if third.BytesPerOp == nil || *third.BytesPerOp != 561 ||
+		third.AllocsPerOp == nil || *third.AllocsPerOp != 5 {
+		t.Errorf("benchmem fields = %+v", third)
+	}
+	if results[3].Package != "dynasore/internal/cluster" {
+		t.Errorf("pkg header not tracked: %+v", results[3])
+	}
+}
+
+func TestParseEmptyInputIsEmptyArray(t *testing.T) {
+	results, err := parse(strings.NewReader("nothing to see\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results == nil || len(results) != 0 {
+		t.Fatalf("want empty non-nil slice, got %#v", results)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"ok  	dynasore/internal/wal	3.337s",
+		"Benchmark missing iteration count ns/op",
+		"BenchmarkX notanumber 5 ns/op",
+		"BenchmarkX 100 5 seconds", // no ns/op pair
+	} {
+		if res, ok := parseLine(line, ""); ok {
+			t.Errorf("parseLine(%q) accepted: %+v", line, res)
+		}
+	}
+}

@@ -86,8 +86,9 @@ func run(broker string, timeout time.Duration, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("reads=%d writes=%d replicated=%d evicted=%d migrated=%d misses=%d\n",
-			st.Reads, st.Writes, st.Replicated, st.Evicted, st.Migrated, st.Misses)
+		fmt.Printf("reads=%d writes=%d replicated=%d evicted=%d migrated=%d misses=%d checkpoints=%d compacted=%d catchup=%d\n",
+			st.Reads, st.Writes, st.Replicated, st.Evicted, st.Migrated, st.Misses,
+			st.Checkpoints, st.CompactedSegments, st.CatchupRecords)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", args[0])

@@ -27,6 +27,15 @@
 //	    -servers 127.0.0.1:7101,127.0.0.1:7102 -server-pos 0:1,1:1 \
 //	    -peers 127.0.0.1:7000,127.0.0.1:7001 -peers-pos 0:0,1:0 -self 0 \
 //	    -data /tmp/dynasore-b0
+//
+// Durability/recovery: -checkpoint-every snapshots the persistent store so
+// a restart replays only the WAL tail, and -compact deletes WAL segments a
+// checkpoint fully covers. A restarted broker of a multi-broker cluster
+// additionally pulls the records it missed from its peers (per-origin
+// catch-up) without waiting for new writes:
+//
+//	dynasore-node -role broker ... -data /tmp/dynasore-b0 \
+//	    -checkpoint-every 30s -compact 4
 package main
 
 import (
@@ -57,6 +66,8 @@ func main() {
 		peersPos    = flag.String("peers-pos", "", "comma-separated zone:rack position per peer broker (required with -peers; identical on every broker)")
 		self        = flag.Int("self", 0, "this broker's index in -peers")
 		syncEvery   = flag.Duration("sync-every", 0, "peer-sync interval: pings, election, placement sync (0: default 1s)")
+		ckptEvery   = flag.Duration("checkpoint-every", 0, "checkpoint the persistent store at this interval so restarts replay only the WAL tail (0: disabled)")
+		compact     = flag.Int("compact", 0, "delete WAL segments once this many are fully covered by a checkpoint (0: keep all; needs -checkpoint-every)")
 	)
 	flag.Parse()
 	if err := run(config{
@@ -64,6 +75,7 @@ func main() {
 		preferred: *preferred, brokerPos: *brokerPos, serverPos: *serverPos,
 		viewCap: *viewCap, policyEvery: *policyEvery, capacity: *capacity,
 		peers: *peersFlag, peersPos: *peersPos, self: *self, syncEvery: *syncEvery,
+		checkpointEvery: *ckptEvery, compactAfter: *compact,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dynasore-node:", err)
 		os.Exit(1)
@@ -80,6 +92,8 @@ type config struct {
 	peers, peersPos              string
 	self                         int
 	syncEvery                    time.Duration
+	checkpointEvery              time.Duration
+	compactAfter                 int
 }
 
 // parsePeers builds the multi-broker peer list from -peers/-peers-pos, or
@@ -192,9 +206,14 @@ func run(c config) error {
 			Peers:            peers,
 			Self:             c.self,
 			SyncEvery:        c.syncEvery,
+			CheckpointEvery:  c.checkpointEvery,
+			CompactAfter:     c.compactAfter,
 		})
 		if err != nil {
 			return err
+		}
+		if from, replayed := b.Recovery(); from {
+			fmt.Printf("recovered from checkpoint, replayed %d WAL records\n", replayed)
 		}
 		if len(peers) > 1 {
 			fmt.Printf("broker %d/%d listening on %s (%d cache servers, leader: broker %d)\n",

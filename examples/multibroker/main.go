@@ -1,11 +1,15 @@
 // Multibroker: the paper's broker-per-front-end-cluster deployment in one
-// process. Three brokers anchored in three zones share four cache servers
-// and one persistent store; a ClusterClient spreads reads across the
-// broker tier and pins each user's writes to a stable broker. The elected
-// leader (smallest position) runs the placement policy over every broker's
+// process. Three brokers anchored in three zones share four cache servers;
+// each broker keeps its own checkpointed write-ahead log, converged by
+// write replication. A ClusterClient spreads reads across the broker tier
+// and pins each user's writes to a stable broker. The elected leader
+// (smallest position) runs the placement policy over every broker's
 // traffic, so a view hammered through the zone-2 broker grows a replica in
-// zone 2 — visible in every broker's placement table. Finally one broker
-// is killed: the client fails over and the survivors re-elect.
+// zone 2 — visible in every broker's placement table. Finally the
+// durability subsystem is put through its paces: one broker is killed,
+// writes continue without it, and on restart it recovers from its parting
+// checkpoint and pulls exactly the records it missed from its peers — no
+// new user writes needed.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"path/filepath"
 	"time"
 
 	"dynasore/pkg/dynasore"
@@ -42,17 +47,13 @@ func run() error {
 	}
 
 	// Reserve the brokers' listeners first so every broker can be given
-	// the full peer list, then share one persistent store between them.
+	// the full peer list. Each broker owns a checkpointed per-broker WAL;
+	// writes replicate between the logs.
 	dir, err := os.MkdirTemp("", "dynasore-multibroker")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	store, err := dynasore.OpenStore(dir, 64)
-	if err != nil {
-		return err
-	}
-	defer store.Close()
 
 	var lns []net.Listener
 	var peers []dynasore.BrokerPeer
@@ -67,19 +68,24 @@ func run() error {
 			Pos:  dynasore.Position{Zone: i, Rack: 0},
 		})
 	}
-	var brokers []*dynasore.Broker
-	var addrs []string
-	for i := range peers {
-		b, err := dynasore.ListenBroker(dynasore.BrokerConfig{
-			Listener:         lns[i],
+	startBroker := func(i int, ln net.Listener) (*dynasore.Broker, error) {
+		return dynasore.ListenBroker(dynasore.BrokerConfig{
+			Listener:         ln,
 			CacheServerAddrs: serverAddrs,
-			Store:            store,
+			DataDir:          filepath.Join(dir, fmt.Sprintf("broker-%d", i)),
 			Placement:        &dynasore.Placement{Broker: peers[i].Pos, Servers: serverPos},
 			Peers:            peers,
 			Self:             i,
 			SyncEvery:        100 * time.Millisecond,
+			CheckpointEvery:  time.Second,
+			CompactAfter:     4,
 			Policy:           dynasore.PolicyConfig{AdmissionEpsilon: 100},
 		})
+	}
+	var brokers []*dynasore.Broker
+	var addrs []string
+	for i := range peers {
+		b, err := startBroker(i, lns[i])
 		if err != nil {
 			return err
 		}
@@ -125,13 +131,16 @@ func run() error {
 	fmt.Printf("replica set of user 1: leader sees %v, zone-2 broker sees %v\n",
 		brokers[0].ReplicaSet(1), brokers[2].ReplicaSet(1))
 
-	// Kill the zone-1 broker. The cluster client fails over; the
-	// survivors re-elect (the leader is still broker 0 here) and serve.
+	// Kill the zone-1 broker — its Close writes a parting checkpoint. The
+	// cluster client fails over; the survivors keep serving, and the
+	// writes below never reach broker 1's log.
 	if err := brokers[1].Close(); err != nil {
 		return err
 	}
-	if _, err := client.Write(ctx, 1, []byte("still writable")); err != nil {
-		return err
+	for i := 0; i < 5; i++ {
+		if _, err := client.Write(ctx, 1, []byte(fmt.Sprintf("written while broker 1 was down #%d", i))); err != nil {
+			return err
+		}
 	}
 	views, err = client.Read(ctx, []uint32{1})
 	if err != nil {
@@ -140,11 +149,39 @@ func run() error {
 	last := views[0].Events[len(views[0].Events)-1]
 	fmt.Printf("after killing a broker: user 1 reads %q through the surviving tier\n", last)
 
-	stats, err := client.Stats(ctx)
+	// Restart broker 1 on its old address and data directory: it loads
+	// its checkpoint instead of replaying the whole WAL, then the catch-up
+	// protocol (per-origin cursor exchange + pulls) delivers the five
+	// writes it missed — with no new user traffic.
+	ln, err := net.Listen("tcp", peers[1].Addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cluster-wide: %d reads, %d writes, %d replicas created\n",
-		stats.Reads, stats.Writes, stats.Replicated)
+	b1, err := startBroker(1, ln)
+	if err != nil {
+		return err
+	}
+	defer b1.Close()
+	fromCkpt, replayed := b1.Recovery()
+	fmt.Printf("broker 1 restarted: from checkpoint=%v, WAL records replayed=%d\n", fromCkpt, replayed)
+
+	direct, err := dynasore.Dial(ctx, b1.Addr())
+	if err != nil {
+		return err
+	}
+	defer direct.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	var st dynasore.Stats
+	for time.Now().Before(deadline) {
+		if st, err = direct.Stats(ctx); err != nil {
+			return err
+		}
+		if st.CatchupRecords >= 5 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("broker 1 caught up: %d missed records pulled from peers, %d checkpoints, %d WAL segments compacted\n",
+		st.CatchupRecords, st.Checkpoints, st.CompactedSegments)
 	return nil
 }

@@ -1,0 +1,107 @@
+package checkpoint
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynasore/internal/wal"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the store's data directory — snapshots live next to the WAL
+	// segments they cover.
+	Dir string
+	// Every is the interval between periodic checkpoints taken by Run;
+	// zero or negative means Run only waits for stop and checkpoints are
+	// taken manually via CheckpointNow.
+	Every time.Duration
+	// CompactAfter is the compaction trigger: after a successful
+	// checkpoint, if at least this many whole WAL segments are fully
+	// covered by it, they are deleted. Zero disables compaction (the log
+	// keeps growing, but restarts still fast-forward from the snapshot).
+	CompactAfter int
+}
+
+// Manager drives the checkpoint lifecycle of one ViewStore: periodic
+// snapshots, compaction of the segments each snapshot covers, and counters
+// for observability. All methods are safe for concurrent use.
+type Manager struct {
+	store *wal.ViewStore
+	opts  Options
+
+	checkpoints atomic.Int64
+	compacted   atomic.Int64
+
+	mu      sync.Mutex // serializes CheckpointNow; guards lastErr
+	lastErr error
+}
+
+// NewManager creates a manager for store; call Run in a goroutine for
+// periodic checkpoints, or CheckpointNow directly.
+func NewManager(store *wal.ViewStore, opts Options) *Manager {
+	return &Manager{store: store, opts: opts}
+}
+
+// Run takes a checkpoint every Options.Every until stop closes. Errors are
+// recorded (LastErr) and the loop keeps going — a transiently full disk
+// must not end checkpointing forever.
+func (m *Manager) Run(stop <-chan struct{}) {
+	if m.opts.Every <= 0 {
+		<-stop
+		return
+	}
+	ticker := time.NewTicker(m.opts.Every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			m.CheckpointNow()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// CheckpointNow snapshots the store, atomically persists the snapshot, and
+// — when compaction is enabled and enough whole segments are covered —
+// drops those segments. It returns the log position the new checkpoint
+// covers.
+func (m *Manager) CheckpointNow() (wal.Pos, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := m.store.Snapshot()
+	if err := Write(m.opts.Dir, snap); err != nil {
+		m.lastErr = err
+		return wal.Pos{}, err
+	}
+	m.checkpoints.Add(1)
+	m.lastErr = nil
+	if m.opts.CompactAfter > 0 {
+		log := m.store.Log()
+		if n, err := log.SegmentsBefore(snap.Pos); err == nil && n >= m.opts.CompactAfter {
+			dropped, err := log.DropBefore(snap.Pos)
+			m.compacted.Add(int64(dropped))
+			if err != nil {
+				m.lastErr = err
+				return snap.Pos, err
+			}
+		}
+	}
+	return snap.Pos, nil
+}
+
+// Checkpoints returns how many checkpoints were successfully written.
+func (m *Manager) Checkpoints() int64 { return m.checkpoints.Load() }
+
+// CompactedSegments returns how many WAL segments compaction has deleted.
+func (m *Manager) CompactedSegments() int64 { return m.compacted.Load() }
+
+// LastErr returns the most recent checkpoint or compaction error, or nil
+// after a fully successful pass.
+func (m *Manager) LastErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastErr
+}

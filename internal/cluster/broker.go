@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynasore/internal/checkpoint"
 	"dynasore/internal/stats"
 	"dynasore/internal/topology"
 	"dynasore/internal/viewpolicy"
@@ -101,6 +102,18 @@ type BrokerConfig struct {
 	// ServerCapacity bounds how many views the policy will place on one
 	// cache server (0 = unbounded).
 	ServerCapacity int
+	// CheckpointEvery enables the durability/recovery subsystem: the
+	// broker periodically snapshots its persistent store (views, versions,
+	// per-origin catch-up cursors) to an atomic checkpoint file in
+	// DataDir, restarts load the checkpoint and replay only the WAL tail,
+	// and a final checkpoint is taken on Close. Zero disables periodic
+	// checkpoints. Only meaningful when the broker owns its WAL (Store is
+	// nil); a shared in-process store is its owner's to checkpoint.
+	CheckpointEvery time.Duration
+	// CompactAfter enables WAL compaction: after a checkpoint, if at
+	// least this many whole WAL segments are fully covered by it, they
+	// are deleted. Zero disables compaction.
+	CompactAfter int
 }
 
 func (c BrokerConfig) withDefaults() BrokerConfig {
@@ -193,10 +206,12 @@ type brokerShard struct {
 // replica-set deltas back, and periodic anti-entropy pulls repair anything
 // a lost delta left behind.
 type Broker struct {
-	cfg     BrokerConfig
-	store   *wal.ViewStore
-	ownWAL  bool // store opened (and closed) by this broker
-	servers []*serverConn
+	cfg      BrokerConfig
+	store    *wal.ViewStore
+	ownWAL   bool // store opened (and closed) by this broker
+	recovery checkpoint.RecoveryInfo
+	ckpt     *checkpoint.Manager // nil unless CheckpointEvery is set
+	servers  []*serverConn
 
 	topo *topology.Topology
 	pol  *viewpolicy.Engine
@@ -244,6 +259,7 @@ type Broker struct {
 	evicted    atomic.Int64
 	migrated   atomic.Int64
 	misses     atomic.Int64
+	catchup    atomic.Int64 // records recovered via opLogPull
 }
 
 // repKey identifies one (user, serving server) aggregate in a pending
@@ -304,12 +320,15 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		return nil, err
 	}
 	store, ownWAL := cfg.Store, false
+	var recovery checkpoint.RecoveryInfo
 	if store == nil {
 		// With per-broker WALs the sequence space is partitioned by broker
 		// index, so no two brokers of the cluster ever mint the same
-		// sequence number for different events.
+		// sequence number for different events. Recovery goes through the
+		// checkpoint subsystem: the latest intact snapshot seeds the store
+		// and only the log tail is replayed.
 		walOpts := wal.Options{SeqStride: uint64(len(peers)), SeqOffset: uint64(selfIdx)}
-		store, err = wal.OpenViewStore(cfg.DataDir, cfg.ViewCap, walOpts)
+		store, recovery, err = checkpoint.OpenViewStore(cfg.DataDir, cfg.ViewCap, walOpts)
 		if err != nil {
 			return nil, fmt.Errorf("open persistent store: %w", err)
 		}
@@ -329,6 +348,7 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		cfg:        cfg,
 		store:      store,
 		ownWAL:     ownWAL,
+		recovery:   recovery,
 		topo:       topo,
 		pol:        viewpolicy.New(topo, cfg.Policy),
 		nBrokers:   len(peers),
@@ -363,6 +383,18 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	for _, addr := range cfg.ServerAddrs {
 		b.servers = append(b.servers, newServerConn(addr))
 	}
+	if ownWAL && cfg.CheckpointEvery > 0 {
+		b.ckpt = checkpoint.NewManager(store, checkpoint.Options{
+			Dir:          cfg.DataDir,
+			Every:        cfg.CheckpointEvery,
+			CompactAfter: cfg.CompactAfter,
+		})
+		b.loops.Add(1)
+		go func() {
+			defer b.loops.Done()
+			b.ckpt.Run(b.stop)
+		}()
+	}
 	b.conns.Add(1)
 	go b.acceptLoop()
 	b.loops.Add(1)
@@ -372,6 +404,14 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		go b.syncLoop()
 	}
 	return b, nil
+}
+
+// Recovery reports how the broker's persistent store came up: whether a
+// checkpoint seeded it and how many WAL records were replayed on top (the
+// whole log without a checkpoint). Brokers sharing an in-process store
+// report an empty recovery — the store's owner recovered it.
+func (b *Broker) Recovery() (fromCheckpoint bool, replayed int) {
+	return b.recovery.FromCheckpoint, b.recovery.Replayed
 }
 
 // Addr returns the broker's client-facing address.
@@ -958,18 +998,31 @@ type BrokerStats struct {
 	Evicted    int64
 	Migrated   int64
 	Misses     int64
+	// Checkpoints and CompactedSegments count the durability subsystem's
+	// snapshots and the WAL segments compaction deleted.
+	Checkpoints       int64
+	CompactedSegments int64
+	// CatchupRecords counts WAL records this broker recovered from peers
+	// via the opLogCursors/opLogPull catch-up protocol.
+	CatchupRecords int64
 }
 
 // Stats returns a snapshot of the broker's counters.
 func (b *Broker) Stats() BrokerStats {
-	return BrokerStats{
-		Reads:      b.reads.Load(),
-		Writes:     b.writes.Load(),
-		Replicated: b.replicated.Load(),
-		Evicted:    b.evicted.Load(),
-		Migrated:   b.migrated.Load(),
-		Misses:     b.misses.Load(),
+	st := BrokerStats{
+		Reads:          b.reads.Load(),
+		Writes:         b.writes.Load(),
+		Replicated:     b.replicated.Load(),
+		Evicted:        b.evicted.Load(),
+		Migrated:       b.migrated.Load(),
+		Misses:         b.misses.Load(),
+		CatchupRecords: b.catchup.Load(),
 	}
+	if b.ckpt != nil {
+		st.Checkpoints = b.ckpt.Checkpoints()
+		st.CompactedSegments = b.ckpt.CompactedSegments()
+	}
+	return st
 }
 
 func (b *Broker) acceptLoop() {
@@ -1021,7 +1074,8 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 	case opBrokerStats:
 		st := b.Stats()
 		var out []byte
-		for _, v := range []int64{st.Reads, st.Writes, st.Replicated, st.Evicted, st.Misses, st.Migrated} {
+		for _, v := range []int64{st.Reads, st.Writes, st.Replicated, st.Evicted, st.Misses, st.Migrated,
+			st.Checkpoints, st.CompactedSegments, st.CatchupRecords} {
 			out = binary.LittleEndian.AppendUint64(out, uint64(v))
 		}
 		return respStats, out
@@ -1054,10 +1108,22 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		}
 		p := make([]byte, len(payload))
 		copy(p, payload)
-		if err := b.store.ApplyReplicated(wal.Record{Seq: seq, User: user, At: at, Payload: p}); err != nil {
+		if _, err := b.store.ApplyReplicated(wal.Record{Seq: seq, User: user, At: at, Payload: p}); err != nil {
 			return respError, errorBody("replicate write: " + err.Error())
 		}
 		return respOK, nil
+	case opLogCursors:
+		return respLogCursors, encodeLogCursors(b.store.Cursors())
+	case opLogPull:
+		origin, from, max, err := decodeLogPull(body)
+		if err != nil {
+			return respError, errorBody("bad log pull")
+		}
+		if max == 0 || max > maxPullRecords {
+			max = maxPullRecords
+		}
+		recs := b.store.RecordsAfter(origin, from, int(max), maxPullBytes)
+		return respLogRecords, encodeLogRecords(recs)
 	default:
 		return respError, errorBody("unknown op")
 	}
@@ -1089,6 +1155,13 @@ func (b *Broker) Close() error {
 	for _, p := range b.peers {
 		if p != nil {
 			p.conn.close()
+		}
+	}
+	if b.ckpt != nil {
+		// A parting checkpoint makes the next start a pure snapshot load:
+		// everything appended since the last periodic pass is covered.
+		if _, cerr := b.ckpt.CheckpointNow(); err == nil {
+			err = cerr
 		}
 	}
 	if b.ownWAL {

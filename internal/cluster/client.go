@@ -97,7 +97,10 @@ func (c *Client) Stats() (BrokerStats, error) {
 }
 
 // decodeBrokerStats parses a respStats body shared by both protocol
-// versions. Brokers predating the migration counter send 40-byte stats.
+// versions. Older brokers send shorter bodies — 40 bytes before the
+// migration counter, 48 before the durability counters (checkpoints,
+// compacted segments, catch-up records) — so each tail group is decoded
+// only when present.
 func decodeBrokerStats(respType uint8, body []byte) (BrokerStats, error) {
 	if respType != respStats || len(body) < 40 {
 		return BrokerStats{}, ErrBadFrame
@@ -111,6 +114,11 @@ func decodeBrokerStats(respType uint8, body []byte) (BrokerStats, error) {
 	}
 	if len(body) >= 48 {
 		st.Migrated = int64(binary.LittleEndian.Uint64(body[40:48]))
+	}
+	if len(body) >= 72 {
+		st.Checkpoints = int64(binary.LittleEndian.Uint64(body[48:56]))
+		st.CompactedSegments = int64(binary.LittleEndian.Uint64(body[56:64]))
+		st.CatchupRecords = int64(binary.LittleEndian.Uint64(body[64:72]))
 	}
 	return st, nil
 }

@@ -43,15 +43,27 @@ func peerTimeout(syncEvery time.Duration) time.Duration {
 	return d
 }
 
+// Catch-up tuning: one opLogPull response carries at most maxPullRecords
+// records and roughly maxPullBytes of payload (both well under the frame
+// limit), and one catch-up pass pulls at most maxPullRounds pages per
+// origin — a badly lagging broker converges over several sync rounds
+// instead of stalling one.
+const (
+	maxPullRecords = 512
+	maxPullBytes   = 4 << 20
+	maxPullRounds  = 8
+)
+
 // peerState tracks one remote broker of the cluster: its configuration,
 // a pooled connection, and liveness as observed by this broker.
 type peerState struct {
-	idx     int
-	info    PeerInfo
-	conn    *serverConn
-	alive   atomic.Bool
-	misses  atomic.Int32
-	pinging atomic.Bool
+	idx      int
+	info     PeerInfo
+	conn     *serverConn
+	alive    atomic.Bool
+	misses   atomic.Int32
+	pinging  atomic.Bool
+	catching atomic.Bool
 }
 
 // IsLeader reports whether this broker currently runs the placement
@@ -155,6 +167,9 @@ func (b *Broker) syncOnce() {
 		}(p)
 	}
 	b.elect()
+	if b.ownWAL {
+		b.syncWALs()
+	}
 	if b.IsLeader() {
 		// Anything buffered while following is already in this broker's own
 		// access logs; reporting it to itself would double-count.
@@ -379,17 +394,95 @@ func (b *Broker) broadcastPlacement(user uint32) {
 }
 
 // broadcastSyncWrite replicates one durably sequenced event to every
-// peer's write-ahead log (per-broker WAL mode only). Unlike placement
-// deltas there is no anti-entropy pass behind it yet, so the send is
-// attempted even to peers currently marked dead — a mislabeled but
-// reachable peer must not silently miss history. Events a peer misses
-// during a true outage are absent from its log until the user's next
-// write; reads still serve them from the shared cache tier, and
-// deployments that cannot accept the gap share one store instead
-// (BrokerConfig.Store).
+// peer's write-ahead log (per-broker WAL mode only). The send is attempted
+// even to peers currently marked dead — a mislabeled but reachable peer
+// must not silently miss history. Events a peer misses during a true
+// outage are repaired by the catch-up half of the sync loop (syncWALs):
+// the recovered peer compares per-origin cursors and pulls exactly the
+// records it missed, without waiting for new user writes.
 func (b *Broker) broadcastSyncWrite(user uint32, seq uint64, at int64, payload []byte) {
 	body := encodeSyncWrite(user, seq, at, payload)
 	b.broadcast(true, func(p *peerState) {
 		_, _, _ = p.conn.roundTrip(opSyncWrite, body)
 	})
+}
+
+// syncWALs is the WAL anti-entropy pass of a per-broker-WAL cluster: for
+// every alive peer, compare per-origin applied cursors and pull the
+// records this broker is missing. Each peer's catch-up runs detached (like
+// the pings) so a slow peer never stalls the sync loop, with at most one
+// in flight per peer.
+func (b *Broker) syncWALs() {
+	for _, p := range b.peers {
+		if p == nil || !p.alive.Load() || !p.catching.CompareAndSwap(false, true) {
+			continue
+		}
+		b.bgMu.Lock()
+		if b.bgDone {
+			b.bgMu.Unlock()
+			p.catching.Store(false)
+			return
+		}
+		b.bg.Add(1)
+		b.bgMu.Unlock()
+		go func(p *peerState) {
+			defer b.bg.Done()
+			defer p.catching.Store(false)
+			b.catchUpFrom(p)
+		}(p)
+	}
+}
+
+// catchUpFrom closes this broker's WAL gaps against one peer: fetch the
+// peer's per-origin cursors (exclusive applied high-water marks), and for
+// every origin where the peer is ahead, page through opLogPull until
+// caught up (or the per-pass page budget runs out — the next sync round
+// continues). Pulled records flow through ApplyReplicated, which is
+// idempotent and appends them to this broker's own log; the cursor is
+// advanced past each processed page even when the store declines
+// individual records (below a capped view's floor), so no page is ever
+// re-pulled. An empty page while the peer's cursor is still ahead means
+// the gap fell off the peer's capped views and cannot be recovered from
+// it — the cursor jumps to the peer's mark so the exchange converges
+// instead of re-pulling the unservable gap every round.
+func (b *Broker) catchUpFrom(p *peerState) {
+	respType, body, err := p.conn.roundTrip(opLogCursors, nil)
+	if err != nil || respType != respLogCursors {
+		return
+	}
+	theirs, err := decodeLogCursors(body)
+	if err != nil {
+		return
+	}
+	mine := b.store.Cursors()
+	for origin, peerMark := range theirs {
+		from := mine[origin]
+		for round := 0; from < peerMark && round < maxPullRounds; round++ {
+			respType, body, err := p.conn.roundTrip(opLogPull, encodeLogPull(origin, from, maxPullRecords))
+			if err != nil || respType != respLogRecords {
+				return
+			}
+			recs, err := decodeLogRecords(body)
+			if err != nil {
+				return
+			}
+			if len(recs) == 0 {
+				b.store.AdvanceCursor(origin, peerMark)
+				break
+			}
+			for _, r := range recs {
+				applied, err := b.store.ApplyReplicated(r)
+				if err != nil {
+					return
+				}
+				if applied {
+					// Concurrent catch-up against another peer may already
+					// have delivered this record; count each miss once.
+					b.catchup.Add(1)
+				}
+			}
+			from = recs[len(recs)-1].Seq + 1
+			b.store.AdvanceCursor(origin, from)
+		}
+	}
 }

@@ -24,6 +24,8 @@ import (
 	"net"
 	"slices"
 	"sync"
+
+	"dynasore/internal/wal"
 )
 
 // Message types of the wire protocol, shared by both versions. Values are
@@ -60,6 +62,15 @@ const (
 	opAccessReport
 	opSyncWrite
 	respPlacement
+	// WAL catch-up between per-broker logs (the durability/recovery
+	// subsystem): a broker asks a peer for its per-origin applied
+	// high-water marks, then pulls exactly the records it missed per
+	// origin — so a peer that was down during replication converges
+	// without waiting for new user writes.
+	opLogCursors
+	opLogPull
+	respLogCursors
+	respLogRecords
 )
 
 // Protocol versions.
@@ -596,6 +607,119 @@ func decodeSyncWrite(body []byte) (user uint32, seq uint64, at int64, payload []
 	seq = binary.LittleEndian.Uint64(body[4:12])
 	at = int64(binary.LittleEndian.Uint64(body[12:20]))
 	return user, seq, at, body[20:], nil
+}
+
+// encodeLogCursors builds a respLogCursors body: the responder's
+// per-origin applied cursors (exclusive high-water marks: one past the
+// highest applied sequence number), sorted by origin:
+// uint32(n) | n × { uint64 origin, uint64 cursor }.
+func encodeLogCursors(cursors map[uint64]uint64) []byte {
+	origins := make([]uint64, 0, len(cursors))
+	for o := range cursors {
+		origins = append(origins, o)
+	}
+	slices.Sort(origins)
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(origins)))
+	for _, o := range origins {
+		buf = binary.LittleEndian.AppendUint64(buf, o)
+		buf = binary.LittleEndian.AppendUint64(buf, cursors[o])
+	}
+	return buf
+}
+
+// decodeLogCursors parses a respLogCursors body, validating the count
+// against the bytes present before allocating.
+func decodeLogCursors(body []byte) (map[uint64]uint64, error) {
+	if len(body) < 4 {
+		return nil, ErrBadFrame
+	}
+	n := int64(binary.LittleEndian.Uint32(body[0:4]))
+	rest := body[4:]
+	if n > int64(len(rest))/16 {
+		return nil, ErrBadFrame
+	}
+	cursors := make(map[uint64]uint64, n)
+	for i := int64(0); i < n; i++ {
+		cursors[binary.LittleEndian.Uint64(rest[0:8])] = binary.LittleEndian.Uint64(rest[8:16])
+		rest = rest[16:]
+	}
+	return cursors, nil
+}
+
+// encodeLogPull builds an opLogPull body: "send me up to max of origin's
+// records with sequence numbers at or above the cursor from":
+// uint64(origin) | uint64(from) | uint32(max).
+func encodeLogPull(origin, from uint64, max uint32) []byte {
+	buf := binary.LittleEndian.AppendUint64(nil, origin)
+	buf = binary.LittleEndian.AppendUint64(buf, from)
+	return binary.LittleEndian.AppendUint32(buf, max)
+}
+
+// decodeLogPull parses an opLogPull body.
+func decodeLogPull(body []byte) (origin, from uint64, max uint32, err error) {
+	if len(body) < 20 {
+		return 0, 0, 0, ErrBadFrame
+	}
+	origin = binary.LittleEndian.Uint64(body[0:8])
+	from = binary.LittleEndian.Uint64(body[8:16])
+	max = binary.LittleEndian.Uint32(body[16:20])
+	return origin, from, max, nil
+}
+
+// logRecordOverhead is the fixed wire size of one record in a
+// respLogRecords body, before its payload.
+const logRecordOverhead = 8 + 4 + 8 + 4
+
+// encodeLogRecords builds a respLogRecords body:
+// uint32(n) | n × { uint64 seq, uint32 user, uint64 at, uint32 len, payload }.
+func encodeLogRecords(recs []wal.Record) []byte {
+	size := 4
+	for _, r := range recs {
+		size += logRecordOverhead + len(r.Payload)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
+	for _, r := range recs {
+		buf = binary.LittleEndian.AppendUint64(buf, r.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, r.User)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.At))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Payload)))
+		buf = append(buf, r.Payload...)
+	}
+	return buf
+}
+
+// decodeLogRecords parses a respLogRecords body. Payloads alias the frame
+// buffer, which readFrame allocates per frame — retaining them is safe.
+func decodeLogRecords(body []byte) ([]wal.Record, error) {
+	if len(body) < 4 {
+		return nil, ErrBadFrame
+	}
+	n := int64(binary.LittleEndian.Uint32(body[0:4]))
+	rest := body[4:]
+	if n > int64(len(rest))/logRecordOverhead {
+		return nil, ErrBadFrame
+	}
+	recs := make([]wal.Record, 0, n)
+	for i := int64(0); i < n; i++ {
+		if len(rest) < logRecordOverhead {
+			return nil, ErrBadFrame
+		}
+		r := wal.Record{
+			Seq:  binary.LittleEndian.Uint64(rest[0:8]),
+			User: binary.LittleEndian.Uint32(rest[8:12]),
+			At:   int64(binary.LittleEndian.Uint64(rest[12:20])),
+		}
+		plen := binary.LittleEndian.Uint32(rest[20:24])
+		rest = rest[24:]
+		if plen > maxEventLen || int64(plen) > int64(len(rest)) {
+			return nil, ErrBadFrame
+		}
+		r.Payload = rest[:plen]
+		rest = rest[plen:]
+		recs = append(recs, r)
+	}
+	return recs, nil
 }
 
 // errorBody builds a respError payload.

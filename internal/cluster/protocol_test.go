@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dynasore/internal/wal"
 )
 
 // --- frame-level edge cases ---
@@ -480,5 +482,119 @@ func TestPeerHelloRoundTrip(t *testing.T) {
 	}
 	if _, err := decodePeerHello(nil); err == nil {
 		t.Error("empty hello accepted")
+	}
+}
+
+// TestLogCursorsRoundTrip pushes per-origin cursor maps through the wire
+// form, including the empty map a fresh broker reports.
+func TestLogCursorsRoundTrip(t *testing.T) {
+	for _, cursors := range []map[uint64]uint64{
+		{},
+		{0: 42},
+		{0: 9, 1: 700, 2: 5},
+	} {
+		got, err := decodeLogCursors(encodeLogCursors(cursors))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(cursors) {
+			t.Fatalf("round trip of %v: %v", cursors, got)
+		}
+		for o, seq := range cursors {
+			if got[o] != seq {
+				t.Fatalf("cursor[%d] = %d, want %d", o, got[o], seq)
+			}
+		}
+	}
+	// Hostile counts and short bodies are rejected before allocation.
+	for _, body := range [][]byte{nil, {1, 2}, {0xFF, 0xFF, 0xFF, 0xFF}} {
+		if _, err := decodeLogCursors(body); err == nil {
+			t.Errorf("malformed cursors body %v accepted", body)
+		}
+	}
+}
+
+// TestLogPullRoundTrip covers the pull request codec.
+func TestLogPullRoundTrip(t *testing.T) {
+	origin, after, max, err := decodeLogPull(encodeLogPull(2, 1234, 77))
+	if err != nil || origin != 2 || after != 1234 || max != 77 {
+		t.Fatalf("pull round trip = (%d, %d, %d, %v)", origin, after, max, err)
+	}
+	if _, _, _, err := decodeLogPull([]byte{1, 2, 3}); err == nil {
+		t.Error("short pull body accepted")
+	}
+}
+
+// TestLogRecordsRoundTrip pushes record batches through the wire form.
+func TestLogRecordsRoundTrip(t *testing.T) {
+	recs := []wal.Record{
+		{Seq: 5, User: 1, At: 99, Payload: []byte("hello")},
+		{Seq: 8, User: 2, At: 100, Payload: nil},
+		{Seq: 11, User: 3, At: 101, Payload: bytes.Repeat([]byte("x"), 300)},
+	}
+	got, err := decodeLogRecords(encodeLogRecords(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range recs {
+		g := got[i]
+		if g.Seq != r.Seq || g.User != r.User || g.At != r.At || !bytes.Equal(g.Payload, r.Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, g, r)
+		}
+	}
+	if got, err := decodeLogRecords(encodeLogRecords(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch round trip: %v, %v", got, err)
+	}
+	// A count the body cannot back, and a payload length past the end.
+	for _, body := range [][]byte{
+		nil,
+		{0xFF, 0xFF, 0xFF, 0xFF},
+		func() []byte {
+			b := encodeLogRecords([]wal.Record{{Seq: 1, Payload: []byte("abc")}})
+			return b[:len(b)-2] // truncate the payload
+		}(),
+	} {
+		if _, err := decodeLogRecords(body); err == nil {
+			t.Errorf("malformed records body accepted: %v", body)
+		}
+	}
+}
+
+// TestBrokerStatsDecodeBackCompat pins the wire evolution of respStats:
+// 40-byte (pre-migration), 48-byte (pre-durability), and current 72-byte
+// bodies all decode, newer fields zero when absent.
+func TestBrokerStatsDecodeBackCompat(t *testing.T) {
+	full := make([]byte, 0, 72)
+	for i := int64(1); i <= 9; i++ {
+		full = binary.LittleEndian.AppendUint64(full, uint64(i))
+	}
+	st, err := decodeBrokerStats(respStats, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BrokerStats{Reads: 1, Writes: 2, Replicated: 3, Evicted: 4, Misses: 5, Migrated: 6,
+		Checkpoints: 7, CompactedSegments: 8, CatchupRecords: 9}
+	if st != want {
+		t.Fatalf("full stats = %+v, want %+v", st, want)
+	}
+	st, err = decodeBrokerStats(respStats, full[:48])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Migrated != 6 || st.Checkpoints != 0 || st.CatchupRecords != 0 {
+		t.Fatalf("48-byte stats = %+v, want durability fields zero", st)
+	}
+	st, err = decodeBrokerStats(respStats, full[:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 5 || st.Migrated != 0 {
+		t.Fatalf("40-byte stats = %+v", st)
+	}
+	if _, err := decodeBrokerStats(respStats, full[:30]); err == nil {
+		t.Error("short stats body accepted")
 	}
 }

@@ -10,14 +10,21 @@ import (
 	"testing"
 )
 
-// TestExportedSymbolsDocumented is the documentation gate for the two
-// packages whose exported API is the paper's vocabulary: every exported
-// symbol of internal/viewpolicy and internal/topology must carry a doc
-// comment, so the mapping from paper concept (algorithms, origins, the
-// network tree) to code never silently erodes. It runs as part of the
-// ordinary test suite, which makes it a CI gate.
+// TestExportedSymbolsDocumented is the documentation gate for the
+// packages whose exported API is the paper's (and this repo's) vocabulary:
+// every exported symbol of internal/viewpolicy and internal/topology (the
+// placement brain), internal/wal and internal/checkpoint (the durability
+// subsystem), and the public pkg/dynasore surface must carry a doc
+// comment, so the mapping from concept to code never silently erodes. It
+// runs as part of the ordinary test suite, which makes it a CI gate.
 func TestExportedSymbolsDocumented(t *testing.T) {
-	for _, dir := range []string{".", filepath.Join("..", "topology")} {
+	for _, dir := range []string{
+		".",
+		filepath.Join("..", "topology"),
+		filepath.Join("..", "wal"),
+		filepath.Join("..", "checkpoint"),
+		filepath.Join("..", "..", "pkg", "dynasore"),
+	} {
 		undocumented := scanUndocumented(t, dir)
 		for _, sym := range undocumented {
 			t.Errorf("%s: exported symbol without doc comment", sym)

@@ -20,6 +20,39 @@ func BenchmarkAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkAppendFsyncEach is the durability baseline the group-commit
+// satellite is measured against: one fsync per append (Options.Sync).
+func BenchmarkAppendFsyncEach(b *testing.B) {
+	benchmarkAppendSync(b, Options{Sync: true})
+}
+
+// BenchmarkAppendGroupCommit8 batches fsyncs every 8 appends.
+func BenchmarkAppendGroupCommit8(b *testing.B) {
+	benchmarkAppendSync(b, Options{SyncEvery: 8})
+}
+
+// BenchmarkAppendGroupCommit64 batches fsyncs every 64 appends — the
+// "after" number of the group-commit before/after pair.
+func BenchmarkAppendGroupCommit64(b *testing.B) {
+	benchmarkAppendSync(b, Options{SyncEvery: 64})
+}
+
+func benchmarkAppendSync(b *testing.B, opts Options) {
+	l, err := Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 140)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(uint32(i%1000), int64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkViewStoreAppend measures the full persistent-store write path.
 func BenchmarkViewStoreAppend(b *testing.B) {
 	vs, err := OpenViewStore(b.TempDir(), 64, Options{})

@@ -3,6 +3,11 @@
 // log before the in-memory store is updated, so views can always be rebuilt
 // after a cache-server crash. It plays the role Facebook's persistent store
 // plays behind memcache in the paper's architecture.
+//
+// The log cooperates with the checkpoint subsystem (internal/checkpoint):
+// a ViewStore snapshots its state plus the log position it covers, a later
+// open replays only the records appended after that position, and the
+// segments wholly before it can be dropped (DropBefore).
 package wal
 
 import (
@@ -39,6 +44,7 @@ const (
 	headerSize     = 4 + 4 + 8 + 4 + 8
 	segmentPrefix  = "seg-"
 	segmentSuffix  = ".wal"
+	seqFloorName   = "seqfloor"
 	defaultMaxSeg  = 8 << 20 // 8 MiB
 	maxPayloadSize = 1 << 20 // 1 MiB per event
 )
@@ -52,6 +58,13 @@ type Options struct {
 	// power failure; the default trusts the OS page cache, which matches
 	// the paper's "persistent store" assumption for a prototype.
 	Sync bool
+	// SyncEvery is the group-commit knob: fsync after every SyncEvery-th
+	// append (and always on rotation and Close), so durability costs one
+	// fsync per batch instead of one per append. A positive SyncEvery
+	// overrides Sync; Sync true alone is equivalent to SyncEvery 1. Up to
+	// SyncEvery-1 of the latest appends can be lost on power failure —
+	// the standard group-commit trade.
+	SyncEvery int
 	// SeqStride and SeqOffset partition the sequence space between the
 	// writers of a replicated log set: this log mints only sequence
 	// numbers congruent to SeqOffset modulo SeqStride, so the brokers of
@@ -62,21 +75,67 @@ type Options struct {
 	SeqOffset uint64
 }
 
+// stride returns the normalized sequence stride (0 means 1).
+func (o Options) stride() uint64 {
+	if o.SeqStride == 0 {
+		return 1
+	}
+	return o.SeqStride
+}
+
+// syncEvery returns the normalized group-commit cadence: 0 means no
+// per-append fsync at all, 1 means every append, N means every N-th.
+func (o Options) syncEvery() int {
+	if o.SyncEvery > 0 {
+		return o.SyncEvery
+	}
+	if o.Sync {
+		return 1
+	}
+	return 0
+}
+
+// Pos is a physical position in the log: a segment index and a byte offset
+// within that segment. The log is append-only, so every record at a
+// position before a Pos was appended before every record at or after it —
+// which is what makes a Pos a precise coverage marker for checkpoints even
+// though a multi-origin log is not ordered by sequence number.
+type Pos struct {
+	Seg int
+	Off int64
+}
+
 // Log is a segmented append-only log with per-record CRCs.
 type Log struct {
-	mu      sync.Mutex
-	dir     string
-	opts    Options
-	cur     *os.File
-	curSize int64
-	curIdx  int
-	nextSeq uint64
-	closed  bool
+	mu        sync.Mutex
+	dir       string
+	opts      Options
+	syncEvery int
+	unsynced  int
+	cur       *os.File
+	curSize   int64
+	curIdx    int
+	nextSeq   uint64
+	closed    bool
 }
 
 // Open opens (or creates) a log in dir and scans existing segments to find
 // the next sequence number. Torn trailing records are truncated.
 func Open(dir string, opts Options) (*Log, error) {
+	l, _, err := openScan(dir, opts, Pos{}, 0, nil)
+	return l, err
+}
+
+// openScan opens the log, scanning records from position `from` onward:
+// segments wholly before it are skipped without reading (they are covered
+// by a checkpoint), the segment at from.Seg is read from from.Off, and
+// every later segment is read in full. Each scanned record is passed to fn
+// (which may be nil) and counted. The next sequence number is the largest
+// of the scanned records' successors, minNextSeq (a checkpoint's saved
+// counter), and the on-disk sequence floor left behind by compaction —
+// aligned to the log's sequence partition. A torn record at the tail of
+// the newest segment is truncated so later appends replay cleanly.
+func openScan(dir string, opts Options, from Pos, minNextSeq uint64, fn func(Record)) (*Log, int, error) {
 	if opts.MaxSegmentBytes <= 0 {
 		opts.MaxSegmentBytes = defaultMaxSeg
 	}
@@ -84,26 +143,50 @@ func Open(dir string, opts Options) (*Log, error) {
 		opts.SeqStride = 1
 	}
 	if opts.SeqOffset >= opts.SeqStride {
-		return nil, fmt.Errorf("wal: sequence offset %d not below stride %d", opts.SeqOffset, opts.SeqStride)
+		return nil, 0, fmt.Errorf("wal: sequence offset %d not below stride %d", opts.SeqOffset, opts.SeqStride)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("wal: create dir: %w", err)
+		return nil, 0, fmt.Errorf("wal: create dir: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts, curIdx: -1}
-	segs, err := l.segments()
+	l := &Log{dir: dir, opts: opts, syncEvery: opts.syncEvery(), curIdx: -1}
+	segs, err := segmentsIn(dir)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	// Find the next sequence number by replaying all records.
+	replayed := 0
 	for i, seg := range segs {
-		valid, err := l.replaySegment(seg, func(r Record) error {
+		idx := segmentIndex(seg)
+		if idx > l.curIdx {
+			l.curIdx = idx
+		}
+		if idx < from.Seg {
+			continue // wholly covered by the snapshot that recorded `from`
+		}
+		start := int64(0)
+		if idx == from.Seg {
+			st, err := os.Stat(seg)
+			if err != nil {
+				return nil, 0, fmt.Errorf("wal: stat segment: %w", err)
+			}
+			if st.Size() >= from.Off {
+				start = from.Off
+			}
+			// A segment shorter than the covered prefix lost an unsynced
+			// tail to a crash; rescan it whole — re-applying records a
+			// snapshot already covers is idempotent.
+		}
+		valid, err := replaySegmentFrom(seg, start, func(r Record) error {
 			if r.Seq >= l.nextSeq {
 				l.nextSeq = r.Seq + 1
+			}
+			replayed++
+			if fn != nil {
+				fn(r)
 			}
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if i == len(segs)-1 {
 			// A crash mid-Append leaves a torn record at the tail of the
@@ -111,19 +194,21 @@ func Open(dir string, opts Options) (*Log, error) {
 			// bytes must be cut off first: replay stops at the first bad
 			// record, and anything appended after it would be unreachable.
 			if err := truncateTo(seg, valid); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
-		idx := segmentIndex(seg)
-		if idx > l.curIdx {
-			l.curIdx = idx
-		}
+	}
+	if l.nextSeq < minNextSeq {
+		l.nextSeq = minNextSeq
+	}
+	if floor := readSeqFloor(dir); l.nextSeq < floor {
+		l.nextSeq = floor
 	}
 	l.nextSeq = l.alignSeq(l.nextSeq)
 	if err := l.openCurrent(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return l, nil
+	return l, replayed, nil
 }
 
 // alignSeq returns the smallest sequence number >= min that this log may
@@ -151,9 +236,9 @@ func segmentIndex(path string) int {
 	return idx
 }
 
-// segments lists segment files in index order.
-func (l *Log) segments() ([]string, error) {
-	entries, err := os.ReadDir(l.dir)
+// segmentsIn lists dir's segment files in index order.
+func segmentsIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: read dir: %w", err)
 	}
@@ -161,7 +246,7 @@ func (l *Log) segments() ([]string, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if strings.HasPrefix(name, segmentPrefix) && strings.HasSuffix(name, segmentSuffix) {
-			segs = append(segs, filepath.Join(l.dir, name))
+			segs = append(segs, filepath.Join(dir, name))
 		}
 	}
 	sort.Slice(segs, func(i, j int) bool { return segmentIndex(segs[i]) < segmentIndex(segs[j]) })
@@ -229,9 +314,13 @@ func (l *Log) appendLocked(r Record) error {
 	if _, err := l.cur.Write(buf); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	if l.opts.Sync {
-		if err := l.cur.Sync(); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
+	if l.syncEvery > 0 {
+		l.unsynced++
+		if l.unsynced >= l.syncEvery {
+			if err := l.cur.Sync(); err != nil {
+				return fmt.Errorf("wal: sync: %w", err)
+			}
+			l.unsynced = 0
 		}
 	}
 	l.curSize += int64(len(buf))
@@ -247,6 +336,14 @@ func (l *Log) appendLocked(r Record) error {
 }
 
 func (l *Log) rotateLocked() error {
+	if l.unsynced > 0 {
+		// Group commit must not let a batch span a segment boundary: the
+		// retiring segment is flushed before it is closed.
+		if err := l.cur.Sync(); err != nil {
+			return fmt.Errorf("wal: sync before rotate: %w", err)
+		}
+		l.unsynced = 0
+	}
 	if err := l.cur.Close(); err != nil {
 		return fmt.Errorf("wal: close segment: %w", err)
 	}
@@ -254,33 +351,40 @@ func (l *Log) rotateLocked() error {
 	return l.openCurrent()
 }
 
-// Replay invokes fn for every record in sequence order.
+// Replay invokes fn for every record in append order.
 func (l *Log) Replay(fn func(Record) error) error {
 	l.mu.Lock()
-	segs, err := l.segments()
+	segs, err := segmentsIn(l.dir)
 	l.mu.Unlock()
 	if err != nil {
 		return err
 	}
 	for _, seg := range segs {
-		if _, err := l.replaySegment(seg, fn); err != nil {
+		if _, err := replaySegmentFrom(seg, 0, fn); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// replaySegment reads records until EOF; a torn or corrupt trailing record
-// stops the replay of that segment without error, matching standard WAL
-// recovery semantics. It returns the byte length of the valid record prefix,
-// so Open can truncate a torn tail off the newest segment before appending.
-func (l *Log) replaySegment(path string, fn func(Record) error) (int64, error) {
+// replaySegmentFrom reads records starting at byte offset start until EOF;
+// a torn or corrupt trailing record stops the replay of that segment
+// without error, matching standard WAL recovery semantics. It returns the
+// byte length of the valid record prefix (including the skipped start), so
+// openScan can truncate a torn tail off the newest segment before
+// appending.
+func replaySegmentFrom(path string, start int64, fn func(Record) error) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, fmt.Errorf("wal: open for replay: %w", err)
 	}
 	defer f.Close()
-	var valid int64
+	if start > 0 {
+		if _, err := f.Seek(start, io.SeekStart); err != nil {
+			return 0, fmt.Errorf("wal: seek for replay: %w", err)
+		}
+	}
+	valid := start
 	header := make([]byte, headerSize)
 	for {
 		if _, err := io.ReadFull(f, header); err != nil {
@@ -334,6 +438,120 @@ func truncateTo(path string, valid int64) error {
 	return nil
 }
 
+// Pos returns the log's current append position: the index of the open
+// segment and the byte offset the next record will be written at. Records
+// appended before the call sit entirely before the returned position.
+func (l *Log) Pos() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{Seg: l.curIdx, Off: l.curSize}
+}
+
+// SegmentsBefore counts the whole segments currently on disk before p —
+// the segments a checkpoint recorded at p fully covers and DropBefore
+// would delete.
+func (l *Log) SegmentsBefore(p Pos) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := segmentsIn(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, seg := range segs {
+		if segmentIndex(seg) < p.Seg {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// DropBefore deletes the segments wholly covered by a checkpoint recorded
+// at p (every segment with an index below p.Seg — the open segment is
+// never one of them) and returns how many were removed. Coverage is
+// positional, not sequence-based: a multi-origin log interleaves the
+// brokers' sequence spaces, so file order — not sequence order — is what a
+// snapshot taken at p actually covers. Before anything is deleted the
+// current sequence counter is persisted to a floor file, so a later open
+// that cannot load the checkpoint (e.g. it was itself lost) still never
+// re-mints a sequence number that lived only in a dropped segment.
+func (l *Log) DropBefore(p Pos) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	segs, err := segmentsIn(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	doomed := segs[:0]
+	for _, seg := range segs {
+		if idx := segmentIndex(seg); idx >= 0 && idx < p.Seg {
+			doomed = append(doomed, seg)
+		}
+	}
+	if len(doomed) == 0 {
+		return 0, nil
+	}
+	if err := writeSeqFloor(l.dir, l.nextSeq); err != nil {
+		return 0, err
+	}
+	dropped := 0
+	for _, seg := range doomed {
+		if err := os.Remove(seg); err != nil {
+			return dropped, fmt.Errorf("wal: drop segment: %w", err)
+		}
+		dropped++
+	}
+	return dropped, nil
+}
+
+// seqFloorMagic opens the sequence-floor file left behind by compaction.
+var seqFloorMagic = [4]byte{'D', 'S', 'F', 'L'}
+
+// writeSeqFloor atomically persists the sequence counter floor:
+// magic | uint64(nextSeq) | crc32 of the first 12 bytes.
+func writeSeqFloor(dir string, nextSeq uint64) error {
+	buf := make([]byte, 16)
+	copy(buf[0:4], seqFloorMagic[:])
+	binary.LittleEndian.PutUint64(buf[4:12], nextSeq)
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(buf[:12]))
+	tmp := filepath.Join(dir, seqFloorName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: write seq floor: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write seq floor: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync seq floor: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close seq floor: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, seqFloorName)); err != nil {
+		return fmt.Errorf("wal: install seq floor: %w", err)
+	}
+	return nil
+}
+
+// readSeqFloor loads the compaction-time sequence floor; a missing or
+// corrupt file reads as zero (no floor).
+func readSeqFloor(dir string) uint64 {
+	buf, err := os.ReadFile(filepath.Join(dir, seqFloorName))
+	if err != nil || len(buf) < 16 || [4]byte(buf[0:4]) != seqFloorMagic {
+		return 0
+	}
+	if binary.LittleEndian.Uint32(buf[12:16]) != crc32.ChecksumIEEE(buf[:12]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(buf[4:12])
+}
+
 // NextSeq returns the sequence number the next append will get.
 func (l *Log) NextSeq() uint64 {
 	l.mu.Lock()
@@ -349,6 +567,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.unsynced = 0
 	if err := l.cur.Sync(); err != nil {
 		l.cur.Close()
 		return fmt.Errorf("wal: final sync: %w", err)

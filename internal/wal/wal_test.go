@@ -256,10 +256,10 @@ func TestViewStoreApplyReplicatedOutOfOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := Record{Seq: 5, User: 9, At: 1, Payload: []byte("second")}
-	if err := vs.ApplyReplicated(rec); err != nil {
+	if _, err := vs.ApplyReplicated(rec); err != nil {
 		t.Fatal(err)
 	}
-	if err := vs.ApplyReplicated(rec); err != nil { // duplicate delivery
+	if _, err := vs.ApplyReplicated(rec); err != nil { // duplicate delivery
 		t.Fatal(err)
 	}
 	view, ver := vs.View(9)
@@ -268,7 +268,7 @@ func TestViewStoreApplyReplicatedOutOfOrder(t *testing.T) {
 	}
 	// An event delivered late fills its gap in sequence order instead of
 	// being dropped; the version never regresses.
-	if err := vs.ApplyReplicated(Record{Seq: 3, User: 9, At: 0, Payload: []byte("first")}); err != nil {
+	if _, err := vs.ApplyReplicated(Record{Seq: 3, User: 9, At: 0, Payload: []byte("first")}); err != nil {
 		t.Fatal(err)
 	}
 	view, ver = vs.View(9)
@@ -506,5 +506,309 @@ func TestViewStoreSequencePropertyAcrossUsers(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestGroupCommitSurvivesCloseAndRotate exercises the SyncEvery batching:
+// appends between fsyncs stay buffered (unsynced grows), the batch is
+// flushed on rotation and on Close, and everything is replayable after a
+// reopen.
+func TestGroupCommitSurvivesCloseAndRotate(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncEvery: 4, MaxSegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(1, 0, []byte("batched")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 6 appends with SyncEvery 4: one batch flushed, two records pending.
+	l.mu.Lock()
+	pending := l.unsynced
+	l.mu.Unlock()
+	if pending != 2 {
+		t.Errorf("unsynced after 6 appends at SyncEvery=4: %d, want 2", pending)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{SyncEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	count := 0
+	if err := l2.Replay(func(Record) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 6 {
+		t.Errorf("replayed %d records after group-commit close, want 6", count)
+	}
+
+	// Rotation flushes the retiring segment's pending batch.
+	dir2 := t.TempDir()
+	l3, err := Open(dir2, Options{SyncEvery: 100, MaxSegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ { // each record > 128/5 bytes: rotates repeatedly
+		if _, err := l3.Append(1, 0, bytes.Repeat([]byte("r"), 120)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l3.mu.Lock()
+	pending = l3.unsynced
+	l3.mu.Unlock()
+	if pending != 0 {
+		t.Errorf("unsynced after rotations: %d, want 0 (flushed per rotate)", pending)
+	}
+	if err := l3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncOptionsNormalize pins the Sync/SyncEvery interplay: Sync alone is
+// SyncEvery 1, an explicit SyncEvery wins over Sync, and neither means no
+// per-append fsync.
+func TestSyncOptionsNormalize(t *testing.T) {
+	for _, tc := range []struct {
+		opts Options
+		want int
+	}{
+		{Options{}, 0},
+		{Options{Sync: true}, 1},
+		{Options{SyncEvery: 8}, 8},
+		{Options{Sync: true, SyncEvery: 8}, 8},
+	} {
+		if got := tc.opts.syncEvery(); got != tc.want {
+			t.Errorf("syncEvery(%+v) = %d, want %d", tc.opts, got, tc.want)
+		}
+	}
+}
+
+// TestDropBeforeRemovesCoveredSegments exercises compaction: segments
+// wholly before a recorded position are deleted, later records still
+// replay, and — via the persisted sequence floor — a plain reopen of the
+// compacted log never re-mints a dropped sequence number even when the
+// highest sequence number lived only in a dropped segment.
+func TestDropBeforeRemovesCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{MaxSegmentBytes: 256, SeqStride: 2, SeqOffset: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A high-sequence replicated record early in the log, then enough local
+	// appends to rotate several times.
+	if err := l.AppendRecord(Record{Seq: 1001, User: 5, Payload: []byte("foreign-high")}); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("a"), 64)
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append(1, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pos := l.Pos()
+	if pos.Seg < 2 {
+		t.Fatalf("need several segments, at %+v", pos)
+	}
+	if n, err := l.SegmentsBefore(pos); err != nil || n != pos.Seg {
+		t.Fatalf("SegmentsBefore = %d (%v), want %d", n, err, pos.Seg)
+	}
+	nextBefore := l.NextSeq()
+	dropped, err := l.DropBefore(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != pos.Seg {
+		t.Fatalf("dropped %d segments, want %d", dropped, pos.Seg)
+	}
+	if n, _ := l.SegmentsBefore(pos); n != 0 {
+		t.Fatalf("%d covered segments remain after drop", n)
+	}
+	// Appends continue, and replay sees only the surviving tail.
+	if _, err := l.Append(1, 0, []byte("post-drop")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{MaxSegmentBytes: 256, SeqStride: 2, SeqOffset: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.NextSeq(); got < nextBefore {
+		t.Fatalf("NextSeq after compacted reopen = %d, regressed below %d (dropped seq could be re-minted)",
+			got, nextBefore)
+	}
+	found := false
+	if err := l2.Replay(func(r Record) error {
+		if string(r.Payload) == "post-drop" {
+			found = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("post-drop record lost")
+	}
+}
+
+// TestApplyReplicatedIdempotent is the catch-up safety property: feeding
+// ApplyReplicated records that were already applied — exact duplicates,
+// records still in the view, and records that fell below a capped view's
+// floor — must leave every view, every version, and the log itself
+// untouched. opLogPull retries and redundant deliveries hinge on this.
+func TestApplyReplicatedIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	const cap = 4
+	vs, err := OpenViewStore(dir, cap, Options{SeqStride: 2, SeqOffset: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vs.Close()
+	// Local appends push user 1's view past its cap; replicated records
+	// land for user 2.
+	var all []Record
+	for i := 0; i < cap+3; i++ {
+		seq, err := vs.Append(1, int64(i), []byte(fmt.Sprintf("local-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, Record{Seq: seq, User: 1, At: int64(i), Payload: []byte(fmt.Sprintf("local-%d", i))})
+	}
+	for _, r := range []Record{
+		{Seq: 101, User: 2, At: 50, Payload: []byte("rep-a")},
+		{Seq: 103, User: 2, At: 51, Payload: []byte("rep-b")},
+	} {
+		if _, err := vs.ApplyReplicated(r); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, r)
+	}
+
+	snapState := func() (map[uint32]string, Pos, map[uint64]uint64) {
+		views := make(map[uint32]string)
+		for _, u := range []uint32{1, 2} {
+			view, ver := vs.View(u)
+			s := fmt.Sprintf("v%d:", ver)
+			for _, r := range view {
+				s += fmt.Sprintf("%d=%s;", r.Seq, r.Payload)
+			}
+			views[u] = s
+		}
+		return views, vs.Log().Pos(), vs.Cursors()
+	}
+	wantViews, wantPos, wantCursors := snapState()
+
+	// Re-feed every record — including the local ones user 1's capped view
+	// has already evicted — several times over.
+	for round := 0; round < 3; round++ {
+		for _, r := range all {
+			if _, err := vs.ApplyReplicated(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	gotViews, gotPos, gotCursors := snapState()
+	if fmt.Sprint(gotViews) != fmt.Sprint(wantViews) {
+		t.Fatalf("views changed by duplicate deliveries:\n got %v\nwant %v", gotViews, wantViews)
+	}
+	if gotPos != wantPos {
+		t.Fatalf("log grew from %+v to %+v on duplicate deliveries", wantPos, gotPos)
+	}
+	if fmt.Sprint(gotCursors) != fmt.Sprint(wantCursors) {
+		t.Fatalf("cursors changed by duplicate deliveries: %v, want %v", gotCursors, wantCursors)
+	}
+}
+
+// TestCursorsTrackOrigins verifies the per-origin cursors (exclusive
+// applied high-water marks): local appends advance this log's origin,
+// replicated records advance theirs, AdvanceCursor only ratchets forward,
+// and RecordsAfter serves exactly the in-view records a cursor does not
+// cover, in sequence order.
+func TestCursorsTrackOrigins(t *testing.T) {
+	vs, err := OpenViewStore(t.TempDir(), 8, Options{SeqStride: 3, SeqOffset: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vs.Close()
+	for i := 0; i < 3; i++ { // local origin 0: seqs 0, 3, 6
+		if _, err := vs.Append(1, int64(i), []byte("l")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []Record{ // origin 1: 7, 10; origin 2: 5
+		{Seq: 7, User: 2, Payload: []byte("o1-a")},
+		{Seq: 10, User: 2, Payload: []byte("o1-b")},
+		{Seq: 5, User: 3, Payload: []byte("o2")},
+	} {
+		if _, err := vs.ApplyReplicated(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := vs.Cursors()
+	if cur[0] != 7 || cur[1] != 11 || cur[2] != 6 {
+		t.Fatalf("cursors = %v, want {0:7 1:11 2:6} (one past the highest applied)", cur)
+	}
+	vs.AdvanceCursor(2, 4) // behind: no-op
+	if got := vs.Cursors()[2]; got != 6 {
+		t.Errorf("AdvanceCursor regressed cursor to %d", got)
+	}
+	vs.AdvanceCursor(2, 12)
+	if got := vs.Cursors()[2]; got != 12 {
+		t.Errorf("AdvanceCursor did not advance: %d", got)
+	}
+	recs := vs.RecordsAfter(1, 8, 0, 0)
+	if len(recs) != 1 || recs[0].Seq != 10 {
+		t.Fatalf("RecordsAfter(1, 8) = %v, want the single seq-10 record", recs)
+	}
+	recs = vs.RecordsAfter(0, 0, 2, 0)
+	if len(recs) != 2 || recs[0].Seq != 0 || recs[1].Seq != 3 {
+		t.Fatalf("RecordsAfter(0, 0, max 2) = %v, want seqs [0 3]", recs)
+	}
+}
+
+// TestCursorCoversSequenceZero pins why cursors are exclusive: the very
+// first record of origin 0 has sequence number 0, and a peer that missed
+// it must still see it in a pull from cursor 0. With inclusive cursors,
+// "applied seq 0" and "applied nothing" would both read as 0 and the
+// record could never be pulled.
+func TestCursorCoversSequenceZero(t *testing.T) {
+	vs, err := OpenViewStore(t.TempDir(), 8, Options{SeqStride: 2, SeqOffset: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vs.Close()
+	if _, err := vs.Append(1, 0, []byte("the very first write")); err != nil {
+		t.Fatal(err)
+	}
+	if got := vs.Cursors()[0]; got != 1 {
+		t.Fatalf("cursor after seq 0 = %d, want exclusive mark 1", got)
+	}
+	recs := vs.RecordsAfter(0, 0, 0, 0)
+	if len(recs) != 1 || recs[0].Seq != 0 {
+		t.Fatalf("pull from empty cursor = %v, want the seq-0 record", recs)
+	}
+}
+
+// TestOpenViewStoreFromSnapshotMismatch rejects snapshots from another
+// sequence partition instead of silently mixing origin bookkeeping.
+func TestOpenViewStoreFromSnapshotMismatch(t *testing.T) {
+	dir := t.TempDir()
+	vs, err := OpenViewStore(dir, 8, Options{SeqStride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := vs.Snapshot()
+	if err := vs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenViewStoreFrom(dir, 8, Options{SeqStride: 3}, snap); err == nil {
+		t.Fatal("stride-mismatched snapshot accepted")
 	}
 }

@@ -279,6 +279,9 @@ func (c *ClusterClient) Stats(ctx context.Context) (Stats, error) {
 		sum.Evicted += st.Evicted
 		sum.Migrated += st.Migrated
 		sum.Misses += st.Misses
+		sum.Checkpoints += st.Checkpoints
+		sum.CompactedSegments += st.CompactedSegments
+		sum.CatchupRecords += st.CatchupRecords
 	}
 	if !ok {
 		return Stats{}, fmt.Errorf("dynasore: no broker answered stats: %w", lastErr)

@@ -52,6 +52,16 @@ type Stats struct {
 	Migrated   int64
 	// Misses counts cache misses refilled from the persistent store (§3.3).
 	Misses int64
+	// Checkpoints and CompactedSegments count the durability subsystem's
+	// activity: snapshots of the persistent store taken, and WAL segments
+	// deleted because a snapshot fully covered them (zero unless the
+	// broker runs with CheckpointEvery set).
+	Checkpoints       int64
+	CompactedSegments int64
+	// CatchupRecords counts WAL records the broker recovered from its
+	// peers via the per-origin catch-up protocol after missing them —
+	// e.g. while it was down.
+	CatchupRecords int64
 }
 
 // Store is the DynaSoRe API. Both backends are safe for concurrent use.
@@ -82,12 +92,15 @@ func fromClusterViews(vs []cluster.View) []View {
 
 func fromClusterStats(st cluster.BrokerStats) Stats {
 	return Stats{
-		Reads:      st.Reads,
-		Writes:     st.Writes,
-		Replicated: st.Replicated,
-		Evicted:    st.Evicted,
-		Migrated:   st.Migrated,
-		Misses:     st.Misses,
+		Reads:             st.Reads,
+		Writes:            st.Writes,
+		Replicated:        st.Replicated,
+		Evicted:           st.Evicted,
+		Migrated:          st.Migrated,
+		Misses:            st.Misses,
+		Checkpoints:       st.Checkpoints,
+		CompactedSegments: st.CompactedSegments,
+		CatchupRecords:    st.CatchupRecords,
 	}
 }
 

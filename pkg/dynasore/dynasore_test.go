@@ -284,3 +284,101 @@ func TestExplicitPlacementThroughPublicAPI(t *testing.T) {
 		t.Error("no replication recorded in stats")
 	}
 }
+
+// TestCheckpointedRestartThroughPublicAPI drives the durability subsystem
+// through the public surface: an Engine with checkpointing on a persistent
+// data directory restarts from its parting snapshot (no WAL replay) and
+// serves the same views; the checkpoint counter is visible in Stats.
+func TestCheckpointedRestartThroughPublicAPI(t *testing.T) {
+	ctx := context.Background()
+	dataDir := t.TempDir()
+	cfg := dynasore.EngineConfig{
+		DataDir:         dataDir,
+		CheckpointEvery: 20 * time.Millisecond,
+		CompactAfter:    1,
+	}
+	e := openEngine(t, cfg)
+	for i := 0; i < 40; i++ {
+		if _, err := e.Write(ctx, uint32(i%4), []byte(fmt.Sprintf("event-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// At least one periodic checkpoint lands and surfaces in Stats.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := e.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Checkpoints >= 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st, _ := e.Stats(ctx); st.Checkpoints == 0 {
+		t.Fatal("periodic checkpoints never surfaced in Stats")
+	}
+	want, err := e.Read(ctx, []uint32{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := openEngine(t, cfg)
+	got, err := e2.Read(ctx, []uint32{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Version != want[i].Version || len(got[i].Events) != len(want[i].Events) {
+			t.Fatalf("user %d after restart: version %d/%d events, want %d/%d",
+				i, got[i].Version, len(got[i].Events), want[i].Version, len(want[i].Events))
+		}
+	}
+}
+
+// TestBrokerRecoveryThroughPublicAPI checks ListenBroker's checkpointed
+// restart reporting.
+func TestBrokerRecoveryThroughPublicAPI(t *testing.T) {
+	ctx := context.Background()
+	s, err := dynasore.ListenCacheServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	cfg := dynasore.BrokerConfig{
+		Addr:             "127.0.0.1:0",
+		CacheServerAddrs: []string{s.Addr()},
+		DataDir:          t.TempDir(),
+		Preferred:        -1,
+		CheckpointEvery:  time.Hour, // only the parting checkpoint
+	}
+	b, err := dynasore.ListenBroker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dynasore.Dial(ctx, b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := c.Write(ctx, 1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := dynasore.ListenBroker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b2.Close() })
+	from, replayed := b2.Recovery()
+	if !from || replayed != 0 {
+		t.Fatalf("Recovery() = (%v, %d), want parting-checkpoint recovery with no replay", from, replayed)
+	}
+}

@@ -40,6 +40,14 @@ type EngineConfig struct {
 	// ServerCapacity bounds how many views the policy places on one cache
 	// server (0 = unbounded).
 	ServerCapacity int
+	// CheckpointEvery enables periodic checkpoints of the persistent
+	// store: restarts on the same DataDir load the latest snapshot and
+	// replay only the WAL tail. Zero disables them. Pair with a
+	// persistent DataDir — a temporary directory is removed on Close.
+	CheckpointEvery time.Duration
+	// CompactAfter deletes WAL segments once at least this many are fully
+	// covered by a checkpoint. Zero keeps every segment.
+	CompactAfter int
 }
 
 // Engine is the in-process backend of Store: it runs cache servers and a
@@ -85,16 +93,18 @@ func Open(cfg EngineConfig) (*Engine, error) {
 		addrs = append(addrs, s.Addr())
 	}
 	broker, err := cluster.NewBroker(cluster.BrokerConfig{
-		Addr:           "127.0.0.1:0",
-		ServerAddrs:    addrs,
-		DataDir:        dataDir,
-		ViewCap:        cfg.ViewCap,
-		Placement:      cfg.Placement.toCluster(),
-		Preferred:      cfg.Preferred,
-		MaxReplicas:    cfg.MaxReplicas,
-		PolicyEvery:    cfg.PolicyEvery,
-		Policy:         cfg.Policy.toCluster(),
-		ServerCapacity: cfg.ServerCapacity,
+		Addr:            "127.0.0.1:0",
+		ServerAddrs:     addrs,
+		DataDir:         dataDir,
+		ViewCap:         cfg.ViewCap,
+		Placement:       cfg.Placement.toCluster(),
+		Preferred:       cfg.Preferred,
+		MaxReplicas:     cfg.MaxReplicas,
+		PolicyEvery:     cfg.PolicyEvery,
+		Policy:          cfg.Policy.toCluster(),
+		ServerCapacity:  cfg.ServerCapacity,
+		CheckpointEvery: cfg.CheckpointEvery,
+		CompactAfter:    cfg.CompactAfter,
 	})
 	if err != nil {
 		e.Close()

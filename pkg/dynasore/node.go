@@ -117,6 +117,17 @@ type BrokerConfig struct {
 	// broker of a multi-broker cluster keeps its own WAL and writes are
 	// replicated between the logs.
 	Store *PersistentStore
+	// CheckpointEvery enables the durability/recovery subsystem: the
+	// broker periodically snapshots its persistent store to an atomic
+	// checkpoint file in DataDir (plus a parting snapshot on Close), and
+	// restarts load the snapshot and replay only the WAL tail. Zero
+	// disables periodic checkpoints. Ignored when Store is set — a shared
+	// store is its owner's to checkpoint.
+	CheckpointEvery time.Duration
+	// CompactAfter enables WAL compaction: after a checkpoint, if at
+	// least this many whole WAL segments are fully covered by it, they
+	// are deleted. Zero keeps every segment.
+	CompactAfter int
 }
 
 // Broker is one standalone broker node: it serves the Read/Write API to v1
@@ -139,21 +150,23 @@ func ListenBroker(cfg BrokerConfig) (*Broker, error) {
 		peers[i] = cluster.PeerInfo{Addr: p.Addr, Pos: cluster.Position(p.Pos)}
 	}
 	b, err := cluster.NewBroker(cluster.BrokerConfig{
-		Addr:           cfg.Addr,
-		Listener:       cfg.Listener,
-		ServerAddrs:    cfg.CacheServerAddrs,
-		DataDir:        cfg.DataDir,
-		ViewCap:        cfg.ViewCap,
-		Placement:      cfg.Placement.toCluster(),
-		Preferred:      cfg.Preferred,
-		MaxReplicas:    cfg.MaxReplicas,
-		PolicyEvery:    cfg.PolicyEvery,
-		Policy:         cfg.Policy.toCluster(),
-		ServerCapacity: cfg.ServerCapacity,
-		Peers:          peers,
-		Self:           cfg.Self,
-		SyncEvery:      cfg.SyncEvery,
-		Store:          store,
+		Addr:            cfg.Addr,
+		Listener:        cfg.Listener,
+		ServerAddrs:     cfg.CacheServerAddrs,
+		DataDir:         cfg.DataDir,
+		ViewCap:         cfg.ViewCap,
+		Placement:       cfg.Placement.toCluster(),
+		Preferred:       cfg.Preferred,
+		MaxReplicas:     cfg.MaxReplicas,
+		PolicyEvery:     cfg.PolicyEvery,
+		Policy:          cfg.Policy.toCluster(),
+		ServerCapacity:  cfg.ServerCapacity,
+		Peers:           peers,
+		Self:            cfg.Self,
+		SyncEvery:       cfg.SyncEvery,
+		Store:           store,
+		CheckpointEvery: cfg.CheckpointEvery,
+		CompactAfter:    cfg.CompactAfter,
 	})
 	if err != nil {
 		return nil, err
@@ -175,6 +188,11 @@ func (b *Broker) ReplicaSet(user uint32) []int { return b.b.ReplicaSet(user) }
 // IsLeader reports whether this broker currently runs the placement policy
 // for its cluster. A single-broker cluster is always its own leader.
 func (b *Broker) IsLeader() bool { return b.b.IsLeader() }
+
+// Recovery reports how the broker's persistent store came up: whether a
+// checkpoint seeded it, and how many WAL records were replayed on top (the
+// whole log when no usable checkpoint existed).
+func (b *Broker) Recovery() (fromCheckpoint bool, replayed int) { return b.b.Recovery() }
 
 // Leader returns the index (in BrokerConfig.Peers) of the broker this node
 // currently considers the placement-policy leader.
