@@ -1,12 +1,22 @@
 // Command dsctl is a small client for the live DynaSoRe cluster: it writes
-// events, reads feeds, and dumps broker statistics, speaking the
-// multiplexed wire protocol v2 via pkg/dynasore.
+// events, reads feeds, dumps broker statistics, and administers the
+// elastic cache-server membership, speaking the multiplexed wire protocol
+// v2 via pkg/dynasore.
 //
 // Usage:
 //
 //	dsctl -broker 127.0.0.1:7000 write <user> <text...>
 //	dsctl -broker 127.0.0.1:7000 read <user> [<user>...]
 //	dsctl -broker 127.0.0.1:7000 stats
+//	dsctl -broker 127.0.0.1:7000 server list
+//	dsctl -broker 127.0.0.1:7000 server add <addr> [zone:rack] [capacity]
+//	dsctl -broker 127.0.0.1:7000 server drain <addr>
+//	dsctl -broker 127.0.0.1:7000 server remove <addr>
+//
+// Membership commands may target any broker — followers forward mutations
+// to the leader. The zero-miss decommissioning sequence is `server
+// drain`, wait for `server list` to show 0 replicas on the server, then
+// `server remove`.
 package main
 
 import (
@@ -33,7 +43,7 @@ func main() {
 
 func run(broker string, timeout time.Duration, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: dsctl [flags] write|read|stats ...")
+		return fmt.Errorf("usage: dsctl [flags] write|read|stats|server ...")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
@@ -86,12 +96,93 @@ func run(broker string, timeout time.Duration, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("reads=%d writes=%d replicated=%d evicted=%d migrated=%d misses=%d checkpoints=%d compacted=%d catchup=%d\n",
-			st.Reads, st.Writes, st.Replicated, st.Evicted, st.Migrated, st.Misses,
+		fmt.Printf("epoch=%d reads=%d writes=%d replicated=%d evicted=%d migrated=%d misses=%d checkpoints=%d compacted=%d catchup=%d\n",
+			st.Epoch, st.Reads, st.Writes, st.Replicated, st.Evicted, st.Migrated, st.Misses,
 			st.Checkpoints, st.CompactedSegments, st.CatchupRecords)
 		return nil
+	case "server":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: dsctl server list|add|drain|remove ...")
+		}
+		return runServer(ctx, c, args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// runServer executes the elastic-membership subcommands.
+func runServer(ctx context.Context, c *dynasore.Client, args []string) error {
+	switch args[0] {
+	case "list":
+		m, err := c.Membership(ctx)
+		if err != nil {
+			return err
+		}
+		printMembership(m)
+		return nil
+	case "add":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: dsctl server add <addr> [zone:rack] [capacity]")
+		}
+		var pos dynasore.Position
+		capacity := 0
+		if len(args) >= 3 {
+			if _, err := fmt.Sscanf(args[2], "%d:%d", &pos.Zone, &pos.Rack); err != nil {
+				return fmt.Errorf("bad position %q (want zone:rack): %w", args[2], err)
+			}
+		}
+		if len(args) >= 4 {
+			n, err := strconv.Atoi(args[3])
+			if err != nil || n < 0 {
+				return fmt.Errorf("bad capacity %q", args[3])
+			}
+			capacity = n
+		}
+		m, err := c.AddServer(ctx, args[1], pos, capacity)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("added %s at epoch %d\n", args[1], m.Epoch)
+		printMembership(m)
+		return nil
+	case "drain":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dsctl server drain <addr>")
+		}
+		m, err := c.DrainServer(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("draining %s at epoch %d (remove it once `server list` shows 0 replicas)\n", args[1], m.Epoch)
+		printMembership(m)
+		return nil
+	case "remove":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dsctl server remove <addr>")
+		}
+		m, err := c.RemoveServer(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("removed %s at epoch %d\n", args[1], m.Epoch)
+		printMembership(m)
+		return nil
+	default:
+		return fmt.Errorf("unknown server command %q", args[0])
+	}
+}
+
+func printMembership(m dynasore.Membership) {
+	fmt.Printf("epoch %d, %d slots (%d active)\n", m.Epoch, len(m.Servers), m.NumActive())
+	for i, s := range m.Servers {
+		// 0 means the broker's default capacity, which may itself be a
+		// bound — only the broker knows, so don't claim "unbounded".
+		capacity := "default"
+		if s.Capacity > 0 {
+			capacity = strconv.Itoa(s.Capacity)
+		}
+		fmt.Printf("  [%d] %-21s %-8s zone %d rack %d  capacity %-9s replicas %d\n",
+			i, s.Addr, s.State, s.Pos.Zone, s.Pos.Rack, capacity, s.Replicas)
 	}
 }
 

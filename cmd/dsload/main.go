@@ -1,0 +1,198 @@
+// Command dsload is a live load generator for a running DynaSoRe cluster:
+// it synthesizes a social graph (internal/socialgraph), drives a
+// read-heavy feed workload against the broker tier — Read(u, L) over each
+// user's followees, interleaved with Write(u) posts — and reports
+// end-to-end throughput and latency as Go-benchmark lines on stdout, so
+// `cmd/benchjson` can turn a run into a machine-readable artifact (CI
+// archives one as BENCH_PR5.json).
+//
+// Usage:
+//
+//	dsload -brokers 127.0.0.1:7000,127.0.0.1:7001 -users 2000 -duration 10s
+//	dsload -selfhost -duration 2s     # in-process cluster; the CI smoke mode
+//
+// The -selfhost mode starts an in-process cluster (pkg/dynasore Engine)
+// and drives it over the real network client, so one command exercises
+// the full write-ahead-log / cache / placement stack with zero setup.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynasore/internal/socialgraph"
+	"dynasore/pkg/dynasore"
+)
+
+func main() {
+	var (
+		brokers   = flag.String("brokers", "", "comma-separated broker addresses of the cluster under load")
+		selfhost  = flag.Bool("selfhost", false, "start an in-process cluster and load it (no -brokers needed)")
+		users     = flag.Int("users", 1000, "social graph size")
+		graph     = flag.String("graph", "twitter", "graph shape: twitter, facebook, or livejournal")
+		seed      = flag.Int64("seed", 42, "graph and workload RNG seed")
+		duration  = flag.Duration("duration", 5*time.Second, "how long to apply load")
+		workers   = flag.Int("workers", 8, "concurrent workload goroutines")
+		writeFrac = flag.Float64("write-frac", 0.2, "fraction of operations that are writes")
+		readCap   = flag.Int("read-cap", 32, "max followees fetched per feed read")
+	)
+	flag.Parse()
+	if err := run(*brokers, *selfhost, *users, *graph, *seed, *duration, *workers, *writeFrac, *readCap); err != nil {
+		fmt.Fprintln(os.Stderr, "dsload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(brokers string, selfhost bool, users int, graphName string, seed int64,
+	duration time.Duration, workers int, writeFrac float64, readCap int) error {
+	ctx := context.Background()
+	var store dynasore.Store
+	switch {
+	case selfhost:
+		e, err := dynasore.Open(dynasore.EngineConfig{CacheServers: 3, Preferred: 0})
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		// Load the engine over the real network client, so the measured
+		// path includes framing, multiplexing, and the broker's serve
+		// loop — not just in-process calls.
+		c, err := dynasore.Dial(ctx, e.Addr())
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		store = c
+	case brokers != "":
+		c, err := dynasore.DialCluster(ctx, strings.Split(brokers, ","))
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		store = c
+	default:
+		return fmt.Errorf("need -brokers or -selfhost")
+	}
+
+	var g *socialgraph.Graph
+	var err error
+	switch graphName {
+	case "twitter":
+		g, err = socialgraph.Twitter(users, seed)
+	case "facebook":
+		g, err = socialgraph.Facebook(users, seed)
+	case "livejournal":
+		g, err = socialgraph.LiveJournal(users, seed)
+	default:
+		err = fmt.Errorf("unknown graph %q", graphName)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Seed one post per user so the first feed reads hit real views.
+	payload := []byte("dsload: lorem ipsum dolor sit amet, consectetur adipiscing elit, sed do eiusmod tempor incididunt ut labore et dolore magna aliqua")
+	for u := 0; u < g.NumUsers(); u++ {
+		if _, err := store.Write(ctx, uint32(u), payload); err != nil {
+			return fmt.Errorf("seed write for user %d: %w", u, err)
+		}
+	}
+
+	var (
+		readOps, readNs   atomic.Int64
+		writeOps, writeNs atomic.Int64
+		viewsRead         atomic.Int64
+		firstErr          atomic.Pointer[error]
+	)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for time.Now().Before(deadline) {
+				u := uint32(rng.Intn(g.NumUsers()))
+				if rng.Float64() < writeFrac {
+					start := time.Now()
+					_, err := store.Write(ctx, u, payload)
+					if err != nil {
+						e := fmt.Errorf("write user %d: %w", u, err)
+						firstErr.CompareAndSwap(nil, &e)
+						return
+					}
+					writeNs.Add(int64(time.Since(start)))
+					writeOps.Add(1)
+					continue
+				}
+				targets := feedTargets(g, u, readCap)
+				start := time.Now()
+				views, err := store.Read(ctx, targets)
+				if err != nil {
+					e := fmt.Errorf("read feed of user %d: %w", u, err)
+					firstErr.CompareAndSwap(nil, &e)
+					return
+				}
+				readNs.Add(int64(time.Since(start)))
+				readOps.Add(1)
+				viewsRead.Add(int64(len(views)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return *p
+	}
+
+	// Benchmark lines on stdout — exactly the shape cmd/benchjson parses.
+	if n := readOps.Load(); n > 0 {
+		fmt.Println(benchLine("BenchmarkDSLoadFeedRead", n, readNs.Load()))
+	}
+	if n := writeOps.Load(); n > 0 {
+		fmt.Println(benchLine("BenchmarkDSLoadWrite", n, writeNs.Load()))
+	}
+	// The human summary goes to stderr so it never pollutes the artifact.
+	st, err := store.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	total := readOps.Load() + writeOps.Load()
+	fmt.Fprintf(os.Stderr, "dsload: graph=%s users=%d workers=%d duration=%s\n",
+		g.Name(), g.NumUsers(), workers, duration)
+	fmt.Fprintf(os.Stderr, "dsload: %d ops (%.0f/s): %d feed reads (%d views), %d writes\n",
+		total, float64(total)/duration.Seconds(), readOps.Load(), viewsRead.Load(), writeOps.Load())
+	fmt.Fprintf(os.Stderr, "dsload: cluster epoch=%d replicated=%d migrated=%d evicted=%d misses=%d\n",
+		st.Epoch, st.Replicated, st.Migrated, st.Evicted, st.Misses)
+	return nil
+}
+
+// feedTargets builds the Read(u, L) target list for one feed fetch: the
+// user's followees (capped at maxTargets), or the user's own view for the
+// graph's isolated vertices.
+func feedTargets(g *socialgraph.Graph, u uint32, maxTargets int) []uint32 {
+	following := g.Following(socialgraph.UserID(u))
+	if len(following) == 0 {
+		return []uint32{u}
+	}
+	if maxTargets > 0 && len(following) > maxTargets {
+		following = following[:maxTargets]
+	}
+	targets := make([]uint32, len(following))
+	for i, f := range following {
+		targets[i] = uint32(f)
+	}
+	return targets
+}
+
+// benchLine formats one Go-benchmark result line: name, iteration count,
+// and nanoseconds per operation.
+func benchLine(name string, ops, totalNs int64) string {
+	return fmt.Sprintf("%s \t%8d\t%12.1f ns/op", name, ops, float64(totalNs)/float64(ops))
+}

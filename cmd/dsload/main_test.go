@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dynasore/internal/socialgraph"
+)
+
+func TestBenchLineParsesLikeGoBench(t *testing.T) {
+	line := benchLine("BenchmarkDSLoadFeedRead", 1500, 3_000_000_000)
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[0] != "BenchmarkDSLoadFeedRead" ||
+		fields[1] != "1500" || fields[3] != "ns/op" {
+		t.Fatalf("bench line = %q (fields %v)", line, fields)
+	}
+	if fields[2] != "2000000.0" {
+		t.Errorf("ns/op = %s, want 2000000.0", fields[2])
+	}
+}
+
+func TestFeedTargetsCapAndFallback(t *testing.T) {
+	g, err := socialgraph.Twitter(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumUsers(); u++ {
+		targets := feedTargets(g, uint32(u), 8)
+		if len(targets) == 0 {
+			t.Fatalf("user %d got an empty target list", u)
+		}
+		if len(targets) > 8 {
+			t.Fatalf("user %d got %d targets, cap is 8", u, len(targets))
+		}
+	}
+	// An isolated user reads their own view.
+	gg, err := socialgraph.LoadEdgeList(strings.NewReader(""), "empty", 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := feedTargets(gg, 2, 8); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("isolated user targets = %v, want [2]", got)
+	}
+}

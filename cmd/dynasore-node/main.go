@@ -36,9 +36,19 @@
 //
 //	dynasore-node -role broker ... -data /tmp/dynasore-b0 \
 //	    -checkpoint-every 30s -compact 4
+//
+// Elastic membership: a fresh cache server can join a RUNNING cluster —
+// -join names any broker, and the server registers itself (position from
+// -join-pos, capacity from -join-capacity) once it is listening. The
+// brokers bump the membership epoch, rebalance the rendezvous homes, and
+// start placing replicas on the newcomer:
+//
+//	dynasore-node -role server -addr 127.0.0.1:7005 \
+//	    -join 127.0.0.1:7000 -join-pos 2:1
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -68,6 +78,9 @@ func main() {
 		syncEvery   = flag.Duration("sync-every", 0, "peer-sync interval: pings, election, placement sync (0: default 1s)")
 		ckptEvery   = flag.Duration("checkpoint-every", 0, "checkpoint the persistent store at this interval so restarts replay only the WAL tail (0: disabled)")
 		compact     = flag.Int("compact", 0, "delete WAL segments once this many are fully covered by a checkpoint (0: keep all; needs -checkpoint-every)")
+		join        = flag.String("join", "", "broker address to register this cache server with, joining a running cluster (server role)")
+		joinPos     = flag.String("join-pos", "0:0", "this server's zone:rack position, registered on -join")
+		joinCap     = flag.Int("join-capacity", 0, "max views the policy may place on this server, registered on -join (0: broker default)")
 	)
 	flag.Parse()
 	if err := run(config{
@@ -76,6 +89,7 @@ func main() {
 		viewCap: *viewCap, policyEvery: *policyEvery, capacity: *capacity,
 		peers: *peersFlag, peersPos: *peersPos, self: *self, syncEvery: *syncEvery,
 		checkpointEvery: *ckptEvery, compactAfter: *compact,
+		join: *join, joinPos: *joinPos, joinCapacity: *joinCap,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dynasore-node:", err)
 		os.Exit(1)
@@ -94,6 +108,8 @@ type config struct {
 	syncEvery                    time.Duration
 	checkpointEvery              time.Duration
 	compactAfter                 int
+	join, joinPos                string
+	joinCapacity                 int
 }
 
 // parsePeers builds the multi-broker peer list from -peers/-peers-pos, or
@@ -129,6 +145,19 @@ func parsePeers(peers, peersPos string, self int) ([]dynasore.BrokerPeer, error)
 		out[i] = dynasore.BrokerPeer{Addr: strings.TrimSpace(a), Pos: pos}
 	}
 	return out, nil
+}
+
+// joinCluster registers a freshly started cache server with a broker of a
+// running cluster.
+func joinCluster(broker, selfAddr string, pos dynasore.Position, capacity int) (dynasore.Membership, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cl, err := dynasore.Dial(ctx, broker)
+	if err != nil {
+		return dynasore.Membership{}, err
+	}
+	defer cl.Close()
+	return cl.AddServer(ctx, selfAddr, pos, capacity)
 }
 
 // parsePosition parses "zone:rack".
@@ -179,6 +208,22 @@ func run(c config) error {
 			return err
 		}
 		fmt.Printf("cache server listening on %s\n", s.Addr())
+		if c.join != "" {
+			// Register with the running cluster: the broker (any broker —
+			// followers forward to the leader) bumps the membership epoch
+			// and this server starts taking its rendezvous share of homes.
+			pos, err := parsePosition(c.joinPos)
+			if err != nil {
+				s.Close()
+				return err
+			}
+			m, err := joinCluster(c.join, s.Addr(), pos, c.joinCapacity)
+			if err != nil {
+				s.Close()
+				return fmt.Errorf("join cluster via %s: %w", c.join, err)
+			}
+			fmt.Printf("joined cluster at epoch %d (%d servers active)\n", m.Epoch, m.NumActive())
+		}
 		<-stop
 		return s.Close()
 	case "broker":

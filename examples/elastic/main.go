@@ -1,0 +1,219 @@
+// Elastic: live cluster growth and decommissioning — the paper's §3.3
+// "Cluster modification" running against real sockets. A 3-broker cluster
+// starts on two cache servers and takes concurrent traffic throughout.
+// Two more servers are then added through the Admin API: the membership
+// epoch advances, rendezvous hashing re-homes only the fair share of the
+// users, and the leader's rebalance pass migrates their views over
+// (Stats.Migrated advances). One of the original servers is then drained
+// — it stays readable while its replicas move out — and removed once its
+// replica count reaches zero. Not a single read fails along the way, and
+// a client that keeps reading sees the epoch advance in-band and
+// refreshes its own view of the server set.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynasore/pkg/dynasore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// Two cache servers to start with, in zones 0 and 1.
+	newServer := func() (*dynasore.CacheServer, error) {
+		return dynasore.ListenCacheServer("127.0.0.1:0")
+	}
+	s0, err := newServer()
+	if err != nil {
+		return err
+	}
+	defer s0.Close()
+	s1, err := newServer()
+	if err != nil {
+		return err
+	}
+	defer s1.Close()
+	serverAddrs := []string{s0.Addr(), s1.Addr()}
+	serverPos := []dynasore.Position{{Zone: 0, Rack: 1}, {Zone: 1, Rack: 1}}
+
+	// Three brokers with per-broker checkpointed WALs, one per zone.
+	dir, err := os.MkdirTemp("", "dynasore-elastic")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	var lns []net.Listener
+	var peers []dynasore.BrokerPeer
+	for i := 0; i < 3; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		lns = append(lns, ln)
+		peers = append(peers, dynasore.BrokerPeer{
+			Addr: ln.Addr().String(),
+			Pos:  dynasore.Position{Zone: i, Rack: 0},
+		})
+	}
+	var brokers []*dynasore.Broker
+	var addrs []string
+	for i := range peers {
+		b, err := dynasore.ListenBroker(dynasore.BrokerConfig{
+			Listener:         lns[i],
+			CacheServerAddrs: serverAddrs,
+			DataDir:          filepath.Join(dir, fmt.Sprintf("broker-%d", i)),
+			Placement:        &dynasore.Placement{Broker: peers[i].Pos, Servers: serverPos},
+			Peers:            peers,
+			Self:             i,
+			SyncEvery:        50 * time.Millisecond,
+			PolicyEvery:      100 * time.Millisecond,
+			CheckpointEvery:  time.Second,
+			Policy:           dynasore.PolicyConfig{AdmissionEpsilon: 1e12}, // membership drives placement today
+		})
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		brokers = append(brokers, b)
+		addrs = append(addrs, b.Addr())
+	}
+	leader := brokers[0]
+	fmt.Printf("3 brokers, 2 cache servers, epoch %d\n", leader.Epoch())
+
+	// Seed 400 users and remember where they home.
+	client, err := dynasore.DialCluster(ctx, addrs)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	const users = 400
+	for u := uint32(0); u < users; u++ {
+		if _, err := client.Write(ctx, u, []byte(fmt.Sprintf("post by user %d", u))); err != nil {
+			return err
+		}
+		if _, err := client.Read(ctx, []uint32{u}); err != nil {
+			return err
+		}
+	}
+	homesBefore := make([]int, users)
+	for u := range homesBefore {
+		homesBefore[u] = leader.HomeOf(uint32(u))
+	}
+
+	// Concurrent traffic for the whole scenario; every read must succeed.
+	var stop atomic.Bool
+	var failed, served atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for u := uint32(w); !stop.Load(); u = (u + 4) % users {
+				if _, err := client.Read(ctx, []uint32{u}); err != nil {
+					failed.Add(1)
+				} else {
+					served.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Scale 2 -> 4 under load.
+	s2, err := newServer()
+	if err != nil {
+		return err
+	}
+	defer s2.Close()
+	s3, err := newServer()
+	if err != nil {
+		return err
+	}
+	defer s3.Close()
+	if _, err := client.AddServer(ctx, s2.Addr(), dynasore.Position{Zone: 2, Rack: 1}, 0); err != nil {
+		return err
+	}
+	m, err := client.AddServer(ctx, s3.Addr(), dynasore.Position{Zone: 2, Rack: 2}, 0)
+	if err != nil {
+		return err
+	}
+	moved := 0
+	for u := range homesBefore {
+		if leader.HomeOf(uint32(u)) != homesBefore[u] {
+			moved++
+		}
+	}
+	fmt.Printf("added 2 servers -> epoch %d; %d/%d homes moved (%.0f%%, fair share ~50%%)\n",
+		m.Epoch, moved, users, 100*float64(moved)/users)
+
+	// Wait for the rebalance pass to migrate the moved views over: the
+	// new servers should take roughly the moved users' replicas.
+	waitUntil(10*time.Second, func() bool {
+		mm := leader.Membership()
+		return mm.Servers[2].Replicas+mm.Servers[3].Replicas >= int64(moved*3/4)
+	})
+	st, _ := client.Stats(ctx)
+	mm := leader.Membership()
+	fmt.Printf("rebalanced: migrations=%d, replicas per server = %v\n", st.Migrated, replicaCounts(mm))
+
+	// Drain one of the original servers; watch its replica count hit 0.
+	if _, err := client.DrainServer(ctx, s1.Addr()); err != nil {
+		return err
+	}
+	waitUntil(10*time.Second, func() bool {
+		return leader.Membership().Servers[1].Replicas == 0
+	})
+	mm = leader.Membership()
+	fmt.Printf("drained %s: replicas per server = %v (drain slot empty)\n", s1.Addr(), replicaCounts(mm))
+
+	// Remove it for good; the slot stays as a tombstone so indices hold.
+	m, err = client.RemoveServer(ctx, s1.Addr())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("removed %s -> epoch %d (slot tombstoned)\n", s1.Addr(), m.Epoch)
+
+	stop.Store(true)
+	wg.Wait()
+	fmt.Printf("traffic during the whole scenario: %d reads served, %d failed\n", served.Load(), failed.Load())
+
+	// The client noticed the epochs in-band and refreshed its server table.
+	waitUntil(5*time.Second, func() bool {
+		cached, ok := client.CachedMembership()
+		return ok && cached.Epoch == m.Epoch
+	})
+	if cached, ok := client.CachedMembership(); ok {
+		fmt.Printf("client's cached membership: epoch %d, %d slots, %d active\n",
+			cached.Epoch, len(cached.Servers), cached.NumActive())
+	}
+	return nil
+}
+
+func replicaCounts(m dynasore.Membership) []int64 {
+	out := make([]int64, len(m.Servers))
+	for i, s := range m.Servers {
+		out[i] = s.Replicas
+	}
+	return out
+}
+
+func waitUntil(d time.Duration, cond func() bool) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) && !cond() {
+		time.Sleep(20 * time.Millisecond)
+	}
+}

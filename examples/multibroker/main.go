@@ -112,9 +112,14 @@ func run() error {
 	}
 	fmt.Printf("read %d views through the cluster client\n", len(views))
 
-	// Hammer user 1 through the zone-2 broker only: its access reports
+	// Hammer one user through the zone-2 broker only: its access reports
 	// make the leader replicate the view into zone 2, and the delta
-	// broadcast converges every broker's placement table.
+	// broadcast converges every broker's placement table. Pick a user
+	// homed outside zone 2 (homes are rendezvous-hashed, not modulo).
+	hot := uint32(0)
+	for brokers[0].HomeOf(hot)%3 == 2 {
+		hot++
+	}
 	zone2, err := dynasore.Dial(ctx, brokers[2].Addr())
 	if err != nil {
 		return err
@@ -122,14 +127,14 @@ func run() error {
 	defer zone2.Close()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) &&
-		(len(brokers[0].ReplicaSet(1)) < 2 || len(brokers[2].ReplicaSet(1)) < 2) {
-		if _, err := zone2.Read(ctx, []uint32{1}); err != nil {
+		(len(brokers[0].ReplicaSet(hot)) < 2 || len(brokers[2].ReplicaSet(hot)) < 2) {
+		if _, err := zone2.Read(ctx, []uint32{hot}); err != nil {
 			return err
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	fmt.Printf("replica set of user 1: leader sees %v, zone-2 broker sees %v\n",
-		brokers[0].ReplicaSet(1), brokers[2].ReplicaSet(1))
+	fmt.Printf("replica set of user %d: leader sees %v, zone-2 broker sees %v\n",
+		hot, brokers[0].ReplicaSet(hot), brokers[2].ReplicaSet(hot))
 
 	// Kill the zone-1 broker — its Close writes a parting checkpoint. The
 	// cluster client fails over; the survivors keep serving, and the

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"dynasore/internal/checkpoint"
+	"dynasore/internal/membership"
 	"dynasore/internal/stats"
 	"dynasore/internal/topology"
 	"dynasore/internal/viewpolicy"
@@ -51,7 +53,10 @@ type BrokerConfig struct {
 	// cluster before starting any of its brokers.
 	Listener net.Listener
 	// ServerAddrs lists the cache servers, in a fixed cluster-wide order
-	// shared by every broker of the cluster.
+	// shared by every broker of the cluster. It seeds epoch 1 of the
+	// elastic membership view; later epochs (servers added, drained, or
+	// removed through the Admin API) are recovered from the WAL and
+	// override the seed on restart.
 	ServerAddrs []string
 	// Peers lists every broker of the cluster — including this one — in a
 	// fixed cluster-wide order shared by all brokers; Peers[Self] describes
@@ -165,6 +170,66 @@ func defaultPlacement(preferred, servers int) *Placement {
 	return p
 }
 
+// serverTable is the epoch-versioned server-side state of a broker: one
+// membership view plus everything derived from it. A table is immutable
+// once published; a membership change builds a successor and swaps the
+// broker's pointer, so the read and write paths grab one consistent table
+// per operation with no locking. Slot indices are stable across epochs
+// (removed servers leave dead tombstone slots), which keeps replica sets,
+// placement deltas, and access reports valid across the swap; per-slot
+// load counters are shared between consecutive tables for the same
+// reason.
+type serverTable struct {
+	view  membership.View
+	conns []*serverConn // per slot; nil for dead slots
+	topo  *topology.Topology
+	pol   *viewpolicy.Engine
+	load  []*atomic.Int64 // views per slot (broker's accounting)
+}
+
+// home returns the slot user's view homes on under this table's epoch.
+func (t *serverTable) home(user uint32) int { return t.view.Home(user) }
+
+// conn returns the slot's connection, or nil when the slot is out of this
+// table's range (a concurrent epoch added it) or dead.
+func (t *serverTable) conn(idx int) *serverConn {
+	if idx < 0 || idx >= len(t.conns) {
+		return nil
+	}
+	return t.conns[idx]
+}
+
+// capacity is how many views the policy may place on slot idx: zero for
+// draining and dead slots (they are never placement targets), the slot's
+// own capacity, the broker default, or unbounded — in that order.
+func (t *serverTable) capacity(idx, brokerDefault int) int {
+	if idx < 0 || idx >= len(t.view.Servers) || t.view.Servers[idx].State != membership.StateActive {
+		return 0
+	}
+	if c := t.view.Servers[idx].Capacity; c > 0 {
+		return c
+	}
+	if brokerDefault > 0 {
+		return brokerDefault
+	}
+	return math.MaxInt
+}
+
+// placeable reports whether slot idx may receive new replicas.
+func (t *serverTable) placeable(idx int) bool {
+	return idx >= 0 && idx < len(t.view.Servers) && t.view.Servers[idx].State == membership.StateActive
+}
+
+// label names a slot for operator-facing errors: address, slot index, and
+// the membership epoch the caller was acting under — so a log line taken
+// during a membership change identifies the server, not a bare index.
+func (t *serverTable) label(idx int) string {
+	if idx < 0 || idx >= len(t.view.Servers) {
+		return fmt.Sprintf("server %d (unknown slot, epoch %d)", idx, t.view.Epoch)
+	}
+	return fmt.Sprintf("%s (server %d, epoch %d)", t.view.Servers[idx].Addr, idx, t.view.Epoch)
+}
+
 // brokerShardCount is the number of independently locked metadata shards;
 // concurrent requests for different users evaluate policy in parallel.
 const brokerShardCount = 16
@@ -211,10 +276,19 @@ type Broker struct {
 	ownWAL   bool // store opened (and closed) by this broker
 	recovery checkpoint.RecoveryInfo
 	ckpt     *checkpoint.Manager // nil unless CheckpointEvery is set
-	servers  []*serverConn
 
-	topo *topology.Topology
-	pol  *viewpolicy.Engine
+	// tab is the epoch-versioned server-side state: the membership view
+	// and everything derived from it (connections, topology, policy
+	// engine, per-slot loads). Reads are lock-free; installs of a newer
+	// epoch build a fresh table and swap the pointer. membMu serializes
+	// mutations and installs.
+	tab     atomic.Pointer[serverTable]
+	membMu  sync.Mutex
+	peerPos []Position // broker positions, index-aligned with Peers
+	// rebalanceMu serializes the leader's rebalance/drain passes, so the
+	// pass for one membership transition sees the settled outcome of the
+	// previous one (back-to-back AddServers chain correctly).
+	rebalanceMu sync.Mutex
 
 	// Multi-broker state: this broker's index and machine ID, peer
 	// connections (peers[selfIdx] == nil), and the current leader.
@@ -232,7 +306,6 @@ type Broker struct {
 	repWrites map[uint32]uint32
 
 	shards [brokerShardCount]brokerShard
-	load   []atomic.Int64 // views per server (broker's accounting)
 
 	// polMu guards the controller outputs consulted on the read path.
 	// Lock order: shard.mu may be held while taking polMu (read); never
@@ -269,12 +342,18 @@ type repKey struct {
 	server uint16
 }
 
-// Errors returned by NewBroker.
+// Errors returned by NewBroker and the membership Admin API.
 var (
 	ErrNoServers    = errors.New("cluster: broker needs at least one cache server")
 	ErrBadPreferred = errors.New("cluster: preferred server out of range")
 	ErrBadPlacement = errors.New("cluster: placement must cover every cache server")
 	ErrBadPeers     = errors.New("cluster: invalid peer configuration")
+	// ErrNotLeader rejects a membership mutation on a follower broker;
+	// network clients are forwarded to the leader transparently.
+	ErrNotLeader = errors.New("cluster: not the placement-policy leader")
+	// ErrReservedUser rejects reads and writes of the pseudo-user ID
+	// membership records ride under in the WAL.
+	ErrReservedUser = errors.New("cluster: user ID is reserved for membership records")
 )
 
 // NewBroker starts a broker node.
@@ -308,19 +387,9 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 			}
 		}
 	}
-	machines := make([]topology.Placed, 0, len(peers)+len(placement.Servers))
-	for _, p := range peers {
-		machines = append(machines, topology.Placed{Kind: topology.KindBroker, Zone: p.Pos.Zone, Rack: p.Pos.Rack})
-	}
-	for _, pos := range placement.Servers {
-		machines = append(machines, topology.Placed{Kind: topology.KindServer, Zone: pos.Zone, Rack: pos.Rack})
-	}
-	topo, err := topology.NewCustom(machines)
-	if err != nil {
-		return nil, err
-	}
 	store, ownWAL := cfg.Store, false
 	var recovery checkpoint.RecoveryInfo
+	var err error
 	if store == nil {
 		// With per-broker WALs the sequence space is partitioned by broker
 		// index, so no two brokers of the cluster ever mint the same
@@ -334,37 +403,65 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		}
 		ownWAL = true
 	}
+	closeOwned := func() {
+		if ownWAL {
+			store.Close()
+		}
+	}
+	// Epoch 1 of the membership view comes from the static configuration;
+	// any later epoch recorded in the WAL (the cluster was grown, drained,
+	// or shrunk while this broker was alive or away) overrides it.
+	seed := make([]membership.ServerInfo, len(cfg.ServerAddrs))
+	for i, addr := range cfg.ServerAddrs {
+		seed[i] = membership.ServerInfo{
+			Addr:     addr,
+			Zone:     placement.Servers[i].Zone,
+			Rack:     placement.Servers[i].Rack,
+			Capacity: cfg.ServerCapacity,
+		}
+	}
+	view := membership.Seed(seed)
+	if recovered, ok := latestMembershipView(store); ok && recovered.Epoch > view.Epoch {
+		view = recovered
+	}
+	b := &Broker{
+		cfg:       cfg,
+		store:     store,
+		ownWAL:    ownWAL,
+		recovery:  recovery,
+		nBrokers:  len(peers),
+		selfIdx:   selfIdx,
+		self:      topology.MachineID(selfIdx),
+		peers:     make([]*peerState, len(peers)),
+		repReads:  make(map[repKey]uint32),
+		repWrites: make(map[uint32]uint32),
+		minThr:    make(map[topology.Origin]float64),
+		active:    make(map[net.Conn]struct{}),
+		stop:      make(chan struct{}),
+	}
+	for _, p := range peers {
+		b.peerPos = append(b.peerPos, p.Pos)
+	}
+	tab, err := b.buildTable(view, nil)
+	if err != nil {
+		closeOwned()
+		return nil, err
+	}
+	b.tab.Store(tab)
+	b.thresholds = make([]float64, tab.topo.NumMachines())
+	b.evictFloor = make([]float64, tab.topo.NumMachines())
+	for i := range b.evictFloor {
+		b.evictFloor[i] = viewpolicy.Inf
+	}
 	ln := cfg.Listener
 	if ln == nil {
 		ln, err = net.Listen("tcp", cfg.Addr)
 		if err != nil {
-			if ownWAL {
-				store.Close()
-			}
+			closeOwned()
 			return nil, fmt.Errorf("cluster: listen: %w", err)
 		}
 	}
-	b := &Broker{
-		cfg:        cfg,
-		store:      store,
-		ownWAL:     ownWAL,
-		recovery:   recovery,
-		topo:       topo,
-		pol:        viewpolicy.New(topo, cfg.Policy),
-		nBrokers:   len(peers),
-		selfIdx:    selfIdx,
-		self:       topology.MachineID(selfIdx),
-		peers:      make([]*peerState, len(peers)),
-		repReads:   make(map[repKey]uint32),
-		repWrites:  make(map[uint32]uint32),
-		load:       make([]atomic.Int64, len(cfg.ServerAddrs)),
-		thresholds: make([]float64, topo.NumMachines()),
-		evictFloor: make([]float64, topo.NumMachines()),
-		minThr:     make(map[topology.Origin]float64),
-		ln:         ln,
-		active:     make(map[net.Conn]struct{}),
-		stop:       make(chan struct{}),
-	}
+	b.ln = ln
 	for i, p := range peers {
 		if i == selfIdx {
 			continue
@@ -376,12 +473,6 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	b.elect()
 	for i := range b.shards {
 		b.shards[i].views = make(map[uint32]*viewMeta)
-	}
-	for i := range b.evictFloor {
-		b.evictFloor[i] = viewpolicy.Inf
-	}
-	for _, addr := range cfg.ServerAddrs {
-		b.servers = append(b.servers, newServerConn(addr))
 	}
 	if ownWAL && cfg.CheckpointEvery > 0 {
 		b.ckpt = checkpoint.NewManager(store, checkpoint.Options{
@@ -417,7 +508,402 @@ func (b *Broker) Recovery() (fromCheckpoint bool, replayed int) {
 // Addr returns the broker's client-facing address.
 func (b *Broker) Addr() string { return b.ln.Addr().String() }
 
-func (b *Broker) home(user uint32) int { return int(user) % len(b.servers) }
+// table returns the broker's current epoch-versioned server table. Every
+// operation grabs it once and works against that one consistent snapshot.
+func (b *Broker) table() *serverTable { return b.tab.Load() }
+
+// home returns the slot user's view homes on under the current epoch.
+func (b *Broker) home(user uint32) int { return b.table().home(user) }
+
+// HomeOf reports the cache-server slot user's view homes on under the
+// broker's current membership epoch — rendezvous hashing over the active
+// servers, identical on every broker of the cluster.
+func (b *Broker) HomeOf(user uint32) int { return b.home(user) }
+
+// Epoch returns the broker's current membership epoch.
+func (b *Broker) Epoch() uint64 { return b.table().view.Epoch }
+
+// viewSupersedes reports whether next should replace cur: a newer epoch
+// always wins, and EQUAL epochs — two leaders on either side of a
+// partition each minting a transition under the same number — are
+// settled by comparing the encoded views, a total order every broker
+// evaluates identically. One side's transition is dropped (the operator
+// re-issues it), but the cluster converges on a single view instead of
+// diverging forever.
+func viewSupersedes(next, cur membership.View) bool {
+	if next.Epoch != cur.Epoch {
+		return next.Epoch > cur.Epoch
+	}
+	return bytes.Compare(membership.AppendView(nil, next), membership.AppendView(nil, cur)) > 0
+}
+
+// latestMembershipView recovers the newest membership transition recorded
+// in the store's WAL (under membership.ReservedUser), if any — restarts
+// and checkpoint loads come back at the epoch the cluster had reached,
+// not the configured seed.
+func latestMembershipView(store *wal.ViewStore) (membership.View, bool) {
+	recs, _ := store.View(membership.ReservedUser)
+	best := membership.View{}
+	found := false
+	for _, r := range recs {
+		v, _, err := membership.DecodeView(r.Payload)
+		if err != nil || v.Validate() != nil {
+			continue
+		}
+		if !found || viewSupersedes(v, best) {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// buildTable derives a server table from a membership view: a connection
+// per live slot, the datacenter topology over brokers plus every slot
+// (dead tombstones keep their machine so IDs never shift), and the policy
+// engine planning over it. Connections and load counters of slots present
+// in old carry over, so in-flight operations holding the old table keep
+// mutating the same counters the new table reads.
+func (b *Broker) buildTable(view membership.View, old *serverTable) (*serverTable, error) {
+	if err := view.Validate(); err != nil {
+		return nil, err
+	}
+	machines := make([]topology.Placed, 0, b.nBrokers+len(view.Servers))
+	for _, pos := range b.peerPos {
+		machines = append(machines, topology.Placed{Kind: topology.KindBroker, Zone: pos.Zone, Rack: pos.Rack})
+	}
+	for _, s := range view.Servers {
+		machines = append(machines, topology.Placed{Kind: topology.KindServer, Zone: s.Zone, Rack: s.Rack})
+	}
+	topo, err := topology.NewCustom(machines)
+	if err != nil {
+		return nil, err
+	}
+	t := &serverTable{
+		view:  view,
+		conns: make([]*serverConn, len(view.Servers)),
+		topo:  topo,
+		pol:   viewpolicy.New(topo, b.cfg.Policy),
+		load:  make([]*atomic.Int64, len(view.Servers)),
+	}
+	for i, s := range view.Servers {
+		if old != nil && i < len(old.load) {
+			t.load[i] = old.load[i]
+		} else {
+			t.load[i] = new(atomic.Int64)
+		}
+		if s.State == membership.StateDead {
+			continue // tombstone: no connection
+		}
+		if old != nil && i < len(old.conns) && old.conns[i] != nil &&
+			old.view.Servers[i].Addr == s.Addr {
+			t.conns[i] = old.conns[i]
+		} else {
+			t.conns[i] = newServerConn(s.Addr)
+		}
+	}
+	return t, nil
+}
+
+// installLocked publishes a superseding membership view: it builds the
+// successor table, grows the policy-threshold arrays to the new topology,
+// swaps the table pointer, and retires replaced slots (their connections
+// close, and newly dead slots' replicas are dropped from every placement
+// entry — reads fall back to surviving replicas or the WAL). Caller holds
+// membMu. Installing a view that does not supersede the current one is a
+// no-op.
+func (b *Broker) installLocked(next membership.View) error {
+	old := b.table()
+	if !viewSupersedes(next, old.view) {
+		return nil
+	}
+	nt, err := b.buildTable(next, old)
+	if err != nil {
+		return err
+	}
+	b.polMu.Lock()
+	for len(b.thresholds) < nt.topo.NumMachines() {
+		b.thresholds = append(b.thresholds, 0)
+	}
+	for len(b.evictFloor) < nt.topo.NumMachines() {
+		b.evictFloor = append(b.evictFloor, viewpolicy.Inf)
+	}
+	b.polMu.Unlock()
+	b.tab.Store(nt)
+	for i := range old.conns {
+		if old.conns[i] == nil || (i < len(nt.conns) && nt.conns[i] == old.conns[i]) {
+			continue
+		}
+		// The slot died, or (equal-epoch conflict resolution) its address
+		// changed; either way the old connection is retired.
+		old.conns[i].close()
+		if i < len(next.Servers) && next.Servers[i].State == membership.StateDead {
+			b.purgeServer(nt, i)
+		}
+	}
+	return nil
+}
+
+// purgeServer removes every replica accounted to a dead slot, without
+// contacting the server. A view whose only replica lived there loses its
+// placement entry entirely; the next access re-homes it and refills the
+// cache from the WAL.
+func (b *Broker) purgeServer(t *serverTable, idx int) {
+	for si := range b.shards {
+		sh := &b.shards[si]
+		sh.mu.Lock()
+		for user, meta := range sh.views {
+			if meta.reps[idx] == nil {
+				continue
+			}
+			removeLocked(meta, idx)
+			t.load[idx].Add(-1)
+			if len(meta.order) == 0 {
+				delete(sh.views, user)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Membership returns the broker's current membership view and per-slot
+// replica counts (the operator's window into a drain's progress).
+func (b *Broker) Membership() MembershipInfo {
+	t := b.table()
+	loads := make([]int64, len(t.load))
+	for i, l := range t.load {
+		loads[i] = l.Load()
+	}
+	return MembershipInfo{View: t.view.Clone(), Loads: loads}
+}
+
+// AddServer admits a new cache server into the cluster under the next
+// membership epoch. Leader-only (network clients are forwarded): the
+// transition is persisted to the WAL, replicated to the peers' logs,
+// installed locally, broadcast, and the new server immediately starts
+// receiving its rendezvous share of homes — existing views whose home
+// moved are migrated over by the maintenance pass.
+func (b *Broker) AddServer(info membership.ServerInfo) (membership.View, error) {
+	b.membMu.Lock()
+	defer b.membMu.Unlock()
+	if !b.IsLeader() {
+		return membership.View{}, ErrNotLeader
+	}
+	cur := b.table().view
+	if idx := cur.IndexOf(info.Addr); idx >= 0 {
+		s := cur.Servers[idx]
+		if s.State == membership.StateActive && s.Zone == info.Zone &&
+			s.Rack == info.Rack && s.Capacity == info.Capacity {
+			// An identical registration of an already-active server is a
+			// no-op, not an error — a cache server restarted by a
+			// supervisor with the same -join flags resumes under its
+			// existing slot instead of dying on a duplicate-address
+			// rejection.
+			return cur.Clone(), nil
+		}
+	}
+	next, err := cur.WithAdded(info)
+	if err != nil {
+		return membership.View{}, err
+	}
+	return b.commitViewLocked(next)
+}
+
+// DrainServer starts decommissioning a cache server: under the next epoch
+// the server stays readable but is no longer a home or placement target,
+// and the leader's maintenance pass migrates its replicas out through the
+// ordinary migration machinery. Once its replica count reaches zero (see
+// Membership), RemoveServer retires the slot for good. Leader-only.
+func (b *Broker) DrainServer(addr string) (membership.View, error) {
+	b.membMu.Lock()
+	defer b.membMu.Unlock()
+	if !b.IsLeader() {
+		return membership.View{}, ErrNotLeader
+	}
+	next, err := b.table().view.WithDraining(addr)
+	if err != nil {
+		return membership.View{}, err
+	}
+	return b.commitViewLocked(next)
+}
+
+// RemoveServer tombstones a cache server's slot under the next epoch.
+// Replicas still on the server are abandoned (reads fall back to the
+// surviving replicas or the WAL), so the zero-miss sequence is
+// DrainServer first, RemoveServer when the slot's replica count reaches
+// zero. Leader-only.
+func (b *Broker) RemoveServer(addr string) (membership.View, error) {
+	b.membMu.Lock()
+	defer b.membMu.Unlock()
+	if !b.IsLeader() {
+		return membership.View{}, ErrNotLeader
+	}
+	next, err := b.table().view.WithDead(addr)
+	if err != nil {
+		return membership.View{}, err
+	}
+	return b.commitViewLocked(next)
+}
+
+// commitViewLocked drives one membership transition through the full
+// pipeline: WAL record first (durability), replication to peer logs,
+// local install, delta broadcast, and a maintenance kick so homes
+// rebalance and drains start without waiting for the next policy tick.
+// Caller holds membMu and has verified leadership.
+func (b *Broker) commitViewLocked(next membership.View) (membership.View, error) {
+	old := b.table().view
+	payload := membership.AppendView(nil, next)
+	at := time.Now().UnixNano()
+	seq, err := b.store.Append(membership.ReservedUser, at, payload)
+	if err != nil {
+		return membership.View{}, fmt.Errorf("persist membership transition: %w", err)
+	}
+	if b.nBrokers > 1 && b.ownWAL {
+		b.broadcastSyncWrite(membership.ReservedUser, seq, at, payload)
+	}
+	if err := b.installLocked(next); err != nil {
+		return membership.View{}, err
+	}
+	b.broadcastMembership(payload)
+	b.kickMaintenance(old, next)
+	return next, nil
+}
+
+// applyMembershipPayload installs a membership view received from a peer
+// (delta broadcast, anti-entropy pull, WAL replication, or catch-up) if
+// its epoch is newer than the one this broker holds. Malformed or stale
+// payloads are ignored — the sender's next anti-entropy round repairs any
+// real gap.
+func (b *Broker) applyMembershipPayload(payload []byte) {
+	v, _, err := membership.DecodeView(payload)
+	if err != nil || v.Validate() != nil {
+		return
+	}
+	b.membMu.Lock()
+	defer b.membMu.Unlock()
+	old := b.table().view
+	if !viewSupersedes(v, old) {
+		return
+	}
+	if err := b.installLocked(v); err == nil && b.IsLeader() {
+		// A follower that became leader (or a leader that learned of a
+		// transition it missed) owns the rebalance and drain work now.
+		b.kickMaintenance(old, v)
+	}
+}
+
+// kickMaintenance runs one rebalance-and-drain pass in the background
+// right after a membership transition, so the cluster starts converging
+// immediately instead of waiting for the next PolicyEvery tick. Leader
+// only; tracked so Close waits for it.
+func (b *Broker) kickMaintenance(oldView, newView membership.View) {
+	if !b.IsLeader() {
+		return
+	}
+	b.bgMu.Lock()
+	if b.bgDone {
+		b.bgMu.Unlock()
+		return
+	}
+	b.bg.Add(1)
+	b.bgMu.Unlock()
+	go func() {
+		defer b.bg.Done()
+		b.rebalanceMu.Lock()
+		defer b.rebalanceMu.Unlock()
+		b.rebalanceHomes(oldView, newView)
+		b.drainOnce(time.Now().Unix())
+	}()
+}
+
+// rebalanceHomes migrates the views whose rendezvous home changed between
+// two membership epochs: a view still sitting at its old home moves to the
+// new one through the ordinary migration machinery (commit placement, then
+// copy data — a concurrent read refills from the WAL, never fails). Views
+// the placement policy already moved elsewhere are left where their
+// readers are; rendezvous hashing bounds the moved set to the fair share
+// of the membership change.
+func (b *Broker) rebalanceHomes(oldView, newView membership.View) {
+	if oldView.Epoch == 0 {
+		return
+	}
+	now := time.Now().Unix()
+	type move struct {
+		user     uint32
+		src, dst int
+	}
+	var moves []move
+	for si := range b.shards {
+		sh := &b.shards[si]
+		sh.mu.Lock()
+		for user, meta := range sh.views {
+			if user == membership.ReservedUser {
+				continue
+			}
+			oldHome, newHome := oldView.Home(user), newView.Home(user)
+			if newHome < 0 || oldHome == newHome || oldHome < 0 {
+				continue
+			}
+			if meta.reps[newHome] != nil || meta.reps[oldHome] == nil {
+				continue
+			}
+			moves = append(moves, move{user: user, src: oldHome, dst: newHome})
+		}
+		sh.mu.Unlock()
+	}
+	var changed []uint32
+	for _, m := range moves {
+		if b.migrateReplica(now, m.user, m.src, viewpolicy.Decision{Op: viewpolicy.OpMigrate, Target: b.machineOf(m.dst)}) {
+			changed = append(changed, m.user)
+		}
+	}
+	// One batched frame per peer instead of a per-user broadcast burst.
+	b.broadcastPlacementBatch(changed)
+}
+
+// drainOnce advances every draining server's decommissioning by one pass:
+// replicas with surviving copies elsewhere are simply dropped from the
+// replica set (readers fail over to the other copies), and sole replicas
+// are migrated to the view's new home before the draining copy is deleted
+// — the drain safety rule: data leaves a server only after it lives
+// somewhere else. Leader only.
+func (b *Broker) drainOnce(now int64) {
+	t := b.table()
+	for idx, s := range t.view.Servers {
+		if s.State != membership.StateDraining {
+			continue
+		}
+		type rep struct {
+			user uint32
+			sole bool
+		}
+		var reps []rep
+		for si := range b.shards {
+			sh := &b.shards[si]
+			sh.mu.Lock()
+			for user, meta := range sh.views {
+				if meta.reps[idx] != nil {
+					reps = append(reps, rep{user: user, sole: len(meta.order) == 1})
+				}
+			}
+			sh.mu.Unlock()
+		}
+		var changed []uint32
+		for _, r := range reps {
+			if r.sole {
+				if dst := t.home(r.user); dst >= 0 &&
+					b.migrateReplica(now, r.user, idx, viewpolicy.Decision{Op: viewpolicy.OpMigrate, Target: b.machineOf(dst)}) {
+					changed = append(changed, r.user)
+				}
+				continue
+			}
+			if b.removeReplicaQuiet(r.user, idx) {
+				b.evicted.Add(1)
+				changed = append(changed, r.user)
+			}
+		}
+		b.broadcastPlacementBatch(changed)
+	}
+}
 
 func (b *Broker) shard(user uint32) *brokerShard {
 	return &b.shards[(user*2654435761)>>28&(brokerShardCount-1)]
@@ -432,38 +918,38 @@ func (b *Broker) machineOf(idx int) topology.MachineID {
 // serverIdxOf is the inverse of machineOf.
 func (b *Broker) serverIdxOf(m topology.MachineID) int { return int(m) - b.nBrokers }
 
-func (b *Broker) capacityOf() int {
-	if b.cfg.ServerCapacity > 0 {
-		return b.cfg.ServerCapacity
-	}
-	return math.MaxInt
-}
-
 // metaLocked returns user's replica bookkeeping, lazily placing the home
-// replica. Caller holds sh.mu.
-func (b *Broker) metaLocked(sh *brokerShard, user uint32, now int64) *viewMeta {
+// replica under t's epoch. Caller holds sh.mu.
+func (b *Broker) metaLocked(t *serverTable, sh *brokerShard, user uint32, now int64) *viewMeta {
 	meta, ok := sh.views[user]
 	if !ok {
-		home := b.home(user)
-		meta = &viewMeta{order: []int{home}, reps: map[int]*replicaMeta{home: b.newReplicaMeta(now, 0)}}
+		home := t.home(user)
+		if home < 0 {
+			home = 0 // unreachable: every installed view has an active slot
+		}
+		meta = &viewMeta{order: []int{home}, reps: map[int]*replicaMeta{home: b.newReplicaMeta(t, now, 0)}}
 		sh.views[user] = meta
-		b.load[home].Add(1)
+		t.load[home].Add(1)
 	}
 	return meta
 }
 
-func (b *Broker) newReplicaMeta(now int64, estRate float64) *replicaMeta {
-	cfg := b.pol.Config()
+func (b *Broker) newReplicaMeta(t *serverTable, now int64, estRate float64) *replicaMeta {
+	cfg := t.pol.Config()
 	log, _ := stats.NewAccessLog(cfg.Slots, cfg.SlotSeconds)
 	return &replicaMeta{log: log, createdAt: now, estRate: estRate}
 }
 
-// viewStateLocked snapshots the replica set for the policy engine. Caller
-// holds the shard lock.
-func (b *Broker) viewStateLocked(meta *viewMeta) viewpolicy.ViewState {
-	replicas := make([]topology.MachineID, len(meta.order))
-	for i, idx := range meta.order {
-		replicas[i] = b.machineOf(idx)
+// viewStateLocked snapshots the replica set for the policy engine,
+// bounded to the slots t knows (a replica added under a newer epoch is
+// invisible to an operation still holding the older table). Caller holds
+// the shard lock.
+func (b *Broker) viewStateLocked(t *serverTable, meta *viewMeta) viewpolicy.ViewState {
+	replicas := make([]topology.MachineID, 0, len(meta.order))
+	for _, idx := range meta.order {
+		if idx < len(t.conns) {
+			replicas = append(replicas, b.machineOf(idx))
+		}
 	}
 	// This broker is the view's read and write proxy as far as its own
 	// policy evaluation is concerned.
@@ -471,16 +957,27 @@ func (b *Broker) viewStateLocked(meta *viewMeta) viewpolicy.ViewState {
 }
 
 // brokerEnv adapts broker state to the policy engine's read-only cluster
-// view while evaluating one view. It may be used under a shard lock; it
-// only takes polMu read locks (see Broker.polMu ordering).
+// view while evaluating one view under one server table. It may be used
+// under a shard lock; it only takes polMu read locks (see Broker.polMu
+// ordering).
 type brokerEnv struct {
 	b    *Broker
+	t    *serverTable
 	meta *viewMeta
 }
 
-func (e brokerEnv) Load(m topology.MachineID) int     { return int(e.b.load[e.b.serverIdxOf(m)].Load()) }
-func (e brokerEnv) Capacity(m topology.MachineID) int { return e.b.capacityOf() }
+func (e brokerEnv) Load(m topology.MachineID) int {
+	return int(e.t.load[e.b.serverIdxOf(m)].Load())
+}
+func (e brokerEnv) Capacity(m topology.MachineID) int {
+	return e.t.capacity(e.b.serverIdxOf(m), e.b.cfg.ServerCapacity)
+}
 func (e brokerEnv) EvictFloor(m topology.MachineID) float64 {
+	if !e.t.placeable(e.b.serverIdxOf(m)) {
+		// Draining and dead slots never admit newcomers, not even by
+		// displacing their weakest view.
+		return viewpolicy.Inf
+	}
 	e.b.polMu.RLock()
 	defer e.b.polMu.RUnlock()
 	return e.b.evictFloor[m]
@@ -511,6 +1008,10 @@ func (e brokerEnv) Holds(m topology.MachineID) bool {
 // In a multi-broker cluster with per-broker WALs the durable event is also
 // replicated to every peer's log, so any broker can later rebuild the view.
 func (b *Broker) Write(user uint32, payload []byte) (uint64, error) {
+	if user == membership.ReservedUser {
+		return 0, ErrReservedUser
+	}
+	t := b.table()
 	at := time.Now().UnixNano()
 	seq, err := b.store.Append(user, at, payload)
 	if err != nil {
@@ -523,7 +1024,7 @@ func (b *Broker) Write(user uint32, payload []byte) (uint64, error) {
 	view := b.currentView(user)
 	sh := b.shard(user)
 	sh.mu.Lock()
-	meta := b.metaLocked(sh, user, now)
+	meta := b.metaLocked(t, sh, user, now)
 	for _, rep := range meta.reps {
 		rep.log.RecordWrite(now)
 	}
@@ -536,8 +1037,18 @@ func (b *Broker) Write(user uint32, payload []byte) (uint64, error) {
 	var errs []error
 	var failed []int
 	for _, idx := range set {
-		if err := b.servers[idx].putView(user, view); err != nil {
-			errs = append(errs, fmt.Errorf("update replica on %s: %w", b.cfg.ServerAddrs[idx], err))
+		conn := t.conn(idx)
+		if conn == nil {
+			// The slot died (or appeared) under a different epoch than the
+			// one this write is acting under. Like any unreachable replica
+			// it is reported and dropped — never silently skipped, which
+			// would leave a possibly stale cached view marked current.
+			errs = append(errs, fmt.Errorf("update replica on %s: no connection in this epoch's table", t.label(idx)))
+			failed = append(failed, idx)
+			continue
+		}
+		if err := conn.putView(user, view); err != nil {
+			errs = append(errs, fmt.Errorf("update replica on %s: %w", t.label(idx), err))
 			failed = append(failed, idx)
 		}
 	}
@@ -567,19 +1078,32 @@ func (b *Broker) currentView(user uint32) View {
 // applies a placement change inline; followers aggregate the access into
 // their next report to the leader instead.
 func (b *Broker) ReadOne(user uint32) (View, error) {
+	if user == membership.ReservedUser {
+		return View{}, ErrReservedUser
+	}
+	t := b.table()
 	now := time.Now().Unix()
 	leader := b.IsLeader()
 	sh := b.shard(user)
 	sh.mu.Lock()
-	meta := b.metaLocked(sh, user, now)
-	view := b.viewStateLocked(meta)
-	serving := b.topo.ClosestOf(b.self, view.Replicas)
+	meta := b.metaLocked(t, sh, user, now)
+	view := b.viewStateLocked(t, meta)
+	serving := t.topo.ClosestOf(b.self, view.Replicas)
+	if serving == topology.NoMachine {
+		// Every replica lives on a slot this table does not know — a
+		// transient cross-epoch race. Serve straight from the WAL; the
+		// stranded-placement repair below re-homes the user.
+		sh.mu.Unlock()
+		b.misses.Add(1)
+		b.rehomeStranded(user)
+		return b.currentView(user), nil
+	}
 	idx := b.serverIdxOf(serving)
 	rep := meta.reps[idx]
-	rep.log.RecordRead(now, b.topo.OriginOf(serving, b.self))
+	rep.log.RecordRead(now, t.topo.OriginOf(serving, b.self))
 	var decision viewpolicy.Decision
 	if leader {
-		decision = b.evaluateLocked(now, meta, view, serving, rep)
+		decision = b.evaluateLocked(t, now, meta, view, serving, rep)
 	}
 	fallbacks := append([]int(nil), meta.order...)
 	sh.mu.Unlock()
@@ -587,7 +1111,7 @@ func (b *Broker) ReadOne(user uint32) (View, error) {
 		b.noteRead(user, idx)
 	}
 
-	v, err := b.readReplica(user, idx)
+	v, err := b.readReplica(t, user, idx)
 	if err != nil {
 		// The serving replica is unreachable: drop it, try the remaining
 		// replicas, and as a last resort serve straight from the WAL
@@ -598,7 +1122,7 @@ func (b *Broker) ReadOne(user uint32) (View, error) {
 			if alt == idx {
 				continue
 			}
-			if av, aerr := b.readReplica(user, alt); aerr == nil {
+			if av, aerr := b.readReplica(t, user, alt); aerr == nil {
 				v, recovered = av, true
 				break
 			}
@@ -607,24 +1131,62 @@ func (b *Broker) ReadOne(user uint32) (View, error) {
 		if !recovered {
 			b.misses.Add(1)
 			v = b.currentView(user)
+			// If every replica sits on a dead slot (a lazy home minted
+			// under a pre-remove table — the one placement purgeServer
+			// could not see), reset the entry so the next access re-homes
+			// it on a live server.
+			b.rehomeStranded(user)
 		}
 	}
 	b.applyDecision(now, user, idx, decision)
 	return v, nil
 }
 
+// rehomeStranded deletes user's placement entry when none of its replicas
+// has a connection in the current table — every copy is accounted to dead
+// (or unknown) slots, which no maintenance pass would ever repair. The
+// next access lazily re-homes the user under the current epoch and
+// refills the cache from the WAL. Replicas on live-but-crashed servers
+// keep their entry (their connections exist; the ordinary drop/refill
+// machinery owns that case).
+func (b *Broker) rehomeStranded(user uint32) {
+	t := b.table()
+	sh := b.shard(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	meta, ok := sh.views[user]
+	if !ok {
+		return
+	}
+	for _, idx := range meta.order {
+		if t.conn(idx) != nil {
+			return
+		}
+	}
+	for _, idx := range meta.order {
+		if idx < len(t.load) {
+			t.load[idx].Add(-1)
+		}
+	}
+	delete(sh.views, user)
+}
+
 // readReplica fetches user's view from server idx, refilling the cache from
 // the persistent store on a miss.
-func (b *Broker) readReplica(user uint32, idx int) (View, error) {
-	v, ok, err := b.servers[idx].getView(user)
+func (b *Broker) readReplica(t *serverTable, user uint32, idx int) (View, error) {
+	conn := t.conn(idx)
+	if conn == nil {
+		return View{}, fmt.Errorf("no connection to %s", t.label(idx))
+	}
+	v, ok, err := conn.getView(user)
 	if err != nil {
 		return View{}, err
 	}
 	if !ok {
 		b.misses.Add(1)
 		v = b.currentView(user)
-		if err := b.servers[idx].putView(user, v); err != nil {
-			return View{}, fmt.Errorf("cache fill: %w", err)
+		if err := conn.putView(user, v); err != nil {
+			return View{}, fmt.Errorf("cache fill on %s: %w", t.label(idx), err)
 		}
 	}
 	return v, nil
@@ -635,21 +1197,21 @@ func (b *Broker) readReplica(user uint32, idx int) (View, error) {
 // Views already at their replication cap skip Algorithm 2 (a create could
 // never be applied) and go straight to Algorithm 3, so capped views still
 // migrate toward their dominant readers.
-func (b *Broker) evaluateLocked(now int64, meta *viewMeta, view viewpolicy.ViewState, serving topology.MachineID, rep *replicaMeta) viewpolicy.Decision {
-	if b.pol.InGrace(rep.createdAt, now) {
+func (b *Broker) evaluateLocked(t *serverTable, now int64, meta *viewMeta, view viewpolicy.ViewState, serving topology.MachineID, rep *replicaMeta) viewpolicy.Decision {
+	if t.pol.InGrace(rep.createdAt, now) {
 		return viewpolicy.Decision{}
 	}
-	env := brokerEnv{b: b, meta: meta}
-	w := b.pol.WindowOf(rep.log, rep.createdAt, now)
+	env := brokerEnv{b: b, t: t, meta: meta}
+	w := t.pol.WindowOf(rep.log, rep.createdAt, now)
 	if len(meta.order) < b.cfg.MaxReplicas {
-		if d, ok := b.pol.EvaluateReplication(env, view, serving, w); ok {
+		if d, ok := t.pol.EvaluateReplication(env, view, serving, w); ok {
 			return d
 		}
 	}
-	if !b.pol.MatureForMigration(rep.createdAt, now) {
+	if !t.pol.MatureForMigration(rep.createdAt, now) {
 		return viewpolicy.Decision{}
 	}
-	return b.pol.EvaluateMigration(env, view, serving, w)
+	return t.pol.EvaluateMigration(env, view, serving, w)
 }
 
 // applyDecision carries out a placement change: replica-set membership is
@@ -672,13 +1234,17 @@ func (b *Broker) applyDecision(now int64, user uint32, serving int, d viewpolicy
 }
 
 func (b *Broker) applyCreate(now int64, user uint32, d viewpolicy.Decision) {
+	t := b.table()
 	target := b.serverIdxOf(d.Target)
-	if int(b.load[target].Load()) >= b.capacityOf() {
+	if !t.placeable(target) {
+		return // the decision predates a membership change that retired the slot
+	}
+	if int(t.load[target].Load()) >= t.capacity(target, b.cfg.ServerCapacity) {
 		// Full target: the policy admitted the newcomer over the server's
 		// eviction floor, so displace its weakest evictable view (the
 		// swap-on-admission form of §3.2 eviction, as the simulator's
 		// ensureRoom does). Give up if nothing can move.
-		if !b.evictWeakestOn(now, target, d.Profit) {
+		if !b.evictWeakestOn(t, now, target, d.Profit) {
 			return
 		}
 	}
@@ -686,21 +1252,26 @@ func (b *Broker) applyCreate(now int64, user uint32, d viewpolicy.Decision) {
 	sh.mu.Lock()
 	meta, ok := sh.views[user]
 	if !ok || len(meta.order) >= b.cfg.MaxReplicas || meta.reps[target] != nil ||
-		int(b.load[target].Load()) >= b.capacityOf() {
+		int(t.load[target].Load()) >= t.capacity(target, b.cfg.ServerCapacity) {
 		sh.mu.Unlock()
 		return
 	}
 	meta.order = append(meta.order, target)
-	meta.reps[target] = b.newReplicaMeta(now, d.Profit)
+	meta.reps[target] = b.newReplicaMeta(t, now, d.Profit)
 	// The new copy absorbs this origin's reads; forget them on the serving
 	// replica so the stale window does not trigger duplicate replicas.
 	for _, rep := range meta.reps {
 		rep.log.ClearOrigin(d.Origin)
 	}
-	b.load[target].Add(1)
+	t.load[target].Add(1)
 	sh.mu.Unlock()
 
-	if err := b.servers[target].putView(user, b.currentView(user)); err != nil {
+	conn := t.conn(target)
+	if conn == nil {
+		b.removeReplica(user, target)
+		return
+	}
+	if err := conn.putView(user, b.currentView(user)); err != nil {
 		b.removeReplica(user, target)
 		return
 	}
@@ -709,7 +1280,20 @@ func (b *Broker) applyCreate(now int64, user uint32, d viewpolicy.Decision) {
 }
 
 func (b *Broker) applyMigrate(now int64, user uint32, source int, d viewpolicy.Decision) {
+	if b.migrateReplica(now, user, source, d) {
+		b.broadcastPlacement(user)
+	}
+}
+
+// migrateReplica moves one replica without notifying peers; it reports
+// whether the replica set changed, so bulk callers (rebalance, drain) can
+// batch the notifications into one frame per peer.
+func (b *Broker) migrateReplica(now int64, user uint32, source int, d viewpolicy.Decision) bool {
+	t := b.table()
 	target := b.serverIdxOf(d.Target)
+	if !t.placeable(target) {
+		return false
+	}
 	sh := b.shard(user)
 	sh.mu.Lock()
 	meta, ok := sh.views[user]
@@ -717,35 +1301,41 @@ func (b *Broker) applyMigrate(now int64, user uint32, source int, d viewpolicy.D
 	// that served the read (local or reported) behind this decision.
 	if !ok || meta.reps[target] != nil || meta.reps[source] == nil {
 		sh.mu.Unlock()
-		return
+		return false
 	}
 	meta.order = append(meta.order, target)
-	meta.reps[target] = b.newReplicaMeta(now, d.Profit)
-	b.load[target].Add(1)
+	meta.reps[target] = b.newReplicaMeta(t, now, d.Profit)
+	t.load[target].Add(1)
 	removeLocked(meta, source)
-	b.load[source].Add(-1)
+	t.load[source].Add(-1)
 	sh.mu.Unlock()
 
-	_ = b.servers[source].deleteView(user)
+	// Install the copy on the target before deleting the source, so a
+	// concurrent read never finds the view on neither server (drains rely
+	// on this ordering for their zero-miss guarantee; a miss in the gap
+	// would still be served from the WAL, just more expensively).
 	migrated := true
-	if err := b.servers[target].putView(user, b.currentView(user)); err != nil {
+	if conn := t.conn(target); conn == nil || conn.putView(user, b.currentView(user)) != nil {
 		// The replica set still names target; reads will refill it from
 		// the WAL once the server is reachable, or drop it as dead.
 		migrated = false
 	}
+	if conn := t.conn(source); conn != nil {
+		_ = conn.deleteView(user)
+	}
 	if migrated {
 		b.migrated.Add(1)
 	}
-	b.broadcastPlacement(user)
+	return true
 }
 
 // evictWeakestOn drops the lowest-utility evictable replica on server idx,
 // provided its utility is below bar (the admitted newcomer's profit). It
 // refreshes the server's eviction floor and reports whether a slot was
 // freed. Shard locks are taken one at a time; the deleteView runs outside.
-func (b *Broker) evictWeakestOn(now int64, idx int, bar float64) bool {
+func (b *Broker) evictWeakestOn(t *serverTable, now int64, idx int, bar float64) bool {
 	at := b.machineOf(idx)
-	minReplicas := b.pol.Config().MinReplicas
+	minReplicas := t.pol.Config().MinReplicas
 	var victim uint32
 	worst := viewpolicy.Inf
 	found := false
@@ -758,10 +1348,10 @@ func (b *Broker) evictWeakestOn(now int64, idx int, bar float64) bool {
 				continue
 			}
 			var util float64
-			if b.pol.InGrace(rep.createdAt, now) {
+			if t.pol.InGrace(rep.createdAt, now) {
 				util = rep.estRate
 			} else {
-				util = b.pol.Utility(b.viewStateLocked(meta), at, b.pol.WindowOf(rep.log, rep.createdAt, now))
+				util = t.pol.Utility(b.viewStateLocked(t, meta), at, t.pol.WindowOf(rep.log, rep.createdAt, now))
 			}
 			if util < worst || (util == worst && (!found || user < victim)) {
 				victim, worst, found = user, util, true
@@ -783,6 +1373,17 @@ func (b *Broker) evictWeakestOn(now int64, idx int, bar float64) bool {
 // copy) and deletes the cached view. It reports whether a replica was
 // removed.
 func (b *Broker) removeReplica(user uint32, idx int) bool {
+	if !b.removeReplicaQuiet(user, idx) {
+		return false
+	}
+	b.broadcastPlacement(user)
+	return true
+}
+
+// removeReplicaQuiet is removeReplica without the peer notification, for
+// bulk passes that batch their deltas.
+func (b *Broker) removeReplicaQuiet(user uint32, idx int) bool {
+	t := b.table()
 	sh := b.shard(user)
 	sh.mu.Lock()
 	meta, ok := sh.views[user]
@@ -791,10 +1392,11 @@ func (b *Broker) removeReplica(user uint32, idx int) bool {
 		return false
 	}
 	removeLocked(meta, idx)
-	b.load[idx].Add(-1)
+	t.load[idx].Add(-1)
 	sh.mu.Unlock()
-	_ = b.servers[idx].deleteView(user)
-	b.broadcastPlacement(user)
+	if conn := t.conn(idx); conn != nil {
+		_ = conn.deleteView(user)
+	}
 	return true
 }
 
@@ -803,6 +1405,7 @@ func (b *Broker) removeReplica(user uint32, idx int) bool {
 // broker may do this — the drop is broadcast so peers stop routing reads
 // to the dead replica too.
 func (b *Broker) dropReplicas(user uint32, idxs []int) {
+	t := b.table()
 	sh := b.shard(user)
 	sh.mu.Lock()
 	changed := false
@@ -813,7 +1416,7 @@ func (b *Broker) dropReplicas(user uint32, idxs []int) {
 				continue
 			}
 			removeLocked(meta, idx)
-			b.load[idx].Add(-1)
+			t.load[idx].Add(-1)
 			changed = true
 		}
 	}
@@ -898,7 +1501,13 @@ func (b *Broker) maintainLoop() {
 		select {
 		case <-ticker.C:
 			if b.IsLeader() {
-				b.maintainOnce(time.Now().Unix())
+				now := time.Now().Unix()
+				b.maintainOnce(now)
+				// Elastic-membership upkeep rides the same tick: draining
+				// servers shed replicas every pass until empty.
+				b.rebalanceMu.Lock()
+				b.drainOnce(now)
+				b.rebalanceMu.Unlock()
 			}
 		case <-b.stop:
 			return
@@ -911,20 +1520,24 @@ func (b *Broker) maintainLoop() {
 // admission thresholds the read path consults. All decisions are collected
 // under shard locks; the deleteView I/O runs outside them.
 func (b *Broker) maintainOnce(now int64) {
-	minReplicas := b.pol.Config().MinReplicas
-	entries := make([][]viewpolicy.ViewUtil, len(b.servers))
+	t := b.table()
+	minReplicas := t.pol.Config().MinReplicas
+	entries := make([][]viewpolicy.ViewUtil, len(t.conns))
 	for si := range b.shards {
 		sh := &b.shards[si]
 		sh.mu.Lock()
 		for user, meta := range sh.views {
-			view := b.viewStateLocked(meta)
+			view := b.viewStateLocked(t, meta)
 			evictable := len(meta.order) > minReplicas
 			for idx, rep := range meta.reps {
+				if idx >= len(entries) {
+					continue // slot added by a concurrent, newer epoch
+				}
 				var util float64
-				if b.pol.InGrace(rep.createdAt, now) {
+				if t.pol.InGrace(rep.createdAt, now) {
 					util = rep.estRate
 				} else {
-					util = b.pol.Utility(view, b.machineOf(idx), b.pol.WindowOf(rep.log, rep.createdAt, now))
+					util = t.pol.Utility(view, b.machineOf(idx), t.pol.WindowOf(rep.log, rep.createdAt, now))
 				}
 				entries[idx] = append(entries[idx], viewpolicy.ViewUtil{ID: int64(user), Util: util, Evictable: evictable})
 			}
@@ -937,13 +1550,16 @@ func (b *Broker) maintainOnce(now int64) {
 		idx  int
 	}
 	var drops []removal
-	thresholds := make([]float64, b.topo.NumMachines())
-	floors := make([]float64, b.topo.NumMachines())
+	thresholds := make([]float64, t.topo.NumMachines())
+	floors := make([]float64, t.topo.NumMachines())
 	for i := range floors {
 		floors[i] = viewpolicy.Inf
 	}
-	for idx := range b.servers {
-		plan := b.pol.PlanServerMaintenance(entries[idx], int(b.load[idx].Load()), b.capacityOf())
+	for idx := range t.conns {
+		if !t.placeable(idx) {
+			continue // draining/dead slots are emptied by drainOnce, not priced
+		}
+		plan := t.pol.PlanServerMaintenance(entries[idx], int(t.load[idx].Load()), t.capacity(idx, b.cfg.ServerCapacity))
 		for _, id := range plan.Remove {
 			drops = append(drops, removal{user: uint32(id), idx: idx})
 		}
@@ -959,7 +1575,7 @@ func (b *Broker) maintainOnce(now int64) {
 	b.polMu.Lock()
 	copy(b.thresholds, thresholds)
 	copy(b.evictFloor, floors)
-	b.pol.DisseminateThresholds(b.thresholds, b.minThr)
+	t.pol.DisseminateThresholds(b.thresholds, b.minThr)
 	b.polMu.Unlock()
 }
 
@@ -1005,6 +1621,8 @@ type BrokerStats struct {
 	// CatchupRecords counts WAL records this broker recovered from peers
 	// via the opLogCursors/opLogPull catch-up protocol.
 	CatchupRecords int64
+	// Epoch is the broker's current membership epoch.
+	Epoch uint64
 }
 
 // Stats returns a snapshot of the broker's counters.
@@ -1017,6 +1635,7 @@ func (b *Broker) Stats() BrokerStats {
 		Migrated:       b.migrated.Load(),
 		Misses:         b.misses.Load(),
 		CatchupRecords: b.catchup.Load(),
+		Epoch:          b.Epoch(),
 	}
 	if b.ckpt != nil {
 		st.Checkpoints = b.ckpt.Checkpoints()
@@ -1060,7 +1679,10 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		if err != nil {
 			return respError, errorBody(err.Error())
 		}
-		return respRead, encodeReadResponse(version, views)
+		// The epoch trailer lets clients notice a membership change
+		// without polling; pre-membership clients never read past the
+		// views.
+		return respRead, appendEpoch(encodeReadResponse(version, views), b.Epoch())
 	case opWrite:
 		if len(body) < 4 {
 			return respError, errorBody("short write request")
@@ -1070,12 +1692,12 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		if err != nil {
 			return respError, errorBody(err.Error())
 		}
-		return respWrite, binary.LittleEndian.AppendUint64(nil, seq)
+		return respWrite, appendEpoch(binary.LittleEndian.AppendUint64(nil, seq), b.Epoch())
 	case opBrokerStats:
 		st := b.Stats()
 		var out []byte
 		for _, v := range []int64{st.Reads, st.Writes, st.Replicated, st.Evicted, st.Misses, st.Migrated,
-			st.Checkpoints, st.CompactedSegments, st.CatchupRecords} {
+			st.Checkpoints, st.CompactedSegments, st.CatchupRecords, int64(st.Epoch)} {
 			out = binary.LittleEndian.AppendUint64(out, uint64(v))
 		}
 		return respStats, out
@@ -1094,6 +1716,15 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		return respOK, nil
 	case opPlacementPull:
 		return respPlacement, encodePlacementTable(b.placementEntries())
+	case opPlacementBatch:
+		entries, err := decodePlacementTable(body)
+		if err != nil {
+			return respError, errorBody("bad placement batch: " + err.Error())
+		}
+		for _, e := range entries {
+			b.applyPlacementEntry(e.user, e.order)
+		}
+		return respOK, nil
 	case opAccessReport:
 		sender, reads, writes, err := decodeAccessReport(body)
 		if err != nil || int(sender) >= b.nBrokers || int(sender) == b.selfIdx {
@@ -1108,10 +1739,22 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		}
 		p := make([]byte, len(payload))
 		copy(p, payload)
-		if _, err := b.store.ApplyReplicated(wal.Record{Seq: seq, User: user, At: at, Payload: p}); err != nil {
+		applied, err := b.store.ApplyReplicated(wal.Record{Seq: seq, User: user, At: at, Payload: p})
+		if err != nil {
 			return respError, errorBody("replicate write: " + err.Error())
 		}
+		if applied && user == membership.ReservedUser {
+			// A replicated membership transition: install it if newer.
+			b.applyMembershipPayload(p)
+		}
 		return respOK, nil
+	case opMembershipGet, opMembershipPull:
+		return respMembership, encodeMembershipInfo(b.Membership())
+	case opMembershipDelta:
+		b.applyMembershipPayload(body)
+		return respOK, nil
+	case opServerAdd, opServerDrain, opServerRemove:
+		return b.handleAdmin(msgType, body)
 	case opLogCursors:
 		return respLogCursors, encodeLogCursors(b.store.Cursors())
 	case opLogPull:
@@ -1127,6 +1770,40 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 	default:
 		return respError, errorBody("unknown op")
 	}
+}
+
+// handleAdmin executes one membership mutation. Followers forward the
+// request to the leader broker verbatim and relay its answer, so an
+// operator (or dsctl) may point at any broker of the cluster. Successful
+// mutations answer with the new membership view and per-slot loads.
+func (b *Broker) handleAdmin(msgType uint8, body []byte) (uint8, []byte) {
+	if !b.IsLeader() {
+		leader := b.peers[b.Leader()]
+		if leader == nil || !leader.alive.Load() {
+			return respError, errorBody("membership change: no reachable leader")
+		}
+		respType, respBody, err := leader.conn.roundTrip(msgType, body)
+		if err != nil {
+			return respError, errorBody("forward membership change to leader: " + err.Error())
+		}
+		return respType, respBody
+	}
+	var err error
+	switch msgType {
+	case opServerAdd:
+		var info membership.ServerInfo
+		if info, err = membership.DecodeServerInfo(body); err == nil {
+			_, err = b.AddServer(info)
+		}
+	case opServerDrain:
+		_, err = b.DrainServer(string(body))
+	case opServerRemove:
+		_, err = b.RemoveServer(string(body))
+	}
+	if err != nil {
+		return respError, errorBody(err.Error())
+	}
+	return respMembership, encodeMembershipInfo(b.Membership())
 }
 
 // Close stops the broker: listener, controller and sync loops, in-flight
@@ -1149,8 +1826,10 @@ func (b *Broker) Close() error {
 	}
 	b.connMu.Unlock()
 	b.conns.Wait()
-	for _, sc := range b.servers {
-		sc.close()
+	for _, sc := range b.table().conns {
+		if sc != nil {
+			sc.close()
+		}
 	}
 	for _, p := range b.peers {
 		if p != nil {

@@ -72,7 +72,7 @@ func (c *Client) Read(targets []uint32) ([]View, error) {
 	}
 	switch respType {
 	case respRead:
-		views, err := decodeReadResponse(protoV1, respBody)
+		views, _, err := decodeReadResponse(protoV1, respBody)
 		if err != nil {
 			return nil, err
 		}
@@ -99,8 +99,8 @@ func (c *Client) Stats() (BrokerStats, error) {
 // decodeBrokerStats parses a respStats body shared by both protocol
 // versions. Older brokers send shorter bodies — 40 bytes before the
 // migration counter, 48 before the durability counters (checkpoints,
-// compacted segments, catch-up records) — so each tail group is decoded
-// only when present.
+// compacted segments, catch-up records), 72 before the membership epoch —
+// so each tail group is decoded only when present.
 func decodeBrokerStats(respType uint8, body []byte) (BrokerStats, error) {
 	if respType != respStats || len(body) < 40 {
 		return BrokerStats{}, ErrBadFrame
@@ -119,6 +119,9 @@ func decodeBrokerStats(respType uint8, body []byte) (BrokerStats, error) {
 		st.Checkpoints = int64(binary.LittleEndian.Uint64(body[48:56]))
 		st.CompactedSegments = int64(binary.LittleEndian.Uint64(body[56:64]))
 		st.CatchupRecords = int64(binary.LittleEndian.Uint64(body[64:72]))
+	}
+	if len(body) >= 80 {
+		st.Epoch = binary.LittleEndian.Uint64(body[72:80])
 	}
 	return st, nil
 }

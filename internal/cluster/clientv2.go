@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dynasore/internal/membership"
 )
 
 // ClientV2 talks the paper's API to a broker over wire protocol v2. Unlike
@@ -22,6 +24,10 @@ type ClientV2 struct {
 	conns       []*muxConn
 	next        atomic.Uint64
 	closed      atomic.Bool
+	// epoch is the highest membership epoch observed in read and write
+	// response trailers — how a client notices the cluster's cache-server
+	// set changed without polling.
+	epoch atomic.Uint64
 }
 
 // DefaultPoolSize is the connection pool size used when DialV2 gets
@@ -226,13 +232,14 @@ func (c *ClientV2) Read(ctx context.Context, targets []uint32) ([]View, error) {
 	}
 	switch respType {
 	case respRead:
-		views, err := decodeReadResponse(protoV2, respBody)
+		views, rest, err := decodeReadResponse(protoV2, respBody)
 		if err != nil {
 			return nil, err
 		}
 		if len(views) != len(targets) {
 			return nil, fmt.Errorf("%w: %d views for %d targets", ErrBadFrame, len(views), len(targets))
 		}
+		c.noteEpoch(epochTrailer(rest))
 		return views, nil
 	case respError:
 		return nil, asRemoteError(respBody)
@@ -254,11 +261,84 @@ func (c *ClientV2) Write(ctx context.Context, user uint32, payload []byte) (uint
 		if len(respBody) < 8 {
 			return 0, ErrBadFrame
 		}
+		c.noteEpoch(epochTrailer(respBody[8:]))
 		return binary.LittleEndian.Uint64(respBody), nil
 	case respError:
 		return 0, asRemoteError(respBody)
 	default:
 		return 0, ErrBadFrame
+	}
+}
+
+// noteEpoch records the highest membership epoch seen in a response
+// trailer.
+func (c *ClientV2) noteEpoch(e uint64) {
+	for {
+		cur := c.epoch.Load()
+		if e <= cur || c.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Epoch returns the highest membership epoch this client has observed in
+// broker responses (0 until the first read or write against an
+// elastic-membership broker).
+func (c *ClientV2) Epoch() uint64 { return c.epoch.Load() }
+
+// Membership fetches the broker's current membership view and per-slot
+// replica counts.
+func (c *ClientV2) Membership(ctx context.Context) (MembershipInfo, error) {
+	respType, body, err := c.do(ctx, opMembershipGet, nil)
+	if err != nil {
+		return MembershipInfo{}, err
+	}
+	switch respType {
+	case respMembership:
+		info, err := decodeMembershipInfo(body)
+		if err == nil {
+			c.noteEpoch(info.View.Epoch)
+		}
+		return info, err
+	case respError:
+		return MembershipInfo{}, asRemoteError(body)
+	default:
+		return MembershipInfo{}, ErrBadFrame
+	}
+}
+
+// AddServer asks the cluster to admit a new cache server (leader-forwarded
+// on the broker side) and returns the resulting membership.
+func (c *ClientV2) AddServer(ctx context.Context, info membership.ServerInfo) (MembershipInfo, error) {
+	return c.adminOp(ctx, opServerAdd, membership.AppendServerInfo(nil, info))
+}
+
+// DrainServer starts decommissioning the cache server at addr.
+func (c *ClientV2) DrainServer(ctx context.Context, addr string) (MembershipInfo, error) {
+	return c.adminOp(ctx, opServerDrain, []byte(addr))
+}
+
+// RemoveServer retires the cache server at addr from the cluster.
+func (c *ClientV2) RemoveServer(ctx context.Context, addr string) (MembershipInfo, error) {
+	return c.adminOp(ctx, opServerRemove, []byte(addr))
+}
+
+func (c *ClientV2) adminOp(ctx context.Context, op uint8, body []byte) (MembershipInfo, error) {
+	respType, respBody, err := c.do(ctx, op, body)
+	if err != nil {
+		return MembershipInfo{}, err
+	}
+	switch respType {
+	case respMembership:
+		info, err := decodeMembershipInfo(respBody)
+		if err == nil {
+			c.noteEpoch(info.View.Epoch)
+		}
+		return info, err
+	case respError:
+		return MembershipInfo{}, asRemoteError(respBody)
+	default:
+		return MembershipInfo{}, ErrBadFrame
 	}
 }
 

@@ -8,6 +8,21 @@ import (
 	"time"
 )
 
+// userHomedOn returns a user ID whose view homes on cache-server slot idx
+// under the broker's current membership epoch. Rendezvous hashing spreads
+// homes evenly, so a suitable user is always found within a few tries —
+// tests use this instead of assuming the retired modulo placement.
+func userHomedOn(t *testing.T, b *Broker, idx int) uint32 {
+	t.Helper()
+	for u := uint32(0); u < 10_000; u++ {
+		if b.HomeOf(u) == idx {
+			return u
+		}
+	}
+	t.Fatalf("no user among 10000 homes on server %d", idx)
+	return 0
+}
+
 // testCluster spins up n cache servers and one broker on ephemeral ports.
 func testCluster(t *testing.T, n int, tweak func(*BrokerConfig)) (*Broker, []*Server, *Client) {
 	t.Helper()
@@ -194,22 +209,23 @@ func TestHotViewReplication(t *testing.T) {
 		cfg.Preferred = 2
 		cfg.PolicyEvery = time.Hour // no maintenance pass during the test
 	})
-	// User 0's home is server 0; hammer reads through the broker. The
-	// shared policy sees reads from the broker's zone and replicates onto
-	// the rack-local server once the profit clears the admission bar.
-	if _, err := c.Write(0, []byte("hot")); err != nil {
+	// A user homed on server 0 (remote); hammer reads through the broker.
+	// The shared policy sees reads from the broker's zone and replicates
+	// onto the rack-local server once the profit clears the admission bar.
+	hot := userHomedOn(t, b, 0)
+	if _, err := c.Write(hot, []byte("hot")); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := c.Read([]uint32{0}); err != nil {
+		if _, err := c.Read([]uint32{hot}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := b.ReplicaCount(0); got < 2 {
+	if got := b.ReplicaCount(hot); got < 2 {
 		t.Fatalf("hot view has %d replicas, want >= 2", got)
 	}
 	// The preferred server must now hold the view.
-	if _, ok := servers[2].lookup(0); !ok {
+	if _, ok := servers[2].lookup(hot); !ok {
 		t.Error("preferred server does not hold the hot view")
 	}
 	st := b.Stats()
@@ -226,39 +242,40 @@ func TestAbandonedReplicaEviction(t *testing.T) {
 		cfg.Preferred = 1
 		cfg.PolicyEvery = 300 * time.Millisecond
 	})
-	if _, err := c.Write(0, []byte("flash")); err != nil {
+	flash := userHomedOn(t, b, 0)
+	if _, err := c.Write(flash, []byte("flash")); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 8; i++ {
-		if _, err := c.Read([]uint32{0}); err != nil {
+		if _, err := c.Read([]uint32{flash}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := b.ReplicaCount(0); got != 2 {
+	if got := b.ReplicaCount(flash); got != 2 {
 		t.Fatalf("replicas = %d, want 2 while hot", got)
 	}
 	// The crowd leaves; only writes remain.
 	for i := 0; i < 10; i++ {
-		if _, err := c.Write(0, []byte("update")); err != nil {
+		if _, err := c.Write(flash, []byte("update")); err != nil {
 			t.Fatal(err)
 		}
 	}
 	deadline := time.Now().Add(3 * time.Second)
 	for time.Now().Before(deadline) {
-		if b.ReplicaCount(0) == 1 {
+		if b.ReplicaCount(flash) == 1 {
 			break
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if got := b.ReplicaCount(0); got != 1 {
+	if got := b.ReplicaCount(flash); got != 1 {
 		t.Fatalf("replicas = %d after the crowd left, want 1", got)
 	}
 	// The surviving copy is the one near the broker; the abandoned home
 	// replica was deleted from its server.
-	if _, ok := servers[1].lookup(0); !ok {
+	if _, ok := servers[1].lookup(flash); !ok {
 		t.Error("broker-local server lost the surviving replica")
 	}
-	if _, still := servers[0].lookup(0); still {
+	if _, still := servers[0].lookup(flash); still {
 		t.Error("abandoned replica not deleted from the home server")
 	}
 	if st := b.Stats(); st.Evicted == 0 {
@@ -272,22 +289,23 @@ func TestWritesRefreshAllReplicas(t *testing.T) {
 		cfg.PolicyEvery = time.Hour
 		cfg.Policy.AdmissionEpsilon = 100 // replicate after the first read
 	})
-	if _, err := c.Write(0, []byte("v1")); err != nil {
+	hot := userHomedOn(t, b, 0)
+	if _, err := c.Write(hot, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := c.Read([]uint32{0}); err != nil {
+		if _, err := c.Read([]uint32{hot}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if b.ReplicaCount(0) < 2 {
+	if b.ReplicaCount(hot) < 2 {
 		t.Fatal("replication did not trigger")
 	}
-	if _, err := c.Write(0, []byte("v2")); err != nil {
+	if _, err := c.Write(hot, []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
 	for _, idx := range []int{0, 2} {
-		v, ok := servers[idx].lookup(0)
+		v, ok := servers[idx].lookup(hot)
 		if !ok {
 			t.Fatalf("server %d lost the view", idx)
 		}
@@ -366,32 +384,35 @@ func TestAdmissionSwapEvictsWeakestOnFullServer(t *testing.T) {
 		cfg.ServerCapacity = 1
 		cfg.Policy.AdmissionEpsilon = 100
 	})
-	// Users 0 and 1 home on servers 0 and 1; both remote from the broker.
+	// One user homed on server 1, another on server 0; both remote from
+	// the broker.
+	luke := userHomedOn(t, b, 1)
+	hot := userHomedOn(t, b, 0)
 	for i := 0; i < 3; i++ {
-		if _, err := c.Read([]uint32{1}); err != nil {
+		if _, err := c.Read([]uint32{luke}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := b.ReplicaCount(1); got != 2 {
+	if got := b.ReplicaCount(luke); got != 2 {
 		t.Fatalf("lukewarm view replicas = %d, want 2", got)
 	}
 	// Refresh eviction floors so admission can price the full server.
 	b.maintainOnce(time.Now().Unix())
 	for i := 0; i < 12; i++ {
-		if _, err := c.Read([]uint32{0}); err != nil {
+		if _, err := c.Read([]uint32{hot}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := b.ReplicaCount(0); got != 2 {
+	if got := b.ReplicaCount(hot); got != 2 {
 		t.Fatalf("hot view replicas = %d, want 2 (should displace the weak one)", got)
 	}
-	if got := b.ReplicaCount(1); got != 1 {
+	if got := b.ReplicaCount(luke); got != 1 {
 		t.Errorf("displaced view replicas = %d, want 1", got)
 	}
-	if _, ok := servers[2].lookup(0); !ok {
+	if _, ok := servers[2].lookup(hot); !ok {
 		t.Error("full server does not hold the hot view after the swap")
 	}
-	if _, still := servers[2].lookup(1); still {
+	if _, still := servers[2].lookup(luke); still {
 		t.Error("displaced view still cached on the full server")
 	}
 	if st := b.Stats(); st.Evicted == 0 {
@@ -435,15 +456,16 @@ func TestCrashRecoveryReplicationInterplay(t *testing.T) {
 		cfg.PolicyEvery = time.Hour       // placement changes only via the read path
 		cfg.Policy.AdmissionEpsilon = 100 // replicate after the first read
 	})
-	if _, err := c.Write(0, []byte("v1")); err != nil {
+	u := userHomedOn(t, b, 0)
+	if _, err := c.Write(u, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := c.Read([]uint32{0}); err != nil {
+		if _, err := c.Read([]uint32{u}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := b.ReplicaCount(0); got != 2 {
+	if got := b.ReplicaCount(u); got != 2 {
 		t.Fatalf("replicas before crash = %d, want 2", got)
 	}
 
@@ -454,14 +476,14 @@ func TestCrashRecoveryReplicationInterplay(t *testing.T) {
 	}
 	// A write now updates only the surviving replica; the failure must be
 	// visible to the caller and the dead replica leaves the set.
-	if _, err := b.Write(0, []byte("v2")); err == nil {
+	if _, err := b.Write(u, []byte("v2")); err == nil {
 		t.Fatal("write with a dead replica reported no error")
 	}
-	if got := b.ReplicaCount(0); got != 1 {
+	if got := b.ReplicaCount(u); got != 1 {
 		t.Fatalf("replicas after failed update = %d, want 1 (dead replica dropped)", got)
 	}
 	// Reads keep working and serve the latest version.
-	views, err := c.Read([]uint32{0})
+	views, err := c.Read([]uint32{u})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -480,14 +502,14 @@ func TestCrashRecoveryReplicationInterplay(t *testing.T) {
 	// fill comes from the WAL, so the restarted server holds the newest
 	// version, not the one it crashed with.
 	for i := 0; i < 6; i++ {
-		if _, err := c.Read([]uint32{0}); err != nil {
+		if _, err := c.Read([]uint32{u}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := b.ReplicaCount(0); got != 2 {
+	if got := b.ReplicaCount(u); got != 2 {
 		t.Fatalf("replicas after recovery = %d, want 2 (policy re-created)", got)
 	}
-	v, ok := restarted.lookup(0)
+	v, ok := restarted.lookup(u)
 	if !ok {
 		t.Fatal("restarted server holds no replica")
 	}

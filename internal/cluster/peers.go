@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynasore/internal/membership"
 	"dynasore/internal/topology"
 	"dynasore/internal/viewpolicy"
 )
@@ -186,7 +187,31 @@ func (b *Broker) syncOnce() {
 	b.pushReport(leader)
 	if b.syncRound.Add(1)%placementPullEvery == 0 {
 		b.pullPlacement(leader)
+		b.pullMembership(leader)
 	}
+}
+
+// pullMembership fetches the leader's current membership view — the
+// anti-entropy half of membership sync, repairing delta broadcasts lost
+// while this broker or a connection was down. Stale and malformed views
+// are ignored by the installer.
+func (b *Broker) pullMembership(leader *peerState) {
+	respType, body, err := leader.conn.roundTrip(opMembershipPull, nil)
+	if err != nil || respType != respMembership {
+		return
+	}
+	b.applyMembershipPayload(body)
+}
+
+// broadcastMembership pushes an encoded membership view to every peer —
+// even ones currently marked dead, exactly like WAL replication: a
+// mislabeled but reachable peer must not keep serving under a retired
+// epoch. Peers that truly missed it recover via pullMembership or WAL
+// catch-up.
+func (b *Broker) broadcastMembership(payload []byte) {
+	b.broadcast(true, func(p *peerState) {
+		_, _, _ = p.conn.roundTrip(opMembershipDelta, payload)
+	})
 }
 
 // noteRead buffers one locally served read for the next access report:
@@ -237,29 +262,34 @@ func (b *Broker) pushReport(leader *peerState) {
 // also evaluates and applies a placement decision for each reported view,
 // exactly as it does for its own reads.
 func (b *Broker) applyAccessReport(sender int, reads []reportRead, writes []reportWrite) {
+	t := b.table()
 	now := time.Now().Unix()
 	from := topology.MachineID(sender)
 	for _, e := range reads {
 		idx := int(e.server)
-		if idx < 0 || idx >= len(b.servers) || e.count == 0 {
+		if idx < 0 || idx >= len(t.conns) || e.count == 0 || e.user == membership.ReservedUser {
 			continue
 		}
 		sh := b.shard(e.user)
 		sh.mu.Lock()
-		meta := b.metaLocked(sh, e.user, now)
+		meta := b.metaLocked(t, sh, e.user, now)
 		rep := meta.reps[idx]
 		if rep == nil {
 			// The replica set changed since the follower served these
 			// reads; fold them into the replica now closest to it.
-			serving := b.topo.ClosestOf(from, b.viewStateLocked(meta).Replicas)
+			serving := t.topo.ClosestOf(from, b.viewStateLocked(t, meta).Replicas)
+			if serving == topology.NoMachine {
+				sh.mu.Unlock()
+				continue
+			}
 			idx = b.serverIdxOf(serving)
 			rep = meta.reps[idx]
 		}
 		serving := b.machineOf(idx)
-		rep.log.RecordReads(now, b.topo.OriginOf(serving, from), e.count)
+		rep.log.RecordReads(now, t.topo.OriginOf(serving, from), e.count)
 		var decision viewpolicy.Decision
 		if b.IsLeader() {
-			decision = b.evaluateLocked(now, meta, b.viewStateLocked(meta), serving, rep)
+			decision = b.evaluateLocked(t, now, meta, b.viewStateLocked(t, meta), serving, rep)
 		}
 		sh.mu.Unlock()
 		b.applyDecision(now, e.user, idx, decision)
@@ -315,10 +345,16 @@ func (b *Broker) placementEntries() []placementEntry {
 // the same entry twice is a no-op, which makes both the delta broadcast
 // and the anti-entropy pull idempotent.
 func (b *Broker) applyPlacementEntry(user uint32, order []int) {
+	t := b.table()
 	clean := make([]int, 0, len(order))
 	seen := make(map[int]bool, len(order))
 	for _, idx := range order {
-		if idx < 0 || idx >= len(b.servers) || seen[idx] {
+		// Indices beyond this broker's table belong to a membership epoch
+		// it has not installed yet, and nil-connection indices are dead
+		// tombstones (a delayed delta racing the membership change that
+		// retired the slot); both are dropped here and repaired by the
+		// next anti-entropy pull, after the epoch settles.
+		if idx < 0 || idx >= len(t.conns) || t.conns[idx] == nil || seen[idx] {
 			continue
 		}
 		seen[idx] = true
@@ -339,13 +375,13 @@ func (b *Broker) applyPlacementEntry(user uint32, order []int) {
 	for idx := range meta.reps {
 		if !seen[idx] {
 			delete(meta.reps, idx)
-			b.load[idx].Add(-1)
+			t.load[idx].Add(-1)
 		}
 	}
 	for _, idx := range clean {
 		if meta.reps[idx] == nil {
-			meta.reps[idx] = b.newReplicaMeta(now, 0)
-			b.load[idx].Add(1)
+			meta.reps[idx] = b.newReplicaMeta(t, now, 0)
+			t.load[idx].Add(1)
 		}
 	}
 	meta.order = append(meta.order[:0], clean...)
@@ -391,6 +427,34 @@ func (b *Broker) broadcastPlacement(user uint32) {
 	b.broadcast(false, func(p *peerState) {
 		_, _, _ = p.conn.roundTrip(opPlacementDelta, body)
 	})
+}
+
+// batchEntriesPerFrame bounds one opPlacementBatch frame; even a
+// cluster-wide rebalance stays far under the frame limit per send.
+const batchEntriesPerFrame = 8192
+
+// broadcastPlacementBatch pushes the current replica sets of many users
+// to every alive peer in O(users / batchEntriesPerFrame) frames per peer
+// — the bulk counterpart of broadcastPlacement, used by the rebalance and
+// drain passes so a membership change does not burst one goroutine and
+// round trip per moved user.
+func (b *Broker) broadcastPlacementBatch(users []uint32) {
+	if b.nBrokers == 1 || len(users) == 0 {
+		return
+	}
+	var entries []placementEntry
+	for _, u := range users {
+		if order := b.ReplicaSet(u); len(order) > 0 {
+			entries = append(entries, placementEntry{user: u, order: order})
+		}
+	}
+	for start := 0; start < len(entries); start += batchEntriesPerFrame {
+		chunk := entries[start:min(start+batchEntriesPerFrame, len(entries))]
+		body := encodePlacementTable(chunk)
+		b.broadcast(false, func(p *peerState) {
+			_, _, _ = p.conn.roundTrip(opPlacementBatch, body)
+		})
+	}
 }
 
 // broadcastSyncWrite replicates one durably sequenced event to every
@@ -479,6 +543,11 @@ func (b *Broker) catchUpFrom(p *peerState) {
 					// Concurrent catch-up against another peer may already
 					// have delivered this record; count each miss once.
 					b.catchup.Add(1)
+					if r.User == membership.ReservedUser {
+						// A membership transition this broker slept
+						// through; install it (stale epochs are ignored).
+						b.applyMembershipPayload(r.Payload)
+					}
 				}
 			}
 			from = recs[len(recs)-1].Seq + 1

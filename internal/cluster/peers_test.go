@@ -147,8 +147,9 @@ func TestMultiBrokerClusterConvergesAndSurvivesBrokerDeath(t *testing.T) {
 	// Hammer one user through the follower in zone 2: its report makes the
 	// leader replicate next to that front-end cluster, and the delta +
 	// anti-entropy sync must converge all three placement tables on a
-	// multi-replica set.
-	hot := uint32(1) // homes on server 1; zone-2 reads pull a copy to server 2
+	// multi-replica set. The user homes on server 0 (zone 0), so zone-2
+	// reads pull a copy into zone 2.
+	hot := userHomedOn(t, brokers[0], 0)
 	deadline := time.Now().Add(5 * time.Second)
 	var set []int
 	for time.Now().Before(deadline) {
@@ -209,8 +210,18 @@ func TestLeaderFailoverElectsNextAndKeepsMigrating(t *testing.T) {
 		}
 	}
 
-	const users = 8
-	for u := uint32(0); u < users; u++ {
+	// Four users homed away from zone 1 (server 1): after failover, reads
+	// through the zone-1 broker migrate their sole copies toward it. User
+	// 3 is excluded — the failover loop below hammers it through BOTH
+	// survivors, which would pull its access window toward zone 2 and
+	// stall its migration.
+	var remote []uint32
+	for u := uint32(0); len(remote) < 4; u++ {
+		if u != 3 && brokers[0].HomeOf(u) != 1 {
+			remote = append(remote, u)
+		}
+	}
+	for _, u := range remote {
 		if _, err := brokers[0].Write(u, []byte("seed")); err != nil {
 			t.Fatal(err)
 		}
@@ -250,7 +261,7 @@ func TestLeaderFailoverElectsNextAndKeepsMigrating(t *testing.T) {
 	// views homed elsewhere migrate them to the zone-1 server, advancing
 	// Migrated — repeatedly, as later users get the same treatment.
 	migratedAt := func() int64 { return survivors[0].Stats().Migrated }
-	waves := [][]uint32{{0, 2}, {4, 6}} // all homed outside zone 1
+	waves := [][]uint32{remote[:2], remote[2:]}
 	for wi, wave := range waves {
 		before := migratedAt()
 		deadline := time.Now().Add(8 * time.Second)
@@ -269,13 +280,13 @@ func TestLeaderFailoverElectsNextAndKeepsMigrating(t *testing.T) {
 	// Migration decisions reached the other survivor too.
 	deadline = time.Now().Add(3 * time.Second)
 	for time.Now().Before(deadline) {
-		if set, ok := sameReplicaSet(survivors, 0); ok && len(set) == 1 && set[0] == 1 {
+		if set, ok := sameReplicaSet(survivors, remote[0]); ok && len(set) == 1 && set[0] == 1 {
 			return
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Fatalf("migrated placement did not converge: %v / %v",
-		survivors[0].ReplicaSet(0), survivors[1].ReplicaSet(0))
+		survivors[0].ReplicaSet(remote[0]), survivors[1].ReplicaSet(remote[0]))
 }
 
 // TestWriteReplicationAcrossBrokerWALs runs two brokers with separate

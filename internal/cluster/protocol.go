@@ -25,6 +25,7 @@ import (
 	"slices"
 	"sync"
 
+	"dynasore/internal/membership"
 	"dynasore/internal/wal"
 )
 
@@ -71,6 +72,23 @@ const (
 	opLogPull
 	respLogCursors
 	respLogRecords
+	// Elastic membership (internal/membership): admin requests to read or
+	// mutate the epoch-versioned cache-server registry (mutations are
+	// forwarded to the leader broker), plus the peer-sync pair — delta
+	// broadcasts after every transition and anti-entropy pulls of the
+	// leader's current view.
+	opMembershipGet
+	opServerAdd
+	opServerDrain
+	opServerRemove
+	opMembershipDelta
+	opMembershipPull
+	respMembership
+	// opPlacementBatch carries many placement entries in one frame (the
+	// encodePlacementTable layout) — how a rebalance or drain pass pushes
+	// its whole outcome to each peer in O(1) round trips instead of one
+	// opPlacementDelta per moved user.
+	opPlacementBatch
 )
 
 // Protocol versions.
@@ -342,24 +360,26 @@ func encodeReadResponse(version int, views []View) []byte {
 	return out
 }
 
-// decodeReadResponse parses a respRead body.
-func decodeReadResponse(version int, body []byte) ([]View, error) {
+// decodeReadResponse parses a respRead body. The returned remainder holds
+// whatever follows the encoded views — in particular the membership epoch
+// trailer newer brokers append (see epochTrailer).
+func decodeReadResponse(version int, body []byte) ([]View, []byte, error) {
 	var count int
 	var rest []byte
 	if version == protoV1 {
 		if len(body) < 2 {
-			return nil, ErrBadFrame
+			return nil, nil, ErrBadFrame
 		}
 		count, rest = int(binary.LittleEndian.Uint16(body[0:2])), body[2:]
 	} else {
 		if len(body) < 4 {
-			return nil, ErrBadFrame
+			return nil, nil, ErrBadFrame
 		}
 		count64 := int64(binary.LittleEndian.Uint32(body[0:4]))
 		// An encoded view is at least 10 bytes, so a count the body cannot
 		// hold is malformed — reject before trusting it for allocation.
 		if count64 > int64(len(body)-4)/10 {
-			return nil, ErrBadFrame
+			return nil, nil, ErrBadFrame
 		}
 		count, rest = int(count64), body[4:]
 	}
@@ -369,11 +389,11 @@ func decodeReadResponse(version int, body []byte) ([]View, error) {
 		var err error
 		v, rest, err = decodeView(rest)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		views = append(views, v)
 	}
-	return views, nil
+	return views, rest, nil
 }
 
 // View is a producer-pivoted view: the user's latest events, oldest first,
@@ -720,6 +740,65 @@ func decodeLogRecords(body []byte) ([]wal.Record, error) {
 		recs = append(recs, r)
 	}
 	return recs, nil
+}
+
+// MembershipInfo pairs a broker's current membership view with its
+// per-slot replica counts (Loads[i] is how many views the broker accounts
+// to slot i) — the payload of a respMembership body. Loads let an operator
+// watch a draining server's replica count fall to zero before removing it.
+type MembershipInfo struct {
+	View  membership.View
+	Loads []int64
+}
+
+// encodeMembershipInfo builds a respMembership body: the encoded view
+// followed by one u64 load per slot, slot-aligned.
+func encodeMembershipInfo(info MembershipInfo) []byte {
+	buf := membership.AppendView(nil, info.View)
+	for i := range info.View.Servers {
+		var l uint64
+		if i < len(info.Loads) {
+			l = uint64(info.Loads[i])
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, l)
+	}
+	return buf
+}
+
+// decodeMembershipInfo parses a respMembership body. Loads are optional on
+// the wire (older or minimal encoders may omit them); when present they
+// must cover every slot.
+func decodeMembershipInfo(body []byte) (MembershipInfo, error) {
+	v, rest, err := membership.DecodeView(body)
+	if err != nil {
+		return MembershipInfo{}, err
+	}
+	info := MembershipInfo{View: v}
+	if len(rest) >= 8*len(v.Servers) {
+		info.Loads = make([]int64, len(v.Servers))
+		for i := range info.Loads {
+			info.Loads[i] = int64(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+	}
+	return info, nil
+}
+
+// appendEpoch appends the responder's membership epoch to a respRead or
+// respWrite body. Both decoders stop at their structured payload, so the
+// trailer is invisible to clients that predate elastic membership; newer
+// clients use it to notice a membership change without an extra round
+// trip.
+func appendEpoch(body []byte, epoch uint64) []byte {
+	return binary.LittleEndian.AppendUint64(body, epoch)
+}
+
+// epochTrailer reads a trailing membership epoch, or 0 when the responder
+// did not send one.
+func epochTrailer(rest []byte) uint64 {
+	if len(rest) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(rest[len(rest)-8:])
 }
 
 // errorBody builds a respError payload.

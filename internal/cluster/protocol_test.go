@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"dynasore/internal/membership"
 	"dynasore/internal/wal"
 )
 
@@ -306,19 +307,23 @@ func TestConcurrentReadsDoNotDuplicateReplicas(t *testing.T) {
 		cfg.PolicyEvery = time.Hour
 		cfg.Policy.AdmissionEpsilon = 100
 	})
-	if _, err := b.Write(0, []byte("hot")); err != nil {
+	hot := userHomedOn(t, b, 0)
+	if _, err := b.Write(hot, []byte("hot")); err != nil {
 		t.Fatal(err)
 	}
 	// 32 concurrent reads of the same user race through policy evaluation
 	// and decision application; the preferred server must be appended at
 	// most once.
 	targets := make([]uint32, 32)
+	for i := range targets {
+		targets[i] = hot
+	}
 	for round := 0; round < 4; round++ {
 		if _, err := b.Read(targets); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := b.ReplicaCount(0); got != 2 {
+	if got := b.ReplicaCount(hot); got != 2 {
 		t.Errorf("replicas = %d, want exactly 2 (home + preferred)", got)
 	}
 }
@@ -327,7 +332,7 @@ func TestDecodeReadResponseHostileCount(t *testing.T) {
 	// A malformed v2 respRead claiming 2^32-1 views in a 4-byte body must
 	// be rejected without attempting a giant allocation.
 	body := binary.LittleEndian.AppendUint32(nil, 0xFFFFFFFF)
-	if _, err := decodeReadResponse(protoV2, body); !errors.Is(err, ErrBadFrame) {
+	if _, _, err := decodeReadResponse(protoV2, body); !errors.Is(err, ErrBadFrame) {
 		t.Errorf("err = %v, want ErrBadFrame", err)
 	}
 	// Same for a v2 read request header.
@@ -374,6 +379,68 @@ func FuzzReadFrame(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzMembershipInfo drives the opMembershipDelta/opMembershipPull body
+// codec (an encoded membership view, optionally followed by slot-aligned
+// loads in respMembership bodies): whatever decodes must re-encode to the
+// identical bytes, and hostile counts must be rejected before allocation.
+func FuzzMembershipInfo(f *testing.F) {
+	view := membership.Seed([]membership.ServerInfo{
+		{Addr: "127.0.0.1:7001", Zone: 0, Rack: 1},
+		{Addr: "127.0.0.1:7002", Zone: 1, Rack: 1, Capacity: 64},
+	})
+	view, _ = view.WithDraining("127.0.0.1:7002")
+	f.Add(encodeMembershipInfo(MembershipInfo{View: view, Loads: []int64{3, 0}}))
+	f.Add(membership.AppendView(nil, view)) // delta body: no loads
+	f.Add([]byte{})
+	f.Add(make([]byte, 10))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, err := decodeMembershipInfo(data)
+		if err != nil {
+			return
+		}
+		// The view always round-trips byte-for-byte.
+		vb := membership.AppendView(nil, info.View)
+		if !bytes.Equal(vb, data[:len(vb)]) {
+			t.Fatalf("membership view round trip mismatch")
+		}
+		// When loads were present, the full body round-trips too.
+		if info.Loads != nil {
+			re := encodeMembershipInfo(info)
+			if !bytes.Equal(re, data[:len(re)]) {
+				t.Fatalf("membership info round trip mismatch")
+			}
+		}
+	})
+}
+
+func TestMembershipInfoRoundTrip(t *testing.T) {
+	view := membership.Seed([]membership.ServerInfo{
+		{Addr: "a:1", Zone: 0, Rack: 0},
+		{Addr: "b:2", Zone: 1, Rack: 0},
+	})
+	view, err := view.WithAdded(membership.ServerInfo{Addr: "c:3", Zone: 2, Rack: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := MembershipInfo{View: view, Loads: []int64{5, 2, 0}}
+	got, err := decodeMembershipInfo(encodeMembershipInfo(info))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.View.Epoch != 2 || len(got.View.Servers) != 3 {
+		t.Fatalf("view mismatch: %+v", got.View)
+	}
+	for i, l := range info.Loads {
+		if got.Loads[i] != l {
+			t.Errorf("load %d = %d, want %d", i, got.Loads[i], l)
+		}
+	}
+	// A truncated body is rejected, not mis-parsed.
+	if _, err := decodeMembershipInfo([]byte{1, 2, 3}); err == nil {
+		t.Error("short membership info decoded")
+	}
 }
 
 func FuzzDecodeView(f *testing.F) {

@@ -1,0 +1,226 @@
+package membership
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func seedView(n int) View {
+	servers := make([]ServerInfo, n)
+	for i := range servers {
+		servers[i] = ServerInfo{Addr: fmt.Sprintf("10.0.0.%d:7001", i), Zone: i, Rack: 1}
+	}
+	return Seed(servers)
+}
+
+func TestSeedAndValidate(t *testing.T) {
+	v := seedView(3)
+	if v.Epoch != 1 || v.NumActive() != 3 {
+		t.Fatalf("seed = epoch %d, %d active, want 1 and 3", v.Epoch, v.NumActive())
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (View{}).Validate(); err == nil {
+		t.Error("empty view validated")
+	}
+	dup := seedView(2)
+	dup.Servers[1].Addr = dup.Servers[0].Addr
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate live address validated")
+	}
+}
+
+func TestLifecycleTransitions(t *testing.T) {
+	v := seedView(2)
+	v2, err := v.WithAdded(ServerInfo{Addr: "10.0.0.9:7001", Zone: 2, Rack: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Epoch != 2 || len(v2.Servers) != 3 || v2.Servers[2].State != StateActive {
+		t.Fatalf("after add: %+v", v2)
+	}
+	// The original view is untouched (mutations are pure).
+	if len(v.Servers) != 2 || v.Epoch != 1 {
+		t.Fatalf("source view mutated: %+v", v)
+	}
+	if _, err := v2.WithAdded(ServerInfo{Addr: "10.0.0.9:7001"}); err == nil {
+		t.Error("duplicate add accepted")
+	}
+	if _, err := v2.WithDraining("nope"); err == nil {
+		t.Error("draining an unknown server accepted")
+	}
+
+	v3, err := v2.WithDraining("10.0.0.0:7001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Servers[0].State != StateDraining || v3.NumActive() != 2 {
+		t.Fatalf("after drain: %+v", v3)
+	}
+	// A draining slot keeps its index and stays addressable.
+	if got := v3.IndexOf("10.0.0.0:7001"); got != 0 {
+		t.Fatalf("IndexOf draining = %d, want 0", got)
+	}
+
+	v4, err := v3.WithDead("10.0.0.0:7001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v4.Servers[0].State != StateDead || len(v4.Servers) != 3 {
+		t.Fatalf("after remove: %+v", v4)
+	}
+	// Dead slots are tombstones: the address is free for a fresh slot.
+	v5, err := v4.WithAdded(ServerInfo{Addr: "10.0.0.0:7001", Zone: 0, Rack: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v5.Servers) != 4 || v5.IndexOf("10.0.0.0:7001") != 3 {
+		t.Fatalf("re-add after death: %+v", v5)
+	}
+}
+
+func TestLastActiveServerCannotRetire(t *testing.T) {
+	v := seedView(1)
+	if _, err := v.WithDraining(v.Servers[0].Addr); err != ErrLastActive {
+		t.Errorf("drain of last active = %v, want ErrLastActive", err)
+	}
+	if _, err := v.WithDead(v.Servers[0].Addr); err != ErrLastActive {
+		t.Errorf("remove of last active = %v, want ErrLastActive", err)
+	}
+}
+
+// TestRendezvousStability is the property the ISSUE's acceptance criterion
+// rests on: growing 2 → 4 active servers re-homes roughly the fair share
+// (half) of the users — never 60% — and every user that moved moved onto
+// one of the new slots; shrinking moves exactly the users homed on the
+// retired slot.
+func TestRendezvousStability(t *testing.T) {
+	const users = 10_000
+	v2 := seedView(2)
+	v4, err := v2.WithAdded(ServerInfo{Addr: "10.0.0.2:7001", Zone: 2, Rack: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4, err = v4.WithAdded(ServerInfo{Addr: "10.0.0.3:7001", Zone: 3, Rack: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for u := uint32(0); u < users; u++ {
+		before, after := v2.Home(u), v4.Home(u)
+		if before < 0 || after < 0 {
+			t.Fatalf("user %d has no home", u)
+		}
+		if before != after {
+			moved++
+			if after != 2 && after != 3 {
+				t.Fatalf("user %d moved %d -> %d, an old slot", u, before, after)
+			}
+		}
+	}
+	frac := float64(moved) / users
+	if frac >= 0.6 {
+		t.Errorf("grow 2->4 moved %.0f%% of homes, want < 60%%", frac*100)
+	}
+	if frac <= 0.3 {
+		t.Errorf("grow 2->4 moved only %.0f%% of homes — new servers underused", frac*100)
+	}
+
+	// Draining slot 0: only its users move, all onto surviving actives.
+	v3, err := v4.WithDraining("10.0.0.0:7001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := uint32(0); u < users; u++ {
+		before, after := v4.Home(u), v3.Home(u)
+		if before != 0 {
+			if after != before {
+				t.Fatalf("user %d homed on %d moved to %d though only slot 0 drained", u, before, after)
+			}
+			continue
+		}
+		if after == 0 || after < 0 {
+			t.Fatalf("user %d still homed on the draining slot (home %d)", u, after)
+		}
+	}
+}
+
+func TestHomeBalance(t *testing.T) {
+	const users = 30_000
+	v := seedView(3)
+	counts := make([]int, 3)
+	for u := uint32(0); u < users; u++ {
+		counts[v.Home(u)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / users
+		if frac < 0.25 || frac > 0.42 {
+			t.Errorf("slot %d holds %.1f%% of homes, want ~33%%", i, frac*100)
+		}
+	}
+}
+
+func TestViewCodecRoundTrip(t *testing.T) {
+	v := seedView(3)
+	v, _ = v.WithDraining("10.0.0.1:7001")
+	v, _ = v.WithDead("10.0.0.1:7001")
+	v.Servers[0].Capacity = 512
+	buf := AppendView(nil, v)
+	got, rest, err := DecodeView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("trailing bytes: %d", len(rest))
+	}
+	if got.Epoch != v.Epoch || len(got.Servers) != len(v.Servers) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, v)
+	}
+	for i := range got.Servers {
+		if got.Servers[i] != v.Servers[i] {
+			t.Errorf("slot %d mismatch: %+v vs %+v", i, got.Servers[i], v.Servers[i])
+		}
+	}
+	if _, _, err := DecodeView(buf[:len(buf)-3]); err == nil {
+		t.Error("truncated view decoded")
+	}
+	if _, _, err := DecodeView(nil); err == nil {
+		t.Error("empty buffer decoded")
+	}
+}
+
+func TestServerInfoCodecRoundTrip(t *testing.T) {
+	s := ServerInfo{Addr: "127.0.0.1:9999", Zone: 4, Rack: 2, Capacity: 100}
+	got, err := DecodeServerInfo(AppendServerInfo(nil, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.State = StateActive // the decoder normalizes fresh slots to active
+	if got != s {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, s)
+	}
+	if _, err := DecodeServerInfo([]byte{1, 2, 3}); err == nil {
+		t.Error("short server info decoded")
+	}
+}
+
+func FuzzDecodeView(f *testing.F) {
+	f.Add(AppendView(nil, seedView(2)))
+	f.Add([]byte{})
+	f.Add(make([]byte, 10))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, rest, err := DecodeView(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("rest grew: %d > %d", len(rest), len(data))
+		}
+		// Whatever decoded must re-encode to the identical bytes.
+		if re := AppendView(nil, v); !bytes.Equal(re, data[:len(data)-len(rest)]) {
+			t.Fatalf("view round trip mismatch")
+		}
+	})
+}

@@ -14,15 +14,17 @@ import (
 // packages whose exported API is the paper's (and this repo's) vocabulary:
 // every exported symbol of internal/viewpolicy and internal/topology (the
 // placement brain), internal/wal and internal/checkpoint (the durability
-// subsystem), and the public pkg/dynasore surface must carry a doc
-// comment, so the mapping from concept to code never silently erodes. It
-// runs as part of the ordinary test suite, which makes it a CI gate.
+// subsystem), internal/membership (the elastic cache-server registry),
+// and the public pkg/dynasore surface must carry a doc comment, so the
+// mapping from concept to code never silently erodes. It runs as part of
+// the ordinary test suite, which makes it a CI gate.
 func TestExportedSymbolsDocumented(t *testing.T) {
 	for _, dir := range []string{
 		".",
 		filepath.Join("..", "topology"),
 		filepath.Join("..", "wal"),
 		filepath.Join("..", "checkpoint"),
+		filepath.Join("..", "membership"),
 		filepath.Join("..", "..", "pkg", "dynasore"),
 	} {
 		undocumented := scanUndocumented(t, dir)

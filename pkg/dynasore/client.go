@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"dynasore/internal/cluster"
+	"dynasore/internal/membership"
 )
 
 // DialOption customizes Dial.
@@ -114,6 +115,51 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	}
 	return fromClusterStats(st), nil
 }
+
+// Epoch returns the highest membership epoch this client has observed in
+// broker responses (0 before the first call).
+func (c *Client) Epoch() uint64 { return c.c.Epoch() }
+
+// Membership returns the cluster's current cache-server set.
+func (c *Client) Membership(ctx context.Context) (Membership, error) {
+	info, err := c.c.Membership(ctx)
+	if err != nil {
+		return Membership{}, err
+	}
+	return fromClusterMembership(info), nil
+}
+
+// AddServer admits a new cache server into the cluster (the broker
+// forwards to the leader if needed) and returns the new membership.
+func (c *Client) AddServer(ctx context.Context, addr string, pos Position, capacity int) (Membership, error) {
+	info, err := c.c.AddServer(ctx, membership.ServerInfo{
+		Addr: addr, Zone: pos.Zone, Rack: pos.Rack, Capacity: capacity,
+	})
+	if err != nil {
+		return Membership{}, err
+	}
+	return fromClusterMembership(info), nil
+}
+
+// DrainServer starts decommissioning the cache server at addr.
+func (c *Client) DrainServer(ctx context.Context, addr string) (Membership, error) {
+	info, err := c.c.DrainServer(ctx, addr)
+	if err != nil {
+		return Membership{}, err
+	}
+	return fromClusterMembership(info), nil
+}
+
+// RemoveServer retires the cache server at addr from the cluster.
+func (c *Client) RemoveServer(ctx context.Context, addr string) (Membership, error) {
+	info, err := c.c.RemoveServer(ctx, addr)
+	if err != nil {
+		return Membership{}, err
+	}
+	return fromClusterMembership(info), nil
+}
+
+var _ Admin = (*Client)(nil)
 
 // Close closes the pooled connections; in-flight requests fail.
 func (c *Client) Close() error { return c.c.Close() }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dynasore/internal/cluster"
+	"dynasore/internal/membership"
 )
 
 // endpointCooldown is how long a broker endpoint sits out after a
@@ -27,6 +28,17 @@ type ClusterClient struct {
 	batchSize int
 	poolSize  int
 	closed    atomic.Bool
+
+	// Elastic-membership tracking: the highest epoch seen in any broker
+	// response, the cached membership snapshot refreshed when the epoch
+	// advances, and a guard so only one refresh runs at a time.
+	// refreshMu makes the closed-check-then-Add in noteEpoch atomic with
+	// respect to Close, so Close never races the WaitGroup.
+	epoch      atomic.Uint64
+	memb       atomic.Pointer[Membership]
+	refreshing atomic.Bool
+	refreshMu  sync.Mutex
+	refreshes  sync.WaitGroup
 }
 
 var _ Store = (*ClusterClient)(nil)
@@ -187,8 +199,132 @@ func (c *ClusterClient) readChunk(ctx context.Context, targets []uint32) ([]View
 			return err
 		}
 		out = fromClusterViews(views)
+		c.noteEpoch(cl.Epoch())
 		return nil
 	})
+	return out, err
+}
+
+// noteEpoch folds a broker connection's observed membership epoch into
+// the client's; a cached snapshot older than the observed epoch triggers
+// a background refresh, re-armed by every later response until one
+// succeeds — so the client's server table follows the cluster's without
+// polling, and a transient refresh failure heals on the next request
+// rather than waiting for another membership change.
+func (c *ClusterClient) noteEpoch(e uint64) {
+	if e == 0 {
+		return // pre-membership broker: no epochs on the wire
+	}
+	for {
+		cur := c.epoch.Load()
+		if e <= cur || c.epoch.CompareAndSwap(cur, e) {
+			break
+		}
+	}
+	if m := c.memb.Load(); m != nil && m.Epoch >= c.epoch.Load() {
+		return
+	}
+	if !c.refreshing.CompareAndSwap(false, true) {
+		return
+	}
+	c.refreshMu.Lock()
+	if c.closed.Load() {
+		c.refreshMu.Unlock()
+		c.refreshing.Store(false)
+		return
+	}
+	c.refreshes.Add(1)
+	c.refreshMu.Unlock()
+	go func() {
+		defer c.refreshes.Done()
+		defer c.refreshing.Store(false)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		// Membership itself installs the result under the epoch guard, so
+		// a reply from a lagging broker can never regress the cache.
+		_, _ = c.Membership(ctx)
+	}()
+}
+
+// CachedMembership returns the most recent membership snapshot the client
+// auto-refreshed after noticing a newer epoch in a response, or ok ==
+// false before the first refresh completes. Use Membership for an
+// explicit round trip.
+func (c *ClusterClient) CachedMembership() (Membership, bool) {
+	if m := c.memb.Load(); m != nil {
+		return *m, true
+	}
+	return Membership{}, false
+}
+
+// Epoch returns the highest membership epoch this client has observed in
+// broker responses.
+func (c *ClusterClient) Epoch() uint64 { return c.epoch.Load() }
+
+// Membership fetches the current cache-server set through any reachable
+// broker and updates the cached snapshot.
+func (c *ClusterClient) Membership(ctx context.Context) (Membership, error) {
+	var out Membership
+	start := int(c.next.Add(1)) % len(c.endpoints)
+	err := c.try(ctx, start, func(cl *cluster.ClientV2) error {
+		info, err := cl.Membership(ctx)
+		if err != nil {
+			return err
+		}
+		out = fromClusterMembership(info)
+		return nil
+	})
+	if err == nil {
+		if cur := c.memb.Load(); cur == nil || out.Epoch > cur.Epoch {
+			c.memb.Store(&out)
+		}
+	}
+	return out, err
+}
+
+// AddServer admits a new cache server into the cluster through any
+// reachable broker (forwarded to the leader) and returns the new
+// membership.
+func (c *ClusterClient) AddServer(ctx context.Context, addr string, pos Position, capacity int) (Membership, error) {
+	return c.adminOp(ctx, func(cl *cluster.ClientV2) (cluster.MembershipInfo, error) {
+		return cl.AddServer(ctx, membership.ServerInfo{
+			Addr: addr, Zone: pos.Zone, Rack: pos.Rack, Capacity: capacity,
+		})
+	})
+}
+
+// DrainServer starts decommissioning the cache server at addr.
+func (c *ClusterClient) DrainServer(ctx context.Context, addr string) (Membership, error) {
+	return c.adminOp(ctx, func(cl *cluster.ClientV2) (cluster.MembershipInfo, error) {
+		return cl.DrainServer(ctx, addr)
+	})
+}
+
+// RemoveServer retires the cache server at addr from the cluster.
+func (c *ClusterClient) RemoveServer(ctx context.Context, addr string) (Membership, error) {
+	return c.adminOp(ctx, func(cl *cluster.ClientV2) (cluster.MembershipInfo, error) {
+		return cl.RemoveServer(ctx, addr)
+	})
+}
+
+var _ Admin = (*ClusterClient)(nil)
+
+func (c *ClusterClient) adminOp(ctx context.Context, op func(*cluster.ClientV2) (cluster.MembershipInfo, error)) (Membership, error) {
+	var out Membership
+	start := int(c.next.Add(1)) % len(c.endpoints)
+	err := c.try(ctx, start, func(cl *cluster.ClientV2) error {
+		info, err := op(cl)
+		if err != nil {
+			return err
+		}
+		out = fromClusterMembership(info)
+		return nil
+	})
+	if err == nil {
+		if cur := c.memb.Load(); cur == nil || out.Epoch > cur.Epoch {
+			c.memb.Store(&out)
+		}
+	}
 	return out, err
 }
 
@@ -243,6 +379,9 @@ func (c *ClusterClient) Write(ctx context.Context, user uint32, payload []byte) 
 	err := c.try(ctx, start, func(cl *cluster.ClientV2) error {
 		var err error
 		seq, err = cl.Write(ctx, user, payload)
+		if err == nil {
+			c.noteEpoch(cl.Epoch())
+		}
 		return err
 	})
 	return seq, err
@@ -294,6 +433,10 @@ func (c *ClusterClient) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
+	// Barrier against noteEpoch's closed-check-then-Add: once this lock
+	// is acquired, no further refresh can be registered.
+	c.refreshMu.Lock()
+	c.refreshMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	for _, ep := range c.endpoints {
 		ep.mu.Lock()
 		ep.closed = true
@@ -303,5 +446,6 @@ func (c *ClusterClient) Close() error {
 		}
 		ep.mu.Unlock()
 	}
+	c.refreshes.Wait()
 	return nil
 }

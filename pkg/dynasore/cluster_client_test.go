@@ -147,6 +147,59 @@ func TestDialClusterServesAndFailsOver(t *testing.T) {
 	}
 }
 
+// TestClusterClientRefreshesMembershipOnNewEpoch verifies the end-to-end
+// epoch plumbing: read/write responses carry the broker's membership
+// epoch, and the cluster client notices an advance and refreshes its
+// cached server table without being asked.
+func TestClusterClientRefreshesMembershipOnNewEpoch(t *testing.T) {
+	ctx := context.Background()
+	_, addrs := startBrokerCluster(t, 2)
+	c, err := DialCluster(ctx, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Write(ctx, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch(); got != 1 {
+		t.Fatalf("epoch after first write = %d, want 1", got)
+	}
+
+	s, err := ListenCacheServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	// Mutate through the client itself — any broker works, followers
+	// forward to the leader.
+	m, err := c.AddServer(ctx, s.Addr(), Position{Zone: 2, Rack: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 2 {
+		t.Fatalf("epoch after add = %d, want 2", m.Epoch)
+	}
+
+	// Every broker converges; ordinary traffic then carries epoch 2 and
+	// the client's cached membership follows.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := c.Read(ctx, []uint32{1}); err != nil {
+			t.Fatal(err)
+		}
+		if cached, ok := c.CachedMembership(); ok && cached.Epoch >= 2 && c.Epoch() >= 2 {
+			if len(cached.Servers) != 3 {
+				t.Fatalf("cached membership has %d servers, want 3", len(cached.Servers))
+			}
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("client never refreshed: epoch=%d", c.Epoch())
+}
+
 func TestDialClusterRequiresReachableBroker(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
@@ -168,27 +221,32 @@ func TestMultiBrokerLeaderVisibleThroughPublicAPI(t *testing.T) {
 			t.Errorf("broker %d reports leader %d, want 0", i, got)
 		}
 	}
-	// Placement decisions propagate: hammer a view through the zone-2
-	// follower and wait for all brokers to agree on a >= 2 replica set.
+	// Placement decisions propagate: hammer a view homed away from zone 2
+	// through the zone-2 follower and wait for all brokers to agree on a
+	// >= 2 replica set.
+	hot := uint32(0)
+	for brokers[0].HomeOf(hot) == 2 {
+		hot++
+	}
 	ctx := context.Background()
 	c, err := Dial(ctx, brokers[2].Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Write(ctx, 1, []byte("hot")); err != nil {
+	if _, err := c.Write(ctx, hot, []byte("hot")); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if _, err := c.Read(ctx, []uint32{1}); err != nil {
+		if _, err := c.Read(ctx, []uint32{hot}); err != nil {
 			t.Fatal(err)
 		}
-		s0, s2 := brokers[0].ReplicaSet(1), brokers[2].ReplicaSet(1)
+		s0, s2 := brokers[0].ReplicaSet(hot), brokers[2].ReplicaSet(hot)
 		if len(s0) >= 2 && len(s0) == len(s2) && s0[0] == s2[0] && s0[1] == s2[1] {
 			return
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	t.Fatalf("replica sets did not converge: %v / %v", brokers[0].ReplicaSet(1), brokers[2].ReplicaSet(1))
+	t.Fatalf("replica sets did not converge: %v / %v", brokers[0].ReplicaSet(hot), brokers[2].ReplicaSet(hot))
 }

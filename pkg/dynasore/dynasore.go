@@ -30,6 +30,7 @@ import (
 	"context"
 
 	"dynasore/internal/cluster"
+	"dynasore/internal/membership"
 	"dynasore/internal/viewpolicy"
 )
 
@@ -62,6 +63,9 @@ type Stats struct {
 	// peers via the per-origin catch-up protocol after missing them —
 	// e.g. while it was down.
 	CatchupRecords int64
+	// Epoch is the broker's current membership epoch: it advances every
+	// time a cache server is added, drained, or removed.
+	Epoch uint64
 }
 
 // Store is the DynaSoRe API. Both backends are safe for concurrent use.
@@ -101,7 +105,96 @@ func fromClusterStats(st cluster.BrokerStats) Stats {
 		Checkpoints:       st.Checkpoints,
 		CompactedSegments: st.CompactedSegments,
 		CatchupRecords:    st.CatchupRecords,
+		Epoch:             st.Epoch,
 	}
+}
+
+// ServerState is the lifecycle state of one cache-server slot of the
+// cluster membership.
+type ServerState uint8
+
+// Slot lifecycle: active servers hold replicas and receive new homes; a
+// draining server stays readable while its replicas migrate out; a dead
+// slot is the tombstone of a removed server (indices stay stable).
+const (
+	ServerActive ServerState = iota + 1
+	ServerDraining
+	ServerDead
+)
+
+// String returns the operator-facing state name.
+func (s ServerState) String() string {
+	return membership.State(s).String()
+}
+
+// ServerEntry describes one cache-server slot of the cluster membership:
+// its address, datacenter position, placement capacity, lifecycle state,
+// and how many view replicas the answering broker currently accounts to
+// it (the number an operator watches reach zero during a drain).
+type ServerEntry struct {
+	Addr     string
+	Pos      Position
+	Capacity int
+	State    ServerState
+	Replicas int64
+}
+
+// Membership is an epoch-versioned snapshot of the cluster's cache-server
+// set — the elastic-membership registry every broker of the cluster
+// converges on.
+type Membership struct {
+	Epoch   uint64
+	Servers []ServerEntry
+}
+
+// NumActive counts the servers currently accepting new homes and
+// replicas.
+func (m Membership) NumActive() int {
+	n := 0
+	for _, s := range m.Servers {
+		if s.State == ServerActive {
+			n++
+		}
+	}
+	return n
+}
+
+func fromClusterMembership(info cluster.MembershipInfo) Membership {
+	out := Membership{Epoch: info.View.Epoch, Servers: make([]ServerEntry, len(info.View.Servers))}
+	for i, s := range info.View.Servers {
+		out.Servers[i] = ServerEntry{
+			Addr:     s.Addr,
+			Pos:      Position{Zone: s.Zone, Rack: s.Rack},
+			Capacity: s.Capacity,
+			State:    ServerState(s.State),
+		}
+		if i < len(info.Loads) {
+			out.Servers[i].Replicas = info.Loads[i]
+		}
+	}
+	return out
+}
+
+// Admin is the elastic-membership control surface: inspect the
+// epoch-versioned cache-server registry and grow, drain, or shrink the
+// cluster while it serves traffic. All three Store backends implement it;
+// network backends may point at any broker — mutations are forwarded to
+// the leader transparently. The safe decommissioning sequence is
+// DrainServer, wait for the server's Replicas count to reach zero, then
+// RemoveServer.
+type Admin interface {
+	// Membership returns the current epoch-versioned cache-server set.
+	Membership(ctx context.Context) (Membership, error)
+	// AddServer admits the cache server at addr, positioned in the
+	// datacenter tree, with the given placement capacity (0 = broker
+	// default). Existing views re-home only in their fair rendezvous
+	// share.
+	AddServer(ctx context.Context, addr string, pos Position, capacity int) (Membership, error)
+	// DrainServer starts decommissioning addr: still readable, no new
+	// placements, replicas migrated out by the leader's maintenance pass.
+	DrainServer(ctx context.Context, addr string) (Membership, error)
+	// RemoveServer retires addr's slot for good.
+	RemoveServer(ctx context.Context, addr string) (Membership, error)
 }
 
 // Position places a node in the datacenter tree: a zone (intermediate

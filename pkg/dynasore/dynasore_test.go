@@ -207,15 +207,21 @@ func TestHotViewReplicationThroughPublicAPI(t *testing.T) {
 		PolicyEvery:  time.Hour,
 		Policy:       dynasore.PolicyConfig{AdmissionEpsilon: 100},
 	})
-	if _, err := e.Write(ctx, 0, []byte("hot")); err != nil {
+	// Pick a user homed away from the preferred server, so replication
+	// onto it is profitable.
+	hot := uint32(0)
+	for e.HomeOf(hot) == 2 {
+		hot++
+	}
+	if _, err := e.Write(ctx, hot, []byte("hot")); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := e.Read(ctx, []uint32{0}); err != nil {
+		if _, err := e.Read(ctx, []uint32{hot}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := e.ReplicaCount(0); got < 2 {
+	if got := e.ReplicaCount(hot); got < 2 {
 		t.Errorf("replicas = %d, want >= 2", got)
 	}
 }
@@ -223,14 +229,18 @@ func TestHotViewReplicationThroughPublicAPI(t *testing.T) {
 func TestCrashedCacheServerFallsBackToWAL(t *testing.T) {
 	ctx := context.Background()
 	e := openEngine(t, dynasore.EngineConfig{CacheServers: 2, Preferred: -1})
-	if _, err := e.Write(ctx, 5, []byte("durable")); err != nil {
+	// A user homed on server 1, which stays up when server 0 crashes.
+	u := uint32(0)
+	for e.HomeOf(u) != 1 {
+		u++
+	}
+	if _, err := e.Write(ctx, u, []byte("durable")); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.CrashCacheServer(0); err != nil {
 		t.Fatal(err)
 	}
-	// User 5 lives on server 1 (5 % 2), which is still up.
-	views, err := e.Read(ctx, []uint32{5})
+	views, err := e.Read(ctx, []uint32{u})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,15 +275,21 @@ func TestExplicitPlacementThroughPublicAPI(t *testing.T) {
 		PolicyEvery: time.Hour,
 		Policy:      dynasore.PolicyConfig{AdmissionEpsilon: 100},
 	})
-	if _, err := e.Write(ctx, 0, []byte("hot")); err != nil {
+	// A user homed on the remote server 0, so the rack-local server 1 is
+	// the profitable replication target.
+	hot := uint32(0)
+	for e.HomeOf(hot) != 0 {
+		hot++
+	}
+	if _, err := e.Write(ctx, hot, []byte("hot")); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 6; i++ {
-		if _, err := e.Read(ctx, []uint32{0}); err != nil {
+		if _, err := e.Read(ctx, []uint32{hot}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := e.ReplicaCount(0); got < 2 {
+	if got := e.ReplicaCount(hot); got < 2 {
 		t.Errorf("replicas = %d, want >= 2 (policy should use the placed rack-local server)", got)
 	}
 	st, err := e.Stats(ctx)

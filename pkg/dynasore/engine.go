@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dynasore/internal/cluster"
+	"dynasore/internal/membership"
 )
 
 // EngineConfig configures an in-process cluster.
@@ -148,6 +149,60 @@ func (e *Engine) Stats(ctx context.Context) (Stats, error) {
 
 // ReplicaCount returns the current replication degree of user's view.
 func (e *Engine) ReplicaCount(user uint32) int { return e.broker.ReplicaCount(user) }
+
+// HomeOf reports the cache-server slot user's view homes on under the
+// current membership epoch (rendezvous hashing over the active servers).
+func (e *Engine) HomeOf(user uint32) int { return e.broker.HomeOf(user) }
+
+// Epoch returns the engine's current membership epoch.
+func (e *Engine) Epoch() uint64 { return e.broker.Epoch() }
+
+// Membership returns the engine's current cache-server set.
+func (e *Engine) Membership(ctx context.Context) (Membership, error) {
+	if err := ctx.Err(); err != nil {
+		return Membership{}, err
+	}
+	return fromClusterMembership(e.broker.Membership()), nil
+}
+
+// AddServer admits a cache server started elsewhere (e.g. with
+// ListenCacheServer) into the engine's cluster and returns the new
+// membership.
+func (e *Engine) AddServer(ctx context.Context, addr string, pos Position, capacity int) (Membership, error) {
+	if err := ctx.Err(); err != nil {
+		return Membership{}, err
+	}
+	if _, err := e.broker.AddServer(membership.ServerInfo{
+		Addr: addr, Zone: pos.Zone, Rack: pos.Rack, Capacity: capacity,
+	}); err != nil {
+		return Membership{}, err
+	}
+	return fromClusterMembership(e.broker.Membership()), nil
+}
+
+// DrainServer starts decommissioning the cache server at addr.
+func (e *Engine) DrainServer(ctx context.Context, addr string) (Membership, error) {
+	if err := ctx.Err(); err != nil {
+		return Membership{}, err
+	}
+	if _, err := e.broker.DrainServer(addr); err != nil {
+		return Membership{}, err
+	}
+	return fromClusterMembership(e.broker.Membership()), nil
+}
+
+// RemoveServer retires the cache server at addr from the cluster.
+func (e *Engine) RemoveServer(ctx context.Context, addr string) (Membership, error) {
+	if err := ctx.Err(); err != nil {
+		return Membership{}, err
+	}
+	if _, err := e.broker.RemoveServer(addr); err != nil {
+		return Membership{}, err
+	}
+	return fromClusterMembership(e.broker.Membership()), nil
+}
+
+var _ Admin = (*Engine)(nil)
 
 // NumCacheServers returns how many cache nodes the engine runs.
 func (e *Engine) NumCacheServers() int { return len(e.servers) }

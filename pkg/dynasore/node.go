@@ -185,6 +185,18 @@ func (b *Broker) ReplicaCount(user uint32) int { return b.b.ReplicaCount(user) }
 // multi-broker cluster every broker returns the same set.
 func (b *Broker) ReplicaSet(user uint32) []int { return b.b.ReplicaSet(user) }
 
+// HomeOf reports the cache-server slot user's view homes on under the
+// broker's current membership epoch (rendezvous hashing over the active
+// servers — identical on every broker of the cluster).
+func (b *Broker) HomeOf(user uint32) int { return b.b.HomeOf(user) }
+
+// Epoch returns the broker's current membership epoch.
+func (b *Broker) Epoch() uint64 { return b.b.Epoch() }
+
+// Membership returns the broker's current view of the cluster's
+// cache-server set, with per-slot replica counts.
+func (b *Broker) Membership() Membership { return fromClusterMembership(b.b.Membership()) }
+
 // IsLeader reports whether this broker currently runs the placement policy
 // for its cluster. A single-broker cluster is always its own leader.
 func (b *Broker) IsLeader() bool { return b.b.IsLeader() }
