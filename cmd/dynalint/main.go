@@ -1,0 +1,184 @@
+// Command dynalint runs the repo's invariant analyzers (internal/lint)
+// over Go packages. It works two ways:
+//
+// Standalone, over package patterns (exit 1 when there are findings):
+//
+//	go run ./cmd/dynalint ./...
+//
+// As a vet tool, speaking the go command's unitchecker protocol (the
+// go tool invokes it once per package with a JSON config file):
+//
+//	go build -o /tmp/dynalint ./cmd/dynalint
+//	go vet -vettool=/tmp/dynalint ./...
+//
+// The analyzers and the invariants they enforce are catalogued in
+// docs/INVARIANTS.md. Suppressions use `//dynalint:allow <analyzer>
+// <reason>` directives at the offending declaration or statement.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"dynasore/internal/lint"
+)
+
+func main() {
+	// `go vet -vettool` probes the tool's identity before using it.
+	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-V") {
+		printVersion()
+		return
+	}
+	// The go command also asks which analyzer flags the tool accepts
+	// (JSON list); this suite exposes none beyond the protocol itself.
+	if len(os.Args) > 1 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(vetMode(os.Args[1]))
+	}
+	os.Exit(standalone())
+}
+
+// standalone loads the given package patterns (default ./...) and runs
+// the whole suite, printing findings like a compiler would.
+func standalone() int {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynalint:", err)
+		return 2
+	}
+	diags, fset, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynalint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dynalint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of the go command's unitchecker config this
+// tool needs: the package's own files plus the maps resolving its
+// imports to export data.
+type vetConfig struct {
+	ID                        string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetMode analyzes one package as directed by the go command's config
+// file, exit code 2 signalling findings (vet's convention).
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynalint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dynalint: parse %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command stores per-package analysis facts via VetxOutput.
+	// This suite is factless, but the file must exist for the protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("dynalint: no facts"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "dynalint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Resolve import paths the way the compiler would: first through
+	// ImportMap (import path as written → canonical), then to the
+	// export data file.
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for as, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[as] = file
+		}
+	}
+	fset := token.NewFileSet()
+	pkg, err := lint.CheckFiles(fset, cfg.ImportPath, goOnly(cfg.GoFiles), exports)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "dynalint:", err)
+		return 1
+	}
+	diags, _, err := lint.Run([]*lint.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynalint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// goOnly filters a config's file list down to .go sources (cgo-less
+// packages may still list assembly files under NonGoFiles, but be
+// defensive about what lands in GoFiles).
+func goOnly(files []string) []string {
+	var out []string
+	for _, f := range files {
+		if strings.HasSuffix(f, ".go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// printVersion answers `dynalint -V=full`: the go command hashes this
+// line into its action cache key, so it must change when the tool
+// does. Hash the executable itself — the strongest cheap fingerprint.
+func printVersion() {
+	name := "dynalint"
+	sum := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			h := sha256.Sum256(data)
+			sum = fmt.Sprintf("%x", h[:12])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, sum)
+}

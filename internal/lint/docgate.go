@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DocGate is the documentation gate, promoted from the old
+// internal/viewpolicy/docgate_test.go so it covers every internal/ and
+// pkg/ package uniformly instead of a hand-listed six: each exported
+// function, type, constant, and variable must carry a doc comment. The
+// exported API is the paper's (and this repo's) vocabulary — the
+// mapping from concept to code must not silently erode as subsystems
+// land.
+var DocGate = &Analyzer{
+	Name: "docgate",
+	Doc:  "requires a doc comment on every exported symbol of internal/ and pkg/ packages",
+	Run:  runDocGate,
+}
+
+func runDocGate(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "/internal/") && !strings.Contains(path, "/pkg/") &&
+		!strings.HasPrefix(path, "internal/") && !strings.HasPrefix(path, "pkg/") {
+		return nil // main packages and external trees are out of scope
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && !documents(d.Doc) && !unexportedReceiver(d) {
+					pass.Reportf(d.Pos(), "exported %s %s has no doc comment", declKind(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				docless := !documents(d.Doc)
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && docless && !documents(s.Doc) && !documents(s.Comment) {
+							pass.Reportf(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && docless && !documents(s.Doc) && !documents(s.Comment) {
+								pass.Reportf(n.Pos(), "exported value %s has no doc comment", n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// documents reports whether cg contains actual documentation: machine
+// directives (//dynalint:…, //go:…) and the test harness's "// want"
+// expectations do not count.
+func documents(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := c.Text
+		if strings.HasPrefix(text, directivePrefix) ||
+			strings.HasPrefix(text, "//go:") ||
+			strings.HasPrefix(text, "// want ") {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// unexportedReceiver reports whether d is a method on an unexported
+// type. Such methods are not part of the package's API surface — they
+// typically satisfy an interface (a policy-engine adapter's Load /
+// Capacity / Holds) and the documentation lives on the type.
+func unexportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver: strip type arguments
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return !tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// declKind names a FuncDecl for diagnostics: "method" when it has a
+// receiver, "function" otherwise.
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}

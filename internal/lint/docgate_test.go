@@ -1,0 +1,8 @@
+package lint
+
+import "testing"
+
+func TestDocGate(t *testing.T) {
+	got := runFixture(t, DocGate, "internal/docgate")
+	requireTruePositives(t, got, 2)
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EpochTable enforces the PR 5 epoch-table discipline. The broker's
+// membership-dependent state (server list, rendezvous homes, epoch) is
+// an immutable *serverTable behind an atomic pointer: correctness
+// depends on code taking ONE snapshot per operation and not caching it.
+// The analyzer flags the stale-epoch bug class that design exists to
+// prevent: storing a loaded table in a struct field, shipping it to
+// another goroutine (go closure, channel send), loading the table twice
+// in one function (two snapshots can straddle a rebalance), and using a
+// snapshot after a wait point (channel receive, select, sleep) that
+// runs after the load.
+var EpochTable = &Analyzer{
+	Name: "epochtable",
+	Doc:  "flags stale *serverTable snapshots: struct-field stores, goroutine captures, double loads, use across waits",
+	Run:  runEpochTable,
+}
+
+// epochTableTypeName is the snapshot type the discipline protects. The
+// analyzer activates only in a package that declares it.
+const epochTableTypeName = "serverTable"
+
+func runEpochTable(pass *Pass) error {
+	obj := pass.Pkg.Scope().Lookup(epochTableTypeName)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil // package has no server table; nothing to enforce
+	}
+	tableType := tn.Type()
+	isTablePtr := func(t types.Type) bool {
+		p, ok := t.(*types.Pointer)
+		return ok && types.Identical(p.Elem(), tableType)
+	}
+	exprIsTable := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		return ok && isTablePtr(tv.Type)
+	}
+
+	for _, f := range pass.Files {
+		// Rule: no struct field of type *serverTable outside the one
+		// atomic.Pointer holder — a field caches a snapshot across
+		// operations, which is exactly the stale-epoch bug.
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				tv, ok := pass.TypesInfo.Types[field.Type]
+				if ok && isTablePtr(tv.Type) {
+					pass.Reportf(field.Pos(), "struct field holds a *%s: snapshots must be loaded per operation, never cached in a field", epochTableTypeName)
+				}
+			}
+			return true
+		})
+
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkTableFlow(pass, fd, exprIsTable)
+		}
+	}
+	return nil
+}
+
+// checkTableFlow applies the per-function rules: single load, no
+// goroutine capture, no channel send, no use after a wait point that
+// follows the load.
+func checkTableFlow(pass *Pass, fd *ast.FuncDecl, exprIsTable func(ast.Expr) bool) {
+	// Collect every load site (a call expression yielding *serverTable:
+	// b.table(), b.tab.Load()) and the variables the results bind to.
+	var loads []*ast.CallExpr
+	tableVars := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if exprIsTable(n) {
+				loads = append(loads, n)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					continue
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if exprIsTable(rhs) {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						tableVars[obj] = true
+					} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						tableVars[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if len(loads) > 1 {
+		pass.Reportf(loads[1].Pos(), "second %s load in one function: one operation takes one snapshot — two loads can straddle a membership epoch change", epochTableTypeName)
+	}
+
+	usesTableVar := func(n ast.Node) (used bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && tableVars[pass.TypesInfo.Uses[id]] {
+				used = true
+			}
+			return true
+		})
+		return used
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A snapshot captured by a spawned goroutine outlives the
+			// operation that loaded it.
+			if usesTableVar(n.Call) {
+				pass.Reportf(n.Pos(), "goroutine captures a *%s snapshot: it will outlive this operation's epoch — load the table inside the goroutine", epochTableTypeName)
+			}
+		case *ast.SendStmt:
+			// Only a value actually typed *serverTable ships the snapshot;
+			// sending an int derived from it is fine.
+			if exprIsTable(n.Value) {
+				pass.Reportf(n.Pos(), "*%s snapshot sent on a channel: the receiver gets a table of unknown age — send the inputs and let the receiver load its own snapshot", epochTableTypeName)
+			}
+		}
+		return true
+	})
+
+	if len(tableVars) > 0 {
+		checkUseAfterWait(pass, fd.Body.List, tableVars, false)
+	}
+}
+
+// checkUseAfterWait scans statements linearly: once a wait point
+// (select, channel receive, time.Sleep, WaitGroup.Wait) has executed
+// AFTER a snapshot variable existed, later uses of the snapshot are
+// stale and get flagged. Loads that happen after the wait are fine —
+// Close loading the table once its loops have drained is the legal
+// pattern.
+func checkUseAfterWait(pass *Pass, stmts []ast.Stmt, tableVars map[types.Object]bool, waited bool) bool {
+	loaded := false
+	for _, stmt := range stmts {
+		// Does this statement bind one of the snapshot variables?
+		bindsHere := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil && tableVars[obj] {
+							bindsHere = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if bindsHere {
+			loaded = true
+			waited = false // a fresh snapshot resets the staleness clock
+			continue
+		}
+		if waited && loaded {
+			stale := false
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if id, ok := n.(*ast.Ident); ok && tableVars[pass.TypesInfo.Uses[id]] {
+					stale = true
+				}
+				return true
+			})
+			if stale {
+				pass.Reportf(stmt.Pos(), "*%s snapshot used after a wait point: the epoch may have advanced while blocked — reload the table after waiting", epochTableTypeName)
+			}
+		}
+		if isWaitPoint(pass, stmt) {
+			waited = true
+		}
+		// Recurse into compound statements with the current state; a
+		// wait inside a branch taints the fall-through conservatively.
+		switch s := stmt.(type) {
+		case *ast.BlockStmt:
+			waited = checkUseAfterWait(pass, s.List, tableVars, waited) || waited
+		case *ast.IfStmt:
+			w := checkUseAfterWait(pass, s.Body.List, tableVars, waited)
+			if s.Else != nil {
+				w = checkUseAfterWait(pass, []ast.Stmt{s.Else}, tableVars, waited) || w
+			}
+			waited = waited || w
+		case *ast.ForStmt:
+			waited = checkUseAfterWait(pass, s.Body.List, tableVars, waited) || waited
+		case *ast.RangeStmt:
+			waited = checkUseAfterWait(pass, s.Body.List, tableVars, waited) || waited
+		}
+	}
+	return waited
+}
+
+// isWaitPoint recognizes statements that block this goroutine waiting
+// on other goroutines or on time: select statements, channel receives,
+// time.Sleep, and sync.WaitGroup.Wait.
+func isWaitPoint(pass *Pass, stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+				found = true
+			case fn.Pkg().Path() == "sync" && fn.Name() == "Wait":
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

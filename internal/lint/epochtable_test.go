@@ -1,0 +1,8 @@
+package lint
+
+import "testing"
+
+func TestEpochTable(t *testing.T) {
+	got := runFixture(t, EpochTable, "epochtable")
+	requireTruePositives(t, got, 2)
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrJoin flags dropped error returns on durability-critical paths,
+// where a swallowed error means silent data loss: os.Rename and
+// os.File Sync/Close/Write as bare statements, the WAL's and
+// checkpoint subsystem's own Sync/Close/Flush methods, and output
+// writes in the cmd tools (a CLI that fails to write its result must
+// exit non-zero). An explicit `_ = f.Close()` is an acknowledged,
+// reviewable discard and is never flagged; `defer f.Close()` on a
+// read-only file is the standard cleanup idiom and is tolerated, but a
+// deferred Sync or Rename — where the error IS the durability signal —
+// is not.
+var ErrJoin = &Analyzer{
+	Name: "errjoin",
+	Doc:  "flags dropped error returns on durability-critical calls (Sync/Close/Rename/Write)",
+	Run:  runErrJoin,
+}
+
+// durabilityPackages are the repo packages whose Sync/Close/Flush
+// methods guard persistence: dropping their errors loses data.
+var durabilityPackages = map[string]bool{
+	"dynasore/internal/wal":        true,
+	"dynasore/internal/checkpoint": true,
+}
+
+// errjoinCall classifies fn: is it a durability-critical call whose
+// error must not be dropped, and is it severe even when deferred
+// (Sync and Rename — the error is the durability signal itself)?
+func errjoinCall(fn *types.Func) (critical, flagWhenDeferred bool) {
+	if fn.Pkg() == nil {
+		return false, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return false, false
+	}
+	recv := ""
+	if sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			recv = n.Obj().Name()
+		}
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		if recv == "" {
+			switch fn.Name() {
+			case "Rename":
+				return true, true
+			case "WriteFile":
+				return true, false
+			}
+			return false, false
+		}
+		if recv == "File" {
+			switch fn.Name() {
+			case "Sync":
+				return true, true
+			case "Close", "Write", "WriteString", "WriteAt":
+				return true, false
+			}
+		}
+	case "bufio":
+		if recv == "Writer" && fn.Name() == "Flush" {
+			return true, false
+		}
+	}
+	if durabilityPackages[fn.Pkg().Path()] {
+		switch fn.Name() {
+		case "Sync":
+			return true, true
+		case "Close", "Flush":
+			return true, false
+		}
+	}
+	return false, false
+}
+
+// returnsError reports whether sig's last result is the error type.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	t, ok := res.At(res.Len() - 1).Type().(*types.Named)
+	return ok && t.Obj().Pkg() == nil && t.Obj().Name() == "error"
+}
+
+func runErrJoin(pass *Pass) error {
+	check := func(call *ast.CallExpr, deferred bool) {
+		fn := calleeFunc(pass, call)
+		if fn == nil {
+			return
+		}
+		critical, flagWhenDeferred := errjoinCall(fn)
+		if !critical || (deferred && !flagWhenDeferred) {
+			return
+		}
+		verb := "dropped"
+		if deferred {
+			verb = "deferred with its error dropped"
+		}
+		pass.Reportf(call.Pos(), "error from %s %s: on a durability path a swallowed error is silent data loss — handle it or discard explicitly with `_ =`", fn.Name(), verb)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call, false)
+				}
+			case *ast.GoStmt:
+				check(s.Call, false)
+			case *ast.DeferStmt:
+				check(s.Call, true)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTestFile reports whether the file's name marks it as a test file.
+// The loader only feeds non-test files today; the guard keeps analyzer
+// behavior stable if that ever changes.
+func isTestFile(pass *Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,8 @@
+package lint
+
+import "testing"
+
+func TestErrJoin(t *testing.T) {
+	got := runFixture(t, ErrJoin, "errjoin")
+	requireTruePositives(t, got, 2)
+}

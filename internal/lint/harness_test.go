@@ -1,0 +1,152 @@
+package lint
+
+// The fixture harness: an analysistest-alike built on the same
+// stdlib-only loader the real driver uses. Each analyzer's fixtures
+// live under testdata/src/<name>/ as a compilable package whose
+// expected diagnostics are annotated in-line:
+//
+//	conn.Write(b) // want "blocking call to Write"
+//
+// A want comment holds one or more double-quoted regular expressions;
+// every diagnostic must match an expectation on its line and every
+// expectation must be matched by a diagnostic.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted patterns from a want comment.
+var wantRe = regexp.MustCompile(`"([^"]*)"`)
+
+// expectation is one pending // want pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// runFixture loads testdata/src/<fixture> as a package, runs the
+// analyzer over it, and cross-checks diagnostics against the // want
+// annotations. It returns the number of diagnostics, so tests can also
+// assert a floor of true positives.
+func runFixture(t *testing.T, a *Analyzer, fixture string) int {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		t.Fatalf("fixture %s has no Go files", fixture)
+	}
+
+	// Resolve the fixture's imports to export data via the go tool.
+	importSet := map[string]bool{}
+	impFset := token.NewFileSet()
+	for _, name := range filenames {
+		f, err := parser.ParseFile(impFset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parse imports of %s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	exports, err := ExportData(".", imports...)
+	if err != nil {
+		t.Fatalf("export data for fixture imports: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	pkg, err := CheckFiles(fset, "fixture/"+fixture, filenames, exports)
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+
+	wants := collectWants(t, fset, pkg)
+	diags, _, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+	return len(diags)
+}
+
+// collectWants gathers every // want annotation in the package.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: malformed want comment: %s", pos, c.Text)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// requireTruePositives asserts the fixture demonstrated at least n
+// diagnostics — the acceptance floor for each analyzer's fixture set.
+func requireTruePositives(t *testing.T, got, n int) {
+	t.Helper()
+	if got < n {
+		t.Errorf("fixture demonstrated %d true positives, want at least %d", got, n)
+	}
+}

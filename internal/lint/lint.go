@@ -1,0 +1,223 @@
+// Package lint is the home of dynalint, the repo's own static-analysis
+// suite: a set of analyzers that mechanize the cross-cutting invariants
+// the system's correctness rests on — the PR 2 shard-lock rule (no
+// blocking I/O under a mutex), encode/decode symmetry of the wire
+// codecs, the PR 5 epoch-table discipline, checked errors on the
+// durability paths, and the exported-symbol documentation gate. Each
+// invariant is catalogued in docs/INVARIANTS.md; cmd/dynalint is the
+// driver (standalone and `go vet -vettool`).
+//
+// The framework deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) but is
+// built on the standard library alone — the module has no dependencies,
+// and this container cannot add any — so analyzers written here port to
+// the x/tools API mechanically if the repo ever takes that dependency.
+//
+// # Suppressing a diagnostic
+//
+// A comment of the form
+//
+//	//dynalint:allow <analyzer> <reason>
+//
+// suppresses <analyzer>'s diagnostics within the declaration, statement,
+// or struct field the comment is attached to (doc-comment position or
+// trailing on the same line). The reason is mandatory by convention:
+// an allow without one should not survive review. Attaching the
+// directive to a mutex field or variable declaration exempts that whole
+// lock from lockio — the escape hatch for the few locks that serialize
+// I/O by design (the WAL's log lock, a connection's write mutex).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker: a name diagnostics are
+// keyed by (and that //dynalint:allow directives reference), one-line
+// documentation, and the Run function applied to each package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is the one-line description shown by `dynalint -help`.
+	Doc string
+	// Run analyzes one package, reporting findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass carries one analyzer's view of one type-checked package, plus
+// the Reportf sink for diagnostics. It is the analysis-time API handed
+// to Analyzer.Run.
+type Pass struct {
+	// Analyzer is the analyzer this pass runs.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed non-test Go files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression and object facts.
+	TypesInfo *types.Info
+
+	directives []directive
+	diags      []Diagnostic
+}
+
+// A Diagnostic is one finding: a position and a message, already
+// filtered through the allow directives.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Message states the violated invariant at this site.
+	Message string
+}
+
+// Reportf records a diagnostic at pos unless an allow directive for
+// this analyzer covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(pos) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Allowed reports whether an allow directive for this pass's analyzer
+// covers pos. Analyzers call it directly when the suppression anchor is
+// not the diagnostic site — lockio, for example, asks about the mutex
+// field's declaration to honor a directive placed on the lock itself.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	for _, d := range p.directives {
+		if d.analyzer == p.Analyzer.Name && d.start <= pos && pos < d.end {
+			return true
+		}
+	}
+	return false
+}
+
+// directive is one parsed //dynalint:allow comment: the analyzer it
+// silences and the source range it covers (the attached node).
+type directive struct {
+	analyzer   string
+	start, end token.Pos
+}
+
+// directivePrefix introduces an allow comment. No space after "//", per
+// Go's machine-directive convention (like //go:build).
+const directivePrefix = "//dynalint:allow"
+
+// collectDirectives parses every //dynalint:allow comment in the files
+// and resolves the source range each one covers: the innermost
+// statement, declaration, spec, or struct field the comment sits inside
+// or immediately precedes.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				if n := attachedNode(fset, f, c); n != nil {
+					out = append(out, directive{analyzer: fields[0], start: n.Pos(), end: n.End()})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// attachedNode finds the node a directive comment governs: the
+// innermost anchor (statement, field, spec, or declaration) whose line
+// span contains the comment, or failing that, the first anchor that
+// starts on the line right after it (doc-comment position).
+func attachedNode(fset *token.FileSet, f *ast.File, c *ast.Comment) ast.Node {
+	line := fset.Position(c.Pos()).Line
+	var containing ast.Node // innermost anchor spanning the comment's line
+	var following ast.Node  // first anchor starting on the next line
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !isAnchor(n) {
+			return true
+		}
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if start <= line && line <= end {
+			containing = n // keep descending: innermost wins
+		}
+		if start == line+1 && (following == nil || n.Pos() < following.Pos()) {
+			following = n
+		}
+		return true
+	})
+	if containing != nil {
+		return containing
+	}
+	return following
+}
+
+// isAnchor reports whether n is a node kind an allow directive can
+// attach to.
+func isAnchor(n ast.Node) bool {
+	switch n.(type) {
+	case ast.Stmt, *ast.Field, *ast.ValueSpec, *ast.TypeSpec, *ast.FuncDecl, *ast.GenDecl:
+		return true
+	}
+	return false
+}
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics sorted by position. Test files are excluded: the
+// invariants police production paths, and `go vet -vettool` hands the
+// tool test variants the standalone loader never sees.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	var all []Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		files := make([]*ast.File, 0, len(pkg.Files))
+		for _, f := range pkg.Files {
+			if !strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+				files = append(files, f)
+			}
+		}
+		dirs := collectDirectives(pkg.Fset, files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				directives: dirs,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fset, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.diags {
+				all = append(all, Diagnostic{Pos: d.Pos, Message: a.Name + ": " + d.Message})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Pos < all[j].Pos })
+	return all, fset, nil
+}
+
+// Analyzers returns the full dynalint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LockIO,
+		CodecPair,
+		EpochTable,
+		ErrJoin,
+		DocGate,
+	}
+}

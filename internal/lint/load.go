@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one loaded, parsed, and type-checked package — the unit
+// of analysis handed to the suite.
+type Package struct {
+	// ImportPath is the package's import path as reported by go list.
+	ImportPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Fset maps positions in Files; shared across one Load call.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// TypesInfo records the type-checker's facts for Files.
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	DepOnly    bool
+	GoFiles    []string
+}
+
+// Load lists patterns with the go tool, parses each matched package's
+// non-test sources, and type-checks them against the export data of
+// their dependencies. It shells out to `go list -deps -export -json`,
+// which compiles (or reuses from the build cache) export data for every
+// dependency — the trick that lets a zero-dependency module type-check
+// itself without golang.org/x/tools.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, exports, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range targets {
+		var files []*ast.File
+		var names []string
+		for _, name := range lp.GoFiles {
+			names = append(names, filepath.Join(lp.Dir, name))
+		}
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := typeCheck(fset, lp.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      pkg,
+			TypesInfo:  info,
+		})
+	}
+	return out, nil
+}
+
+// goList runs `go list -deps -export -json patterns...` in dir and
+// splits the result into target packages (the ones the patterns
+// matched) and an import-path → export-data-file map covering every
+// dependency.
+func goList(dir string, patterns ...string) ([]listedPackage, map[string]string, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Name,Export,DepOnly,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	exports := make(map[string]string)
+	var targets []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	return targets, exports, nil
+}
+
+// ExportData builds the import-path → export-data map for the given
+// import paths (and their dependencies) by asking the go tool to
+// compile them. The fixture test harness uses it to type-check testdata
+// packages, whose imports are ordinary standard-library packages.
+func ExportData(dir string, importPaths ...string) (map[string]string, error) {
+	if len(importPaths) == 0 {
+		return map[string]string{}, nil
+	}
+	_, exports, err := goList(dir, importPaths...)
+	return exports, err
+}
+
+// exportImporter returns a types.Importer that resolves import paths
+// through the export-data files in exports. Paths missing from the map
+// fall through to the gc importer's default lookup, which fails with a
+// clear error.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// typeCheck runs the type checker over one package's parsed files.
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// CheckFiles parses and type-checks an explicit file list as one
+// package — the entry point shared by the fixture harness and the
+// vettool mode, both of which know their file lists up front instead of
+// going through go list.
+func CheckFiles(fset *token.FileSet, importPath string, filenames []string, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := typeCheck(fset, importPath, files, exportImporter(fset, exports))
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	dir := ""
+	if len(filenames) > 0 {
+		dir = filepath.Dir(filenames[0])
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		TypesInfo:  info,
+	}, nil
+}

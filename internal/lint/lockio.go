@@ -1,0 +1,363 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockIO enforces the PR 2 shard-lock rule: no blocking I/O — network
+// reads/writes, file writes and syncs, dials, the WAL's durable append
+// helpers — while a sync.Mutex or RWMutex acquired in the same function
+// is still held. The broker keeps its 8 metadata mutexes hot-path-cheap
+// by doing all cache-server RPC outside them; this analyzer turns that
+// review-time convention into a build failure. Locks that serialize I/O
+// by design (the WAL's log lock, a connection's write mutex) opt out
+// with a //dynalint:allow lockio directive on the mutex declaration.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc:  "flags blocking I/O while a mutex acquired in the same function is held",
+	Run:  runLockIO,
+}
+
+// blockingCalls lists the well-known blocking entry points, keyed by
+// package path, then receiver type name ("" for package-level
+// functions), then name. Close on a net.Conn or os.File is deliberately
+// absent: closing a connection under its owner's lock is the standard
+// teardown idiom and does not stall the hot path.
+var blockingCalls = map[string]map[string]map[string]string{
+	"net": {
+		"":         {"Dial": "dials", "DialTimeout": "dials"},
+		"Conn":     {"Read": "reads from the network", "Write": "writes to the network"},
+		"TCPConn":  {"Read": "reads from the network", "Write": "writes to the network"},
+		"Listener": {"Accept": "blocks accepting connections"},
+		"TCPListener": {
+			"Accept": "blocks accepting connections", "AcceptTCP": "blocks accepting connections",
+		},
+		"Dialer": {"Dial": "dials", "DialContext": "dials"},
+	},
+	"io": {
+		"":       {"ReadFull": "reads", "ReadAll": "reads", "Copy": "copies", "CopyN": "copies", "WriteString": "writes"},
+		"Reader": {"Read": "reads"},
+		"Writer": {"Write": "writes"},
+	},
+	"os": {
+		"": {
+			"ReadFile": "reads a file", "WriteFile": "writes a file", "Rename": "renames a file",
+			"Remove": "removes a file", "RemoveAll": "removes files",
+			"Open": "opens a file", "OpenFile": "opens a file", "Create": "creates a file",
+			"MkdirAll": "creates directories",
+		},
+		"File": {
+			"Read": "reads a file", "ReadAt": "reads a file",
+			"Write": "writes a file", "WriteAt": "writes a file", "WriteString": "writes a file",
+			"Sync": "syncs a file",
+		},
+	},
+	"bufio": {
+		"Writer": {"Flush": "flushes buffered writes", "Write": "writes", "WriteString": "writes"},
+		"Reader": {"Read": "reads", "ReadByte": "reads", "ReadFull": "reads"},
+	},
+	"time": {
+		"": {"Sleep": "sleeps"},
+	},
+	// The repo's own cross-package durability helpers: each one ends in
+	// an fsync'd WAL append or a checkpoint file write. Same-package
+	// helpers need no listing — the analyzer propagates blockingness
+	// through the package's call graph by itself.
+	"dynasore/internal/wal": {
+		"ViewStore": {"Append": "durably appends to the WAL", "ApplyReplicated": "durably appends to the WAL", "Close": "syncs and closes the WAL"},
+		"Log":       {"Append": "durably appends to the WAL", "AppendRecord": "durably appends to the WAL", "Sync": "syncs the WAL", "Close": "syncs and closes the WAL"},
+	},
+	"dynasore/internal/checkpoint": {
+		"":        {"Write": "writes a checkpoint file"},
+		"Manager": {"CheckpointNow": "writes a checkpoint file"},
+	},
+}
+
+// externalBlocking reports whether fn is a well-known blocking call,
+// and why.
+func externalBlocking(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	byRecv, ok := blockingCalls[fn.Pkg().Path()]
+	if !ok {
+		return "", false
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			recv = n.Obj().Name()
+		}
+	}
+	why, ok := byRecv[recv][fn.Name()]
+	return why, ok
+}
+
+func runLockIO(pass *Pass) error {
+	blocking := blockingClosure(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanHeldLocks(pass, blocking, fd.Body.List, map[types.Object]string{})
+			// Function literals run on their own stack of lock
+			// acquisitions: scan each body independently.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					scanHeldLocks(pass, blocking, fl.Body.List, map[types.Object]string{})
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// blockingClosure computes which of the package's own functions
+// (transitively) perform blocking I/O, by fixpoint over the
+// intra-package call graph seeded with the well-known blocking set.
+// The map carries the human explanation for diagnostics.
+func blockingClosure(pass *Pass) map[*types.Func]string {
+	bodies := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				bodies[fn] = fd
+			}
+		}
+	}
+	blocking := make(map[*types.Func]string)
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range bodies {
+			if _, done := blocking[fn]; done {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.GoStmt); ok {
+					// I/O inside a spawned goroutine does not block the
+					// spawning function; the closure body is scanned on
+					// its own when its locks are analyzed.
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass, call)
+				if callee == nil {
+					return true
+				}
+				if why, ok := externalBlocking(callee); ok {
+					blocking[fn] = callee.Name() + " " + why
+					changed = true
+					return false
+				}
+				if why, ok := blocking[callee]; ok && callee.Pkg() == pass.Pkg {
+					blocking[fn] = "calls " + callee.Name() + ", which " + why
+					changed = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return blocking
+}
+
+// calleeFunc resolves a call expression to the function or method
+// object being called, or nil for calls through function values.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// lockOp classifies a call as a mutex acquisition or release and
+// resolves the mutex's identity: the field or variable object being
+// locked, plus its source text for diagnostics.
+func lockOp(pass *Pass, call *ast.CallExpr) (op string, obj types.Object, text string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", nil, ""
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil, ""
+	}
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[recv]
+		text = recv.Name
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[recv.Sel]
+		text = exprText(recv)
+	}
+	if obj == nil {
+		return "", nil, ""
+	}
+	return sel.Sel.Name, obj, text
+}
+
+// exprText renders a selector chain like "b.shards[i].mu" approximately
+// for diagnostics; unprintable parts collapse to their selector names.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[…]"
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	case *ast.StarExpr:
+		return exprText(e.X)
+	}
+	return "…"
+}
+
+// scanHeldLocks walks one statement list linearly, tracking which
+// mutexes are held, and reports blocking calls made while any are.
+// Branch bodies are scanned with a copy of the held set — a lock taken
+// inside a branch is tracked within it, and a branch that unlocks does
+// not unlock the fall-through path.
+func scanHeldLocks(pass *Pass, blocking map[*types.Func]string, stmts []ast.Stmt, held map[types.Object]string) {
+	branch := func(body []ast.Stmt) {
+		cp := make(map[types.Object]string, len(held))
+		for k, v := range held {
+			cp[k] = v
+		}
+		scanHeldLocks(pass, blocking, body, cp)
+	}
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				op, obj, text := lockOp(pass, call)
+				switch op {
+				case "Lock", "RLock":
+					// A directive on the mutex's own declaration opts
+					// the whole lock out: it serializes I/O by design.
+					if !pass.Allowed(obj.Pos()) {
+						held[obj] = text
+					}
+					continue
+				case "Unlock", "RUnlock":
+					delete(held, obj)
+					continue
+				}
+			}
+			checkBlockingCalls(pass, blocking, s, held)
+		case *ast.DeferStmt:
+			if op, obj, _ := lockOp(pass, s.Call); op == "Unlock" || op == "RUnlock" {
+				_ = obj // deferred unlock: held until return, keep tracking
+			}
+			// Blocking calls inside defers run at return time, when the
+			// lock situation differs; they are out of scope here.
+		case *ast.GoStmt:
+			// A spawned goroutine does not hold this goroutine's locks.
+		case *ast.BlockStmt:
+			scanHeldLocks(pass, blocking, s.List, held)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				checkBlockingCalls(pass, blocking, s.Init, held)
+			}
+			checkBlockingCalls(pass, blocking, s.Cond, held)
+			branch(s.Body.List)
+			if s.Else != nil {
+				branch([]ast.Stmt{s.Else})
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				checkBlockingCalls(pass, blocking, s.Init, held)
+			}
+			checkBlockingCalls(pass, blocking, s.Cond, held)
+			branch(s.Body.List)
+		case *ast.RangeStmt:
+			checkBlockingCalls(pass, blocking, s.X, held)
+			branch(s.Body.List)
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				checkBlockingCalls(pass, blocking, s.Init, held)
+			}
+			checkBlockingCalls(pass, blocking, s.Tag, held)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					branch(cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					branch(cc.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					branch(cc.Body)
+				}
+			}
+		default:
+			checkBlockingCalls(pass, blocking, stmt, held)
+		}
+	}
+}
+
+// checkBlockingCalls reports every blocking call under node while held
+// is non-empty, skipping nested function literals (scanned separately).
+func checkBlockingCalls(pass *Pass, blocking map[*types.Func]string, node ast.Node, held map[types.Object]string) {
+	if len(held) == 0 || node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil {
+			return true
+		}
+		why, isBlocking := externalBlocking(callee)
+		if !isBlocking {
+			if w, ok := blocking[callee]; ok && callee.Pkg() == pass.Pkg {
+				why, isBlocking = w, true
+			}
+		}
+		if !isBlocking {
+			return true
+		}
+		for _, text := range held {
+			pass.Reportf(call.Pos(), "blocking call to %s while %s is held (%s)", callee.Name(), text, why)
+			break
+		}
+		return true
+	})
+}

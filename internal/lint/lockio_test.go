@@ -1,0 +1,8 @@
+package lint
+
+import "testing"
+
+func TestLockIO(t *testing.T) {
+	got := runFixture(t, LockIO, "lockio")
+	requireTruePositives(t, got, 2)
+}

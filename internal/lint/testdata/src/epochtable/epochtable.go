@@ -1,0 +1,72 @@
+// Package epochtable holds fixtures for the epochtable analyzer: the
+// one-snapshot-per-operation discipline around the atomic epoch table.
+package epochtable
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// serverTable is the immutable membership snapshot; its presence
+// activates the analyzer in this package.
+type serverTable struct {
+	epoch uint64
+	homes map[uint64]int
+}
+
+// broker holds the one legal reference: an atomic pointer swapped
+// wholesale on membership change.
+type broker struct {
+	tab atomic.Pointer[serverTable]
+}
+
+// table takes the per-operation snapshot.
+func (b *broker) table() *serverTable { return b.tab.Load() }
+
+// cached demonstrates the struct-field violation: a snapshot stored in
+// a field survives membership epochs.
+type cached struct {
+	t *serverTable // want "struct field holds a"
+}
+
+// route loads the table twice: the two snapshots can straddle a
+// rebalance and disagree about the key's home.
+func (b *broker) route(key uint64) int {
+	first := b.table().homes[key]
+	second := b.table().homes[key] // want "second serverTable load in one function"
+	return first + second
+}
+
+// spawn captures a snapshot in a goroutine that outlives the operation.
+func (b *broker) spawn(key uint64, out chan<- int) {
+	t := b.table()
+	go func() { // want "goroutine captures a"
+		out <- t.homes[key]
+	}()
+}
+
+// publish ships a snapshot through a channel to a receiver of unknown
+// epoch.
+func (b *broker) publish(ch chan *serverTable) {
+	ch <- b.table() // want "snapshot sent on a channel"
+}
+
+// slow uses its snapshot after sleeping: the epoch may have advanced.
+func (b *broker) slow(key uint64) int {
+	t := b.table()
+	time.Sleep(time.Millisecond)
+	return t.homes[key] // want "snapshot used after a wait point"
+}
+
+// fresh is the legal shape: wait first, then take one snapshot and use
+// it without further blocking.
+func (b *broker) fresh(key uint64) int {
+	time.Sleep(time.Millisecond)
+	t := b.table()
+	return t.homes[key]
+}
+
+// epoch reads a single snapshot once — the common correct case.
+func (b *broker) currentEpoch() uint64 {
+	return b.table().epoch
+}

@@ -1,0 +1,60 @@
+// Package errjoin holds fixtures for the errjoin analyzer: dropped
+// error returns on durability-critical calls.
+package errjoin
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// appendRecord reproduces the torn-final-record bug class: both the
+// write and the sync can fail, and dropping either error means a torn
+// final record on disk goes unnoticed until recovery.
+func appendRecord(f *os.File, rec []byte) {
+	f.Write(rec) // want "error from Write dropped"
+	f.Sync()     // want "error from Sync dropped"
+}
+
+// rotate drops the rename error — the atomic-install step of every
+// write-temp-then-rename pattern.
+func rotate(dir string) {
+	os.Rename(dir+"/wal.tmp", dir+"/wal") // want "error from Rename dropped"
+}
+
+// flushIndex drops the buffered writer's flush error, which is where a
+// full disk first surfaces.
+func flushIndex(w *bufio.Writer) {
+	w.Flush() // want "error from Flush dropped"
+}
+
+// closeDeferred defers a Sync: by the time it runs the error has
+// nowhere to go, and Sync's error IS the durability signal.
+func closeDeferred(f *os.File) error {
+	defer f.Sync() // want "error from Sync deferred with its error dropped"
+	return nil
+}
+
+// closeQuiet acknowledges the discard explicitly — never flagged.
+func closeQuiet(f *os.File) {
+	_ = f.Close()
+}
+
+// readAll uses the standard deferred-Close cleanup idiom on a read-only
+// file — tolerated.
+func readAll(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// appendChecked is the correct shape for the write path.
+func appendChecked(f *os.File, rec []byte) error {
+	if _, err := f.Write(rec); err != nil {
+		return err
+	}
+	return f.Sync()
+}

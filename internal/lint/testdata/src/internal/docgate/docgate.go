@@ -1,0 +1,31 @@
+// Package docgate holds fixtures for the docgate analyzer: every
+// exported symbol of an internal/ or pkg/ package needs a doc comment.
+package docgate
+
+type Table struct{} // want "exported type Table has no doc comment"
+
+// Documented carries its doc comment and is not flagged.
+type Documented struct{}
+
+func Rebalance() {} // want "exported function Rebalance has no doc comment"
+
+// Drain is documented.
+func Drain() {}
+
+const MaxFrame = 1 << 16 // want "exported value MaxFrame has no doc comment"
+
+var Epoch uint64 // want "exported value Epoch has no doc comment"
+
+// DefaultFanout is documented.
+const DefaultFanout = 4
+
+// helper is unexported: no doc requirement.
+func helper() {}
+
+// adapter is an unexported interface adapter; its exported methods are
+// documented at the type level and individually exempt.
+type adapter struct{}
+
+func (adapter) Load() float64 { return 0 }
+
+func (adapter) Capacity() float64 { return 1 }

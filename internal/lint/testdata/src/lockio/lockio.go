@@ -1,0 +1,105 @@
+// Package lockio holds fixtures for the lockio analyzer: blocking I/O
+// performed while a mutex acquired in the same function is held.
+package lockio
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	conn net.Conn
+	f    *os.File
+}
+
+// directWrite is the canonical violation: a network write between Lock
+// and Unlock stalls every other user of the mutex behind a peer's TCP
+// window.
+func (s *server) directWrite(b []byte) {
+	s.mu.Lock()
+	s.conn.Write(b) // want "blocking call to Write while s.mu is held"
+	s.mu.Unlock()
+}
+
+// deferUnlock holds the lock to the end of the function, so the sync
+// happens under it.
+func (s *server) deferUnlock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want "blocking call to Sync while s.mu is held"
+}
+
+// readLocked shows RLock counts too: a blocked reader still blocks
+// every writer queued behind it.
+func (s *server) readLocked(b []byte) {
+	s.rw.RLock()
+	s.conn.Read(b) // want "blocking call to Read while s.rw is held"
+	s.rw.RUnlock()
+}
+
+// sendFrame is a plain helper that writes to the network; it is not
+// itself a violation, but callers holding a lock inherit its
+// blockingness through the package call graph.
+func (s *server) sendFrame(b []byte) error {
+	_, err := s.conn.Write(b)
+	return err
+}
+
+// viaHelper blocks through one level of indirection.
+func (s *server) viaHelper(b []byte) {
+	s.mu.Lock()
+	s.sendFrame(b) // want "blocking call to sendFrame while s.mu is held"
+	s.mu.Unlock()
+}
+
+// sleepUnderLock: time.Sleep under a mutex is the torn-latency variant
+// of the same bug.
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "blocking call to Sleep while s.mu is held"
+	s.mu.Unlock()
+}
+
+// unlockFirst is the correct shape: all I/O after the critical section.
+func (s *server) unlockFirst(b []byte) {
+	s.mu.Lock()
+	n := len(b)
+	s.mu.Unlock()
+	s.conn.Write(b[:n])
+}
+
+// closeUnderLock is tolerated: Close on a connection is the standard
+// teardown idiom and is deliberately not in the blocking set.
+func (s *server) closeUnderLock() {
+	s.mu.Lock()
+	s.conn.Close()
+	s.mu.Unlock()
+}
+
+// spawned I/O runs on another goroutine, which does not hold this
+// goroutine's lock.
+func (s *server) spawned(b []byte) {
+	s.mu.Lock()
+	go s.conn.Write(b)
+	s.mu.Unlock()
+}
+
+// wlog serializes file appends through its mutex by design, like the
+// repo's WAL: the allow directive on the mutex declaration exempts it.
+type wlog struct {
+	//dynalint:allow lockio this lock exists to serialize file appends
+	mu sync.Mutex
+	f  *os.File
+}
+
+// append is I/O under wlog.mu — suppressed by the directive above.
+func (w *wlog) append(b []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.f.Write(b)
+	return err
+}
