@@ -1682,7 +1682,7 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		// The epoch trailer lets clients notice a membership change
 		// without polling; pre-membership clients never read past the
 		// views.
-		return respRead, appendEpoch(encodeReadResponse(version, views), b.Epoch())
+		return respRead, appendEpochTrailer(encodeReadResponse(version, views), b.Epoch())
 	case opWrite:
 		if len(body) < 4 {
 			return respError, errorBody("short write request")
@@ -1692,15 +1692,9 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		if err != nil {
 			return respError, errorBody(err.Error())
 		}
-		return respWrite, appendEpoch(binary.LittleEndian.AppendUint64(nil, seq), b.Epoch())
+		return respWrite, appendEpochTrailer(binary.LittleEndian.AppendUint64(nil, seq), b.Epoch())
 	case opBrokerStats:
-		st := b.Stats()
-		var out []byte
-		for _, v := range []int64{st.Reads, st.Writes, st.Replicated, st.Evicted, st.Misses, st.Migrated,
-			st.Checkpoints, st.CompactedSegments, st.CatchupRecords, int64(st.Epoch)} {
-			out = binary.LittleEndian.AppendUint64(out, uint64(v))
-		}
-		return respStats, out
+		return respStats, appendBrokerStats(nil, b.Stats())
 	case opPeerHello:
 		sender, err := decodePeerHello(body)
 		if err != nil || int(sender) >= b.nBrokers {

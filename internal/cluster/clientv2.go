@@ -239,7 +239,7 @@ func (c *ClientV2) Read(ctx context.Context, targets []uint32) ([]View, error) {
 		if len(views) != len(targets) {
 			return nil, fmt.Errorf("%w: %d views for %d targets", ErrBadFrame, len(views), len(targets))
 		}
-		c.noteEpoch(epochTrailer(rest))
+		c.noteEpoch(decodeEpochTrailer(rest))
 		return views, nil
 	case respError:
 		return nil, asRemoteError(respBody)
@@ -261,7 +261,7 @@ func (c *ClientV2) Write(ctx context.Context, user uint32, payload []byte) (uint
 		if len(respBody) < 8 {
 			return 0, ErrBadFrame
 		}
-		c.noteEpoch(epochTrailer(respBody[8:]))
+		c.noteEpoch(decodeEpochTrailer(respBody[8:]))
 		return binary.LittleEndian.Uint64(respBody), nil
 	case respError:
 		return 0, asRemoteError(respBody)

@@ -362,7 +362,7 @@ func encodeReadResponse(version int, views []View) []byte {
 
 // decodeReadResponse parses a respRead body. The returned remainder holds
 // whatever follows the encoded views — in particular the membership epoch
-// trailer newer brokers append (see epochTrailer).
+// trailer newer brokers append (see decodeEpochTrailer).
 func decodeReadResponse(version int, body []byte) ([]View, []byte, error) {
 	var count int
 	var rest []byte
@@ -783,22 +783,41 @@ func decodeMembershipInfo(body []byte) (MembershipInfo, error) {
 	return info, nil
 }
 
-// appendEpoch appends the responder's membership epoch to a respRead or
-// respWrite body. Both decoders stop at their structured payload, so the
-// trailer is invisible to clients that predate elastic membership; newer
-// clients use it to notice a membership change without an extra round
-// trip.
-func appendEpoch(body []byte, epoch uint64) []byte {
+// appendEpochTrailer appends the responder's membership epoch to a
+// respRead or respWrite body. Both decoders stop at their structured
+// payload, so the trailer is invisible to clients that predate elastic
+// membership; newer clients use it to notice a membership change
+// without an extra round trip.
+func appendEpochTrailer(body []byte, epoch uint64) []byte {
 	return binary.LittleEndian.AppendUint64(body, epoch)
 }
 
-// epochTrailer reads a trailing membership epoch, or 0 when the responder
-// did not send one.
-func epochTrailer(rest []byte) uint64 {
+// decodeEpochTrailer reads a trailing membership epoch, or 0 when the
+// responder did not send one.
+func decodeEpochTrailer(rest []byte) uint64 {
 	if len(rest) < 8 {
 		return 0
 	}
 	return binary.LittleEndian.Uint64(rest[len(rest)-8:])
+}
+
+// appendBrokerStats encodes the respStats body: ten fixed 8-byte
+// counters in wire order, paired with decodeBrokerStats. The counter
+// groups were added over time (40 → 48 → 72 → 80 bytes), so the decoder
+// tolerates shorter bodies from older brokers; the encoder always sends
+// the full current set.
+func appendBrokerStats(b []byte, st BrokerStats) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Reads))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Writes))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Replicated))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Evicted))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Misses))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Migrated))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Checkpoints))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.CompactedSegments))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.CatchupRecords))
+	b = binary.LittleEndian.AppendUint64(b, st.Epoch)
+	return b
 }
 
 // errorBody builds a respError payload.
