@@ -403,10 +403,14 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		}
 		ownWAL = true
 	}
-	closeOwned := func() {
+	// closeOwned tears down a store this constructor opened when a later
+	// step fails, joining the close error onto the primary one: a failed
+	// final sync is worth surfacing even on an error path.
+	closeOwned := func(err error) error {
 		if ownWAL {
-			store.Close()
+			return errors.Join(err, store.Close())
 		}
+		return err
 	}
 	// Epoch 1 of the membership view comes from the static configuration;
 	// any later epoch recorded in the WAL (the cluster was grown, drained,
@@ -444,8 +448,7 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	}
 	tab, err := b.buildTable(view, nil)
 	if err != nil {
-		closeOwned()
-		return nil, err
+		return nil, closeOwned(err)
 	}
 	b.tab.Store(tab)
 	b.thresholds = make([]float64, tab.topo.NumMachines())
@@ -457,8 +460,7 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	if ln == nil {
 		ln, err = net.Listen("tcp", cfg.Addr)
 		if err != nil {
-			closeOwned()
-			return nil, fmt.Errorf("cluster: listen: %w", err)
+			return nil, closeOwned(fmt.Errorf("cluster: listen: %w", err))
 		}
 	}
 	b.ln = ln
