@@ -264,7 +264,7 @@ func (l *Log) openCurrent() error {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // the stat error is primary; nothing was written yet
 		return fmt.Errorf("wal: stat segment: %w", err)
 	}
 	l.cur = f
@@ -523,11 +523,11 @@ func writeSeqFloor(dir string, nextSeq uint64) error {
 		return fmt.Errorf("wal: write seq floor: %w", err)
 	}
 	if _, err := f.Write(buf); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is primary; the tmp file is discarded
 		return fmt.Errorf("wal: write seq floor: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // the sync error is primary; the tmp file is discarded
 		return fmt.Errorf("wal: sync seq floor: %w", err)
 	}
 	if err := f.Close(); err != nil {
@@ -569,7 +569,7 @@ func (l *Log) Close() error {
 	l.closed = true
 	l.unsynced = 0
 	if err := l.cur.Sync(); err != nil {
-		l.cur.Close()
+		_ = l.cur.Close() // the failed final sync is the error that matters
 		return fmt.Errorf("wal: final sync: %w", err)
 	}
 	return l.cur.Close()
