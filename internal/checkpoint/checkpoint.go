@@ -54,11 +54,11 @@ func Write(dir string, snap *wal.Snapshot) error {
 		return fmt.Errorf("checkpoint: stage: %w", err)
 	}
 	if _, err := f.Write(buf); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is primary; the staged file is discarded
 		return fmt.Errorf("checkpoint: stage write: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // the sync error is primary; the staged file is discarded
 		return fmt.Errorf("checkpoint: stage sync: %w", err)
 	}
 	if err := f.Close(); err != nil {
@@ -70,8 +70,8 @@ func Write(dir string, snap *wal.Snapshot) error {
 	if d, err := os.Open(dir); err == nil {
 		// Make the rename itself durable; failure here only delays
 		// durability to the next OS flush, so it is not fatal.
-		d.Sync()
-		d.Close()
+		_ = d.Sync()
+		_ = d.Close()
 	}
 	return nil
 }
