@@ -69,7 +69,10 @@ func main() {
 	}
 	buf = append(buf, '\n')
 	if *out == "" {
-		os.Stdout.Write(buf)
+		if _, err := os.Stdout.Write(buf); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {

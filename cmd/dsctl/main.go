@@ -41,7 +41,7 @@ func main() {
 	}
 }
 
-func run(broker string, timeout time.Duration, args []string) error {
+func run(broker string, timeout time.Duration, args []string) (err error) {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: dsctl [flags] write|read|stats|server ...")
 	}
@@ -51,7 +51,13 @@ func run(broker string, timeout time.Duration, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer c.Close()
+	// A close error can be the first sign a command's final frame never
+	// made it out; surface it unless a command error already won.
+	defer func() {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	switch args[0] {
 	case "write":
