@@ -34,6 +34,7 @@ type Manager struct {
 	checkpoints atomic.Int64
 	compacted   atomic.Int64
 
+	//dynalint:allow lockio this lock exists to serialize whole checkpoint writes; overlap would tear the staged file
 	mu      sync.Mutex // serializes CheckpointNow; guards lastErr
 	lastErr error
 }

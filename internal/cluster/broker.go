@@ -282,12 +282,14 @@ type Broker struct {
 	// engine, per-slot loads). Reads are lock-free; installs of a newer
 	// epoch build a fresh table and swap the pointer. membMu serializes
 	// mutations and installs.
-	tab     atomic.Pointer[serverTable]
+	tab atomic.Pointer[serverTable]
+	//dynalint:allow lockio membership transitions are rare, leader-only, and intentionally serialized through the durable broadcast pipeline
 	membMu  sync.Mutex
 	peerPos []Position // broker positions, index-aligned with Peers
 	// rebalanceMu serializes the leader's rebalance/drain passes, so the
 	// pass for one membership transition sees the settled outcome of the
 	// previous one (back-to-back AddServers chain correctly).
+	//dynalint:allow lockio this lock exists to serialize whole rebalance/drain passes, peer RPC included
 	rebalanceMu sync.Mutex
 
 	// Multi-broker state: this broker's index and machine ID, peer
@@ -963,7 +965,8 @@ func (b *Broker) viewStateLocked(t *serverTable, meta *viewMeta) viewpolicy.View
 // under a shard lock; it only takes polMu read locks (see Broker.polMu
 // ordering).
 type brokerEnv struct {
-	b    *Broker
+	b *Broker
+	//dynalint:allow epochtable per-evaluation adapter: built and discarded inside one policy pass, never cached across operations
 	t    *serverTable
 	meta *viewMeta
 }

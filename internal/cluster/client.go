@@ -15,6 +15,7 @@ import (
 // benchmarks. New code should use pkg/dynasore, whose network client
 // multiplexes concurrent requests over protocol v2.
 type Client struct {
+	//dynalint:allow lockio the v1 client serializes whole round trips by design; the lock IS the one-request-at-a-time contract
 	mu   sync.Mutex
 	conn net.Conn
 }

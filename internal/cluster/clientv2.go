@@ -66,11 +66,13 @@ type wireResp struct {
 type muxConn struct {
 	client *ClientV2
 
+	//dynalint:allow lockio connect holds the lock across dial+handshake so concurrent callers dial exactly once
 	mu      sync.Mutex // guards conn, gen, pending
 	conn    net.Conn
 	gen     uint64 // bumped on every (re)dial, detects stale failures
 	pending map[uint64]chan wireResp
 
+	//dynalint:allow lockio the write mutex exists to keep concurrent frame writes from interleaving on the socket
 	wmu    sync.Mutex // serializes frame writes
 	nextID atomic.Uint64
 }

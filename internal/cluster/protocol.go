@@ -270,6 +270,7 @@ func serveFrames(conn net.Conn, handle handlerFunc) {
 // tagged with the ID of the request it answers.
 func serveV2(conn net.Conn, handle handlerFunc) {
 	var (
+		//dynalint:allow lockio the response mutex exists to keep concurrent handler replies from interleaving on the socket
 		wmu sync.Mutex
 		wg  sync.WaitGroup
 		sem = make(chan struct{}, maxInflight)

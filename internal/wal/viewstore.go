@@ -23,6 +23,7 @@ import (
 // records it missed — and are persisted in checkpoints so they survive
 // restarts and compaction.
 type ViewStore struct {
+	//dynalint:allow lockio the store lock orders WAL appends with view-map updates; write I/O under it is the durability contract
 	mu      sync.RWMutex
 	log     *Log
 	viewCap int

@@ -107,6 +107,7 @@ type Pos struct {
 
 // Log is a segmented append-only log with per-record CRCs.
 type Log struct {
+	//dynalint:allow lockio this lock exists to serialize durable appends; all segment I/O runs under it by design
 	mu        sync.Mutex
 	dir       string
 	opts      Options
