@@ -394,3 +394,125 @@ func BenchmarkClientPipelined(b *testing.B) {
 		return err
 	})
 }
+
+// benchProxiedCluster starts 3 cache servers and one broker with the
+// latency proxy on EVERY hop: the broker knows its cache servers only by
+// their proxied addresses, so broker-proxied reads pay two emulated round
+// trips (client → broker, broker → cache server) while the leases the
+// broker mints route direct readers through one. This is the topology the
+// direct-read fast path exists for; on an unproxied loopback cluster both
+// paths would just measure codec cost. Returns the broker's proxied,
+// client-facing address; 100 single-event views are seeded and warm.
+func benchProxiedCluster(b *testing.B) string {
+	b.Helper()
+	var serverAddrs []string
+	for i := 0; i < 3; i++ {
+		s, err := dynasore.ListenCacheServer("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		serverAddrs = append(serverAddrs, latencyProxy(b, s.Addr()))
+	}
+	br, err := dynasore.ListenBroker(dynasore.BrokerConfig{
+		Addr:             "127.0.0.1:0",
+		CacheServerAddrs: serverAddrs,
+		DataDir:          b.TempDir(),
+		Preferred:        -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { br.Close() })
+	// Seed over the unproxied broker address — setup cost, not measured.
+	ctx := context.Background()
+	c, err := dynasore.Dial(ctx, br.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	targets := make([]uint32, 100)
+	for u := uint32(0); u < 100; u++ {
+		if _, err := c.Write(ctx, u, []byte("seed event")); err != nil {
+			b.Fatal(err)
+		}
+		targets[u] = u
+	}
+	if _, err := c.Read(ctx, targets); err != nil {
+		b.Fatal(err)
+	}
+	return latencyProxy(b, br.Addr())
+}
+
+// BenchmarkBrokerProxiedRead is the two-hop baseline on the proxied
+// topology: every read goes client → broker → cache server, paying both
+// emulated network legs.
+func BenchmarkBrokerProxiedRead(b *testing.B) {
+	addr := benchProxiedCluster(b)
+	ctx := context.Background()
+	c, err := dynasore.DialCluster(ctx, []string{addr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	benchConcurrentReads(b, func(user uint32) error {
+		_, err := c.Read(ctx, []uint32{user})
+		return err
+	})
+}
+
+// BenchmarkDirectRead is the same workload with the direct-read fast
+// path: after leases warm up, reads go client → cache server in one
+// emulated hop, cutting the broker out of the hot read path.
+func BenchmarkDirectRead(b *testing.B) {
+	addr := benchProxiedCluster(b)
+	ctx := context.Background()
+	c, err := dynasore.DialCluster(ctx, []string{addr}, dynasore.WithDirectReads(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	// Warm the lease cache: keep sweeping until a whole pass over the
+	// working set is served directly.
+	targets := make([]uint32, 100)
+	for i := range targets {
+		targets[i] = uint32(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		before, err := c.Stats(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Read(ctx, targets); err != nil {
+			b.Fatal(err)
+		}
+		after, err := c.Stats(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if after.DirectReads-before.DirectReads == int64(len(targets)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("leases never warmed: %+v", after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	start, err := c.Stats(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchConcurrentReads(b, func(user uint32) error {
+		_, err := c.Read(ctx, []uint32{user})
+		return err
+	})
+	b.StopTimer()
+	end, err := c.Stats(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if total := end.DirectReads - start.DirectReads; total > 0 && b.N > 0 {
+		b.ReportMetric(100*float64(total)/float64(b.N), "direct-hit-%")
+	}
+}

@@ -6,6 +6,8 @@
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH.json
 //	benchjson -o BENCH.json bench-output.txt
+//	benchjson -compare OLD.json -bench BenchmarkClientPipelined \
+//	          -max-regress 20 NEW.json
 //
 // Every line of the form
 //
@@ -13,6 +15,12 @@
 //
 // becomes one JSON object; unrecognized lines are ignored. Values carry
 // whatever precision the tool printed (ns/op can be fractional).
+//
+// The -compare mode reads two of its own JSON artifacts instead: it looks
+// up -bench (a benchmark name) in both, prints the old and new ns/op and
+// the delta, and exits non-zero when the new number regresses by more
+// than -max-regress percent — CI's guardrail against silently slowing the
+// hot path down.
 package main
 
 import (
@@ -46,7 +54,17 @@ type Result struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON artifact to compare the input artifact against")
+	bench := flag.String("bench", "", "benchmark name to compare (required with -compare)")
+	maxRegress := flag.Float64("max-regress", 20, "fail -compare when ns/op regresses by more than this percent")
 	flag.Parse()
+	if *compare != "" {
+		if err := runCompare(*compare, flag.Arg(0), *bench, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
@@ -79,6 +97,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare checks one benchmark of a new artifact against a baseline
+// artifact and fails on a regression beyond maxRegress percent.
+func runCompare(oldPath, newPath, bench string, maxRegress float64) error {
+	if bench == "" {
+		return fmt.Errorf("-compare needs -bench <BenchmarkName>")
+	}
+	if newPath == "" {
+		return fmt.Errorf("-compare needs the new artifact as an argument")
+	}
+	oldNs, err := lookup(oldPath, bench)
+	if err != nil {
+		return err
+	}
+	newNs, err := lookup(newPath, bench)
+	if err != nil {
+		return err
+	}
+	delta := 100 * (newNs - oldNs) / oldNs
+	fmt.Printf("%s: %.1f ns/op -> %.1f ns/op (%+.1f%%)\n", bench, oldNs, newNs, delta)
+	if delta > maxRegress {
+		return fmt.Errorf("%s regressed %.1f%% (limit %.1f%%)", bench, delta, maxRegress)
+	}
+	return nil
+}
+
+// lookup reads a benchjson artifact and returns the named benchmark's
+// ns/op.
+func lookup(path, bench string) (float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var results []Result
+	if err := json.Unmarshal(buf, &results); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, r := range results {
+		if r.Name == bench {
+			if r.NsPerOp <= 0 {
+				return 0, fmt.Errorf("%s: %s has non-positive ns/op %v", path, bench, r.NsPerOp)
+			}
+			return r.NsPerOp, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: benchmark %q not found", path, bench)
 }
 
 // parse scans benchmark output, keeping track of `pkg:` headers to

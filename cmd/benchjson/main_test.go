@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -58,6 +59,38 @@ func TestParseEmptyInputIsEmptyArray(t *testing.T) {
 	}
 	if results == nil || len(results) != 0 {
 		t.Fatalf("want empty non-nil slice, got %#v", results)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := write("old.json", `[{"name":"BenchmarkClientPipelined","iterations":100,"ns_per_op":1000}]`)
+	better := write("better.json", `[{"name":"BenchmarkClientPipelined","iterations":100,"ns_per_op":900}]`)
+	slight := write("slight.json", `[{"name":"BenchmarkClientPipelined","iterations":100,"ns_per_op":1150}]`)
+	bad := write("bad.json", `[{"name":"BenchmarkClientPipelined","iterations":100,"ns_per_op":1500}]`)
+	missing := write("missing.json", `[{"name":"BenchmarkOther","iterations":100,"ns_per_op":1}]`)
+
+	if err := runCompare(old, better, "BenchmarkClientPipelined", 20); err != nil {
+		t.Errorf("improvement flagged as regression: %v", err)
+	}
+	if err := runCompare(old, slight, "BenchmarkClientPipelined", 20); err != nil {
+		t.Errorf("15%% regression should pass a 20%% limit: %v", err)
+	}
+	if err := runCompare(old, bad, "BenchmarkClientPipelined", 20); err == nil {
+		t.Error("50% regression passed a 20% limit")
+	}
+	if err := runCompare(old, missing, "BenchmarkClientPipelined", 20); err == nil {
+		t.Error("missing benchmark in new artifact not reported")
+	}
+	if err := runCompare(old, bad, "", 20); err == nil {
+		t.Error("missing -bench not reported")
 	}
 }
 

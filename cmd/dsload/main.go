@@ -10,6 +10,9 @@
 //
 //	dsload -brokers 127.0.0.1:7000,127.0.0.1:7001 -users 2000 -duration 10s
 //	dsload -selfhost -duration 2s     # in-process cluster; the CI smoke mode
+//	dsload -selfhost -direct -duration 2s   # direct-read fast path: lease
+//	                                  # views and read cache servers directly,
+//	                                  # reporting the direct-hit ratio
 //
 // The -selfhost mode starts an in-process cluster (pkg/dynasore Engine)
 // and drives it over the real network client, so one command exercises
@@ -42,17 +45,24 @@ func main() {
 		workers   = flag.Int("workers", 8, "concurrent workload goroutines")
 		writeFrac = flag.Float64("write-frac", 0.2, "fraction of operations that are writes")
 		readCap   = flag.Int("read-cap", 32, "max followees fetched per feed read")
+		direct    = flag.Bool("direct", false, "enable the direct-read fast path (lease views, read cache servers without the broker)")
 	)
 	flag.Parse()
-	if err := run(*brokers, *selfhost, *users, *graph, *seed, *duration, *workers, *writeFrac, *readCap); err != nil {
+	if err := run(*brokers, *selfhost, *users, *graph, *seed, *duration, *workers, *writeFrac, *readCap, *direct); err != nil {
 		fmt.Fprintln(os.Stderr, "dsload:", err)
 		os.Exit(1)
 	}
 }
 
 func run(brokers string, selfhost bool, users int, graphName string, seed int64,
-	duration time.Duration, workers int, writeFrac float64, readCap int) error {
+	duration time.Duration, workers int, writeFrac float64, readCap int, direct bool) error {
 	ctx := context.Background()
+	// The direct fast path lives on the cluster client only, so -direct
+	// dials DialCluster even against a single (or selfhosted) broker.
+	var opts []dynasore.DialOption
+	if direct {
+		opts = append(opts, dynasore.WithDirectReads(0))
+	}
 	var store dynasore.Store
 	switch {
 	case selfhost:
@@ -64,6 +74,15 @@ func run(brokers string, selfhost bool, users int, graphName string, seed int64,
 		// Load the engine over the real network client, so the measured
 		// path includes framing, multiplexing, and the broker's serve
 		// loop — not just in-process calls.
+		if direct {
+			c, err := dynasore.DialCluster(ctx, []string{e.Addr()}, opts...)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			store = c
+			break
+		}
 		c, err := dynasore.Dial(ctx, e.Addr())
 		if err != nil {
 			return err
@@ -71,7 +90,7 @@ func run(brokers string, selfhost bool, users int, graphName string, seed int64,
 		defer c.Close()
 		store = c
 	case brokers != "":
-		c, err := dynasore.DialCluster(ctx, strings.Split(brokers, ","))
+		c, err := dynasore.DialCluster(ctx, strings.Split(brokers, ","), opts...)
 		if err != nil {
 			return err
 		}
@@ -170,6 +189,16 @@ func run(brokers string, selfhost bool, users int, graphName string, seed int64,
 		total, float64(total)/duration.Seconds(), readOps.Load(), viewsRead.Load(), writeOps.Load())
 	fmt.Fprintf(os.Stderr, "dsload: cluster epoch=%d replicated=%d migrated=%d evicted=%d misses=%d\n",
 		st.Epoch, st.Replicated, st.Migrated, st.Evicted, st.Misses)
+	if direct {
+		// Hit ratio over views read: every view either came straight off a
+		// cache server or fell back to the broker path.
+		ratio := 0.0
+		if v := viewsRead.Load(); v > 0 {
+			ratio = 100 * float64(st.DirectReads) / float64(v)
+		}
+		fmt.Fprintf(os.Stderr, "dsload: direct hits=%d (%.1f%% of views) fenced/fallback=%d leases=%d\n",
+			st.DirectReads, ratio, st.DirectStale, st.LeaseGrants)
+	}
 	return nil
 }
 

@@ -162,10 +162,12 @@ func run() error {
 
 	// Wait for the rebalance pass to migrate the moved views over: the
 	// new servers should take roughly the moved users' replicas.
-	waitUntil(10*time.Second, func() bool {
+	if err := waitUntil(10*time.Second, "rebalance onto the new servers", func() bool {
 		mm := leader.Membership()
 		return mm.Servers[2].Replicas+mm.Servers[3].Replicas >= int64(moved*3/4)
-	})
+	}); err != nil {
+		return err
+	}
 	st, _ := client.Stats(ctx)
 	mm := leader.Membership()
 	fmt.Printf("rebalanced: migrations=%d, replicas per server = %v\n", st.Migrated, replicaCounts(mm))
@@ -174,9 +176,11 @@ func run() error {
 	if _, err := client.DrainServer(ctx, s1.Addr()); err != nil {
 		return err
 	}
-	waitUntil(10*time.Second, func() bool {
+	if err := waitUntil(10*time.Second, "the drained server to empty", func() bool {
 		return leader.Membership().Servers[1].Replicas == 0
-	})
+	}); err != nil {
+		return err
+	}
 	mm = leader.Membership()
 	fmt.Printf("drained %s: replicas per server = %v (drain slot empty)\n", s1.Addr(), replicaCounts(mm))
 
@@ -192,14 +196,15 @@ func run() error {
 	fmt.Printf("traffic during the whole scenario: %d reads served, %d failed\n", served.Load(), failed.Load())
 
 	// The client noticed the epochs in-band and refreshed its server table.
-	waitUntil(5*time.Second, func() bool {
+	if err := waitUntil(5*time.Second, "the client's cached membership to reach the final epoch", func() bool {
 		cached, ok := client.CachedMembership()
 		return ok && cached.Epoch == m.Epoch
-	})
-	if cached, ok := client.CachedMembership(); ok {
-		fmt.Printf("client's cached membership: epoch %d, %d slots, %d active\n",
-			cached.Epoch, len(cached.Servers), cached.NumActive())
+	}); err != nil {
+		return err
 	}
+	cached, _ := client.CachedMembership()
+	fmt.Printf("client's cached membership: epoch %d, %d slots, %d active\n",
+		cached.Epoch, len(cached.Servers), cached.NumActive())
 	return nil
 }
 
@@ -211,9 +216,16 @@ func replicaCounts(m dynasore.Membership) []int64 {
 	return out
 }
 
-func waitUntil(d time.Duration, cond func() bool) {
+// waitUntil polls cond until it holds or the bounded wait elapses. A
+// timeout is an error, not a shrug: the example's later output would
+// describe a state the cluster never reached.
+func waitUntil(d time.Duration, what string, cond func() bool) error {
 	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) && !cond() {
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
 		time.Sleep(20 * time.Millisecond)
 	}
+	return fmt.Errorf("gave up after %s waiting for %s", d, what)
 }

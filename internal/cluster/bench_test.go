@@ -46,7 +46,7 @@ func benchServer(b *testing.B, users uint32) *Server {
 	b.Cleanup(func() { s.Close() })
 	v := View{Version: 1, Events: [][]byte{make([]byte, 140)}}
 	for u := uint32(0); u < users; u++ {
-		s.install(u, v)
+		s.install(u, v, 0)
 	}
 	return s
 }

@@ -119,6 +119,11 @@ type BrokerConfig struct {
 	// least this many whole WAL segments are fully covered by it, they
 	// are deleted. Zero disables compaction.
 	CompactAfter int
+	// LeaseTTL bounds how long a direct-read lease stays valid on a
+	// client before it must re-lease from the broker (default 5s). Short
+	// enough that a lost invalidation self-heals quickly; long enough
+	// that a hot reader amortizes the grant over many direct reads.
+	LeaseTTL time.Duration
 }
 
 func (c BrokerConfig) withDefaults() BrokerConfig {
@@ -133,6 +138,9 @@ func (c BrokerConfig) withDefaults() BrokerConfig {
 	}
 	if c.SyncEvery <= 0 {
 		c.SyncEvery = time.Second
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 5 * time.Second
 	}
 	if c.Policy.Slots <= 0 {
 		c.Policy.Slots = 8
@@ -244,10 +252,17 @@ type replicaMeta struct {
 }
 
 // viewMeta tracks one view's replica set: which servers hold it (home
-// first, then policy-created copies) and each replica's access window.
+// first, then policy-created copies), each replica's access window, and
+// the view's placement version — the per-user fencing token minted into
+// direct-read leases. The version bumps whenever a replica leaves its
+// server (migrate, evict, drop, drain, purge): a lease granted before the
+// move carries the old version, and the servers' stored copy of the new
+// one fences it. Replica-set growth deliberately does not bump — an extra
+// copy cannot make an old route wrong.
 type viewMeta struct {
 	order []int // server indices
 	reps  map[int]*replicaMeta
+	pv    uint64 // placement version
 }
 
 type brokerShard struct {
@@ -335,6 +350,7 @@ type Broker struct {
 	migrated   atomic.Int64
 	misses     atomic.Int64
 	catchup    atomic.Int64 // records recovered via opLogPull
+	leases     atomic.Int64 // direct-read leases granted
 }
 
 // repKey identifies one (user, serving server) aggregate in a pending
@@ -490,6 +506,9 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 			b.ckpt.Run(b.stop)
 		}()
 	}
+	// Teach the cache servers the starting epoch so direct reads work
+	// before the first write or membership change reaches them.
+	b.pushEpochAll(tab)
 	b.conns.Add(1)
 	go b.acceptLoop()
 	b.loops.Add(1)
@@ -644,6 +663,11 @@ func (b *Broker) installLocked(next membership.View) error {
 			b.purgeServer(nt, i)
 		}
 	}
+	// Arm the direct-read fence under the new epoch: until a server hears
+	// it, that server refuses direct reads from clients already leased
+	// under it (and clients leased under the old epoch are refused
+	// everywhere the new epoch has reached).
+	b.pushEpochAll(nt)
 	return nil
 }
 
@@ -1034,6 +1058,7 @@ func (b *Broker) Write(user uint32, payload []byte) (uint64, error) {
 		rep.log.RecordWrite(now)
 	}
 	set := append([]int(nil), meta.order...)
+	pv := meta.pv
 	sh.mu.Unlock()
 	if !b.IsLeader() {
 		b.noteWrite(user)
@@ -1052,7 +1077,7 @@ func (b *Broker) Write(user uint32, payload []byte) (uint64, error) {
 			failed = append(failed, idx)
 			continue
 		}
-		if err := conn.putView(user, view); err != nil {
+		if err := conn.putViewMeta(user, view, t.view.Epoch, pv); err != nil {
 			errs = append(errs, fmt.Errorf("update replica on %s: %w", t.label(idx), err))
 			failed = append(failed, idx)
 		}
@@ -1142,9 +1167,126 @@ func (b *Broker) ReadOne(user uint32) (View, error) {
 			// it on a live server.
 			b.rehomeStranded(user)
 		}
+		// Read-repair: the view was served despite the failed replica, so
+		// offer it back to that server in the background — a transient
+		// blip (restart, dropped connection) heals at read time instead
+		// of waiting for the policy tick to notice the lost copy.
+		b.readRepair(user, idx, v)
 	}
 	b.applyDecision(now, user, idx, decision)
 	return v, nil
+}
+
+// leaseFor mints a direct-read lease for user: the dialable addresses of
+// its replica set plus the two fencing tokens (membership epoch and
+// placement version) and the configured TTL. Issuance piggybacks on the
+// placement table the read path already maintains — one table snapshot,
+// one shard-lock hold, no network I/O.
+func (b *Broker) leaseFor(user uint32) (Lease, error) {
+	if user == membership.ReservedUser {
+		return Lease{}, ErrReservedUser
+	}
+	t := b.table()
+	now := time.Now().Unix()
+	sh := b.shard(user)
+	sh.mu.Lock()
+	meta := b.metaLocked(t, sh, user, now)
+	order := append([]int(nil), meta.order...)
+	pv := meta.pv
+	sh.mu.Unlock()
+	l := Lease{User: user, Epoch: t.view.Epoch, Placement: pv, TTL: b.cfg.LeaseTTL}
+	for _, idx := range order {
+		if idx < 0 || idx >= len(t.view.Servers) || t.conn(idx) == nil {
+			continue // a slot from another epoch, or a dead tombstone
+		}
+		l.Replicas = append(l.Replicas, LeaseReplica{Slot: uint16(idx), Addr: t.view.Servers[idx].Addr})
+	}
+	if len(l.Replicas) == 0 {
+		return Lease{}, fmt.Errorf("cluster: no reachable replica to lease for user %d", user)
+	}
+	b.leases.Add(1)
+	return l, nil
+}
+
+// pushEpochAll teaches every live cache server of table t the current
+// membership epoch, in the background (tracked so Close waits for it).
+// Best-effort: a server that misses the push stays fenced — it refuses
+// direct reads, never misserves them — and the next put repairs it.
+func (b *Broker) pushEpochAll(t *serverTable) {
+	b.bgMu.Lock()
+	if b.bgDone {
+		b.bgMu.Unlock()
+		return
+	}
+	b.bg.Add(1)
+	b.bgMu.Unlock()
+	go func() {
+		defer b.bg.Done()
+		for idx := range t.conns {
+			if conn := t.conn(idx); conn != nil {
+				_ = conn.pushEpoch(t.view.Epoch)
+			}
+		}
+	}()
+}
+
+// readRepair re-installs user's view on a replica that failed to serve a
+// read which another replica (or the WAL) then answered — the stale or
+// cold copy is fixed at read time instead of waiting for a policy tick.
+// Runs in the background, tracked so Close waits for it.
+func (b *Broker) readRepair(user uint32, idx int, v View) {
+	b.bgMu.Lock()
+	if b.bgDone {
+		b.bgMu.Unlock()
+		return
+	}
+	b.bg.Add(1)
+	b.bgMu.Unlock()
+	go func() {
+		defer b.bg.Done()
+		b.readdReplica(user, idx, v)
+	}()
+}
+
+// readdReplica probes server idx with the already-served view and, if the
+// server took it, re-admits it into user's replica set. The probe comes
+// first so a still-dead server costs one round trip and no placement
+// churn; the commit follows the usual commit-placement-then-fill order —
+// after the set names the server again, the WAL view is re-put, so an
+// event written between probe and commit (which skipped the not-yet-
+// member replica) cannot leave the repaired copy stale. It reports
+// whether the replica set changed.
+func (b *Broker) readdReplica(user uint32, idx int, v View) bool {
+	t := b.table()
+	if !t.placeable(idx) {
+		return false
+	}
+	conn := t.conn(idx)
+	if conn == nil {
+		return false
+	}
+	if err := conn.putViewMeta(user, v, t.view.Epoch, b.pvOf(user)); err != nil {
+		return false
+	}
+	now := time.Now().Unix()
+	sh := b.shard(user)
+	sh.mu.Lock()
+	meta, ok := sh.views[user]
+	if !ok || meta.reps[idx] != nil || len(meta.order) >= b.cfg.MaxReplicas {
+		sh.mu.Unlock()
+		return false
+	}
+	meta.order = append(meta.order, idx)
+	meta.reps[idx] = b.newReplicaMeta(t, now, 0)
+	t.load[idx].Add(1)
+	pv := meta.pv
+	sh.mu.Unlock()
+	if err := conn.putViewMeta(user, b.currentView(user), t.view.Epoch, pv); err != nil {
+		b.removeReplica(user, idx)
+		return false
+	}
+	b.broadcastPlacement(user)
+	return true
 }
 
 // rehomeStranded deletes user's placement entry when none of its replicas
@@ -1190,11 +1332,23 @@ func (b *Broker) readReplica(t *serverTable, user uint32, idx int) (View, error)
 	if !ok {
 		b.misses.Add(1)
 		v = b.currentView(user)
-		if err := conn.putView(user, v); err != nil {
+		if err := conn.putViewMeta(user, v, t.view.Epoch, b.pvOf(user)); err != nil {
 			return View{}, fmt.Errorf("cache fill on %s: %w", t.label(idx), err)
 		}
 	}
 	return v, nil
+}
+
+// pvOf returns user's current placement version (0 when this broker has
+// no placement entry for the user yet).
+func (b *Broker) pvOf(user uint32) uint64 {
+	sh := b.shard(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if meta, ok := sh.views[user]; ok {
+		return meta.pv
+	}
+	return 0
 }
 
 // evaluateLocked runs the shared policy for a view just read from serving.
@@ -1269,6 +1423,7 @@ func (b *Broker) applyCreate(now int64, user uint32, d viewpolicy.Decision) {
 		rep.log.ClearOrigin(d.Origin)
 	}
 	t.load[target].Add(1)
+	pv := meta.pv
 	sh.mu.Unlock()
 
 	conn := t.conn(target)
@@ -1276,7 +1431,7 @@ func (b *Broker) applyCreate(now int64, user uint32, d viewpolicy.Decision) {
 		b.removeReplica(user, target)
 		return
 	}
-	if err := conn.putView(user, b.currentView(user)); err != nil {
+	if err := conn.putViewMeta(user, b.currentView(user), t.view.Epoch, pv); err != nil {
 		b.removeReplica(user, target)
 		return
 	}
@@ -1313,14 +1468,17 @@ func (b *Broker) migrateReplica(now int64, user uint32, source int, d viewpolicy
 	t.load[target].Add(1)
 	removeLocked(meta, source)
 	t.load[source].Add(-1)
+	pv := meta.pv
 	sh.mu.Unlock()
 
 	// Install the copy on the target before deleting the source, so a
 	// concurrent read never finds the view on neither server (drains rely
 	// on this ordering for their zero-miss guarantee; a miss in the gap
-	// would still be served from the WAL, just more expensively).
+	// would still be served from the WAL, just more expensively). The
+	// bumped placement version rides the put: direct readers holding a
+	// pre-migration lease are fenced at the target until they re-lease.
 	migrated := true
-	if conn := t.conn(target); conn == nil || conn.putView(user, b.currentView(user)) != nil {
+	if conn := t.conn(target); conn == nil || conn.putViewMeta(user, b.currentView(user), t.view.Epoch, pv) != nil {
 		// The replica set still names target; reads will refill it from
 		// the WAL once the server is reachable, or drop it as dead.
 		migrated = false
@@ -1431,8 +1589,11 @@ func (b *Broker) dropReplicas(user uint32, idxs []int) {
 	}
 }
 
-// removeLocked unlinks server idx from meta. Caller holds the shard lock
-// and has verified the replica exists.
+// removeLocked unlinks server idx from meta and bumps the placement
+// version: every route minted before the removal is now suspect (it may
+// name the server the view just left), and the bump is what fences the
+// leases still carrying it. Caller holds the shard lock and has verified
+// the replica exists.
 func removeLocked(meta *viewMeta, idx int) {
 	for i, r := range meta.order {
 		if r == idx {
@@ -1441,6 +1602,7 @@ func removeLocked(meta *viewMeta, idx int) {
 		}
 	}
 	delete(meta.reps, idx)
+	meta.pv++
 }
 
 // readFanout caps how many views of one Read(u, L) are fetched in parallel.
@@ -1628,6 +1790,8 @@ type BrokerStats struct {
 	CatchupRecords int64
 	// Epoch is the broker's current membership epoch.
 	Epoch uint64
+	// LeaseGrants counts direct-read leases this broker issued.
+	LeaseGrants int64
 }
 
 // Stats returns a snapshot of the broker's counters.
@@ -1641,6 +1805,7 @@ func (b *Broker) Stats() BrokerStats {
 		Misses:         b.misses.Load(),
 		CatchupRecords: b.catchup.Load(),
 		Epoch:          b.Epoch(),
+		LeaseGrants:    b.leases.Load(),
 	}
 	if b.ckpt != nil {
 		st.Checkpoints = b.ckpt.Checkpoints()
@@ -1700,6 +1865,15 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		return respWrite, appendEpochTrailer(binary.LittleEndian.AppendUint64(nil, seq), b.Epoch())
 	case opBrokerStats:
 		return respStats, appendBrokerStats(nil, b.Stats())
+	case opLeaseGet:
+		if len(body) < 4 {
+			return respError, errorBody("short lease request")
+		}
+		l, err := b.leaseFor(binary.LittleEndian.Uint32(body[0:4]))
+		if err != nil {
+			return respError, errorBody(err.Error())
+		}
+		return respLease, appendLeaseGrant(nil, l)
 	case opPeerHello:
 		sender, err := decodePeerHello(body)
 		if err != nil || int(sender) >= b.nBrokers {

@@ -100,8 +100,9 @@ func (c *Client) Stats() (BrokerStats, error) {
 // decodeBrokerStats parses a respStats body shared by both protocol
 // versions. Older brokers send shorter bodies — 40 bytes before the
 // migration counter, 48 before the durability counters (checkpoints,
-// compacted segments, catch-up records), 72 before the membership epoch —
-// so each tail group is decoded only when present.
+// compacted segments, catch-up records), 72 before the membership epoch,
+// 80 before the lease counter — so each tail group is decoded only when
+// present.
 func decodeBrokerStats(respType uint8, body []byte) (BrokerStats, error) {
 	if respType != respStats || len(body) < 40 {
 		return BrokerStats{}, ErrBadFrame
@@ -123,6 +124,9 @@ func decodeBrokerStats(respType uint8, body []byte) (BrokerStats, error) {
 	}
 	if len(body) >= 80 {
 		st.Epoch = binary.LittleEndian.Uint64(body[72:80])
+	}
+	if len(body) >= 88 {
+		st.LeaseGrants = int64(binary.LittleEndian.Uint64(body[80:88]))
 	}
 	return st, nil
 }

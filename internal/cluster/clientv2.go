@@ -272,6 +272,60 @@ func (c *ClientV2) Write(ctx context.Context, user uint32, payload []byte) (uint
 	}
 }
 
+// Lease asks the broker for a direct-read lease on user: the replica
+// addresses plus the fencing tokens a DirectReader presents to cache
+// servers.
+func (c *ClientV2) Lease(ctx context.Context, user uint32) (Lease, error) {
+	body := binary.LittleEndian.AppendUint32(nil, user)
+	respType, respBody, err := c.do(ctx, opLeaseGet, body)
+	if err != nil {
+		return Lease{}, err
+	}
+	switch respType {
+	case respLease:
+		l, err := decodeLeaseGrant(respBody)
+		if err == nil {
+			c.noteEpoch(l.Epoch)
+		}
+		return l, err
+	case respError:
+		return Lease{}, asRemoteError(respBody)
+	default:
+		return Lease{}, ErrBadFrame
+	}
+}
+
+// directGet performs one fenced direct read against a cache server. The
+// returned status is the raw response type: respView (view is valid),
+// respStaleRoute (the lease is fenced — re-lease and fall back), or
+// respNotHere (this replica no longer holds the view — try another).
+func (c *ClientV2) directGet(ctx context.Context, user uint32, epoch, placement uint64) (View, uint8, error) {
+	respType, respBody, err := c.do(ctx, opDirectGet, encodeDirectGet(user, epoch, placement))
+	if err != nil {
+		return View{}, 0, err
+	}
+	switch respType {
+	case respView:
+		v, rest, err := decodeView(respBody)
+		if err != nil {
+			return View{}, 0, err
+		}
+		c.noteEpoch(decodeEpochTrailer(rest))
+		return v, respView, nil
+	case respStaleRoute:
+		if e, _, err := decodeStaleRoute(respBody); err == nil {
+			c.noteEpoch(e)
+		}
+		return View{}, respStaleRoute, nil
+	case respNotHere:
+		return View{}, respNotHere, nil
+	case respError:
+		return View{}, 0, asRemoteError(respBody)
+	default:
+		return View{}, 0, ErrBadFrame
+	}
+}
+
 // noteEpoch records the highest membership epoch seen in a response
 // trailer.
 func (c *ClientV2) noteEpoch(e uint64) {

@@ -376,6 +376,9 @@ func (b *Broker) applyPlacementEntry(user uint32, order []int) {
 		if !seen[idx] {
 			delete(meta.reps, idx)
 			t.load[idx].Add(-1)
+			// A replica left its server: fence the leases that still
+			// route to it, exactly as a locally decided removal would.
+			meta.pv++
 		}
 	}
 	for _, idx := range clean {

@@ -24,6 +24,7 @@ import (
 	"net"
 	"slices"
 	"sync"
+	"time"
 
 	"dynasore/internal/membership"
 	"dynasore/internal/wal"
@@ -89,6 +90,21 @@ const (
 	// its whole outcome to each peer in O(1) round trips instead of one
 	// opPlacementDelta per moved user.
 	opPlacementBatch
+	// Direct-read fast path: a client asks the broker to lease one user's
+	// replica set (opLeaseGet → respLease), then reads the view straight
+	// from a cache server (opDirectGet → respView). Two fencing tokens ride
+	// every direct read — the membership epoch and the user's placement
+	// version — and a server that cannot prove both current answers
+	// respStaleRoute (fall back to the broker and re-lease) or respNotHere
+	// (the replica moved away); it never silently serves a stale route.
+	// opEpochPush is the broker→server epoch notification that arms the
+	// fence on servers that receive no puts.
+	opLeaseGet
+	opDirectGet
+	opEpochPush
+	respLease
+	respStaleRoute
+	respNotHere
 )
 
 // Protocol versions.
@@ -802,11 +818,141 @@ func decodeEpochTrailer(rest []byte) uint64 {
 	return binary.LittleEndian.Uint64(rest[len(rest)-8:])
 }
 
-// appendBrokerStats encodes the respStats body: ten fixed 8-byte
+// LeaseReplica is one replica location in a lease: the cache server's
+// membership slot and the address a client dials for direct reads.
+type LeaseReplica struct {
+	Slot uint16
+	Addr string
+}
+
+// Lease is a broker-granted right to read one user's view straight from
+// its cache servers, valid for TTL and fenced by two tokens: the
+// membership epoch it was minted under and the user's placement version
+// (bumped whenever a replica leaves its server). A direct read carrying
+// either token stale is refused by the server, so an expired route can
+// never serve a wrong view — it falls back to the broker instead.
+type Lease struct {
+	User      uint32
+	Epoch     uint64
+	Placement uint64
+	TTL       time.Duration
+	Replicas  []LeaseReplica
+}
+
+// appendLeaseGrant appends a lease's wire form to buf:
+// uint32(user) | uint64(epoch) | uint64(placement) | uint32(ttl ms) |
+// uint16(n) | n × { uint16 slot, uint16 addrLen, addr }.
+func appendLeaseGrant(buf []byte, l Lease) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, l.User)
+	buf = binary.LittleEndian.AppendUint64(buf, l.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, l.Placement)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.TTL/time.Millisecond))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(l.Replicas)))
+	for _, r := range l.Replicas {
+		buf = binary.LittleEndian.AppendUint16(buf, r.Slot)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Addr)))
+		buf = append(buf, r.Addr...)
+	}
+	return buf
+}
+
+// decodeLeaseGrant parses a respLease body. The replica count is
+// validated against the bytes actually present before allocating.
+func decodeLeaseGrant(b []byte) (Lease, error) {
+	if len(b) < 26 {
+		return Lease{}, ErrBadFrame
+	}
+	l := Lease{
+		User:      binary.LittleEndian.Uint32(b[0:4]),
+		Epoch:     binary.LittleEndian.Uint64(b[4:12]),
+		Placement: binary.LittleEndian.Uint64(b[12:20]),
+		TTL:       time.Duration(binary.LittleEndian.Uint32(b[20:24])) * time.Millisecond,
+	}
+	n := int64(binary.LittleEndian.Uint16(b[24:26]))
+	b = b[26:]
+	if n > int64(len(b))/4 {
+		return Lease{}, ErrBadFrame
+	}
+	l.Replicas = make([]LeaseReplica, 0, n)
+	for i := int64(0); i < n; i++ {
+		if len(b) < 4 {
+			return Lease{}, ErrBadFrame
+		}
+		slot := binary.LittleEndian.Uint16(b[0:2])
+		alen := int(binary.LittleEndian.Uint16(b[2:4]))
+		b = b[4:]
+		if len(b) < alen {
+			return Lease{}, ErrBadFrame
+		}
+		l.Replicas = append(l.Replicas, LeaseReplica{Slot: slot, Addr: string(b[:alen])})
+		b = b[alen:]
+	}
+	return l, nil
+}
+
+// encodeDirectGet builds an opDirectGet body: the target user plus the
+// client's two fencing tokens —
+// uint32(user) | uint64(epoch) | uint64(placement).
+func encodeDirectGet(user uint32, epoch, placement uint64) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, user)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	return binary.LittleEndian.AppendUint64(buf, placement)
+}
+
+// decodeDirectGet parses an opDirectGet body.
+func decodeDirectGet(b []byte) (user uint32, epoch, placement uint64, err error) {
+	if len(b) < 20 {
+		return 0, 0, 0, ErrBadFrame
+	}
+	user = binary.LittleEndian.Uint32(b[0:4])
+	epoch = binary.LittleEndian.Uint64(b[4:12])
+	placement = binary.LittleEndian.Uint64(b[12:20])
+	return user, epoch, placement, nil
+}
+
+// appendStaleRoute builds a respStaleRoute body: the server's own view of
+// the two fencing tokens — uint64(epoch) | uint64(placement) — so the
+// refused client learns how far behind its lease is.
+func appendStaleRoute(buf []byte, epoch, placement uint64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	return binary.LittleEndian.AppendUint64(buf, placement)
+}
+
+// decodeStaleRoute parses a respStaleRoute body.
+func decodeStaleRoute(b []byte) (epoch, placement uint64, err error) {
+	if len(b) < 16 {
+		return 0, 0, ErrBadFrame
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), binary.LittleEndian.Uint64(b[8:16]), nil
+}
+
+// appendPutMeta appends the direct-read fencing metadata to an opPutView
+// body, after the encoded view: uint64(epoch) | uint64(placement). The
+// server's put decoder stops at the view, so the trailer is invisible to
+// cache servers that predate direct reads; newer servers use it to learn
+// the membership epoch and the placement version of the view they now
+// hold.
+func appendPutMeta(buf []byte, epoch, placement uint64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	return binary.LittleEndian.AppendUint64(buf, placement)
+}
+
+// decodePutMeta reads the trailing put metadata, or zeros when the broker
+// did not send any. Epochs start at 1, so 0 means unknown; a placement
+// version of 0 is simply a view that was never re-placed — it can never
+// out-fence a lease.
+func decodePutMeta(b []byte) (epoch, placement uint64) {
+	if len(b) < 16 {
+		return 0, 0
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), binary.LittleEndian.Uint64(b[8:16])
+}
+
+// appendBrokerStats encodes the respStats body: eleven fixed 8-byte
 // counters in wire order, paired with decodeBrokerStats. The counter
-// groups were added over time (40 → 48 → 72 → 80 bytes), so the decoder
-// tolerates shorter bodies from older brokers; the encoder always sends
-// the full current set.
+// groups were added over time (40 → 48 → 72 → 80 → 88 bytes), so the
+// decoder tolerates shorter bodies from older brokers; the encoder
+// always sends the full current set.
 func appendBrokerStats(b []byte, st BrokerStats) []byte {
 	b = binary.LittleEndian.AppendUint64(b, uint64(st.Reads))
 	b = binary.LittleEndian.AppendUint64(b, uint64(st.Writes))
@@ -818,6 +964,7 @@ func appendBrokerStats(b []byte, st BrokerStats) []byte {
 	b = binary.LittleEndian.AppendUint64(b, uint64(st.CompactedSegments))
 	b = binary.LittleEndian.AppendUint64(b, uint64(st.CatchupRecords))
 	b = binary.LittleEndian.AppendUint64(b, st.Epoch)
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.LeaseGrants))
 	return b
 }
 

@@ -665,3 +665,143 @@ func TestBrokerStatsDecodeBackCompat(t *testing.T) {
 		t.Error("short stats body accepted")
 	}
 }
+
+// TestLeaseGrantRoundTrip pushes leases through the respLease codec,
+// including the degenerate shapes a broker can legally emit.
+func TestLeaseGrantRoundTrip(t *testing.T) {
+	for _, l := range []Lease{
+		{User: 7, Epoch: 3, Placement: 9, TTL: 5 * time.Second, Replicas: []LeaseReplica{
+			{Slot: 0, Addr: "127.0.0.1:9001"},
+			{Slot: 2, Addr: "127.0.0.1:9003"},
+		}},
+		{User: 0, Epoch: 1, Placement: 0, TTL: time.Millisecond, Replicas: []LeaseReplica{
+			{Slot: 65535, Addr: ""},
+		}},
+		{User: 4294967295, Epoch: 18446744073709551615, TTL: 0},
+	} {
+		got, err := decodeLeaseGrant(appendLeaseGrant(nil, l))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", l, err)
+		}
+		if got.User != l.User || got.Epoch != l.Epoch || got.Placement != l.Placement ||
+			got.TTL != l.TTL || len(got.Replicas) != len(l.Replicas) {
+			t.Fatalf("round trip %+v != %+v", got, l)
+		}
+		for i, r := range l.Replicas {
+			if got.Replicas[i] != r {
+				t.Errorf("replica %d = %+v, want %+v", i, got.Replicas[i], r)
+			}
+		}
+	}
+	// Short body, hostile replica count, truncated address.
+	if _, err := decodeLeaseGrant(make([]byte, 25)); err == nil {
+		t.Error("short lease body accepted")
+	}
+	hostile := make([]byte, 26)
+	binary.LittleEndian.PutUint16(hostile[24:26], 65535)
+	if _, err := decodeLeaseGrant(hostile); err == nil {
+		t.Error("hostile replica count accepted")
+	}
+	full := appendLeaseGrant(nil, Lease{TTL: time.Second, Replicas: []LeaseReplica{{Slot: 1, Addr: "abc"}}})
+	if _, err := decodeLeaseGrant(full[:len(full)-1]); err == nil {
+		t.Error("truncated replica address accepted")
+	}
+}
+
+// TestDirectGetRoundTrip covers the opDirectGet and respStaleRoute
+// codecs: the two fencing-token carriers of the fast path.
+func TestDirectGetRoundTrip(t *testing.T) {
+	user, epoch, placement, err := decodeDirectGet(encodeDirectGet(42, 7, 19))
+	if err != nil || user != 42 || epoch != 7 || placement != 19 {
+		t.Fatalf("direct get round trip = (%d, %d, %d, %v)", user, epoch, placement, err)
+	}
+	if _, _, _, err := decodeDirectGet(make([]byte, 19)); err == nil {
+		t.Error("short direct get accepted")
+	}
+	epoch, placement, err = decodeStaleRoute(appendStaleRoute(nil, 8, 20))
+	if err != nil || epoch != 8 || placement != 20 {
+		t.Fatalf("stale route round trip = (%d, %d, %v)", epoch, placement, err)
+	}
+	if _, _, err := decodeStaleRoute(make([]byte, 15)); err == nil {
+		t.Error("short stale route accepted")
+	}
+}
+
+// TestPutMetaTrailer pins the opPutView trailer discipline: a view
+// encoded with the fencing trailer decodes identically, and the trailer
+// reads back (or zeros, for a pre-direct-reads broker that sent none).
+func TestPutMetaTrailer(t *testing.T) {
+	v := View{Version: 9, Events: [][]byte{[]byte("a"), []byte("bc")}}
+	body := appendPutMeta(encodeView(nil, v), 5, 11)
+	got, rest, err := decodeView(body)
+	if err != nil || got.Version != 9 || len(got.Events) != 2 {
+		t.Fatalf("view with trailer = %+v, %v", got, err)
+	}
+	epoch, placement := decodePutMeta(rest)
+	if epoch != 5 || placement != 11 {
+		t.Fatalf("trailer = (%d, %d), want (5, 11)", epoch, placement)
+	}
+	// No trailer: zeros, meaning unknown epoch / never re-placed.
+	_, rest, err = decodeView(encodeView(nil, v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch, placement := decodePutMeta(rest); epoch != 0 || placement != 0 {
+		t.Errorf("absent trailer = (%d, %d), want zeros", epoch, placement)
+	}
+}
+
+// FuzzDecodeLease drives the respLease codec: whatever decodes must
+// re-encode to the identical prefix, and hostile replica counts must be
+// rejected before allocation.
+func FuzzDecodeLease(f *testing.F) {
+	f.Add(appendLeaseGrant(nil, Lease{User: 1, Epoch: 2, Placement: 3, TTL: time.Second,
+		Replicas: []LeaseReplica{{Slot: 0, Addr: "127.0.0.1:9001"}}}))
+	f.Add(appendLeaseGrant(nil, Lease{TTL: time.Millisecond}))
+	f.Add([]byte{})
+	f.Add(make([]byte, 26))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := decodeLeaseGrant(data)
+		if err != nil {
+			return
+		}
+		re := appendLeaseGrant(nil, l)
+		if !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("lease round trip mismatch: %x != %x", re, data[:len(re)])
+		}
+	})
+}
+
+// FuzzDecodeDirectGet drives the opDirectGet body codec.
+func FuzzDecodeDirectGet(f *testing.F) {
+	f.Add(encodeDirectGet(7, 1, 2))
+	f.Add([]byte{})
+	f.Add(make([]byte, 19))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		user, epoch, placement, err := decodeDirectGet(data)
+		if err != nil {
+			return
+		}
+		re := encodeDirectGet(user, epoch, placement)
+		if !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("direct get round trip mismatch")
+		}
+	})
+}
+
+// FuzzDecodeStaleRoute drives the respStaleRoute body codec.
+func FuzzDecodeStaleRoute(f *testing.F) {
+	f.Add(appendStaleRoute(nil, 3, 4))
+	f.Add([]byte{})
+	f.Add(make([]byte, 15))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		epoch, placement, err := decodeStaleRoute(data)
+		if err != nil {
+			return
+		}
+		re := appendStaleRoute(nil, epoch, placement)
+		if !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("stale route round trip mismatch")
+		}
+	})
+}

@@ -337,3 +337,79 @@ func TestCatchUpConvergesPastUnservableGap(t *testing.T) {
 		t.Fatalf("views diverge after gap convergence: %s", diff)
 	}
 }
+
+// TestReadRepairReinstallsRestartedReplica pins the read-repair path: a
+// replica that fails a read is dropped and the view is served by the
+// surviving replica; once the failed server is back, the repair probe
+// re-admits it and re-fills its copy — at read time, without waiting for
+// a policy tick.
+func TestReadRepairReinstallsRestartedReplica(t *testing.T) {
+	b, servers, _ := testCluster(t, 3, func(cfg *BrokerConfig) {
+		cfg.Preferred = 2
+		cfg.MaxReplicas = 3
+		cfg.PolicyEvery = time.Hour
+		cfg.Policy.AdmissionEpsilon = 100
+	})
+	hot := userHomedOn(t, b, 0)
+	if _, err := b.Write(hot, []byte("hot post")); err != nil {
+		t.Fatal(err)
+	}
+	// Heat the user until the preferred (rack-local) server replicates it:
+	// replica set = {home 0, preferred 2}, and reads serve from 2.
+	targets := make([]uint32, 32)
+	for i := range targets {
+		targets[i] = hot
+	}
+	for round := 0; round < 4 && b.ReplicaCount(hot) < 2; round++ {
+		if _, err := b.Read(targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.ReplicaCount(hot); got != 2 {
+		t.Fatalf("replicas = %d, want 2 (home + preferred)", got)
+	}
+
+	// Kill the serving replica. The read must still succeed — served by
+	// the surviving home replica — and the dead slot is dropped inline.
+	addr := servers[2].Addr()
+	servers[2].Close()
+	v, err := b.ReadOne(hot)
+	if err != nil {
+		t.Fatalf("read with dead serving replica: %v", err)
+	}
+	if len(v.Events) != 1 || string(v.Events[0]) != "hot post" {
+		t.Fatalf("fallback view = %+v", v)
+	}
+
+	// Restart the server on the same address (cold: it lost its copy) and
+	// run the repair probe ReadOne schedules after a fallback. Whether this
+	// call or the background attempt wins, the replica must be back.
+	var restarted *Server
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		restarted, err = NewServer(addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind server %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer restarted.Close()
+	b.readdReplica(hot, 2, v)
+	if got := b.ReplicaCount(hot); got != 2 {
+		t.Fatalf("replicas after repair = %d, want 2", got)
+	}
+	// The repaired copy is really on the restarted server, current and
+	// complete.
+	conn := newServerConn(addr)
+	defer conn.close()
+	rv, ok, err := conn.getView(hot)
+	if err != nil || !ok {
+		t.Fatalf("restarted server has no copy: ok=%v err=%v", ok, err)
+	}
+	if rv.Version != v.Version || len(rv.Events) != 1 {
+		t.Fatalf("repaired copy = %+v, want %+v", rv, v)
+	}
+}

@@ -15,13 +15,22 @@ import (
 // shard selection a mask.
 const serverShardCount = 32
 
+// cachedView pairs a cached view with the placement version the broker
+// stamped on its put — the per-user fencing token direct reads verify. A
+// zero placement means the put came from a broker that predates direct
+// reads (those views still serve: zero can never exceed a lease's token).
+type cachedView struct {
+	View
+	placement uint64
+}
+
 // serverShard is one lock-striped slice of the view store. The padding keeps
 // neighbouring shards' locks off the same cache line, which otherwise
 // reintroduces the very contention sharding is meant to remove.
 type serverShard struct {
-	mu    sync.RWMutex    // 24 bytes
-	views map[uint32]View // 8 bytes
-	_     [32]byte        // pad the struct to one full 64-byte cache line
+	mu    sync.RWMutex          // 24 bytes
+	views map[uint32]cachedView // 8 bytes
+	_     [32]byte              // pad the struct to one full 64-byte cache line
 }
 
 // Server is one in-memory cache node: it stores view replicas keyed by user
@@ -42,6 +51,15 @@ type Server struct {
 	hits   atomic.Int64
 	misses atomic.Int64
 	puts   atomic.Int64
+
+	// epoch is the highest membership epoch this server has learned — from
+	// broker epoch pushes and from put metadata trailers. Zero (no broker
+	// contact yet, e.g. right after a restart) fences every direct read:
+	// the server cannot prove any lease current, so it stale-routes until
+	// a broker teaches it the epoch.
+	epoch       atomic.Uint64
+	directReads atomic.Int64
+	directStale atomic.Int64
 }
 
 // shardOf selects the lock stripe holding user's view. The multiplicative
@@ -60,7 +78,7 @@ func NewServer(addr string) (*Server, error) {
 	}
 	s := &Server{ln: ln, active: make(map[net.Conn]struct{})}
 	for i := range s.shards {
-		s.shards[i].views = make(map[uint32]View)
+		s.shards[i].views = make(map[uint32]cachedView)
 	}
 	s.conns.Add(1)
 	go s.acceptLoop()
@@ -68,7 +86,7 @@ func NewServer(addr string) (*Server, error) {
 }
 
 // lookup returns user's cached view, if present.
-func (s *Server) lookup(user uint32) (View, bool) {
+func (s *Server) lookup(user uint32) (cachedView, bool) {
 	sh := s.shardOf(user)
 	sh.mu.RLock()
 	v, ok := sh.views[user]
@@ -77,14 +95,29 @@ func (s *Server) lookup(user uint32) (View, bool) {
 }
 
 // install stores a view unless a newer version is already cached: an
-// out-of-order put of an older version must not clobber a newer view.
-func (s *Server) install(user uint32, v View) {
+// out-of-order put of an older version must not clobber a newer view. The
+// stored placement version only ratchets up — a racing put carrying an
+// older (or absent) token must not lower the fence.
+func (s *Server) install(user uint32, v View, placement uint64) {
 	sh := s.shardOf(user)
 	sh.mu.Lock()
 	if cur, ok := sh.views[user]; !ok || v.Version >= cur.Version {
-		sh.views[user] = v
+		if placement < cur.placement {
+			placement = cur.placement
+		}
+		sh.views[user] = cachedView{View: v, placement: placement}
 	}
 	sh.mu.Unlock()
+}
+
+// noteEpoch ratchets the server's known membership epoch up to e.
+func (s *Server) noteEpoch(e uint64) {
+	for {
+		cur := s.epoch.Load()
+		if e <= cur || s.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
 }
 
 // drop removes user's view from the cache.
@@ -135,18 +168,57 @@ func (s *Server) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 			return respMiss, nil
 		}
 		s.hits.Add(1)
-		return respView, encodeView(nil, v)
+		return respView, encodeView(nil, v.View)
 	case opPutView:
 		if len(body) < 4 {
 			return respError, errorBody("short put")
 		}
 		user := binary.LittleEndian.Uint32(body[0:4])
-		v, _, err := decodeView(body[4:])
+		v, rest, err := decodeView(body[4:])
 		if err != nil {
 			return respError, errorBody(err.Error())
 		}
-		s.install(user, v)
+		// Newer brokers append the fencing metadata after the view; the
+		// epoch piggybacking on every put keeps a busy server fenced
+		// correctly even if it missed an explicit epoch push.
+		epoch, placement := decodePutMeta(rest)
+		s.noteEpoch(epoch)
+		s.install(user, v, placement)
 		s.puts.Add(1)
+		return respOK, nil
+	case opDirectGet:
+		user, epoch, placement, err := decodeDirectGet(body)
+		if err != nil {
+			return respError, errorBody("short direct get")
+		}
+		se := s.epoch.Load()
+		if se == 0 || epoch != se {
+			// Either this server cannot prove any lease current (it has
+			// not learned its epoch yet) or the client's membership view
+			// diverged from the server's — fence rather than risk a read
+			// against a superseded placement.
+			s.directStale.Add(1)
+			return respStaleRoute, appendStaleRoute(nil, se, 0)
+		}
+		cv, ok := s.lookup(user)
+		if !ok {
+			s.directStale.Add(1)
+			return respNotHere, nil
+		}
+		if cv.placement > placement {
+			// The view was re-placed after the lease was minted; the
+			// client's replica set may name servers the broker already
+			// deleted from.
+			s.directStale.Add(1)
+			return respStaleRoute, appendStaleRoute(nil, se, cv.placement)
+		}
+		s.directReads.Add(1)
+		return respView, appendEpochTrailer(encodeView(nil, cv.View), se)
+	case opEpochPush:
+		if len(body) < 8 {
+			return respError, errorBody("short epoch push")
+		}
+		s.noteEpoch(binary.LittleEndian.Uint64(body[0:8]))
 		return respOK, nil
 	case opDeleteView:
 		if len(body) < 4 {
@@ -161,6 +233,8 @@ func (s *Server) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.hits.Load()))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.misses.Load()))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.puts.Load()))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.directReads.Load()))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.directStale.Load()))
 		return respStats, buf
 	default:
 		return respError, errorBody("unknown op")
@@ -195,12 +269,34 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Epoch returns the highest membership epoch the server has learned from
+// brokers (0 until the first put or epoch push reaches it).
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Views:       s.NumViews(),
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		DirectReads: s.directReads.Load(),
+		DirectStale: s.directStale.Load(),
+	}
+}
+
 // ServerStats summarizes one cache server.
 type ServerStats struct {
 	Views  int
 	Hits   int64
 	Misses int64
 	Puts   int64
+	// DirectReads counts views served straight to clients over the
+	// direct-read fast path; DirectStale counts direct reads the server
+	// refused (stale epoch, stale placement version, or view not here) —
+	// each refusal sent the client back to the broker.
+	DirectReads int64
+	DirectStale int64
 }
 
 // serverPoolSize is how many connections a broker keeps per cache server,
@@ -358,7 +454,37 @@ func (c *serverConn) getView(user uint32) (View, bool, error) {
 func (c *serverConn) putView(user uint32, v View) error {
 	body := binary.LittleEndian.AppendUint32(nil, user)
 	body = encodeView(body, v)
+	return c.putViewBody(body)
+}
+
+// putViewMeta installs a view replica stamped with the direct-read fencing
+// tokens: the broker's membership epoch and the user's placement version.
+func (c *serverConn) putViewMeta(user uint32, v View, epoch, placement uint64) error {
+	body := binary.LittleEndian.AppendUint32(nil, user)
+	body = encodeView(body, v)
+	body = appendPutMeta(body, epoch, placement)
+	return c.putViewBody(body)
+}
+
+func (c *serverConn) putViewBody(body []byte) error {
 	respType, respBody, err := c.roundTrip(opPutView, body)
+	if err != nil {
+		return err
+	}
+	if respType == respError {
+		return asRemoteError(respBody)
+	}
+	if respType != respOK {
+		return ErrBadFrame
+	}
+	return nil
+}
+
+// pushEpoch teaches the server the broker's current membership epoch, so
+// direct reads fence correctly on servers that receive no puts.
+func (c *serverConn) pushEpoch(epoch uint64) error {
+	body := binary.LittleEndian.AppendUint64(nil, epoch)
+	respType, respBody, err := c.roundTrip(opEpochPush, body)
 	if err != nil {
 		return err
 	}
@@ -396,10 +522,17 @@ func (c *serverConn) stats() (ServerStats, error) {
 	if respType != respStats || len(body) < 28 {
 		return ServerStats{}, ErrBadFrame
 	}
-	return ServerStats{
+	st := ServerStats{
 		Views:  int(binary.LittleEndian.Uint32(body[0:4])),
 		Hits:   int64(binary.LittleEndian.Uint64(body[4:12])),
 		Misses: int64(binary.LittleEndian.Uint64(body[12:20])),
 		Puts:   int64(binary.LittleEndian.Uint64(body[20:28])),
-	}, nil
+	}
+	// Servers that predate direct reads send 28 bytes; the counters that
+	// grew the record (28 → 44) decode only when present.
+	if len(body) >= 44 {
+		st.DirectReads = int64(binary.LittleEndian.Uint64(body[28:36]))
+		st.DirectStale = int64(binary.LittleEndian.Uint64(body[36:44]))
+	}
+	return st, nil
 }

@@ -12,8 +12,10 @@ import (
 type DialOption func(*dialConfig)
 
 type dialConfig struct {
-	poolSize  int
-	batchSize int
+	poolSize     int
+	batchSize    int
+	direct       bool
+	directLeases int
 }
 
 // WithPoolSize sets how many multiplexed connections the client keeps to
@@ -27,6 +29,21 @@ func WithPoolSize(n int) DialOption {
 // negative disables splitting.
 func WithReadBatchSize(n int) DialOption {
 	return func(c *dialConfig) { c.batchSize = n }
+}
+
+// WithDirectReads enables the direct-read fast path on clients dialed
+// with DialCluster: the client leases hot users' replica sets from the
+// broker and reads their views straight from the cache servers — one
+// network hop instead of two — falling back to the broker whenever
+// freshness cannot be proven (no lease, stale epoch, fenced placement).
+// maxLeases bounds the client-side lease cache (<= 0 means
+// cluster.DefaultMaxLeases). Dial, the single-broker backend, ignores
+// the option.
+func WithDirectReads(maxLeases int) DialOption {
+	return func(c *dialConfig) {
+		c.direct = true
+		c.directLeases = maxLeases
+	}
 }
 
 // Client is the network backend of Store: it speaks wire protocol v2 to a

@@ -39,6 +39,13 @@ type ClusterClient struct {
 	refreshing atomic.Bool
 	refreshMu  sync.Mutex
 	refreshes  sync.WaitGroup
+
+	// Direct-read fast path (nil unless dialed WithDirectReads): the
+	// bounded lease cache plus cache-server connections, and a dedup set
+	// of users with a background lease request already in flight.
+	direct       *cluster.DirectReader
+	leaseMu      sync.Mutex
+	leasePending map[uint32]struct{}
 }
 
 var _ Store = (*ClusterClient)(nil)
@@ -72,6 +79,10 @@ func DialCluster(ctx context.Context, addrs []string, opts ...DialOption) (*Clus
 		opt(&cfg)
 	}
 	c := &ClusterClient{batchSize: cfg.batchSize, poolSize: cfg.poolSize}
+	if cfg.direct {
+		c.direct = cluster.NewDirectReader(cfg.directLeases)
+		c.leasePending = make(map[uint32]struct{})
+	}
 	for _, addr := range addrs {
 		c.endpoints = append(c.endpoints, &endpoint{addr: addr})
 	}
@@ -215,6 +226,11 @@ func (c *ClusterClient) noteEpoch(e uint64) {
 	if e == 0 {
 		return // pre-membership broker: no epochs on the wire
 	}
+	if c.direct != nil {
+		// A newer epoch implicitly invalidates every direct-read lease
+		// minted below it.
+		c.direct.NoteEpoch(e)
+	}
 	for {
 		cur := c.epoch.Load()
 		if e <= cur || c.epoch.CompareAndSwap(cur, e) {
@@ -243,6 +259,57 @@ func (c *ClusterClient) noteEpoch(e uint64) {
 		// Membership itself installs the result under the epoch guard, so
 		// a reply from a lagging broker can never regress the cache.
 		_, _ = c.Membership(ctx)
+	}()
+}
+
+// leaseAsync requests a direct-read lease for user in the background,
+// unless a valid lease is already cached or a request is already in
+// flight. Lease traffic therefore stays bounded by the miss rate: one
+// outstanding request per missing user, not one per read.
+func (c *ClusterClient) leaseAsync(user uint32) {
+	if c.direct.HasLease(user) {
+		return
+	}
+	c.leaseMu.Lock()
+	if _, busy := c.leasePending[user]; busy {
+		c.leaseMu.Unlock()
+		return
+	}
+	c.leasePending[user] = struct{}{}
+	c.leaseMu.Unlock()
+	// Same barrier as noteEpoch: the closed-check-then-Add must not race
+	// Close's WaitGroup.
+	c.refreshMu.Lock()
+	if c.closed.Load() {
+		c.refreshMu.Unlock()
+		c.leaseMu.Lock()
+		delete(c.leasePending, user)
+		c.leaseMu.Unlock()
+		return
+	}
+	c.refreshes.Add(1)
+	c.refreshMu.Unlock()
+	go func() {
+		defer c.refreshes.Done()
+		defer func() {
+			c.leaseMu.Lock()
+			delete(c.leasePending, user)
+			c.leaseMu.Unlock()
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		start := int(c.next.Add(1)) % len(c.endpoints)
+		// Failure is harmless: reads keep working through the broker, and
+		// the next miss re-arms the request.
+		_ = c.try(ctx, start, func(cl *cluster.ClientV2) error {
+			l, err := cl.Lease(ctx, user)
+			if err != nil {
+				return err
+			}
+			c.noteEpoch(cl.Epoch())
+			c.direct.Install(l)
+			return nil
+		})
 	}()
 }
 
@@ -331,11 +398,48 @@ func (c *ClusterClient) adminOp(ctx context.Context, op func(*cluster.ClientV2) 
 // Read fetches the views of every user in targets, in order. Each call is
 // served by the next broker round-robin; target lists larger than the read
 // batch size are split into concurrent chunks, so one big feed read spreads
-// across the whole broker tier.
+// across the whole broker tier. With WithDirectReads, each target is first
+// tried against its leased cache servers — one hop — and only the misses
+// go through a broker; users that missed get a lease requested in the
+// background so the next read of them can go direct.
 func (c *ClusterClient) Read(ctx context.Context, targets []uint32) ([]View, error) {
 	if len(targets) == 0 {
 		return []View{}, nil
 	}
+	if c.direct == nil {
+		return c.brokerRead(ctx, targets)
+	}
+	out := make([]View, len(targets))
+	var missIdx []int
+	var missTargets []uint32
+	for i, u := range targets {
+		if v, ok := c.direct.TryRead(ctx, u); ok {
+			out[i] = fromClusterView(v)
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missTargets = append(missTargets, u)
+	}
+	if len(missTargets) == 0 {
+		return out, nil
+	}
+	views, err := c.brokerRead(ctx, missTargets)
+	if err != nil {
+		return nil, err
+	}
+	for j, v := range views {
+		out[missIdx[j]] = v
+		// Feed the broker-served version into the client-side fence, and
+		// re-lease the user in the background if no valid lease remains.
+		c.direct.Observe(missTargets[j], v.Version)
+		c.leaseAsync(missTargets[j])
+	}
+	return out, nil
+}
+
+// brokerRead is the broker-proxied read path: round-robin chunked reads
+// across the broker tier.
+func (c *ClusterClient) brokerRead(ctx context.Context, targets []uint32) ([]View, error) {
 	if c.batchSize <= 0 || len(targets) <= c.batchSize {
 		return c.readChunk(ctx, targets)
 	}
@@ -421,9 +525,15 @@ func (c *ClusterClient) Stats(ctx context.Context) (Stats, error) {
 		sum.Checkpoints += st.Checkpoints
 		sum.CompactedSegments += st.CompactedSegments
 		sum.CatchupRecords += st.CatchupRecords
+		sum.LeaseGrants += st.LeaseGrants
 	}
 	if !ok {
 		return Stats{}, fmt.Errorf("dynasore: no broker answered stats: %w", lastErr)
+	}
+	if c.direct != nil {
+		// This client's own fast-path activity: views served without the
+		// broker, and attempts that fenced or failed back to it.
+		sum.DirectReads, sum.DirectStale = c.direct.Counters()
 	}
 	return sum, nil
 }
@@ -447,5 +557,8 @@ func (c *ClusterClient) Close() error {
 		ep.mu.Unlock()
 	}
 	c.refreshes.Wait()
+	if c.direct != nil {
+		c.direct.Close()
+	}
 	return nil
 }

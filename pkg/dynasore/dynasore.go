@@ -63,6 +63,15 @@ type Stats struct {
 	// peers via the per-origin catch-up protocol after missing them —
 	// e.g. while it was down.
 	CatchupRecords int64
+	// LeaseGrants counts direct-read leases the broker issued; DirectReads
+	// and DirectStale count the fast path's outcomes — views served
+	// client → cache server without the broker, and direct attempts that
+	// fenced or failed back to the broker path. For Engine the direct
+	// counters come from its cache servers; for ClusterClient they are the
+	// client's own.
+	LeaseGrants int64
+	DirectReads int64
+	DirectStale int64
 	// Epoch is the broker's current membership epoch: it advances every
 	// time a cache server is added, drained, or removed.
 	Epoch uint64
@@ -105,6 +114,7 @@ func fromClusterStats(st cluster.BrokerStats) Stats {
 		Checkpoints:       st.Checkpoints,
 		CompactedSegments: st.CompactedSegments,
 		CatchupRecords:    st.CatchupRecords,
+		LeaseGrants:       st.LeaseGrants,
 		Epoch:             st.Epoch,
 	}
 }
