@@ -21,6 +21,20 @@
 // the delta, and exits non-zero when the new number regresses by more
 // than -max-regress percent — CI's guardrail against silently slowing the
 // hot path down.
+//
+// The -gates mode generalizes -compare to the whole tracked set in one
+// run:
+//
+//	benchjson -compare OLD.json \
+//	          -gates "BenchmarkClientPipelined=20,BenchmarkDirectRead=20" \
+//	          NEW.json
+//
+// Each entry is Name=maxRegressPercent (a bare Name uses -max-regress).
+// A gate missing from the baseline is skipped with a notice — that is how
+// a newly added benchmark enters the gate without a flag-day — but a gate
+// missing from the NEW artifact fails: a tracked benchmark that silently
+// stopped running is itself a regression. Every gate is evaluated before
+// the verdict, so one CI run reports all regressions at once.
 package main
 
 import (
@@ -55,11 +69,22 @@ type Result struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "baseline JSON artifact to compare the input artifact against")
-	bench := flag.String("bench", "", "benchmark name to compare (required with -compare)")
+	bench := flag.String("bench", "", "benchmark name to compare (required with -compare unless -gates is given)")
+	gatesSpec := flag.String("gates", "", "comma-separated Name=maxRegressPercent gates to check with -compare")
 	maxRegress := flag.Float64("max-regress", 20, "fail -compare when ns/op regresses by more than this percent")
 	flag.Parse()
 	if *compare != "" {
-		if err := runCompare(*compare, flag.Arg(0), *bench, *maxRegress); err != nil {
+		err := func() error {
+			if *gatesSpec != "" {
+				gates, err := parseGates(*gatesSpec, *maxRegress)
+				if err != nil {
+					return err
+				}
+				return runGates(*compare, flag.Arg(0), gates, os.Stdout)
+			}
+			return runCompare(*compare, flag.Arg(0), *bench, *maxRegress)
+		}()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -122,6 +147,109 @@ func runCompare(oldPath, newPath, bench string, maxRegress float64) error {
 		return fmt.Errorf("%s regressed %.1f%% (limit %.1f%%)", bench, delta, maxRegress)
 	}
 	return nil
+}
+
+// gate is one tracked benchmark and its personal regression budget.
+type gate struct {
+	name       string
+	maxRegress float64
+}
+
+// parseGates parses a -gates spec: comma-separated Name=percent entries,
+// where a bare Name falls back to the -max-regress default.
+func parseGates(spec string, defaultRegress float64) ([]gate, error) {
+	var gates []gate
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, pctStr, hasPct := strings.Cut(entry, "=")
+		name = strings.TrimSpace(name)
+		if name == "" || !strings.HasPrefix(name, "Benchmark") {
+			return nil, fmt.Errorf("gate %q: want BenchmarkName or BenchmarkName=percent", entry)
+		}
+		g := gate{name: name, maxRegress: defaultRegress}
+		if hasPct {
+			pct, err := strconv.ParseFloat(strings.TrimSpace(pctStr), 64)
+			if err != nil || pct <= 0 {
+				return nil, fmt.Errorf("gate %q: bad regression percent %q", entry, pctStr)
+			}
+			g.maxRegress = pct
+		}
+		gates = append(gates, g)
+	}
+	if len(gates) == 0 {
+		return nil, fmt.Errorf("-gates given but no gates parsed from %q", spec)
+	}
+	return gates, nil
+}
+
+// runGates checks every gate of a new artifact against a baseline and
+// fails if any tracked benchmark regressed beyond its budget or vanished
+// from the new artifact. All gates are evaluated before the verdict so a
+// single run reports every regression.
+func runGates(oldPath, newPath string, gates []gate, w io.Writer) error {
+	if newPath == "" {
+		return fmt.Errorf("-compare needs the new artifact as an argument")
+	}
+	oldNs, err := loadArtifact(oldPath)
+	if err != nil {
+		return err
+	}
+	newNs, err := loadArtifact(newPath)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, g := range gates {
+		baseline, inOld := oldNs[g.name]
+		current, inNew := newNs[g.name]
+		switch {
+		case !inNew:
+			// A tracked benchmark that stopped producing numbers is a
+			// regression in its own right, not a skip.
+			failures = append(failures, fmt.Sprintf("%s missing from %s", g.name, newPath))
+			fmt.Fprintf(w, "%s: MISSING from new artifact\n", g.name)
+		case !inOld:
+			// The benchmark is new: nothing to compare against yet. It
+			// enters the gate on the next baseline refresh.
+			fmt.Fprintf(w, "%s: %.1f ns/op (no baseline, skipped)\n", g.name, current)
+		default:
+			delta := 100 * (current - baseline) / baseline
+			fmt.Fprintf(w, "%s: %.1f ns/op -> %.1f ns/op (%+.1f%%, limit +%.1f%%)\n",
+				g.name, baseline, current, delta, g.maxRegress)
+			if delta > g.maxRegress {
+				failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (limit %.1f%%)", g.name, delta, g.maxRegress))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d of %d gates failed:\n  %s", len(failures), len(gates), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// loadArtifact reads a benchjson artifact into a name → ns/op map,
+// rejecting non-positive timings (a corrupt artifact must not silently
+// pass a gate).
+func loadArtifact(path string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(buf, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]float64, len(results))
+	for _, r := range results {
+		if r.NsPerOp <= 0 {
+			return nil, fmt.Errorf("%s: %s has non-positive ns/op %v", path, r.Name, r.NsPerOp)
+		}
+		byName[r.Name] = r.NsPerOp
+	}
+	return byName, nil
 }
 
 // lookup reads a benchjson artifact and returns the named benchmark's

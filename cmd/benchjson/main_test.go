@@ -107,3 +107,93 @@ func TestParseLineRejectsNoise(t *testing.T) {
 		}
 	}
 }
+
+func TestParseGates(t *testing.T) {
+	gates, err := parseGates("BenchmarkA=20, BenchmarkB=7.5 ,BenchmarkC", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []gate{
+		{name: "BenchmarkA", maxRegress: 20},
+		{name: "BenchmarkB", maxRegress: 7.5},
+		{name: "BenchmarkC", maxRegress: 30}, // bare name uses -max-regress
+	}
+	if len(gates) != len(want) {
+		t.Fatalf("parseGates = %+v, want %+v", gates, want)
+	}
+	for i := range want {
+		if gates[i] != want[i] {
+			t.Errorf("gate %d = %+v, want %+v", i, gates[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "NotABenchmark=20", "BenchmarkA=zero", "BenchmarkA=-5", "=20"} {
+		if _, err := parseGates(bad, 30); err == nil {
+			t.Errorf("parseGates(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunGates is the CI gate's contract: an honest baseline passes, a
+// seeded regression on any tracked benchmark fails, a tracked benchmark
+// vanishing from the new artifact fails, and a benchmark absent from the
+// baseline is skipped with a notice.
+func TestRunGates(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	baseline := write("base.json", `[
+		{"name":"BenchmarkClientPipelined","iterations":100,"ns_per_op":1000},
+		{"name":"BenchmarkDirectRead","iterations":100,"ns_per_op":500}
+	]`)
+	gates := []gate{
+		{name: "BenchmarkClientPipelined", maxRegress: 20},
+		{name: "BenchmarkDirectRead", maxRegress: 20},
+	}
+
+	honest := write("honest.json", `[
+		{"name":"BenchmarkClientPipelined","iterations":100,"ns_per_op":1100},
+		{"name":"BenchmarkDirectRead","iterations":100,"ns_per_op":450}
+	]`)
+	var out strings.Builder
+	if err := runGates(baseline, honest, gates, &out); err != nil {
+		t.Errorf("honest run failed the gate: %v\n%s", err, out.String())
+	}
+
+	seeded := write("seeded.json", `[
+		{"name":"BenchmarkClientPipelined","iterations":100,"ns_per_op":1100},
+		{"name":"BenchmarkDirectRead","iterations":100,"ns_per_op":900}
+	]`)
+	err := runGates(baseline, seeded, gates, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkDirectRead") {
+		t.Errorf("seeded 80%% regression not caught: %v", err)
+	}
+
+	vanished := write("vanished.json", `[
+		{"name":"BenchmarkClientPipelined","iterations":100,"ns_per_op":1100}
+	]`)
+	err = runGates(baseline, vanished, gates, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("vanished tracked benchmark not caught: %v", err)
+	}
+
+	// A gate with no baseline entry yet is skipped, not failed — that is
+	// how a new benchmark enters the tracked set without a flag-day.
+	out.Reset()
+	newGate := append(gates, gate{name: "BenchmarkBrandNew", maxRegress: 20})
+	fresh := write("fresh.json", `[
+		{"name":"BenchmarkClientPipelined","iterations":100,"ns_per_op":1100},
+		{"name":"BenchmarkDirectRead","iterations":100,"ns_per_op":450},
+		{"name":"BenchmarkBrandNew","iterations":100,"ns_per_op":10}
+	]`)
+	if err := runGates(baseline, fresh, newGate, &out); err != nil {
+		t.Errorf("new benchmark without baseline failed the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "no baseline") {
+		t.Errorf("skip notice missing: %q", out.String())
+	}
+}

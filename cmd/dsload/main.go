@@ -13,16 +13,27 @@
 //	dsload -selfhost -direct -duration 2s   # direct-read fast path: lease
 //	                                  # views and read cache servers directly,
 //	                                  # reporting the direct-hit ratio
+//	dsload -scenario rolling-upgrade  # scripted acceptance scenario with
+//	                                  # fault injection and invariant checks
+//	dsload -scenario list             # list the built-in scenarios
 //
 // The -selfhost mode starts an in-process cluster (pkg/dynasore Engine)
 // and drives it over the real network client, so one command exercises
 // the full write-ahead-log / cache / placement stack with zero setup.
+//
+// The -scenario mode hands control to internal/scenario: it boots its own
+// multi-broker rig, replays the named fault-injection timeline (flash
+// crowd, diurnal shift, rolling upgrade, broker crash), checks the
+// continuous invariants — no lost acknowledged writes, no wrong-version
+// reads, monotone epochs — and prints per-scenario benchmark lines on
+// stdout in the same format as the open-loop mode.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -30,28 +41,144 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynasore/internal/scenario"
 	"dynasore/internal/socialgraph"
 	"dynasore/pkg/dynasore"
 )
 
+// options is every dsload flag, gathered so validation and dispatch are
+// testable without a process boundary.
+type options struct {
+	brokers   string
+	selfhost  bool
+	scenario  string
+	users     int
+	graph     string
+	seed      int64
+	duration  time.Duration
+	workers   int
+	writeFrac float64
+	readCap   int
+	opsScale  float64
+	direct    bool
+	// usersSet records whether -users was given explicitly: a scenario
+	// carries its own designed population, which an untouched default
+	// must not override.
+	usersSet bool
+}
+
 func main() {
-	var (
-		brokers   = flag.String("brokers", "", "comma-separated broker addresses of the cluster under load")
-		selfhost  = flag.Bool("selfhost", false, "start an in-process cluster and load it (no -brokers needed)")
-		users     = flag.Int("users", 1000, "social graph size")
-		graph     = flag.String("graph", "twitter", "graph shape: twitter, facebook, or livejournal")
-		seed      = flag.Int64("seed", 42, "graph and workload RNG seed")
-		duration  = flag.Duration("duration", 5*time.Second, "how long to apply load")
-		workers   = flag.Int("workers", 8, "concurrent workload goroutines")
-		writeFrac = flag.Float64("write-frac", 0.2, "fraction of operations that are writes")
-		readCap   = flag.Int("read-cap", 32, "max followees fetched per feed read")
-		direct    = flag.Bool("direct", false, "enable the direct-read fast path (lease views, read cache servers without the broker)")
-	)
+	var o options
+	flag.StringVar(&o.brokers, "brokers", "", "comma-separated broker addresses of the cluster under load")
+	flag.BoolVar(&o.selfhost, "selfhost", false, "start an in-process cluster and load it (no -brokers needed)")
+	flag.StringVar(&o.scenario, "scenario", "", "run a named acceptance scenario on its own rig ('list' prints the names)")
+	flag.IntVar(&o.users, "users", 1000, "social graph size")
+	flag.StringVar(&o.graph, "graph", "twitter", "graph shape: twitter, facebook, or livejournal")
+	flag.Int64Var(&o.seed, "seed", 42, "graph and workload RNG seed")
+	flag.DurationVar(&o.duration, "duration", 5*time.Second, "how long to apply load")
+	flag.IntVar(&o.workers, "workers", 8, "concurrent workload goroutines")
+	flag.Float64Var(&o.writeFrac, "write-frac", 0.2, "fraction of operations that are writes")
+	flag.IntVar(&o.readCap, "read-cap", 32, "max followees fetched per feed read")
+	flag.Float64Var(&o.opsScale, "ops-scale", 1, "scale factor for a scenario's scripted op counts")
+	flag.BoolVar(&o.direct, "direct", false, "enable the direct-read fast path (lease views, read cache servers without the broker)")
 	flag.Parse()
-	if err := run(*brokers, *selfhost, *users, *graph, *seed, *duration, *workers, *writeFrac, *readCap, *direct); err != nil {
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "users" {
+			o.usersSet = true
+		}
+	})
+	if err := dispatch(o, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "dsload:", err)
 		os.Exit(1)
 	}
+}
+
+// dispatch validates the flag set and routes to the scenario or open-loop
+// mode. It is the whole of main minus flag declarations and the exit
+// code, so tests can drive every path.
+func dispatch(o options, stdout, stderr io.Writer) error {
+	if err := validate(o); err != nil {
+		return err
+	}
+	if o.scenario == "list" {
+		for _, name := range scenario.Names() {
+			fmt.Fprintln(stdout, name)
+		}
+		return nil
+	}
+	if o.scenario != "" {
+		return runScenario(o, stdout, stderr)
+	}
+	return run(o.brokers, o.selfhost, o.users, o.graph, o.seed, o.duration, o.workers, o.writeFrac, o.readCap, o.direct)
+}
+
+// validate rejects flag combinations before any cluster is started.
+func validate(o options) error {
+	if o.users <= 0 {
+		return fmt.Errorf("-users must be positive, got %d", o.users)
+	}
+	if o.workers <= 0 {
+		return fmt.Errorf("-workers must be positive, got %d", o.workers)
+	}
+	if o.writeFrac < 0 || o.writeFrac > 1 {
+		return fmt.Errorf("-write-frac must be in [0,1], got %g", o.writeFrac)
+	}
+	if o.opsScale <= 0 {
+		return fmt.Errorf("-ops-scale must be positive, got %g", o.opsScale)
+	}
+	if o.scenario != "" {
+		if o.brokers != "" || o.selfhost {
+			return fmt.Errorf("-scenario boots its own rig; drop -brokers/-selfhost")
+		}
+		if o.scenario == "list" {
+			return nil
+		}
+		if _, ok := scenario.Lookup(o.scenario); !ok {
+			return scenario.ErrUnknown(o.scenario)
+		}
+		return nil
+	}
+	if o.brokers == "" && !o.selfhost {
+		return fmt.Errorf("need -brokers, -selfhost, or -scenario")
+	}
+	return nil
+}
+
+// runScenario executes one acceptance timeline: benchmark lines on
+// stdout (the artifact), narration and the outcome summary on stderr.
+func runScenario(o options, stdout, stderr io.Writer) error {
+	sc, ok := scenario.Lookup(o.scenario)
+	if !ok {
+		return scenario.ErrUnknown(o.scenario)
+	}
+	users := 0 // 0 = the scenario's own designed population
+	if o.usersSet {
+		users = o.users
+	}
+	res, err := scenario.Execute(sc, scenario.Options{
+		Users:    users,
+		Seed:     o.seed,
+		Workers:  o.workers,
+		OpsScale: o.opsScale,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", o.scenario, err)
+	}
+	if verr := res.Err(); verr != nil {
+		return fmt.Errorf("scenario %s: %w", o.scenario, verr)
+	}
+	for _, line := range res.BenchLines() {
+		fmt.Fprintln(stdout, line)
+	}
+	fmt.Fprintf(stderr, "dsload: scenario %s passed: %d reads (%d views), %d writes, %d failed reads, epoch %d\n",
+		res.Scenario, res.Reads, res.ViewsRead, res.Writes, res.FailedReads, res.FinalEpoch)
+	if res.DirectReads > 0 || res.DirectStale > 0 {
+		fmt.Fprintf(stderr, "dsload: direct hits=%d fenced/fallback=%d\n", res.DirectReads, res.DirectStale)
+	}
+	return nil
 }
 
 func run(brokers string, selfhost bool, users int, graphName string, seed int64,

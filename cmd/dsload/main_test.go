@@ -1,11 +1,99 @@
 package main
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"dynasore/internal/socialgraph"
 )
+
+// TestValidateArgs is the table over every rejected and accepted flag
+// combination. A rejected combination is what makes `dsload -scenario
+// no-such-thing` exit non-zero: main turns any dispatch error into
+// os.Exit(1).
+func TestValidateArgs(t *testing.T) {
+	base := options{users: 1000, workers: 8, writeFrac: 0.2, opsScale: 1, duration: time.Second}
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string // substring; empty means valid
+	}{
+		{"selfhost ok", func(o *options) { o.selfhost = true }, ""},
+		{"brokers ok", func(o *options) { o.brokers = "127.0.0.1:7000" }, ""},
+		{"scenario ok", func(o *options) { o.scenario = "rolling-upgrade" }, ""},
+		{"scenario list ok", func(o *options) { o.scenario = "list" }, ""},
+		{"no target", func(o *options) {}, "need -brokers, -selfhost, or -scenario"},
+		{"unknown scenario", func(o *options) { o.scenario = "no-such-timeline" }, "unknown scenario"},
+		{"scenario plus selfhost", func(o *options) { o.scenario = "flash-crowd"; o.selfhost = true }, "boots its own rig"},
+		{"scenario plus brokers", func(o *options) { o.scenario = "flash-crowd"; o.brokers = "x:1" }, "boots its own rig"},
+		{"zero users", func(o *options) { o.selfhost = true; o.users = 0 }, "-users must be positive"},
+		{"zero workers", func(o *options) { o.selfhost = true; o.workers = 0 }, "-workers must be positive"},
+		{"write frac over 1", func(o *options) { o.selfhost = true; o.writeFrac = 1.5 }, "-write-frac"},
+		{"negative ops scale", func(o *options) { o.scenario = "flash-crowd"; o.opsScale = -1 }, "-ops-scale"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base
+			tc.mutate(&o)
+			err := validate(o)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%+v) = %v, want nil", o, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate(%+v) = %v, want error containing %q", o, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDispatchUnknownScenarioNamesTheOptions(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := dispatch(options{users: 1, workers: 1, opsScale: 1, scenario: "nope"}, &out, &errw)
+	if err == nil {
+		t.Fatal("dispatch accepted an unknown scenario")
+	}
+	// The error the operator sees must list what IS available.
+	if !strings.Contains(err.Error(), "nope") || !strings.Contains(err.Error(), "rolling-upgrade") {
+		t.Errorf("unknown-scenario error unhelpful: %v", err)
+	}
+}
+
+func TestDispatchScenarioList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := dispatch(options{users: 1, workers: 1, opsScale: 1, scenario: "list"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flash-crowd", "diurnal-shift", "rolling-upgrade", "broker-crash-rebalance"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("scenario list missing %q: %q", want, out.String())
+		}
+	}
+}
+
+// TestDispatchRunsScenario drives one real (shrunken) timeline through the
+// exact path `dsload -scenario` uses and checks the artifact contract:
+// benchmark lines on stdout, narration on stderr.
+func TestDispatchRunsScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a real cluster; skipped in -short mode")
+	}
+	var out, errw bytes.Buffer
+	o := options{users: 400, usersSet: true, workers: 4, opsScale: 0.25, scenario: "diurnal-shift", seed: 11}
+	if err := dispatch(o, &out, &errw); err != nil {
+		t.Fatalf("dispatch: %v\nstderr:\n%s", err, errw.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkScenarioDiurnalShiftFeedRead") {
+		t.Errorf("stdout missing the scenario bench line: %q", out.String())
+	}
+	if !strings.Contains(errw.String(), "scenario diurnal-shift passed") {
+		t.Errorf("stderr missing the outcome summary: %q", errw.String())
+	}
+}
 
 func TestBenchLineParsesLikeGoBench(t *testing.T) {
 	line := benchLine("BenchmarkDSLoadFeedRead", 1500, 3_000_000_000)

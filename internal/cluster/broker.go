@@ -1329,14 +1329,104 @@ func (b *Broker) readReplica(t *serverTable, user uint32, idx int) (View, error)
 	if err != nil {
 		return View{}, err
 	}
-	if !ok {
+	switch {
+	case !ok:
 		b.misses.Add(1)
-		v = b.currentView(user)
+		v = b.freshestView(t, user, b.ReplicaSet(user))
+		if pv, found := b.peerFreshestView(user, v.Version); found {
+			// A peer's store carries a write this broker has not replicated
+			// yet; filling below it would seed the cache with a view that
+			// lags an acknowledged write.
+			v = pv
+		}
 		if err := conn.putViewMeta(user, v, t.view.Epoch, b.pvOf(user)); err != nil {
 			return View{}, fmt.Errorf("cache fill on %s: %w", t.label(idx), err)
 		}
+	case v.Version < b.store.Version(user):
+		// The cached copy lags this broker's own store: a write acknowledged
+		// elsewhere missed this replica (placement divergence during churn,
+		// or a fill that raced the write's replication). Serve the freshest
+		// provable view and repair the replica in place so the staleness
+		// cannot outlive this read.
+		v = b.freshestView(t, user, b.ReplicaSet(user))
+		_ = conn.putViewMeta(user, v, t.view.Epoch, b.pvOf(user))
 	}
 	return v, nil
+}
+
+// freshestView returns the freshest view of user this broker can prove: its
+// own store's view, raised to any newer version cached on the given replica
+// servers. The write path updates cached replicas synchronously before
+// acknowledging, so in a per-broker-WAL cluster a replica can be ahead of
+// this broker's store while the originating peer's sync write is still in
+// flight — filling a cache or a migration target from the store alone would
+// replace that acknowledged data with an older view. Unreachable or empty
+// replicas are skipped; the store view is the floor.
+func (b *Broker) freshestView(t *serverTable, user uint32, replicas []int) View {
+	v := b.currentView(user)
+	for _, idx := range replicas {
+		conn := t.conn(idx)
+		if conn == nil {
+			continue
+		}
+		if rv, ok, err := conn.getView(user); err == nil && ok && rv.Version > v.Version {
+			v = rv
+		}
+	}
+	return v
+}
+
+// peerFreshestView asks every live peer broker for its persistent store's
+// view of user and returns the newest answer above floor. Every
+// acknowledged write is appended to its origin broker's store before the
+// ack, so the max over live brokers' stores bounds every acked version —
+// a miss-fill that consulted only local state could re-seed a fresh cache
+// server below a write acknowledged through a peer moments earlier.
+// Best-effort: an unreachable peer is skipped (its acked writes are also
+// on the cache replicas the write path updated synchronously).
+func (b *Broker) peerFreshestView(user uint32, floor uint64) (View, bool) {
+	if b.nBrokers <= 1 {
+		return View{}, false
+	}
+	var best View
+	found := false
+	for _, p := range b.peers {
+		if p == nil || !p.alive.Load() {
+			continue
+		}
+		respType, body, err := p.conn.roundTrip(opViewPull, binary.LittleEndian.AppendUint32(nil, user))
+		if err != nil || respType != respView {
+			continue
+		}
+		v, _, err := decodeView(body)
+		if err != nil {
+			continue
+		}
+		if v.Version > floor && (!found || v.Version > best.Version) {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// raiseSurvivors installs v onto every listed replica whose cached copy is
+// older, so dropping another copy cannot erase the freshest cached
+// version. Best-effort: an unreachable survivor is left to the ordinary
+// drop/refill machinery.
+func (b *Broker) raiseSurvivors(t *serverTable, user uint32, survivors []int, v View) {
+	if v.Version == 0 {
+		return
+	}
+	for _, ridx := range survivors {
+		conn := t.conn(ridx)
+		if conn == nil {
+			continue
+		}
+		if cv, ok, err := conn.getView(user); err == nil && ok && cv.Version >= v.Version {
+			continue
+		}
+		_ = conn.putViewMeta(user, v, t.view.Epoch, b.pvOf(user))
+	}
 }
 
 // pvOf returns user's current placement version (0 when this broker has
@@ -1415,6 +1505,7 @@ func (b *Broker) applyCreate(now int64, user uint32, d viewpolicy.Decision) {
 		sh.mu.Unlock()
 		return
 	}
+	existing := append([]int(nil), meta.order...)
 	meta.order = append(meta.order, target)
 	meta.reps[target] = b.newReplicaMeta(t, now, d.Profit)
 	// The new copy absorbs this origin's reads; forget them on the serving
@@ -1431,7 +1522,12 @@ func (b *Broker) applyCreate(now int64, user uint32, d viewpolicy.Decision) {
 		b.removeReplica(user, target)
 		return
 	}
-	if err := conn.putViewMeta(user, b.currentView(user), t.view.Epoch, pv); err != nil {
+	// Seed the new replica with the freshest provable view, not the store
+	// view alone — an existing replica can hold an acknowledged write whose
+	// peer sync is still in flight, and the new copy must not serve an
+	// older view than the copies it joins.
+	fv := b.freshestView(t, user, existing)
+	if err := conn.putViewMeta(user, fv, t.view.Epoch, pv); err != nil {
 		b.removeReplica(user, target)
 		return
 	}
@@ -1474,11 +1570,15 @@ func (b *Broker) migrateReplica(now int64, user uint32, source int, d viewpolicy
 	// Install the copy on the target before deleting the source, so a
 	// concurrent read never finds the view on neither server (drains rely
 	// on this ordering for their zero-miss guarantee; a miss in the gap
-	// would still be served from the WAL, just more expensively). The
-	// bumped placement version rides the put: direct readers holding a
-	// pre-migration lease are fenced at the target until they re-lease.
+	// would still be served from the WAL, just more expensively). The copy
+	// is the freshest provable view — the source's cached copy can carry an
+	// acknowledged write this broker's store has not replicated yet, and
+	// deleting the source below would erase it. The bumped placement
+	// version rides the put: direct readers holding a pre-migration lease
+	// are fenced at the target until they re-lease.
+	fv := b.freshestView(t, user, []int{source})
 	migrated := true
-	if conn := t.conn(target); conn == nil || conn.putViewMeta(user, b.currentView(user), t.view.Epoch, pv) != nil {
+	if conn := t.conn(target); conn == nil || conn.putViewMeta(user, fv, t.view.Epoch, pv) != nil {
 		// The replica set still names target; reads will refill it from
 		// the WAL once the server is reachable, or drop it as dead.
 		migrated = false
@@ -1555,9 +1655,16 @@ func (b *Broker) removeReplicaQuiet(user uint32, idx int) bool {
 		return false
 	}
 	removeLocked(meta, idx)
+	survivors := append([]int(nil), meta.order...)
 	t.load[idx].Add(-1)
 	sh.mu.Unlock()
 	if conn := t.conn(idx); conn != nil {
+		// The dropped copy can be the only one carrying a write that was
+		// acknowledged through a peer broker and has not reached this
+		// broker's store yet — raise the survivors to it before deleting.
+		if dv, ok, err := conn.getView(user); err == nil && ok {
+			b.raiseSurvivors(t, user, survivors, dv)
+		}
 		_ = conn.deleteView(user)
 	}
 	return true
@@ -1928,6 +2035,11 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		return respOK, nil
 	case opServerAdd, opServerDrain, opServerRemove:
 		return b.handleAdmin(msgType, body)
+	case opViewPull:
+		if len(body) < 4 {
+			return respError, errorBody("short view pull")
+		}
+		return respView, encodeView(nil, b.currentView(binary.LittleEndian.Uint32(body[0:4])))
 	case opLogCursors:
 		return respLogCursors, encodeLogCursors(b.store.Cursors())
 	case opLogPull:

@@ -105,6 +105,12 @@ const (
 	respLease
 	respStaleRoute
 	respNotHere
+
+	// opViewPull asks a peer broker for its persistent store's view of one
+	// user (4-byte little-endian user id → respView). Every acknowledged
+	// write reaches its origin broker's store before the ack, so the max
+	// over live peers' answers is a floor no cache fill may go below.
+	opViewPull
 )
 
 // Protocol versions.

@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Checker is the harness's continuously-running invariant monitor. Load
+// workers report every acknowledged write and every completed read; the
+// checker cross-checks them against the two safety properties the paper's
+// middleware must keep under churn:
+//
+//   - No lost acknowledged writes: once Write(u) returns sequence s, every
+//     later read of u must observe version >= s.
+//   - No wrong-version reads: a read may never observe a version older than
+//     one some earlier-completed read of the same user already observed
+//     (per-user version monotonicity across the whole cluster — the
+//     regression a stale replica or an unfenced direct read would cause).
+//
+// Both reduce to one per-user floor: the highest version proven readable.
+// Acknowledged writes and completed reads raise it; each read is judged
+// against the floor captured BEFORE the read was issued, which makes the
+// check linearizability-exact under concurrency — a reader racing a writer
+// is never blamed for missing a write that acked mid-flight.
+//
+// Epoch monotonicity is tracked separately per broker: a broker must never
+// announce a membership epoch older than one it already announced, even
+// across a kill/restart (recovery replays the WAL).
+type Checker struct {
+	shards [checkerShards]checkerShard
+
+	wrongReads atomic.Int64
+	lostWrites atomic.Int64
+
+	epochMu     sync.Mutex
+	epochSeen   map[string]uint64
+	epochDrops  []string
+	maxViolLogs int
+	violMu      sync.Mutex
+	violations  []string
+}
+
+const checkerShards = 64
+
+type checkerShard struct {
+	mu    sync.Mutex
+	acked map[uint32]uint64 // highest acknowledged write sequence
+	floor map[uint32]uint64 // highest version proven readable
+}
+
+// NewChecker returns an empty monitor.
+func NewChecker() *Checker {
+	c := &Checker{epochSeen: make(map[string]uint64), maxViolLogs: 20}
+	for i := range c.shards {
+		c.shards[i].acked = make(map[uint32]uint64)
+		c.shards[i].floor = make(map[uint32]uint64)
+	}
+	return c
+}
+
+func (c *Checker) shard(u uint32) *checkerShard {
+	return &c.shards[(u*2654435761)%checkerShards]
+}
+
+// Floor returns user u's current proven-readable version. Load workers call
+// it immediately before issuing a read and hand the snapshot back to
+// NoteRead, so the judgment excludes writes that complete mid-read.
+func (c *Checker) Floor(u uint32) uint64 {
+	sh := c.shard(u)
+	sh.mu.Lock()
+	f := sh.floor[u]
+	sh.mu.Unlock()
+	return f
+}
+
+// NoteAck records an acknowledged write: Write(u) returned seq. The user's
+// floor rises to seq — every read issued from now on must see it.
+func (c *Checker) NoteAck(u uint32, seq uint64) {
+	sh := c.shard(u)
+	sh.mu.Lock()
+	if seq > sh.acked[u] {
+		sh.acked[u] = seq
+	}
+	if seq > sh.floor[u] {
+		sh.floor[u] = seq
+	}
+	sh.mu.Unlock()
+}
+
+// NoteRead records a completed read of u that observed version v, judged
+// against the pre-read floor snapshot: v < preFloor is a wrong-version
+// read (and, when the floor came from an acknowledged write, a lost one).
+func (c *Checker) NoteRead(u uint32, v, preFloor uint64) {
+	if v < preFloor {
+		c.wrongReads.Add(1)
+		c.violation(fmt.Sprintf("wrong-version read: user %d observed version %d after version %d was proven readable", u, v, preFloor))
+		return
+	}
+	sh := c.shard(u)
+	sh.mu.Lock()
+	if v > sh.floor[u] {
+		sh.floor[u] = v
+	}
+	sh.mu.Unlock()
+}
+
+// NoteEpoch records broker's announced membership epoch; announcing an
+// older epoch than a previous announcement is an epoch regression.
+func (c *Checker) NoteEpoch(broker string, epoch uint64) {
+	c.epochMu.Lock()
+	if last, ok := c.epochSeen[broker]; ok && epoch < last {
+		c.epochDrops = append(c.epochDrops,
+			fmt.Sprintf("epoch regression: broker %s announced %d after %d", broker, epoch, last))
+	} else if epoch > last {
+		c.epochSeen[broker] = epoch
+	}
+	c.epochMu.Unlock()
+}
+
+// AckedUsers returns up to max users with at least one acknowledged write —
+// the sample the final lost-write sweep re-reads.
+func (c *Checker) AckedUsers(max int) []uint32 {
+	out := make([]uint32, 0, max)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for u := range sh.acked {
+			if len(out) >= max {
+				sh.mu.Unlock()
+				return out
+			}
+			out = append(out, u)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// NoteFinalRead records the final-sweep read of user u: observing a version
+// below the highest acknowledged write is a lost acknowledged write.
+func (c *Checker) NoteFinalRead(u uint32, v uint64) {
+	sh := c.shard(u)
+	sh.mu.Lock()
+	acked := sh.acked[u]
+	sh.mu.Unlock()
+	if v < acked {
+		c.lostWrites.Add(1)
+		c.violation(fmt.Sprintf("lost acknowledged write: user %d acked through sequence %d, final read observed %d", u, acked, v))
+	}
+}
+
+// violation appends one bounded human-readable violation record.
+func (c *Checker) violation(msg string) {
+	c.violMu.Lock()
+	if len(c.violations) < c.maxViolLogs {
+		c.violations = append(c.violations, msg)
+	}
+	c.violMu.Unlock()
+}
+
+// WrongReads reports the wrong-version read count.
+func (c *Checker) WrongReads() int64 { return c.wrongReads.Load() }
+
+// LostWrites reports the lost-acknowledged-write count.
+func (c *Checker) LostWrites() int64 { return c.lostWrites.Load() }
+
+// Violations returns every recorded invariant violation, bounded to the
+// first few of each kind plus all epoch regressions.
+func (c *Checker) Violations() []string {
+	c.violMu.Lock()
+	out := append([]string(nil), c.violations...)
+	c.violMu.Unlock()
+	c.epochMu.Lock()
+	out = append(out, c.epochDrops...)
+	c.epochMu.Unlock()
+	return out
+}

@@ -1,0 +1,379 @@
+package scenario
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"dynasore/internal/cluster"
+	"dynasore/internal/membership"
+)
+
+// Rig is the in-process cluster a scenario runs against: N brokers (one
+// zone each, per-broker WAL dirs, peer-listed so they elect a leader and
+// replicate writes) and M cache servers (round-robin across the broker
+// zones). Every node listens on a real TCP port, so the production clients
+// exercise their actual wire paths; broker and server addresses are
+// reserved up front, which is what makes kill/restart injection possible —
+// a restarted node comes back on the address the rest of the cluster
+// already knows.
+//
+// Rig methods are not safe for concurrent use: a scenario's steps run
+// serially, and only the load workers (which touch clients, never the Rig)
+// run in parallel.
+type Rig struct {
+	brokers []brokerSlot
+	servers []serverSlot
+	peers   []cluster.PeerInfo
+	// seedAddrs/seedPositions freeze the epoch-1 membership seed: restarted
+	// brokers get the original list (later epochs are recovered from their
+	// WAL and override it), never the mutated slot table.
+	seedAddrs     []string
+	seedPositions []cluster.Position
+	workDir       string
+}
+
+type brokerSlot struct {
+	addr string
+	dir  string
+	b    *cluster.Broker // nil while killed
+}
+
+type serverSlot struct {
+	addr string
+	pos  cluster.Position
+	s    *cluster.Server // nil while killed
+	gone bool            // removed from membership; slot retired
+}
+
+// Timing knobs: fast enough that a scenario converges in seconds, the same
+// ratios the cluster's own integration tests run at.
+const (
+	rigSyncEvery       = 50 * time.Millisecond
+	rigPolicyEvery     = 100 * time.Millisecond
+	rigCheckpointEvery = 200 * time.Millisecond
+)
+
+// NewRig starts a cluster of the given shape. Callers own Close.
+func NewRig(brokers, servers int) (*Rig, error) {
+	if brokers <= 0 || servers <= 0 {
+		return nil, fmt.Errorf("scenario: rig needs at least one broker and one server (got %d/%d)", brokers, servers)
+	}
+	workDir, err := os.MkdirTemp("", "dynasore-scenario-*")
+	if err != nil {
+		return nil, err
+	}
+	r := &Rig{workDir: workDir}
+	ok := false
+	defer func() {
+		if !ok {
+			r.Close()
+		}
+	}()
+	for j := 0; j < servers; j++ {
+		s, err := cluster.NewServer("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		r.servers = append(r.servers, serverSlot{
+			addr: s.Addr(),
+			pos:  cluster.Position{Zone: j % brokers, Rack: 1},
+			s:    s,
+		})
+	}
+	lns := make([]net.Listener, brokers)
+	for i := 0; i < brokers; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		dir := fmt.Sprintf("%s/broker-%d", workDir, i)
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			ln.Close()
+			return nil, err
+		}
+		r.brokers = append(r.brokers, brokerSlot{addr: ln.Addr().String(), dir: dir})
+		r.peers = append(r.peers, cluster.PeerInfo{
+			Addr: ln.Addr().String(),
+			Pos:  cluster.Position{Zone: i, Rack: 0},
+		})
+	}
+	for i := 0; i < brokers; i++ {
+		b, err := r.startBroker(i, lns[i])
+		if err != nil {
+			return nil, err
+		}
+		r.brokers[i].b = b
+	}
+	ok = true
+	return r, nil
+}
+
+// startBroker builds broker i's config and starts it on ln (nil: listen on
+// the slot's reserved address — the restart path).
+func (r *Rig) startBroker(i int, ln net.Listener) (*cluster.Broker, error) {
+	if ln == nil {
+		var err error
+		// The dead broker's listener may linger for a moment after Close.
+		for attempt := 0; ; attempt++ {
+			ln, err = net.Listen("tcp", r.brokers[i].addr)
+			if err == nil {
+				break
+			}
+			if attempt >= 50 {
+				return nil, fmt.Errorf("scenario: relisten broker %d: %w", i, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if r.seedAddrs == nil {
+		for _, sl := range r.servers {
+			r.seedAddrs = append(r.seedAddrs, sl.addr)
+			r.seedPositions = append(r.seedPositions, sl.pos)
+		}
+	}
+	return cluster.NewBroker(cluster.BrokerConfig{
+		Listener:        ln,
+		ServerAddrs:     r.seedAddrs,
+		Placement:       &cluster.Placement{Broker: r.peers[i].Pos, Servers: r.seedPositions},
+		DataDir:         r.brokers[i].dir,
+		Peers:           r.peers,
+		Self:            i,
+		SyncEvery:       rigSyncEvery,
+		PolicyEvery:     rigPolicyEvery,
+		CheckpointEvery: rigCheckpointEvery,
+	})
+}
+
+// NumBrokers reports the broker count, live or not.
+func (r *Rig) NumBrokers() int { return len(r.brokers) }
+
+// BrokerAddrs lists every broker address, killed ones included — the
+// production client is expected to fail over around dead endpoints.
+func (r *Rig) BrokerAddrs() []string {
+	out := make([]string, len(r.brokers))
+	for i, sl := range r.brokers {
+		out[i] = sl.addr
+	}
+	return out
+}
+
+// Broker returns broker i, or nil while it is killed.
+func (r *Rig) Broker(i int) *cluster.Broker { return r.brokers[i].b }
+
+// KillBroker stops broker i: its listener closes, in-flight requests fail,
+// and its WAL stays on disk for the restart.
+func (r *Rig) KillBroker(i int) error {
+	if r.brokers[i].b == nil {
+		return fmt.Errorf("scenario: broker %d already dead", i)
+	}
+	err := r.brokers[i].b.Close()
+	r.brokers[i].b = nil
+	return err
+}
+
+// RestartBroker brings broker i back on its original address, recovering
+// epoch and views from its WAL/checkpoint.
+func (r *Rig) RestartBroker(i int) error {
+	if r.brokers[i].b != nil {
+		return fmt.Errorf("scenario: broker %d already running", i)
+	}
+	b, err := r.startBroker(i, nil)
+	if err != nil {
+		return err
+	}
+	r.brokers[i].b = b
+	return nil
+}
+
+// Leader returns the index of the broker currently claiming leadership, or
+// -1 when none does (mid-election).
+func (r *Rig) Leader() int {
+	for i, sl := range r.brokers {
+		if sl.b != nil && sl.b.IsLeader() {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumServers reports the cache-server slot count, including retired slots.
+func (r *Rig) NumServers() int { return len(r.servers) }
+
+// ServerAddr reports slot j's address.
+func (r *Rig) ServerAddr(j int) string { return r.servers[j].addr }
+
+// ServerPos reports slot j's datacenter position.
+func (r *Rig) ServerPos(j int) cluster.Position { return r.servers[j].pos }
+
+// KillServer stops cache server j in place: its cached views are lost, its
+// address stays reserved for RestartServer, and brokers fall back to their
+// WALs for its views meanwhile.
+func (r *Rig) KillServer(j int) error {
+	if r.servers[j].s == nil {
+		return fmt.Errorf("scenario: server %d already dead", j)
+	}
+	err := r.servers[j].s.Close()
+	r.servers[j].s = nil
+	return err
+}
+
+// RestartServer brings cache server j back empty on its original address;
+// broker connection pools redial it and the WAL refills its views on
+// demand.
+func (r *Rig) RestartServer(j int) error {
+	if r.servers[j].s != nil {
+		return fmt.Errorf("scenario: server %d already running", j)
+	}
+	var (
+		s   *cluster.Server
+		err error
+	)
+	for attempt := 0; ; attempt++ {
+		s, err = cluster.NewServer(r.servers[j].addr)
+		if err == nil {
+			break
+		}
+		if attempt >= 50 {
+			return fmt.Errorf("scenario: relisten server %d: %w", j, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	r.servers[j].s = s
+	return nil
+}
+
+// SpawnServer starts a brand-new cache server at pos and returns its slot
+// index. The server is live but unknown to the cluster until AddServer
+// admits it.
+func (r *Rig) SpawnServer(pos cluster.Position) (int, error) {
+	s, err := cluster.NewServer("127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	r.servers = append(r.servers, serverSlot{addr: s.Addr(), pos: pos, s: s})
+	return len(r.servers) - 1, nil
+}
+
+// AddServer admits slot j into the membership through the current leader.
+func (r *Rig) AddServer(j int) error {
+	sl := r.servers[j]
+	return r.onLeader(func(b *cluster.Broker) error {
+		_, err := b.AddServer(membership.ServerInfo{
+			Addr: sl.addr, Zone: sl.pos.Zone, Rack: sl.pos.Rack,
+		})
+		return err
+	})
+}
+
+// DrainServer starts decommissioning slot j through the current leader.
+func (r *Rig) DrainServer(j int) error {
+	addr := r.servers[j].addr
+	return r.onLeader(func(b *cluster.Broker) error {
+		_, err := b.DrainServer(addr)
+		return err
+	})
+}
+
+// RemoveServer retires slot j's membership entry through the current
+// leader and stops the server process.
+func (r *Rig) RemoveServer(j int) error {
+	addr := r.servers[j].addr
+	if err := r.onLeader(func(b *cluster.Broker) error {
+		_, err := b.RemoveServer(addr)
+		return err
+	}); err != nil {
+		return err
+	}
+	r.servers[j].gone = true
+	if r.servers[j].s != nil {
+		err := r.servers[j].s.Close()
+		r.servers[j].s = nil
+		return err
+	}
+	return nil
+}
+
+// ServerReplicas reports how many view replicas the leader currently
+// accounts to slot j — the number a drain watches reach zero.
+func (r *Rig) ServerReplicas(j int) int64 {
+	addr := r.servers[j].addr
+	var n int64 = -1
+	_ = r.onLeader(func(b *cluster.Broker) error {
+		info := b.Membership()
+		for idx, s := range info.View.Servers {
+			if s.Addr == addr && idx < len(info.Loads) {
+				n = info.Loads[idx]
+			}
+		}
+		return nil
+	})
+	return n
+}
+
+// onLeader runs fn against the leader broker, retrying around elections
+// and leadership moves for a bounded window.
+func (r *Rig) onLeader(fn func(*cluster.Broker) error) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		if i := r.Leader(); i >= 0 {
+			err = fn(r.brokers[i].b)
+			if err == nil {
+				return nil
+			}
+		} else {
+			err = fmt.Errorf("scenario: no elected leader")
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// MaintainAll forces one synchronous peer-sync pass on every live broker
+// (pushing buffered access reports to the leader) followed by one
+// maintenance pass on the leader — a deterministic stand-in for waiting
+// out SyncEvery and PolicyEvery ticks.
+func (r *Rig) MaintainAll() {
+	for _, sl := range r.brokers {
+		if sl.b != nil {
+			sl.b.SyncNow()
+		}
+	}
+	for _, sl := range r.brokers {
+		if sl.b != nil {
+			sl.b.MaintainNow()
+		}
+	}
+}
+
+// Close tears the whole rig down and deletes its WAL directories.
+func (r *Rig) Close() error {
+	var first error
+	for i := range r.brokers {
+		if r.brokers[i].b != nil {
+			if err := r.brokers[i].b.Close(); err != nil && first == nil {
+				first = err
+			}
+			r.brokers[i].b = nil
+		}
+	}
+	for j := range r.servers {
+		if r.servers[j].s != nil {
+			if err := r.servers[j].s.Close(); err != nil && first == nil {
+				first = err
+			}
+			r.servers[j].s = nil
+		}
+	}
+	if r.workDir != "" {
+		if err := os.RemoveAll(r.workDir); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,81 @@
+// Package scenario is the repo's acceptance harness: it drives a real
+// in-process cluster — N brokers with per-broker WALs, M cache servers, the
+// production network client — through scripted timelines that combine
+// streamed million-user workload (socialgraph.Stream), fault and churn
+// injection (kill/restart brokers and cache servers, drain, add, leader kill
+// mid-rebalance), and continuously-checked invariants: no lost acknowledged
+// writes, no wrong-version reads, epoch monotonicity, and a direct-hit
+// ratio floor for direct-read scenarios.
+//
+// Four named scenarios ship as acceptance tests (see Scenarios) and double
+// as load scripts for a live TCP cluster via `dsload -scenario <name>`. The
+// same timelines are the acceptance bar for every later membership feature:
+// a scenario is a Scenario value — population shape plus an ordered list of
+// Steps, each a Go function over the running Run — so new timelines are
+// added by appending to the registry, not by writing a new harness.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scenario is one scripted timeline: a cluster shape, a workload shape, and
+// an ordered list of steps. Scenarios are values, not processes — Run
+// executes one against a fresh in-process cluster.
+type Scenario struct {
+	// Name is the registry key used by `dsload -scenario` and the tests.
+	Name string
+	// Description is one operator-facing sentence of what the timeline does.
+	Description string
+	// Users is the default population; Options.Users overrides it.
+	Users int
+	// Brokers and Servers shape the cluster (brokers get one zone each;
+	// servers round-robin across the broker zones).
+	Brokers int
+	// Servers is the initial cache-server count.
+	Servers int
+	// Direct runs the client with the direct-read fast path enabled.
+	Direct bool
+	// HitFloor, when positive, is the minimum direct-read hit ratio
+	// (direct reads / total view reads) the whole run must reach.
+	HitFloor float64
+	// Steps run in order; any error aborts the run.
+	Steps []Step
+}
+
+// Step is one timeline entry: a label for progress output and the action.
+type Step struct {
+	// Name labels the step in logs and failure messages.
+	Name string
+	// Do performs the step against the live run.
+	Do func(*Run) error
+}
+
+// Lookup resolves a scenario by name from the built-in registry.
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Names lists the registered scenario names, sorted, for error messages and
+// -list output.
+func Names() []string {
+	all := Scenarios()
+	names := make([]string, len(all))
+	for i, sc := range all {
+		names[i] = sc.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ErrUnknown builds the operator-facing error for a scenario name that is
+// not in the registry, listing what is.
+func ErrUnknown(name string) error {
+	return fmt.Errorf("unknown scenario %q (known: %v)", name, Names())
+}

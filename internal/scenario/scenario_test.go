@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// runAcceptance executes one named scenario at a reduced-but-honest
+// population and fails on any harness error or invariant violation. These
+// four tests are the PR's acceptance bar: zero lost acknowledged writes,
+// zero wrong-version reads, monotone epochs, and each scenario's own
+// outcome assertions.
+func runAcceptance(t *testing.T, name string) {
+	t.Helper()
+	if testing.Short() {
+		// The timelines drive a real TCP cluster for a few seconds each;
+		// CI runs them in the dedicated scenario-smoke job instead of the
+		// -short unit pass.
+		t.Skipf("scenario %s skipped in -short mode", name)
+	}
+	sc, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	res, err := Execute(sc, Options{
+		Users:    600,
+		Seed:     7,
+		Workers:  4,
+		OpsScale: 0.5,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("scenario %s: %v (violations: %v)", name, err, res.Violations)
+	}
+	if verr := res.Err(); verr != nil {
+		t.Fatalf("scenario %s: %v", name, verr)
+	}
+	if res.Reads == 0 || res.Writes == 0 {
+		t.Fatalf("scenario %s moved no traffic: %+v", name, res)
+	}
+	if len(res.BenchLines()) == 0 {
+		t.Errorf("scenario %s produced no bench lines", name)
+	}
+	t.Logf("scenario %s: %d reads (%d views), %d writes, %d failed reads, epoch %d, direct %d/%d",
+		name, res.Reads, res.ViewsRead, res.Writes, res.FailedReads, res.FinalEpoch,
+		res.DirectReads, res.DirectStale)
+}
+
+func TestScenarioFlashCrowd(t *testing.T)           { runAcceptance(t, "flash-crowd") }
+func TestScenarioDiurnalShift(t *testing.T)         { runAcceptance(t, "diurnal-shift") }
+func TestScenarioRollingUpgrade(t *testing.T)       { runAcceptance(t, "rolling-upgrade") }
+func TestScenarioBrokerCrashRebalance(t *testing.T) { runAcceptance(t, "broker-crash-rebalance") }
+
+func TestLookupAndNames(t *testing.T) {
+	names := Names()
+	if len(names) != 4 {
+		t.Fatalf("Names() = %v, want 4 scenarios", names)
+	}
+	for _, want := range []string{"flash-crowd", "diurnal-shift", "rolling-upgrade", "broker-crash-rebalance"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("Lookup(%q) missing", want)
+		}
+	}
+	if _, ok := Lookup("no-such-timeline"); ok {
+		t.Error("Lookup accepted an unknown name")
+	}
+	errMsg := ErrUnknown("no-such-timeline").Error()
+	if !strings.Contains(errMsg, "no-such-timeline") || !strings.Contains(errMsg, "flash-crowd") {
+		t.Errorf("ErrUnknown message unusable: %q", errMsg)
+	}
+}
+
+func TestCheckerInvariantLogic(t *testing.T) {
+	c := NewChecker()
+
+	// Acked write raises the floor; an equal-or-newer read is clean.
+	c.NoteAck(7, 10)
+	pre := c.Floor(7)
+	c.NoteRead(7, 10, pre)
+	if n := c.WrongReads(); n != 0 {
+		t.Fatalf("clean read flagged: %d wrong reads", n)
+	}
+
+	// A read below the pre-read floor is a wrong-version read.
+	c.NoteRead(7, 9, c.Floor(7))
+	if n := c.WrongReads(); n != 1 {
+		t.Fatalf("stale read not flagged: %d wrong reads", n)
+	}
+
+	// A racing read judged against its own earlier floor snapshot is NOT
+	// blamed for a write that acked mid-flight.
+	preRace := c.Floor(8)
+	c.NoteAck(8, 5)
+	c.NoteRead(8, 0, preRace)
+	if n := c.WrongReads(); n != 1 {
+		t.Fatalf("racing read falsely blamed: %d wrong reads", n)
+	}
+
+	// Final sweep: reading below the acked sequence is a lost write.
+	c.NoteFinalRead(8, 4)
+	if n := c.LostWrites(); n != 1 {
+		t.Fatalf("lost write not flagged: %d", n)
+	}
+	c.NoteFinalRead(7, 10)
+	if n := c.LostWrites(); n != 1 {
+		t.Fatalf("clean final read flagged: %d", n)
+	}
+
+	// Epoch regressions are per broker.
+	c.NoteEpoch("b0", 3)
+	c.NoteEpoch("b0", 5)
+	c.NoteEpoch("b0", 4)
+	c.NoteEpoch("b1", 1)
+	viols := c.Violations()
+	found := false
+	for _, v := range viols {
+		if strings.Contains(v, "epoch regression") && strings.Contains(v, "b0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("epoch regression not recorded: %v", viols)
+	}
+}
+
+func TestCamelName(t *testing.T) {
+	for in, want := range map[string]string{
+		"flash-crowd":            "FlashCrowd",
+		"broker-crash-rebalance": "BrokerCrashRebalance",
+		"plain":                  "Plain",
+	} {
+		if got := camelName(in); got != want {
+			t.Errorf("camelName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBenchLinesParseable(t *testing.T) {
+	r := Result{Scenario: "flash-crowd", Reads: 100, ReadNs: 250_000, Writes: 10, WriteNs: 90_000}
+	lines := r.BenchLines()
+	if len(lines) != 2 {
+		t.Fatalf("BenchLines = %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "BenchmarkScenarioFlashCrowdFeedRead") ||
+		!strings.Contains(lines[0], "ns/op") {
+		t.Errorf("read line malformed: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "BenchmarkScenarioFlashCrowdWrite") {
+		t.Errorf("write line malformed: %q", lines[1])
+	}
+}

@@ -83,7 +83,10 @@ func Facebook(n int, seed int64) (*Graph, error) { return Generate(FacebookConfi
 func LiveJournal(n int, seed int64) (*Graph, error) { return Generate(LiveJournalConfig, n, seed) }
 
 // Generate builds a synthetic graph over n users from cfg, deterministically
-// for a given seed.
+// for a given seed. It materializes full adjacency — one entry per edge — so
+// memory grows with n × links/user; callers that only need access sampling
+// (load generators, scenario harnesses) should use NewStream instead, which
+// emits the same degree distributions in O(1) memory at 10⁶+ users.
 func Generate(cfg GeneratorConfig, n int, seed int64) (*Graph, error) {
 	if n <= 0 {
 		return nil, ErrNoUsers

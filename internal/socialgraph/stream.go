@@ -1,0 +1,176 @@
+package socialgraph
+
+import (
+	"math/rand"
+)
+
+// Stream samples Zipf-weighted feed accesses over an arbitrarily large user
+// population without materializing any adjacency. Generate builds the full
+// Graph — one slice entry per edge — which is the right tool up to a few
+// hundred thousand users and the wrong one at the paper's Twitter scale
+// (millions of users, tens of millions of edges). Stream keeps O(1) state:
+// each user's followee set is recomputed on demand from an RNG seeded by
+// (stream seed, user id), so the same user always reports the same followees,
+// the same degree distribution as Generate (both sample paretoDegree), and
+// the heavy in-degree tail appears because followee draws are Zipf-weighted
+// over a fixed popularity ranking of the population.
+//
+// Determinism per user matters beyond reproducibility: the placement policy
+// learns locality from repeated accesses, so a user whose followee set
+// changed between polls would present the cluster with noise instead of a
+// social graph.
+//
+// Methods are safe for concurrent use; per-call state (the user RNG and the
+// Zipf sampler) lives on the caller's stack or in short-lived allocations,
+// never on the Stream.
+type Stream struct {
+	cfg    GeneratorConfig
+	n      int
+	seed   int64
+	mult   uint64 // popularity permutation multiplier, coprime with n
+	off    uint64 // popularity permutation offset
+	zipfS  float64
+	mean   float64 // mean degree handed to paretoDegree
+	maxDeg int
+}
+
+// NewStream builds an access sampler over n users shaped by cfg, reusing the
+// degree distributions of Generate. It returns ErrNoUsers when n <= 0.
+// Construction is O(1) in n — no adjacency is materialized.
+func NewStream(cfg GeneratorConfig, n int, seed int64) (*Stream, error) {
+	if n <= 0 {
+		return nil, ErrNoUsers
+	}
+	mean := cfg.LinksPerUser
+	if !cfg.Directed {
+		// Undirected friendships contribute degree on both endpoints.
+		mean *= 2
+	}
+	maxDeg := n - 1
+	if limit := int(mean * 60); limit > 1 && limit < maxDeg {
+		maxDeg = limit
+	}
+	alpha := cfg.ParetoAlpha
+	if alpha <= 1 {
+		alpha = 2.0
+	}
+	s := &Stream{
+		cfg:  cfg,
+		n:    n,
+		seed: seed,
+		// Popularity rank r maps to user (mult*r + off) mod n; mult coprime
+		// with n makes it a bijection, so rank 0 (the celebrity) is a single
+		// concrete user and every user owns exactly one rank.
+		off: splitmix64(uint64(seed)^0x9e3779b97f4a7c15) % uint64(n),
+		// Rank-frequency exponent from the degree-tail exponent: heavier
+		// Pareto tails (smaller alpha) concentrate more accesses on the top
+		// ranks. rand.NewZipf requires s > 1.
+		zipfS:  1 + 1/alpha,
+		mean:   mean,
+		maxDeg: maxDeg,
+	}
+	mult := splitmix64(uint64(seed)+0xbf58476d1ce4e5b9)%uint64(n) | 1
+	for gcd(mult, uint64(n)) != 1 {
+		mult += 2
+		if mult >= uint64(n) {
+			mult = 1
+		}
+	}
+	s.mult = mult
+	return s, nil
+}
+
+// NumUsers reports the population size of the stream.
+func (s *Stream) NumUsers() int { return s.n }
+
+// Celebrity returns the most popular user — the one every Zipf draw favors.
+// Flash-crowd scenarios hammer this user's view.
+func (s *Stream) Celebrity() UserID { return s.rankUser(0) }
+
+// Degree reports the followee count of u — the same paretoDegree sample the
+// materialized generator would draw for it.
+func (s *Stream) Degree(u UserID) int {
+	return s.degree(s.userRNG(u))
+}
+
+// Followees appends u's followee set to buf and returns it. The set is
+// deterministic: every call for the same (stream, u) yields the same users,
+// with no duplicates and no self-loop. Cost is O(degree) time and O(1)
+// memory beyond buf.
+func (s *Stream) Followees(u UserID, buf []UserID) []UserID {
+	rng := s.userRNG(u)
+	k := s.degree(rng)
+	if k == 0 {
+		return buf
+	}
+	zipf := rand.NewZipf(rng, s.zipfS, 1, uint64(s.n-1))
+	start := len(buf)
+	// Bounded resampling: duplicates and self-picks are rare away from the
+	// head of the ranking, so a small attempt budget suffices; a saturated
+	// tiny population just yields a shorter set.
+	for attempts := 0; len(buf)-start < k && attempts < 4*k+16; attempts++ {
+		v := s.rankUser(zipf.Uint64())
+		if v == u || contains(buf[start:], v) {
+			continue
+		}
+		buf = append(buf, v)
+	}
+	return buf
+}
+
+// Reader samples the next polling user from rng, mildly skewed toward the
+// active head of the population: real feed traffic is dominated by a hot
+// minority of users, but far less sharply than followee popularity.
+func (s *Stream) Reader(rng *rand.Rand) UserID {
+	zipf := rand.NewZipf(rng, 1.2, 8, uint64(s.n-1))
+	return s.rankUser(zipf.Uint64())
+}
+
+// rankUser maps a popularity rank to a concrete user id via the stream's
+// multiplicative permutation.
+func (s *Stream) rankUser(rank uint64) UserID {
+	return UserID((s.mult*(rank%uint64(s.n)) + s.off) % uint64(s.n))
+}
+
+// userRNG returns the deterministic per-user generator: same (seed, u) —
+// same degree and followee draws, forever.
+func (s *Stream) userRNG(u UserID) *rand.Rand {
+	return rand.New(rand.NewSource(int64(splitmix64(uint64(s.seed) ^ splitmix64(uint64(u)+0x94d049bb133111eb)))))
+}
+
+// degree draws a degree from a per-user rng, clamped to the population.
+func (s *Stream) degree(rng *rand.Rand) int {
+	k := paretoDegree(rng, s.mean, s.cfg.ParetoAlpha, s.maxDeg)
+	if k > s.n-1 {
+		k = s.n - 1
+	}
+	return k
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash for
+// deriving independent per-user seeds from one stream seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// gcd is Euclid's algorithm on uint64.
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// contains reports whether set already holds v (sets are small; linear scan
+// beats a map at feed-degree sizes).
+func contains(set []UserID, v UserID) bool {
+	for _, w := range set {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
