@@ -1,0 +1,15 @@
+# Build every deployable binary of the cluster: cache/broker nodes
+# (dynasore-node), the HTTP edge (dsgate), and the operator tools
+# (dsctl, dsload). The module has zero dependencies, so there is no
+# download stage to cache.
+FROM golang:1.22 AS build
+WORKDIR /src
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -o /out/ \
+    ./cmd/dynasore-node ./cmd/dsgate ./cmd/dsctl ./cmd/dsload
+
+# Static binaries on a distroless base: no shell, no package manager,
+# nothing to patch. The compose file overrides the entrypoint per role.
+FROM gcr.io/distroless/static-debian12
+COPY --from=build /out/ /usr/local/bin/
+ENTRYPOINT ["/usr/local/bin/dsgate"]

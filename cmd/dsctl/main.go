@@ -13,6 +13,9 @@
 //	dsctl -broker 127.0.0.1:7000 server drain <addr>
 //	dsctl -broker 127.0.0.1:7000 server remove <addr>
 //
+// Every command also works against a dsgate HTTP gateway instead of a
+// broker: `dsctl -gateway http://127.0.0.1:8080 -token s3cret <cmd>`.
+//
 // Membership commands may target any broker — followers forward mutations
 // to the leader. The zero-miss decommissioning sequence is `server
 // drain`, wait for `server list` to show 0 replicas on the server, then
@@ -28,28 +31,44 @@ import (
 	"strings"
 	"time"
 
+	"dynasore/internal/gateway"
 	"dynasore/pkg/dynasore"
 )
 
 func main() {
 	broker := flag.String("broker", "127.0.0.1:7000", "broker address")
+	gatewayURL := flag.String("gateway", "", "dsgate HTTP gateway base URL (overrides -broker)")
+	token := flag.String("token", "", "bearer token for -gateway")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-command timeout")
 	flag.Parse()
-	if err := run(*broker, *timeout, flag.Args()); err != nil {
+	if err := run(*broker, *gatewayURL, *token, *timeout, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "dsctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(broker string, timeout time.Duration, args []string) (err error) {
+// storeAdmin is what every dsctl command needs from a backend: the feed
+// API plus the elastic-membership surface. Both the wire-protocol client
+// and the HTTP gateway client implement it.
+type storeAdmin interface {
+	dynasore.Store
+	dynasore.Admin
+}
+
+func run(broker, gatewayURL, token string, timeout time.Duration, args []string) (err error) {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: dsctl [flags] write|read|stats|server ...")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	c, err := dynasore.Dial(ctx, broker)
-	if err != nil {
-		return err
+	var c storeAdmin
+	if gatewayURL != "" {
+		c = gateway.NewClient(gatewayURL, token)
+	} else {
+		c, err = dynasore.Dial(ctx, broker)
+		if err != nil {
+			return err
+		}
 	}
 	// A close error can be the first sign a command's final frame never
 	// made it out; surface it unless a command error already won.
@@ -118,7 +137,7 @@ func run(broker string, timeout time.Duration, args []string) (err error) {
 }
 
 // runServer executes the elastic-membership subcommands.
-func runServer(ctx context.Context, c *dynasore.Client, args []string) error {
+func runServer(ctx context.Context, c storeAdmin, args []string) error {
 	switch args[0] {
 	case "list":
 		m, err := c.Membership(ctx)

@@ -1,0 +1,115 @@
+// Command dsgate is the deployable HTTP edge of a dynasore cluster: it
+// fronts the brokers named by -brokers (or a self-hosted in-process
+// cluster with -selfhost) and serves the feed and admin API as JSON
+// REST behind the configured middleware chain, plus /metrics, /healthz,
+// and /readyz. Configuration layers flags over DSGATE_* environment
+// variables over an optional JSON file over built-in defaults; see
+// internal/gwconfig.
+//
+// A minimal secure gateway over a running cluster:
+//
+//	dsgate -brokers 127.0.0.1:7001,127.0.0.1:7002 -tokens s3cret
+//
+// A zero-setup demo (cluster included, auth still on):
+//
+//	dsgate -selfhost -tokens demo
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynasore/internal/gateway"
+	"dynasore/internal/gwconfig"
+	"dynasore/pkg/dynasore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Getenv, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dsgate:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole program behind main, parameterized for tests.
+func run(args []string, getenv func(string) string, errOut *os.File) error {
+	cfg, err := gwconfig.Load(args, getenv, errOut)
+	if err != nil {
+		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(cfg.LogLevel)); err != nil {
+		return fmt.Errorf("bad log level %q: %w", cfg.LogLevel, err)
+	}
+	log := slog.New(slog.NewTextHandler(errOut, &slog.HandlerOptions{Level: level}))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	store, err := openStore(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = store.Close() }()
+
+	gw, err := gateway.New(cfg, store, log)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: gw, ReadHeaderTimeout: 10 * time.Second}
+	log.Info("dsgate listening",
+		"addr", ln.Addr().String(),
+		"middlewares", cfg.Middlewares,
+		"selfhost", cfg.Selfhost,
+		"brokers", cfg.Brokers)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Info("dsgate shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// openStore builds the gateway's backend: a cluster client over the
+// configured brokers, or a self-hosted in-process cluster.
+func openStore(ctx context.Context, cfg gwconfig.Config) (dynasore.Store, error) {
+	if cfg.Selfhost {
+		return dynasore.Open(dynasore.EngineConfig{})
+	}
+	var opts []dynasore.DialOption
+	if cfg.DirectReads {
+		opts = append(opts, dynasore.WithDirectReads(0))
+	}
+	dialCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	return dynasore.DialCluster(dialCtx, cfg.Brokers, opts...)
+}

@@ -16,6 +16,10 @@
 //	dsload -scenario rolling-upgrade  # scripted acceptance scenario with
 //	                                  # fault injection and invariant checks
 //	dsload -scenario list             # list the built-in scenarios
+//	dsload -gateway http://127.0.0.1:8080 -token s3cret -duration 5s
+//	                                  # drive a dsgate HTTP edge instead of
+//	                                  # the broker wire protocol; reports
+//	                                  # BenchmarkGatewayRead/Write lines
 //
 // The -selfhost mode starts an in-process cluster (pkg/dynasore Engine)
 // and drives it over the real network client, so one command exercises
@@ -41,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynasore/internal/gateway"
 	"dynasore/internal/scenario"
 	"dynasore/internal/socialgraph"
 	"dynasore/pkg/dynasore"
@@ -52,6 +57,8 @@ type options struct {
 	brokers   string
 	selfhost  bool
 	scenario  string
+	gateway   string
+	token     string
 	users     int
 	graph     string
 	seed      int64
@@ -72,6 +79,8 @@ func main() {
 	flag.StringVar(&o.brokers, "brokers", "", "comma-separated broker addresses of the cluster under load")
 	flag.BoolVar(&o.selfhost, "selfhost", false, "start an in-process cluster and load it (no -brokers needed)")
 	flag.StringVar(&o.scenario, "scenario", "", "run a named acceptance scenario on its own rig ('list' prints the names)")
+	flag.StringVar(&o.gateway, "gateway", "", "drive a dsgate HTTP gateway at this base URL instead of brokers")
+	flag.StringVar(&o.token, "token", "", "bearer token for -gateway (the gateway's auth middleware)")
 	flag.IntVar(&o.users, "users", 1000, "social graph size")
 	flag.StringVar(&o.graph, "graph", "twitter", "graph shape: twitter, facebook, or livejournal")
 	flag.Int64Var(&o.seed, "seed", 42, "graph and workload RNG seed")
@@ -109,7 +118,7 @@ func dispatch(o options, stdout, stderr io.Writer) error {
 	if o.scenario != "" {
 		return runScenario(o, stdout, stderr)
 	}
-	return run(o.brokers, o.selfhost, o.users, o.graph, o.seed, o.duration, o.workers, o.writeFrac, o.readCap, o.direct)
+	return run(o, stdout, stderr)
 }
 
 // validate rejects flag combinations before any cluster is started.
@@ -127,8 +136,8 @@ func validate(o options) error {
 		return fmt.Errorf("-ops-scale must be positive, got %g", o.opsScale)
 	}
 	if o.scenario != "" {
-		if o.brokers != "" || o.selfhost {
-			return fmt.Errorf("-scenario boots its own rig; drop -brokers/-selfhost")
+		if o.brokers != "" || o.selfhost || o.gateway != "" {
+			return fmt.Errorf("-scenario boots its own rig; drop -brokers/-selfhost/-gateway")
 		}
 		if o.scenario == "list" {
 			return nil
@@ -138,8 +147,17 @@ func validate(o options) error {
 		}
 		return nil
 	}
+	if o.gateway != "" {
+		if o.brokers != "" || o.selfhost {
+			return fmt.Errorf("-gateway drives the HTTP edge; drop -brokers/-selfhost")
+		}
+		if o.direct {
+			return fmt.Errorf("-direct is a cluster-client option; the gateway decides its own read path")
+		}
+		return nil
+	}
 	if o.brokers == "" && !o.selfhost {
-		return fmt.Errorf("need -brokers, -selfhost, or -scenario")
+		return fmt.Errorf("need -brokers, -selfhost, -gateway, or -scenario")
 	}
 	return nil
 }
@@ -181,8 +199,19 @@ func runScenario(o options, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func run(brokers string, selfhost bool, users int, graphName string, seed int64,
-	duration time.Duration, workers int, writeFrac float64, readCap int, direct bool) error {
+func run(o options, stdout, stderr io.Writer) error {
+	var (
+		brokers   = o.brokers
+		selfhost  = o.selfhost
+		users     = o.users
+		graphName = o.graph
+		seed      = o.seed
+		duration  = o.duration
+		workers   = o.workers
+		writeFrac = o.writeFrac
+		readCap   = o.readCap
+		direct    = o.direct
+	)
 	ctx := context.Background()
 	// The direct fast path lives on the cluster client only, so -direct
 	// dials DialCluster even against a single (or selfhosted) broker.
@@ -192,6 +221,10 @@ func run(brokers string, selfhost bool, users int, graphName string, seed int64,
 	}
 	var store dynasore.Store
 	switch {
+	case o.gateway != "":
+		c := gateway.NewClient(o.gateway, o.token)
+		defer func() { _ = c.Close() }()
+		store = c
 	case selfhost:
 		e, err := dynasore.Open(dynasore.EngineConfig{CacheServers: 3, Preferred: 0})
 		if err != nil {
@@ -298,11 +331,18 @@ func run(brokers string, selfhost bool, users int, graphName string, seed int64,
 	}
 
 	// Benchmark lines on stdout — exactly the shape cmd/benchjson parses.
+	// Gateway runs report under their own names: HTTP-edge latency is a
+	// different quantity than broker-wire latency and must not share a
+	// series with it.
+	readName, writeName := "BenchmarkDSLoadFeedRead", "BenchmarkDSLoadWrite"
+	if o.gateway != "" {
+		readName, writeName = "BenchmarkGatewayRead", "BenchmarkGatewayWrite"
+	}
 	if n := readOps.Load(); n > 0 {
-		fmt.Println(benchLine("BenchmarkDSLoadFeedRead", n, readNs.Load()))
+		fmt.Fprintln(stdout, benchLine(readName, n, readNs.Load()))
 	}
 	if n := writeOps.Load(); n > 0 {
-		fmt.Println(benchLine("BenchmarkDSLoadWrite", n, writeNs.Load()))
+		fmt.Fprintln(stdout, benchLine(writeName, n, writeNs.Load()))
 	}
 	// The human summary goes to stderr so it never pollutes the artifact.
 	st, err := store.Stats(ctx)
@@ -310,11 +350,11 @@ func run(brokers string, selfhost bool, users int, graphName string, seed int64,
 		return err
 	}
 	total := readOps.Load() + writeOps.Load()
-	fmt.Fprintf(os.Stderr, "dsload: graph=%s users=%d workers=%d duration=%s\n",
+	fmt.Fprintf(stderr, "dsload: graph=%s users=%d workers=%d duration=%s\n",
 		g.Name(), g.NumUsers(), workers, duration)
-	fmt.Fprintf(os.Stderr, "dsload: %d ops (%.0f/s): %d feed reads (%d views), %d writes\n",
+	fmt.Fprintf(stderr, "dsload: %d ops (%.0f/s): %d feed reads (%d views), %d writes\n",
 		total, float64(total)/duration.Seconds(), readOps.Load(), viewsRead.Load(), writeOps.Load())
-	fmt.Fprintf(os.Stderr, "dsload: cluster epoch=%d replicated=%d migrated=%d evicted=%d misses=%d\n",
+	fmt.Fprintf(stderr, "dsload: cluster epoch=%d replicated=%d migrated=%d evicted=%d misses=%d\n",
 		st.Epoch, st.Replicated, st.Migrated, st.Evicted, st.Misses)
 	if direct {
 		// Hit ratio over views read: every view either came straight off a
@@ -323,7 +363,7 @@ func run(brokers string, selfhost bool, users int, graphName string, seed int64,
 		if v := viewsRead.Load(); v > 0 {
 			ratio = 100 * float64(st.DirectReads) / float64(v)
 		}
-		fmt.Fprintf(os.Stderr, "dsload: direct hits=%d (%.1f%% of views) fenced/fallback=%d leases=%d\n",
+		fmt.Fprintf(stderr, "dsload: direct hits=%d (%.1f%% of views) fenced/fallback=%d leases=%d\n",
 			st.DirectReads, ratio, st.DirectStale, st.LeaseGrants)
 	}
 	return nil

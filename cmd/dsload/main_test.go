@@ -2,11 +2,17 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"log/slog"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"dynasore/internal/gateway"
+	"dynasore/internal/gwconfig"
 	"dynasore/internal/socialgraph"
+	"dynasore/pkg/dynasore"
 )
 
 // TestValidateArgs is the table over every rejected and accepted flag
@@ -24,10 +30,15 @@ func TestValidateArgs(t *testing.T) {
 		{"brokers ok", func(o *options) { o.brokers = "127.0.0.1:7000" }, ""},
 		{"scenario ok", func(o *options) { o.scenario = "rolling-upgrade" }, ""},
 		{"scenario list ok", func(o *options) { o.scenario = "list" }, ""},
-		{"no target", func(o *options) {}, "need -brokers, -selfhost, or -scenario"},
+		{"no target", func(o *options) {}, "need -brokers, -selfhost, -gateway, or -scenario"},
 		{"unknown scenario", func(o *options) { o.scenario = "no-such-timeline" }, "unknown scenario"},
 		{"scenario plus selfhost", func(o *options) { o.scenario = "flash-crowd"; o.selfhost = true }, "boots its own rig"},
 		{"scenario plus brokers", func(o *options) { o.scenario = "flash-crowd"; o.brokers = "x:1" }, "boots its own rig"},
+		{"gateway ok", func(o *options) { o.gateway = "http://127.0.0.1:8080" }, ""},
+		{"gateway plus brokers", func(o *options) { o.gateway = "http://x"; o.brokers = "x:1" }, "drives the HTTP edge"},
+		{"gateway plus selfhost", func(o *options) { o.gateway = "http://x"; o.selfhost = true }, "drives the HTTP edge"},
+		{"gateway plus direct", func(o *options) { o.gateway = "http://x"; o.direct = true }, "-direct is a cluster-client option"},
+		{"gateway plus scenario", func(o *options) { o.scenario = "flash-crowd"; o.gateway = "http://x" }, "boots its own rig"},
 		{"zero users", func(o *options) { o.selfhost = true; o.users = 0 }, "-users must be positive"},
 		{"zero workers", func(o *options) { o.selfhost = true; o.workers = 0 }, "-workers must be positive"},
 		{"write frac over 1", func(o *options) { o.selfhost = true; o.writeFrac = 1.5 }, "-write-frac"},
@@ -128,5 +139,52 @@ func TestFeedTargetsCapAndFallback(t *testing.T) {
 	}
 	if got := feedTargets(gg, 2, 8); len(got) != 1 || got[0] != 2 {
 		t.Fatalf("isolated user targets = %v, want [2]", got)
+	}
+}
+
+// The -gateway mode drives a real dsgate surface end to end and reports
+// under the gateway bench names — the series BENCH_PR9.json archives.
+func TestRunGatewayMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots an in-process cluster")
+	}
+	e, err := dynasore.Open(dynasore.EngineConfig{CacheServers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	cfg := gwconfig.Default()
+	cfg.Selfhost = true
+	cfg.Tokens = []string{"load-token"}
+	cfg.RateRPS = 1e6
+	cfg.RateBurst = 1e6
+	gw, err := gateway.New(cfg, e, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(gw)
+	defer srv.Close()
+
+	var out, errw bytes.Buffer
+	o := options{
+		gateway:   srv.URL,
+		token:     "load-token",
+		users:     50,
+		graph:     "twitter",
+		seed:      1,
+		duration:  200 * time.Millisecond,
+		workers:   4,
+		writeFrac: 0.2,
+		readCap:   8,
+		opsScale:  1,
+	}
+	if err := dispatch(o, &out, &errw); err != nil {
+		t.Fatalf("gateway-mode run: %v\nstderr:\n%s", err, errw.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkGatewayRead") {
+		t.Errorf("stdout missing BenchmarkGatewayRead line:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "dsload:") {
+		t.Errorf("stderr missing the human summary:\n%s", errw.String())
 	}
 }

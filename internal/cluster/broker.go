@@ -372,6 +372,12 @@ var (
 	// ErrReservedUser rejects reads and writes of the pseudo-user ID
 	// membership records ride under in the WAL.
 	ErrReservedUser = errors.New("cluster: user ID is reserved for membership records")
+	// ErrStaleEpoch marks an operation that acted under a membership epoch
+	// the cluster has since superseded — e.g. a write whose placement named
+	// a replica slot with no connection in the current epoch's table. The
+	// operation is safe to retry: the next attempt runs under the fresh
+	// table.
+	ErrStaleEpoch = errors.New("cluster: stale membership epoch")
 )
 
 // NewBroker starts a broker node.
@@ -1073,7 +1079,7 @@ func (b *Broker) Write(user uint32, payload []byte) (uint64, error) {
 			// one this write is acting under. Like any unreachable replica
 			// it is reported and dropped — never silently skipped, which
 			// would leave a possibly stale cached view marked current.
-			errs = append(errs, fmt.Errorf("update replica on %s: no connection in this epoch's table", t.label(idx)))
+			errs = append(errs, fmt.Errorf("update replica on %s: no connection in this epoch's table: %w", t.label(idx), ErrStaleEpoch))
 			failed = append(failed, idx)
 			continue
 		}
@@ -1954,7 +1960,7 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		}
 		views, err := b.Read(targets)
 		if err != nil {
-			return respError, errorBody(err.Error())
+			return respError, errorBodyFor(err)
 		}
 		// The epoch trailer lets clients notice a membership change
 		// without polling; pre-membership clients never read past the
@@ -1967,7 +1973,7 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		user := binary.LittleEndian.Uint32(body[0:4])
 		seq, err := b.Write(user, body[4:])
 		if err != nil {
-			return respError, errorBody(err.Error())
+			return respError, errorBodyFor(err)
 		}
 		return respWrite, appendEpochTrailer(binary.LittleEndian.AppendUint64(nil, seq), b.Epoch())
 	case opBrokerStats:
@@ -1978,7 +1984,7 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		}
 		l, err := b.leaseFor(binary.LittleEndian.Uint32(body[0:4]))
 		if err != nil {
-			return respError, errorBody(err.Error())
+			return respError, errorBodyFor(err)
 		}
 		return respLease, appendLeaseGrant(nil, l)
 	case opPeerHello:
@@ -2086,7 +2092,7 @@ func (b *Broker) handleAdmin(msgType uint8, body []byte) (uint8, []byte) {
 		_, err = b.RemoveServer(string(body))
 	}
 	if err != nil {
-		return respError, errorBody(err.Error())
+		return respError, errorBodyFor(err)
 	}
 	return respMembership, encodeMembershipInfo(b.Membership())
 }

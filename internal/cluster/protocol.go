@@ -977,7 +977,62 @@ func appendBrokerStats(b []byte, st BrokerStats) []byte {
 // errorBody builds a respError payload.
 func errorBody(msg string) []byte { return []byte(msg) }
 
-// asRemoteError converts a respError payload into an error.
+// wireErrs maps the sentinel errors that keep their identity across the
+// wire to one-byte codes. A coded respError body is "!<code> <message>";
+// asRemoteError reattaches the sentinel so errors.Is works on the client
+// side without matching on error text. Codes are part of the wire format:
+// add, never reuse.
+var wireErrs = []struct {
+	code byte
+	err  error
+}{
+	{'L', ErrNotLeader},
+	{'E', ErrStaleEpoch},
+	{'R', ErrReservedUser},
+	{'T', ErrTooManyTargets},
+	{'U', membership.ErrUnknownServer},
+	{'D', membership.ErrDuplicateAddr},
+	{'A', membership.ErrLastActive},
+}
+
+// errorBodyFor builds a respError payload from an error, prefixing the
+// code of the first matching wire sentinel so the remote client can
+// reconstruct it. Errors matching no sentinel travel as their plain text,
+// exactly as before — old clients see a three-byte prefix at worst.
+func errorBodyFor(err error) []byte {
+	for _, we := range wireErrs {
+		if errors.Is(err, we.err) {
+			return append([]byte{'!', we.code, ' '}, err.Error()...)
+		}
+	}
+	return []byte(err.Error())
+}
+
+// remoteError is a respError decoded from the wire: it renders as the
+// remote's message and unwraps to both ErrRemote and the sentinel named by
+// the body's code, so errors.Is(err, cluster.ErrNotLeader) holds on the
+// client exactly as it does in-process.
+type remoteError struct {
+	sentinel error
+	msg      string
+}
+
+func (e *remoteError) Error() string { return "cluster: remote error: " + e.msg }
+
+func (e *remoteError) Unwrap() []error { return []error{ErrRemote, e.sentinel} }
+
+// asRemoteError converts a respError payload into an error, reattaching
+// the coded sentinel when the body carries one.
 func asRemoteError(body []byte) error {
-	return fmt.Errorf("%w: %s", ErrRemote, string(body))
+	msg := string(body)
+	if len(msg) >= 3 && msg[0] == '!' && msg[1] >= 'A' && msg[1] <= 'Z' && msg[2] == ' ' {
+		for _, we := range wireErrs {
+			if we.code == msg[1] {
+				return &remoteError{sentinel: we.err, msg: msg[3:]}
+			}
+		}
+		// An unknown code from a newer peer: surface the text untouched.
+		msg = msg[3:]
+	}
+	return fmt.Errorf("%w: %s", ErrRemote, msg)
 }

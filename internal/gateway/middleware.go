@@ -1,0 +1,336 @@
+package gateway
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Middleware wraps an http.Handler with one cross-cutting concern. The
+// gateway's chain is built from the configured middleware names, outermost
+// first — the sda-download pattern of a registry of available middlewares
+// selected and ordered at runtime by configuration.
+type Middleware func(http.Handler) http.Handler
+
+// Middleware names accepted in gwconfig.Config.Middlewares.
+const (
+	// MWRequestID assigns every request an ID (or adopts the client's
+	// X-Request-Id), exposed on the response and to every later
+	// middleware and handler.
+	MWRequestID = "requestid"
+	// MWLogging emits one structured slog line per request.
+	MWLogging = "logging"
+	// MWRecover converts handler panics into 500 responses (request ID
+	// preserved) instead of killing the connection.
+	MWRecover = "recover"
+	// MWAuth enforces bearer-token authentication on the API routes;
+	// probes and /metrics stay scrapeable.
+	MWAuth = "auth"
+	// MWRateLimit applies a per-client token bucket, answering 429 with
+	// Retry-After when a client outruns it.
+	MWRateLimit = "ratelimit"
+	// MWTimeout bounds each request's handling with a context deadline.
+	MWTimeout = "timeout"
+)
+
+// available returns the gateway's middleware registry: every middleware
+// this build can put in the chain, keyed by its config name.
+func (g *Gateway) available() map[string]Middleware {
+	return map[string]Middleware{
+		MWRequestID: g.requestIDMiddleware,
+		MWLogging:   g.loggingMiddleware,
+		MWRecover:   g.recoverMiddleware,
+		MWAuth:      g.authMiddleware,
+		MWRateLimit: g.rateLimitMiddleware,
+		MWTimeout:   g.timeoutMiddleware,
+	}
+}
+
+// AvailableMiddlewares lists the registry's middleware names, sorted — the
+// vocabulary of gwconfig.Config.Middlewares.
+func AvailableMiddlewares() []string {
+	names := []string{MWRequestID, MWLogging, MWRecover, MWAuth, MWRateLimit, MWTimeout}
+	sort.Strings(names)
+	return names
+}
+
+// chain wraps h in the configured middlewares, first name outermost.
+func (g *Gateway) chain(h http.Handler, names []string) (http.Handler, error) {
+	reg := g.available()
+	for i := len(names) - 1; i >= 0; i-- {
+		mw, ok := reg[names[i]]
+		if !ok {
+			return nil, fmt.Errorf("gateway: unknown middleware %q (available: %s)",
+				names[i], strings.Join(AvailableMiddlewares(), ", "))
+		}
+		h = mw(h)
+	}
+	return h, nil
+}
+
+// ctxKey is the private context-key namespace of this package.
+type ctxKey int
+
+const ridKey ctxKey = iota
+
+// RequestID returns the request's ID, assigned by the requestid
+// middleware ("" when the middleware is not in the chain).
+func RequestID(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey).(string)
+	return rid
+}
+
+// probePath reports whether the path belongs to the observability surface
+// that must stay reachable without credentials or budget: the liveness and
+// readiness probes and the metrics scrape. Auth and rate limiting skip
+// these.
+func probePath(path string) bool {
+	return path == "/healthz" || path == "/readyz" || path == "/metrics"
+}
+
+// requestIDMiddleware tags the request with an ID: the client's
+// X-Request-Id when present (so edge traces join up), a fresh random one
+// otherwise. The ID rides the context, the response header, and every log
+// line and error body downstream.
+func (g *Gateway) requestIDMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" || len(rid) > 64 {
+			rid = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", rid)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ridKey, rid)))
+	})
+}
+
+// newRequestID returns 16 hex chars of crypto/rand entropy.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000" // rand failure: degrade, don't fail the request
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response code and size for logging and
+// request counting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// loggingMiddleware emits one structured line per request: method, path,
+// status, bytes, duration, request ID, client address.
+func (g *Gateway) loggingMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		g.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Int("bytes", sw.bytes),
+			slog.Duration("dur", time.Since(start)),
+			slog.String("rid", RequestID(r.Context())),
+			slog.String("client", r.RemoteAddr),
+		)
+	})
+}
+
+// recoverMiddleware converts a handler panic into a 500 response carrying
+// the request ID, and counts it. The panic value and stack go to the log,
+// not the client.
+func (g *Gateway) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			g.metrics.panics.Add(1)
+			g.log.Error("handler panic",
+				"panic", fmt.Sprint(p),
+				"path", r.URL.Path,
+				"rid", RequestID(r.Context()))
+			if sw.status == 0 {
+				// Nothing written yet: the 500 (and the X-Request-Id header
+				// set by the requestid middleware) still reach the client.
+				g.writeError(sw, r, http.StatusInternalServerError,
+					fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// authMiddleware enforces bearer-token auth: a request must present
+// "Authorization: Bearer <token>" with a configured token. Comparison is
+// constant-time per token. Probe paths pass through.
+func (g *Gateway) authMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if probePath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if g.authorized(bearerToken(r)) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		g.metrics.authReject.Add(1)
+		w.Header().Set("WWW-Authenticate", `Bearer realm="dsgate"`)
+		g.writeError(w, r, http.StatusUnauthorized, fmt.Errorf("missing or invalid bearer token"))
+	})
+}
+
+// bearerToken extracts the token of an "Authorization: Bearer x" header.
+func bearerToken(r *http.Request) string {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) > len(prefix) && strings.EqualFold(auth[:len(prefix)], prefix) {
+		return auth[len(prefix):]
+	}
+	return ""
+}
+
+// authorized reports whether tok is one of the configured tokens.
+func (g *Gateway) authorized(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	ok := false
+	for _, t := range g.cfg.Tokens {
+		// No early exit: every configured token is compared so timing
+		// reveals neither a match nor its position.
+		if subtle.ConstantTimeCompare([]byte(tok), []byte(t)) == 1 {
+			ok = true
+		}
+	}
+	return ok
+}
+
+// rateLimitMiddleware applies the per-client token bucket. The client key
+// is the bearer token when one is presented (per-tenant budgets), else the
+// remote host. Rejections answer 429 with a Retry-After hint. Probe paths
+// pass through.
+func (g *Gateway) rateLimitMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if probePath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := bearerToken(r)
+		if key == "" {
+			key = r.RemoteAddr
+			if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+				key = host
+			}
+		}
+		if wait, ok := g.limiter.allow(key, time.Now()); !ok {
+			g.metrics.rateLimited.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(wait.Seconds()))))
+			g.writeError(w, r, http.StatusTooManyRequests, fmt.Errorf("rate limit exceeded"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// timeoutMiddleware bounds the request's handling with a context
+// deadline; a store call outliving it surfaces as 504 via statusOf.
+func (g *Gateway) timeoutMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), g.cfg.Timeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// rateLimiter is a per-key token-bucket set: capacity burst, refill rps.
+// Buckets idle long enough to be full again are pruned on the fly.
+type rateLimiter struct {
+	rps   float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	// lastPrune gates the sweep of idle buckets, so the map cannot grow
+	// without bound under churning client keys.
+	lastPrune time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rps float64, burst int) *rateLimiter {
+	return &rateLimiter{rps: rps, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token of key's bucket. When the bucket is empty it
+// reports false and how long until the next token accrues.
+func (l *rateLimiter) allow(key string, now time.Time) (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if now.Sub(l.lastPrune) > time.Minute {
+		l.pruneLocked(now)
+		l.lastPrune = now
+	}
+	b, ok := l.buckets[key]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rps)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - b.tokens) / l.rps * float64(time.Second)), false
+}
+
+// pruneLocked drops buckets that have been idle long enough to be full
+// again — forgetting them loses no state.
+func (l *rateLimiter) pruneLocked(now time.Time) {
+	idle := time.Duration(l.burst / l.rps * float64(time.Second))
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > idle {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package gwconfig is the configuration layer of the HTTP gateway
+// (internal/gateway, cmd/dsgate): one Config struct loaded from four
+// sources with a fixed precedence — command-line flags beat environment
+// variables beat an optional JSON config file beat the built-in defaults.
+// The middleware chain is part of the configuration: Middlewares names the
+// gateway middlewares to run, outermost first, exactly like the
+// availableMiddlewares registry pattern — the gateway validates the names
+// against its registry at construction time.
+package gwconfig
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EnvPrefix is the prefix of every environment variable the gateway reads
+// (DSGATE_LISTEN, DSGATE_BROKERS, …).
+const EnvPrefix = "DSGATE_"
+
+// Config is the gateway's full configuration.
+type Config struct {
+	// Listen is the HTTP listen address.
+	Listen string `json:"listen"`
+	// Brokers are the broker addresses of the cluster the gateway fronts.
+	Brokers []string `json:"brokers"`
+	// Selfhost starts an in-process cluster instead of dialing Brokers —
+	// the zero-setup demo and smoke-test mode.
+	Selfhost bool `json:"selfhost"`
+	// Middlewares is the middleware chain, outermost first. Every name
+	// must be in the gateway's registry; order is applied as given.
+	Middlewares []string `json:"middlewares"`
+	// Tokens are the bearer tokens the auth middleware accepts. Required
+	// when the chain includes "auth".
+	Tokens []string `json:"tokens"`
+	// RateRPS and RateBurst shape the per-client token bucket of the
+	// ratelimit middleware: steady-state requests per second and the
+	// burst capacity.
+	RateRPS   float64 `json:"rate_rps"`
+	RateBurst int     `json:"rate_burst"`
+	// Timeout bounds each request's handling (the timeout middleware).
+	Timeout time.Duration `json:"-"`
+	// TimeoutText is Timeout's JSON/env/flag representation ("10s").
+	TimeoutText string `json:"timeout,omitempty"`
+	// DirectReads enables the direct-read fast path on the gateway's
+	// cluster client: hot views are read straight from cache servers.
+	DirectReads bool `json:"direct_reads"`
+	// ReadCap bounds how many users one multi-read request may name.
+	ReadCap int `json:"read_cap"`
+	// LogLevel is the slog level: debug, info, warn, or error.
+	LogLevel string `json:"log_level"`
+}
+
+// Default returns the built-in configuration: localhost listen, the full
+// middleware chain (auth included — the gateway is closed by default and
+// needs Tokens), and moderate rate limits.
+func Default() Config {
+	return Config{
+		Listen:      "127.0.0.1:8080",
+		Middlewares: []string{"requestid", "logging", "recover", "auth", "ratelimit", "timeout"},
+		RateRPS:     100,
+		RateBurst:   200,
+		Timeout:     10 * time.Second,
+		DirectReads: true,
+		ReadCap:     512,
+		LogLevel:    "info",
+	}
+}
+
+// Load builds the configuration from args (flags after the program name),
+// the environment (getenv, typically os.Getenv), and the optional JSON
+// file named by -config / DSGATE_CONFIG. Precedence, highest first:
+// explicitly set flags, set environment variables, the file, Default().
+// Output (usage text on flag errors) goes to errOut.
+func Load(args []string, getenv func(string) string, errOut io.Writer) (Config, error) {
+	cfg := Default()
+
+	fs := flag.NewFlagSet("dsgate", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		configPath  = fs.String("config", "", "JSON config file (overridden by env vars and flags)")
+		listen      = fs.String("listen", cfg.Listen, "HTTP listen address")
+		brokers     = fs.String("brokers", "", "comma-separated broker addresses of the cluster to front")
+		selfhost    = fs.Bool("selfhost", false, "start an in-process cluster instead of dialing -brokers")
+		middlewares = fs.String("middlewares", strings.Join(cfg.Middlewares, ","), "middleware chain, outermost first")
+		tokens      = fs.String("tokens", "", "comma-separated bearer tokens the auth middleware accepts")
+		rateRPS     = fs.Float64("rate-rps", cfg.RateRPS, "per-client steady-state requests per second")
+		rateBurst   = fs.Int("rate-burst", cfg.RateBurst, "per-client burst capacity")
+		timeout     = fs.Duration("timeout", cfg.Timeout, "per-request handling timeout")
+		direct      = fs.Bool("direct", cfg.DirectReads, "read hot views straight from cache servers (direct-read fast path)")
+		readCap     = fs.Int("read-cap", cfg.ReadCap, "max users per multi-read request")
+		logLevel    = fs.String("log-level", cfg.LogLevel, "log level: debug, info, warn, or error")
+	)
+	if err := fs.Parse(args); err != nil {
+		return Config{}, err
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	// Layer 1: the JSON file (path from the flag, else the environment).
+	path := *configPath
+	if path == "" {
+		path = getenv(EnvPrefix + "CONFIG")
+	}
+	if path != "" {
+		if err := cfg.applyFile(path); err != nil {
+			return Config{}, err
+		}
+	}
+
+	// Layer 2: environment variables.
+	if err := cfg.applyEnv(getenv); err != nil {
+		return Config{}, err
+	}
+
+	// Layer 3: explicitly set flags.
+	if set["listen"] {
+		cfg.Listen = *listen
+	}
+	if set["brokers"] {
+		cfg.Brokers = splitList(*brokers)
+	}
+	if set["selfhost"] {
+		cfg.Selfhost = *selfhost
+	}
+	if set["middlewares"] {
+		cfg.Middlewares = splitList(*middlewares)
+	}
+	if set["tokens"] {
+		cfg.Tokens = splitList(*tokens)
+	}
+	if set["rate-rps"] {
+		cfg.RateRPS = *rateRPS
+	}
+	if set["rate-burst"] {
+		cfg.RateBurst = *rateBurst
+	}
+	if set["timeout"] {
+		cfg.Timeout = *timeout
+	}
+	if set["direct"] {
+		cfg.DirectReads = *direct
+	}
+	if set["read-cap"] {
+		cfg.ReadCap = *readCap
+	}
+	if set["log-level"] {
+		cfg.LogLevel = *logLevel
+	}
+	return cfg, nil
+}
+
+// applyFile overlays the JSON file at path onto the config. Unknown keys
+// are rejected — a typoed key must not silently fall back to a default.
+func (c *Config) applyFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("gwconfig: read %s: %w", path, err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(c); err != nil {
+		return fmt.Errorf("gwconfig: parse %s: %w", path, err)
+	}
+	if c.TimeoutText != "" {
+		d, err := time.ParseDuration(c.TimeoutText)
+		if err != nil {
+			return fmt.Errorf("gwconfig: %s: bad timeout %q: %w", path, c.TimeoutText, err)
+		}
+		c.Timeout = d
+	}
+	return nil
+}
+
+// applyEnv overlays every set DSGATE_* variable onto the config.
+func (c *Config) applyEnv(getenv func(string) string) error {
+	if v := getenv(EnvPrefix + "LISTEN"); v != "" {
+		c.Listen = v
+	}
+	if v := getenv(EnvPrefix + "BROKERS"); v != "" {
+		c.Brokers = splitList(v)
+	}
+	if v := getenv(EnvPrefix + "SELFHOST"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("gwconfig: bad %sSELFHOST %q: %w", EnvPrefix, v, err)
+		}
+		c.Selfhost = b
+	}
+	if v := getenv(EnvPrefix + "MIDDLEWARES"); v != "" {
+		c.Middlewares = splitList(v)
+	}
+	if v := getenv(EnvPrefix + "TOKENS"); v != "" {
+		c.Tokens = splitList(v)
+	}
+	if v := getenv(EnvPrefix + "RATE_RPS"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("gwconfig: bad %sRATE_RPS %q: %w", EnvPrefix, v, err)
+		}
+		c.RateRPS = f
+	}
+	if v := getenv(EnvPrefix + "RATE_BURST"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("gwconfig: bad %sRATE_BURST %q: %w", EnvPrefix, v, err)
+		}
+		c.RateBurst = n
+	}
+	if v := getenv(EnvPrefix + "TIMEOUT"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("gwconfig: bad %sTIMEOUT %q: %w", EnvPrefix, v, err)
+		}
+		c.Timeout = d
+	}
+	if v := getenv(EnvPrefix + "DIRECT_READS"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("gwconfig: bad %sDIRECT_READS %q: %w", EnvPrefix, v, err)
+		}
+		c.DirectReads = b
+	}
+	if v := getenv(EnvPrefix + "READ_CAP"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("gwconfig: bad %sREAD_CAP %q: %w", EnvPrefix, v, err)
+		}
+		c.ReadCap = n
+	}
+	if v := getenv(EnvPrefix + "LOG_LEVEL"); v != "" {
+		c.LogLevel = v
+	}
+	return nil
+}
+
+// Validate rejects configurations dsgate cannot start with. Middleware
+// names are validated by the gateway against its registry, not here.
+func (c Config) Validate() error {
+	if c.Listen == "" {
+		return fmt.Errorf("gwconfig: listen address is empty")
+	}
+	if len(c.Brokers) == 0 && !c.Selfhost {
+		return fmt.Errorf("gwconfig: need brokers (or selfhost) to front a cluster")
+	}
+	if len(c.Brokers) > 0 && c.Selfhost {
+		return fmt.Errorf("gwconfig: brokers and selfhost are mutually exclusive")
+	}
+	if c.RateRPS <= 0 || c.RateBurst <= 0 {
+		return fmt.Errorf("gwconfig: rate limit needs positive rps (%g) and burst (%d)", c.RateRPS, c.RateBurst)
+	}
+	if c.Timeout <= 0 {
+		return fmt.Errorf("gwconfig: timeout must be positive, got %s", c.Timeout)
+	}
+	if c.ReadCap <= 0 {
+		return fmt.Errorf("gwconfig: read cap must be positive, got %d", c.ReadCap)
+	}
+	switch c.LogLevel {
+	case "debug", "info", "warn", "error":
+	default:
+		return fmt.Errorf("gwconfig: unknown log level %q (want debug, info, warn, or error)", c.LogLevel)
+	}
+	return nil
+}
+
+// splitList parses a comma-separated list, trimming whitespace and
+// dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

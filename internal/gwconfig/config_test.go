@@ -1,0 +1,178 @@
+package gwconfig
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func envMap(m map[string]string) func(string) string {
+	return func(k string) string { return m[k] }
+}
+
+func noEnv(string) string { return "" }
+
+func TestDefaultsAlone(t *testing.T) {
+	cfg, err := Load(nil, noEnv, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Default()
+	if !reflect.DeepEqual(cfg, want) {
+		t.Errorf("Load() = %+v, want defaults %+v", cfg, want)
+	}
+}
+
+// The contract of the whole package: flags beat env beats file beats
+// defaults, per field, not wholesale.
+func TestPrecedenceFlagsEnvFileDefaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gw.json")
+	file := `{
+		"listen": "file:1",
+		"brokers": ["file-b1:7000", "file-b2:7000"],
+		"middlewares": ["requestid", "logging"],
+		"rate_rps": 1,
+		"timeout": "1s"
+	}`
+	if err := os.WriteFile(path, []byte(file), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	env := envMap(map[string]string{
+		"DSGATE_CONFIG":   path,
+		"DSGATE_LISTEN":   "env:2",
+		"DSGATE_RATE_RPS": "2",
+	})
+	cfg, err := Load([]string{"-listen", "flag:3"}, env, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Listen != "flag:3" {
+		t.Errorf("flag-set field Listen = %q, want flag:3 (flag beats env beats file)", cfg.Listen)
+	}
+	if cfg.RateRPS != 2 {
+		t.Errorf("env-set field RateRPS = %g, want 2 (env beats file)", cfg.RateRPS)
+	}
+	if !reflect.DeepEqual(cfg.Brokers, []string{"file-b1:7000", "file-b2:7000"}) {
+		t.Errorf("file-set field Brokers = %v (file beats default)", cfg.Brokers)
+	}
+	if !reflect.DeepEqual(cfg.Middlewares, []string{"requestid", "logging"}) {
+		t.Errorf("file-set field Middlewares = %v", cfg.Middlewares)
+	}
+	if cfg.Timeout != time.Second {
+		t.Errorf("file timeout = %s, want 1s", cfg.Timeout)
+	}
+	if cfg.RateBurst != Default().RateBurst {
+		t.Errorf("untouched field RateBurst = %d, want default %d", cfg.RateBurst, Default().RateBurst)
+	}
+}
+
+func TestConfigFileFlagBeatsEnvPath(t *testing.T) {
+	dir := t.TempDir()
+	flagPath := filepath.Join(dir, "flag.json")
+	envPath := filepath.Join(dir, "env.json")
+	if err := os.WriteFile(flagPath, []byte(`{"listen":"from-flag-file"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(envPath, []byte(`{"listen":"from-env-file"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	env := envMap(map[string]string{"DSGATE_CONFIG": envPath})
+	cfg, err := Load([]string{"-config", flagPath}, env, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Listen != "from-flag-file" {
+		t.Errorf("Listen = %q, want from-flag-file", cfg.Listen)
+	}
+}
+
+func TestUnknownFileKeyRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gw.json")
+	if err := os.WriteFile(path, []byte(`{"listne": "oops"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load([]string{"-config", path}, noEnv, io.Discard); err == nil {
+		t.Error("typoed config key was silently accepted")
+	}
+}
+
+func TestEnvParsing(t *testing.T) {
+	env := envMap(map[string]string{
+		"DSGATE_BROKERS":      " b1:7000 , b2:7000 ",
+		"DSGATE_MIDDLEWARES":  "recover,timeout",
+		"DSGATE_TOKENS":       "t1,t2",
+		"DSGATE_RATE_BURST":   "7",
+		"DSGATE_TIMEOUT":      "3s",
+		"DSGATE_DIRECT_READS": "false",
+		"DSGATE_SELFHOST":     "true",
+		"DSGATE_LOG_LEVEL":    "debug",
+		"DSGATE_READ_CAP":     "9",
+	})
+	cfg, err := Load(nil, env, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg.Brokers, []string{"b1:7000", "b2:7000"}) {
+		t.Errorf("Brokers = %v (whitespace must be trimmed)", cfg.Brokers)
+	}
+	if !reflect.DeepEqual(cfg.Middlewares, []string{"recover", "timeout"}) {
+		t.Errorf("Middlewares = %v", cfg.Middlewares)
+	}
+	if !reflect.DeepEqual(cfg.Tokens, []string{"t1", "t2"}) {
+		t.Errorf("Tokens = %v", cfg.Tokens)
+	}
+	if cfg.RateBurst != 7 || cfg.Timeout != 3*time.Second || cfg.DirectReads || !cfg.Selfhost ||
+		cfg.LogLevel != "debug" || cfg.ReadCap != 9 {
+		t.Errorf("env-parsed config = %+v", cfg)
+	}
+}
+
+func TestBadEnvValuesError(t *testing.T) {
+	for _, kv := range []struct{ k, v string }{
+		{"DSGATE_RATE_RPS", "fast"},
+		{"DSGATE_RATE_BURST", "many"},
+		{"DSGATE_TIMEOUT", "soon"},
+		{"DSGATE_DIRECT_READS", "yep"},
+		{"DSGATE_SELFHOST", "sure"},
+		{"DSGATE_READ_CAP", "big"},
+	} {
+		_, err := Load(nil, envMap(map[string]string{kv.k: kv.v}), io.Discard)
+		if err == nil || !strings.Contains(err.Error(), kv.k) {
+			t.Errorf("%s=%s: err = %v, want error naming the variable", kv.k, kv.v, err)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := Default()
+	ok.Brokers = []string{"b1:7000"}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no cluster", func(c *Config) { c.Brokers = nil; c.Selfhost = false }},
+		{"brokers and selfhost", func(c *Config) { c.Selfhost = true }},
+		{"empty listen", func(c *Config) { c.Listen = "" }},
+		{"zero rps", func(c *Config) { c.RateRPS = 0 }},
+		{"zero burst", func(c *Config) { c.RateBurst = 0 }},
+		{"zero timeout", func(c *Config) { c.Timeout = 0 }},
+		{"zero read cap", func(c *Config) { c.ReadCap = 0 }},
+		{"bad log level", func(c *Config) { c.LogLevel = "loud" }},
+	}
+	for _, tc := range cases {
+		c := ok
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package membership
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 )
@@ -83,10 +84,10 @@ func TestLifecycleTransitions(t *testing.T) {
 
 func TestLastActiveServerCannotRetire(t *testing.T) {
 	v := seedView(1)
-	if _, err := v.WithDraining(v.Servers[0].Addr); err != ErrLastActive {
+	if _, err := v.WithDraining(v.Servers[0].Addr); !errors.Is(err, ErrLastActive) {
 		t.Errorf("drain of last active = %v, want ErrLastActive", err)
 	}
-	if _, err := v.WithDead(v.Servers[0].Addr); err != ErrLastActive {
+	if _, err := v.WithDead(v.Servers[0].Addr); !errors.Is(err, ErrLastActive) {
 		t.Errorf("remove of last active = %v, want ErrLastActive", err)
 	}
 }
