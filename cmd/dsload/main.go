@@ -20,6 +20,14 @@
 //	                                  # drive a dsgate HTTP edge instead of
 //	                                  # the broker wire protocol; reports
 //	                                  # BenchmarkGatewayRead/Write lines
+//	dsload -brokers ... -trace-sample 64   # mint a wire-propagated trace
+//	                                  # context on one op in 64; sampled
+//	                                  # spans land in each broker's
+//	                                  # /debug/traces ring
+//
+// Besides throughput lines, the open-loop mode reports client-observed
+// tail latency per op kind as BenchmarkDSLoadFeedRead/p50 (p95, p99,
+// p999) sub-lines, in the same parseable shape.
 //
 // The -selfhost mode starts an in-process cluster (pkg/dynasore Engine)
 // and drives it over the real network client, so one command exercises
@@ -48,6 +56,7 @@ import (
 	"dynasore/internal/gateway"
 	"dynasore/internal/scenario"
 	"dynasore/internal/socialgraph"
+	"dynasore/internal/telemetry"
 	"dynasore/pkg/dynasore"
 )
 
@@ -68,6 +77,10 @@ type options struct {
 	readCap   int
 	opsScale  float64
 	direct    bool
+	// traceSample, when positive, sets the client-side trace sampling
+	// rate: one op in traceSample mints a wire-propagated trace context.
+	// 1 traces every op — the setting `dsctl trace` uses.
+	traceSample int
 	// usersSet records whether -users was given explicitly: a scenario
 	// carries its own designed population, which an untouched default
 	// must not override.
@@ -90,6 +103,7 @@ func main() {
 	flag.IntVar(&o.readCap, "read-cap", 32, "max followees fetched per feed read")
 	flag.Float64Var(&o.opsScale, "ops-scale", 1, "scale factor for a scenario's scripted op counts")
 	flag.BoolVar(&o.direct, "direct", false, "enable the direct-read fast path (lease views, read cache servers without the broker)")
+	flag.IntVar(&o.traceSample, "trace-sample", 0, "trace one op in N across the cluster (1 = every op; 0 keeps the 1/1024 default)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "users" {
@@ -115,6 +129,9 @@ func dispatch(o options, stdout, stderr io.Writer) error {
 		}
 		return nil
 	}
+	if o.traceSample > 0 {
+		telemetry.Default().SetSampleEvery(o.traceSample)
+	}
 	if o.scenario != "" {
 		return runScenario(o, stdout, stderr)
 	}
@@ -134,6 +151,9 @@ func validate(o options) error {
 	}
 	if o.opsScale <= 0 {
 		return fmt.Errorf("-ops-scale must be positive, got %g", o.opsScale)
+	}
+	if o.traceSample < 0 {
+		return fmt.Errorf("-trace-sample must be non-negative, got %d", o.traceSample)
 	}
 	if o.scenario != "" {
 		if o.brokers != "" || o.selfhost || o.gateway != "" {
@@ -284,6 +304,14 @@ func run(o options, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// Per-op latency distributions live in a private telemetry node (the
+	// workload's view of the cluster, kept out of any co-resident ops
+	// surface) so the tail percentiles come from the same fixed-bucket
+	// histograms the brokers export — client-observed p99 lines up with
+	// server-side dynasore_broker_op_seconds by construction.
+	loadTel := telemetry.New()
+	readHist := loadTel.Histogram("dsload_op_seconds", "Client-observed op latency.", "op", "read")
+	writeHist := loadTel.Histogram("dsload_op_seconds", "Client-observed op latency.", "op", "write")
 	var (
 		readOps, readNs   atomic.Int64
 		writeOps, writeNs atomic.Int64
@@ -307,7 +335,9 @@ func run(o options, stdout, stderr io.Writer) error {
 						firstErr.CompareAndSwap(nil, &e)
 						return
 					}
-					writeNs.Add(int64(time.Since(start)))
+					el := time.Since(start)
+					writeHist.Observe(el)
+					writeNs.Add(int64(el))
 					writeOps.Add(1)
 					continue
 				}
@@ -319,7 +349,9 @@ func run(o options, stdout, stderr io.Writer) error {
 					firstErr.CompareAndSwap(nil, &e)
 					return
 				}
-				readNs.Add(int64(time.Since(start)))
+				el := time.Since(start)
+				readHist.Observe(el)
+				readNs.Add(int64(el))
 				readOps.Add(1)
 				viewsRead.Add(int64(len(views)))
 			}
@@ -340,9 +372,11 @@ func run(o options, stdout, stderr io.Writer) error {
 	}
 	if n := readOps.Load(); n > 0 {
 		fmt.Fprintln(stdout, benchLine(readName, n, readNs.Load()))
+		printQuantiles(stdout, readName, n, readHist)
 	}
 	if n := writeOps.Load(); n > 0 {
 		fmt.Fprintln(stdout, benchLine(writeName, n, writeNs.Load()))
+		printQuantiles(stdout, writeName, n, writeHist)
 	}
 	// The human summary goes to stderr so it never pollutes the artifact.
 	st, err := store.Stats(ctx)
@@ -391,4 +425,18 @@ func feedTargets(g *socialgraph.Graph, u uint32, maxTargets int) []uint32 {
 // and nanoseconds per operation.
 func benchLine(name string, ops, totalNs int64) string {
 	return fmt.Sprintf("%s \t%8d\t%12.1f ns/op", name, ops, float64(totalNs)/float64(ops))
+}
+
+// printQuantiles emits one Go-benchmark sub-line per tail percentile of an
+// op kind (p50/p95/p99/p999), read off the run's latency histogram. The
+// values are bucket upper bounds, so a reported p99 is conservative — the
+// true quantile is at or below it.
+func printQuantiles(w io.Writer, name string, ops int64, h *telemetry.Histogram) {
+	for _, q := range []struct {
+		suffix string
+		q      float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}, {"p999", 0.999}} {
+		ns := h.Quantile(q.q) * 1e9
+		fmt.Fprintf(w, "%s/%s \t%8d\t%12.1f ns/op\n", name, q.suffix, ops, ns)
+	}
 }

@@ -45,18 +45,32 @@
 //
 //	dynasore-node -role server -addr 127.0.0.1:7005 \
 //	    -join 127.0.0.1:7000 -join-pos 2:1
+//
+// Observability: -ops-addr starts an HTTP listener on any node serving
+// Prometheus-text /metrics (per-stage latency histograms plus the broker's
+// lifetime counters), /healthz, /debug/traces (recent sampled traces as
+// JSON), and /debug/pprof. -trace-slow tunes the slow-trace log threshold
+// and -wal-sync-every turns on WAL group commit so fsync latency shows up
+// in dynasore_wal_fsync_seconds:
+//
+//	dynasore-node -role broker ... -ops-addr 127.0.0.1:9100 \
+//	    -trace-slow 50ms -wal-sync-every 8
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"dynasore/internal/promtext"
+	"dynasore/internal/telemetry"
 	"dynasore/pkg/dynasore"
 )
 
@@ -81,6 +95,9 @@ func main() {
 		join        = flag.String("join", "", "broker address to register this cache server with, joining a running cluster (server role)")
 		joinPos     = flag.String("join-pos", "0:0", "this server's zone:rack position, registered on -join")
 		joinCap     = flag.Int("join-capacity", 0, "max views the policy may place on this server, registered on -join (0: broker default)")
+		opsAddr     = flag.String("ops-addr", "", "ops HTTP listen address serving /metrics, /healthz, /debug/traces, and /debug/pprof (empty: disabled)")
+		traceSlow   = flag.Duration("trace-slow", 0, "log sampled spans slower than this to the slow-trace log (0: default 100ms)")
+		walSync     = flag.Int("wal-sync-every", 0, "fsync the broker's WAL after every N-th append — group commit (0: trust the OS page cache)")
 	)
 	flag.Parse()
 	if err := run(config{
@@ -90,6 +107,7 @@ func main() {
 		peers: *peersFlag, peersPos: *peersPos, self: *self, syncEvery: *syncEvery,
 		checkpointEvery: *ckptEvery, compactAfter: *compact,
 		join: *join, joinPos: *joinPos, joinCapacity: *joinCap,
+		opsAddr: *opsAddr, traceSlow: *traceSlow, walSyncEvery: *walSync,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dynasore-node:", err)
 		os.Exit(1)
@@ -110,6 +128,56 @@ type config struct {
 	compactAfter                 int
 	join, joinPos                string
 	joinCapacity                 int
+	opsAddr                      string
+	traceSlow                    time.Duration
+	walSyncEvery                 int
+}
+
+// serveOps starts the node's ops HTTP listener: Prometheus-text /metrics
+// (process telemetry plus any role-specific extra series), /healthz,
+// /debug/traces, and /debug/pprof. It returns a shutdown func, or an
+// error if the address cannot be bound.
+func serveOps(addr string, extra ...func(*strings.Builder)) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops listener: %w", err)
+	}
+	srv := &http.Server{Handler: telemetry.Default().Handler(extra...)}
+	go srv.Serve(ln)
+	fmt.Printf("ops listening on http://%s/metrics\n", ln.Addr())
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}, nil
+}
+
+// brokerOpsRenderer appends the broker's lifetime counters to the ops
+// /metrics page, alongside the process-wide histograms.
+func brokerOpsRenderer(b *dynasore.Broker) func(*strings.Builder) {
+	return func(sb *strings.Builder) {
+		st := b.Stats()
+		const ops = "dynasore_broker_ops_total"
+		promtext.WriteHeader(sb, ops, "counter", "Broker lifetime operation counts by kind.")
+		promtext.WriteInt(sb, ops, promtext.Labels("op", "read"), st.Reads)
+		promtext.WriteInt(sb, ops, promtext.Labels("op", "write"), st.Writes)
+		promtext.WriteInt(sb, ops, promtext.Labels("op", "replicate"), st.Replicated)
+		promtext.WriteInt(sb, ops, promtext.Labels("op", "evict"), st.Evicted)
+		promtext.WriteInt(sb, ops, promtext.Labels("op", "migrate"), st.Migrated)
+		promtext.WriteInt(sb, ops, promtext.Labels("op", "miss"), st.Misses)
+		promtext.WriteInt(sb, ops, promtext.Labels("op", "lease_grant"), st.LeaseGrants)
+		promtext.WriteHeader(sb, "dynasore_membership_epoch", "gauge", "Current membership epoch of this broker.")
+		promtext.WriteUint(sb, "dynasore_membership_epoch", "", st.Epoch)
+	}
+}
+
+// serverOpsRenderer appends the cache server's view count to the ops
+// /metrics page.
+func serverOpsRenderer(s *dynasore.CacheServer) func(*strings.Builder) {
+	return func(sb *strings.Builder) {
+		promtext.WriteHeader(sb, "dynasore_server_views", "gauge", "Views currently held by this cache server.")
+		promtext.WriteInt(sb, "dynasore_server_views", "", int64(s.NumViews()))
+	}
 }
 
 // parsePeers builds the multi-broker peer list from -peers/-peers-pos, or
@@ -201,6 +269,9 @@ func run(c config) error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 
+	if c.traceSlow > 0 {
+		telemetry.Default().SetSlowThreshold(c.traceSlow)
+	}
 	switch c.role {
 	case "server":
 		s, err := dynasore.ListenCacheServer(c.addr)
@@ -208,6 +279,14 @@ func run(c config) error {
 			return err
 		}
 		fmt.Printf("cache server listening on %s\n", s.Addr())
+		if c.opsAddr != "" {
+			shutdown, err := serveOps(c.opsAddr, serverOpsRenderer(s))
+			if err != nil {
+				s.Close()
+				return err
+			}
+			defer shutdown()
+		}
 		if c.join != "" {
 			// Register with the running cluster: the broker (any broker —
 			// followers forward to the leader) bumps the membership epoch
@@ -253,9 +332,18 @@ func run(c config) error {
 			SyncEvery:        c.syncEvery,
 			CheckpointEvery:  c.checkpointEvery,
 			CompactAfter:     c.compactAfter,
+			WALSyncEvery:     c.walSyncEvery,
 		})
 		if err != nil {
 			return err
+		}
+		if c.opsAddr != "" {
+			shutdown, err := serveOps(c.opsAddr, brokerOpsRenderer(b))
+			if err != nil {
+				b.Close()
+				return err
+			}
+			defer shutdown()
 		}
 		if from, replayed := b.Recovery(); from {
 			fmt.Printf("recovered from checkpoint, replayed %d WAL records\n", replayed)

@@ -17,9 +17,16 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
+	"dynasore/internal/telemetry"
 	"dynasore/internal/wal"
 )
+
+// replayHist times store recovery (snapshot load + log-tail replay),
+// exported as dynasore_checkpoint_replay_seconds.
+var replayHist = telemetry.Default().Histogram(
+	"dynasore_checkpoint_replay_seconds", "Latency of recovering a view store from checkpoint plus log replay.")
 
 const (
 	// fileName and tmpName are the snapshot's resting and staging names
@@ -253,6 +260,8 @@ type RecoveryInfo struct {
 // otherwise the whole log is. A discarded snapshot is reported in
 // RecoveryInfo, never fatal: full replay is always the fallback.
 func OpenViewStore(dir string, viewCap int, opts wal.Options) (*wal.ViewStore, RecoveryInfo, error) {
+	start := time.Now()
+	defer func() { replayHist.Observe(time.Since(start)) }()
 	var info RecoveryInfo
 	snap, err := Load(dir)
 	if err != nil {

@@ -5,8 +5,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynasore/internal/telemetry"
 	"dynasore/internal/wal"
 )
+
+// saveHist times whole checkpoint passes (snapshot + persist + compaction),
+// exported as dynasore_checkpoint_save_seconds.
+var saveHist = telemetry.Default().Histogram(
+	"dynasore_checkpoint_save_seconds", "Latency of taking and persisting one view-store checkpoint.")
 
 // Options configures a Manager.
 type Options struct {
@@ -72,6 +78,8 @@ func (m *Manager) Run(stop <-chan struct{}) {
 func (m *Manager) CheckpointNow() (wal.Pos, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	start := time.Now()
+	defer func() { saveHist.Observe(time.Since(start)) }()
 	snap := m.store.Snapshot()
 	if err := Write(m.opts.Dir, snap); err != nil {
 		m.lastErr = err

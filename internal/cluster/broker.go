@@ -14,6 +14,7 @@ import (
 	"dynasore/internal/checkpoint"
 	"dynasore/internal/membership"
 	"dynasore/internal/stats"
+	"dynasore/internal/telemetry"
 	"dynasore/internal/topology"
 	"dynasore/internal/viewpolicy"
 	"dynasore/internal/wal"
@@ -124,6 +125,14 @@ type BrokerConfig struct {
 	// enough that a lost invalidation self-heals quickly; long enough
 	// that a hot reader amortizes the grant over many direct reads.
 	LeaseTTL time.Duration
+	// WALSyncEvery enables group commit on the broker-owned WAL: fsync
+	// once per this many appends (0 keeps the default no-per-append-fsync
+	// behaviour). Only meaningful when the broker opens its own DataDir.
+	WALSyncEvery int
+	// Telemetry is the node the broker registers its histograms, trace
+	// spans, and counters with. Nil uses the process-wide Default() —
+	// in-process rigs inject private nodes to keep counts isolated.
+	Telemetry *telemetry.Node
 }
 
 func (c BrokerConfig) withDefaults() BrokerConfig {
@@ -351,6 +360,17 @@ type Broker struct {
 	misses     atomic.Int64
 	catchup    atomic.Int64 // records recovered via opLogPull
 	leases     atomic.Int64 // direct-read leases granted
+
+	// tel is the broker's telemetry node; the instruments below are
+	// resolved once at construction so the request path never touches
+	// the registry lock.
+	tel             *telemetry.Node
+	readHist        *telemetry.Histogram
+	writeHist       *telemetry.Histogram
+	leaseHist       *telemetry.Histogram
+	statsHist       *telemetry.Histogram
+	syncWriteHist   *telemetry.Histogram
+	membTransitions *telemetry.Counter
 }
 
 // repKey identifies one (user, serving server) aggregate in a pending
@@ -420,7 +440,7 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		// sequence number for different events. Recovery goes through the
 		// checkpoint subsystem: the latest intact snapshot seeds the store
 		// and only the log tail is replayed.
-		walOpts := wal.Options{SeqStride: uint64(len(peers)), SeqOffset: uint64(selfIdx)}
+		walOpts := wal.Options{SeqStride: uint64(len(peers)), SeqOffset: uint64(selfIdx), SyncEvery: cfg.WALSyncEvery}
 		store, recovery, err = checkpoint.OpenViewStore(cfg.DataDir, cfg.ViewCap, walOpts)
 		if err != nil {
 			return nil, fmt.Errorf("open persistent store: %w", err)
@@ -467,6 +487,16 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		active:    make(map[net.Conn]struct{}),
 		stop:      make(chan struct{}),
 	}
+	b.tel = cfg.Telemetry
+	if b.tel == nil {
+		b.tel = telemetry.Default()
+	}
+	b.readHist = b.tel.Histogram("dynasore_broker_op_seconds", "Broker op latency by operation.", "op", "read")
+	b.writeHist = b.tel.Histogram("dynasore_broker_op_seconds", "Broker op latency by operation.", "op", "write")
+	b.leaseHist = b.tel.Histogram("dynasore_broker_op_seconds", "Broker op latency by operation.", "op", "lease")
+	b.statsHist = b.tel.Histogram("dynasore_broker_op_seconds", "Broker op latency by operation.", "op", "stats")
+	b.syncWriteHist = b.tel.Histogram("dynasore_broker_op_seconds", "Broker op latency by operation.", "op", "sync_write")
+	b.membTransitions = b.tel.Counter("dynasore_membership_transitions_total", "Membership views installed (epoch changes applied by this broker).")
 	for _, p := range peers {
 		b.peerPos = append(b.peerPos, p.Pos)
 	}
@@ -674,6 +704,7 @@ func (b *Broker) installLocked(next membership.View) error {
 	// under it (and clients leased under the old epoch are refused
 	// everywhere the new epoch has reached).
 	b.pushEpochAll(nt)
+	b.membTransitions.Inc()
 	return nil
 }
 
@@ -792,7 +823,7 @@ func (b *Broker) commitViewLocked(next membership.View) (membership.View, error)
 		return membership.View{}, fmt.Errorf("persist membership transition: %w", err)
 	}
 	if b.nBrokers > 1 && b.ownWAL {
-		b.broadcastSyncWrite(membership.ReservedUser, seq, at, payload)
+		b.broadcastSyncWrite(membership.ReservedUser, seq, at, payload, telemetry.TraceContext{})
 	}
 	if err := b.installLocked(next); err != nil {
 		return membership.View{}, err
@@ -1043,6 +1074,14 @@ func (e brokerEnv) Holds(m topology.MachineID) bool {
 // In a multi-broker cluster with per-broker WALs the durable event is also
 // replicated to every peer's log, so any broker can later rebuild the view.
 func (b *Broker) Write(user uint32, payload []byte) (uint64, error) {
+	return b.writeTraced(user, payload, nil)
+}
+
+// writeTraced is Write under an optional span (nil when the request is
+// unsampled): the span collects the wal/replicate/fanout stage breakdown
+// and its context rides the replica puts and the peer sync writes, so
+// the whole write path of a sampled request is one trace.
+func (b *Broker) writeTraced(user uint32, payload []byte, sp *telemetry.Span) (uint64, error) {
 	if user == membership.ReservedUser {
 		return 0, ErrReservedUser
 	}
@@ -1052,8 +1091,10 @@ func (b *Broker) Write(user uint32, payload []byte) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("persist write: %w", err)
 	}
+	sp.Stage("wal")
 	if b.nBrokers > 1 && b.ownWAL {
-		b.broadcastSyncWrite(user, seq, at, payload)
+		b.broadcastSyncWrite(user, seq, at, payload, sp.Context())
+		sp.Stage("replicate")
 	}
 	now := time.Now().Unix()
 	view := b.currentView(user)
@@ -1083,11 +1124,12 @@ func (b *Broker) Write(user uint32, payload []byte) (uint64, error) {
 			failed = append(failed, idx)
 			continue
 		}
-		if err := conn.putViewMeta(user, view, t.view.Epoch, pv); err != nil {
+		if err := conn.putViewTraced(user, view, t.view.Epoch, pv, sp.Context()); err != nil {
 			errs = append(errs, fmt.Errorf("update replica on %s: %w", t.label(idx), err))
 			failed = append(failed, idx)
 		}
 	}
+	sp.Stage("fanout")
 	if len(failed) > 0 && len(failed) < len(set) {
 		// Reachable replicas stay current; unreachable ones would serve
 		// stale views if they came back, so drop them (reads re-create
@@ -1114,6 +1156,12 @@ func (b *Broker) currentView(user uint32) View {
 // applies a placement change inline; followers aggregate the access into
 // their next report to the leader instead.
 func (b *Broker) ReadOne(user uint32) (View, error) {
+	return b.readOneTraced(user, telemetry.TraceContext{})
+}
+
+// readOneTraced is ReadOne carrying a trace context; sampled reads
+// propagate it to the serving cache server so its span joins the trace.
+func (b *Broker) readOneTraced(user uint32, tc telemetry.TraceContext) (View, error) {
 	if user == membership.ReservedUser {
 		return View{}, ErrReservedUser
 	}
@@ -1147,7 +1195,7 @@ func (b *Broker) ReadOne(user uint32) (View, error) {
 		b.noteRead(user, idx)
 	}
 
-	v, err := b.readReplica(t, user, idx)
+	v, err := b.readReplica(t, user, idx, tc)
 	if err != nil {
 		// The serving replica is unreachable: drop it, try the remaining
 		// replicas, and as a last resort serve straight from the WAL
@@ -1158,7 +1206,7 @@ func (b *Broker) ReadOne(user uint32) (View, error) {
 			if alt == idx {
 				continue
 			}
-			if av, aerr := b.readReplica(t, user, alt); aerr == nil {
+			if av, aerr := b.readReplica(t, user, alt, tc); aerr == nil {
 				v, recovered = av, true
 				break
 			}
@@ -1325,13 +1373,14 @@ func (b *Broker) rehomeStranded(user uint32) {
 }
 
 // readReplica fetches user's view from server idx, refilling the cache from
-// the persistent store on a miss.
-func (b *Broker) readReplica(t *serverTable, user uint32, idx int) (View, error) {
+// the persistent store on a miss. A sampled trace context rides the get so
+// the cache server's span joins the trace.
+func (b *Broker) readReplica(t *serverTable, user uint32, idx int, tc telemetry.TraceContext) (View, error) {
 	conn := t.conn(idx)
 	if conn == nil {
 		return View{}, fmt.Errorf("no connection to %s", t.label(idx))
 	}
-	v, ok, err := conn.getView(user)
+	v, ok, err := conn.getViewTraced(user, tc)
 	if err != nil {
 		return View{}, err
 	}
@@ -1725,10 +1774,17 @@ const readFanout = 8
 // Targets are fetched concurrently (bounded by readFanout) since each view
 // may live on a different cache server.
 func (b *Broker) Read(targets []uint32) ([]View, error) {
+	return b.readTraced(targets, telemetry.TraceContext{})
+}
+
+// readTraced is Read carrying a trace context into every per-target
+// fetch. The context is a value, safe to share across the fanout
+// goroutines (each cache server starts its own child span from it).
+func (b *Broker) readTraced(targets []uint32, tc telemetry.TraceContext) ([]View, error) {
 	out := make([]View, len(targets))
 	if len(targets) <= 1 {
 		for i, u := range targets {
-			v, err := b.ReadOne(u)
+			v, err := b.readOneTraced(u, tc)
 			if err != nil {
 				return nil, fmt.Errorf("read view %d: %w", u, err)
 			}
@@ -1749,7 +1805,7 @@ func (b *Broker) Read(targets []uint32) ([]View, error) {
 		go func(i int, u uint32) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			v, err := b.ReadOne(u)
+			v, err := b.readOneTraced(u, tc)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -1954,35 +2010,21 @@ func (b *Broker) acceptLoop() {
 func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte) {
 	switch msgType {
 	case opRead:
-		targets, err := decodeReadRequest(version, body)
-		if err != nil {
-			return respError, errorBody("bad read request: " + err.Error())
-		}
-		views, err := b.Read(targets)
-		if err != nil {
-			return respError, errorBodyFor(err)
-		}
-		// The epoch trailer lets clients notice a membership change
-		// without polling; pre-membership clients never read past the
-		// views.
-		return respRead, appendEpochTrailer(encodeReadResponse(version, views), b.Epoch())
+		return b.handleRead(version, body)
 	case opWrite:
-		if len(body) < 4 {
-			return respError, errorBody("short write request")
-		}
-		user := binary.LittleEndian.Uint32(body[0:4])
-		seq, err := b.Write(user, body[4:])
-		if err != nil {
-			return respError, errorBodyFor(err)
-		}
-		return respWrite, appendEpochTrailer(binary.LittleEndian.AppendUint64(nil, seq), b.Epoch())
+		return b.handleWrite(version, body)
 	case opBrokerStats:
-		return respStats, appendBrokerStats(nil, b.Stats())
+		start := time.Now()
+		resp := appendBrokerStats(nil, b.Stats())
+		b.statsHist.Observe(time.Since(start))
+		return respStats, resp
 	case opLeaseGet:
 		if len(body) < 4 {
 			return respError, errorBody("short lease request")
 		}
+		start := time.Now()
 		l, err := b.leaseFor(binary.LittleEndian.Uint32(body[0:4]))
+		b.leaseHist.Observe(time.Since(start))
 		if err != nil {
 			return respError, errorBodyFor(err)
 		}
@@ -2023,17 +2065,13 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		if err != nil {
 			return respError, errorBody("bad sync write")
 		}
-		p := make([]byte, len(payload))
-		copy(p, payload)
-		applied, err := b.store.ApplyReplicated(wal.Record{Seq: seq, User: user, At: at, Payload: p})
+		return b.applySyncWrite(user, seq, at, payload, telemetry.TraceContext{})
+	case opSyncWriteTraced:
+		user, seq, at, payload, tc, err := decodeSyncWriteTraced(body)
 		if err != nil {
-			return respError, errorBody("replicate write: " + err.Error())
+			return respError, errorBody("bad sync write")
 		}
-		if applied && user == membership.ReservedUser {
-			// A replicated membership transition: install it if newer.
-			b.applyMembershipPayload(p)
-		}
-		return respOK, nil
+		return b.applySyncWrite(user, seq, at, payload, tc)
 	case opMembershipGet, opMembershipPull:
 		return respMembership, encodeMembershipInfo(b.Membership())
 	case opMembershipDelta:
@@ -2061,6 +2099,90 @@ func (b *Broker) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 	default:
 		return respError, errorBody("unknown op")
 	}
+}
+
+// handleRead serves one opRead request: strip the v3 trace suffix, start
+// the broker's span for sampled requests, fetch the views, and record
+// the op latency. The span's decode/execute/encode stages plus the cache
+// servers' child spans give a sampled read its full breakdown.
+func (b *Broker) handleRead(version int, body []byte) (uint8, []byte) {
+	start := time.Now()
+	var tc telemetry.TraceContext
+	if version >= protoV3 {
+		var err error
+		if body, tc, err = splitTraceSuffix(body); err != nil {
+			return respError, errorBody("bad read request: " + err.Error())
+		}
+	}
+	sp := b.tel.StartSpan(tc, "broker.read")
+	defer sp.End()
+	targets, err := decodeReadRequest(version, body)
+	if err != nil {
+		return respError, errorBody("bad read request: " + err.Error())
+	}
+	sp.Stage("decode")
+	views, err := b.readTraced(targets, sp.Context())
+	if err != nil {
+		return respError, errorBodyFor(err)
+	}
+	sp.Stage("execute")
+	// The epoch trailer lets clients notice a membership change
+	// without polling; pre-membership clients never read past the
+	// views.
+	resp := appendEpochTrailer(encodeReadResponse(version, views), b.Epoch())
+	sp.Stage("encode")
+	b.readHist.Observe(time.Since(start))
+	return respRead, resp
+}
+
+// handleWrite serves one opWrite request; the span's stage breakdown
+// (decode, wal, replicate, fanout, encode) comes partly from writeTraced.
+func (b *Broker) handleWrite(version int, body []byte) (uint8, []byte) {
+	start := time.Now()
+	var tc telemetry.TraceContext
+	if version >= protoV3 {
+		var err error
+		if body, tc, err = splitTraceSuffix(body); err != nil {
+			return respError, errorBody("bad write request: " + err.Error())
+		}
+	}
+	if len(body) < 4 {
+		return respError, errorBody("short write request")
+	}
+	sp := b.tel.StartSpan(tc, "broker.write")
+	defer sp.End()
+	user := binary.LittleEndian.Uint32(body[0:4])
+	sp.Stage("decode")
+	seq, err := b.writeTraced(user, body[4:], sp)
+	if err != nil {
+		return respError, errorBodyFor(err)
+	}
+	resp := appendEpochTrailer(binary.LittleEndian.AppendUint64(nil, seq), b.Epoch())
+	sp.Stage("encode")
+	b.writeHist.Observe(time.Since(start))
+	return respWrite, resp
+}
+
+// applySyncWrite applies one replicated event to this broker's log; a
+// sampled origin write leaves a span here, so the trace shows which
+// peers its replication touched.
+func (b *Broker) applySyncWrite(user uint32, seq uint64, at int64, payload []byte, tc telemetry.TraceContext) (uint8, []byte) {
+	start := time.Now()
+	sp := b.tel.StartSpan(tc, "broker.sync_write")
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	applied, err := b.store.ApplyReplicated(wal.Record{Seq: seq, User: user, At: at, Payload: p})
+	sp.Stage("apply")
+	sp.End()
+	b.syncWriteHist.Observe(time.Since(start))
+	if err != nil {
+		return respError, errorBody("replicate write: " + err.Error())
+	}
+	if applied && user == membership.ReservedUser {
+		// A replicated membership transition: install it if newer.
+		b.applyMembershipPayload(p)
+	}
+	return respOK, nil
 }
 
 // handleAdmin executes one membership mutation. Followers forward the

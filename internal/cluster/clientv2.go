@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dynasore/internal/membership"
+	"dynasore/internal/telemetry"
 )
 
 // ClientV2 talks the paper's API to a broker over wire protocol v2. Unlike
@@ -28,6 +29,12 @@ type ClientV2 struct {
 	// response trailers — how a client notices the cluster's cache-server
 	// set changed without polling.
 	epoch atomic.Uint64
+
+	// tel mints trace contexts and records client-side op latency; it is
+	// the process Default() unless a test swaps in an isolated Node.
+	tel       *telemetry.Node
+	readHist  *telemetry.Histogram
+	writeHist *telemetry.Histogram
 }
 
 // DefaultPoolSize is the connection pool size used when DialV2 gets
@@ -43,6 +50,7 @@ func DialV2(ctx context.Context, addr string, poolSize int) (*ClientV2, error) {
 		poolSize = DefaultPoolSize
 	}
 	c := &ClientV2{addr: addr, dialTimeout: 10 * time.Second}
+	c.setTelemetry(telemetry.Default())
 	for i := 0; i < poolSize; i++ {
 		c.conns = append(c.conns, &muxConn{client: c})
 	}
@@ -50,6 +58,15 @@ func DialV2(ctx context.Context, addr string, poolSize int) (*ClientV2, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// setTelemetry redirects the client's sampling and latency instruments
+// to an isolated Node — used by tests that must not share the process
+// default.
+func (c *ClientV2) setTelemetry(n *telemetry.Node) {
+	c.tel = n
+	c.readHist = n.Histogram("dynasore_client_op_seconds", "Client-observed end-to-end op latency.", "op", "read")
+	c.writeHist = n.Histogram("dynasore_client_op_seconds", "Client-observed end-to-end op latency.", "op", "write")
 }
 
 // wireResp is one demuxed response frame.
@@ -67,9 +84,10 @@ type muxConn struct {
 	client *ClientV2
 
 	//dynalint:allow lockio connect holds the lock across dial+handshake so concurrent callers dial exactly once
-	mu      sync.Mutex // guards conn, gen, pending
+	mu      sync.Mutex // guards conn, gen, version, pending
 	conn    net.Conn
 	gen     uint64 // bumped on every (re)dial, detects stale failures
+	version int    // negotiated protocol version of the live conn
 	pending map[uint64]chan wireResp
 
 	//dynalint:allow lockio the write mutex exists to keep concurrent frame writes from interleaving on the socket
@@ -96,12 +114,14 @@ func (m *muxConn) connect(ctx context.Context) error {
 	if deadline, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(deadline)
 	}
-	if err := clientHello(conn); err != nil {
+	version, err := clientHello(conn)
+	if err != nil {
 		conn.Close()
 		return err
 	}
 	conn.SetDeadline(time.Time{})
 	m.conn = conn
+	m.version = version
 	m.gen++
 	m.pending = make(map[uint64]chan wireResp)
 	go m.readLoop(conn, m.gen)
@@ -151,8 +171,11 @@ func (m *muxConn) fail(gen uint64, err error) {
 	}
 }
 
-// do performs one multiplexed round trip.
-func (m *muxConn) do(ctx context.Context, msgType uint8, body []byte) (uint8, []byte, error) {
+// do performs one multiplexed round trip. A non-nil tc marks msgType as
+// one of the ops whose v3 body ends in a mandatory trace context; it is
+// appended here, once the connection's negotiated version is known, and
+// omitted entirely on v2 connections.
+func (m *muxConn) do(ctx context.Context, msgType uint8, body []byte, tc *telemetry.TraceContext) (uint8, []byte, error) {
 	if err := m.connect(ctx); err != nil {
 		return 0, nil, err
 	}
@@ -164,9 +187,12 @@ func (m *muxConn) do(ctx context.Context, msgType uint8, body []byte) (uint8, []
 		m.mu.Unlock()
 		return 0, nil, fmt.Errorf("cluster: connection lost before send")
 	}
-	conn, gen := m.conn, m.gen
+	conn, gen, version := m.conn, m.gen, m.version
 	m.pending[id] = ch
 	m.mu.Unlock()
+	if tc != nil && version >= protoV3 {
+		body = telemetry.AppendTraceContext(body, *tc)
+	}
 
 	m.wmu.Lock()
 	err := writeFrameV2(conn, msgType, id, body)
@@ -214,7 +240,16 @@ func (c *ClientV2) do(ctx context.Context, msgType uint8, body []byte) (uint8, [
 	if c.closed.Load() {
 		return 0, nil, net.ErrClosed
 	}
-	return c.pick().do(ctx, msgType, body)
+	return c.pick().do(ctx, msgType, body, nil)
+}
+
+// doTraced is do for the ops (opRead, opWrite) that carry the mandatory
+// v3 trace suffix.
+func (c *ClientV2) doTraced(ctx context.Context, msgType uint8, body []byte, tc telemetry.TraceContext) (uint8, []byte, error) {
+	if c.closed.Load() {
+		return 0, nil, net.ErrClosed
+	}
+	return c.pick().do(ctx, msgType, body, &tc)
 }
 
 // Read fetches the views of every user in targets, in order. Protocol v2
@@ -224,14 +259,23 @@ func (c *ClientV2) Read(ctx context.Context, targets []uint32) ([]View, error) {
 	if len(targets) == 0 {
 		return nil, nil
 	}
+	start := time.Now()
+	sp := c.tel.StartSpan(c.tel.Sample(), "client.read")
 	body, err := encodeReadRequest(protoV2, targets)
 	if err != nil {
 		return nil, err
 	}
-	respType, respBody, err := c.do(ctx, opRead, body)
+	sp.Stage("encode")
+	respType, respBody, err := c.doTraced(ctx, opRead, body, sp.Context())
 	if err != nil {
 		return nil, err
 	}
+	sp.Stage("rpc")
+	defer func() {
+		sp.Stage("decode")
+		sp.End()
+		c.readHist.Observe(time.Since(start))
+	}()
 	switch respType {
 	case respRead:
 		views, rest, err := decodeReadResponse(protoV2, respBody)
@@ -252,12 +296,20 @@ func (c *ClientV2) Read(ctx context.Context, targets []uint32) ([]View, error) {
 
 // Write publishes an event produced by user and returns its sequence number.
 func (c *ClientV2) Write(ctx context.Context, user uint32, payload []byte) (uint64, error) {
+	start := time.Now()
+	sp := c.tel.StartSpan(c.tel.Sample(), "client.write")
 	body := binary.LittleEndian.AppendUint32(nil, user)
 	body = append(body, payload...)
-	respType, respBody, err := c.do(ctx, opWrite, body)
+	sp.Stage("encode")
+	respType, respBody, err := c.doTraced(ctx, opWrite, body, sp.Context())
 	if err != nil {
 		return 0, err
 	}
+	sp.Stage("rpc")
+	defer func() {
+		sp.End()
+		c.writeHist.Observe(time.Since(start))
+	}()
 	switch respType {
 	case respWrite:
 		if len(respBody) < 8 {

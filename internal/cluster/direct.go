@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dynasore/internal/telemetry"
 )
 
 // DirectReader is the client side of the direct-read fast path: a bounded
@@ -38,6 +40,14 @@ type DirectReader struct {
 
 	reads atomic.Int64 // views served directly
 	stale atomic.Int64 // direct attempts that fenced or failed to the broker
+
+	// Per-stage outcome counters for the fast-path decision ladder,
+	// exported as dynasore_direct_ladder_total{stage=...}.
+	ctrHit     *telemetry.Counter
+	ctrNoLease *telemetry.Counter
+	ctrExpired *telemetry.Counter
+	ctrFence   *telemetry.Counter
+	ctrFallbck *telemetry.Counter
 }
 
 // leaseEntry is one cached lease plus its client-side fencing state.
@@ -66,12 +76,20 @@ func NewDirectReader(maxLeases int) *DirectReader {
 	if maxLeases <= 0 {
 		maxLeases = DefaultMaxLeases
 	}
+	tel := telemetry.Default()
+	const ladder = "dynasore_direct_ladder_total"
+	const ladderHelp = "Direct-read fast-path outcomes by ladder stage."
 	return &DirectReader{
-		max:       maxLeases,
-		leases:    make(map[uint32]*leaseEntry),
-		lru:       list.New(),
-		conns:     make(map[string]*ClientV2),
-		deadUntil: make(map[string]time.Time),
+		max:        maxLeases,
+		leases:     make(map[uint32]*leaseEntry),
+		lru:        list.New(),
+		conns:      make(map[string]*ClientV2),
+		deadUntil:  make(map[string]time.Time),
+		ctrHit:     tel.Counter(ladder, ladderHelp, "stage", "hit"),
+		ctrNoLease: tel.Counter(ladder, ladderHelp, "stage", "no_lease"),
+		ctrExpired: tel.Counter(ladder, ladderHelp, "stage", "lease_expired"),
+		ctrFence:   tel.Counter(ladder, ladderHelp, "stage", "version_fence"),
+		ctrFallbck: tel.Counter(ladder, ladderHelp, "stage", "fallback"),
 	}
 }
 
@@ -164,6 +182,7 @@ func (d *DirectReader) TryRead(ctx context.Context, user uint32) (View, bool) {
 	e, ok := d.leases[user]
 	if !ok {
 		d.mu.Unlock()
+		d.ctrNoLease.Inc()
 		return View{}, false
 	}
 	if e.lease.Epoch != epoch || !time.Now().Before(e.expires) {
@@ -171,6 +190,7 @@ func (d *DirectReader) TryRead(ctx context.Context, user uint32) (View, bool) {
 		delete(d.leases, user)
 		d.mu.Unlock()
 		d.stale.Add(1)
+		d.ctrExpired.Inc()
 		return View{}, false
 	}
 	d.lru.MoveToFront(e.elem)
@@ -178,6 +198,7 @@ func (d *DirectReader) TryRead(ctx context.Context, user uint32) (View, bool) {
 	minVersion := e.minVersion
 	d.mu.Unlock()
 
+	fenced := false
 	for _, r := range lease.Replicas {
 		c := d.conn(ctx, r.Addr)
 		if c == nil {
@@ -193,10 +214,13 @@ func (d *DirectReader) TryRead(ctx context.Context, user uint32) (View, bool) {
 			if v.Version < minVersion {
 				// A replica behind a version this client already saw —
 				// the wire tokens raced a move; fence client-side.
+				fenced = true
+				d.ctrFence.Inc()
 				break
 			}
 			d.Observe(user, v.Version)
 			d.reads.Add(1)
+			d.ctrHit.Inc()
 			return v, true
 		case respNotHere:
 			continue // the replica moved on; another may still hold it
@@ -206,6 +230,9 @@ func (d *DirectReader) TryRead(ctx context.Context, user uint32) (View, bool) {
 	}
 	d.Invalidate(user)
 	d.stale.Add(1)
+	if !fenced {
+		d.ctrFallbck.Inc()
+	}
 	return View{}, false
 }
 

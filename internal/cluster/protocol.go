@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"dynasore/internal/membership"
+	"dynasore/internal/telemetry"
 	"dynasore/internal/wal"
 )
 
@@ -111,12 +112,26 @@ const (
 	// write reaches its origin broker's store before the ack, so the max
 	// over live peers' answers is a floor no cache fill may go below.
 	opViewPull
+
+	// opSyncWriteTraced is opSyncWrite re-framed with an explicit payload
+	// length so a trace context can ride behind the event: the replication
+	// fan-out uses it for sampled writes (and only those), so a trace a
+	// client minted is visible on every peer broker the write touched.
+	// Peers that predate tracing reject the unknown op; the sender falls
+	// back to plain opSyncWrite and the write still replicates.
+	opSyncWriteTraced
 )
 
 // Protocol versions.
 const (
 	protoV1 = 1
 	protoV2 = 2
+	// protoV3 keeps v2's framing and widths but makes every opRead and
+	// opWrite body end in a mandatory 17-byte trace context (see
+	// internal/telemetry), zero-valued when the request is unsampled.
+	// Negotiation picks min(offered, protoV3), so a v3 client downgrades
+	// cleanly against a v2 broker and vice versa.
+	protoV3 = 3
 )
 
 const (
@@ -214,7 +229,8 @@ func helloBody(maxVersion uint8) []byte {
 	return append(helloMagic[:], maxVersion)
 }
 
-// parseHello validates an opHello body and picks the version to speak.
+// parseHello validates an opHello body and picks the version to speak:
+// the highest both sides support, i.e. min(offered, protoV3).
 func parseHello(body []byte) (uint8, error) {
 	if len(body) < 5 || [4]byte(body[0:4]) != helloMagic {
 		return 0, ErrBadFrame
@@ -223,29 +239,34 @@ func parseHello(body []byte) (uint8, error) {
 	if offered < protoV2 {
 		return 0, ErrBadVersion
 	}
-	return protoV2, nil
+	if offered > protoV3 {
+		return protoV3, nil
+	}
+	return offered, nil
 }
 
-// clientHello negotiates protocol v2 on a fresh connection. The handshake
-// itself uses v1 framing; every later frame on the connection is v2.
-func clientHello(conn net.Conn) error {
-	if err := writeFrame(conn, opHello, helloBody(protoV2)); err != nil {
-		return fmt.Errorf("cluster: send hello: %w", err)
+// clientHello negotiates the protocol version on a fresh connection and
+// returns what the server picked (protoV2 or protoV3). The handshake
+// itself uses v1 framing; every later frame on the connection uses v2
+// framing (v3 changes request bodies, not frames).
+func clientHello(conn net.Conn) (int, error) {
+	if err := writeFrame(conn, opHello, helloBody(protoV3)); err != nil {
+		return 0, fmt.Errorf("cluster: send hello: %w", err)
 	}
 	msgType, body, err := readFrame(conn)
 	if err != nil {
-		return fmt.Errorf("cluster: read hello reply: %w", err)
+		return 0, fmt.Errorf("cluster: read hello reply: %w", err)
 	}
 	switch msgType {
 	case respHello:
-		if len(body) < 1 || body[0] != protoV2 {
-			return ErrBadVersion
+		if len(body) < 1 || body[0] < protoV2 || body[0] > protoV3 {
+			return 0, ErrBadVersion
 		}
-		return nil
+		return int(body[0]), nil
 	case respError:
-		return asRemoteError(body)
+		return 0, asRemoteError(body)
 	default:
-		return ErrBadVersion
+		return 0, ErrBadVersion
 	}
 }
 
@@ -272,7 +293,7 @@ func serveFrames(conn net.Conn, handle handlerFunc) {
 		if err := writeFrame(conn, respHello, []byte{version}); err != nil {
 			return
 		}
-		serveV2(conn, handle)
+		serveV2(conn, int(version), handle)
 		return
 	}
 	for {
@@ -287,10 +308,12 @@ func serveFrames(conn net.Conn, handle handlerFunc) {
 	}
 }
 
-// serveV2 runs the multiplexed loop: requests are dispatched concurrently
-// (bounded by maxInflight) and responses serialized by a write mutex, each
-// tagged with the ID of the request it answers.
-func serveV2(conn net.Conn, handle handlerFunc) {
+// serveV2 runs the multiplexed loop for a negotiated v2+ connection:
+// requests are dispatched concurrently (bounded by maxInflight) and
+// responses serialized by a write mutex, each tagged with the ID of the
+// request it answers. The negotiated version reaches every handler so v3
+// connections can strip the mandatory trace suffix.
+func serveV2(conn net.Conn, version int, handle handlerFunc) {
 	var (
 		//dynalint:allow lockio the response mutex exists to keep concurrent handler replies from interleaving on the socket
 		wmu sync.Mutex
@@ -307,7 +330,7 @@ func serveV2(conn net.Conn, handle handlerFunc) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			respType, respBody := handle(protoV2, msgType, body)
+			respType, respBody := handle(version, msgType, body)
 			wmu.Lock()
 			err := writeFrameV2(conn, respType, id, respBody)
 			wmu.Unlock()
@@ -627,6 +650,53 @@ func decodeAccessReport(body []byte) (sender uint32, reads []reportRead, writes 
 		rest = rest[8:]
 	}
 	return sender, reads, writes, nil
+}
+
+// splitTraceSuffix separates the mandatory 17-byte trace context a v3
+// peer appends to every opRead and opWrite body from the structured
+// payload ahead of it. The context is zero-valued (unsampled) on the
+// overwhelming majority of requests; a body too short to carry the
+// suffix is malformed.
+func splitTraceSuffix(body []byte) ([]byte, telemetry.TraceContext, error) {
+	if len(body) < telemetry.TraceContextLen {
+		return nil, telemetry.TraceContext{}, ErrBadFrame
+	}
+	cut := len(body) - telemetry.TraceContextLen
+	tc, _ := telemetry.DecodeTraceContext(body[cut:])
+	return body[:cut], tc, nil
+}
+
+// encodeSyncWriteTraced builds an opSyncWriteTraced body: the opSyncWrite
+// fields re-framed with an explicit payload length so a trace context can
+// ride behind the event:
+// uint32(user) | uint64(seq) | uint64(at) | uint32(plen) | payload | trace.
+func encodeSyncWriteTraced(user uint32, seq uint64, at int64, payload []byte, tc telemetry.TraceContext) []byte {
+	buf := make([]byte, 0, 24+len(payload)+telemetry.TraceContextLen)
+	buf = binary.LittleEndian.AppendUint32(buf, user)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(at))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return telemetry.AppendTraceContext(buf, tc)
+}
+
+// decodeSyncWriteTraced parses an opSyncWriteTraced body. The payload
+// aliases the frame buffer; callers that retain it must copy.
+func decodeSyncWriteTraced(body []byte) (user uint32, seq uint64, at int64, payload []byte, tc telemetry.TraceContext, err error) {
+	if len(body) < 24 {
+		return 0, 0, 0, nil, telemetry.TraceContext{}, ErrBadFrame
+	}
+	user = binary.LittleEndian.Uint32(body[0:4])
+	seq = binary.LittleEndian.Uint64(body[4:12])
+	at = int64(binary.LittleEndian.Uint64(body[12:20]))
+	plen := binary.LittleEndian.Uint32(body[20:24])
+	rest := body[24:]
+	if plen > maxEventLen || int64(plen) > int64(len(rest)) {
+		return 0, 0, 0, nil, telemetry.TraceContext{}, ErrBadFrame
+	}
+	payload = rest[:plen]
+	tc, _ = telemetry.DecodeTraceContext(rest[plen:])
+	return user, seq, at, payload, tc, nil
 }
 
 // encodeSyncWrite builds an opSyncWrite body: one durably sequenced event

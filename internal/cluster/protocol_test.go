@@ -78,8 +78,11 @@ func TestParseHello(t *testing.T) {
 	if v, err := parseHello(helloBody(protoV2)); err != nil || v != protoV2 {
 		t.Errorf("parseHello(valid) = %d, %v", v, err)
 	}
-	if v, err := parseHello(helloBody(9)); err != nil || v != protoV2 {
-		t.Errorf("future client version: = %d, %v, want downgrade to v2", v, err)
+	if v, err := parseHello(helloBody(protoV3)); err != nil || v != protoV3 {
+		t.Errorf("parseHello(v3) = %d, %v", v, err)
+	}
+	if v, err := parseHello(helloBody(9)); err != nil || v != protoV3 {
+		t.Errorf("future client version: = %d, %v, want downgrade to v3", v, err)
 	}
 	if _, err := parseHello([]byte("XXXX\x02")); !errors.Is(err, ErrBadFrame) {
 		t.Errorf("bad magic: err = %v, want ErrBadFrame", err)

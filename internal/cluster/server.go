@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dynasore/internal/telemetry"
 )
 
 // serverShardCount is the number of independently locked view-map shards a
@@ -60,6 +62,13 @@ type Server struct {
 	epoch       atomic.Uint64
 	directReads atomic.Int64
 	directStale atomic.Int64
+
+	// tel records per-op latency and hosts the spans sampled requests
+	// leave behind (trace contexts arrive as trailers on get/put bodies).
+	tel        *telemetry.Node
+	getHist    *telemetry.Histogram
+	putHist    *telemetry.Histogram
+	directHist *telemetry.Histogram
 }
 
 // shardOf selects the lock stripe holding user's view. The multiplicative
@@ -77,6 +86,10 @@ func NewServer(addr string) (*Server, error) {
 		return nil, fmt.Errorf("cluster: listen: %w", err)
 	}
 	s := &Server{ln: ln, active: make(map[net.Conn]struct{})}
+	s.tel = telemetry.Default()
+	s.getHist = s.tel.Histogram("dynasore_server_op_seconds", "Cache-server op latency.", "op", "get")
+	s.putHist = s.tel.Histogram("dynasore_server_op_seconds", "Cache-server op latency.", "op", "put")
+	s.directHist = s.tel.Histogram("dynasore_server_op_seconds", "Cache-server op latency.", "op", "direct_get")
 	for i := range s.shards {
 		s.shards[i].views = make(map[uint32]cachedView)
 	}
@@ -161,8 +174,15 @@ func (s *Server) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		if len(body) < 4 {
 			return respError, errorBody("short get")
 		}
+		start := time.Now()
 		user := binary.LittleEndian.Uint32(body[0:4])
+		// Tracing brokers append a trace context after the user ID; the
+		// fixed-offset decode above never sees it.
+		sp := s.tel.StartSpan(trailerTrace(body, 4), "server.get")
 		v, ok := s.lookup(user)
+		sp.Stage("lookup")
+		sp.End()
+		s.getHist.Observe(time.Since(start))
 		if !ok {
 			s.misses.Add(1)
 			return respMiss, nil
@@ -173,6 +193,7 @@ func (s *Server) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		if len(body) < 4 {
 			return respError, errorBody("short put")
 		}
+		start := time.Now()
 		user := binary.LittleEndian.Uint32(body[0:4])
 		v, rest, err := decodeView(body[4:])
 		if err != nil {
@@ -180,17 +201,24 @@ func (s *Server) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 		}
 		// Newer brokers append the fencing metadata after the view; the
 		// epoch piggybacking on every put keeps a busy server fenced
-		// correctly even if it missed an explicit epoch push.
+		// correctly even if it missed an explicit epoch push. Tracing
+		// brokers append a trace context behind the metadata.
 		epoch, placement := decodePutMeta(rest)
+		sp := s.tel.StartSpan(trailerTrace(rest, 16), "server.put")
 		s.noteEpoch(epoch)
 		s.install(user, v, placement)
+		sp.Stage("install")
+		sp.End()
 		s.puts.Add(1)
+		s.putHist.Observe(time.Since(start))
 		return respOK, nil
 	case opDirectGet:
 		user, epoch, placement, err := decodeDirectGet(body)
 		if err != nil {
 			return respError, errorBody("short direct get")
 		}
+		start := time.Now()
+		defer func() { s.directHist.Observe(time.Since(start)) }()
 		se := s.epoch.Load()
 		if se == 0 || epoch != se {
 			// Either this server cannot prove any lease current (it has
@@ -239,6 +267,18 @@ func (s *Server) handle(version int, msgType uint8, body []byte) (uint8, []byte)
 	default:
 		return respError, errorBody("unknown op")
 	}
+}
+
+// trailerTrace extracts the optional trace context a tracing sender
+// appended to a v1 request body, sitting at offset after (the end of the
+// structured payload the receiver's decoder stops at). Bodies without
+// the trailer yield the zero (unsampled) context.
+func trailerTrace(b []byte, after int) telemetry.TraceContext {
+	if len(b) < after+telemetry.TraceContextLen {
+		return telemetry.TraceContext{}
+	}
+	tc, _ := telemetry.DecodeTraceContext(b[after : after+telemetry.TraceContextLen])
+	return tc
 }
 
 // NumViews returns how many views the server currently holds.
@@ -432,7 +472,17 @@ func (c *serverConn) close() {
 
 // getView fetches a view from the server; ok is false on a cache miss.
 func (c *serverConn) getView(user uint32) (View, bool, error) {
+	return c.getViewTraced(user, telemetry.TraceContext{})
+}
+
+// getViewTraced is getView carrying a trace context: sampled requests
+// ride as a trailer behind the user ID (invisible to servers that
+// predate tracing), so the cache server's span joins the trace.
+func (c *serverConn) getViewTraced(user uint32, tc telemetry.TraceContext) (View, bool, error) {
 	body := binary.LittleEndian.AppendUint32(nil, user)
+	if tc.Sampled() {
+		body = telemetry.AppendTraceContext(body, tc)
+	}
 	respType, respBody, err := c.roundTrip(opGetView, body)
 	if err != nil {
 		return View{}, false, err
@@ -460,9 +510,19 @@ func (c *serverConn) putView(user uint32, v View) error {
 // putViewMeta installs a view replica stamped with the direct-read fencing
 // tokens: the broker's membership epoch and the user's placement version.
 func (c *serverConn) putViewMeta(user uint32, v View, epoch, placement uint64) error {
+	return c.putViewTraced(user, v, epoch, placement, telemetry.TraceContext{})
+}
+
+// putViewTraced is putViewMeta carrying a trace context: sampled writes
+// append it behind the fencing metadata so the cache server's put span
+// joins the trace. Unsampled contexts add no bytes.
+func (c *serverConn) putViewTraced(user uint32, v View, epoch, placement uint64, tc telemetry.TraceContext) error {
 	body := binary.LittleEndian.AppendUint32(nil, user)
 	body = encodeView(body, v)
 	body = appendPutMeta(body, epoch, placement)
+	if tc.Sampled() {
+		body = telemetry.AppendTraceContext(body, tc)
+	}
 	return c.putViewBody(body)
 }
 

@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"dynasore/internal/gwconfig"
+	"dynasore/internal/promtext"
+	"dynasore/internal/telemetry"
 	"dynasore/pkg/dynasore"
 )
 
@@ -113,7 +115,7 @@ func (g *Gateway) instrument(route string, h http.HandlerFunc) http.Handler {
 			if sw.status == 0 {
 				sw.status = http.StatusInternalServerError // panic unwound past us
 			}
-			hist.observe(time.Since(start))
+			hist.Observe(time.Since(start))
 			g.metrics.countRequest(route, r.Method, sw.status)
 			g.metrics.inFlight.Add(-1)
 		}()
@@ -239,13 +241,23 @@ func storeCounters(st dynasore.Stats) []struct {
 	}
 }
 
-// handleMetrics renders the full scrape: the gateway's own series, then
-// the store's counters and the membership epoch. A broker outage does
-// not fail the scrape — it shows as dsgate_store_up 0 with the
-// dynasore_* series absent.
+// brokerStatser is the optional per-broker stats surface of a store
+// (ClusterClient has it); when present, /metrics attributes op counts to
+// each broker address instead of only the cluster sum.
+type brokerStatser interface {
+	StatsPerBroker(ctx context.Context) ([]dynasore.BrokerStats, error)
+}
+
+// handleMetrics renders the full scrape: the gateway's own series, the
+// process-wide telemetry histograms (client-side op latency, direct-read
+// ladder counters), then the store's counters, per-broker attribution
+// when available, and the membership epoch. A broker outage does not
+// fail the scrape — it shows as dsgate_store_up 0 with the dynasore_*
+// series absent.
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	g.metrics.writeMetrics(&b)
+	telemetry.Default().WriteMetrics(&b)
 
 	st, err := g.store.Stats(r.Context())
 	up := 0
@@ -258,6 +270,18 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err == nil {
 		for _, c := range storeCounters(st) {
 			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
+		}
+		if bs, ok := g.store.(brokerStatser); ok {
+			if per, perErr := bs.StatsPerBroker(r.Context()); perErr == nil {
+				promtext.WriteHeader(&b, "dynasore_broker_ops_total",
+					"counter", "Per-broker lifetime operation counts by kind.")
+				for _, p := range per {
+					promtext.WriteInt(&b, "dynasore_broker_ops_total",
+						promtext.Labels("broker", p.Addr, "op", "read"), p.Stats.Reads)
+					promtext.WriteInt(&b, "dynasore_broker_ops_total",
+						promtext.Labels("broker", p.Addr, "op", "write"), p.Stats.Writes)
+				}
+			}
 		}
 		fmt.Fprintf(&b, "# HELP dynasore_membership_epoch Current membership epoch of the cluster.\n")
 		fmt.Fprintf(&b, "# TYPE dynasore_membership_epoch gauge\n")

@@ -1,44 +1,15 @@
 package gateway
 
 import (
-	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"dynasore/internal/promtext"
+	"dynasore/internal/telemetry"
 )
-
-// latencyBuckets are the upper bounds (seconds) of the request-duration
-// histograms, exponential from half a millisecond to ten seconds; +Inf is
-// implicit. The range brackets both the direct-read fast path (hundreds of
-// microseconds) and a WAL-fsync write under load.
-var latencyBuckets = []float64{
-	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
-}
-
-// histogram is a fixed-bucket latency histogram in the Prometheus style:
-// cumulative bucket counts, a running sum, and a total count, all updated
-// lock-free on the request path.
-type histogram struct {
-	counts   []atomic.Int64 // one per bucket, non-cumulative; rendered cumulative
-	sumNanos atomic.Int64
-	count    atomic.Int64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets)+1)}
-}
-
-// observe records one request duration.
-func (h *histogram) observe(d time.Duration) {
-	secs := d.Seconds()
-	i := sort.SearchFloat64s(latencyBuckets, secs)
-	h.counts[i].Add(1)
-	h.sumNanos.Add(int64(d))
-	h.count.Add(1)
-}
 
 // routeKey identifies one labelled requests_total series.
 type routeKey struct {
@@ -50,15 +21,21 @@ type routeKey struct {
 // metricSet is the gateway's own telemetry: per-route latency histograms,
 // per-route/method/code request counters, the in-flight gauge, and the
 // middleware counters. Route histograms are pre-registered at mux build
-// time, so the request path never takes the registry lock for them.
+// time, so the request path never takes the registry lock for them. The
+// histograms live in a private telemetry Node (the gateway is one
+// process of many on an edge box; its route series must not leak into a
+// co-resident node's /metrics), and everything renders through promtext
+// so the exposition format cannot drift from the ops listeners'.
 type metricSet struct {
 	inFlight    atomic.Int64
 	authReject  atomic.Int64
 	rateLimited atomic.Int64
 	panics      atomic.Int64
 
+	tel *telemetry.Node
+
 	histMu sync.Mutex
-	hists  map[string]*histogram
+	hists  map[string]*telemetry.Histogram
 
 	countMu sync.Mutex
 	counts  map[routeKey]*atomic.Int64
@@ -66,18 +43,19 @@ type metricSet struct {
 
 func newMetricSet() *metricSet {
 	return &metricSet{
-		hists:  make(map[string]*histogram),
+		tel:    telemetry.New(),
+		hists:  make(map[string]*telemetry.Histogram),
 		counts: make(map[routeKey]*atomic.Int64),
 	}
 }
 
 // histFor returns (registering if needed) the latency histogram of route.
-func (m *metricSet) histFor(route string) *histogram {
+func (m *metricSet) histFor(route string) *telemetry.Histogram {
 	m.histMu.Lock()
 	defer m.histMu.Unlock()
 	h, ok := m.hists[route]
 	if !ok {
-		h = newHistogram()
+		h = m.tel.Histogram("dsgate_http_request_duration_seconds", "Request latency by route.", "route", route)
 		m.hists[route] = h
 	}
 	return h
@@ -99,21 +77,17 @@ func (m *metricSet) countRequest(route, method string, code int) {
 // writeMetrics renders the gateway-side series in Prometheus text
 // exposition format (stable ordering, so scrapes diff cleanly).
 func (m *metricSet) writeMetrics(b *strings.Builder) {
-	fmt.Fprintf(b, "# HELP dsgate_http_in_flight_requests Requests currently being handled.\n")
-	fmt.Fprintf(b, "# TYPE dsgate_http_in_flight_requests gauge\n")
-	fmt.Fprintf(b, "dsgate_http_in_flight_requests %d\n", m.inFlight.Load())
+	promtext.WriteHeader(b, "dsgate_http_in_flight_requests", "gauge", "Requests currently being handled.")
+	promtext.WriteInt(b, "dsgate_http_in_flight_requests", "", m.inFlight.Load())
 
-	fmt.Fprintf(b, "# HELP dsgate_auth_rejected_total Requests rejected by the auth middleware.\n")
-	fmt.Fprintf(b, "# TYPE dsgate_auth_rejected_total counter\n")
-	fmt.Fprintf(b, "dsgate_auth_rejected_total %d\n", m.authReject.Load())
+	promtext.WriteHeader(b, "dsgate_auth_rejected_total", "counter", "Requests rejected by the auth middleware.")
+	promtext.WriteInt(b, "dsgate_auth_rejected_total", "", m.authReject.Load())
 
-	fmt.Fprintf(b, "# HELP dsgate_rate_limited_total Requests rejected by the ratelimit middleware.\n")
-	fmt.Fprintf(b, "# TYPE dsgate_rate_limited_total counter\n")
-	fmt.Fprintf(b, "dsgate_rate_limited_total %d\n", m.rateLimited.Load())
+	promtext.WriteHeader(b, "dsgate_rate_limited_total", "counter", "Requests rejected by the ratelimit middleware.")
+	promtext.WriteInt(b, "dsgate_rate_limited_total", "", m.rateLimited.Load())
 
-	fmt.Fprintf(b, "# HELP dsgate_panics_recovered_total Handler panics converted to 500s by the recover middleware.\n")
-	fmt.Fprintf(b, "# TYPE dsgate_panics_recovered_total counter\n")
-	fmt.Fprintf(b, "dsgate_panics_recovered_total %d\n", m.panics.Load())
+	promtext.WriteHeader(b, "dsgate_panics_recovered_total", "counter", "Handler panics converted to 500s by the recover middleware.")
+	promtext.WriteInt(b, "dsgate_panics_recovered_total", "", m.panics.Load())
 
 	m.countMu.Lock()
 	keys := make([]routeKey, 0, len(m.counts))
@@ -130,14 +104,13 @@ func (m *metricSet) writeMetrics(b *strings.Builder) {
 		}
 		return keys[i].code < keys[j].code
 	})
-	fmt.Fprintf(b, "# HELP dsgate_http_requests_total Completed requests by route, method, and status code.\n")
-	fmt.Fprintf(b, "# TYPE dsgate_http_requests_total counter\n")
+	promtext.WriteHeader(b, "dsgate_http_requests_total", "counter", "Completed requests by route, method, and status code.")
 	for _, k := range keys {
 		m.countMu.Lock()
 		c := m.counts[k]
 		m.countMu.Unlock()
-		fmt.Fprintf(b, "dsgate_http_requests_total{route=%q,method=%q,code=\"%d\"} %d\n",
-			k.route, k.method, k.code, c.Load())
+		promtext.WriteInt(b, "dsgate_http_requests_total",
+			promtext.Labels("route", k.route, "method", k.method, "code", strconv.Itoa(k.code)), c.Load())
 	}
 
 	m.histMu.Lock()
@@ -147,28 +120,11 @@ func (m *metricSet) writeMetrics(b *strings.Builder) {
 	}
 	m.histMu.Unlock()
 	sort.Strings(routes)
-	fmt.Fprintf(b, "# HELP dsgate_http_request_duration_seconds Request latency by route.\n")
-	fmt.Fprintf(b, "# TYPE dsgate_http_request_duration_seconds histogram\n")
+	promtext.WriteHeader(b, "dsgate_http_request_duration_seconds", "histogram", "Request latency by route.")
 	for _, route := range routes {
 		m.histMu.Lock()
 		h := m.hists[route]
 		m.histMu.Unlock()
-		cum := int64(0)
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(b, "dsgate_http_request_duration_seconds_bucket{route=%q,le=\"%s\"} %d\n",
-				route, formatBucket(ub), cum)
-		}
-		cum += h.counts[len(latencyBuckets)].Load()
-		fmt.Fprintf(b, "dsgate_http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
-		fmt.Fprintf(b, "dsgate_http_request_duration_seconds_sum{route=%q} %g\n",
-			route, float64(h.sumNanos.Load())/1e9)
-		fmt.Fprintf(b, "dsgate_http_request_duration_seconds_count{route=%q} %d\n", route, h.count.Load())
+		promtext.WriteHistogram(b, "dsgate_http_request_duration_seconds", promtext.Labels("route", route), h.Snapshot())
 	}
-}
-
-// formatBucket renders a bucket bound the way Prometheus clients expect
-// (no trailing zeros, no scientific notation for these magnitudes).
-func formatBucket(f float64) string {
-	return strconv.FormatFloat(f, 'g', -1, 64)
 }

@@ -1,0 +1,138 @@
+// Package promtext renders metrics in the Prometheus text exposition
+// format without any dependency beyond the standard library. It is the
+// one place the repo's escaping, bucket-formatting, and histogram
+// monotonicity rules live: the HTTP gateway's /metrics and every
+// dynasore-node ops listener render through it, so the two surfaces can
+// never drift apart.
+//
+// The renderer is deliberately snapshot-based: callers collect their
+// counters into plain values (or a Hist) first, then write — no locks
+// are ever held across the formatting calls.
+package promtext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DefaultLatencyBuckets are the upper bounds (seconds) of the repo's
+// latency histograms, exponential from half a millisecond to ten
+// seconds; +Inf is implicit. The range brackets both the direct-read
+// fast path (hundreds of microseconds) and a WAL-fsync write under
+// load.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Hist is one histogram series snapshot: per-bucket counts
+// (non-cumulative — one per upper bound, plus a final overflow bucket
+// rendered as +Inf), the sum of observations in seconds, and the total
+// observation count. WriteHistogram renders the counts cumulatively,
+// as the exposition format requires.
+type Hist struct {
+	// Buckets are the upper bounds in seconds, ascending.
+	Buckets []float64
+	// Counts holds len(Buckets)+1 non-cumulative counts; the last is
+	// the +Inf overflow bucket.
+	Counts []int64
+	// SumSeconds is the sum of all observed values, in seconds.
+	SumSeconds float64
+	// Count is the total number of observations.
+	Count int64
+}
+
+// WriteHeader writes the # HELP and # TYPE lines of one metric family.
+func WriteHeader(b *strings.Builder, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// WriteInt writes one integer-valued sample line. labels is the
+// rendered label body without braces (see Labels), or "" for an
+// unlabelled series.
+func WriteInt(b *strings.Builder, name, labels string, v int64) {
+	b.WriteString(name)
+	writeLabels(b, labels)
+	fmt.Fprintf(b, " %d\n", v)
+}
+
+// WriteUint writes one unsigned-integer sample line.
+func WriteUint(b *strings.Builder, name, labels string, v uint64) {
+	b.WriteString(name)
+	writeLabels(b, labels)
+	fmt.Fprintf(b, " %d\n", v)
+}
+
+// WriteFloat writes one float-valued sample line with %g formatting.
+func WriteFloat(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	writeLabels(b, labels)
+	fmt.Fprintf(b, " %g\n", v)
+}
+
+// WriteHistogram renders one histogram series: cumulative _bucket lines
+// (ending with le="+Inf"), then _sum and _count. labels is the rendered
+// label body without braces, merged ahead of the le label.
+func WriteHistogram(b *strings.Builder, name, labels string, h Hist) {
+	cum := int64(0)
+	for i, ub := range h.Buckets {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		writeBucket(b, name, labels, FormatBucket(ub), cum)
+	}
+	if len(h.Counts) > len(h.Buckets) {
+		cum += h.Counts[len(h.Buckets)]
+	}
+	writeBucket(b, name, labels, "+Inf", cum)
+	fmt.Fprintf(b, "%s_sum", name)
+	writeLabels(b, labels)
+	fmt.Fprintf(b, " %g\n", h.SumSeconds)
+	fmt.Fprintf(b, "%s_count", name)
+	writeLabels(b, labels)
+	fmt.Fprintf(b, " %d\n", h.Count)
+}
+
+// writeBucket writes one cumulative _bucket line.
+func writeBucket(b *strings.Builder, name, labels, le string, cum int64) {
+	fmt.Fprintf(b, "%s_bucket", name)
+	if labels == "" {
+		fmt.Fprintf(b, "{le=%q}", le)
+	} else {
+		fmt.Fprintf(b, "{%s,le=%q}", labels, le)
+	}
+	fmt.Fprintf(b, " %d\n", cum)
+}
+
+// writeLabels writes a brace-wrapped label body, or nothing for "".
+func writeLabels(b *strings.Builder, labels string) {
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+}
+
+// Labels renders alternating key, value pairs as a label body —
+// `k1="v1",k2="v2"` — with values quoted and escaped the way the
+// exposition format requires. A trailing key without a value is
+// dropped.
+func Labels(pairs ...string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(pairs[i+1]))
+	}
+	return b.String()
+}
+
+// FormatBucket renders a bucket bound the way Prometheus clients expect
+// (no trailing zeros, no scientific notation for these magnitudes).
+func FormatBucket(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,83 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabels(t *testing.T) {
+	if got := Labels(); got != "" {
+		t.Fatalf("Labels() = %q, want empty", got)
+	}
+	if got := Labels("route", `/v1/feed/{user}`); got != `route="/v1/feed/{user}"` {
+		t.Fatalf("Labels = %q", got)
+	}
+	if got := Labels("a", "x", "b", `quo"te`); got != `a="x",b="quo\"te"` {
+		t.Fatalf("Labels = %q", got)
+	}
+	// A trailing key without a value is dropped, not rendered half-formed.
+	if got := Labels("a", "x", "orphan"); got != `a="x"` {
+		t.Fatalf("Labels = %q", got)
+	}
+}
+
+func TestWriteSamples(t *testing.T) {
+	var b strings.Builder
+	WriteHeader(&b, "ds_test_total", "counter", "A test counter.")
+	WriteInt(&b, "ds_test_total", "", 7)
+	WriteUint(&b, "ds_test_total", Labels("k", "v"), 9)
+	WriteFloat(&b, "ds_test_seconds", "", 0.25)
+	want := "# HELP ds_test_total A test counter.\n" +
+		"# TYPE ds_test_total counter\n" +
+		"ds_test_total 7\n" +
+		`ds_test_total{k="v"} 9` + "\n" +
+		"ds_test_seconds 0.25\n"
+	if b.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestWriteHistogram pins the exact exposition bytes: cumulative
+// buckets, a closing +Inf, then _sum and _count — the shape the CI
+// smoke jobs grep for.
+func TestWriteHistogram(t *testing.T) {
+	h := Hist{
+		Buckets:    []float64{0.0005, 0.001},
+		Counts:     []int64{2, 1, 3},
+		SumSeconds: 0.5,
+		Count:      6,
+	}
+	var b strings.Builder
+	WriteHistogram(&b, "ds_lat_seconds", Labels("op", "read"), h)
+	want := `ds_lat_seconds_bucket{op="read",le="0.0005"} 2` + "\n" +
+		`ds_lat_seconds_bucket{op="read",le="0.001"} 3` + "\n" +
+		`ds_lat_seconds_bucket{op="read",le="+Inf"} 6` + "\n" +
+		`ds_lat_seconds_sum{op="read"} 0.5` + "\n" +
+		`ds_lat_seconds_count{op="read"} 6` + "\n"
+	if b.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestWriteHistogramUnlabelled(t *testing.T) {
+	h := Hist{Buckets: []float64{1}, Counts: []int64{1, 0}, SumSeconds: 0.1, Count: 1}
+	var b strings.Builder
+	WriteHistogram(&b, "ds_lat_seconds", "", h)
+	want := `ds_lat_seconds_bucket{le="1"} 1` + "\n" +
+		`ds_lat_seconds_bucket{le="+Inf"} 1` + "\n" +
+		"ds_lat_seconds_sum 0.1\n" +
+		"ds_lat_seconds_count 1\n"
+	if b.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestFormatBucket(t *testing.T) {
+	for in, want := range map[float64]string{
+		0.0005: "0.0005", 0.25: "0.25", 1: "1", 10: "10",
+	} {
+		if got := FormatBucket(in); got != want {
+			t.Fatalf("FormatBucket(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"dynasore/internal/cluster"
 	"dynasore/internal/membership"
+	"dynasore/internal/telemetry"
 )
 
 // Rig is the in-process cluster a scenario runs against: N brokers (one
@@ -38,6 +39,10 @@ type brokerSlot struct {
 	addr string
 	dir  string
 	b    *cluster.Broker // nil while killed
+	// tel is the slot's private telemetry node: per-broker histogram and
+	// span isolation for the telemetry invariant, surviving kill/restart
+	// (a restarted broker keeps accumulating into its slot's counts).
+	tel *telemetry.Node
 }
 
 type serverSlot struct {
@@ -94,7 +99,7 @@ func NewRig(brokers, servers int) (*Rig, error) {
 			ln.Close()
 			return nil, err
 		}
-		r.brokers = append(r.brokers, brokerSlot{addr: ln.Addr().String(), dir: dir})
+		r.brokers = append(r.brokers, brokerSlot{addr: ln.Addr().String(), dir: dir, tel: telemetry.New()})
 		r.peers = append(r.peers, cluster.PeerInfo{
 			Addr: ln.Addr().String(),
 			Pos:  cluster.Position{Zone: i, Rack: 0},
@@ -144,7 +149,27 @@ func (r *Rig) startBroker(i int, ln net.Listener) (*cluster.Broker, error) {
 		SyncEvery:       rigSyncEvery,
 		PolicyEvery:     rigPolicyEvery,
 		CheckpointEvery: rigCheckpointEvery,
+		Telemetry:       r.brokers[i].tel,
 	})
+}
+
+// BrokerTelemetry returns broker i's private telemetry node — the one its
+// op histograms and trace ring live in. The node outlives kill/restart
+// cycles, so counts accumulate across a broker's whole scenario lifetime.
+func (r *Rig) BrokerTelemetry(i int) *telemetry.Node { return r.brokers[i].tel }
+
+// BrokerOpCount sums, across every broker, how many ops of the given kind
+// ("read", "write", "lease", "stats", "sync_write") the broker tier has
+// observed in its dynasore_broker_op_seconds histograms. This is the
+// accounting side of the telemetry invariant: in a fault-free run, every
+// client-acknowledged op is observed by exactly one broker.
+func (r *Rig) BrokerOpCount(op string) int64 {
+	var n int64
+	for i := range r.brokers {
+		h := r.brokers[i].tel.Histogram("dynasore_broker_op_seconds", "Broker op latency by operation.", "op", op)
+		n += h.Snapshot().Count
+	}
+	return n
 }
 
 // NumBrokers reports the broker count, live or not.

@@ -7,7 +7,7 @@
 // writes, no wrong-version reads, epoch monotonicity, and a direct-hit
 // ratio floor for direct-read scenarios.
 //
-// Four named scenarios ship as acceptance tests (see Scenarios) and double
+// Five named scenarios ship as acceptance tests (see Scenarios) and double
 // as load scripts for a live TCP cluster via `dsload -scenario <name>`. The
 // same timelines are the acceptance bar for every later membership feature:
 // a scenario is a Scenario value — population shape plus an ordered list of

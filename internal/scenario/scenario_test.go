@@ -7,7 +7,7 @@ import (
 
 // runAcceptance executes one named scenario at a reduced-but-honest
 // population and fails on any harness error or invariant violation. These
-// four tests are the PR's acceptance bar: zero lost acknowledged writes,
+// tests are the PR's acceptance bar: zero lost acknowledged writes,
 // zero wrong-version reads, monotone epochs, and each scenario's own
 // outcome assertions.
 func runAcceptance(t *testing.T, name string) {
@@ -50,13 +50,14 @@ func TestScenarioFlashCrowd(t *testing.T)           { runAcceptance(t, "flash-cr
 func TestScenarioDiurnalShift(t *testing.T)         { runAcceptance(t, "diurnal-shift") }
 func TestScenarioRollingUpgrade(t *testing.T)       { runAcceptance(t, "rolling-upgrade") }
 func TestScenarioBrokerCrashRebalance(t *testing.T) { runAcceptance(t, "broker-crash-rebalance") }
+func TestScenarioSteadyTelemetry(t *testing.T)      { runAcceptance(t, "steady-telemetry") }
 
 func TestLookupAndNames(t *testing.T) {
 	names := Names()
-	if len(names) != 4 {
-		t.Fatalf("Names() = %v, want 4 scenarios", names)
+	if len(names) != 5 {
+		t.Fatalf("Names() = %v, want 5 scenarios", names)
 	}
-	for _, want := range []string{"flash-crowd", "diurnal-shift", "rolling-upgrade", "broker-crash-rebalance"} {
+	for _, want := range []string{"flash-crowd", "diurnal-shift", "rolling-upgrade", "broker-crash-rebalance", "steady-telemetry"} {
 		if _, ok := Lookup(want); !ok {
 			t.Errorf("Lookup(%q) missing", want)
 		}

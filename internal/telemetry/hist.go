@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"dynasore/internal/promtext"
+)
+
+// Histogram is a fixed-bucket latency histogram in the Prometheus
+// style: per-bucket counts (non-cumulative; rendered cumulative on
+// scrape), a running sum, and a total count, all updated lock-free on
+// the request path. Every telemetry histogram shares the repo-wide
+// promtext.DefaultLatencyBuckets, so series from different nodes
+// aggregate cleanly.
+type Histogram struct {
+	counts   []atomic.Int64 // one per bucket, plus the +Inf overflow
+	sumNanos atomic.Int64
+	count    atomic.Int64
+}
+
+// newHistogram allocates an empty histogram over the default buckets.
+func newHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, len(promtext.DefaultLatencyBuckets)+1)}
+}
+
+// Observe records one duration. Safe for concurrent use; never blocks.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(promtext.DefaultLatencyBuckets, d.Seconds())
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count reports how many observations the histogram has recorded.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot captures the histogram for rendering. The counts are read
+// bucket by bucket without a lock: a scrape racing Observe may be off
+// by the in-flight observation, which the exposition format tolerates
+// (each scrape is still monotone per bucket).
+func (h *Histogram) Snapshot() promtext.Hist {
+	out := promtext.Hist{
+		Buckets:    promtext.DefaultLatencyBuckets,
+		Counts:     make([]int64, len(h.counts)),
+		SumSeconds: float64(h.sumNanos.Load()) / 1e9,
+		Count:      h.count.Load(),
+	}
+	for i := range h.counts {
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-th latency quantile (0 < q < 1) in seconds
+// by linear interpolation within the bucket the quantile falls in —
+// the same estimate PromQL's histogram_quantile computes. It returns 0
+// for an empty histogram; a quantile in the +Inf bucket reports the
+// largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	buckets := promtext.DefaultLatencyBuckets
+	snap := h.Snapshot()
+	if snap.Count == 0 {
+		return 0
+	}
+	rank := q * float64(snap.Count)
+	cum := int64(0)
+	for i, ub := range buckets {
+		prev := cum
+		cum += snap.Counts[i]
+		if float64(cum) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = buckets[i-1]
+			}
+			if snap.Counts[i] == 0 {
+				return ub
+			}
+			return lo + (ub-lo)*(rank-float64(prev))/float64(snap.Counts[i])
+		}
+	}
+	return buckets[len(buckets)-1]
+}
+
+// counterShards is the shard count of a Counter; a small power of two
+// so the shard pick is one mask instruction.
+const counterShards = 8
+
+// counterShard is one cache-line-padded shard of a Counter.
+type counterShard struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotone counter sharded across padded cache lines, so
+// heavily concurrent increments (every broker op, every WAL append)
+// don't serialize on one line. Reads fold the shards.
+type Counter struct {
+	shards [counterShards]counterShard
+}
+
+// Add increments the counter by delta on a per-goroutine-random shard.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.shards[rand.Uint64()&(counterShards-1)].n.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load folds the shards into the counter's current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].n.Load()
+	}
+	return total
+}

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// Handler builds the node's ops HTTP surface:
+//
+//	/metrics       Prometheus text: every registered instrument, then
+//	               each extra renderer's output (process-level series
+//	               like broker Stats counters).
+//	/healthz       liveness probe; always "ok" while the process serves.
+//	/debug/traces  recent completed spans as JSON, newest first
+//	               (?n=N bounds the count, default 64).
+//	/debug/pprof/  the standard pprof index, profile, symbol, trace.
+//
+// The handler is read-only and unauthenticated by design: it is meant
+// for a -ops-addr bound to an operations network, not the public edge.
+func (n *Node) Handler(extra ...func(*strings.Builder)) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		n.WriteMetrics(&b)
+		for _, fn := range extra {
+			if fn != nil {
+				fn(&b)
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		max := 64
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				max = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(n.Traces(max))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one node's view of a sampled request: a start time and a
+// sequence of named stages. A nil *Span is a valid no-op — call sites
+// guard nothing, so the unsampled path stays branch-free beyond the
+// initial nil.
+type Span struct {
+	node   *Node
+	tc     TraceContext
+	parent uint64
+	op     string
+	start  time.Time
+	last   time.Time
+	stages []SpanStage
+}
+
+// SpanStage is one named segment of a span: the time between the
+// previous stage boundary (or the span start) and the Stage call.
+type SpanStage struct {
+	// Name identifies the stage ("decode", "replica_get", ...).
+	Name string `json:"name"`
+	// Ms is the stage duration in milliseconds.
+	Ms float64 `json:"ms"`
+}
+
+// TraceRecord is one completed span as kept in the node's ring and
+// served by /debug/traces.
+type TraceRecord struct {
+	// TraceID and SpanID are fixed-width hex.
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	// ParentSpanID is the hex ID of the sender's span, or "" for a
+	// root span.
+	ParentSpanID string `json:"parent_span_id,omitempty"`
+	// Op names the operation ("broker.read", "server.get", ...).
+	Op string `json:"op"`
+	// Start is the span's wall-clock start.
+	Start time.Time `json:"start"`
+	// TotalMs is the end-to-end duration in milliseconds.
+	TotalMs float64 `json:"total_ms"`
+	// Slow marks spans that exceeded the slow-trace threshold.
+	Slow bool `json:"slow"`
+	// Stages is the per-stage breakdown in order.
+	Stages []SpanStage `json:"stages"`
+}
+
+// ringSize bounds the completed-span ring: enough recent traces to
+// inspect a live incident, small enough to never matter for memory.
+const ringSize = 256
+
+// recorder is the fixed ring of completed spans.
+type recorder struct {
+	mu   sync.Mutex
+	ring [ringSize]TraceRecord
+	n    int // total records ever appended
+}
+
+// push appends one completed record.
+func (r *recorder) push(rec TraceRecord) {
+	r.mu.Lock()
+	r.ring[r.n%ringSize] = rec
+	r.n++
+	r.mu.Unlock()
+}
+
+// recent returns up to max completed spans, newest first.
+func (r *recorder) recent(max int) []TraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if n > ringSize {
+		n = ringSize
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]TraceRecord, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.ring[(r.n-1-i+ringSize*2)%ringSize])
+	}
+	return out
+}
+
+// StartSpan begins a span for a sampled trace; it returns nil (a
+// no-op span) when tc is unsampled. The span's own ID is derived from
+// the sender's, which becomes its parent; propagate s.Context() to
+// downstream nodes.
+func (n *Node) StartSpan(tc TraceContext, op string) *Span {
+	if !tc.Sampled() {
+		return nil
+	}
+	now := time.Now()
+	return &Span{
+		node:   n,
+		tc:     TraceContext{TraceID: tc.TraceID, SpanID: splitmix64(tc.SpanID ^ n.idSeed), Flags: tc.Flags},
+		parent: tc.SpanID,
+		op:     op,
+		start:  now,
+		last:   now,
+	}
+}
+
+// Context returns the trace context downstream frames should carry:
+// the span's trace ID with this span as the parent. The zero context
+// is returned for a nil span, so propagation sites need no guard.
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return s.tc
+}
+
+// Stage closes the current stage under the given name: the stage's
+// duration is the time since the previous Stage call (or the span
+// start). No-op on a nil span.
+func (s *Span) Stage(name string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.stages = append(s.stages, SpanStage{Name: name, Ms: float64(now.Sub(s.last)) / 1e6})
+	s.last = now
+}
+
+// End completes the span: it lands in the node's /debug/traces ring,
+// and — beyond the slow threshold — is emitted to the slow-trace log
+// with its stage breakdown. No-op on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	total := time.Since(s.start)
+	slow := total >= time.Duration(s.node.slowNanos.Load())
+	rec := TraceRecord{
+		TraceID: fmt.Sprintf("%016x", s.tc.TraceID),
+		SpanID:  fmt.Sprintf("%016x", s.tc.SpanID),
+		Op:      s.op,
+		Start:   s.start,
+		TotalMs: float64(total) / 1e6,
+		Slow:    slow,
+		Stages:  s.stages,
+	}
+	if s.parent != 0 {
+		rec.ParentSpanID = fmt.Sprintf("%016x", s.parent)
+	}
+	s.node.rec.push(rec)
+	if slow {
+		var stages strings.Builder
+		for i, st := range s.stages {
+			if i > 0 {
+				stages.WriteByte(' ')
+			}
+			fmt.Fprintf(&stages, "%s=%.2fms", st.Name, st.Ms)
+		}
+		slog.Warn("slow trace",
+			"trace", rec.TraceID, "span", rec.SpanID, "op", s.op,
+			"total_ms", rec.TotalMs, "stages", stages.String())
+	}
+}
+
+// Traces returns up to max recently completed spans, newest first
+// (max <= 0 returns the whole ring).
+func (n *Node) Traces(max int) []TraceRecord {
+	return n.rec.recent(max)
+}

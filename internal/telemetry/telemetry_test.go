@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramHammer drives concurrent Observe against concurrent
+// Snapshot/Quantile — the -race proof that the lock-free record path
+// and the scrape path coexist.
+func TestHistogramHammer(t *testing.T) {
+	n := New()
+	h := n.Histogram("ds_test_seconds", "test", "op", "read")
+	c := n.Counter("ds_test_total", "test")
+	const workers, per = 8, 5000
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() { // concurrent scraper racing every Observe
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = h.Snapshot()
+			_ = h.Quantile(0.99)
+			var b strings.Builder
+			n.WriteMetrics(&b)
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	snap := h.Snapshot()
+	var sum int64
+	for _, v := range snap.Counts {
+		sum += v
+	}
+	if sum != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", sum, workers*per)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	n := New()
+	h := n.Histogram("ds_q_seconds", "test")
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	// 100 observations at ~2ms land in the (0.001, 0.0025] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	if q := h.Quantile(0.5); q < 0.001 || q > 0.0025 {
+		t.Fatalf("p50 = %v, want within (0.001, 0.0025]", q)
+	}
+	if q := h.Quantile(0.999); q > 0.0025 {
+		t.Fatalf("p999 = %v, want <= 0.0025", q)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var h *Histogram
+	var c *Counter
+	h.Observe(time.Second)
+	c.Inc()
+	if h.Count() != 0 || c.Load() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	var s *Span
+	s.Stage("x")
+	s.End()
+	if got := s.Context(); got != (TraceContext{}) {
+		t.Fatalf("nil span context = %+v, want zero", got)
+	}
+}
+
+func TestSampleRate(t *testing.T) {
+	n := New()
+	n.SetSampleEvery(4)
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if n.Sample().Sampled() {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("sampled %d of 400 at 1/4, want 100", sampled)
+	}
+	n.SetSampleEvery(0)
+	if n.Sample().Sampled() {
+		t.Fatal("sampling disabled but Sample returned a sampled context")
+	}
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	n := New()
+	n.SetSampleEvery(1)
+	tc := n.Sample()
+	if !tc.Sampled() {
+		t.Fatal("expected a sampled context")
+	}
+	sp := n.StartSpan(tc, "broker.read")
+	sp.Stage("decode")
+	sp.Stage("execute")
+	sp.Stage("encode")
+	// The downstream context keeps the trace ID with the span as parent.
+	down := sp.Context()
+	if down.TraceID != tc.TraceID || down.SpanID == tc.SpanID || !down.Sampled() {
+		t.Fatalf("downstream context %+v not derived from %+v", down, tc)
+	}
+	sp.End()
+	recs := n.Traces(0)
+	if len(recs) != 1 {
+		t.Fatalf("got %d trace records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Op != "broker.read" || len(r.Stages) != 3 || r.Stages[0].Name != "decode" {
+		t.Fatalf("unexpected record %+v", r)
+	}
+	if want := tc.String(); r.TraceID != want {
+		t.Fatalf("trace id %q, want %q", r.TraceID, want)
+	}
+	if n.StartSpan(TraceContext{}, "x") != nil {
+		t.Fatal("unsampled context must yield a nil span")
+	}
+}
+
+func TestTraceRingNewestFirst(t *testing.T) {
+	n := New()
+	n.SetSampleEvery(1)
+	for i := 0; i < ringSize+10; i++ {
+		sp := n.StartSpan(n.Sample(), "op")
+		sp.End()
+	}
+	recs := n.Traces(5)
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	all := n.Traces(0)
+	if len(all) != ringSize {
+		t.Fatalf("ring holds %d, want %d", len(all), ringSize)
+	}
+}
+
+func TestOpsHandler(t *testing.T) {
+	n := New()
+	n.SetSampleEvery(1)
+	n.Histogram("ds_ops_seconds", "test histogram", "op", "read").Observe(time.Millisecond)
+	sp := n.StartSpan(n.Sample(), "broker.read")
+	sp.Stage("only")
+	sp.End()
+	srv := httptest.NewServer(n.Handler(func(b *strings.Builder) {
+		b.WriteString("extra_series 1\n")
+	}))
+	defer srv.Close()
+
+	body := httpGet(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE ds_ops_seconds histogram",
+		`ds_ops_seconds_bucket{op="read",le="+Inf"} 1`,
+		`ds_ops_seconds_count{op="read"} 1`,
+		"extra_series 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	if got := httpGet(t, srv.URL+"/healthz"); got != "ok\n" {
+		t.Fatalf("/healthz = %q", got)
+	}
+	var recs []TraceRecord
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/debug/traces")), &recs); err != nil {
+		t.Fatalf("bad /debug/traces JSON: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Op != "broker.read" {
+		t.Fatalf("unexpected traces %+v", recs)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return string(body)
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	for _, tc := range []TraceContext{
+		{},
+		{TraceID: 1, SpanID: 2, Flags: FlagSampled},
+		{TraceID: ^uint64(0), SpanID: 0x0123456789abcdef, Flags: 0xff},
+	} {
+		b := AppendTraceContext(nil, tc)
+		if len(b) != TraceContextLen {
+			t.Fatalf("encoded %d bytes, want %d", len(b), TraceContextLen)
+		}
+		got, ok := DecodeTraceContext(b)
+		if !ok || got != tc {
+			t.Fatalf("round trip of %+v gave %+v (ok=%v)", tc, got, ok)
+		}
+		// A trailer at the end of a longer body decodes the same way a
+		// receiver slices it: from the suffix.
+		body := append([]byte("payload-bytes"), b...)
+		got, ok = DecodeTraceContext(body[len(body)-TraceContextLen:])
+		if !ok || got != tc {
+			t.Fatalf("suffix decode of %+v gave %+v (ok=%v)", tc, got, ok)
+		}
+	}
+}
+
+func TestTraceContextAppendsToDst(t *testing.T) {
+	prefix := []byte{0xaa, 0xbb}
+	b := AppendTraceContext(prefix, TraceContext{TraceID: 7, SpanID: 9, Flags: 1})
+	if !bytes.Equal(b[:2], prefix[:2]) || len(b) != 2+TraceContextLen {
+		t.Fatalf("AppendTraceContext mangled dst: %x", b)
+	}
+}
+
+func TestDecodeTraceContextShort(t *testing.T) {
+	for n := 0; n < TraceContextLen; n++ {
+		if _, ok := DecodeTraceContext(make([]byte, n)); ok {
+			t.Fatalf("decoded from %d bytes", n)
+		}
+	}
+}
+
+func TestSampledFlag(t *testing.T) {
+	if (TraceContext{}).Sampled() {
+		t.Fatal("zero context must be unsampled")
+	}
+	if !(TraceContext{Flags: FlagSampled}).Sampled() {
+		t.Fatal("FlagSampled context must be sampled")
+	}
+}
+
+// FuzzDecodeTraceContext asserts the decoder never panics and that
+// every successful decode re-encodes to the exact input prefix.
+func FuzzDecodeTraceContext(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, TraceContextLen-1))
+	f.Add(AppendTraceContext(nil, TraceContext{TraceID: 42, SpanID: 7, Flags: FlagSampled}))
+	f.Add(AppendTraceContext(nil, TraceContext{TraceID: ^uint64(0), Flags: 0x80}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tc, ok := DecodeTraceContext(data)
+		if !ok {
+			if len(data) >= TraceContextLen {
+				t.Fatalf("decoder rejected %d bytes", len(data))
+			}
+			return
+		}
+		re := AppendTraceContext(nil, tc)
+		if !bytes.Equal(re, data[:TraceContextLen]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data[:TraceContextLen])
+		}
+	})
+}

@@ -22,6 +22,18 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"dynasore/internal/telemetry"
+)
+
+// Process-wide latency histograms for the two durable operations the log
+// performs: writing a record and flushing a group-commit batch to disk.
+var (
+	appendHist = telemetry.Default().Histogram(
+		"dynasore_wal_append_seconds", "Latency of appending one record to the write-ahead log.")
+	fsyncHist = telemetry.Default().Histogram(
+		"dynasore_wal_fsync_seconds", "Latency of group-commit fsyncs of the write-ahead log.")
 )
 
 // Record is one durable event: a user appended an opaque payload at a
@@ -303,6 +315,8 @@ func (l *Log) appendLocked(r Record) error {
 	if l.closed {
 		return ErrClosed
 	}
+	start := time.Now()
+	defer func() { appendHist.Observe(time.Since(start)) }()
 	seq, user, at, payload := r.Seq, r.User, r.At, r.Payload
 	buf := make([]byte, headerSize+len(payload))
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
@@ -318,9 +332,11 @@ func (l *Log) appendLocked(r Record) error {
 	if l.syncEvery > 0 {
 		l.unsynced++
 		if l.unsynced >= l.syncEvery {
+			syncStart := time.Now()
 			if err := l.cur.Sync(); err != nil {
 				return fmt.Errorf("wal: sync: %w", err)
 			}
+			fsyncHist.Observe(time.Since(syncStart))
 			l.unsynced = 0
 		}
 	}
@@ -340,9 +356,11 @@ func (l *Log) rotateLocked() error {
 	if l.unsynced > 0 {
 		// Group commit must not let a batch span a segment boundary: the
 		// retiring segment is flushed before it is closed.
+		syncStart := time.Now()
 		if err := l.cur.Sync(); err != nil {
 			return fmt.Errorf("wal: sync before rotate: %w", err)
 		}
+		fsyncHist.Observe(time.Since(syncStart))
 		l.unsynced = 0
 	}
 	if err := l.cur.Close(); err != nil {

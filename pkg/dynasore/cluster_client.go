@@ -491,16 +491,27 @@ func (c *ClusterClient) Write(ctx context.Context, user uint32, payload []byte) 
 	return seq, err
 }
 
-// Stats sums the counters of every reachable broker — cluster-wide
-// activity rather than one broker's. It fails only when no broker
-// responds.
-func (c *ClusterClient) Stats(ctx context.Context) (Stats, error) {
+// BrokerStats attributes one broker's counters to the address they came
+// from — the per-broker breakdown behind the cluster-wide Stats sum.
+type BrokerStats struct {
+	// Addr is the broker endpoint the counters were fetched from.
+	Addr string
+	// Stats holds that single broker's counters (DirectReads and
+	// DirectStale are always zero here: the fast path is client-side
+	// state, not any one broker's).
+	Stats Stats
+}
+
+// StatsPerBroker fetches each reachable broker's counters individually,
+// in endpoint order, attributing every count to the broker that
+// reported it instead of folding the tier into one sum. Unreachable
+// brokers are skipped; it fails only when no broker responds.
+func (c *ClusterClient) StatsPerBroker(ctx context.Context) ([]BrokerStats, error) {
 	if c.closed.Load() {
-		return Stats{}, errors.New("dynasore: cluster client is closed")
+		return nil, errors.New("dynasore: cluster client is closed")
 	}
-	var sum Stats
+	var out []BrokerStats
 	var lastErr error
-	ok := false
 	for _, ep := range c.endpoints {
 		cl, err := ep.client(ctx, c.poolSize)
 		if err != nil {
@@ -515,7 +526,25 @@ func (c *ClusterClient) Stats(ctx context.Context) (Stats, error) {
 			lastErr = err
 			continue
 		}
-		ok = true
+		out = append(out, BrokerStats{Addr: ep.addr, Stats: fromClusterStats(st)})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dynasore: no broker answered stats: %w", lastErr)
+	}
+	return out, nil
+}
+
+// Stats sums the counters of every reachable broker — cluster-wide
+// activity rather than one broker's. It fails only when no broker
+// responds. Use StatsPerBroker when the per-broker attribution matters.
+func (c *ClusterClient) Stats(ctx context.Context) (Stats, error) {
+	per, err := c.StatsPerBroker(ctx)
+	if err != nil {
+		return Stats{}, err
+	}
+	var sum Stats
+	for _, bs := range per {
+		st := bs.Stats
 		sum.Reads += st.Reads
 		sum.Writes += st.Writes
 		sum.Replicated += st.Replicated
@@ -526,9 +555,9 @@ func (c *ClusterClient) Stats(ctx context.Context) (Stats, error) {
 		sum.CompactedSegments += st.CompactedSegments
 		sum.CatchupRecords += st.CatchupRecords
 		sum.LeaseGrants += st.LeaseGrants
-	}
-	if !ok {
-		return Stats{}, fmt.Errorf("dynasore: no broker answered stats: %w", lastErr)
+		if st.Epoch > sum.Epoch {
+			sum.Epoch = st.Epoch
+		}
 	}
 	if c.direct != nil {
 		// This client's own fast-path activity: views served without the

@@ -128,6 +128,12 @@ type BrokerConfig struct {
 	// least this many whole WAL segments are fully covered by it, they
 	// are deleted. Zero keeps every segment.
 	CompactAfter int
+	// WALSyncEvery is the WAL's group-commit cadence: fsync after every
+	// WALSyncEvery-th append (and always on segment rotation and Close).
+	// Zero keeps the prototype default of trusting the OS page cache.
+	// Ignored when Store is set — a shared store's durability knobs are
+	// fixed when it is opened.
+	WALSyncEvery int
 }
 
 // Broker is one standalone broker node: it serves the Read/Write API to v1
@@ -167,6 +173,7 @@ func ListenBroker(cfg BrokerConfig) (*Broker, error) {
 		Store:           store,
 		CheckpointEvery: cfg.CheckpointEvery,
 		CompactAfter:    cfg.CompactAfter,
+		WALSyncEvery:    cfg.WALSyncEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -209,6 +216,10 @@ func (b *Broker) Recovery() (fromCheckpoint bool, replayed int) { return b.b.Rec
 // Leader returns the index (in BrokerConfig.Peers) of the broker this node
 // currently considers the placement-policy leader.
 func (b *Broker) Leader() int { return b.b.Leader() }
+
+// Stats returns a snapshot of this broker's own counters (one node's,
+// not cluster-summed — compare ClusterClient.Stats).
+func (b *Broker) Stats() Stats { return fromClusterStats(b.b.Stats()) }
 
 // Close stops the broker, its server and peer connections, and — unless it
 // was handed a shared Store — the persistent store.
